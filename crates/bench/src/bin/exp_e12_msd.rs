@@ -1,0 +1,93 @@
+//! E12 — the three regimes as a displacement figure (Section 1.2.1 +
+//! Lemma 4.11).
+//!
+//! The paper's case analysis rests on the walk's displacement scaling:
+//! ballistic for `α ∈ (1,2]`, super-diffusive with characteristic radius
+//! `t^{1/(α-1)}` for `α ∈ (2,3)`, diffusive for `α ≥ 3`. The experiment
+//! regenerates the classic mean-squared-displacement figure — fitted MSD
+//! exponents vs the predicted `β(α)` — and validates Lemma 4.11's
+//! confinement: the walk stays inside radius `(t log t)^{1/(α-1)}` with
+//! probability `1 − O(1/log t)`.
+
+use levy_analysis::log_log_fit;
+use levy_bench::{banner, emit, Scale, Stopwatch};
+use levy_rng::SeedStream;
+use levy_sim::{run_trials, AsciiPlot, TextTable};
+use levy_walks::{msd_exponent, walk_max_displacement, walk_positions_at};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "E12",
+        "Section 1.2.1 regimes + Lemma 4.11",
+        "Mean-squared displacement exponents per regime, and confinement within (t log t)^{1/(α-1)}.",
+    );
+    let watch = Stopwatch::start();
+    let trials: u64 = scale.pick(600, 3_000);
+    let checkpoints: Vec<u64> = vec![64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+    // (i) MSD exponent per α.
+    let mut table = TextTable::new(vec!["alpha", "fitted MSD exponent β", "predicted β(α)", "r²"]);
+    let mut plot = AsciiPlot::new(64, 16).log_log();
+    for alpha in [1.5, 2.0, 2.5, 2.8, 3.5] {
+        let cps = checkpoints.clone();
+        let sums = run_trials(trials, SeedStream::new(0x12), 1, move |_i, rng| {
+            walk_positions_at(alpha, &cps, rng)
+                .expect("valid alpha")
+                .into_iter()
+                .map(|p| p.l2_norm_sq() as f64)
+                .collect::<Vec<f64>>()
+        });
+        let msd: Vec<(f64, f64)> = checkpoints
+            .iter()
+            .enumerate()
+            .map(|(j, &t)| {
+                let m = sums.iter().map(|s| s[j]).sum::<f64>() / trials as f64;
+                (t as f64, m)
+            })
+            .collect();
+        plot.series(format!("α={alpha}"), msd.clone());
+        if let Some(fit) = log_log_fit(&msd) {
+            table.row(vec![
+                format!("{alpha}"),
+                format!("{:.3}", fit.slope),
+                format!("{:.2}", msd_exponent(alpha)),
+                format!("{:.3}", fit.r_squared),
+            ]);
+        }
+    }
+    emit(&table, "e12_msd_exponents");
+    println!("MSD vs t (log-log):\n{}", plot.render());
+
+    // (ii) Lemma 4.11 confinement for α ∈ (2,3).
+    let mut table = TextTable::new(vec![
+        "alpha",
+        "t",
+        "radius (t log t)^{1/(α-1)}",
+        "P(max displacement > radius)",
+        "1/log t (shape)",
+    ]);
+    for alpha in [2.2, 2.5, 2.8] {
+        let t: u64 = scale.pick(4_096, 16_384);
+        let radius = ((t as f64) * (t as f64).ln()).powf(1.0 / (alpha - 1.0));
+        let exceed = run_trials(trials, SeedStream::new(0x4B + t), 1, move |_i, rng| {
+            walk_max_displacement(alpha, t, rng).expect("valid alpha") as f64 > radius
+        })
+        .into_iter()
+        .filter(|&b| b)
+        .count();
+        table.row(vec![
+            format!("{alpha}"),
+            t.to_string(),
+            format!("{radius:.0}"),
+            format!("{:.4}", exceed as f64 / trials as f64),
+            format!("{:.4}", 1.0 / (t as f64).ln()),
+        ]);
+    }
+    emit(&table, "e12_confinement");
+    println!(
+        "Lemma 4.11: the escape probability should be O(1/((3-α) log t)) — \
+         small, and growing as α → 3."
+    );
+    println!("elapsed: {:.1}s", watch.seconds());
+}

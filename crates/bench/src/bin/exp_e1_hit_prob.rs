@@ -1,0 +1,61 @@
+//! E1 — Theorem 1.1(a) / 4.1(a): super-diffusive hit probability.
+//!
+//! For `α ∈ (2,3)`, a single Lévy walk hits a target at distance `ℓ` within
+//! `O(µ·ℓ^{α-1})` steps with probability `Θ̃(1/ℓ^{3-α})`. The experiment
+//! sweeps `ℓ` at several `α`, estimates `P(τ_α ≤ 2µ·ℓ^{α-1})`, and fits the
+//! log–log slope, which should be close to `-(3-α)` (up to the theorem's
+//! polylog slack).
+
+use levy_analysis::log_log_fit;
+use levy_bench::{banner, emit, fmt_prob_ci, Scale, Stopwatch};
+use levy_sim::{measure_single_walk, MeasurementConfig, TextTable};
+use levy_walks::theory::{hit_probability_exponent, mu};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "E1",
+        "Theorem 1.1(a) / 4.1(a)",
+        "P(τ_α = O(µ·ℓ^{α-1})) = Θ̃(1/ℓ^{3-α}) for α ∈ (2,3): slope of log P vs log ℓ ≈ -(3-α).",
+    );
+    let alphas = [2.2, 2.5, 2.8];
+    let ells: Vec<u64> = scale.pick(vec![16, 32, 64, 128, 256], vec![32, 64, 128, 256, 512, 1024]);
+    let watch = Stopwatch::start();
+
+    let mut table = TextTable::new(vec![
+        "alpha", "ell", "budget", "trials", "P(hit) [95% CI]",
+    ]);
+    let mut fits = TextTable::new(vec!["alpha", "fitted slope", "predicted -(3-alpha)", "r²"]);
+    for &alpha in &alphas {
+        let mut points = Vec::new();
+        for &ell in &ells {
+            let budget = (2.0 * mu(alpha, ell) * (ell as f64).powf(alpha - 1.0)).ceil() as u64;
+            // More trials where the probability is smaller.
+            let base: u64 = scale.pick(4_000, 40_000);
+            let trials = (base as f64 * (ell as f64).powf(3.0 - alpha) / 8.0)
+                .clamp(base as f64, scale.pick(30_000.0, 300_000.0)) as u64;
+            let config = MeasurementConfig::new(ell, budget, trials, 0xE1 + ell);
+            let summary = measure_single_walk(alpha, &config);
+            let p = summary.hit_rate();
+            table.row(vec![
+                format!("{alpha}"),
+                ell.to_string(),
+                budget.to_string(),
+                trials.to_string(),
+                fmt_prob_ci(p, summary.hit_rate_ci95()),
+            ]);
+            points.push((ell as f64, p));
+        }
+        if let Some(fit) = log_log_fit(&points) {
+            fits.row(vec![
+                format!("{alpha}"),
+                format!("{:.3}", fit.slope),
+                format!("{:.3}", hit_probability_exponent(alpha)),
+                format!("{:.3}", fit.r_squared),
+            ]);
+        }
+    }
+    emit(&table, "e1_hit_prob");
+    emit(&fits, "e1_hit_prob_fits");
+    println!("elapsed: {:.1}s", watch.seconds());
+}

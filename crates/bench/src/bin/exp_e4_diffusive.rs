@@ -1,0 +1,57 @@
+//! E4 — Theorem 1.2 / 4.3: the diffusive regime `α ∈ [3, ∞)`.
+//!
+//! A walk with `α >= 3` behaves like a simple random walk: it hits a target
+//! at distance `ℓ` within `O(ℓ² log² ℓ)` steps with probability
+//! `Ω(1/polylog ℓ)` — i.e. the hit probability at the characteristic budget
+//! decays only polylogarithmically in `ℓ` (contrast with E1's polynomial
+//! decay). Also checks the early-time bound `P(τ ≤ t) = O(t² log ℓ/ℓ⁴)`.
+
+use levy_analysis::log_log_fit;
+use levy_bench::{banner, emit, fmt_prob_ci, Scale, Stopwatch};
+use levy_sim::{measure_single_walk, MeasurementConfig, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "E4",
+        "Theorem 1.2 / 4.3",
+        "Diffusive α ≥ 3: P(τ ≤ O(ℓ² log² ℓ)) decays only polylogarithmically in ℓ.",
+    );
+    let alphas = [3.0, 3.5, 4.0];
+    let ells: Vec<u64> = scale.pick(vec![16, 32, 64], vec![16, 32, 64, 128]);
+    let trials: u64 = scale.pick(3_000, 20_000);
+    let watch = Stopwatch::start();
+
+    let mut table = TextTable::new(vec![
+        "alpha", "ell", "budget ℓ²log²ℓ", "P(hit) [95% CI]", "1/log⁴ℓ (floor shape)",
+    ]);
+    let mut fits = TextTable::new(vec!["alpha", "log-log slope vs ℓ", "note"]);
+    for &alpha in &alphas {
+        let mut points = Vec::new();
+        for &ell in &ells {
+            let lf = (ell as f64).ln();
+            let budget = ((ell * ell) as f64 * lf * lf).ceil() as u64;
+            let config = MeasurementConfig::new(ell, budget, trials, 0xE4 + ell);
+            let summary = measure_single_walk(alpha, &config);
+            let p = summary.hit_rate();
+            table.row(vec![
+                format!("{alpha}"),
+                ell.to_string(),
+                budget.to_string(),
+                fmt_prob_ci(p, summary.hit_rate_ci95()),
+                format!("{:.4}", 1.0 / lf.powi(4)),
+            ]);
+            points.push((ell as f64, p));
+        }
+        if let Some(fit) = log_log_fit(&points) {
+            fits.row(vec![
+                format!("{alpha}"),
+                format!("{:.3}", fit.slope),
+                "≈ 0 means polylog-only decay (vs -(3-α) < -0.2 in E1)".to_owned(),
+            ]);
+        }
+    }
+    emit(&table, "e4_diffusive");
+    emit(&fits, "e4_diffusive_fits");
+    println!("elapsed: {:.1}s", watch.seconds());
+}

@@ -1,0 +1,58 @@
+//! E5 — Theorem 1.3 / 5.1–5.2: the ballistic regime `α ∈ (1, 2]`.
+//!
+//! A walk with `α ∈ (1,2]` behaves like a straight walk in a random
+//! direction: it hits a target at distance `ℓ` within `O(ℓ)` steps with
+//! probability `Θ̃(1/ℓ)` — and waiting longer barely helps
+//! (`P(τ < ∞) = O(log²ℓ/ℓ)`). Sweeps `ℓ` and fits the slope, expected ≈ -1.
+
+use levy_analysis::log_log_fit;
+use levy_bench::{banner, emit, fmt_prob_ci, Scale, Stopwatch};
+use levy_sim::{measure_single_walk, MeasurementConfig, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "E5",
+        "Theorem 1.3 / Section 5",
+        "Ballistic α ∈ (1,2]: P(τ_α = O(ℓ)) = Θ̃(1/ℓ); slope of log P vs log ℓ ≈ -1.",
+    );
+    let alphas = [1.5, 2.0];
+    let ells: Vec<u64> = scale.pick(
+        vec![16, 32, 64, 128, 256],
+        vec![32, 64, 128, 256, 512, 1024],
+    );
+    let watch = Stopwatch::start();
+
+    let mut table = TextTable::new(vec!["alpha", "ell", "budget 8ℓ", "trials", "P(hit) [95% CI]"]);
+    let mut fits = TextTable::new(vec!["alpha", "fitted slope", "predicted", "r²"]);
+    for &alpha in &alphas {
+        let mut points = Vec::new();
+        for &ell in &ells {
+            let budget = 8 * ell;
+            // p ≈ 1/ℓ: scale trials to keep ~1k expected hits.
+            let trials: u64 = scale.pick(1_000 * ell, 4_000 * ell).clamp(20_000, 2_000_000);
+            let config = MeasurementConfig::new(ell, budget, trials, 0xE5 + ell);
+            let summary = measure_single_walk(alpha, &config);
+            let p = summary.hit_rate();
+            table.row(vec![
+                format!("{alpha}"),
+                ell.to_string(),
+                budget.to_string(),
+                trials.to_string(),
+                fmt_prob_ci(p, summary.hit_rate_ci95()),
+            ]);
+            points.push((ell as f64, p));
+        }
+        if let Some(fit) = log_log_fit(&points) {
+            fits.row(vec![
+                format!("{alpha}"),
+                format!("{:.3}", fit.slope),
+                "-1".to_owned(),
+                format!("{:.3}", fit.r_squared),
+            ]);
+        }
+    }
+    emit(&table, "e5_ballistic");
+    emit(&fits, "e5_ballistic_fits");
+    println!("elapsed: {:.1}s", watch.seconds());
+}

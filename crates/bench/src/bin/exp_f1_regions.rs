@@ -1,0 +1,68 @@
+//! F1 — Figure 1 of the paper: the regions `R_d(u)`, `B_d(u)`, `Q_d(u)`.
+//!
+//! Regenerates the figure as ASCII art and machine-checks the cardinality
+//! identities the analysis relies on (`|R_d| = 4d`, `|B_d| = 2d²+2d+1`,
+//! `|Q_d| = (2d+1)²`, `B_d ⊆ Q_d`).
+
+use levy_bench::{banner, emit};
+use levy_grid::{Ball, Point, Ring, Square};
+use levy_sim::TextTable;
+
+fn render_region(d: i64, member: impl Fn(Point) -> bool) -> String {
+    let mut out = String::new();
+    for y in (-d - 1..=d + 1).rev() {
+        for x in -d - 1..=d + 1 {
+            let p = Point::new(x, y);
+            out.push(if p == Point::ORIGIN {
+                'u'
+            } else if member(p) {
+                '#'
+            } else {
+                '.'
+            });
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    banner(
+        "F1",
+        "Figure 1 (Section 3.1)",
+        "Regions of the analysis: ring R_d(u), L1 ball B_d(u), square Q_d(u), d = 4.",
+    );
+    let d = 4u64;
+    println!("R_{d}(u):");
+    println!("{}", render_region(d as i64, |p| Ring::new(Point::ORIGIN, d).contains(p)));
+    println!("B_{d}(u):");
+    println!("{}", render_region(d as i64, |p| Ball::new(Point::ORIGIN, d).contains(p)));
+    println!("Q_{d}(u):");
+    println!("{}", render_region(d as i64, |p| Square::new(Point::ORIGIN, d).contains(p)));
+
+    let mut table = TextTable::new(vec!["d", "|R_d|", "4d", "|B_d|", "2d²+2d+1", "|Q_d|", "(2d+1)²"]);
+    for d in 1..=8u64 {
+        let ring = Ring::new(Point::ORIGIN, d);
+        let ball = Ball::new(Point::ORIGIN, d);
+        let square = Square::new(Point::ORIGIN, d);
+        let ring_count = ring.iter().count() as u64;
+        let ball_count = ball.iter().count() as u64;
+        let square_count = square.iter().count() as u64;
+        assert_eq!(ring_count, 4 * d);
+        assert_eq!(ball_count, 2 * d * d + 2 * d + 1);
+        assert_eq!(square_count, (2 * d + 1) * (2 * d + 1));
+        assert!(ball.iter().all(|p| square.contains(p)), "B_d ⊆ Q_d");
+        table.row(vec![
+            d.to_string(),
+            ring_count.to_string(),
+            (4 * d).to_string(),
+            ball_count.to_string(),
+            (2 * d * d + 2 * d + 1).to_string(),
+            square_count.to_string(),
+            ((2 * d + 1) * (2 * d + 1)).to_string(),
+        ]);
+    }
+    emit(&table, "f1_regions");
+    println!("All cardinality identities verified (d = 1..8).");
+}

@@ -1,0 +1,100 @@
+//! F2 — Figure 2 + Lemma 3.2: direct paths and their marginals.
+//!
+//! Regenerates the paper's direct-path illustration (a shortest lattice path
+//! hugging the real segment `uv`) and empirically verifies Lemma 3.2: when
+//! the destination `v` is uniform on `R_d(u)` and the direct path uniform,
+//! every node `w ∈ R_i(u)` satisfies
+//! `(i/d)·⌊d/i⌋/4i ≤ P(u_i = w) ≤ (i/d)·⌈d/i⌉/4i`.
+
+use levy_bench::{banner, emit, Scale};
+use levy_grid::{DirectPathWalker, Point, Ring};
+use levy_rng::SeedStream;
+use levy_sim::TextTable;
+
+fn render_path(start: Point, end: Point, path: &[Point]) -> String {
+    let min_x = path.iter().map(|p| p.x).min().unwrap().min(start.x) - 1;
+    let max_x = path.iter().map(|p| p.x).max().unwrap().max(start.x) + 1;
+    let min_y = path.iter().map(|p| p.y).min().unwrap().min(start.y) - 1;
+    let max_y = path.iter().map(|p| p.y).max().unwrap().max(start.y) + 1;
+    let mut out = String::new();
+    for y in (min_y..=max_y).rev() {
+        for x in min_x..=max_x {
+            let p = Point::new(x, y);
+            out.push(if p == start {
+                'u'
+            } else if p == end {
+                'v'
+            } else if path.contains(&p) {
+                '*'
+            } else {
+                '.'
+            });
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "F2",
+        "Figure 2 (Definition 3.1) + Lemma 3.2",
+        "A direct path closely follows the segment uv; marginals of u_i obey the Lemma 3.2 bracket.",
+    );
+    // Figure-2-like geometry: a skewed segment.
+    let start = Point::ORIGIN;
+    let end = Point::new(9, 4);
+    let mut rng = SeedStream::new(2).rng();
+    let path = DirectPathWalker::new(start, end).collect_path(&mut rng);
+    println!("Direct path u=(0,0) → v=(9,4), d = 13:");
+    println!("{}", render_path(start, end, &path));
+
+    // Lemma 3.2 check: d = 12, i = 4.
+    let d = 12u64;
+    let i = 4u64;
+    let trials: u64 = scale.pick(200_000, 2_000_000);
+    let ring_d = Ring::new(Point::ORIGIN, d);
+    let ring_i = Ring::new(Point::ORIGIN, i);
+    let mut counts = vec![0u64; ring_i.len() as usize];
+    let mut rng = SeedStream::new(3).rng();
+    for _ in 0..trials {
+        let v = ring_d.sample_uniform(&mut rng);
+        let mut walker = DirectPathWalker::new(Point::ORIGIN, v);
+        let mut node = Point::ORIGIN;
+        for _ in 0..i {
+            node = walker.next_node(&mut rng).expect("i <= d");
+        }
+        counts[ring_i.index_of(node).expect("node on R_i") as usize] += 1;
+    }
+    let lo = (i as f64 / d as f64) * (d / i) as f64 / (4 * i) as f64;
+    let hi = (i as f64 / d as f64) * d.div_ceil(i) as f64 / (4 * i) as f64;
+    let mut table = TextTable::new(vec!["node w ∈ R_4", "P(u_4 = w)", "lemma lo", "lemma hi", "in bracket ±3σ"]);
+    let sigma = (hi / trials as f64).sqrt();
+    let mut violations = 0;
+    for (idx, &c) in counts.iter().enumerate() {
+        let p = c as f64 / trials as f64;
+        let ok = p >= lo - 3.0 * sigma && p <= hi + 3.0 * sigma;
+        if !ok {
+            violations += 1;
+        }
+        table.row(vec![
+            ring_i.node_at(idx as u64).to_string(),
+            format!("{p:.5}"),
+            format!("{lo:.5}"),
+            format!("{hi:.5}"),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    emit(&table, "f2_direct_path_marginals");
+    println!(
+        "Lemma 3.2 bracket [{:.5}, {:.5}] over {} nodes: {} violations ({} trials).",
+        lo,
+        hi,
+        counts.len(),
+        violations,
+        trials
+    );
+    assert_eq!(violations, 0, "Lemma 3.2 bracket violated");
+}

@@ -1,0 +1,107 @@
+//! F3 — Figure 3 (Lemma 4.8): the disjoint zones argument.
+//!
+//! Once the flight has moved to distance `5ℓ/2` from the origin, the square
+//! `Q_ℓ(0)` is only one of (at least) four congruent, disjoint zones that
+//! are each at least as likely to be visited — by isotropy/monotonicity —
+//! so at most a constant fraction of future steps can land back in
+//! `Q_ℓ(0)`. The experiment starts a flight at `(5ℓ/2, 0)`, counts visits
+//! to the four rotated zones, and χ²-tests the equal-share prediction.
+
+use levy_analysis::{mean, variance};
+use levy_bench::{banner, emit, Scale, Stopwatch};
+use levy_grid::{Point, Square};
+use levy_rng::SeedStream;
+use levy_sim::{run_trials, TextTable};
+use levy_walks::{JumpProcess, LevyFlight};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "F3",
+        "Figure 3 / Lemma 4.8",
+        "From distance 5ℓ/2, the four rotated copies of Q_ℓ(0) receive equal visit shares.",
+    );
+    let watch = Stopwatch::start();
+    let alpha = 2.5;
+    let ell: u64 = scale.pick(16, 32);
+    let start = Point::new(5 * ell as i64 / 2, 0);
+    // The four zone centers: rotations of the origin around the start node.
+    let to_origin = Point::ORIGIN - start;
+    let centers: Vec<Point> = (0..4)
+        .scan(to_origin, |v, _| {
+            let c = start + *v;
+            *v = v.rotate90();
+            Some(c)
+        })
+        .collect();
+    let zones: Vec<Square> = centers.iter().map(|&c| Square::new(c, ell)).collect();
+    let t_jumps: u64 = scale.pick(400, 1_000);
+    let trials: u64 = scale.pick(4_000, 20_000);
+
+    let zones_for_trial = zones.clone();
+    let counts: Vec<[u64; 4]> = run_trials(trials, SeedStream::new(0xF3), 1, move |_i, rng| {
+        let mut flight = LevyFlight::new(alpha, start).expect("valid alpha");
+        let mut c = [0u64; 4];
+        for _ in 0..t_jumps {
+            let p = flight.step(rng);
+            for (z, slot) in zones_for_trial.iter().zip(c.iter_mut()) {
+                if z.contains(p) {
+                    *slot += 1;
+                }
+            }
+        }
+        c
+    });
+    // Visits within a trial are strongly correlated (a flight that enters
+    // a zone lingers), so the right statistic is the ACROSS-TRIAL mean of
+    // per-trial zone counts, with across-trial standard errors.
+    let per_zone: Vec<Vec<f64>> = (0..4)
+        .map(|z| counts.iter().map(|c| c[z] as f64).collect())
+        .collect();
+    let stats: Vec<(f64, f64)> = per_zone
+        .iter()
+        .map(|xs| {
+            let m = mean(xs).expect("trials > 0");
+            let se = (variance(xs).expect("trials > 1") / xs.len() as f64).sqrt();
+            (m, se)
+        })
+        .collect();
+    let grand: f64 = stats.iter().map(|(m, _)| m).sum();
+
+    let mut table = TextTable::new(vec![
+        "zone center",
+        "mean visits/trial ± SE",
+        "share",
+    ]);
+    for (c, &(m, se)) in centers.iter().zip(&stats) {
+        table.row(vec![
+            c.to_string(),
+            format!("{m:.3} ± {se:.3}"),
+            format!("{:.4}", m / grand),
+        ]);
+    }
+    emit(&table, "f3_zones");
+    // Every zone's mean must be within 4 SE of every other's (isotropy),
+    // so the origin's zone cannot absorb more than ~1/4 of zone visits.
+    let mut max_z = 0.0f64;
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            let (mi, si) = stats[i];
+            let (mj, sj) = stats[j];
+            let z = (mi - mj).abs() / (si * si + sj * sj).sqrt();
+            max_z = max_z.max(z);
+        }
+    }
+    println!(
+        "max pairwise z-score between zones = {max_z:.2} → {}",
+        if max_z < 4.0 {
+            "equal shares: Q_ℓ(0) receives ≤ 1/4 of zone visits, as Lemma 4.8 needs"
+        } else {
+            "UNEXPECTED asymmetry"
+        }
+    );
+    println!(
+        "α = {alpha}, ℓ = {ell}, start = {start}, {t_jumps} jumps × {trials} trials."
+    );
+    println!("elapsed: {:.1}s", watch.seconds());
+}

@@ -1,0 +1,58 @@
+//! F4 — Appendix C (Lemma C.1, Figures 4–6): the jump's axis projection.
+//!
+//! The paper's variance computations project two-dimensional jumps onto the
+//! x-axis and use `P(|Sˣ| = d) = Θ(1/d^α)` — the projection inherits the
+//! jump law's exponent. The experiment samples jumps, log-bins the absolute
+//! x-projections, and fits the density slope, expected ≈ −α (the density
+//! counterpart of the pointwise mass `Θ(1/d^α)`... the binned density of a
+//! discrete mass `∝ d^{-α}` has log–log slope `-α`).
+
+use levy_analysis::{log_log_fit, LogHistogram};
+use levy_bench::{banner, emit, Scale, Stopwatch};
+use levy_grid::Point;
+use levy_rng::{JumpLengthDistribution, SeedStream};
+use levy_sim::{run_trials, TextTable};
+use levy_walks::sample_jump;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "F4",
+        "Appendix C, Lemma C.1",
+        "The x-projection of a jump obeys P(|Sˣ| = d) = Θ(1/d^α): binned density slope ≈ -α.",
+    );
+    let watch = Stopwatch::start();
+    let trials: u64 = scale.pick(400_000, 3_000_000);
+
+    let mut table = TextTable::new(vec!["alpha", "fitted projection slope", "predicted -α", "r²"]);
+    for alpha in [1.5, 2.0, 2.5, 3.0] {
+        let jumps = JumpLengthDistribution::new(alpha).expect("valid alpha");
+        let projections = run_trials(trials, SeedStream::new(0xF4), 1, move |_i, rng| {
+            let (_, v) = sample_jump(&jumps, Point::ORIGIN, rng);
+            v.x.unsigned_abs()
+        });
+        let mut hist = LogHistogram::new(1.0, 2.0, 20);
+        for p in projections {
+            if p > 0 {
+                hist.record(p as f64);
+            }
+        }
+        // Drop the last noisy bins (few samples in the far tail).
+        let density: Vec<(f64, f64)> = hist
+            .density()
+            .into_iter()
+            .filter(|&(x, _)| x < 1e4)
+            .collect();
+        if let Some(fit) = log_log_fit(&density) {
+            table.row(vec![
+                format!("{alpha}"),
+                format!("{:.3}", fit.slope),
+                format!("{:.1}", -alpha),
+                format!("{:.3}", fit.r_squared),
+            ]);
+        }
+    }
+    emit(&table, "f4_projection");
+    println!("{} jump samples per α.", trials);
+    println!("elapsed: {:.1}s", watch.seconds());
+}

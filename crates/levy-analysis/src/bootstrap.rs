@@ -1,0 +1,109 @@
+//! Percentile bootstrap confidence intervals.
+
+use rand::Rng;
+
+use crate::summary::{mean, median, quantile};
+
+/// Percentile bootstrap CI for an arbitrary statistic.
+///
+/// Resamples `xs` with replacement `resamples` times, applies `statistic`,
+/// and returns the `(lo, hi)` percentile interval at the given confidence
+/// (e.g. `0.95`).
+///
+/// Returns `None` if `xs` is empty or the statistic is undefined on some
+/// resample.
+pub fn bootstrap_ci<R, F>(
+    xs: &[f64],
+    statistic: F,
+    resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> Option<(f64, f64)>
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> Option<f64>,
+{
+    assert!((0.0..1.0).contains(&confidence), "confidence in (0,1)");
+    if xs.is_empty() || resamples == 0 {
+        return None;
+    }
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buffer = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in buffer.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        stats.push(statistic(&buffer)?);
+    }
+    let tail = (1.0 - confidence) / 2.0;
+    let lo = quantile(&stats, tail)?;
+    let hi = quantile(&stats, 1.0 - tail)?;
+    Some((lo, hi))
+}
+
+/// Bootstrap CI of the sample mean.
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    xs: &[f64],
+    resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> Option<(f64, f64)> {
+    bootstrap_ci(xs, mean, resamples, confidence, rng)
+}
+
+/// Bootstrap CI of the sample median.
+pub fn bootstrap_median_ci<R: Rng + ?Sized>(
+    xs: &[f64],
+    resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> Option<(f64, f64)> {
+    bootstrap_ci(xs, median, resamples, confidence, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ci_contains_true_mean_for_clean_data() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect(); // mean 4.5
+        let mut rng = SmallRng::seed_from_u64(0);
+        let (lo, hi) = bootstrap_mean_ci(&xs, 500, 0.95, &mut rng).unwrap();
+        assert!(lo < 4.5 && 4.5 < hi, "[{lo}, {hi}]");
+        assert!(hi - lo < 1.5, "interval too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn empty_sample_yields_none() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, &mut rng).is_none());
+    }
+
+    #[test]
+    fn median_ci_is_sane() {
+        let xs: Vec<f64> = (1..=101).map(|i| i as f64).collect(); // median 51
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (lo, hi) = bootstrap_median_ci(&xs, 400, 0.9, &mut rng).unwrap();
+        assert!(lo <= 51.0 && 51.0 <= hi, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn wider_confidence_widens_interval() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (lo1, hi1) = bootstrap_mean_ci(&xs, 600, 0.5, &mut rng).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (lo2, hi2) = bootstrap_mean_ci(&xs, 600, 0.99, &mut rng).unwrap();
+        assert!(hi2 - lo2 > hi1 - lo1);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence in")]
+    fn rejects_bad_confidence() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = bootstrap_mean_ci(&[1.0], 10, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,156 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Several experiments extract a whole family of probabilities
+//! `P(τ ≤ t)` for many `t` from a *single* simulation at the largest
+//! budget; [`Ecdf`] is the shared machinery for that.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use levy_analysis::Ecdf;
+///
+/// let ecdf = Ecdf::new(vec![1.0, 2.0, 2.0, 10.0]);
+/// assert_eq!(ecdf.eval(0.5), 0.0);
+/// assert_eq!(ecdf.eval(2.0), 0.75);
+/// assert_eq!(ecdf.eval(100.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "ECDF samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x) = (#samples ≤ x) / n`; `0` for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&s| s <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Counts of samples ≤ x (for exact binomial confidence intervals).
+    pub fn count_le(&self, x: f64) -> u64 {
+        self.sorted.partition_point(|&s| s <= x) as u64
+    }
+
+    /// The `q`-quantile (`q ∈ [0,1]`) by nearest rank, `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.sorted[rank])
+    }
+
+    /// Minimum sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Evaluates the ECDF at each checkpoint, returning `(x, F(x))` pairs —
+    /// the raw material for log–log CDF plots.
+    pub fn curve(&self, checkpoints: &[f64]) -> Vec<(f64, f64)> {
+        checkpoints.iter().map(|&x| (x, self.eval(x))).collect()
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Ecdf::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps_at_samples() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(1.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(2.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn empty_ecdf_behaves() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(5.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.min(), None);
+    }
+
+    #[test]
+    fn quantiles_and_extremes() {
+        let e: Ecdf = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(100.0));
+        let med = e.quantile(0.5).unwrap();
+        assert!((49.0..=52.0).contains(&med));
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(100.0));
+        assert_eq!(e.len(), 100);
+    }
+
+    #[test]
+    fn count_le_is_exact() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        assert_eq!(e.count_le(1.0), 2);
+        assert_eq!(e.count_le(1.5), 2);
+        assert_eq!(e.count_le(2.0), 3);
+    }
+
+    #[test]
+    fn curve_matches_eval() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let c = e.curve(&[0.0, 2.5, 10.0]);
+        assert_eq!(c, vec![(0.0, 0.0), (2.5, 0.5), (10.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Goodness-of-fit statistics: chi-square and two-sample Kolmogorov–Smirnov.
+//!
+//! Used by the validation experiments (E9) to test uniformity of ring
+//! sampling, agreement between the fast and exact hitting simulators, and
+//! the Lemma 3.2 direct-path marginals.
+
+/// Pearson chi-square statistic for observed counts against expected counts.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any expected count is
+/// non-positive.
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected counts must be positive");
+            let diff = o as f64 - e;
+            diff * diff / e
+        })
+        .sum()
+}
+
+/// Approximate upper critical value of the chi-square distribution with
+/// `df` degrees of freedom at upper-tail probability `alpha` (e.g. 0.001),
+/// via the Wilson–Hilferty cube approximation.
+///
+/// Accurate to a few percent for `df >= 3`, which is all the statistical
+/// tests here need (they use generous significance levels).
+pub fn chi_square_critical(df: u64, alpha: f64) -> f64 {
+    assert!(df >= 1);
+    assert!((0.0..0.5).contains(&alpha), "alpha in (0, 0.5)");
+    let z = standard_normal_quantile(1.0 - alpha);
+    let d = df as f64;
+    let term = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * term.powi(3)
+}
+
+/// Quantile of the standard normal distribution (Acklam's rational
+/// approximation; absolute error below 1.2e-9 on (0, 1)).
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument in (0,1)");
+    // Coefficients of Peter Acklam's inverse-normal approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the sup-distance between the
+/// empirical CDFs of `a` and `b`.
+///
+/// Returns `None` if either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while ia < sa.len() && ib < sb.len() {
+        let x = sa[ia].min(sb[ib]);
+        while ia < sa.len() && sa[ia] <= x {
+            ia += 1;
+        }
+        while ib < sb.len() && sb[ib] <= x {
+            ib += 1;
+        }
+        d = d.max((ia as f64 / na - ib as f64 / nb).abs());
+    }
+    Some(d)
+}
+
+/// The KS acceptance threshold at ~99% confidence for samples of sizes
+/// `n` and `m`: `1.63 · sqrt((n+m)/(n·m))`.
+pub fn ks_critical_99(n: usize, m: usize) -> f64 {
+    1.63 * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_zero_for_perfect_fit() {
+        let observed = [10u64, 20, 30];
+        let expected = [10.0, 20.0, 30.0];
+        assert_eq!(chi_square_statistic(&observed, &expected), 0.0);
+    }
+
+    #[test]
+    fn chi_square_known_value() {
+        // (12-10)^2/10 + (8-10)^2/10 = 0.8.
+        assert!((chi_square_statistic(&[12, 8], &[10.0, 10.0]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chi_square_rejects_mismatched_lengths() {
+        chi_square_statistic(&[1], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!(standard_normal_quantile(0.5).abs() < 1e-8);
+        assert!((standard_normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((standard_normal_quantile(0.999) - 3.090_232).abs() < 1e-4);
+        assert!((standard_normal_quantile(0.025) + 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn chi_square_critical_matches_tables() {
+        // χ²_{0.05, 10} ≈ 18.31; χ²_{0.001, 19} ≈ 43.82.
+        assert!((chi_square_critical(10, 0.05) - 18.31).abs() < 0.4);
+        assert!((chi_square_critical(19, 0.001) - 43.82).abs() < 1.0);
+    }
+
+    #[test]
+    fn ks_zero_for_identical_samples() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), Some(0.0));
+    }
+
+    #[test]
+    fn ks_one_for_disjoint_samples() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert_eq!(ks_statistic(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn ks_detects_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 + 50.0).collect();
+        let d = ks_statistic(&a, &b).unwrap();
+        assert!(d >= 0.5, "d = {d}");
+    }
+
+    #[test]
+    fn ks_empty_is_none() {
+        assert_eq!(ks_statistic(&[], &[1.0]), None);
+    }
+
+    #[test]
+    fn ks_critical_shrinks_with_sample_size() {
+        assert!(ks_critical_99(1000, 1000) < ks_critical_99(100, 100));
+    }
+}

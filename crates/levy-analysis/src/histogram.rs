@@ -1,0 +1,178 @@
+//! Logarithmically binned histograms.
+//!
+//! Power-law data (jump lengths, hitting times) spans many decades; uniform
+//! bins waste resolution. [`LogHistogram`] bins by geometric ranges, the
+//! standard tool for estimating power-law densities.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with geometrically growing bins `[lo·r^i, lo·r^{i+1})`.
+///
+/// # Examples
+///
+/// ```
+/// use levy_analysis::LogHistogram;
+///
+/// let mut h = LogHistogram::new(1.0, 2.0, 10);
+/// for x in [1.0, 3.0, 3.5, 100.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.count(1), 2); // bin [2,4) holds 3.0 and 3.5
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    ratio: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `bins` bins starting at `lo`, each `ratio`
+    /// times wider than the previous.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo > 0`, `ratio > 1` and `bins >= 1`.
+    pub fn new(lo: f64, ratio: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && lo.is_finite(), "lo must be positive");
+        assert!(ratio > 1.0 && ratio.is_finite(), "ratio must exceed 1");
+        assert!(bins >= 1, "need at least one bin");
+        LogHistogram {
+            lo,
+            ratio,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of regular bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if !(x >= self.lo) {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.lo).ln() / self.ratio.ln()).floor() as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations below the first bin.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded observations (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo * self.ratio.powi(i as i32);
+        (lo, lo * self.ratio)
+    }
+
+    /// Density points `(bin_center, count / (total · bin_width))` for
+    /// non-empty bins — ready for log-log power-law fitting.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let total = self.total().max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = self.bin_range(i);
+                let center = (lo * hi).sqrt();
+                let width = hi - lo;
+                (center, c as f64 / (total * width))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::log_log_fit;
+
+    #[test]
+    fn bin_assignment_is_correct() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4); // [1,2) [2,4) [4,8) [8,16)
+        for (x, bin) in [(1.0, 0), (1.99, 0), (2.0, 1), (7.99, 2), (8.0, 3)] {
+            let before = h.count(bin);
+            h.record(x);
+            assert_eq!(h.count(bin), before + 1, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = LogHistogram::new(1.0, 2.0, 2); // [1,2) [2,4)
+        h.record(0.5);
+        h.record(4.0);
+        h.record(1e12);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_ranges_are_geometric() {
+        let h = LogHistogram::new(2.0, 3.0, 3);
+        assert_eq!(h.bin_range(0), (2.0, 6.0));
+        assert_eq!(h.bin_range(1), (6.0, 18.0));
+        assert_eq!(h.bins(), 3);
+    }
+
+    #[test]
+    fn density_recovers_power_law_slope() {
+        // Deterministic inverse-CDF samples from p(x) ∝ x^{-2.5} on [1, 2^16]:
+        // the fitted density slope should be close to -2.5.
+        let mut h = LogHistogram::new(1.0, 2.0, 16);
+        let a = 1.5; // tail exponent of the CDF: P(X > x) = x^{-1.5}
+        let n = 200_000;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            let x = (1.0 - u).powf(-1.0 / a);
+            h.record(x);
+        }
+        let fit = log_log_fit(&h.density()).expect("enough bins");
+        assert!(
+            (fit.slope + 2.5).abs() < 0.15,
+            "density slope {} should be ≈ -2.5",
+            fit.slope
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must exceed 1")]
+    fn rejects_bad_ratio() {
+        LogHistogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! Numerical analysis of experiment output for the reproduction of *Search
+//! via Parallel Lévy Walks on Z²* (PODC 2021).
+//!
+//! The paper's quantitative claims are power laws in `ℓ`, `t` and `k`; this
+//! crate provides the estimators the experiment harness uses to check them:
+//!
+//! * [`log_log_fit`] — power-law exponent estimation by least squares on
+//!   log–log axes;
+//! * [`CensoredSummary`] — right-censored hitting-time summaries with
+//!   Wilson confidence intervals (censoring is never silently dropped);
+//! * [`chi_square_statistic`] / [`ks_statistic`] — goodness-of-fit tests
+//!   used by the lemma-validation experiments;
+//! * [`bootstrap_ci`] — percentile bootstrap confidence intervals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod ecdf;
+mod goodness;
+mod histogram;
+mod regression;
+mod summary;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, bootstrap_median_ci};
+pub use ecdf::Ecdf;
+pub use histogram::LogHistogram;
+pub use goodness::{
+    chi_square_critical, chi_square_statistic, ks_critical_99, ks_statistic,
+    standard_normal_quantile,
+};
+pub use regression::{linear_fit, log_log_fit, LinearFit};
+pub use summary::{mean, median, quantile, variance, wilson_interval, CensoredSummary};

@@ -1,0 +1,147 @@
+//! Least-squares fits, in particular log–log slope estimation.
+//!
+//! The paper's bounds are power laws (`P ≈ C·ℓ^{-(3-α)}`, `P(τ ≤ t) ≈
+//! C·t²`, ...). The experiments verify them by fitting slopes on log–log
+//! axes and comparing with the predicted exponents.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear regression `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// # Errors
+///
+/// Returns `None` if fewer than two points are given, or the `x` values are
+/// all identical, or any coordinate is non-finite.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sum_x: f64 = points.iter().map(|p| p.0).sum();
+    let sum_y: f64 = points.iter().map(|p| p.1).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: points.len(),
+    })
+}
+
+/// Fits `y = C · x^slope` by least squares on `(ln x, ln y)`.
+///
+/// Points with non-positive coordinates are skipped (they carry no log–log
+/// information; typically censored or zero-probability estimates).
+///
+/// Returns `None` under the same conditions as [`linear_fit`].
+pub fn log_log_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    linear_fit(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(100.0) - 298.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_slope_is_recovered() {
+        let pts: Vec<(f64, f64)> = (1..50)
+            .map(|i| {
+                let x = i as f64;
+                (x, 7.0 * x.powf(-1.5))
+            })
+            .collect();
+        let fit = log_log_fit(&pts).unwrap();
+        assert!((fit.slope + 1.5).abs() < 1e-9, "slope {}", fit.slope);
+        assert!((fit.intercept - 7f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (f64::NAN, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn log_log_skips_nonpositive_points() {
+        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0), (1.0, 1.0), (2.0, 2.0)];
+        let fit = log_log_fit(&pts).unwrap();
+        // Only (1,1) and (2,2) survive; slope 1 exactly.
+        assert_eq!(fit.n, 2);
+        assert!((fit.slope - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_decreases_with_noise() {
+        let clean: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let noisy: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.0 * x + if i % 2 == 0 { 20.0 } else { -20.0 })
+            })
+            .collect();
+        let rc = linear_fit(&clean).unwrap().r_squared;
+        let rn = linear_fit(&noisy).unwrap().r_squared;
+        assert!(rc > rn);
+    }
+}

@@ -1,0 +1,201 @@
+//! Summary statistics, including right-censored samples.
+//!
+//! Hitting times are censored at the simulation budget; these helpers keep
+//! censoring explicit so that "not found" is never silently conflated with
+//! a numeric time.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a slice (`None` when empty).
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Unbiased sample variance (`None` when fewer than two points).
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// The `q`-quantile (nearest-rank on a sorted copy), `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Median (0.5-quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Summary of a right-censored sample of hitting times.
+///
+/// # Examples
+///
+/// ```
+/// use levy_analysis::CensoredSummary;
+///
+/// let times = [Some(10u64), Some(30), None, Some(20), None];
+/// let s = CensoredSummary::from_outcomes(&times, 100);
+/// assert_eq!(s.hits, 3);
+/// assert_eq!(s.censored, 2);
+/// assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+/// assert_eq!(s.conditional_mean(), Some(20.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensoredSummary {
+    /// Number of trials that hit within the budget.
+    pub hits: u64,
+    /// Number of trials censored at the budget.
+    pub censored: u64,
+    /// The censoring budget.
+    pub budget: u64,
+    /// Observed (uncensored) hitting times.
+    pub observed: Vec<f64>,
+}
+
+impl CensoredSummary {
+    /// Builds a summary from per-trial outcomes (`None` = censored).
+    pub fn from_outcomes(outcomes: &[Option<u64>], budget: u64) -> Self {
+        let observed: Vec<f64> = outcomes.iter().flatten().map(|&t| t as f64).collect();
+        CensoredSummary {
+            hits: observed.len() as u64,
+            censored: (outcomes.len() - observed.len()) as u64,
+            budget,
+            observed,
+        }
+    }
+
+    /// Total number of trials.
+    pub fn trials(&self) -> u64 {
+        self.hits + self.censored
+    }
+
+    /// Empirical probability of hitting within the budget.
+    pub fn hit_rate(&self) -> f64 {
+        if self.trials() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials() as f64
+        }
+    }
+
+    /// Wilson score interval for the hit probability at ~95% confidence.
+    pub fn hit_rate_ci95(&self) -> (f64, f64) {
+        wilson_interval(self.hits, self.trials(), 1.96)
+    }
+
+    /// Mean hitting time conditioned on hitting (`None` if no hits).
+    pub fn conditional_mean(&self) -> Option<f64> {
+        mean(&self.observed)
+    }
+
+    /// Median hitting time conditioned on hitting.
+    pub fn conditional_median(&self) -> Option<f64> {
+        median(&self.observed)
+    }
+
+    /// A conservative lower bound on the unconditional mean: censored
+    /// trials contribute the full budget.
+    pub fn mean_lower_bound(&self) -> f64 {
+        if self.trials() == 0 {
+            return 0.0;
+        }
+        let observed_sum: f64 = self.observed.iter().sum();
+        (observed_sum + self.censored as f64 * self.budget as f64) / self.trials() as f64
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_on_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1: 32/7.
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[1.0]).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn quantiles_on_sorted_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(median(&xs), Some(3.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rejects_out_of_range() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn censored_summary_accounts_every_trial() {
+        let outcomes = [Some(5u64), None, Some(15), None, None];
+        let s = CensoredSummary::from_outcomes(&outcomes, 100);
+        assert_eq!(s.trials(), 5);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.censored, 3);
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(s.conditional_mean(), Some(10.0));
+        // Lower bound: (5 + 15 + 3*100)/5 = 64.
+        assert!((s.mean_lower_bound() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100, 1.96);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(lo > 0.2 && hi < 0.42);
+    }
+
+    #[test]
+    fn wilson_interval_degenerate_cases() {
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (lo, _) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        let (_, hi) = wilson_interval(50, 50, 1.96);
+        assert_eq!(hi, 1.0);
+    }
+}

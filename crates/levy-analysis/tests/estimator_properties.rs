@@ -1,0 +1,141 @@
+//! Property-based tests of the statistical estimators.
+
+use levy_analysis::{
+    bootstrap_mean_ci, ks_statistic, linear_fit, log_log_fit, mean, median, quantile, variance,
+    wilson_interval, CensoredSummary, Ecdf, LogHistogram,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_fit_is_invariant_under_index_shuffle(points in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40)) {
+        prop_assume!(points.windows(2).any(|w| w[0].0 != w[1].0));
+        let mut shuffled = points.clone();
+        shuffled.reverse();
+        let a = linear_fit(&points);
+        let b = linear_fit(&shuffled);
+        match (a, b) {
+            (Some(fa), Some(fb)) => {
+                prop_assert!((fa.slope - fb.slope).abs() < 1e-9);
+                prop_assert!((fa.intercept - fb.intercept).abs() < 1e-9);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "fit existence differs under shuffle"),
+        }
+    }
+
+    #[test]
+    fn linear_fit_residuals_are_orthogonal_to_x(points in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 4..30)) {
+        if let Some(fit) = linear_fit(&points) {
+            // Normal equations: Σ (y - ŷ) = 0 and Σ x (y - ŷ) = 0.
+            let r_sum: f64 = points.iter().map(|(x, y)| y - fit.predict(*x)).sum();
+            let rx_sum: f64 = points.iter().map(|(x, y)| x * (y - fit.predict(*x))).sum();
+            prop_assert!(r_sum.abs() < 1e-6, "residual sum {}", r_sum);
+            prop_assert!(rx_sum.abs() < 1e-4, "x-weighted residual sum {}", rx_sum);
+        }
+    }
+
+    #[test]
+    fn log_log_fit_recovers_scaled_power_laws(c in 0.1f64..100.0, slope in -3.0f64..3.0) {
+        let pts: Vec<(f64, f64)> = (1..30).map(|i| {
+            let x = i as f64;
+            (x, c * x.powf(slope))
+        }).collect();
+        let fit = log_log_fit(&pts).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6);
+        prop_assert!((fit.intercept - c.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_and_median_lie_within_range(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let m = mean(&xs).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        let md = median(&xs).unwrap();
+        prop_assert!(md >= lo && md <= hi);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(xs in prop::collection::vec(-100.0f64..100.0, 2..50), shift in -1000.0f64..1000.0) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let v1 = variance(&xs).unwrap();
+        let v2 = variance(&shifted).unwrap();
+        prop_assert!((v1 - v2).abs() < 1e-6 * (1.0 + v1.abs()));
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in prop::collection::vec(-100.0f64..100.0, 1..60), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, qa).unwrap() <= quantile(&xs, qb).unwrap());
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate(s in 0u64..=100, extra in 0u64..1000) {
+        let n = 100 + extra;
+        let s = s.min(n);
+        let (lo, hi) = wilson_interval(s, n, 1.96);
+        let p = s as f64 / n as f64;
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        prop_assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_normalized(xs in prop::collection::vec(-100.0f64..100.0, 1..80)) {
+        let e = Ecdf::new(xs.clone());
+        let lo = e.min().unwrap();
+        let hi = e.max().unwrap();
+        prop_assert_eq!(e.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(e.eval(hi), 1.0);
+        let mid = (lo + hi) / 2.0;
+        prop_assert!(e.eval(mid) <= e.eval(hi));
+        prop_assert!(e.eval(lo) >= 0.0);
+    }
+
+    #[test]
+    fn ks_is_a_pseudometric(
+        a in prop::collection::vec(-50.0f64..50.0, 2..40),
+        b in prop::collection::vec(-50.0f64..50.0, 2..40),
+    ) {
+        let dab = ks_statistic(&a, &b).unwrap();
+        let dba = ks_statistic(&b, &a).unwrap();
+        prop_assert!((dab - dba).abs() < 1e-12, "asymmetry");
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(ks_statistic(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(0.01f64..1e6, 1..200)) {
+        let mut h = LogHistogram::new(0.5, 2.0, 24);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+}
+
+#[test]
+fn bootstrap_interval_shrinks_with_sample_size() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let small: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+    let large: Vec<f64> = (0..3000).map(|i| (i % 7) as f64).collect();
+    let (lo_s, hi_s) = bootstrap_mean_ci(&small, 400, 0.95, &mut rng).unwrap();
+    let (lo_l, hi_l) = bootstrap_mean_ci(&large, 400, 0.95, &mut rng).unwrap();
+    assert!(hi_l - lo_l < hi_s - lo_s);
+}
+
+#[test]
+fn censored_summary_edge_cases() {
+    let all_censored = CensoredSummary::from_outcomes(&[None, None, None], 50);
+    assert_eq!(all_censored.hits, 0);
+    assert_eq!(all_censored.hit_rate(), 0.0);
+    assert_eq!(all_censored.conditional_mean(), None);
+    assert_eq!(all_censored.mean_lower_bound(), 50.0);
+    let all_hit = CensoredSummary::from_outcomes(&[Some(1), Some(2)], 50);
+    assert_eq!(all_hit.hit_rate(), 1.0);
+    assert_eq!(all_hit.conditional_mean(), Some(1.5));
+}

@@ -1,0 +1,335 @@
+//! L1 balls `B_d(u)` and L-infinity squares `Q_d(u)`.
+//!
+//! These are the regions the paper's analysis partitions `Z^2` into
+//! (Section 3.1 and Figure 1): `B_d(u)` is the diamond of all nodes within
+//! L1 distance `d`, and `Q_d(u)` the square of all nodes within L-infinity
+//! distance `d`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+use crate::ring::Ring;
+
+/// The L1 ball `B_d(u) = { v : ||u - v||_1 <= d }` (a diamond).
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{Ball, Point};
+///
+/// let ball = Ball::new(Point::ORIGIN, 2);
+/// assert_eq!(ball.len(), 13); // 2d^2 + 2d + 1
+/// assert!(ball.contains(Point::new(1, -1)));
+/// assert!(!ball.contains(Point::new(2, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ball {
+    center: Point,
+    radius: u64,
+}
+
+impl Ball {
+    /// Creates the L1 ball of the given `radius` around `center`.
+    #[inline]
+    pub const fn new(center: Point, radius: u64) -> Self {
+        Ball { center, radius }
+    }
+
+    /// The ball's center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// The ball's L1 radius.
+    #[inline]
+    pub fn radius(&self) -> u64 {
+        self.radius
+    }
+
+    /// Number of nodes: `2d^2 + 2d + 1`.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        2 * self.radius * self.radius + 2 * self.radius + 1
+    }
+
+    /// A ball always contains at least its center.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `p` lies in the ball.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.l1_distance(p) <= self.radius
+    }
+
+    /// Draws a node uniformly at random from the ball.
+    ///
+    /// Sampling first picks the ring radius `r` with probability
+    /// proportional to `|R_r|`, then a uniform node of that ring.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let index = rng.gen_range(0..self.len());
+        // Nodes are laid out as: ring 0 (1 node), ring 1 (4 nodes), ...
+        // Cumulative count through ring r is 2r^2 + 2r + 1; invert it.
+        if index == 0 {
+            return self.center;
+        }
+        // Find the ring the index-th node belongs to; nodes before ring r
+        // number 2(r-1)^2 + 2(r-1) + 1.
+        let r = inverse_ball_count(index);
+        let before = 2 * (r - 1) * (r - 1) + 2 * (r - 1) + 1;
+        debug_assert!(index >= before);
+        Ring::new(self.center, r).node_at(index - before)
+    }
+
+    /// Iterates over all nodes, ring by ring, from the center outwards.
+    pub fn iter(&self) -> BallIter {
+        BallIter {
+            center: self.center,
+            radius: self.radius,
+            current_ring: Ring::new(self.center, 0).iter(),
+            current_r: 0,
+        }
+    }
+}
+
+/// Smallest `r >= 1` such that the closed ball of radius `r` has more than
+/// `index` nodes, given `index >= 1` (i.e. the ring that the `index`-th node
+/// of the layered enumeration belongs to).
+fn inverse_ball_count(index: u64) -> u64 {
+    // Solve 2r^2 + 2r + 1 > index for the smallest integer r.
+    // r = ceil((-1 + sqrt(2*index - 1)) / 2) computed safely.
+    let mut r = (((2.0 * index as f64 - 1.0).sqrt() - 1.0) / 2.0).floor() as u64;
+    // Adjust for floating point error: we need the ring containing `index`.
+    while 2 * r * r + 2 * r + 1 <= index {
+        r += 1;
+    }
+    while r > 1 && 2 * (r - 1) * (r - 1) + 2 * (r - 1) + 1 > index {
+        r -= 1;
+    }
+    r
+}
+
+impl IntoIterator for Ball {
+    type Item = Point;
+    type IntoIter = BallIter;
+
+    fn into_iter(self) -> BallIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`Ball`], ring by ring outwards.
+#[derive(Debug, Clone)]
+pub struct BallIter {
+    center: Point,
+    radius: u64,
+    current_ring: crate::ring::RingIter,
+    current_r: u64,
+}
+
+impl Iterator for BallIter {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        loop {
+            if let Some(p) = self.current_ring.next() {
+                return Some(p);
+            }
+            if self.current_r >= self.radius {
+                return None;
+            }
+            self.current_r += 1;
+            self.current_ring = Ring::new(self.center, self.current_r).iter();
+        }
+    }
+}
+
+/// The L-infinity square `Q_d(u) = { v : ||u - v||_inf <= d }`.
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{Point, Square};
+///
+/// let square = Square::new(Point::ORIGIN, 1);
+/// assert_eq!(square.len(), 9); // (2d+1)^2
+/// assert!(square.contains(Point::new(1, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Square {
+    center: Point,
+    radius: u64,
+}
+
+impl Square {
+    /// Creates the L-infinity square of the given `radius` around `center`.
+    #[inline]
+    pub const fn new(center: Point, radius: u64) -> Self {
+        Square { center, radius }
+    }
+
+    /// The square's center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// The square's L-infinity radius.
+    #[inline]
+    pub fn radius(&self) -> u64 {
+        self.radius
+    }
+
+    /// Number of nodes: `(2d + 1)^2`.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        let side = 2 * self.radius + 1;
+        side * side
+    }
+
+    /// A square always contains at least its center.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `p` lies in the square.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.linf_distance(p) <= self.radius
+    }
+
+    /// Draws a node uniformly at random from the square.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let d = self.radius as i64;
+        let dx = rng.gen_range(-d..=d);
+        let dy = rng.gen_range(-d..=d);
+        self.center + Point::new(dx, dy)
+    }
+
+    /// Iterates over all nodes in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        let d = self.radius as i64;
+        let c = self.center;
+        (-d..=d).flat_map(move |dy| (-d..=d).map(move |dx| c + Point::new(dx, dy)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ball_count_formula_matches_enumeration() {
+        for d in 0..=12u64 {
+            let ball = Ball::new(Point::new(1, -1), d);
+            let nodes: HashSet<Point> = ball.iter().collect();
+            assert_eq!(nodes.len() as u64, ball.len(), "d={d}");
+            for p in nodes {
+                assert!(ball.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn square_count_formula_matches_enumeration() {
+        for d in 0..=8u64 {
+            let square = Square::new(Point::new(-4, 2), d);
+            let nodes: HashSet<Point> = square.iter().collect();
+            assert_eq!(nodes.len() as u64, square.len(), "d={d}");
+            for p in nodes {
+                assert!(square.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn ball_is_subset_of_square_of_same_radius() {
+        // B_d(u) ⊆ Q_d(u), as used implicitly throughout the paper.
+        let d = 6;
+        let ball = Ball::new(Point::ORIGIN, d);
+        let square = Square::new(Point::ORIGIN, d);
+        for p in ball.iter() {
+            assert!(square.contains(p));
+        }
+    }
+
+    #[test]
+    fn square_contains_ball_boundary_corners() {
+        let square = Square::new(Point::ORIGIN, 3);
+        assert!(square.contains(Point::new(3, 3)));
+        assert!(!square.contains(Point::new(4, 0)));
+    }
+
+    #[test]
+    fn ball_sampling_stays_inside_and_covers() {
+        let ball = Ball::new(Point::new(2, 2), 3);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = HashSet::new();
+        for _ in 0..5000 {
+            let p = ball.sample_uniform(&mut rng);
+            assert!(ball.contains(p), "sampled {p} outside ball");
+            seen.insert(p);
+        }
+        assert_eq!(seen.len() as u64, ball.len());
+    }
+
+    #[test]
+    fn ball_sampling_is_roughly_uniform() {
+        let ball = Ball::new(Point::ORIGIN, 2);
+        let n = 52_000u64;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(ball.sample_uniform(&mut rng)).or_insert(0u64) += 1;
+        }
+        let expected = n as f64 / ball.len() as f64;
+        let chi2: f64 = counts
+            .values()
+            .map(|&c| {
+                let diff = c as f64 - expected;
+                diff * diff / expected
+            })
+            .sum();
+        // 12 degrees of freedom; 99.9th percentile ~32.9.
+        assert!(chi2 < 35.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn square_sampling_stays_inside_and_covers() {
+        let square = Square::new(Point::new(-1, 4), 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = HashSet::new();
+        for _ in 0..5000 {
+            let p = square.sample_uniform(&mut rng);
+            assert!(square.contains(p));
+            seen.insert(p);
+        }
+        assert_eq!(seen.len() as u64, square.len());
+    }
+
+    #[test]
+    fn inverse_ball_count_is_consistent() {
+        for r in 1..=40u64 {
+            let before = 2 * (r - 1) * (r - 1) + 2 * (r - 1) + 1;
+            let through = 2 * r * r + 2 * r + 1;
+            for index in before..through {
+                assert_eq!(super::inverse_ball_count(index), r, "index={index}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_radius_ball_and_square_are_singletons() {
+        let c = Point::new(9, 9);
+        assert_eq!(Ball::new(c, 0).iter().collect::<Vec<_>>(), vec![c]);
+        assert_eq!(Square::new(c, 0).iter().collect::<Vec<_>>(), vec![c]);
+    }
+}

@@ -1,0 +1,495 @@
+//! Direct paths (Definition 3.1): shortest lattice paths that closely follow
+//! the straight segment `uv`.
+//!
+//! A direct path from `u` to `v` is a shortest path `u, u_1, ..., u_d = v`
+//! (`d = ||u - v||_1`) such that `u_i` lies on the ring `R_i(u)` and is a
+//! closest node (in L2) to the segment point `w_i` (see
+//! [`SegmentPoints`](crate::segment::SegmentPoints)). When two ring nodes are
+//! equidistant from `w_i` the definition allows either; the paper's walk
+//! samples **uniformly among all direct paths**, which — as the tie choices
+//! are independent (see the module tests) — equals independent uniform
+//! tie-breaking at each tie position.
+//!
+//! All geometry is exact: the closest node on `R_i(u)` to `w_i` reduces, in
+//! sign-normalized coordinates with `delta = (dx, dy)`, `dx, dy >= 0`, to
+//! rounding the rational `i * dx / d`, performed with `i128` arithmetic. The
+//! iterator below produces one node per call in O(1) time, so a jump of
+//! length `d` costs `O(d)` — matching the walk's time accounting (one lattice
+//! step per time unit).
+
+use rand::Rng;
+
+use crate::point::Point;
+
+/// Incremental sampler/iterator over a uniformly random direct path from
+/// `start` to `end` (excluding `start`, including `end`).
+///
+/// Each call to [`next_node`](DirectPathWalker::next_node) advances one
+/// lattice step. Ties are broken with the supplied RNG, which makes the
+/// produced path a uniform sample among all direct paths from `start` to
+/// `end`.
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{DirectPathWalker, Point};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut walker = DirectPathWalker::new(Point::ORIGIN, Point::new(3, 2));
+/// let mut prev = Point::ORIGIN;
+/// while let Some(node) = walker.next_node(&mut rng) {
+///     assert!(prev.is_adjacent(node));
+///     prev = node;
+/// }
+/// assert_eq!(prev, Point::new(3, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectPathWalker {
+    start: Point,
+    /// Sign-normalized x-delta (non-negative; the y-delta is `length - dx`).
+    dx: i128,
+    /// Total length `d = dx + dy`.
+    length: u64,
+    /// Sign flips applied to return to original coordinates.
+    sign: Point,
+    /// Next step index `i` (1-based; the path node produced next is `u_i`).
+    next_i: u64,
+    /// Normalized x-progress of the previously produced node (`a_{i-1}`).
+    prev_a: i128,
+}
+
+impl DirectPathWalker {
+    /// Creates a walker for the segment from `start` to `end`.
+    pub fn new(start: Point, end: Point) -> Self {
+        let delta = end - start;
+        let sign = Point::new(
+            if delta.x < 0 { -1 } else { 1 },
+            if delta.y < 0 { -1 } else { 1 },
+        );
+        DirectPathWalker {
+            start,
+            dx: i128::from(delta.x.abs()),
+            length: start.l1_distance(end),
+            sign,
+            next_i: 1,
+            prev_a: 0,
+        }
+    }
+
+    /// Total number of steps of the path (`d = ||start - end||_1`).
+    #[inline]
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// Number of steps already produced.
+    #[inline]
+    pub fn steps_taken(&self) -> u64 {
+        self.next_i - 1
+    }
+
+    /// Number of steps remaining.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.length - self.steps_taken()
+    }
+
+    /// Produces the next path node `u_i`, or `None` when the path is
+    /// exhausted (the last produced node was `end`).
+    ///
+    /// Ties in Definition 3.1 (two ring nodes equidistant from `w_i`) are
+    /// broken uniformly using `rng`.
+    pub fn next_node<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Point> {
+        if self.next_i > self.length {
+            return None;
+        }
+        let i = i128::from(self.next_i);
+        let d = i128::from(self.length);
+        // Normalized target x-coordinate of w_i is the rational i*dx/d; the
+        // candidate path nodes on ring i are (a, i-a) with a the rounding of
+        // i*dx/d. Tie iff 2*i*dx + d is an exact multiple of 2d.
+        let twice = 2 * i * self.dx;
+        let a = if (twice + d) % (2 * d) == 0 {
+            // Exact half-integer: candidates (twice + d)/(2d) and that - 1.
+            // Both are adjacent to the previous node if their difference to
+            // prev_a is 0 or 1; filter accordingly, then choose uniformly.
+            let hi = (twice + d) / (2 * d);
+            let lo = hi - 1;
+            let lo_ok = lo == self.prev_a || lo == self.prev_a + 1;
+            let hi_ok = hi == self.prev_a || hi == self.prev_a + 1;
+            match (lo_ok, hi_ok) {
+                (true, true) => {
+                    if rng.gen::<bool>() {
+                        hi
+                    } else {
+                        lo
+                    }
+                }
+                (true, false) => lo,
+                (false, true) => hi,
+                (false, false) => unreachable!(
+                    "no tie candidate adjacent to previous node; \
+                     direct-path invariant violated"
+                ),
+            }
+        } else {
+            // Unique closest: round(i*dx/d) = floor((2*i*dx + d)/(2*d)).
+            (twice + d).div_euclid(2 * d)
+        };
+        debug_assert!(
+            a == self.prev_a || a == self.prev_a + 1,
+            "non-adjacent consecutive path nodes (a={a}, prev={})",
+            self.prev_a
+        );
+        self.prev_a = a;
+        self.next_i += 1;
+        // Node in normalized coordinates is (a, i - a); flip signs back.
+        let normalized = Point::new(a as i64, (i - a) as i64);
+        Some(self.start + normalized.mul_sign(self.sign))
+    }
+
+    /// Runs the walker to completion and collects the full path (excluding
+    /// `start`).
+    pub fn collect_path<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<Point> {
+        let mut path = Vec::with_capacity(self.length as usize);
+        while let Some(node) = self.next_node(rng) {
+            path.push(node);
+        }
+        path
+    }
+}
+
+/// Samples the node `u_i` at position `i` of a uniformly random direct path
+/// from `start` to `end`, in O(1), without materializing the path.
+///
+/// The marginal law of `u_i` under the uniform-direct-path distribution is:
+/// deterministic at non-tie positions, and uniform over the two tie
+/// candidates at tie positions (tie choices along a direct path are
+/// independent — see the module documentation). This function is the basis
+/// of the fast phase-level hit test used by the walk simulator: a jump phase
+/// of length `d` starting at `u` can visit a target `v` only at path
+/// position `i = ||u - v||_1`, so one marginal draw decides the phase.
+///
+/// # Panics
+///
+/// Panics if `i` is zero or exceeds the segment length.
+pub fn direct_path_node_at<R: Rng + ?Sized>(
+    start: Point,
+    end: Point,
+    i: u64,
+    rng: &mut R,
+) -> Point {
+    let length = start.l1_distance(end);
+    assert!(i >= 1 && i <= length, "path position {i} not in 1..={length}");
+    let delta = end - start;
+    let sign = Point::new(
+        if delta.x < 0 { -1 } else { 1 },
+        if delta.y < 0 { -1 } else { 1 },
+    );
+    let dx = i128::from(delta.x.abs());
+    let d = i128::from(length);
+    let i = i128::from(i);
+    let twice = 2 * i * dx;
+    let a = if (twice + d) % (2 * d) == 0 {
+        let hi = (twice + d) / (2 * d);
+        if rng.gen::<bool>() {
+            hi
+        } else {
+            hi - 1
+        }
+    } else {
+        (twice + d).div_euclid(2 * d)
+    };
+    let normalized = Point::new(a as i64, (i - a) as i64);
+    start + normalized.mul_sign(sign)
+}
+
+/// Number of distinct direct paths from `start` to `end`.
+///
+/// Equals `2^t` where `t` is the number of tie positions of Definition 3.1;
+/// returned as `f64` because `t` can be large for long diagonal segments.
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{count_direct_paths, Point};
+///
+/// // An axis-aligned segment has a unique direct path.
+/// assert_eq!(count_direct_paths(Point::ORIGIN, Point::new(5, 0)), 1.0);
+/// ```
+pub fn count_direct_paths(start: Point, end: Point) -> f64 {
+    2f64.powi(count_tie_positions(start, end) as i32)
+}
+
+/// Number of indices `i` in `1..d` where Definition 3.1 admits two closest
+/// nodes (exact L2 ties).
+pub fn count_tie_positions(start: Point, end: Point) -> u32 {
+    let delta = end - start;
+    let dx = i128::from(delta.x.abs());
+    let d = i128::from(start.l1_distance(end));
+    if d == 0 {
+        return 0;
+    }
+    let mut ties = 0;
+    for i in 1..d {
+        if (2 * i * dx + d) % (2 * d) == 0 {
+            ties += 1;
+        }
+    }
+    ties
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentPoints;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn sample_path(start: Point, end: Point, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        DirectPathWalker::new(start, end).collect_path(&mut rng)
+    }
+
+    /// Checks the three defining properties of Definition 3.1 for one path.
+    fn assert_is_direct_path(start: Point, end: Point, path: &[Point]) {
+        let d = start.l1_distance(end);
+        assert_eq!(path.len() as u64, d, "path length");
+        if d == 0 {
+            return;
+        }
+        assert_eq!(*path.last().unwrap(), end, "endpoint");
+        let seg = SegmentPoints::new(start, end);
+        let mut prev = start;
+        for (idx, &node) in path.iter().enumerate() {
+            let i = idx as u64 + 1;
+            // (1) Shortest path: consecutive nodes adjacent.
+            assert!(prev.is_adjacent(node), "adjacency at step {i}");
+            // (2) u_i lies on R_i(start).
+            assert_eq!(start.l1_distance(node), i, "ring membership at {i}");
+            // (3) u_i minimizes L2 distance to w_i among R_i(start).
+            let w = seg.point_at(i);
+            let my_dist = w.l2_distance_sq_num(node);
+            let ring = crate::ring::Ring::new(start, i);
+            // Only nodes near the path need checking, but for small cases we
+            // can afford the full ring.
+            if i <= 64 {
+                for other in ring.iter() {
+                    assert!(
+                        my_dist <= w.l2_distance_sq_num(other),
+                        "node {node} at step {i} is not closest to w_i \
+                         (beaten by {other})"
+                    );
+                }
+            }
+            prev = node;
+        }
+    }
+
+    #[test]
+    fn axis_aligned_paths_are_straight_lines() {
+        let path = sample_path(Point::ORIGIN, Point::new(0, 6), 1);
+        assert_eq!(
+            path,
+            (1..=6).map(|y| Point::new(0, y)).collect::<Vec<_>>()
+        );
+        let path = sample_path(Point::new(2, 2), Point::new(-3, 2), 1);
+        assert_eq!(
+            path,
+            (1..=5).map(|i| Point::new(2 - i, 2)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn paths_satisfy_definition_in_all_quadrants() {
+        let targets = [
+            Point::new(7, 3),
+            Point::new(-7, 3),
+            Point::new(7, -3),
+            Point::new(-7, -3),
+            Point::new(3, 7),
+            Point::new(-2, -11),
+            Point::new(13, 13),
+            Point::new(1, 0),
+            Point::new(0, -1),
+        ];
+        for (s, &end) in targets.iter().enumerate() {
+            let start = Point::new(1, -2);
+            let path = sample_path(start, start + end, s as u64);
+            assert_is_direct_path(start, start + end, &path);
+        }
+    }
+
+    #[test]
+    fn degenerate_path_is_empty() {
+        let u = Point::new(4, 4);
+        assert!(sample_path(u, u, 0).is_empty());
+    }
+
+    #[test]
+    fn diagonal_even_segment_has_expected_tie_count() {
+        // For delta (2, 2): d = 4, ties where 2*i*2 + 4 ≡ 0 (mod 8), i.e.
+        // 4i + 4 ≡ 0 (mod 8) ⇔ i odd ⇒ i ∈ {1, 3}: two ties, four paths.
+        assert_eq!(count_tie_positions(Point::ORIGIN, Point::new(2, 2)), 2);
+        assert_eq!(count_direct_paths(Point::ORIGIN, Point::new(2, 2)), 4.0);
+    }
+
+    #[test]
+    fn axis_aligned_segments_have_unique_path() {
+        assert_eq!(count_direct_paths(Point::ORIGIN, Point::new(9, 0)), 1.0);
+        assert_eq!(count_direct_paths(Point::ORIGIN, Point::new(0, -9)), 1.0);
+    }
+
+    #[test]
+    fn sampling_reaches_every_direct_path() {
+        // delta (2,2) has exactly 4 direct paths; all should appear.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            let path = DirectPathWalker::new(Point::ORIGIN, Point::new(2, 2))
+                .collect_path(&mut rng);
+            assert_is_direct_path(Point::ORIGIN, Point::new(2, 2), &path);
+            seen.insert(path);
+        }
+        assert_eq!(seen.len(), 4, "all 4 direct paths should be sampled");
+    }
+
+    #[test]
+    fn tie_breaking_is_uniform_over_paths() {
+        // Each of the 4 paths of delta (2,2) should appear w.p. ~1/4.
+        let mut rng = SmallRng::seed_from_u64(123);
+        let n = 20_000;
+        let mut counts: std::collections::HashMap<Vec<Point>, u64> =
+            std::collections::HashMap::new();
+        for _ in 0..n {
+            let path = DirectPathWalker::new(Point::ORIGIN, Point::new(2, 2))
+                .collect_path(&mut rng);
+            *counts.entry(path).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        let expected = n as f64 / 4.0;
+        for (_, c) in counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "path frequency deviates by {dev}");
+        }
+    }
+
+    #[test]
+    fn walker_exposes_progress() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut w = DirectPathWalker::new(Point::ORIGIN, Point::new(3, 1));
+        assert_eq!(w.length(), 4);
+        assert_eq!(w.remaining(), 4);
+        w.next_node(&mut rng);
+        assert_eq!(w.steps_taken(), 1);
+        assert_eq!(w.remaining(), 3);
+    }
+
+    #[test]
+    fn long_skewed_paths_are_valid() {
+        // Large, highly skewed segments exercise the i128 arithmetic.
+        let end = Point::new(100_000, 3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut walker = DirectPathWalker::new(Point::ORIGIN, end);
+        let mut prev = Point::ORIGIN;
+        let mut count = 0u64;
+        while let Some(node) = walker.next_node(&mut rng) {
+            assert!(prev.is_adjacent(node));
+            assert_eq!(node.l1_norm(), count + 1);
+            prev = node;
+            count += 1;
+        }
+        assert_eq!(prev, end);
+        assert_eq!(count, 100_003);
+    }
+
+    #[test]
+    fn marginal_node_matches_full_path_distribution() {
+        // direct_path_node_at must reproduce the marginal of the i-th node
+        // of a uniformly sampled full path, including at tie positions.
+        let start = Point::new(0, 0);
+        let end = Point::new(4, 4); // d = 8, ties at odd i
+        let i = 3u64;
+        let n = 60_000;
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut marginal_counts: std::collections::HashMap<Point, u64> =
+            std::collections::HashMap::new();
+        let mut path_counts: std::collections::HashMap<Point, u64> =
+            std::collections::HashMap::new();
+        for _ in 0..n {
+            *marginal_counts
+                .entry(direct_path_node_at(start, end, i, &mut rng))
+                .or_insert(0) += 1;
+            let path = DirectPathWalker::new(start, end).collect_path(&mut rng);
+            *path_counts.entry(path[i as usize - 1]).or_insert(0) += 1;
+        }
+        assert_eq!(marginal_counts.len(), path_counts.len());
+        for (p, c) in &marginal_counts {
+            let pc = *path_counts.get(p).expect("same support") as f64 / n as f64;
+            let mc = *c as f64 / n as f64;
+            assert!((pc - mc).abs() < 0.02, "{p}: marginal {mc} vs path {pc}");
+        }
+    }
+
+    #[test]
+    fn marginal_node_deterministic_at_non_ties() {
+        let start = Point::new(-2, 1);
+        let end = Point::new(5, 4); // d = 10, dx = 7
+        let mut rng = SmallRng::seed_from_u64(9);
+        for i in 1..=10u64 {
+            let dx = 7i128;
+            let d = 10i128;
+            let tie = (2 * i as i128 * dx + d) % (2 * d) == 0;
+            if !tie {
+                let first = direct_path_node_at(start, end, i, &mut rng);
+                for _ in 0..5 {
+                    assert_eq!(direct_path_node_at(start, end, i, &mut rng), first);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "path position")]
+    fn marginal_node_rejects_zero_position() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        direct_path_node_at(Point::ORIGIN, Point::new(2, 2), 0, &mut rng);
+    }
+
+    #[test]
+    fn lemma_3_2_marginals_hold_for_uniform_destination() {
+        // Lemma 3.2: sample v uniform on R_d(u), then a uniform direct path;
+        // then for each w on R_i(u):
+        //   (i/d)·⌊d/i⌋ / (4i) <= P(u_i = w) <= (i/d)·⌈d/i⌉ / (4i).
+        let d = 12u64;
+        let i = 5u64;
+        let trials = 120_000u64;
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let ring_d = crate::ring::Ring::new(Point::ORIGIN, d);
+        let ring_i = crate::ring::Ring::new(Point::ORIGIN, i);
+        let mut counts = vec![0u64; ring_i.len() as usize];
+        for _ in 0..trials {
+            let v = ring_d.sample_uniform(&mut rng);
+            let mut walker = DirectPathWalker::new(Point::ORIGIN, v);
+            let mut node = Point::ORIGIN;
+            for _ in 0..i {
+                node = walker.next_node(&mut rng).unwrap();
+            }
+            counts[ring_i.index_of(node).unwrap() as usize] += 1;
+        }
+        let lo = (i as f64 / d as f64) * (d / i) as f64 / (4 * i) as f64;
+        let hi = (i as f64 / d as f64) * ((d + i - 1) / i) as f64 / (4 * i) as f64;
+        // Allow 4-sigma statistical slack around the analytic bracket.
+        let sigma = (hi / trials as f64).sqrt();
+        for (idx, &c) in counts.iter().enumerate() {
+            let p = c as f64 / trials as f64;
+            assert!(
+                p >= lo - 4.0 * sigma && p <= hi + 4.0 * sigma,
+                "node index {idx}: p = {p} outside [{lo}, {hi}] ± slack"
+            );
+        }
+    }
+}

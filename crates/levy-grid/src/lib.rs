@@ -1,0 +1,53 @@
+//! Lattice-geometry substrate for the reproduction of *Search via Parallel
+//! Lévy Walks on Z²* (Clementi, d'Amore, Giakkoupis, Natale — PODC 2021).
+//!
+//! The paper's processes live on the infinite grid graph `G = (Z^2, E)` with
+//! the Manhattan metric. This crate implements that substrate from scratch:
+//!
+//! * [`Point`]: lattice nodes with exact L1/L2/L∞ norms;
+//! * [`Ring`]: the L1 sphere `R_d(u)` with an index bijection for O(1)
+//!   uniform sampling (the destination law of the paper's jumps);
+//! * [`Ball`] / [`Square`]: the regions `B_d(u)` and `Q_d(u)` of the
+//!   analysis (Figure 1);
+//! * [`SegmentPoints`] / [`DirectPathWalker`]: the *direct paths* of
+//!   Definition 3.1 — shortest lattice paths hugging the real segment `uv`,
+//!   sampled uniformly with exact integer arithmetic (Figure 2);
+//! * [`Spiral`]: square-spiral coverage used by the ANTS baseline;
+//! * [`VisitMap`]: sparse visit counting (`Z_u(t)` in the paper).
+//!
+//! # Quick example
+//!
+//! ```
+//! use levy_grid::{DirectPathWalker, Point, Ring};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! // One jump of the paper's processes: pick a uniform destination at
+//! // distance 10, then traverse a uniform direct path towards it.
+//! let destination = Ring::new(Point::ORIGIN, 10).sample_uniform(&mut rng);
+//! let path = DirectPathWalker::new(Point::ORIGIN, destination).collect_path(&mut rng);
+//! assert_eq!(path.len(), 10);
+//! assert_eq!(*path.last().unwrap(), destination);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ball;
+mod direct_path;
+mod point;
+mod ring;
+mod segment;
+mod spiral;
+mod visited;
+
+pub use ball::{Ball, BallIter, Square};
+pub use direct_path::{
+    count_direct_paths, count_tie_positions, direct_path_node_at, DirectPathWalker,
+};
+pub use point::{Point, UNIT_STEPS};
+pub use ring::{Ring, RingIter};
+pub use segment::{RationalPoint, SegmentPoints};
+pub use spiral::{spiral_index, Spiral};
+pub use visited::VisitMap;

@@ -1,0 +1,314 @@
+//! Lattice points of `Z^2` and the norms used throughout the paper.
+//!
+//! The paper works on the infinite grid graph `G = (Z^2, E)` where two nodes
+//! are adjacent iff their L1 distance is 1, and measures distances in the
+//! L1 (Manhattan) metric. The L2 norm is used only inside the definition of
+//! [direct paths](crate::direct_path), and the L-infinity norm only for the
+//! squares `Q_d(u)` of the analysis.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A node of the infinite lattice `Z^2`.
+///
+/// Coordinates are `i64`; all experiments in this repository operate at
+/// scales (distances up to a few million) where overflow is impossible, and
+/// the arithmetic helpers use `i128` intermediates where products appear.
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::Point;
+///
+/// let origin = Point::ORIGIN;
+/// let p = Point::new(3, -4);
+/// assert_eq!(p.l1_norm(), 7);
+/// assert_eq!(p.linf_norm(), 4);
+/// assert_eq!(origin.l1_distance(p), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: i64,
+    /// Vertical coordinate.
+    pub y: i64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`, the start node of every walk in the paper.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// L1 (Manhattan) norm `|x| + |y|`, the paper's default metric.
+    #[inline]
+    pub fn l1_norm(self) -> u64 {
+        self.x.unsigned_abs() + self.y.unsigned_abs()
+    }
+
+    /// L-infinity norm `max(|x|, |y|)`.
+    #[inline]
+    pub fn linf_norm(self) -> u64 {
+        self.x.unsigned_abs().max(self.y.unsigned_abs())
+    }
+
+    /// Squared L2 norm `x^2 + y^2`, exact in `u128`.
+    #[inline]
+    pub fn l2_norm_sq(self) -> u128 {
+        let x = i128::from(self.x);
+        let y = i128::from(self.y);
+        (x * x + y * y) as u128
+    }
+
+    /// Euclidean norm as `f64` (used only for reporting, never for decisions).
+    #[inline]
+    pub fn l2_norm(self) -> f64 {
+        (self.l2_norm_sq() as f64).sqrt()
+    }
+
+    /// L1 distance to `other`; this equals the shortest-path distance in the
+    /// grid graph `G`.
+    #[inline]
+    pub fn l1_distance(self, other: Point) -> u64 {
+        (self - other).l1_norm()
+    }
+
+    /// L-infinity distance to `other`.
+    #[inline]
+    pub fn linf_distance(self, other: Point) -> u64 {
+        (self - other).linf_norm()
+    }
+
+    /// Squared L2 distance to `other`, exact.
+    #[inline]
+    pub fn l2_distance_sq(self, other: Point) -> u128 {
+        (self - other).l2_norm_sq()
+    }
+
+    /// Whether `self` and `other` are adjacent in the grid graph (L1
+    /// distance exactly 1).
+    #[inline]
+    pub fn is_adjacent(self, other: Point) -> bool {
+        self.l1_distance(other) == 1
+    }
+
+    /// The four grid neighbours in the fixed order East, North, West, South.
+    #[inline]
+    pub fn neighbors(self) -> [Point; 4] {
+        [
+            Point::new(self.x + 1, self.y),
+            Point::new(self.x, self.y + 1),
+            Point::new(self.x - 1, self.y),
+            Point::new(self.x, self.y - 1),
+        ]
+    }
+
+    /// Componentwise signum, mapping the point into `{-1,0,1}^2`.
+    #[inline]
+    pub fn signum(self) -> Point {
+        Point::new(self.x.signum(), self.y.signum())
+    }
+
+    /// Componentwise absolute value.
+    #[inline]
+    pub fn abs(self) -> Point {
+        Point::new(self.x.abs(), self.y.abs())
+    }
+
+    /// Reflects the point by the signs of `sign` (each component of `sign`
+    /// must be `-1`, `0` or `1`; a `0` component collapses that coordinate).
+    ///
+    /// Used to map direct-path computations into the first quadrant and back.
+    #[inline]
+    pub fn mul_sign(self, sign: Point) -> Point {
+        Point::new(self.x * sign.x, self.y * sign.y)
+    }
+
+    /// Swaps the two coordinates (reflection along the main diagonal).
+    #[inline]
+    pub fn transpose(self) -> Point {
+        Point::new(self.y, self.x)
+    }
+
+    /// Rotates the point by 90 degrees counter-clockwise around the origin.
+    #[inline]
+    pub fn rotate90(self) -> Point {
+        Point::new(-self.y, self.x)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<i64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: i64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    #[inline]
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (i64, i64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+/// The four axis-aligned unit steps, in the order East, North, West, South.
+pub const UNIT_STEPS: [Point; 4] = [
+    Point { x: 1, y: 0 },
+    Point { x: 0, y: 1 },
+    Point { x: -1, y: 0 },
+    Point { x: 0, y: -1 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_match_hand_computed_values() {
+        let p = Point::new(-3, 4);
+        assert_eq!(p.l1_norm(), 7);
+        assert_eq!(p.linf_norm(), 4);
+        assert_eq!(p.l2_norm_sq(), 25);
+        assert!((p.l2_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn origin_is_default_and_zero() {
+        assert_eq!(Point::default(), Point::ORIGIN);
+        assert_eq!(Point::ORIGIN.l1_norm(), 0);
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let a = Point::new(5, -2);
+        let b = Point::new(-1, 9);
+        assert_eq!(a.l1_distance(b), b.l1_distance(a));
+        assert_eq!(a.linf_distance(b), b.linf_distance(a));
+        assert_eq!(a.l2_distance_sq(b), b.l2_distance_sq(a));
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_and_distinct() {
+        let p = Point::new(10, -7);
+        let ns = p.neighbors();
+        for n in ns {
+            assert!(p.is_adjacent(n));
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(ns[i], ns[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Point::new(3, 4);
+        let b = Point::new(-7, 11);
+        assert_eq!(a + b - b, a);
+        assert_eq!(-(-a), a);
+        assert_eq!(a * 3, Point::new(9, 12));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn mul_sign_maps_into_first_quadrant() {
+        let p = Point::new(-5, 3);
+        let s = p.signum();
+        let q = p.mul_sign(s);
+        assert_eq!(q, Point::new(5, 3));
+        // Applying the sign again restores the original point.
+        assert_eq!(q.mul_sign(s), p);
+    }
+
+    #[test]
+    fn rotate90_has_period_four() {
+        let p = Point::new(2, 5);
+        let r = p.rotate90().rotate90().rotate90().rotate90();
+        assert_eq!(r, p);
+        assert_eq!(p.rotate90(), Point::new(-5, 2));
+    }
+
+    #[test]
+    fn overflow_safe_l2_on_extremes() {
+        let p = Point::new(i64::MAX / 2, i64::MIN / 2);
+        // Must not panic.
+        let _ = p.l2_norm_sq();
+    }
+
+    #[test]
+    fn conversions_with_tuples() {
+        let p: Point = (4, -9).into();
+        assert_eq!(p, Point::new(4, -9));
+        let t: (i64, i64) = p.into();
+        assert_eq!(t, (4, -9));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+    }
+}

@@ -1,0 +1,307 @@
+//! The L1 ring `R_d(u)`: all nodes at Manhattan distance exactly `d` from `u`.
+//!
+//! The paper's jump processes pick a destination *uniformly at random* among
+//! all nodes of `R_d(u)` (Definition 3.3). This module provides an explicit
+//! index bijection `0..4d -> R_d(u)` so that uniform sampling is a single
+//! bounded integer draw, plus iteration and membership tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// The set `R_d(u) = { v : ||u - v||_1 = d }` of nodes at L1 distance exactly
+/// `d` from the center `u`.
+///
+/// For `d >= 1` the ring has exactly `4d` nodes; `R_0(u) = {u}`.
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{Point, Ring};
+///
+/// let ring = Ring::new(Point::ORIGIN, 3);
+/// assert_eq!(ring.len(), 12);
+/// assert!(ring.iter().all(|p| p.l1_norm() == 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ring {
+    center: Point,
+    radius: u64,
+}
+
+impl Ring {
+    /// Creates the ring of the given L1 `radius` around `center`.
+    #[inline]
+    pub const fn new(center: Point, radius: u64) -> Self {
+        Ring { center, radius }
+    }
+
+    /// The ring's center `u`.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// The ring's L1 radius `d`.
+    #[inline]
+    pub fn radius(&self) -> u64 {
+        self.radius
+    }
+
+    /// Number of nodes on the ring: `4d` for `d >= 1`, `1` for `d = 0`.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        if self.radius == 0 {
+            1
+        } else {
+            4 * self.radius
+        }
+    }
+
+    /// A ring is never empty (radius 0 contains the center itself).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `p` lies on the ring.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.l1_distance(p) == self.radius
+    }
+
+    /// Maps an index in `0..self.len()` to the corresponding ring node.
+    ///
+    /// The bijection walks the ring counter-clockwise starting at
+    /// `center + (d, 0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn node_at(&self, index: u64) -> Point {
+        assert!(
+            index < self.len(),
+            "ring index {index} out of range 0..{}",
+            self.len()
+        );
+        if self.radius == 0 {
+            return self.center;
+        }
+        let d = self.radius as i64;
+        let quadrant = index / self.radius;
+        let j = (index % self.radius) as i64;
+        let offset = match quadrant {
+            0 => Point::new(d - j, j),
+            1 => Point::new(-j, d - j),
+            2 => Point::new(-(d - j), -j),
+            3 => Point::new(j, -(d - j)),
+            _ => unreachable!("quadrant computed from index < 4d"),
+        };
+        self.center + offset
+    }
+
+    /// Maps a ring node back to its index; returns `None` if `p` is not on
+    /// the ring. Inverse of [`Ring::node_at`].
+    pub fn index_of(&self, p: Point) -> Option<u64> {
+        if !self.contains(p) {
+            return None;
+        }
+        if self.radius == 0 {
+            return Some(0);
+        }
+        let rel = p - self.center;
+        let d = self.radius;
+        let (x, y) = (rel.x, rel.y);
+        let (quadrant, j) = if x > 0 && y >= 0 {
+            (0, y as u64)
+        } else if x <= 0 && y > 0 {
+            (1, (-x) as u64)
+        } else if x < 0 && y <= 0 {
+            (2, (-y) as u64)
+        } else {
+            // x >= 0 && y < 0
+            (3, x as u64)
+        };
+        Some(quadrant * d + j)
+    }
+
+    /// Draws a node uniformly at random from the ring.
+    ///
+    /// This is exactly the destination rule of the paper's jump processes
+    /// (Definition 3.3): "node v is chosen independently and uniformly at
+    /// random among all nodes in `R_d(u)`".
+    #[inline]
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let index = rng.gen_range(0..self.len());
+        self.node_at(index)
+    }
+
+    /// Iterates over all ring nodes in index order.
+    pub fn iter(&self) -> RingIter {
+        RingIter {
+            ring: *self,
+            next: 0,
+        }
+    }
+}
+
+impl IntoIterator for Ring {
+    type Item = Point;
+    type IntoIter = RingIter;
+
+    fn into_iter(self) -> RingIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &Ring {
+    type Item = Point;
+    type IntoIter = RingIter;
+
+    fn into_iter(self) -> RingIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the nodes of a [`Ring`] in index order.
+#[derive(Debug, Clone)]
+pub struct RingIter {
+    ring: Ring,
+    next: u64,
+}
+
+impl Iterator for RingIter {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.next >= self.ring.len() {
+            None
+        } else {
+            let p = self.ring.node_at(self.next);
+            self.next += 1;
+            Some(p)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.ring.len() - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RingIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn radius_zero_contains_only_center() {
+        let c = Point::new(7, -3);
+        let ring = Ring::new(c, 0);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.node_at(0), c);
+        assert_eq!(ring.index_of(c), Some(0));
+        assert_eq!(ring.iter().collect::<Vec<_>>(), vec![c]);
+    }
+
+    #[test]
+    fn ring_has_exactly_4d_distinct_nodes() {
+        for d in 1..=20u64 {
+            let ring = Ring::new(Point::new(-2, 5), d);
+            let nodes: HashSet<Point> = ring.iter().collect();
+            assert_eq!(nodes.len() as u64, 4 * d, "radius {d}");
+            for p in &nodes {
+                assert_eq!(ring.center().l1_distance(*p), d);
+            }
+        }
+    }
+
+    #[test]
+    fn index_bijection_roundtrips() {
+        for d in 0..=25u64 {
+            let ring = Ring::new(Point::new(3, 3), d);
+            for i in 0..ring.len() {
+                let p = ring.node_at(i);
+                assert_eq!(ring.index_of(p), Some(i), "d={d}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_of_rejects_points_off_the_ring() {
+        let ring = Ring::new(Point::ORIGIN, 5);
+        assert_eq!(ring.index_of(Point::new(1, 1)), None);
+        assert_eq!(ring.index_of(Point::new(6, 0)), None);
+        assert_eq!(ring.index_of(Point::ORIGIN), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_at_panics_out_of_range() {
+        Ring::new(Point::ORIGIN, 2).node_at(8);
+    }
+
+    #[test]
+    fn cardinal_points_are_present() {
+        let ring = Ring::new(Point::ORIGIN, 4);
+        for p in [
+            Point::new(4, 0),
+            Point::new(0, 4),
+            Point::new(-4, 0),
+            Point::new(0, -4),
+        ] {
+            assert!(ring.contains(p));
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_covers_the_ring() {
+        let ring = Ring::new(Point::ORIGIN, 3);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            let p = ring.sample_uniform(&mut rng);
+            assert!(ring.contains(p));
+            seen.insert(p);
+        }
+        assert_eq!(seen.len() as u64, ring.len());
+    }
+
+    #[test]
+    fn uniform_sampling_is_roughly_uniform() {
+        // Chi-square-style sanity check with a fixed seed.
+        let ring = Ring::new(Point::ORIGIN, 5);
+        let n = 40_000u64;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; ring.len() as usize];
+        for _ in 0..n {
+            let p = ring.sample_uniform(&mut rng);
+            counts[ring.index_of(p).unwrap() as usize] += 1;
+        }
+        let expected = n as f64 / ring.len() as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let diff = c as f64 - expected;
+                diff * diff / expected
+            })
+            .sum();
+        // 19 degrees of freedom; 99.9th percentile is ~43.8.
+        assert!(chi2 < 45.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn iterator_size_hint_is_exact() {
+        let ring = Ring::new(Point::ORIGIN, 6);
+        let mut it = ring.iter();
+        assert_eq!(it.size_hint(), (24, Some(24)));
+        it.next();
+        assert_eq!(it.size_hint(), (23, Some(23)));
+        assert_eq!(it.count(), 23);
+    }
+}

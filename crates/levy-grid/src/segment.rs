@@ -1,0 +1,183 @@
+//! Exact rational geometry of the straight segment `uv`.
+//!
+//! Definition 3.1 of the paper defines the direct path through the points
+//! `w_i`: the unique point of the real segment `uv` at L1 distance exactly
+//! `i` from `u`. Because `w_i = u + (i/d)(v - u)` with `d = ||u - v||_1`,
+//! every `w_i` has rational coordinates with denominator `d`; this module
+//! represents them exactly so that closest-node computations never touch
+//! floating point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// A point of the real plane with rational coordinates `(num_x/den, num_y/den)`.
+///
+/// Produced by [`SegmentPoints`]; all comparisons against lattice points are
+/// exact (`i128` cross-multiplication).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RationalPoint {
+    /// Numerator of the x coordinate.
+    pub num_x: i128,
+    /// Numerator of the y coordinate.
+    pub num_y: i128,
+    /// Common positive denominator.
+    pub den: i128,
+}
+
+impl RationalPoint {
+    /// Creates a rational point; `den` must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den <= 0`.
+    pub fn new(num_x: i128, num_y: i128, den: i128) -> Self {
+        assert!(den > 0, "denominator must be positive");
+        RationalPoint { num_x, num_y, den }
+    }
+
+    /// Exact squared L2 distance to the lattice point `p`, as a rational
+    /// with denominator `den^2`; returns the numerator.
+    pub fn l2_distance_sq_num(&self, p: Point) -> i128 {
+        let dx = self.num_x - i128::from(p.x) * self.den;
+        let dy = self.num_y - i128::from(p.y) * self.den;
+        dx * dx + dy * dy
+    }
+
+    /// The coordinates as `f64` (for reporting only).
+    pub fn to_f64(&self) -> (f64, f64) {
+        (
+            self.num_x as f64 / self.den as f64,
+            self.num_y as f64 / self.den as f64,
+        )
+    }
+
+    /// Exact L1 norm numerator, `|num_x| + |num_y|` (denominator `den`).
+    pub fn l1_norm_num(&self) -> i128 {
+        self.num_x.abs() + self.num_y.abs()
+    }
+}
+
+/// The sequence `w_0 = u, w_1, ..., w_d = v` of segment points used by
+/// Definition 3.1.
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{Point, SegmentPoints};
+///
+/// let seg = SegmentPoints::new(Point::ORIGIN, Point::new(3, 2));
+/// let w2 = seg.point_at(2);
+/// // w_2 = (6/5, 4/5): at L1 distance exactly 2 from the origin.
+/// assert_eq!((w2.num_x, w2.num_y, w2.den), (6, 4, 5));
+/// assert_eq!(w2.l1_norm_num(), 2 * w2.den);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SegmentPoints {
+    start: Point,
+    end: Point,
+    length: u64,
+}
+
+impl SegmentPoints {
+    /// Creates the segment-point sequence for the segment from `start` to
+    /// `end`.
+    pub fn new(start: Point, end: Point) -> Self {
+        SegmentPoints {
+            start,
+            end,
+            length: start.l1_distance(end),
+        }
+    }
+
+    /// L1 length `d` of the segment (number of path steps).
+    #[inline]
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// The exact point `w_i` of the segment at L1 distance `i` from the
+    /// start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > self.length()` or the segment is degenerate (length 0)
+    /// and `i > 0`.
+    pub fn point_at(&self, i: u64) -> RationalPoint {
+        assert!(i <= self.length, "segment parameter {i} > length {}", self.length);
+        if self.length == 0 {
+            return RationalPoint::new(
+                i128::from(self.start.x),
+                i128::from(self.start.y),
+                1,
+            );
+        }
+        let d = i128::from(self.length);
+        let i = i128::from(i);
+        let delta = self.end - self.start;
+        RationalPoint::new(
+            i128::from(self.start.x) * d + i * i128::from(delta.x),
+            i128::from(self.start.y) * d + i * i128::from(delta.y),
+            d,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        let seg = SegmentPoints::new(Point::new(1, 2), Point::new(4, -2));
+        assert_eq!(seg.length(), 7);
+        let w0 = seg.point_at(0);
+        assert_eq!((w0.num_x / w0.den, w0.num_y / w0.den), (1, 2));
+        let wd = seg.point_at(7);
+        assert_eq!((wd.num_x / wd.den, wd.num_y / wd.den), (4, -2));
+    }
+
+    #[test]
+    fn every_w_i_is_at_l1_distance_i() {
+        // The defining property: ||u - w_i||_1 = i, exactly.
+        let u = Point::new(-3, 5);
+        let v = Point::new(10, -1);
+        let seg = SegmentPoints::new(u, v);
+        for i in 0..=seg.length() {
+            let w = seg.point_at(i);
+            let dx = w.num_x - i128::from(u.x) * w.den;
+            let dy = w.num_y - i128::from(u.y) * w.den;
+            assert_eq!(dx.abs() + dy.abs(), i128::from(i) * w.den, "i={i}");
+        }
+    }
+
+    #[test]
+    fn degenerate_segment_yields_start() {
+        let u = Point::new(2, 2);
+        let seg = SegmentPoints::new(u, u);
+        assert_eq!(seg.length(), 0);
+        let w = seg.point_at(0);
+        assert_eq!((w.num_x, w.num_y, w.den), (2, 2, 1));
+    }
+
+    #[test]
+    fn l2_distance_sq_num_is_exact() {
+        let w = RationalPoint::new(6, 4, 5); // (1.2, 0.8)
+        // Distance^2 to (1,1): (0.2)^2 + (0.2)^2 = 0.08 = 2/25.
+        assert_eq!(w.l2_distance_sq_num(Point::new(1, 1)), 2);
+        // Distance^2 to (2,0): (0.8)^2 + (0.8)^2 = 32/25.
+        assert_eq!(w.l2_distance_sq_num(Point::new(2, 0)), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be positive")]
+    fn rational_point_rejects_nonpositive_denominator() {
+        RationalPoint::new(1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment parameter")]
+    fn point_at_rejects_out_of_range() {
+        SegmentPoints::new(Point::ORIGIN, Point::new(1, 1)).point_at(3);
+    }
+}

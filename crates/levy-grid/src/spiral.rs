@@ -1,0 +1,202 @@
+//! Square spiral trajectories.
+//!
+//! The (near-)optimal ANTS algorithms of Feinerman and Korman, which the
+//! paper uses as its optimality yardstick (Section 2), interleave walks to
+//! random locations with *spiral movements* that exhaustively cover a square
+//! around a point. This module provides the canonical square spiral: a
+//! self-avoiding lattice path from a center that covers every square
+//! `Q_r(center)` before leaving it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{Point, UNIT_STEPS};
+
+/// Infinite square-spiral iterator starting at (and first yielding) `center`.
+///
+/// After `(2r + 1)^2` yielded nodes the spiral has visited exactly the
+/// square `Q_r(center)`, each node once — the property the ANTS baseline
+/// relies on.
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{Point, Spiral, Square};
+///
+/// let visited: Vec<Point> = Spiral::new(Point::ORIGIN).take(9).collect();
+/// let q1 = Square::new(Point::ORIGIN, 1);
+/// assert!(visited.iter().all(|&p| q1.contains(p)));
+/// assert_eq!(visited.len(), q1.len() as usize);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Spiral {
+    current: Point,
+    /// Index into [`UNIT_STEPS`] (E, N, W, S).
+    direction: usize,
+    /// Steps left in the current leg.
+    steps_left: u64,
+    /// Length of the current leg.
+    leg_length: u64,
+    /// Whether the current leg is the second of the pair at this length.
+    second_leg: bool,
+    /// Whether the center has been yielded yet.
+    started: bool,
+}
+
+impl Spiral {
+    /// Creates a spiral centered at `center`.
+    pub fn new(center: Point) -> Self {
+        Spiral {
+            current: center,
+            direction: 0,
+            steps_left: 1,
+            leg_length: 1,
+            second_leg: false,
+            started: false,
+        }
+    }
+
+    /// Number of spiral steps needed to fully cover `Q_r(center)`
+    /// (including the initial center node).
+    pub fn steps_to_cover(radius: u64) -> u64 {
+        let side = 2 * radius + 1;
+        side * side
+    }
+}
+
+/// Index of `p` in the spiral order around `center`, in O(1).
+///
+/// `spiral_index(c, p) = n` iff `Spiral::new(c).nth(n) == p`; the center has
+/// index 0. Lets callers compute *when* a spiral sweep reaches a given node
+/// without iterating (used by the ANTS baseline's hit accounting).
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{spiral_index, Point, Spiral};
+///
+/// let c = Point::ORIGIN;
+/// let p = Point::new(2, -1);
+/// let n = spiral_index(c, p);
+/// assert_eq!(Spiral::new(c).nth(n as usize), Some(p));
+/// ```
+pub fn spiral_index(center: Point, p: Point) -> u64 {
+    let rel = p - center;
+    let r = rel.linf_norm();
+    if r == 0 {
+        return 0;
+    }
+    let (x, y) = (rel.x, rel.y);
+    let ri = r as i64;
+    // Ring r occupies indices [(2r-1)^2, (2r+1)^2) in four sides:
+    // N side (x = r, y rising from -(r-1) to r), then W (y = r, x falling),
+    // then S (x = -r, y falling), then E (y = -r, x rising to r).
+    let start = (2 * r - 1) * (2 * r - 1);
+    if x == ri && y > -ri {
+        start + (y + ri - 1) as u64
+    } else if y == ri {
+        start + 2 * r + (ri - 1 - x) as u64
+    } else if x == -ri {
+        start + 4 * r + (ri - 1 - y) as u64
+    } else {
+        debug_assert_eq!(y, -ri);
+        start + 6 * r + (x + ri - 1) as u64
+    }
+}
+
+impl Iterator for Spiral {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if !self.started {
+            self.started = true;
+            return Some(self.current);
+        }
+        if self.steps_left == 0 {
+            // Advance to the next leg: rotate E -> N -> W -> S -> E and
+            // lengthen the leg every second turn.
+            self.direction = (self.direction + 1) % 4;
+            if self.second_leg {
+                self.leg_length += 1;
+            }
+            self.second_leg = !self.second_leg;
+            self.steps_left = self.leg_length;
+        }
+        self.current += UNIT_STEPS[self.direction];
+        self.steps_left -= 1;
+        Some(self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ball::Square;
+    use std::collections::HashSet;
+
+    #[test]
+    fn first_node_is_center() {
+        let c = Point::new(3, -3);
+        assert_eq!(Spiral::new(c).next(), Some(c));
+    }
+
+    #[test]
+    fn consecutive_nodes_are_adjacent() {
+        let mut prev = None;
+        for p in Spiral::new(Point::ORIGIN).take(500) {
+            if let Some(q) = prev {
+                assert!(p.is_adjacent(q), "{q} -> {p}");
+            }
+            prev = Some(p);
+        }
+    }
+
+    #[test]
+    fn spiral_is_self_avoiding() {
+        let nodes: Vec<Point> = Spiral::new(Point::new(-1, 2)).take(1000).collect();
+        let set: HashSet<Point> = nodes.iter().copied().collect();
+        assert_eq!(set.len(), nodes.len());
+    }
+
+    #[test]
+    fn spiral_covers_squares_in_order() {
+        // After (2r+1)^2 steps the spiral has covered exactly Q_r.
+        let center = Point::new(5, 5);
+        for r in 0..=10u64 {
+            let n = Spiral::steps_to_cover(r) as usize;
+            let covered: HashSet<Point> = Spiral::new(center).take(n).collect();
+            let square = Square::new(center, r);
+            assert_eq!(covered.len() as u64, square.len(), "r={r}");
+            for p in square.iter() {
+                assert!(covered.contains(&p), "Q_{r} node {p} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn spiral_index_matches_iterator_for_all_nearby_nodes() {
+        let center = Point::new(-2, 7);
+        let order: Vec<Point> = Spiral::new(center).take(169).collect(); // covers Q_6
+        for (expected, &p) in order.iter().enumerate() {
+            assert_eq!(
+                spiral_index(center, p),
+                expected as u64,
+                "node {p} should have index {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn spiral_index_of_center_is_zero() {
+        assert_eq!(spiral_index(Point::new(1, 1), Point::new(1, 1)), 0);
+    }
+
+    #[test]
+    fn steps_to_cover_matches_square_cardinality() {
+        for r in 0..=20 {
+            assert_eq!(
+                Spiral::steps_to_cover(r),
+                Square::new(Point::ORIGIN, r).len()
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Sparse visit bookkeeping for trajectories on `Z^2`.
+//!
+//! The analysis of the paper counts visits `Z_u(t)` to individual nodes
+//! (Section 3.1). [`VisitMap`] records per-node visit counts for empirical
+//! versions of those quantities; it is deliberately sparse (hash-based) since
+//! walks at our scales touch a vanishing fraction of any bounding box.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// Sparse per-node visit counter.
+///
+/// # Examples
+///
+/// ```
+/// use levy_grid::{Point, VisitMap};
+///
+/// let mut visits = VisitMap::new();
+/// visits.record(Point::ORIGIN);
+/// visits.record(Point::ORIGIN);
+/// visits.record(Point::new(1, 0));
+/// assert_eq!(visits.count(Point::ORIGIN), 2);
+/// assert_eq!(visits.unique_nodes(), 2);
+/// assert_eq!(visits.total_visits(), 3);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VisitMap {
+    counts: HashMap<Point, u64>,
+    total: u64,
+}
+
+impl VisitMap {
+    /// Creates an empty visit map.
+    pub fn new() -> Self {
+        VisitMap::default()
+    }
+
+    /// Creates an empty visit map with capacity for `n` distinct nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        VisitMap {
+            counts: HashMap::with_capacity(n),
+            total: 0,
+        }
+    }
+
+    /// Records one visit to `p`, returning the updated count for `p`.
+    pub fn record(&mut self, p: Point) -> u64 {
+        self.total += 1;
+        let c = self.counts.entry(p).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Number of recorded visits to `p` (`Z_p(t)` in the paper's notation).
+    pub fn count(&self, p: Point) -> u64 {
+        self.counts.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Whether `p` has been visited at least once.
+    pub fn was_visited(&self, p: Point) -> bool {
+        self.counts.contains_key(&p)
+    }
+
+    /// Number of distinct visited nodes.
+    pub fn unique_nodes(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Total number of recorded visits (sum over all nodes).
+    pub fn total_visits(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates over `(node, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, u64)> + '_ {
+        self.counts.iter().map(|(&p, &c)| (p, c))
+    }
+
+    /// Total visits to nodes within L1 distance `radius` of `center`.
+    ///
+    /// Empirical counterpart of the paper's "visits to `B_d(u)`" quantities
+    /// (e.g. Lemma 4.8).
+    pub fn visits_within_l1(&self, center: Point, radius: u64) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(p, _)| center.l1_distance(**p) <= radius)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// The maximum L1 norm over visited nodes, or `None` if empty.
+    /// (Empirical maximum displacement from the origin.)
+    pub fn max_l1_norm(&self) -> Option<u64> {
+        self.counts.keys().map(|p| p.l1_norm()).max()
+    }
+
+    /// Clears all recorded visits.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+}
+
+impl FromIterator<Point> for VisitMap {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut map = VisitMap::new();
+        for p in iter {
+            map.record(p);
+        }
+        map
+    }
+}
+
+impl Extend<Point> for VisitMap {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        for p in iter {
+            self.record(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_reports_zeroes() {
+        let m = VisitMap::new();
+        assert_eq!(m.count(Point::ORIGIN), 0);
+        assert!(!m.was_visited(Point::ORIGIN));
+        assert_eq!(m.unique_nodes(), 0);
+        assert_eq!(m.total_visits(), 0);
+        assert_eq!(m.max_l1_norm(), None);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = VisitMap::new();
+        assert_eq!(m.record(Point::ORIGIN), 1);
+        assert_eq!(m.record(Point::ORIGIN), 2);
+        assert_eq!(m.count(Point::ORIGIN), 2);
+        assert_eq!(m.total_visits(), 2);
+        assert_eq!(m.unique_nodes(), 1);
+    }
+
+    #[test]
+    fn visits_within_l1_filters_correctly() {
+        let m: VisitMap = [
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(2, 0),
+            Point::new(5, 5),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(m.visits_within_l1(Point::ORIGIN, 1), 2);
+        assert_eq!(m.visits_within_l1(Point::ORIGIN, 2), 4);
+        assert_eq!(m.visits_within_l1(Point::ORIGIN, 10), 5);
+    }
+
+    #[test]
+    fn max_l1_norm_tracks_displacement() {
+        let mut m = VisitMap::new();
+        m.record(Point::new(1, 1));
+        m.record(Point::new(-3, 2));
+        assert_eq!(m.max_l1_norm(), Some(5));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut m: VisitMap = vec![Point::ORIGIN].into_iter().collect();
+        m.extend(vec![Point::new(1, 1), Point::ORIGIN]);
+        assert_eq!(m.count(Point::ORIGIN), 2);
+        assert_eq!(m.count(Point::new(1, 1)), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m: VisitMap = vec![Point::ORIGIN, Point::new(1, 0)].into_iter().collect();
+        m.clear();
+        assert_eq!(m.total_visits(), 0);
+        assert_eq!(m.unique_nodes(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Deep statistical and structural properties of the geometry substrate,
+//! beyond the per-module unit tests.
+
+use levy_grid::{
+    count_direct_paths, direct_path_node_at, Ball, DirectPathWalker, Point, Ring, SegmentPoints,
+    Spiral, Square,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+#[test]
+fn direct_path_count_matches_enumeration_for_small_segments() {
+    // Enumerate all paths by exhaustively sampling and compare against the
+    // 2^ties closed form, for every delta in a small box.
+    let mut rng = SmallRng::seed_from_u64(0);
+    for dx in 0..=5i64 {
+        for dy in 0..=5i64 {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let end = Point::new(dx, dy);
+            let expected = count_direct_paths(Point::ORIGIN, end);
+            let mut seen: HashSet<Vec<Point>> = HashSet::new();
+            // 2^ties ≤ 2^(d-1) ≤ 512 here; 4000 samples find all w.h.p.
+            for _ in 0..4000 {
+                seen.insert(DirectPathWalker::new(Point::ORIGIN, end).collect_path(&mut rng));
+            }
+            assert_eq!(
+                seen.len() as f64,
+                expected,
+                "delta ({dx},{dy}): found {} paths, formula says {expected}",
+                seen.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_enumerated_path_is_a_valid_direct_path() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let end = Point::new(4, 3);
+    let seg = SegmentPoints::new(Point::ORIGIN, end);
+    for _ in 0..200 {
+        let path = DirectPathWalker::new(Point::ORIGIN, end).collect_path(&mut rng);
+        for (idx, &node) in path.iter().enumerate() {
+            let i = idx as u64 + 1;
+            let w = seg.point_at(i);
+            let mine = w.l2_distance_sq_num(node);
+            for other in Ring::new(Point::ORIGIN, i).iter() {
+                assert!(mine <= w.l2_distance_sq_num(other));
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma_3_2_bracket_for_multiple_radii() {
+    // Lemma 3.2 for (d, i) pairs where i does not divide d (loose bracket).
+    let mut rng = SmallRng::seed_from_u64(2);
+    for (d, i) in [(10u64, 3u64), (15, 4), (9, 2)] {
+        let trials = 60_000u64;
+        let ring_d = Ring::new(Point::ORIGIN, d);
+        let ring_i = Ring::new(Point::ORIGIN, i);
+        let mut counts: HashMap<Point, u64> = HashMap::new();
+        for _ in 0..trials {
+            let v = ring_d.sample_uniform(&mut rng);
+            let node = direct_path_node_at(Point::ORIGIN, v, i, &mut rng);
+            *counts.entry(node).or_insert(0) += 1;
+        }
+        let lo = (i as f64 / d as f64) * (d / i) as f64 / (4 * i) as f64;
+        let hi = (i as f64 / d as f64) * d.div_ceil(i) as f64 / (4 * i) as f64;
+        let sigma = (hi / trials as f64).sqrt();
+        for w in ring_i.iter() {
+            let p = counts.get(&w).copied().unwrap_or(0) as f64 / trials as f64;
+            assert!(
+                p >= lo - 4.0 * sigma && p <= hi + 4.0 * sigma,
+                "(d={d}, i={i}) node {w}: p={p} outside [{lo},{hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_sampling_is_symmetric_under_rotation() {
+    // The four quadrants of a ring must receive equal mass.
+    let ring = Ring::new(Point::ORIGIN, 9);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let n = 80_000;
+    let mut quadrant_counts = [0u64; 4];
+    for _ in 0..n {
+        let p = ring.sample_uniform(&mut rng);
+        let idx = ring.index_of(p).unwrap();
+        quadrant_counts[(idx / 9) as usize] += 1;
+    }
+    for &c in &quadrant_counts {
+        let frac = c as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "quadrant share {frac}");
+    }
+}
+
+#[test]
+fn ball_equals_union_of_rings() {
+    let center = Point::new(3, -2);
+    let d = 7;
+    let ball: HashSet<Point> = Ball::new(center, d).iter().collect();
+    let mut union = HashSet::new();
+    for r in 0..=d {
+        union.extend(Ring::new(center, r).iter());
+    }
+    assert_eq!(ball, union);
+}
+
+#[test]
+fn square_minus_ball_nodes_have_large_linf() {
+    // Every node of Q_d \ B_d has L∞ norm > d/2 (used implicitly when the
+    // paper compares the two regions).
+    let d = 10;
+    let ball = Ball::new(Point::ORIGIN, d);
+    for p in Square::new(Point::ORIGIN, d).iter() {
+        if !ball.contains(p) {
+            assert!(p.linf_norm() > d / 2, "{p}");
+        }
+    }
+}
+
+#[test]
+fn spiral_visits_match_index_for_long_prefix() {
+    let center = Point::new(-5, 11);
+    for (i, p) in Spiral::new(center).take(2_000).enumerate() {
+        assert_eq!(levy_grid::spiral_index(center, p), i as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn marginal_matches_walker_at_every_position(
+        dx in -25i64..25,
+        dy in -25i64..25,
+        seed in any::<u64>(),
+    ) {
+        // For a non-tie position the marginal is deterministic and must
+        // equal what any full walker produces at that index.
+        prop_assume!(dx != 0 || dy != 0);
+        let end = Point::new(dx, dy);
+        let d = Point::ORIGIN.l1_distance(end);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let path = DirectPathWalker::new(Point::ORIGIN, end).collect_path(&mut rng);
+        for i in 1..=d {
+            let adx = i128::from(dx.abs());
+            let dd = i128::from(d);
+            let tie = (2 * i as i128 * adx + dd) % (2 * dd) == 0;
+            if !tie {
+                let node = direct_path_node_at(Point::ORIGIN, end, i, &mut rng);
+                prop_assert_eq!(node, path[i as usize - 1], "position {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn ball_sampling_always_lands_inside(center_x in -50i64..50, center_y in -50i64..50, d in 0u64..30, seed in any::<u64>()) {
+        let center = Point::new(center_x, center_y);
+        let ball = Ball::new(center, d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(ball.contains(ball.sample_uniform(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn segment_points_interpolate_l1_linearly(
+        sx in -100i64..100, sy in -100i64..100,
+        ex in -100i64..100, ey in -100i64..100,
+    ) {
+        let start = Point::new(sx, sy);
+        let end = Point::new(ex, ey);
+        let seg = SegmentPoints::new(start, end);
+        let d = seg.length();
+        for i in [0, d / 3, d / 2, d] {
+            let w = seg.point_at(i);
+            let ddx = w.num_x - i128::from(start.x) * w.den;
+            let ddy = w.num_y - i128::from(start.y) * w.den;
+            prop_assert_eq!(ddx.abs() + ddy.abs(), i128::from(i) * w.den);
+        }
+    }
+}

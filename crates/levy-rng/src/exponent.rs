@@ -1,0 +1,239 @@
+//! Exponent-selection strategies for parallel Lévy walks.
+//!
+//! The paper's central algorithmic message (Theorems 1.5 and 1.6) is about
+//! *how to choose the exponent* of each walk:
+//!
+//! * if `k` (number of walks) and `ℓ` (target distance) are known, a single
+//!   deterministic exponent `α* ≈ 3 − log k / log ℓ` is optimal;
+//! * if they are unknown, drawing each walk's exponent **independently and
+//!   uniformly at random from `(2, 3)`** is optimal up to polylog factors,
+//!   simultaneously for all `k` and `ℓ` — the paper's headline strategy.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::power_law::MIN_EXPONENT;
+
+/// A rule assigning an exponent `α` to each walk of a parallel collection.
+///
+/// # Examples
+///
+/// ```
+/// use levy_rng::ExponentStrategy;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// // The paper's uniform(2,3) strategy (Theorem 1.6).
+/// let alpha = ExponentStrategy::UniformSuperdiffusive.draw(&mut rng);
+/// assert!(alpha > 2.0 && alpha < 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExponentStrategy {
+    /// Every walk uses the same fixed exponent.
+    Fixed(f64),
+    /// Each walk draws `α ~ Uniform(2, 3)` independently — the randomized
+    /// strategy of Theorem 1.6 (requires no knowledge of `k` or `ℓ`).
+    UniformSuperdiffusive,
+    /// Each walk draws `α ~ Uniform(lo, hi)` independently.
+    UniformRange {
+        /// Lower endpoint (exclusive in spirit; draws are continuous).
+        lo: f64,
+        /// Upper endpoint.
+        hi: f64,
+    },
+    /// The deterministic scale-aware choice of Theorem 1.5, which requires
+    /// knowing both `k` and `ℓ`.
+    OptimalForScale {
+        /// Number of parallel walks.
+        k: u64,
+        /// Distance of the target from the origin.
+        ell: u64,
+    },
+}
+
+impl ExponentStrategy {
+    /// Draws an exponent for one walk.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ExponentStrategy::Fixed(alpha) => alpha,
+            ExponentStrategy::UniformSuperdiffusive => rng.gen_range(2.0..3.0),
+            ExponentStrategy::UniformRange { lo, hi } => rng.gen_range(lo..hi),
+            ExponentStrategy::OptimalForScale { k, ell } => optimal_exponent(k, ell),
+        }
+    }
+
+    /// Whether the strategy needs knowledge of the target distance `ℓ`.
+    pub fn requires_scale_knowledge(&self) -> bool {
+        matches!(self, ExponentStrategy::OptimalForScale { .. })
+    }
+
+    /// A short human-readable label used in reports.
+    pub fn label(&self) -> String {
+        match *self {
+            ExponentStrategy::Fixed(alpha) => format!("fixed α={alpha:.3}"),
+            ExponentStrategy::UniformSuperdiffusive => "α ~ U(2,3)".to_owned(),
+            ExponentStrategy::UniformRange { lo, hi } => format!("α ~ U({lo:.2},{hi:.2})"),
+            ExponentStrategy::OptimalForScale { k, ell } => {
+                format!("α*(k={k}, ℓ={ell}) = {:.3}", optimal_exponent(k, ell))
+            }
+        }
+    }
+}
+
+/// The exponent prescribed by Theorem 1.5 for known `(k, ℓ)`.
+///
+/// * Middle regime (`log⁶ℓ ≤ k ≤ ℓ·log⁴ℓ`, Theorem 1.5(a)):
+///   `α = 3 − log k / log ℓ + 5 log log ℓ / log ℓ`, clamped into `(2, 3)`.
+/// * Few walks (Theorem 1.5(b)): `α = 3`.
+/// * Many walks, `k = ω(ℓ log²ℓ)` (Theorem 1.5(c)): `α = 2`.
+///
+/// For tiny `ℓ` (where `log log ℓ` is undefined or negative) the fallback is
+/// the midpoint `α = 2.5`.
+pub fn optimal_exponent(k: u64, ell: u64) -> f64 {
+    if ell < 3 || k == 0 {
+        return 2.5;
+    }
+    let log_ell = (ell as f64).ln();
+    let log_k = (k as f64).ln();
+    let loglog_ell = log_ell.ln().max(0.0);
+    // Regime boundaries of Theorem 1.5 (constants chosen pragmatically:
+    // the theorem's polylog thresholds translate to these finite-size rules).
+    let few = log_ell.powi(6).min(ell as f64); // k below this: diffusive optimum
+    let many = ell as f64 * log_ell.powi(2); // k above this: ballistic optimum
+    if (k as f64) >= many {
+        return 2.0 + 1e-9;
+    }
+    if (k as f64) <= few.min(16.0) {
+        return 3.0;
+    }
+    let alpha = 3.0 - log_k / log_ell + 5.0 * loglog_ell / log_ell;
+    alpha.clamp(2.0 + 1e-9, 3.0)
+}
+
+/// The *idealized* optimal exponent `α* = 3 − log k / log ℓ` without the
+/// finite-size correction term — the quantity the sweep experiment (E6)
+/// compares empirical minima against (Corollary 4.2).
+pub fn ideal_exponent(k: u64, ell: u64) -> f64 {
+    if ell < 2 || k == 0 {
+        return 2.5;
+    }
+    (3.0 - (k as f64).ln() / (ell as f64).ln()).clamp(MIN_EXPONENT, 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_strategy_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let s = ExponentStrategy::Fixed(2.4);
+        for _ in 0..10 {
+            assert_eq!(s.draw(&mut rng), 2.4);
+        }
+    }
+
+    #[test]
+    fn uniform_superdiffusive_stays_in_open_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = ExponentStrategy::UniformSuperdiffusive;
+        for _ in 0..10_000 {
+            let a = s.draw(&mut rng);
+            assert!((2.0..3.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn uniform_draws_cover_the_interval() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = ExponentStrategy::UniformSuperdiffusive;
+        let n = 10_000;
+        let in_first_tenth = (0..n)
+            .filter(|_| s.draw(&mut rng) < 2.1)
+            .count() as f64;
+        let frac = in_first_tenth / n as f64;
+        assert!((frac - 0.1).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = ExponentStrategy::UniformRange { lo: 2.2, hi: 2.4 };
+        for _ in 0..1000 {
+            let a = s.draw(&mut rng);
+            assert!((2.2..2.4).contains(&a));
+        }
+    }
+
+    #[test]
+    fn ideal_exponent_matches_formula() {
+        // k = ℓ ⇒ α* = 2; k = 1 ⇒ α* = 3.
+        assert!((ideal_exponent(1000, 1000) - 2.0).abs() < 1e-9);
+        assert!((ideal_exponent(1, 1000) - 3.0).abs() < 1e-9);
+        // k = ℓ^{1/2} ⇒ α* = 2.5.
+        assert!((ideal_exponent(32, 1024) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_exponent_middle_regime_tracks_ideal() {
+        // Theorem 1.5(a) adds +5 log log ℓ / log ℓ to the ideal value; the
+        // result is clamped into (2, 3]. At finite sizes the correction can
+        // saturate the clamp, so test against the clamped formula.
+        let (k, ell) = (100, 10_000);
+        let ideal = ideal_exponent(k, ell);
+        let correction = 5.0 * (ell as f64).ln().ln() / (ell as f64).ln();
+        let expected = (ideal + correction).clamp(2.0 + 1e-9, 3.0);
+        let opt = optimal_exponent(k, ell);
+        assert!((opt - expected).abs() < 1e-9, "opt={opt}, expected={expected}");
+        // A scale where the correction does NOT clamp: k = ℓ pushes the
+        // ideal exponent down to 2, leaving room for the +5 term.
+        let (k, ell) = (1 << 24, 1 << 24);
+        let ideal = ideal_exponent(k, ell);
+        let correction = 5.0 * (ell as f64).ln().ln() / (ell as f64).ln();
+        let opt = optimal_exponent(k, ell);
+        assert!(
+            (opt - (ideal + correction)).abs() < 1e-9,
+            "opt={opt}, ideal+corr={}",
+            ideal + correction
+        );
+    }
+
+    #[test]
+    fn optimal_exponent_extreme_regimes() {
+        // Huge k relative to ℓ: ballistic optimum α = 2 (Thm 1.5(c)).
+        assert!(optimal_exponent(10_000_000, 100) <= 2.0 + 1e-6);
+        // Tiny k: diffusive optimum α = 3 (Thm 1.5(b)).
+        assert_eq!(optimal_exponent(2, 1_000_000), 3.0);
+    }
+
+    #[test]
+    fn optimal_exponent_is_always_admissible() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let k = rng.gen_range(1..1_000_000u64);
+            let ell = rng.gen_range(1..1_000_000u64);
+            let a = optimal_exponent(k, ell);
+            assert!(a > 1.0 && a <= 3.0, "k={k}, ell={ell}: α={a}");
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(ExponentStrategy::Fixed(2.0).label().contains("2.000"));
+        assert!(ExponentStrategy::UniformSuperdiffusive
+            .label()
+            .contains("U(2,3)"));
+        assert!(ExponentStrategy::OptimalForScale { k: 10, ell: 100 }
+            .label()
+            .contains("α*"));
+    }
+
+    #[test]
+    fn scale_knowledge_flag() {
+        assert!(ExponentStrategy::OptimalForScale { k: 1, ell: 1 }.requires_scale_knowledge());
+        assert!(!ExponentStrategy::UniformSuperdiffusive.requires_scale_knowledge());
+    }
+}

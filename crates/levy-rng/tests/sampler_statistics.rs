@@ -1,0 +1,161 @@
+//! Statistical contracts of the samplers, beyond per-module unit tests:
+//! moments, conditional laws, and strategy distributions.
+
+use levy_rng::{
+    riemann_zeta, sample_zeta, zeta_tail, ExponentStrategy, JumpLengthDistribution, SeedStream,
+    ZetaTable,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn empirical_mean_matches_analytic_mean_for_alpha_above_two() {
+    // E[d] = ζ(α-1)/(2ζ(α)) for α > 2; check by direct simulation. Samples
+    // are truncated at a huge cap so the heavy tail cannot destabilize the
+    // empirical mean; the truncation bias at this cap is < 1e-6.
+    for alpha in [2.5f64, 3.0, 4.0] {
+        let dist = JumpLengthDistribution::new(alpha).unwrap();
+        let analytic = dist.mean().unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 400_000u64;
+        let cap = 10_000_000u64;
+        let sum: f64 = (0..n)
+            .map(|_| dist.sample(&mut rng).min(cap) as f64)
+            .sum();
+        let empirical = sum / n as f64;
+        // The tail makes the variance large for α = 2.5; allow 5%.
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.05,
+            "α={alpha}: empirical {empirical} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn truncated_sampler_matches_conditional_law() {
+    // sample_truncated(cap) must equal the law conditioned on d <= cap.
+    let dist = JumpLengthDistribution::new(2.0).unwrap();
+    let cap = 8u64;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let n = 200_000u64;
+    let mut counts = vec![0u64; cap as usize + 1];
+    for _ in 0..n {
+        counts[dist.sample_truncated(&mut rng, cap) as usize] += 1;
+    }
+    let mass_within: f64 = (0..=cap).map(|i| dist.pmf(i)).sum();
+    for i in 0..=cap {
+        let expected = dist.pmf(i) / mass_within;
+        let observed = counts[i as usize] as f64 / n as f64;
+        let sigma = (expected * (1.0 - expected) / n as f64).sqrt();
+        assert!(
+            (observed - expected).abs() < 5.0 * sigma + 1e-4,
+            "i={i}: observed {observed} vs conditional {expected}"
+        );
+    }
+}
+
+#[test]
+fn zeta_sampler_median_matches_inverse_cdf() {
+    // The median of the zeta law P(X=i) ∝ i^{-α} is the smallest m with
+    // CDF(m) >= 1/2; compare with the empirical median.
+    let alpha = 2.2;
+    let z = riemann_zeta(alpha);
+    let mut cdf = 0.0;
+    let mut analytic_median = 0u64;
+    for i in 1..1000u64 {
+        cdf += (i as f64).powf(-alpha) / z;
+        if cdf >= 0.5 {
+            analytic_median = i;
+            break;
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut samples: Vec<u64> = (0..100_001).map(|_| sample_zeta(alpha, &mut rng)).collect();
+    samples.sort_unstable();
+    let empirical_median = samples[samples.len() / 2];
+    assert_eq!(
+        empirical_median, analytic_median,
+        "median mismatch (analytic {analytic_median})"
+    );
+}
+
+#[test]
+fn table_and_analytic_tail_agree() {
+    let alpha = 2.7;
+    let cap = 64u64;
+    let table = ZetaTable::new(alpha, cap);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let n = 150_000u64;
+    let over_16 = (0..n).filter(|_| table.sample(&mut rng) > 16).count() as f64 / n as f64;
+    // P(16 < X <= 64 | X <= 64) from zeta sums.
+    let z_head: f64 = (1..=16u64).map(|i| (i as f64).powf(-alpha)).sum();
+    let z_all: f64 = (1..=cap).map(|i| (i as f64).powf(-alpha)).sum();
+    let expected = 1.0 - z_head / z_all;
+    assert!(
+        (over_16 - expected).abs() < 0.01,
+        "observed {over_16} vs expected {expected}"
+    );
+}
+
+#[test]
+fn uniform_strategy_mean_is_interval_midpoint() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let n = 100_000;
+    let sum: f64 = (0..n)
+        .map(|_| ExponentStrategy::UniformSuperdiffusive.draw(&mut rng))
+        .sum();
+    let mean = sum / n as f64;
+    assert!((mean - 2.5).abs() < 0.01, "mean {mean}");
+}
+
+#[test]
+fn seed_streams_are_statistically_independent() {
+    // Child streams must not be correlated: first draws across 10k children
+    // should look uniform (mean ~ 0.5, no drift).
+    let root = SeedStream::new(99);
+    let n = 10_000u64;
+    let mean: f64 = (0..n)
+        .map(|i| {
+            let mut rng = root.child(i).rng();
+            rng.gen::<f64>()
+        })
+        .sum::<f64>()
+        / n as f64;
+    assert!((mean - 0.5).abs() < 0.02, "mean of first draws {mean}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tail_formula_consistent_with_pmf_sums(alpha in 1.2f64..4.5, n in 1u64..200) {
+        let dist = JumpLengthDistribution::new(alpha).unwrap();
+        // tail(n) - tail(n + 50) must equal the pmf sum over [n, n+50).
+        let direct: f64 = (n..n + 50).map(|i| dist.pmf(i)).sum();
+        let via_tail = dist.tail(n) - dist.tail(n + 50);
+        prop_assert!((direct - via_tail).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zeta_tail_scaling_matches_eq4(alpha in 1.3f64..4.0) {
+        // Eq. (4): P(d >= i) = Θ(1/i^{α-1}): ratio of tails at i and 2i
+        // approaches 2^{α-1}.
+        let t1 = zeta_tail(alpha, 1_000);
+        let t2 = zeta_tail(alpha, 2_000);
+        let ratio = t1 / t2;
+        let predicted = 2f64.powf(alpha - 1.0);
+        prop_assert!((ratio / predicted - 1.0).abs() < 0.02,
+            "ratio {} vs predicted {}", ratio, predicted);
+    }
+
+    #[test]
+    fn sampler_never_returns_invalid_values(alpha in 1.1f64..5.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let x = sample_zeta(alpha, &mut rng);
+            prop_assert!(x >= 1);
+            prop_assert!(x <= levy_rng::MAX_JUMP);
+        }
+    }
+}

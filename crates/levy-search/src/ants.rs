@@ -1,0 +1,299 @@
+//! ANTS-style baseline: ball + spiral search (Feinerman–Korman).
+//!
+//! The paper cites the (near-)optimal algorithms for the ANTS problem,
+//! which "repeatedly execute the following steps: walk to a random location
+//! in a ball of a certain radius, perform a spiral movement of the same
+//! radius as the ball's, then return to the origin" (Section 2). This module
+//! implements that scheme with the standard doubling schedule:
+//!
+//! at stage `i` an agent draws a uniform location `c` in `B_{2^i}(source)`,
+//! walks a direct path to `c`, spirals over the square `Q_{s_i}(c)` with
+//! `s_i = Θ(2^i / √k)` (so the `k` agents collectively cover the ball), and
+//! walks back. The agent knows `k` but not `ℓ` — the strongest-knowledge
+//! comparator the shoot-out pits the oblivious Lévy strategy against.
+//!
+//! Expected parallel time is `O(ℓ²/k + ℓ)`, i.e. the universal lower bound
+//! up to constants.
+
+use levy_grid::{direct_path_node_at, spiral_index, Ball, Point, Spiral};
+use rand::{Rng, RngCore};
+
+use crate::problem::SearchProblem;
+use crate::strategy::SearchStrategy;
+
+/// The ball + spiral searcher.
+#[derive(Debug, Clone, Copy)]
+pub struct AntsSearch {
+    /// Multiplier on the per-agent spiral radius `2^i / √k`; larger values
+    /// cover more per stage at higher per-stage cost. Default 1.
+    pub coverage_factor: f64,
+    /// If set, the agents received the target's distance scale as advice
+    /// (the `b`-bit-advice setting of Feinerman–Korman): every stage uses
+    /// the fixed ball radius `2ℓ` instead of the doubling schedule.
+    known_distance: Option<u64>,
+}
+
+impl Default for AntsSearch {
+    fn default() -> Self {
+        AntsSearch {
+            coverage_factor: 1.0,
+            known_distance: None,
+        }
+    }
+}
+
+impl AntsSearch {
+    /// Creates the searcher with the default coverage factor.
+    pub fn new() -> Self {
+        AntsSearch::default()
+    }
+
+    /// Creates the searcher with an explicit coverage factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage_factor` is not positive and finite.
+    pub fn with_coverage_factor(coverage_factor: f64) -> Self {
+        assert!(
+            coverage_factor.is_finite() && coverage_factor > 0.0,
+            "coverage factor must be positive"
+        );
+        AntsSearch {
+            coverage_factor,
+            ..AntsSearch::default()
+        }
+    }
+
+    /// Creates a searcher whose agents were told the distance scale `ℓ` as
+    /// advice: stages always use ball radius `2ℓ` (no doubling schedule).
+    ///
+    /// This is the strongest comparator available — it knows both `k` and
+    /// `ℓ` — and converts the search into repeated Θ(ℓ²/k + ℓ) rounds each
+    /// succeeding with constant probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0`.
+    pub fn with_known_distance(ell: u64) -> Self {
+        assert!(ell >= 1, "advice distance must be positive");
+        AntsSearch {
+            known_distance: Some(ell),
+            ..AntsSearch::default()
+        }
+    }
+
+    /// The spiral radius an agent uses at ball radius `r` with `k` agents.
+    fn spiral_radius(&self, r: u64, k: usize) -> u64 {
+        let s = self.coverage_factor * r as f64 / (k.max(1) as f64).sqrt();
+        (s.ceil() as u64).max(1)
+    }
+
+    /// Simulates a single agent's doubling schedule; returns its hit time
+    /// within `budget` steps.
+    fn single<R: Rng + ?Sized>(
+        &self,
+        problem: &SearchProblem,
+        budget: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        let source = problem.source;
+        let target = problem.target;
+        if source == target {
+            return Some(0);
+        }
+        let dist_to_target = source.l1_distance(target);
+        let mut elapsed: u64 = 0;
+        let mut stage: u32 = 1;
+        while elapsed < budget {
+            let r = match self.known_distance {
+                Some(ell) => 2 * ell,
+                None => 1u64 << stage.min(62),
+            };
+            let c = Ball::new(source, r).sample_uniform(rng);
+            // Leg 1: walk out to c, detecting en route.
+            let leg_out = source.l1_distance(c);
+            // dist_to_target >= 1 because source != target was checked.
+            if dist_to_target <= leg_out
+                && elapsed + dist_to_target <= budget
+                && direct_path_node_at(source, c, dist_to_target, rng) == target
+            {
+                return Some(elapsed + dist_to_target);
+            }
+            elapsed = elapsed.saturating_add(leg_out);
+            if elapsed >= budget {
+                return None;
+            }
+            // Leg 2: spiral over Q_s(c).
+            let s = self.spiral_radius(r, problem.num_agents);
+            if c.linf_distance(target) <= s {
+                let idx = spiral_index(c, target);
+                let hit = elapsed.saturating_add(idx);
+                if hit <= budget {
+                    return Some(hit);
+                }
+                return None;
+            }
+            let spiral_steps = Spiral::steps_to_cover(s) - 1;
+            elapsed = elapsed.saturating_add(spiral_steps);
+            if elapsed >= budget {
+                return None;
+            }
+            // Leg 3: return from the spiral's end node.
+            let end = c + Point::new(s as i64, -(s as i64));
+            let leg_back = end.l1_distance(source);
+            let i = end.l1_distance(target);
+            if i >= 1
+                && i <= leg_back
+                && elapsed + i <= budget
+                && direct_path_node_at(end, source, i, rng) == target
+            {
+                return Some(elapsed + i);
+            }
+            elapsed = elapsed.saturating_add(leg_back);
+            stage += 1;
+        }
+        None
+    }
+}
+
+impl SearchStrategy for AntsSearch {
+    fn label(&self) -> String {
+        match self.known_distance {
+            Some(ell) => format!("ants-spiral[c={:.1}, knows ℓ={ell}]", self.coverage_factor),
+            None => format!("ants-spiral[c={:.1}]", self.coverage_factor),
+        }
+    }
+
+    fn run(&self, problem: &SearchProblem, rng: &mut dyn RngCore) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut remaining = problem.budget;
+        for _ in 0..problem.num_agents {
+            if let Some(t) = self.single(problem, remaining, rng) {
+                if best.map_or(true, |b| t < b) {
+                    best = Some(t);
+                    remaining = t;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_close_targets_reliably() {
+        let s = AntsSearch::new();
+        let problem = SearchProblem::at_distance(8, 4, 100_000);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let hits = (0..100)
+            .filter(|_| s.run(&problem, &mut rng).is_some())
+            .count();
+        assert!(hits >= 95, "only {hits}/100 hits");
+    }
+
+    #[test]
+    fn hit_time_at_least_distance() {
+        let s = AntsSearch::new();
+        let problem = SearchProblem::at_distance(12, 2, 1_000_000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            if let Some(t) = s.run(&problem, &mut rng) {
+                assert!(t >= 12, "hit time {t} below distance");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        let s = AntsSearch::new();
+        let problem = SearchProblem::at_distance(50, 1, 40);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(s.run(&problem, &mut rng), None, "cannot hit beyond budget");
+        }
+    }
+
+    #[test]
+    fn mean_time_scales_with_ell_squared_over_k() {
+        // For fixed ℓ, quadrupling k should reduce the mean parallel time
+        // noticeably (the ℓ²/k term dominates at k small).
+        let s = AntsSearch::new();
+        let ell = 48u64;
+        let budget = 2_000_000u64;
+        let trials = 60;
+        let mean_time = |k: usize, seed: u64| -> f64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut total = 0.0;
+            let mut found = 0u32;
+            for _ in 0..trials {
+                let problem = SearchProblem::at_random_direction(ell, k, budget, &mut rng);
+                if let Some(t) = s.run(&problem, &mut rng) {
+                    total += t as f64;
+                    found += 1;
+                }
+            }
+            assert!(found as usize > trials / 2, "too many censored trials");
+            total / found as f64
+        };
+        let t1 = mean_time(1, 10);
+        let t16 = mean_time(16, 11);
+        assert!(
+            t16 < t1,
+            "k=16 mean {t16} should beat k=1 mean {t1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage factor")]
+    fn rejects_bad_coverage_factor() {
+        AntsSearch::with_coverage_factor(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advice distance")]
+    fn rejects_zero_advice() {
+        AntsSearch::with_known_distance(0);
+    }
+
+    #[test]
+    fn advice_variant_is_at_least_as_good() {
+        // Knowing ℓ skips the doubling warm-up: the advised searcher's hit
+        // rate within a tight budget must be >= the oblivious one's.
+        let ell = 40u64;
+        let budget = 6 * ell * ell;
+        let trials = 200;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let count = |s: &AntsSearch, rng: &mut SmallRng| -> usize {
+            (0..trials)
+                .filter(|_| {
+                    let problem = SearchProblem::at_random_direction(ell, 4, budget, rng);
+                    s.run(&problem, rng).is_some()
+                })
+                .count()
+        };
+        let oblivious = count(&AntsSearch::new(), &mut rng);
+        let advised = count(&AntsSearch::with_known_distance(ell), &mut rng);
+        assert!(
+            advised + 10 >= oblivious,
+            "advice hurt: advised {advised} vs oblivious {oblivious}"
+        );
+    }
+
+    #[test]
+    fn advice_label_mentions_distance() {
+        assert!(AntsSearch::with_known_distance(7).label().contains("ℓ=7"));
+    }
+
+    #[test]
+    fn spiral_radius_scales_inverse_sqrt_k() {
+        let s = AntsSearch::new();
+        assert_eq!(s.spiral_radius(64, 1), 64);
+        assert_eq!(s.spiral_radius(64, 16), 16);
+        assert_eq!(s.spiral_radius(64, 4096), 1);
+    }
+}

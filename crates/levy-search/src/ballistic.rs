@@ -1,0 +1,129 @@
+//! Ballistic baseline: straight walks in random directions, the `α → 1+`
+//! limit.
+//!
+//! In the ballistic regime the paper shows the Lévy walk "behaves similarly
+//! to a straight walk along a random direction" (Section 1.2.1). This
+//! module implements that limiting strategy directly: each agent draws a
+//! uniformly random destination on a far ring and walks the direct path
+//! toward it for the whole budget.
+
+use levy_grid::{direct_path_node_at, Point, Ring};
+use rand::{Rng, RngCore};
+
+use crate::problem::SearchProblem;
+use crate::strategy::SearchStrategy;
+
+/// `k` straight walkers in independent uniform directions.
+///
+/// Each agent can hit the target only when crossing the ring containing it,
+/// which the simulation checks in O(1) per agent via the direct-path
+/// marginal (see [`levy_grid::direct_path_node_at`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BallisticSearch;
+
+impl BallisticSearch {
+    /// Creates the ballistic strategy.
+    pub fn new() -> Self {
+        BallisticSearch
+    }
+
+    fn single<R: Rng + ?Sized>(
+        &self,
+        source: Point,
+        target: Point,
+        budget: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        if source == target {
+            return Some(0);
+        }
+        let i = source.l1_distance(target);
+        if i > budget {
+            return None;
+        }
+        // Direction = uniform node on a ring beyond the budget horizon; the
+        // walker follows the direct path towards it for `budget` steps.
+        let horizon = budget.max(i);
+        let direction = Ring::new(source, horizon).sample_uniform(rng);
+        if direct_path_node_at(source, direction, i, rng) == target {
+            Some(i)
+        } else {
+            None
+        }
+    }
+}
+
+impl SearchStrategy for BallisticSearch {
+    fn label(&self) -> String {
+        "ballistic".to_owned()
+    }
+
+    fn run(&self, problem: &SearchProblem, rng: &mut dyn RngCore) -> Option<u64> {
+        // A straight walker hits at time exactly ℓ or never, so no budget
+        // shrinking is useful: take the min over agents directly.
+        let mut best: Option<u64> = None;
+        for _ in 0..problem.num_agents {
+            if let Some(t) = self.single(problem.source, problem.target, problem.budget, rng) {
+                if best.map_or(true, |b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hit_time_equals_distance_when_hit() {
+        let s = BallisticSearch::new();
+        let problem = SearchProblem::at_distance(10, 500, 1_000);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut hits = 0;
+        for _ in 0..100 {
+            if let Some(t) = s.run(&problem, &mut rng) {
+                assert_eq!(t, 10);
+                hits += 1;
+            }
+        }
+        assert!(hits > 50, "k=500 straight walkers should usually hit at ℓ=10");
+    }
+
+    #[test]
+    fn single_agent_hit_probability_scales_like_inverse_distance() {
+        // A straight walker crosses ring R_ℓ at one node out of Θ(ℓ); its
+        // hit probability is Θ(1/ℓ).
+        let s = BallisticSearch::new();
+        let trials = 30_000;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hit_rate = |ell: u64, rng: &mut SmallRng| -> f64 {
+            let problem = SearchProblem::at_distance(ell, 1, 10 * ell);
+            (0..trials)
+                .filter(|_| s.run(&problem, rng).is_some())
+                .count() as f64
+                / trials as f64
+        };
+        let p10 = hit_rate(10, &mut rng);
+        let p40 = hit_rate(40, &mut rng);
+        let ratio = p10 / p40.max(1e-9);
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "p(10)/p(40) = {ratio}, expected ≈ 4"
+        );
+    }
+
+    #[test]
+    fn budget_below_distance_never_hits() {
+        let s = BallisticSearch::new();
+        let problem = SearchProblem::at_distance(100, 1000, 99);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(s.run(&problem, &mut rng), None);
+        }
+    }
+}

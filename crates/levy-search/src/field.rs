@@ -1,0 +1,184 @@
+//! Sparse target fields: the Lévy-foraging-hypothesis setting.
+//!
+//! The hypothesis the paper opens with (\[38\], Section 1.1) concerns a
+//! forager moving through *sparse, uniformly distributed, revisitable*
+//! targets, where the classical claim is that exponent `α = 2` maximizes
+//! the target-encounter rate — a claim proven in one dimension and known
+//! NOT to carry over to two dimensions (\[4\], \[26\]). This module provides
+//! the environment to test that directly on `Z²`:
+//!
+//! [`TargetField`] is an infinite, reproducible field with one target per
+//! `spacing × spacing` cell, placed pseudo-randomly inside its cell by
+//! hashing the cell coordinates — membership queries are O(1) and no
+//! storage is needed, so walks can roam arbitrarily far.
+
+use levy_grid::Point;
+use levy_rng::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// An infinite sparse field with one target per `spacing × spacing` cell.
+///
+/// Density is exactly `1/spacing²` targets per node. The field is a pure
+/// function of `(seed, spacing)`: every query is reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use levy_search::TargetField;
+/// use levy_grid::Point;
+///
+/// let field = TargetField::new(64, 7);
+/// // The target of the cell containing a point is O(1) to compute:
+/// let t = field.target_in_cell_of(Point::new(1000, -500));
+/// assert!(field.is_target(t));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TargetField {
+    spacing: u64,
+    seed: u64,
+}
+
+impl TargetField {
+    /// Creates a field with the given cell `spacing` (must be ≥ 2) and
+    /// placement seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spacing < 2` (a spacing of 1 would make every node a
+    /// target).
+    pub fn new(spacing: u64, seed: u64) -> Self {
+        assert!(spacing >= 2, "spacing must be at least 2");
+        TargetField { spacing, seed }
+    }
+
+    /// The cell spacing.
+    pub fn spacing(&self) -> u64 {
+        self.spacing
+    }
+
+    /// Target density per lattice node (`1/spacing²`).
+    pub fn density(&self) -> f64 {
+        1.0 / (self.spacing as f64 * self.spacing as f64)
+    }
+
+    /// The cell coordinates containing `p` (floor division).
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        let s = self.spacing as i64;
+        (p.x.div_euclid(s), p.y.div_euclid(s))
+    }
+
+    /// The unique target of the cell `(cx, cy)`.
+    pub fn target_of_cell(&self, cx: i64, cy: i64) -> Point {
+        let h = splitmix64(
+            self.seed ^ splitmix64(cx as u64).rotate_left(17) ^ splitmix64(cy as u64 ^ 0xABCD),
+        );
+        let s = self.spacing;
+        let ox = (h % s) as i64;
+        let oy = ((h >> 32) % s) as i64;
+        Point::new(cx * s as i64 + ox, cy * s as i64 + oy)
+    }
+
+    /// The target of the cell containing `p`.
+    pub fn target_in_cell_of(&self, p: Point) -> Point {
+        let (cx, cy) = self.cell_of(p);
+        self.target_of_cell(cx, cy)
+    }
+
+    /// Whether `p` is a target (O(1)).
+    pub fn is_target(&self, p: Point) -> bool {
+        self.target_in_cell_of(p) == p
+    }
+
+    /// Identifier of the target at `p` (its cell), if `p` is a target.
+    /// Used to track destructive foraging (each target consumed once).
+    pub fn target_id(&self, p: Point) -> Option<(i64, i64)> {
+        if self.is_target(p) {
+            Some(self.cell_of(p))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn one_target_per_cell_exactly() {
+        let field = TargetField::new(8, 3);
+        for cx in -4..4i64 {
+            for cy in -4..4i64 {
+                let mut found = Vec::new();
+                for x in 0..8i64 {
+                    for y in 0..8i64 {
+                        let p = Point::new(cx * 8 + x, cy * 8 + y);
+                        if field.is_target(p) {
+                            found.push(p);
+                        }
+                    }
+                }
+                assert_eq!(found.len(), 1, "cell ({cx},{cy}): {found:?}");
+                assert_eq!(found[0], field.target_of_cell(cx, cy));
+            }
+        }
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let field = TargetField::new(10, 1);
+        assert!((field.density() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_move_targets() {
+        let a = TargetField::new(16, 1);
+        let b = TargetField::new(16, 2);
+        let moved = (0..50)
+            .filter(|&i| a.target_of_cell(i, 0) != b.target_of_cell(i, 0))
+            .count();
+        assert!(moved > 40, "only {moved}/50 targets moved across seeds");
+    }
+
+    #[test]
+    fn placement_looks_uniform_within_cells() {
+        // Offsets across many cells should spread over the whole cell.
+        let field = TargetField::new(8, 9);
+        let mut offsets = HashSet::new();
+        for cx in 0..64i64 {
+            let t = field.target_of_cell(cx, cx);
+            offsets.insert((t.x.rem_euclid(8), t.y.rem_euclid(8)));
+        }
+        assert!(offsets.len() > 30, "only {} distinct offsets", offsets.len());
+    }
+
+    #[test]
+    fn target_id_round_trips() {
+        let field = TargetField::new(12, 4);
+        let t = field.target_of_cell(-3, 7);
+        assert_eq!(field.target_id(t), Some((-3, 7)));
+        // A neighbour of a target is (almost surely) not a target.
+        let n = t + Point::new(1, 0);
+        if !field.is_target(n) {
+            assert_eq!(field.target_id(n), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing")]
+    fn rejects_tiny_spacing() {
+        TargetField::new(1, 0);
+    }
+
+    #[test]
+    fn negative_coordinates_are_handled() {
+        let field = TargetField::new(9, 5);
+        let p = Point::new(-1, -1);
+        let t = field.target_in_cell_of(p);
+        // The target lies in the same cell as p: cell (-1, -1) spans
+        // [-9, -1] x [-9, -1].
+        assert!((-9..=-1).contains(&t.x), "{t}");
+        assert!((-9..=-1).contains(&t.y), "{t}");
+    }
+}

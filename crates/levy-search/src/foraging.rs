@@ -1,0 +1,143 @@
+//! Foraging simulation over sparse target fields.
+//!
+//! Measures the *encounter rate* of a single Lévy walk over a
+//! [`TargetField`] — the efficiency functional of the Lévy foraging
+//! hypothesis (\[38\], discussed in the paper's Sections 1.1 and 2). Both
+//! target semantics are supported:
+//!
+//! * **non-destructive** (revisitable): every arrival at a target node
+//!   counts — the setting in which \[38\] claimed `α = 2` optimality;
+//! * **destructive**: each target is consumed on first discovery.
+
+use std::collections::HashSet;
+
+use levy_grid::Point;
+use levy_walks::{JumpProcess, LevyWalk};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::field::TargetField;
+
+/// Result of one foraging run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForagingOutcome {
+    /// Distinct targets discovered (the destructive count).
+    pub unique_targets: u64,
+    /// Total target arrivals, revisits included (the non-destructive
+    /// count). An "arrival" is a step that lands on a target node coming
+    /// from a different node.
+    pub encounters: u64,
+    /// Steps walked.
+    pub steps: u64,
+}
+
+impl ForagingOutcome {
+    /// Encounters per step (the non-destructive efficiency of \[38\]).
+    pub fn encounter_rate(&self) -> f64 {
+        self.encounters as f64 / self.steps.max(1) as f64
+    }
+
+    /// Distinct targets per step (the destructive efficiency).
+    pub fn discovery_rate(&self) -> f64 {
+        self.unique_targets as f64 / self.steps.max(1) as f64
+    }
+}
+
+/// Walks a Lévy walk with exponent `alpha` from the origin for `steps`
+/// steps over `field`, counting target encounters.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(1, ∞)`.
+pub fn forage<R: Rng>(
+    alpha: f64,
+    field: &TargetField,
+    steps: u64,
+    rng: &mut R,
+) -> ForagingOutcome {
+    let mut walk = LevyWalk::new(alpha, Point::ORIGIN).expect("valid exponent");
+    let mut found: HashSet<(i64, i64)> = HashSet::new();
+    let mut encounters = 0u64;
+    let mut prev = walk.position();
+    for _ in 0..steps {
+        let pos = walk.step(rng);
+        if pos != prev {
+            if let Some(id) = field.target_id(pos) {
+                encounters += 1;
+                found.insert(id);
+            }
+        }
+        prev = pos;
+    }
+    ForagingOutcome {
+        unique_targets: found.len() as u64,
+        encounters,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_steps_find_nothing() {
+        let field = TargetField::new(16, 0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = forage(2.5, &field, 0, &mut rng);
+        assert_eq!(out.unique_targets, 0);
+        assert_eq!(out.encounters, 0);
+        assert_eq!(out.encounter_rate(), 0.0);
+    }
+
+    #[test]
+    fn encounters_dominate_unique_targets() {
+        let field = TargetField::new(8, 1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = forage(3.0, &field, 50_000, &mut rng);
+        assert!(out.encounters >= out.unique_targets);
+        assert!(out.unique_targets > 0, "a dense field must yield finds");
+    }
+
+    #[test]
+    fn denser_fields_yield_more_finds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let dense = forage(2.5, &TargetField::new(4, 3), 30_000, &mut rng);
+        let sparse = forage(2.5, &TargetField::new(32, 3), 30_000, &mut rng);
+        assert!(
+            dense.unique_targets > sparse.unique_targets,
+            "dense {} vs sparse {}",
+            dense.unique_targets,
+            sparse.unique_targets
+        );
+    }
+
+    #[test]
+    fn diffusive_walker_revisits_more_than_ballistic() {
+        // Re-encounter ratio (encounters / unique) is higher for diffusive
+        // walkers, which oversample their neighbourhood.
+        let field = TargetField::new(6, 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let steps = 60_000;
+        let diffusive = forage(3.5, &field, steps, &mut rng);
+        let ballistic = forage(1.5, &field, steps, &mut rng);
+        let ratio = |o: &ForagingOutcome| o.encounters as f64 / o.unique_targets.max(1) as f64;
+        assert!(
+            ratio(&diffusive) > ratio(&ballistic),
+            "diffusive ratio {} vs ballistic {}",
+            ratio(&diffusive),
+            ratio(&ballistic)
+        );
+    }
+
+    #[test]
+    fn rates_are_consistent() {
+        let field = TargetField::new(8, 5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let out = forage(2.0, &field, 10_000, &mut rng);
+        assert!(out.encounter_rate() >= out.discovery_rate());
+        assert!(out.encounter_rate() <= 1.0);
+    }
+}

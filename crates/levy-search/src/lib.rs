@@ -1,0 +1,59 @@
+//! Search-problem framing and baseline strategies for the reproduction of
+//! *Search via Parallel Lévy Walks on Z²* (PODC 2021).
+//!
+//! The paper's setting is an instance of the ANTS problem: `k` independent
+//! agents from a common source must find a hidden target at unknown distance
+//! `ℓ`. This crate provides:
+//!
+//! * [`SearchProblem`] — instance description with the universal
+//!   `Ω(ℓ²/k + ℓ)` lower-bound reference;
+//! * [`SearchStrategy`] — object-safe strategy abstraction;
+//! * [`LevySearch`] — the paper's strategies (randomized `U(2,3)`
+//!   exponents, fixed exponents, scale-aware optimum);
+//! * [`AntsSearch`] — Feinerman–Korman-style ball+spiral comparator (knows
+//!   `k`);
+//! * [`RandomWalkSearch`] — the diffusive `α → ∞` limit;
+//! * [`BallisticSearch`] — the straight-walk `α → 1` limit.
+//!
+//! # Example: the shoot-out core loop
+//!
+//! ```
+//! use levy_search::{
+//!     AntsSearch, BallisticSearch, LevySearch, RandomWalkSearch, SearchProblem, SearchStrategy,
+//! };
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+//!     Box::new(LevySearch::randomized()),
+//!     Box::new(AntsSearch::new()),
+//!     Box::new(RandomWalkSearch::new()),
+//!     Box::new(BallisticSearch::new()),
+//! ];
+//! let problem = SearchProblem::at_distance(20, 8, 100_000);
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! for s in &strategies {
+//!     let _outcome = s.run(&problem, &mut rng);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ants;
+mod ballistic;
+mod field;
+mod foraging;
+mod mixture;
+mod problem;
+mod random_walk;
+mod strategy;
+
+pub use ants::AntsSearch;
+pub use ballistic::BallisticSearch;
+pub use field::TargetField;
+pub use foraging::{forage, ForagingOutcome};
+pub use mixture::MixtureSearch;
+pub use problem::SearchProblem;
+pub use random_walk::RandomWalkSearch;
+pub use strategy::{LevySearch, SearchStrategy};

@@ -1,0 +1,167 @@
+//! Deterministic exponent mixtures: an ablation of Theorem 1.6.
+//!
+//! The paper's strategy draws each walk's exponent i.i.d. `Uniform(2,3)`.
+//! A natural question is whether the *randomness* matters, or only the
+//! *diversity*: a colony that deterministically spreads its `k` walkers
+//! over a fixed grid of exponents covers the same range without any random
+//! bits (but needs agents to agree on distinct roles — stronger
+//! coordination than the paper's uniform algorithm allows, where agents
+//! are anonymous and cannot communicate). The A3 ablation compares them.
+
+use levy_rng::JumpLengthDistribution;
+use levy_walks::levy_walk_hitting_time;
+use rand::RngCore;
+
+use crate::problem::SearchProblem;
+use crate::strategy::SearchStrategy;
+
+/// `k` walkers deterministically assigned exponents from a fixed palette,
+/// round-robin: walker `j` uses `palette[j % palette.len()]`.
+///
+/// # Examples
+///
+/// ```
+/// use levy_search::{MixtureSearch, SearchProblem, SearchStrategy};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let grid = MixtureSearch::grid(5); // {2.1, 2.3, 2.5, 2.7, 2.9}
+/// let problem = SearchProblem::at_distance(10, 10, 100_000);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let _ = grid.run(&problem, &mut rng);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixtureSearch {
+    palette: Vec<f64>,
+}
+
+impl MixtureSearch {
+    /// Creates a mixture with an explicit exponent palette.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is empty or contains an exponent outside
+    /// `(1, ∞)`.
+    pub fn new(palette: Vec<f64>) -> Self {
+        assert!(!palette.is_empty(), "palette must not be empty");
+        for &a in &palette {
+            assert!(
+                a.is_finite() && a > 1.0,
+                "exponent {a} outside the admissible range (1, ∞)"
+            );
+        }
+        MixtureSearch { palette }
+    }
+
+    /// An evenly spaced grid of `n` exponents strictly inside `(2, 3)`:
+    /// `2 + (i + 1/2)/n` for `i = 0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn grid(n: usize) -> Self {
+        assert!(n >= 1);
+        MixtureSearch::new(
+            (0..n)
+                .map(|i| 2.0 + (i as f64 + 0.5) / n as f64)
+                .collect(),
+        )
+    }
+
+    /// The exponent palette.
+    pub fn palette(&self) -> &[f64] {
+        &self.palette
+    }
+}
+
+impl SearchStrategy for MixtureSearch {
+    fn label(&self) -> String {
+        if self.palette.len() <= 4 {
+            format!("mixture{:.2?}", self.palette)
+        } else {
+            format!(
+                "mixture[grid of {} in ({:.2},{:.2})]",
+                self.palette.len(),
+                self.palette.first().expect("non-empty"),
+                self.palette.last().expect("non-empty"),
+            )
+        }
+    }
+
+    fn run(&self, problem: &SearchProblem, rng: &mut dyn RngCore) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut remaining = problem.budget;
+        for j in 0..problem.num_agents {
+            let alpha = self.palette[j % self.palette.len()];
+            let jumps = JumpLengthDistribution::new(alpha).expect("validated at construction");
+            if let Some(t) =
+                levy_walk_hitting_time(&jumps, problem.source, problem.target, remaining, rng)
+            {
+                if best.map_or(true, |b| t < b) {
+                    best = Some(t);
+                    remaining = t;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_spans_the_open_interval() {
+        let g = MixtureSearch::grid(5);
+        assert_eq!(g.palette().len(), 5);
+        assert!((g.palette()[0] - 2.1).abs() < 1e-12);
+        assert!((g.palette()[4] - 2.9).abs() < 1e-12);
+        for &a in g.palette() {
+            assert!(a > 2.0 && a < 3.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "palette must not be empty")]
+    fn rejects_empty_palette() {
+        MixtureSearch::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the admissible range")]
+    fn rejects_invalid_exponent() {
+        MixtureSearch::new(vec![2.5, 0.5]);
+    }
+
+    #[test]
+    fn finds_close_targets() {
+        let s = MixtureSearch::grid(4);
+        let problem = SearchProblem::at_distance(6, 16, 50_000);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let hits = (0..60)
+            .filter(|_| s.run(&problem, &mut rng).is_some())
+            .count();
+        assert!(hits > 45, "only {hits}/60");
+    }
+
+    #[test]
+    fn label_renders_for_small_and_large_palettes() {
+        assert!(MixtureSearch::new(vec![2.5]).label().contains("2.5"));
+        assert!(MixtureSearch::grid(9).label().contains("grid of 9"));
+    }
+
+    #[test]
+    fn hit_times_respect_distance_and_budget() {
+        let s = MixtureSearch::grid(3);
+        let problem = SearchProblem::at_distance(9, 4, 2_000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            if let Some(t) = s.run(&problem, &mut rng) {
+                assert!(t >= 9 && t <= 2_000);
+            }
+        }
+    }
+}

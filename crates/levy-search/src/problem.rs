@@ -1,0 +1,119 @@
+//! The search problem: `k` agents from a common source, one hidden target.
+//!
+//! This is the setting of the paper (and of the ANTS problem of Feinerman
+//! and Korman it instantiates): `k` independent agents start at the source;
+//! the *parallel hitting time* is the first step at which some agent visits
+//! the target. Agents know neither `ℓ` (the target's distance) nor, for the
+//! uniform strategies, `k`.
+
+use levy_grid::{Point, Ring};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One search instance: source, hidden target, team size and step budget.
+///
+/// # Examples
+///
+/// ```
+/// use levy_search::SearchProblem;
+///
+/// let problem = SearchProblem::at_distance(100, 16, 1_000_000);
+/// assert_eq!(problem.distance(), 100);
+/// assert_eq!(problem.num_agents, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SearchProblem {
+    /// Common start node of all agents.
+    pub source: Point,
+    /// The hidden target node.
+    pub target: Point,
+    /// Number of agents `k`.
+    pub num_agents: usize,
+    /// Right-censoring step budget for simulations.
+    pub budget: u64,
+}
+
+impl SearchProblem {
+    /// A problem with the target placed at the conventional position
+    /// `(ℓ, 0)` relative to the origin.
+    pub fn at_distance(ell: u64, num_agents: usize, budget: u64) -> Self {
+        SearchProblem {
+            source: Point::ORIGIN,
+            target: Point::new(ell as i64, 0),
+            num_agents,
+            budget,
+        }
+    }
+
+    /// A problem with the target placed uniformly at random on the ring
+    /// `R_ℓ(source)` — random direction, known distance.
+    pub fn at_random_direction<R: Rng + ?Sized>(
+        ell: u64,
+        num_agents: usize,
+        budget: u64,
+        rng: &mut R,
+    ) -> Self {
+        SearchProblem {
+            source: Point::ORIGIN,
+            target: Ring::new(Point::ORIGIN, ell).sample_uniform(rng),
+            num_agents,
+            budget,
+        }
+    }
+
+    /// The target's distance `ℓ = ||target - source||_1`.
+    pub fn distance(&self) -> u64 {
+        self.source.l1_distance(self.target)
+    }
+
+    /// The universal lower bound `Ω(ℓ²/k + ℓ)` on the expected parallel
+    /// search time of *any* strategy (observed in Feinerman–Korman and
+    /// quoted by the paper after Theorem 1.6). Returned without the hidden
+    /// constant, as a reference curve.
+    pub fn universal_lower_bound(&self) -> f64 {
+        let ell = self.distance() as f64;
+        let k = self.num_agents.max(1) as f64;
+        ell * ell / k + ell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn at_distance_places_target_east() {
+        let p = SearchProblem::at_distance(42, 3, 100);
+        assert_eq!(p.target, Point::new(42, 0));
+        assert_eq!(p.distance(), 42);
+    }
+
+    #[test]
+    fn random_direction_preserves_distance() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let p = SearchProblem::at_random_direction(37, 2, 100, &mut rng);
+            assert_eq!(p.distance(), 37);
+        }
+    }
+
+    #[test]
+    fn random_direction_varies() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let targets: std::collections::HashSet<Point> = (0..50)
+            .map(|_| SearchProblem::at_random_direction(25, 1, 10, &mut rng).target)
+            .collect();
+        assert!(targets.len() > 10, "targets should spread over the ring");
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        let p = SearchProblem::at_distance(100, 4, 1);
+        assert!((p.universal_lower_bound() - (2500.0 + 100.0)).abs() < 1e-9);
+        // k = 0 is treated as 1 agent to avoid division by zero.
+        let p0 = SearchProblem::at_distance(10, 0, 1);
+        assert!((p0.universal_lower_bound() - 110.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Simple-random-walk baseline: the `α → ∞` limit of the Lévy walk.
+//!
+//! As `α → ∞` the paper's jump law degenerates to `P(d=0) = P(d=1) ≈ 1/2`
+//! (Section 2: "as α → ∞, the Lévy walk jump converges in distribution to
+//! that of a simple random walk"). This module implements the clean limit —
+//! a lazy simple random walk on the grid — as a diffusive baseline for the
+//! strategy shoot-out.
+
+use levy_grid::Point;
+use rand::{Rng, RngCore};
+
+use crate::problem::SearchProblem;
+use crate::strategy::SearchStrategy;
+
+/// `k` independent lazy simple random walks (stay put w.p. 1/2, else a
+/// uniform neighbour), mirroring the walk's time accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomWalkSearch {
+    /// If true, the walk is lazy (stays put w.p. 1/2), matching the `d = 0`
+    /// mass of the Lévy law. If false, it moves every step.
+    pub lazy: bool,
+}
+
+impl RandomWalkSearch {
+    /// Creates the lazy variant (the faithful `α → ∞` limit).
+    pub fn new() -> Self {
+        RandomWalkSearch { lazy: true }
+    }
+
+    /// Creates the non-lazy variant (moves every step).
+    pub fn non_lazy() -> Self {
+        RandomWalkSearch { lazy: false }
+    }
+
+    /// Simulates a single walk; returns its hitting time within `budget`.
+    fn single<R: Rng + ?Sized>(
+        &self,
+        start: Point,
+        target: Point,
+        budget: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        if start == target {
+            return Some(0);
+        }
+        let mut pos = start;
+        for t in 1..=budget {
+            let move_now = !self.lazy || rng.gen::<bool>();
+            if move_now {
+                pos = pos.neighbors()[rng.gen_range(0..4usize)];
+                if pos == target {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl SearchStrategy for RandomWalkSearch {
+    fn label(&self) -> String {
+        if self.lazy {
+            "simple-rw[lazy]".to_owned()
+        } else {
+            "simple-rw".to_owned()
+        }
+    }
+
+    fn run(&self, problem: &SearchProblem, rng: &mut dyn RngCore) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut remaining = problem.budget;
+        for _ in 0..problem.num_agents {
+            if let Some(t) = self.single(problem.source, problem.target, remaining, rng) {
+                if best.map_or(true, |b| t < b) {
+                    best = Some(t);
+                    remaining = t;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hits_adjacent_target_quickly() {
+        let s = RandomWalkSearch::new();
+        let problem = SearchProblem::at_distance(1, 4, 1_000);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let hits = (0..100)
+            .filter(|_| s.run(&problem, &mut rng).is_some())
+            .count();
+        assert!(hits >= 95, "only {hits}/100");
+    }
+
+    #[test]
+    fn hit_time_at_least_distance() {
+        let s = RandomWalkSearch::non_lazy();
+        let problem = SearchProblem::at_distance(6, 2, 100_000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            if let Some(t) = s.run(&problem, &mut rng) {
+                assert!(t >= 6);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_walk_is_slower_than_non_lazy() {
+        // The lazy walk wastes half its steps; its hit rate within a fixed
+        // budget must not exceed the non-lazy one by much.
+        let problem = SearchProblem::at_distance(5, 1, 200);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let lazy_hits = (0..2_000)
+            .filter(|_| RandomWalkSearch::new().run(&problem, &mut rng).is_some())
+            .count();
+        let nonlazy_hits = (0..2_000)
+            .filter(|_| {
+                RandomWalkSearch::non_lazy()
+                    .run(&problem, &mut rng)
+                    .is_some()
+            })
+            .count();
+        assert!(
+            nonlazy_hits > lazy_hits,
+            "non-lazy {nonlazy_hits} should beat lazy {lazy_hits}"
+        );
+    }
+
+    #[test]
+    fn far_targets_are_essentially_unreachable_within_linear_budget() {
+        // Diffusive scaling: within O(ℓ) steps a random walk almost never
+        // reaches distance ℓ.
+        let s = RandomWalkSearch::new();
+        let problem = SearchProblem::at_distance(50, 1, 100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..500)
+            .filter(|_| s.run(&problem, &mut rng).is_some())
+            .count();
+        assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The strategy abstraction and the paper's Lévy walk strategies.
+//!
+//! A [`SearchStrategy`] maps a [`SearchProblem`] and randomness to the
+//! parallel time at which the team finds the target (censored at the
+//! budget). The Lévy strategies delegate to the core crate; baseline
+//! strategies live in sibling modules.
+
+use levy_rng::ExponentStrategy;
+use levy_walks::parallel_hitting_time;
+use rand::RngCore;
+
+use crate::problem::SearchProblem;
+
+/// A parallel search strategy for `k` agents.
+///
+/// The trait is object-safe so that shoot-out experiments can iterate over
+/// heterogeneous strategy lists.
+pub trait SearchStrategy {
+    /// Human-readable label used in reports and tables.
+    fn label(&self) -> String;
+
+    /// Simulates one search trial; returns the parallel hitting time if the
+    /// target was found within `problem.budget` steps.
+    fn run(&self, problem: &SearchProblem, rng: &mut dyn RngCore) -> Option<u64>;
+}
+
+/// The paper's strategy family: `k` independent Lévy walks whose exponents
+/// are chosen by an [`ExponentStrategy`].
+///
+/// With [`ExponentStrategy::UniformSuperdiffusive`] this is exactly the
+/// uniform, fully oblivious algorithm of Theorem 1.6.
+///
+/// # Examples
+///
+/// ```
+/// use levy_rng::ExponentStrategy;
+/// use levy_search::{LevySearch, SearchProblem, SearchStrategy};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let strategy = LevySearch::new(ExponentStrategy::UniformSuperdiffusive);
+/// let problem = SearchProblem::at_distance(10, 8, 100_000);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let hit = strategy.run(&problem, &mut rng);
+/// if let Some(t) = hit {
+///     assert!(t >= 10);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevySearch {
+    exponents: ExponentStrategy,
+}
+
+impl LevySearch {
+    /// Creates the Lévy search strategy with the given exponent rule.
+    pub fn new(exponents: ExponentStrategy) -> Self {
+        LevySearch { exponents }
+    }
+
+    /// The paper's headline strategy: exponents i.i.d. `Uniform(2, 3)`.
+    pub fn randomized() -> Self {
+        LevySearch::new(ExponentStrategy::UniformSuperdiffusive)
+    }
+
+    /// All agents share the fixed exponent `alpha`.
+    pub fn fixed(alpha: f64) -> Self {
+        LevySearch::new(ExponentStrategy::Fixed(alpha))
+    }
+
+    /// The underlying exponent rule.
+    pub fn exponent_strategy(&self) -> &ExponentStrategy {
+        &self.exponents
+    }
+}
+
+impl SearchStrategy for LevySearch {
+    fn label(&self) -> String {
+        format!("levy[{}]", self.exponents.label())
+    }
+
+    fn run(&self, problem: &SearchProblem, rng: &mut dyn RngCore) -> Option<u64> {
+        parallel_hitting_time(
+            problem.num_agents,
+            &self.exponents,
+            problem.source,
+            problem.target,
+            problem.budget,
+            rng,
+        )
+        .time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_mention_the_rule() {
+        assert!(LevySearch::randomized().label().contains("U(2,3)"));
+        assert!(LevySearch::fixed(2.0).label().contains("2.000"));
+    }
+
+    #[test]
+    fn trivial_problem_is_solved_instantly() {
+        let strategy = LevySearch::randomized();
+        let mut problem = SearchProblem::at_distance(0, 1, 10);
+        problem.target = problem.source;
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(strategy.run(&problem, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn respects_budget_censoring() {
+        let strategy = LevySearch::fixed(2.5);
+        let problem = SearchProblem::at_distance(1_000, 1, 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(strategy.run(&problem, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn randomized_strategy_finds_close_targets_reliably() {
+        let strategy = LevySearch::randomized();
+        let problem = SearchProblem::at_distance(5, 16, 50_000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..50)
+            .filter(|_| strategy.run(&problem, &mut rng).is_some())
+            .count();
+        assert!(hits >= 45, "only {hits}/50 hits for an easy instance");
+    }
+}

@@ -1,0 +1,127 @@
+//! Contracts every search strategy must satisfy, checked uniformly across
+//! all implementations via the `SearchStrategy` trait.
+
+use levy_search::{
+    AntsSearch, BallisticSearch, LevySearch, MixtureSearch, RandomWalkSearch, SearchProblem,
+    SearchStrategy,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn all_strategies() -> Vec<Box<dyn SearchStrategy>> {
+    vec![
+        Box::new(LevySearch::randomized()),
+        Box::new(LevySearch::fixed(2.0 + 1e-9)),
+        Box::new(LevySearch::fixed(2.5)),
+        Box::new(MixtureSearch::grid(4)),
+        Box::new(RandomWalkSearch::new()),
+        Box::new(RandomWalkSearch::non_lazy()),
+        Box::new(BallisticSearch::new()),
+        Box::new(AntsSearch::new()),
+    ]
+}
+
+#[test]
+fn hit_times_are_within_distance_and_budget() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let problem = SearchProblem::at_distance(12, 8, 4_000);
+    for strategy in all_strategies() {
+        for _ in 0..40 {
+            if let Some(t) = strategy.run(&problem, &mut rng) {
+                assert!(
+                    t >= 12 && t <= 4_000,
+                    "{}: hit time {t} out of [12, 4000]",
+                    strategy.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn source_equals_target_is_instant_for_every_strategy() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut problem = SearchProblem::at_distance(0, 4, 100);
+    problem.target = problem.source;
+    for strategy in all_strategies() {
+        assert_eq!(
+            strategy.run(&problem, &mut rng),
+            Some(0),
+            "{} fails the trivial instance",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn zero_agents_never_find_anything() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let problem = SearchProblem::at_distance(5, 0, 10_000);
+    for strategy in all_strategies() {
+        assert_eq!(
+            strategy.run(&problem, &mut rng),
+            None,
+            "{} found a target with zero agents",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn labels_are_distinct_and_nonempty() {
+    let labels: Vec<String> = all_strategies().iter().map(|s| s.label()).collect();
+    for l in &labels {
+        assert!(!l.is_empty());
+    }
+    let set: std::collections::HashSet<&String> = labels.iter().collect();
+    assert_eq!(set.len(), labels.len(), "duplicate labels: {labels:?}");
+}
+
+#[test]
+fn hit_rate_is_monotone_in_k_for_each_strategy() {
+    // Statistically: doubling k must not significantly reduce the hit rate.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let trials = 300;
+    for strategy in all_strategies() {
+        let mut rates = Vec::new();
+        for k in [2usize, 16] {
+            let problem = SearchProblem::at_distance(10, k, 1_500);
+            let hits = (0..trials)
+                .filter(|_| strategy.run(&problem, &mut rng).is_some())
+                .count();
+            rates.push(hits as f64 / trials as f64);
+        }
+        assert!(
+            rates[1] >= rates[0] - 0.08,
+            "{}: rate dropped from {} to {} when k grew",
+            strategy.label(),
+            rates[0],
+            rates[1]
+        );
+    }
+}
+
+#[test]
+fn random_direction_and_fixed_east_have_similar_difficulty() {
+    // The lattice is symmetric; strategy success must not depend strongly
+    // on the target's direction.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let strategy = LevySearch::randomized();
+    let trials = 600;
+    let east_hits = (0..trials)
+        .filter(|_| {
+            let problem = SearchProblem::at_distance(16, 8, 5_000);
+            strategy.run(&problem, &mut rng).is_some()
+        })
+        .count() as f64;
+    let random_hits = (0..trials)
+        .filter(|_| {
+            let problem = SearchProblem::at_random_direction(16, 8, 5_000, &mut rng);
+            strategy.run(&problem, &mut rng).is_some()
+        })
+        .count() as f64;
+    assert!(
+        (east_hits - random_hits).abs() / trials as f64 <= 0.08,
+        "east {east_hits} vs random {random_hits} of {trials}"
+    );
+}

@@ -1,0 +1,215 @@
+//! Adaptive-precision probability estimation.
+//!
+//! Fixed trial counts waste work when the estimated probability is large
+//! and starve when it is tiny (the saturated hit probabilities of E1 span
+//! three orders of magnitude across `ℓ`). [`estimate_probability`] runs
+//! trials in batches until the Wilson interval is narrow enough — in
+//! absolute *or* relative terms — or a trial cap is reached.
+
+use levy_analysis::wilson_interval;
+use levy_rng::SeedStream;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+use crate::runner::run_trials;
+
+/// Stopping rule for [`estimate_probability`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Precision {
+    /// Stop when the CI half-width is below this absolute value.
+    pub absolute: f64,
+    /// ... or below this fraction of the point estimate.
+    pub relative: f64,
+    /// Hard cap on the number of trials.
+    pub max_trials: u64,
+}
+
+impl Precision {
+    /// A sensible default: half-width ≤ 0.01 absolute or ≤ 10% relative,
+    /// at most `max_trials` trials.
+    pub fn default_with_cap(max_trials: u64) -> Self {
+        Precision {
+            absolute: 0.01,
+            relative: 0.10,
+            max_trials,
+        }
+    }
+}
+
+/// Result of an adaptive estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveEstimate {
+    /// Point estimate of the probability.
+    pub p: f64,
+    /// 95% Wilson interval.
+    pub ci: (f64, f64),
+    /// Trials actually consumed.
+    pub trials: u64,
+    /// Successes observed.
+    pub successes: u64,
+    /// Whether the precision target was met (false = trial cap hit).
+    pub converged: bool,
+}
+
+/// Estimates `P(predicate)` by batched simulation until `precision` is met.
+///
+/// Batches double from 256 trials; each trial `i` uses the deterministic
+/// stream `seeds.child(i)`, so the estimate is reproducible and extending
+/// a run reuses no randomness.
+pub fn estimate_probability<F>(
+    seeds: SeedStream,
+    threads: usize,
+    precision: Precision,
+    predicate: F,
+) -> AdaptiveEstimate
+where
+    F: Fn(u64, &mut SmallRng) -> bool + Sync,
+{
+    let mut trials: u64 = 0;
+    let mut successes: u64 = 0;
+    let mut batch: u64 = 256;
+    loop {
+        let batch_size = batch.min(precision.max_trials - trials);
+        if batch_size == 0 {
+            break;
+        }
+        // Trials [trials, trials + batch_size) with their canonical streams.
+        let start = trials;
+        let hits = run_trials(batch_size, seeds, threads, |i, rng| {
+            // Re-derive the global trial index so results are identical to
+            // a single non-adaptive run of the same predicate.
+            let mut trial_rng = seeds.child(start + i).rng();
+            let _ = rng; // the runner's stream for (local) i is unused
+            predicate(start + i, &mut trial_rng)
+        })
+        .into_iter()
+        .filter(|&b| b)
+        .count() as u64;
+        trials += batch_size;
+        successes += hits;
+        let p = successes as f64 / trials as f64;
+        let ci = wilson_interval(successes, trials, 1.96);
+        let half = (ci.1 - ci.0) / 2.0;
+        let met = half <= precision.absolute || (p > 0.0 && half <= precision.relative * p);
+        if met {
+            return AdaptiveEstimate {
+                p,
+                ci,
+                trials,
+                successes,
+                converged: true,
+            };
+        }
+        batch *= 2;
+    }
+    let p = if trials > 0 {
+        successes as f64 / trials as f64
+    } else {
+        0.0
+    };
+    AdaptiveEstimate {
+        p,
+        ci: wilson_interval(successes, trials.max(1), 1.96),
+        trials,
+        successes,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn converges_quickly_for_moderate_probabilities() {
+        let est = estimate_probability(
+            SeedStream::new(1),
+            2,
+            Precision {
+                absolute: 0.02,
+                relative: 0.5,
+                max_trials: 1_000_000,
+            },
+            |_i, rng| rng.gen::<f64>() < 0.3,
+        );
+        assert!(est.converged);
+        assert!((est.p - 0.3).abs() < 0.05, "p = {}", est.p);
+        assert!(est.trials < 50_000, "used {} trials", est.trials);
+    }
+
+    #[test]
+    fn spends_more_trials_on_rare_events() {
+        let rare = estimate_probability(
+            SeedStream::new(2),
+            2,
+            Precision {
+                absolute: 1e-4,
+                relative: 0.3,
+                max_trials: 400_000,
+            },
+            |_i, rng| rng.gen::<f64>() < 0.002,
+        );
+        let common = estimate_probability(
+            SeedStream::new(2),
+            2,
+            Precision {
+                absolute: 1e-4,
+                relative: 0.3,
+                max_trials: 400_000,
+            },
+            |_i, rng| rng.gen::<f64>() < 0.5,
+        );
+        assert!(
+            rare.trials > common.trials,
+            "rare {} vs common {}",
+            rare.trials,
+            common.trials
+        );
+    }
+
+    #[test]
+    fn trial_cap_is_respected_and_reported() {
+        let est = estimate_probability(
+            SeedStream::new(3),
+            1,
+            Precision {
+                absolute: 1e-9,
+                relative: 1e-9,
+                max_trials: 1_000,
+            },
+            |_i, rng| rng.gen::<f64>() < 0.5,
+        );
+        assert!(!est.converged);
+        assert_eq!(est.trials, 1_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            estimate_probability(
+                SeedStream::new(4),
+                3,
+                Precision::default_with_cap(10_000),
+                |_i, rng| rng.gen::<f64>() < 0.2,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_probability_event_hits_cap() {
+        let est = estimate_probability(
+            SeedStream::new(5),
+            1,
+            Precision {
+                absolute: 1e-6,
+                relative: 0.1,
+                max_trials: 2_048,
+            },
+            |_i, _rng| false,
+        );
+        assert_eq!(est.successes, 0);
+        assert_eq!(est.p, 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Experiment engine for the reproduction of *Search via Parallel Lévy
+//! Walks on Z²* (PODC 2021).
+//!
+//! * [`run_trials`] — deterministic multi-threaded trial execution
+//!   (bit-identical results regardless of thread count);
+//! * [`measure_single_walk`] / [`measure_parallel_common`] /
+//!   [`measure_parallel_strategy`] / [`measure_search_strategy`] — the
+//!   hitting-time measurements behind every experiment (E1–E10);
+//! * [`TextTable`] / [`write_json`] — paper-style tables and persisted
+//!   results;
+//! * sweep helpers ([`linspace`], [`geomspace`], ...).
+//!
+//! # Example
+//!
+//! ```
+//! use levy_sim::{measure_parallel_common, MeasurementConfig};
+//!
+//! // P(τ^k ≤ budget) for k = 4 walks with α = 2.5 and ℓ = 8.
+//! let config = MeasurementConfig::new(8, 2_000, 200, 7);
+//! let summary = measure_parallel_common(2.5, 4, &config);
+//! assert_eq!(summary.trials(), 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod experiment;
+mod plot;
+mod report;
+mod runner;
+mod sweep;
+
+pub use experiment::{
+    measure_parallel_common, measure_parallel_strategy, measure_search_strategy,
+    measure_single_flight, measure_single_walk, MeasurementConfig, TargetPlacement,
+};
+pub use adaptive::{estimate_probability, AdaptiveEstimate, Precision};
+pub use plot::AsciiPlot;
+pub use report::{write_json, TextTable};
+pub use runner::{count_trials, default_threads, run_trials};
+pub use sweep::{geom_integers, geomspace, linspace, pow2_range};

@@ -1,0 +1,183 @@
+//! Terminal scatter plots, linear or log–log.
+//!
+//! The experiment binaries regenerate the paper's "figures" as data tables;
+//! this module adds a quick visual: an ASCII scatter of the same series, so
+//! the power-law shapes are visible directly in the terminal output.
+
+/// Renders an ASCII scatter plot of one or more series.
+///
+/// Each series is a labelled list of `(x, y)` points; the characters
+/// `a`, `b`, `c`, ... mark series 0, 1, 2, ... (later series draw over
+/// earlier ones on collisions).
+///
+/// # Examples
+///
+/// ```
+/// use levy_sim::AsciiPlot;
+///
+/// let mut plot = AsciiPlot::new(40, 12);
+/// plot.series("linear", (1..=10).map(|i| (i as f64, i as f64)).collect());
+/// let out = plot.render();
+/// assert!(out.contains("a = linear"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl AsciiPlot {
+    /// Creates an empty plot canvas of the given character dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "canvas too small");
+        AsciiPlot {
+            width,
+            height,
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches both axes to logarithmic scale (non-positive points are
+    /// dropped at render time).
+    pub fn log_log(mut self) -> Self {
+        self.log_x = true;
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a labelled series.
+    pub fn series<S: Into<String>>(&mut self, label: S, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((label.into(), points));
+        self
+    }
+
+    fn transform(&self, p: (f64, f64)) -> Option<(f64, f64)> {
+        let x = if self.log_x {
+            if p.0 <= 0.0 {
+                return None;
+            }
+            p.0.ln()
+        } else {
+            p.0
+        };
+        let y = if self.log_y {
+            if p.1 <= 0.0 {
+                return None;
+            }
+            p.1.ln()
+        } else {
+            p.1
+        };
+        (x.is_finite() && y.is_finite()).then_some((x, y))
+    }
+
+    /// Renders the plot with a legend line per series.
+    pub fn render(&self) -> String {
+        let pts: Vec<(usize, f64, f64)> = self
+            .series
+            .iter()
+            .enumerate()
+            .flat_map(|(si, (_, ps))| {
+                ps.iter()
+                    .filter_map(move |&p| self.transform(p).map(|(x, y)| (si, x, y)))
+            })
+            .collect();
+        if pts.is_empty() {
+            return "(no plottable points)\n".to_owned();
+        }
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, x, y) in &pts {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        // Degenerate ranges still render (all points in one column/row).
+        let span_x = (max_x - min_x).max(1e-12);
+        let span_y = (max_y - min_y).max(1e-12);
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(si, x, y) in &pts {
+            let cx = ((x - min_x) / span_x * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - min_y) / span_y * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            grid[row][cx] = (b'a' + (si % 26) as u8) as char;
+        }
+        let mut out = String::new();
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "{} = {label}{}\n",
+                (b'a' + (si % 26) as u8) as char,
+                if self.log_x || self.log_y {
+                    " (log-log)"
+                } else {
+                    ""
+                }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let mut p = AsciiPlot::new(20, 8);
+        p.series("up", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let out = p.render();
+        assert!(out.contains('a'));
+        assert!(out.contains("a = up"));
+        assert_eq!(out.lines().filter(|l| l.starts_with('|')).count(), 8);
+    }
+
+    #[test]
+    fn log_log_drops_nonpositive() {
+        let mut p = AsciiPlot::new(10, 5);
+        p.series("s", vec![(-1.0, 1.0), (0.0, 2.0)]);
+        let p = p.clone().log_log();
+        assert_eq!(p.render(), "(no plottable points)\n");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_markers() {
+        let mut p = AsciiPlot::new(30, 6);
+        p.series("one", vec![(0.0, 0.0)]);
+        p.series("two", vec![(10.0, 5.0)]);
+        let out = p.render();
+        assert!(out.contains('a') && out.contains('b'));
+    }
+
+    #[test]
+    fn degenerate_single_point_renders() {
+        let mut p = AsciiPlot::new(10, 4);
+        p.series("dot", vec![(3.0, 3.0)]);
+        let out = p.render();
+        assert!(out.contains('a'));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn rejects_tiny_canvas() {
+        AsciiPlot::new(1, 1);
+    }
+}

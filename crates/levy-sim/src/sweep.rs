@@ -1,0 +1,88 @@
+//! Parameter-grid helpers for sweeps over `α`, `ℓ`, `k` and `t`.
+
+/// `n` evenly spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the bounds are not finite.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    assert!(lo.is_finite() && hi.is_finite());
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+/// `n` geometrically spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the bounds are not positive finite.
+pub fn geomspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "geomspace needs at least two points");
+    assert!(lo > 0.0 && hi > 0.0 && lo.is_finite() && hi.is_finite());
+    let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+/// Powers of two from `2^lo` to `2^hi` inclusive.
+pub fn pow2_range(lo: u32, hi: u32) -> Vec<u64> {
+    assert!(lo <= hi && hi < 64);
+    (lo..=hi).map(|e| 1u64 << e).collect()
+}
+
+/// Geometrically spaced integers from `lo` to `hi` inclusive (deduplicated,
+/// sorted).
+pub fn geom_integers(lo: u64, hi: u64, n: usize) -> Vec<u64> {
+    assert!(lo >= 1 && hi >= lo);
+    let mut values: Vec<u64> = geomspace(lo as f64, hi as f64, n.max(2))
+        .into_iter()
+        .map(|x| x.round() as u64)
+        .collect();
+    values.sort_unstable();
+    values.dedup();
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(2.0, 3.0, 6);
+        assert_eq!(v.len(), 6);
+        assert!((v[0] - 2.0).abs() < 1e-12);
+        assert!((v[5] - 3.0).abs() < 1e-12);
+        assert!((v[1] - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomspace_is_geometric() {
+        let v = geomspace(1.0, 16.0, 5);
+        for w in v.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pow2_range_values() {
+        assert_eq!(pow2_range(3, 6), vec![8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn geom_integers_dedups() {
+        let v = geom_integers(1, 10, 20);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(v, sorted);
+        assert_eq!(*v.first().unwrap(), 1);
+        assert_eq!(*v.last().unwrap(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linspace_rejects_single_point() {
+        linspace(0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Engine-level contracts: determinism, censoring accounting, and
+//! placement semantics of the measurement layer.
+
+use levy_rng::{ExponentStrategy, SeedStream};
+use levy_sim::{
+    geom_integers, linspace, measure_parallel_strategy, measure_single_walk, run_trials,
+    MeasurementConfig, TargetPlacement, TextTable,
+};
+use rand::Rng;
+
+#[test]
+fn run_trials_determinism_at_scale() {
+    let f = |i: u64, rng: &mut rand::rngs::SmallRng| -> u64 { rng.gen::<u64>() ^ (i * 31) };
+    let runs: Vec<Vec<u64>> = [1usize, 2, 5, 13]
+        .iter()
+        .map(|&threads| run_trials(4_097, SeedStream::new(77), threads, f))
+        .collect();
+    for pair in runs.windows(2) {
+        assert_eq!(pair[0], pair[1], "thread count changed results");
+    }
+}
+
+#[test]
+fn censoring_accounts_every_trial_exactly_once() {
+    let config = MeasurementConfig::new(40, 100, 1_234, 5);
+    let summary = measure_single_walk(2.5, &config);
+    assert_eq!(summary.hits + summary.censored, 1_234);
+    assert_eq!(summary.observed.len() as u64, summary.hits);
+    for &t in &summary.observed {
+        assert!(t >= 40.0 && t <= 100.0, "observed time {t} out of range");
+    }
+}
+
+#[test]
+fn fixed_east_and_random_direction_configs_differ_only_statistically() {
+    let mut east = MeasurementConfig::new(12, 2_000, 800, 9);
+    east.placement = TargetPlacement::FixedEast;
+    let mut random = MeasurementConfig::new(12, 2_000, 800, 9);
+    random.placement = TargetPlacement::RandomDirection;
+    let se = measure_single_walk(2.5, &east);
+    let sr = measure_single_walk(2.5, &random);
+    assert!(
+        (se.hit_rate() - sr.hit_rate()).abs() < 0.08,
+        "east {} vs random {}",
+        se.hit_rate(),
+        sr.hit_rate()
+    );
+}
+
+#[test]
+fn parallel_strategy_measurement_is_reproducible_and_seed_sensitive() {
+    let config = MeasurementConfig::new(10, 500, 300, 11);
+    let a = measure_parallel_strategy(ExponentStrategy::UniformSuperdiffusive, 4, &config);
+    let b = measure_parallel_strategy(ExponentStrategy::UniformSuperdiffusive, 4, &config);
+    assert_eq!(a, b);
+    let mut other = config;
+    other.seed = 12;
+    let c = measure_parallel_strategy(ExponentStrategy::UniformSuperdiffusive, 4, &other);
+    assert_ne!(a.observed, c.observed, "different seeds must differ");
+}
+
+#[test]
+fn sweep_helpers_compose_for_experiment_grids() {
+    let alphas = linspace(2.0, 3.0, 11);
+    assert_eq!(alphas.len(), 11);
+    let budgets = geom_integers(64, 65_536, 11);
+    assert!(budgets.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(*budgets.first().unwrap(), 64);
+    assert_eq!(*budgets.last().unwrap(), 65_536);
+}
+
+#[test]
+fn tables_render_experiment_rows_faithfully() {
+    let mut t = TextTable::new(vec!["alpha", "P"]);
+    for a in linspace(2.1, 2.9, 5) {
+        t.row(vec![format!("{a:.2}"), "0.5".into()]);
+    }
+    let rendered = t.render();
+    assert_eq!(rendered.lines().count(), 2 + 5);
+    assert!(rendered.contains("2.10"));
+    assert!(rendered.contains("2.90"));
+    let csv = t.to_csv();
+    assert_eq!(csv.lines().count(), 6);
+}

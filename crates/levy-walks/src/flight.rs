@@ -1,0 +1,219 @@
+//! Lévy flights (Definition 3.3): the jump-endpoint Markov chain.
+//!
+//! A Lévy flight teleports, in each step, by a jump whose length follows
+//! the paper's law (Eq. 3) and whose destination is uniform on the L1 ring
+//! of that length. The flight is exactly the Lévy walk restricted to its
+//! jump endpoints; it is a Markov chain and a *monotone radial* process
+//! (Definition 3.8), which the paper exploits heavily (Lemma 3.9).
+
+use levy_grid::{Point, Ring};
+use levy_rng::{InvalidExponentError, JumpLengthDistribution};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::process::JumpProcess;
+
+/// A Lévy flight with exponent `α`, i.e. the Markov chain whose one-step
+/// law is radially non-increasing: `P(J_{t+1} = v | J_t = u) = ρ(||u-v||_1)`
+/// with `ρ(d) = c_α / (4 d^{α+1})` for `d >= 1` and `ρ(0) = 1/2`.
+///
+/// # Examples
+///
+/// ```
+/// use levy_walks::{JumpProcess, LevyFlight};
+/// use levy_grid::Point;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut flight = LevyFlight::new(2.5, Point::ORIGIN)?;
+/// flight.step(&mut rng);
+/// assert_eq!(flight.time(), 1);
+/// # Ok::<(), levy_rng::InvalidExponentError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevyFlight {
+    jumps: JumpLengthDistribution,
+    position: Point,
+    time: u64,
+}
+
+impl LevyFlight {
+    /// Creates a flight with the given exponent starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for exponents outside `(1, ∞)` (Remark 3.5).
+    pub fn new(alpha: f64, start: Point) -> Result<Self, InvalidExponentError> {
+        Ok(LevyFlight {
+            jumps: JumpLengthDistribution::new(alpha)?,
+            position: start,
+            time: 0,
+        })
+    }
+
+    /// The exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.jumps.alpha()
+    }
+
+    /// The jump-length distribution driving the flight.
+    pub fn jump_distribution(&self) -> &JumpLengthDistribution {
+        &self.jumps
+    }
+
+    /// Single-step transition probability `ρ(d)` onto a node at L1
+    /// distance `d` — non-increasing in `d`, certifying that the flight is
+    /// monotone radial (Definition 3.8).
+    pub fn radial_transition_probability(&self, d: u64) -> f64 {
+        if d == 0 {
+            0.5
+        } else {
+            // Mass of length d split uniformly over the 4d ring nodes.
+            self.jumps.pmf(d) / (4 * d) as f64
+        }
+    }
+}
+
+impl JumpProcess for LevyFlight {
+    fn position(&self) -> Point {
+        self.position
+    }
+
+    fn time(&self) -> u64 {
+        self.time
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> Point {
+        let d = self.jumps.sample(rng);
+        if d > 0 {
+            self.position = Ring::new(self.position, d).sample_uniform(rng);
+        }
+        self.time += 1;
+        self.position
+    }
+}
+
+/// One full jump of the paper's processes, sampled explicitly: the pair of
+/// jump length and destination. Useful when a caller needs the length (the
+/// walk's phase duration) alongside the endpoint.
+pub fn sample_jump<R: Rng + ?Sized>(
+    jumps: &JumpLengthDistribution,
+    from: Point,
+    rng: &mut R,
+) -> (u64, Point) {
+    let d = jumps.sample(rng);
+    if d == 0 {
+        (0, from)
+    } else {
+        (d, Ring::new(from, d).sample_uniform(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flight_time_counts_jumps() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut f = LevyFlight::new(2.2, Point::ORIGIN).unwrap();
+        for t in 1..=50 {
+            f.step(&mut rng);
+            assert_eq!(f.time(), t);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_exponent() {
+        assert!(LevyFlight::new(0.9, Point::ORIGIN).is_err());
+    }
+
+    #[test]
+    fn stationary_jumps_keep_position() {
+        // With probability 1/2 a jump has length 0; verify some steps do
+        // not move the flight.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut f = LevyFlight::new(3.0, Point::ORIGIN).unwrap();
+        let mut stays = 0;
+        let mut moves = 0;
+        for _ in 0..1000 {
+            let before = f.position();
+            let after = f.step(&mut rng);
+            if before == after {
+                stays += 1;
+            } else {
+                moves += 1;
+            }
+        }
+        // ~50% zero-length jumps.
+        assert!(stays > 400 && moves > 400, "stays={stays}, moves={moves}");
+    }
+
+    #[test]
+    fn radial_transition_is_non_increasing() {
+        let f = LevyFlight::new(2.5, Point::ORIGIN).unwrap();
+        let mut prev = f.radial_transition_probability(0);
+        for d in 1..200 {
+            let p = f.radial_transition_probability(d);
+            assert!(p <= prev + 1e-15, "rho not monotone at d={d}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn radial_transition_sums_to_one() {
+        // Σ_v P(u -> v) = ρ(0) + Σ_d 4d·ρ(d) = 1.
+        let f = LevyFlight::new(2.7, Point::ORIGIN).unwrap();
+        let head: f64 = (1..=20_000u64)
+            .map(|d| 4.0 * d as f64 * f.radial_transition_probability(d))
+            .sum();
+        let tail = f.jump_distribution().tail(20_001);
+        let total = 0.5 + head + tail;
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn jump_endpoint_distribution_is_ring_uniform() {
+        // Conditional on length d, endpoints must cover the ring uniformly;
+        // smoke-test d = 1 frequencies (4 neighbours).
+        let jumps = JumpLengthDistribution::new(2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut counts = std::collections::HashMap::new();
+        let mut n = 0;
+        while n < 20_000 {
+            let (d, v) = sample_jump(&jumps, Point::ORIGIN, &mut rng);
+            if d == 1 {
+                *counts.entry(v).or_insert(0u64) += 1;
+                n += 1;
+            }
+        }
+        assert_eq!(counts.len(), 4);
+        for (_, c) in counts {
+            let frac = c as f64 / 20_000.0;
+            assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+        }
+    }
+
+    #[test]
+    fn flight_displacement_grows_with_time_superdiffusively() {
+        // Rough sanity: for α = 2.5 the flight should travel far beyond
+        // sqrt(t) scaling on average (heavy tails).
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = 2_000u64;
+        let mut total: f64 = 0.0;
+        let trials = 50;
+        for _ in 0..trials {
+            let mut f = LevyFlight::new(2.5, Point::ORIGIN).unwrap();
+            f.advance(t, &mut rng);
+            total += f.position().l1_norm() as f64;
+        }
+        let mean = total / trials as f64;
+        assert!(
+            mean > (t as f64).sqrt(),
+            "mean displacement {mean} not superdiffusive"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The jump-process abstraction of Section 3.1.
+//!
+//! A (discrete-time) jump process on `Z^2` is an infinite random sequence
+//! `(J_t)_{t >= 0}` of lattice nodes. Lévy flights advance one *jump* per
+//! step; Lévy walks advance one *lattice edge* per step. Both are driven
+//! through the same [`JumpProcess`] trait so that hitting-time machinery,
+//! recorders and tests are shared.
+
+use levy_grid::Point;
+use rand::RngCore;
+
+/// A discrete-time random process on the lattice.
+///
+/// Implementors advance one time unit per [`step`](JumpProcess::step) call;
+/// what a "time unit" means is process-specific (a full jump for a flight,
+/// a single lattice edge for a walk), matching the paper's accounting.
+///
+/// The trait is object-safe; the RNG is passed as `&mut dyn RngCore` so
+/// heterogeneous collections of processes can be driven together.
+pub trait JumpProcess {
+    /// The node occupied at the current time (`J_t`).
+    fn position(&self) -> Point;
+
+    /// The current time `t` (number of completed steps).
+    fn time(&self) -> u64;
+
+    /// Advances the process one time step and returns the new position.
+    fn step(&mut self, rng: &mut dyn RngCore) -> Point;
+
+    /// Advances `n` steps, returning the final position.
+    fn advance(&mut self, n: u64, rng: &mut dyn RngCore) -> Point {
+        for _ in 0..n {
+            self.step(rng);
+        }
+        self.position()
+    }
+
+    /// Runs the process until it visits `target` or `budget` steps elapse
+    /// from *now*; returns the absolute time of the visit if it happened.
+    ///
+    /// This is the straightforward per-step hitting scan. Processes with a
+    /// faster specialized test (see
+    /// [`levy_walk_hitting_time`](crate::levy_walk_hitting_time)) should be
+    /// preferred in hot loops; this
+    /// default exists as the reference implementation all optimizations are
+    /// validated against.
+    fn run_until_hit(&mut self, target: Point, budget: u64, rng: &mut dyn RngCore) -> Option<u64> {
+        if self.position() == target {
+            return Some(self.time());
+        }
+        for _ in 0..budget {
+            if self.step(rng) == target {
+                return Some(self.time());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A deterministic eastward mover, for exercising trait defaults.
+    struct Eastward {
+        pos: Point,
+        t: u64,
+    }
+
+    impl JumpProcess for Eastward {
+        fn position(&self) -> Point {
+            self.pos
+        }
+        fn time(&self) -> u64 {
+            self.t
+        }
+        fn step(&mut self, _rng: &mut dyn RngCore) -> Point {
+            self.pos += Point::new(1, 0);
+            self.t += 1;
+            self.pos
+        }
+    }
+
+    #[test]
+    fn advance_moves_n_steps() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut p = Eastward {
+            pos: Point::ORIGIN,
+            t: 0,
+        };
+        assert_eq!(p.advance(5, &mut rng), Point::new(5, 0));
+        assert_eq!(p.time(), 5);
+    }
+
+    #[test]
+    fn run_until_hit_finds_target_on_the_way() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut p = Eastward {
+            pos: Point::ORIGIN,
+            t: 0,
+        };
+        assert_eq!(p.run_until_hit(Point::new(3, 0), 10, &mut rng), Some(3));
+        assert_eq!(p.time(), 3, "process stops at the hit");
+    }
+
+    #[test]
+    fn run_until_hit_respects_budget() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut p = Eastward {
+            pos: Point::ORIGIN,
+            t: 0,
+        };
+        assert_eq!(p.run_until_hit(Point::new(100, 0), 10, &mut rng), None);
+        assert_eq!(p.time(), 10);
+    }
+
+    #[test]
+    fn run_until_hit_detects_immediate_hit() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut p = Eastward {
+            pos: Point::new(7, 0),
+            t: 42,
+        };
+        assert_eq!(p.run_until_hit(Point::new(7, 0), 0, &mut rng), Some(42));
+    }
+}

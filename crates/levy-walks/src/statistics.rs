@@ -1,0 +1,221 @@
+//! Trajectory statistics: displacement and visit counts.
+//!
+//! These are the empirical counterparts of the quantities the paper's
+//! analysis manipulates:
+//!
+//! * `Z_u(t)` — the number of visits to node `u` up to time `t`
+//!   (Section 3.1); Lemma 4.13 bounds the flight's expected visits to the
+//!   origin by `O(1/(3-α)²)` for `α ∈ (2,3)` and `O(log² t)` at `α = 3`;
+//! * displacement at time `t` — Lemma 4.11 confines the flight within
+//!   radius `(t log t)^{1/(α-1)}` with probability `1 − O(1/((3−α) log t))`,
+//!   and the three regimes of Section 1.2.1 are exactly the three scaling
+//!   laws of the mean squared displacement.
+
+use levy_grid::{Point, VisitMap};
+use rand::Rng;
+
+use crate::flight::LevyFlight;
+use crate::process::JumpProcess;
+use crate::walk::LevyWalk;
+
+/// Records a walk's position at each checkpoint time (checkpoints must be
+/// non-decreasing).
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is not sorted in non-decreasing order.
+///
+/// # Examples
+///
+/// ```
+/// use levy_walks::walk_positions_at;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let positions = walk_positions_at(2.5, &[10, 100, 1000], &mut rng)?;
+/// assert_eq!(positions.len(), 3);
+/// # Ok::<(), levy_rng::InvalidExponentError>(())
+/// ```
+pub fn walk_positions_at<R: Rng>(
+    alpha: f64,
+    checkpoints: &[u64],
+    rng: &mut R,
+) -> Result<Vec<Point>, levy_rng::InvalidExponentError> {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] <= w[1]),
+        "checkpoints must be non-decreasing"
+    );
+    let mut walk = LevyWalk::new(alpha, Point::ORIGIN)?;
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for &t in checkpoints {
+        while walk.time() < t {
+            walk.step(rng);
+        }
+        out.push(walk.position());
+    }
+    Ok(out)
+}
+
+/// Maximum L1 displacement from the origin of a walk within `t` steps.
+pub fn walk_max_displacement<R: Rng>(
+    alpha: f64,
+    t: u64,
+    rng: &mut R,
+) -> Result<u64, levy_rng::InvalidExponentError> {
+    let mut walk = LevyWalk::new(alpha, Point::ORIGIN)?;
+    let mut max = 0u64;
+    for _ in 0..t {
+        max = max.max(walk.step(rng).l1_norm());
+    }
+    Ok(max)
+}
+
+/// Number of visits the Lévy *flight* pays to `node` within its first
+/// `jumps` jumps (`Z^f_u(t)` of the paper; the start node's visit at time 0
+/// is not counted, matching the paper's `{1, ..., t}` indexing).
+pub fn flight_visits_to<R: Rng>(
+    alpha: f64,
+    node: Point,
+    jumps: u64,
+    rng: &mut R,
+) -> Result<u64, levy_rng::InvalidExponentError> {
+    let mut flight = LevyFlight::new(alpha, Point::ORIGIN)?;
+    let mut count = 0;
+    for _ in 0..jumps {
+        if flight.step(rng) == node {
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// Full visit map of a walk after `t` steps (includes the start node).
+pub fn walk_visit_map<R: Rng>(
+    alpha: f64,
+    t: u64,
+    rng: &mut R,
+) -> Result<VisitMap, levy_rng::InvalidExponentError> {
+    let mut walk = LevyWalk::new(alpha, Point::ORIGIN)?;
+    let mut visits = VisitMap::new();
+    visits.record(Point::ORIGIN);
+    for _ in 0..t {
+        visits.record(walk.step(rng));
+    }
+    Ok(visits)
+}
+
+/// The asymptotic mean-squared-displacement exponent `β` in
+/// `E[‖X_t‖²] ~ t^β` predicted for a Lévy walk with exponent `α`
+/// (Zaburdaev–Denisov–Klafter, Rev. Mod. Phys. 2015):
+///
+/// * ballistic `α ∈ (1,2]`: `β = 2`;
+/// * super-diffusive `α ∈ (2,3)`: `β = 4 − α`;
+/// * diffusive `α ≥ 3`: `β = 1` (with a log correction exactly at 3).
+pub fn msd_exponent(alpha: f64) -> f64 {
+    if alpha <= 2.0 {
+        2.0
+    } else if alpha < 3.0 {
+        4.0 - alpha
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positions_at_respects_checkpoints() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let ps = walk_positions_at(2.5, &[0, 5, 5, 50], &mut rng).unwrap();
+        assert_eq!(ps.len(), 4);
+        assert_eq!(ps[0], Point::ORIGIN);
+        assert_eq!(ps[1], ps[2], "repeated checkpoint returns same position");
+        // Position at t is within distance t of the origin.
+        assert!(ps[3].l1_norm() <= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn positions_at_rejects_unsorted() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = walk_positions_at(2.5, &[10, 5], &mut rng);
+    }
+
+    #[test]
+    fn max_displacement_bounded_by_time() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let m = walk_max_displacement(1.8, 100, &mut rng).unwrap();
+            assert!(m <= 100);
+        }
+    }
+
+    #[test]
+    fn flight_revisits_origin_sometimes() {
+        // Half of all jumps have length 0, so visits to the origin early on
+        // are common.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let total: u64 = (0..200)
+            .map(|_| flight_visits_to(2.5, Point::ORIGIN, 20, &mut rng).unwrap())
+            .sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn visit_map_accounts_every_step() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = 500;
+        let map = walk_visit_map(2.2, t, &mut rng).unwrap();
+        assert_eq!(map.total_visits(), t + 1); // +1 for the start node
+    }
+
+    #[test]
+    fn msd_exponent_regimes() {
+        assert_eq!(msd_exponent(1.5), 2.0);
+        assert_eq!(msd_exponent(2.0), 2.0);
+        assert!((msd_exponent(2.5) - 1.5).abs() < 1e-12);
+        assert_eq!(msd_exponent(3.0), 1.0);
+        assert_eq!(msd_exponent(4.0), 1.0);
+    }
+
+    #[test]
+    fn ballistic_walks_displace_linearly() {
+        // At α = 1.5 the typical displacement after t steps is Θ(t).
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = 2_000u64;
+        let mean: f64 = (0..30)
+            .map(|_| {
+                let ps = walk_positions_at(1.5, &[t], &mut rng).unwrap();
+                ps[0].l1_norm() as f64
+            })
+            .sum::<f64>()
+            / 30.0;
+        assert!(
+            mean > t as f64 / 20.0,
+            "ballistic mean displacement {mean} too small for t = {t}"
+        );
+    }
+
+    #[test]
+    fn diffusive_walks_displace_like_sqrt_t() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = 4_000u64;
+        let mean: f64 = (0..30)
+            .map(|_| {
+                let ps = walk_positions_at(3.5, &[t], &mut rng).unwrap();
+                ps[0].l1_norm() as f64
+            })
+            .sum::<f64>()
+            / 30.0;
+        // Mean displacement ≈ c·sqrt(t) with small c; certainly below t/10.
+        assert!(
+            mean < t as f64 / 10.0,
+            "diffusive mean displacement {mean} too large for t = {t}"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The paper's predicted quantities, in one place.
+//!
+//! Every experiment compares measurements against closed-form predictions;
+//! this module centralizes those formulas (with the paper's own notation)
+//! so binaries and tests cannot drift apart:
+//!
+//! * `µ = min(log ℓ, 1/(α−2))` and `ν = min(log ℓ, 1/(3−α))` — the
+//!   regularized polylog factors of Theorems 4.1/5.1;
+//! * `γ = (log ℓ)^{2/(α−1)} / (3−α)²` — the loss factor of Thm 4.1(a);
+//! * the characteristic time `t_ℓ = Θ(ℓ^{α−1})` of the super-diffusive
+//!   regime, `Θ(ℓ² log² ℓ)` of the diffusive one, `Θ(ℓ)` of the ballistic
+//!   one;
+//! * the hitting-probability exponents per regime.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three exponent regimes (Section 1.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Regime {
+    /// `α ∈ (1, 2]`: unbounded mean jump length; straight-walk-like.
+    Ballistic,
+    /// `α ∈ (2, 3)`: bounded mean, unbounded variance.
+    SuperDiffusive,
+    /// `α ∈ [3, ∞)`: bounded mean and variance; simple-random-walk-like.
+    Diffusive,
+}
+
+impl Regime {
+    /// Classifies an exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 1` (outside the paper's admissible range).
+    pub fn of(alpha: f64) -> Regime {
+        assert!(alpha > 1.0, "exponent {alpha} outside (1, ∞)");
+        if alpha <= 2.0 {
+            Regime::Ballistic
+        } else if alpha < 3.0 {
+            Regime::SuperDiffusive
+        } else {
+            Regime::Diffusive
+        }
+    }
+}
+
+/// `µ = min(log ℓ, 1/(α−2))` (Theorem 4.1 and Lemma 3.10; set to `log ℓ`
+/// at `α = 2` where `1/(α−2)` diverges).
+pub fn mu(alpha: f64, ell: u64) -> f64 {
+    let log_ell = (ell.max(2) as f64).ln();
+    if alpha <= 2.0 {
+        log_ell
+    } else {
+        log_ell.min(1.0 / (alpha - 2.0))
+    }
+}
+
+/// `ν = min(log ℓ, 1/(3−α))` (Lemma 4.7).
+pub fn nu(alpha: f64, ell: u64) -> f64 {
+    let log_ell = (ell.max(2) as f64).ln();
+    if alpha >= 3.0 {
+        log_ell
+    } else {
+        log_ell.min(1.0 / (3.0 - alpha))
+    }
+}
+
+/// `γ = (log ℓ)^{2/(α−1)} / (3−α)²` (Theorem 4.1(a)).
+///
+/// # Panics
+///
+/// Panics outside the super-diffusive regime `α ∈ (2, 3)`.
+pub fn gamma(alpha: f64, ell: u64) -> f64 {
+    assert!(alpha > 2.0 && alpha < 3.0, "γ is defined for α ∈ (2,3)");
+    let log_ell = (ell.max(2) as f64).ln();
+    log_ell.powf(2.0 / (alpha - 1.0)) / ((3.0 - alpha) * (3.0 - alpha))
+}
+
+/// The regime's characteristic hitting-time scale: the budget at which the
+/// hit probability is (nearly) saturated.
+///
+/// * ballistic: `Θ(ℓ)`;
+/// * super-diffusive: `Θ(µ ℓ^{α−1})`;
+/// * diffusive: `Θ(ℓ² log² ℓ)`.
+pub fn characteristic_time(alpha: f64, ell: u64) -> f64 {
+    let l = ell.max(2) as f64;
+    match Regime::of(alpha) {
+        Regime::Ballistic => l,
+        Regime::SuperDiffusive => mu(alpha, ell) * l.powf(alpha - 1.0),
+        Regime::Diffusive => l * l * l.ln() * l.ln(),
+    }
+}
+
+/// The predicted decay exponent of the saturated hit probability in `ℓ`
+/// (log–log slope of `P(τ ≤ characteristic_time)` vs `ℓ`):
+///
+/// * ballistic: `−1` (Theorem 1.3);
+/// * super-diffusive: `−(3−α)` (Theorem 1.1);
+/// * diffusive: `0`, i.e. polylog-only decay (Theorem 1.2).
+pub fn hit_probability_exponent(alpha: f64) -> f64 {
+    match Regime::of(alpha) {
+        Regime::Ballistic => -1.0,
+        Regime::SuperDiffusive => -(3.0 - alpha),
+        Regime::Diffusive => 0.0,
+    }
+}
+
+/// The parallel-hitting-time target `ℓ²/k + ℓ` (the universal lower bound
+/// the randomized strategy matches up to polylog factors, Theorem 1.6).
+pub fn parallel_target(k: u64, ell: u64) -> f64 {
+    let l = ell as f64;
+    l * l / k.max(1) as f64 + l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regime_classification() {
+        assert_eq!(Regime::of(1.5), Regime::Ballistic);
+        assert_eq!(Regime::of(2.0), Regime::Ballistic);
+        assert_eq!(Regime::of(2.5), Regime::SuperDiffusive);
+        assert_eq!(Regime::of(3.0), Regime::Diffusive);
+        assert_eq!(Regime::of(10.0), Regime::Diffusive);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn regime_rejects_small_alpha() {
+        Regime::of(1.0);
+    }
+
+    #[test]
+    fn mu_and_nu_saturate_at_log_ell() {
+        let ell = 1_000u64;
+        let log_ell = (ell as f64).ln();
+        // Near the regime boundaries the capped value applies.
+        assert_eq!(mu(2.0001, ell), log_ell);
+        assert_eq!(nu(2.9999, ell), log_ell);
+        // Away from the boundaries the reciprocal applies.
+        assert!((mu(2.5, ell) - 2.0).abs() < 1e-12);
+        assert!((nu(2.5, ell) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_blows_up_toward_three() {
+        let ell = 256;
+        assert!(gamma(2.9, ell) > gamma(2.5, ell));
+        assert!(gamma(2.99, ell) > 100.0 * gamma(2.5, ell) / 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "α ∈ (2,3)")]
+    fn gamma_rejects_diffusive() {
+        gamma(3.0, 100);
+    }
+
+    #[test]
+    fn characteristic_times_are_ordered() {
+        // At the same ℓ, ballistic < super-diffusive < diffusive times.
+        let ell = 128;
+        let b = characteristic_time(1.5, ell);
+        let s = characteristic_time(2.5, ell);
+        let d = characteristic_time(3.5, ell);
+        assert!(b < s && s < d, "{b} < {s} < {d} violated");
+    }
+
+    #[test]
+    fn hit_probability_exponents_match_theorems() {
+        assert_eq!(hit_probability_exponent(1.5), -1.0);
+        assert!((hit_probability_exponent(2.2) + 0.8).abs() < 1e-12);
+        assert_eq!(hit_probability_exponent(3.5), 0.0);
+    }
+
+    #[test]
+    fn parallel_target_formula() {
+        assert!((parallel_target(4, 100) - 2_600.0).abs() < 1e-9);
+        assert!((parallel_target(0, 10) - 110.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! Lévy walks (Definition 3.4): step-granular jump phases along direct paths.
+//!
+//! Unlike the flight, the Lévy walk *travels*: a jump of length `d` takes
+//! `d` time steps, moving one lattice edge per step along a uniformly random
+//! direct path toward the jump destination (a zero-length jump consumes one
+//! step standing still). The walk therefore can find a target *en route*,
+//! which is exactly what distinguishes its hitting time from the flight's —
+//! the paper's "non-intermittent" search model.
+
+use levy_grid::{DirectPathWalker, Point};
+use levy_rng::{InvalidExponentError, JumpLengthDistribution};
+use rand::{Rng, RngCore};
+
+use crate::process::JumpProcess;
+
+/// A Lévy walk with exponent `α`, started at a given node.
+///
+/// Each *jump phase* samples a length `d` from the paper's law (Eq. 3) and a
+/// destination uniform on `R_d`, then spends `d` steps walking a uniformly
+/// random direct path there (`1` step standing still if `d = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use levy_walks::{JumpProcess, LevyWalk};
+/// use levy_grid::Point;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let mut walk = LevyWalk::new(2.5, Point::ORIGIN)?;
+/// let mut prev = walk.position();
+/// for _ in 0..100 {
+///     let next = walk.step(&mut rng);
+///     // One lattice edge (or a stand-still) per time step.
+///     assert!(prev.l1_distance(next) <= 1);
+///     prev = next;
+/// }
+/// assert_eq!(walk.time(), 100);
+/// # Ok::<(), levy_rng::InvalidExponentError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevyWalk {
+    jumps: JumpLengthDistribution,
+    position: Point,
+    time: u64,
+    /// In-flight direct path, if the walk is mid-phase.
+    traversal: Option<DirectPathWalker>,
+    /// Destination of the in-flight phase (for introspection).
+    destination: Option<Point>,
+    /// Number of *completed* jump phases.
+    phases_completed: u64,
+}
+
+impl LevyWalk {
+    /// Creates a walk with the given exponent starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for exponents outside `(1, ∞)` (Remark 3.5).
+    pub fn new(alpha: f64, start: Point) -> Result<Self, InvalidExponentError> {
+        Ok(LevyWalk {
+            jumps: JumpLengthDistribution::new(alpha)?,
+            position: start,
+            time: 0,
+            traversal: None,
+            destination: None,
+            phases_completed: 0,
+        })
+    }
+
+    /// Creates a walk reusing an existing jump-length distribution.
+    pub fn with_distribution(jumps: JumpLengthDistribution, start: Point) -> Self {
+        LevyWalk {
+            jumps,
+            position: start,
+            time: 0,
+            traversal: None,
+            destination: None,
+            phases_completed: 0,
+        }
+    }
+
+    /// The exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.jumps.alpha()
+    }
+
+    /// The jump-length distribution driving the walk.
+    pub fn jump_distribution(&self) -> &JumpLengthDistribution {
+        &self.jumps
+    }
+
+    /// Whether the walk currently sits at a jump endpoint (i.e. the next
+    /// step begins a new jump phase).
+    pub fn at_phase_boundary(&self) -> bool {
+        self.traversal.is_none()
+    }
+
+    /// Destination of the in-flight jump phase, if any.
+    pub fn current_destination(&self) -> Option<Point> {
+        self.destination
+    }
+
+    /// Number of completed jump phases so far.
+    pub fn phases_completed(&self) -> u64 {
+        self.phases_completed
+    }
+
+    /// Starts a new jump phase: samples the length and destination.
+    /// Returns the phase length.
+    fn begin_phase<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        debug_assert!(self.traversal.is_none());
+        let (d, v) = crate::flight::sample_jump(&self.jumps, self.position, rng);
+        if d > 0 {
+            self.traversal = Some(DirectPathWalker::new(self.position, v));
+            self.destination = Some(v);
+        }
+        d
+    }
+}
+
+impl JumpProcess for LevyWalk {
+    fn position(&self) -> Point {
+        self.position
+    }
+
+    fn time(&self) -> u64 {
+        self.time
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> Point {
+        if self.traversal.is_none() {
+            let d = self.begin_phase(rng);
+            if d == 0 {
+                // A zero-length jump phase: stay put for exactly one step.
+                self.time += 1;
+                self.phases_completed += 1;
+                return self.position;
+            }
+        }
+        let walker = self
+            .traversal
+            .as_mut()
+            .expect("a non-zero phase is in flight");
+        self.position = walker
+            .next_node(rng)
+            .expect("in-flight traversal has remaining steps");
+        self.time += 1;
+        if walker.remaining() == 0 {
+            self.traversal = None;
+            self.destination = None;
+            self.phases_completed += 1;
+        }
+        self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn each_step_moves_at_most_one_edge() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut w = LevyWalk::new(1.8, Point::ORIGIN).unwrap();
+        let mut prev = w.position();
+        for t in 1..=5_000u64 {
+            let next = w.step(&mut rng);
+            assert!(prev.l1_distance(next) <= 1, "step {t} jumped");
+            assert_eq!(w.time(), t);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_exponent() {
+        assert!(LevyWalk::new(1.0, Point::ORIGIN).is_err());
+    }
+
+    #[test]
+    fn phase_boundaries_track_destinations() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut w = LevyWalk::new(2.2, Point::ORIGIN).unwrap();
+        for _ in 0..2_000 {
+            if w.at_phase_boundary() {
+                assert_eq!(w.current_destination(), None);
+                let before = w.position();
+                w.step(&mut rng);
+                // Either a zero jump (still boundary, same node) or the
+                // first edge of a path toward a recorded destination.
+                if w.at_phase_boundary() {
+                    assert!(
+                        w.position() == before || w.current_destination().is_none()
+                    );
+                }
+            } else {
+                let dest = w.current_destination().expect("mid-phase destination");
+                w.step(&mut rng);
+                if w.at_phase_boundary() {
+                    assert_eq!(w.position(), dest, "phase must end at destination");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walk_endpoints_agree_with_flight_law() {
+        // Restricted to phase boundaries, the walk is a Lévy flight: the
+        // displacement after each completed phase has the jump law. Compare
+        // the phase-length frequencies against the analytic pmf.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut w = LevyWalk::new(2.5, Point::ORIGIN).unwrap();
+        let mut lengths = Vec::new();
+        let mut phase_start = w.position();
+        let mut phases = 0u64;
+        while phases < 20_000 {
+            w.step(&mut rng);
+            if w.at_phase_boundary() {
+                lengths.push(phase_start.l1_distance(w.position()));
+                phase_start = w.position();
+                phases += 1;
+            }
+        }
+        let dist = w.jump_distribution();
+        let n = lengths.len() as f64;
+        for d in [0u64, 1, 2, 3] {
+            let observed = lengths.iter().filter(|&&l| l == d).count() as f64 / n;
+            let expected = dist.pmf(d);
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "d={d}: obs {observed} vs exp {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_phase_consumes_one_step() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut w = LevyWalk::new(3.5, Point::new(5, 5)).unwrap();
+        // Run until we observe a zero-length phase: position unchanged but
+        // time advanced and phase count incremented.
+        let mut seen_zero = false;
+        for _ in 0..200 {
+            let before_pos = w.position();
+            let before_phases = w.phases_completed();
+            let boundary = w.at_phase_boundary();
+            w.step(&mut rng);
+            if boundary && w.position() == before_pos && w.phases_completed() == before_phases + 1
+            {
+                seen_zero = true;
+                break;
+            }
+        }
+        assert!(seen_zero, "no zero-length phase observed in 200 steps");
+    }
+
+    #[test]
+    fn with_distribution_reuses_law() {
+        let jumps = JumpLengthDistribution::new(2.0).unwrap();
+        let w = LevyWalk::with_distribution(jumps, Point::new(1, 1));
+        assert_eq!(w.alpha(), 2.0);
+        assert_eq!(w.position(), Point::new(1, 1));
+    }
+
+    #[test]
+    fn advance_matches_repeated_steps() {
+        let mut rng1 = SmallRng::seed_from_u64(9);
+        let mut rng2 = SmallRng::seed_from_u64(9);
+        let mut a = LevyWalk::new(2.5, Point::ORIGIN).unwrap();
+        let mut b = LevyWalk::new(2.5, Point::ORIGIN).unwrap();
+        a.advance(500, &mut rng1);
+        for _ in 0..500 {
+            b.step(&mut rng2);
+        }
+        assert_eq!(a.position(), b.position());
+        assert_eq!(a.time(), b.time());
+    }
+}

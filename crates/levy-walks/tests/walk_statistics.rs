@@ -1,0 +1,197 @@
+//! Statistical contracts of the walk processes across module boundaries.
+
+use levy_grid::Point;
+use levy_rng::JumpLengthDistribution;
+use levy_walks::{
+    levy_walk_hitting_time, levy_walk_hitting_time_capped, parallel_hitting_time_common,
+    sample_jump, JumpProcess, LevyFlight, LevyWalk,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn walk_phase_endpoints_reproduce_flight_distribution() {
+    // Run a walk, record positions at phase boundaries; run a flight for
+    // the same number of jumps. The displacement distributions must match
+    // in the first two moments (same underlying law).
+    let alpha = 2.4;
+    let phases = 50u64;
+    let trials = 4_000;
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut walk_disp = Vec::with_capacity(trials);
+    let mut flight_disp = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut walk = LevyWalk::new(alpha, Point::ORIGIN).unwrap();
+        while walk.phases_completed() < phases {
+            walk.step(&mut rng);
+        }
+        walk_disp.push(walk.position().l1_norm() as f64);
+        let mut flight = LevyFlight::new(alpha, Point::ORIGIN).unwrap();
+        flight.advance(phases, &mut rng);
+        flight_disp.push(flight.position().l1_norm() as f64);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mw, mf) = (mean(&walk_disp), mean(&flight_disp));
+    assert!(
+        (mw - mf).abs() / mf < 0.1,
+        "mean displacements diverge: walk {mw} vs flight {mf}"
+    );
+}
+
+#[test]
+fn event_e_t_probability_matches_lemma_4_5() {
+    // P(all of the first t jumps < (t log t)^{1/(α-1)}) = 1 − O(1/log t):
+    // check the complement's scale.
+    let alpha = 2.5;
+    let jumps = JumpLengthDistribution::new(alpha).unwrap();
+    let t = 2_000u64;
+    let cap = ((t as f64 * (t as f64).ln()).powf(1.0 / (alpha - 1.0))).floor() as u64;
+    let mut rng = SmallRng::seed_from_u64(1);
+    let trials = 3_000;
+    let mut violated = 0;
+    for _ in 0..trials {
+        let mut ok = true;
+        for _ in 0..t {
+            if jumps.sample(&mut rng) > cap {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            violated += 1;
+        }
+    }
+    let p_violation = violated as f64 / trials as f64;
+    // 1/log t ≈ 0.13; the violation probability should be the same order
+    // (definitely below 3x) and nonzero.
+    assert!(
+        p_violation < 0.4,
+        "violation probability {p_violation} too large"
+    );
+    assert!(
+        p_violation > 0.005,
+        "violation probability {p_violation} suspiciously small"
+    );
+}
+
+#[test]
+fn parallel_common_hit_rate_matches_binomial_of_singles() {
+    // τ^k is the min of k iid single hitting times, so
+    // P(τ^k ≤ B) = 1 − (1 − p₁)^k with p₁ the single-walk probability.
+    let alpha = 2.5;
+    let jumps = JumpLengthDistribution::new(alpha).unwrap();
+    let target = Point::new(10, 0);
+    let budget = 500u64;
+    let trials = 6_000u32;
+    let mut rng = SmallRng::seed_from_u64(2);
+    let p1 = (0..trials)
+        .filter(|_| {
+            levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, &mut rng).is_some()
+        })
+        .count() as f64
+        / trials as f64;
+    let k = 8;
+    let pk = (0..trials)
+        .filter(|_| {
+            parallel_hitting_time_common(k, &jumps, Point::ORIGIN, target, budget, &mut rng)
+                .is_some()
+        })
+        .count() as f64
+        / trials as f64;
+    let predicted = 1.0 - (1.0 - p1).powi(k as i32);
+    assert!(
+        (pk - predicted).abs() < 0.03,
+        "k={k}: measured {pk} vs binomial prediction {predicted} (p1={p1})"
+    );
+}
+
+#[test]
+fn capped_hitting_time_stochastically_dominates_uncapped_probability() {
+    // Removing long jumps cannot make the walk *much* better at hitting
+    // within a generous cap, and barely worse: rates within noise.
+    let jumps = JumpLengthDistribution::new(2.3).unwrap();
+    let target = Point::new(8, 0);
+    let budget = 800u64;
+    let cap = 5_000u64;
+    let trials = 5_000;
+    let mut rng = SmallRng::seed_from_u64(3);
+    let uncapped = (0..trials)
+        .filter(|_| {
+            levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, &mut rng).is_some()
+        })
+        .count() as f64;
+    let capped = (0..trials)
+        .filter(|_| {
+            levy_walk_hitting_time_capped(&jumps, cap, Point::ORIGIN, target, budget, &mut rng)
+                .is_some()
+        })
+        .count() as f64;
+    assert!(
+        (uncapped - capped).abs() / trials as f64 <= 0.03,
+        "uncapped {uncapped} vs capped {capped} of {trials}"
+    );
+}
+
+#[test]
+fn jump_lengths_and_phase_durations_are_consistent() {
+    // A phase of length d takes exactly max(d, 1) steps.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut walk = LevyWalk::new(2.0, Point::ORIGIN).unwrap();
+    let mut last_boundary_time = 0u64;
+    let mut last_boundary_pos = Point::ORIGIN;
+    for _ in 0..5_000 {
+        walk.step(&mut rng);
+        if walk.at_phase_boundary() {
+            let duration = walk.time() - last_boundary_time;
+            let displacement = last_boundary_pos.l1_distance(walk.position());
+            assert_eq!(duration, displacement.max(1), "phase duration mismatch");
+            last_boundary_time = walk.time();
+            last_boundary_pos = walk.position();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sample_jump_destination_is_on_the_sampled_ring(alpha in 1.2f64..4.0, seed in any::<u64>()) {
+        let jumps = JumpLengthDistribution::new(alpha).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let from = Point::new(17, -9);
+        for _ in 0..64 {
+            let (d, v) = sample_jump(&jumps, from, &mut rng);
+            prop_assert_eq!(from.l1_distance(v), d);
+        }
+    }
+
+    #[test]
+    fn hitting_from_target_is_zero_regardless_of_budget(
+        alpha in 1.5f64..3.5,
+        budget in 0u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let jumps = JumpLengthDistribution::new(alpha).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = Point::new(-3, 12);
+        prop_assert_eq!(
+            levy_walk_hitting_time(&jumps, p, p, budget, &mut rng),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn flight_time_and_walk_time_semantics(alpha in 2.0f64..3.0, seed in any::<u64>()) {
+        // The flight advances one jump per step; the walk one lattice edge.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut flight = LevyFlight::new(alpha, Point::ORIGIN).unwrap();
+        let mut walk = LevyWalk::new(alpha, Point::ORIGIN).unwrap();
+        flight.advance(32, &mut rng);
+        walk.advance(32, &mut rng);
+        prop_assert_eq!(flight.time(), 32);
+        prop_assert_eq!(walk.time(), 32);
+        // The walk can have completed at most 32 phases in 32 steps.
+        prop_assert!(walk.phases_completed() <= 32);
+    }
+}

@@ -1,0 +1,45 @@
+//! Strategy comparison on a single search instance.
+//!
+//! A compact version of experiment E8: the paper's oblivious Lévy strategy
+//! against the classical baselines, on one (k, ℓ) instance.
+//!
+//! Run with: `cargo run --release --example compare_strategies [k] [ell]`
+
+use parallel_levy_walks::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let ell: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(96);
+    let trials = 200;
+    let budget = 32 * (ell * ell / k as u64 + ell);
+
+    println!("k = {k}, ℓ = {ell}, budget = {budget}, trials = {trials}");
+    println!(
+        "universal lower bound (any strategy): Ω(ℓ²/k + ℓ) = Ω({:.0})\n",
+        SearchProblem::at_distance(ell, k, budget).universal_lower_bound()
+    );
+
+    let strategies: Vec<Box<dyn SearchStrategy + Sync>> = vec![
+        Box::new(LevySearch::randomized()),
+        Box::new(LevySearch::fixed(2.0 + 1e-9)),
+        Box::new(LevySearch::fixed(2.999)),
+        Box::new(RandomWalkSearch::new()),
+        Box::new(BallisticSearch::new()),
+        Box::new(AntsSearch::new()),
+    ];
+
+    let mut table = TextTable::new(vec!["strategy", "P(find)", "median time | found"]);
+    for s in &strategies {
+        let config = MeasurementConfig::new(ell, budget, trials, 7);
+        let summary = measure_search_strategy(s.as_ref(), k, &config);
+        table.row(vec![
+            s.label(),
+            format!("{:.3}", summary.hit_rate()),
+            summary
+                .conditional_median()
+                .map_or("-".into(), |m| format!("{m:.0}")),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,58 @@
+//! Foraging scenario: a colony searching for food around its nest.
+//!
+//! The paper's motivation (Section 1.2.4): `k` foragers leave the nest
+//! simultaneously; food items sit at unknown distances. A colony whose
+//! members all use one exponent does well only at the distance that
+//! exponent is tuned for; a colony whose members *each pick a random
+//! exponent in (2,3)* does well at every distance simultaneously —
+//! behavioural variation as a population-level search strategy.
+//!
+//! Run with: `cargo run --release --example foraging`
+
+use parallel_levy_walks::prelude::*;
+
+fn median_time(strategy: ExponentStrategy, k: usize, ell: u64, trials: u64) -> (f64, Option<f64>) {
+    let budget = 64 * (ell * ell / k as u64 + ell);
+    let config = MeasurementConfig::new(ell, budget, trials, 0xF00D);
+    let summary = measure_parallel_strategy(strategy, k, &config);
+    (summary.hit_rate(), summary.conditional_median())
+}
+
+fn main() {
+    let k = 32;
+    let trials = 150;
+    let distances = [16u64, 64, 256];
+
+    println!("colony size k = {k}; food at distances {distances:?}\n");
+    let colonies = [
+        ("all-Cauchy colony (α = 2)", ExponentStrategy::Fixed(2.0 + 1e-9)),
+        ("all-diffusive colony (α ≈ 3)", ExponentStrategy::Fixed(2.95)),
+        (
+            "mixed colony (each forager: α ~ U(2,3))",
+            ExponentStrategy::UniformSuperdiffusive,
+        ),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "colony".to_owned(),
+        "ℓ=16: P(find) / median t".to_owned(),
+        "ℓ=64: P(find) / median t".to_owned(),
+        "ℓ=256: P(find) / median t".to_owned(),
+    ]);
+    for (name, strategy) in colonies {
+        let mut row = vec![name.to_owned()];
+        for &ell in &distances {
+            let (rate, median) = median_time(strategy, k, ell, trials);
+            row.push(match median {
+                Some(m) => format!("{rate:.2} / {m:.0}"),
+                None => format!("{rate:.2} / -"),
+            });
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nNo single fixed exponent wins at every distance; the mixed colony is \
+         competitive everywhere (Theorem 1.6)."
+    );
+}

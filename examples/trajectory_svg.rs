@@ -1,0 +1,92 @@
+//! Render Lévy walk trajectories as an SVG — the classic "three regimes"
+//! picture (ballistic excursions / clustered super-diffusion / diffusive
+//! fuzz) that motivates the paper's case analysis.
+//!
+//! Run with: `cargo run --release --example trajectory_svg [steps]`
+//! Writes `levy_trajectories.svg` into the system temp directory.
+
+use parallel_levy_walks::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+struct Panel {
+    alpha: f64,
+    color: &'static str,
+    points: Vec<Point>,
+}
+
+fn simulate(alpha: f64, steps: u64, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut walk = LevyWalk::new(alpha, Point::ORIGIN).expect("alpha > 1");
+    let mut points = vec![Point::ORIGIN];
+    for _ in 0..steps {
+        points.push(walk.step(&mut rng));
+    }
+    points
+}
+
+fn panel_svg(panel: &Panel, size: f64) -> String {
+    let (mut min_x, mut max_x) = (i64::MAX, i64::MIN);
+    let (mut min_y, mut max_y) = (i64::MAX, i64::MIN);
+    for p in &panel.points {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let span = ((max_x - min_x).max(max_y - min_y).max(1)) as f64;
+    let scale = (size - 20.0) / span;
+    let mut d = String::new();
+    for (i, p) in panel.points.iter().enumerate() {
+        let x = 10.0 + (p.x - min_x) as f64 * scale;
+        let y = 10.0 + (p.y - min_y) as f64 * scale;
+        let _ = write!(d, "{}{x:.1},{y:.1} ", if i == 0 { "M" } else { "L" });
+    }
+    format!(
+        r##"<path d="{d}" fill="none" stroke="{}" stroke-width="0.6" opacity="0.9"/>
+<text x="12" y="{}" font-family="monospace" font-size="14">α = {}</text>"##,
+        panel.color,
+        size - 6.0,
+        panel.alpha
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let steps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let panels: Vec<Panel> = [(1.6, "#c0392b"), (2.5, "#2980b9"), (3.5, "#27ae60")]
+        .into_iter()
+        .enumerate()
+        .map(|(i, (alpha, color))| Panel {
+            alpha,
+            color,
+            points: simulate(alpha, steps, 7 + i as u64),
+        })
+        .collect();
+
+    let panel_size = 360.0;
+    let mut svg = format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}">"##,
+        panel_size * panels.len() as f64,
+        panel_size
+    );
+    for (i, panel) in panels.iter().enumerate() {
+        let _ = write!(
+            svg,
+            r##"<g transform="translate({},0)"><rect width="{panel_size}" height="{panel_size}" fill="#fdfdfd" stroke="#ccc"/>{}</g>"##,
+            i as f64 * panel_size,
+            panel_svg(panel, panel_size)
+        );
+    }
+    svg.push_str("</svg>");
+
+    let path = std::env::temp_dir().join("levy_trajectories.svg");
+    std::fs::write(&path, svg).expect("temp dir is writable");
+    println!("wrote {} ({} steps per panel)", path.display(), steps);
+    println!("panels: ballistic α=1.6, super-diffusive α=2.5, diffusive α=3.5");
+    for p in &panels {
+        let max_disp = p.points.iter().map(|q| q.l1_norm()).max().unwrap_or(0);
+        println!("  α={}: max displacement {max_disp}", p.alpha);
+    }
+}

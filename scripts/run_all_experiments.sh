@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerates every experiment of DESIGN.md's index, writing tables to
+# stdout/results/*.csv and a combined log to results/full_run.log.
+#
+# Usage: scripts/run_all_experiments.sh [--full]
+#   --full   larger grids and trial counts (see EXPERIMENTS.md)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-}"
+EXPERIMENTS=(
+  exp_f1_regions
+  exp_f2_direct_path
+  exp_f3_zones
+  exp_f4_projection
+  exp_e1_hit_prob
+  exp_e2_early_time
+  exp_e3_saturation
+  exp_e4_diffusive
+  exp_e5_ballistic
+  exp_e6_optimal_exponent
+  exp_e7_random_exponents
+  exp_e8_shootout
+  exp_e9_lemmas
+  exp_e10_alpha3
+  exp_e11_visits
+  exp_e12_msd
+  exp_a1_truncation
+  exp_a2_flight_vs_walk
+  exp_a3_mixture
+  exp_a4_advice
+  exp_a5_target_size
+  exp_a6_foraging
+)
+
+cargo build --release -p levy-bench --bins
+mkdir -p results
+LOG=results/full_run.log
+: > "$LOG"
+for exp in "${EXPERIMENTS[@]}"; do
+  echo "=== RUNNING $exp ===" | tee -a "$LOG"
+  # shellcheck disable=SC2086
+  "./target/release/$exp" $SCALE 2>&1 | tee -a "$LOG"
+  echo "=== EXIT $? ===" | tee -a "$LOG"
+done
+echo "All ${#EXPERIMENTS[@]} experiments completed; see $LOG and results/*.csv"

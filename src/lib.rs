@@ -1,0 +1,70 @@
+//! # parallel-levy-walks
+//!
+//! A full reproduction of **"Search via Parallel Lévy Walks on Z²"**
+//! (Clementi, d'Amore, Giakkoupis, Natale — PODC 2021) as a Rust workspace.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`grid`] | Z² geometry: points, rings, balls, direct paths, spirals |
+//! | [`rng`] | jump-length law (Eq. 3), zeta, exponent strategies, seeding |
+//! | [`walks`] | Lévy flights/walks, single and parallel hitting times |
+//! | [`search`] | search problems and baselines (ANTS spiral, RW, ballistic) |
+//! | [`sim`] | multi-threaded experiment engine and reports |
+//! | [`analysis`] | power-law fits, censored summaries, goodness-of-fit |
+//!
+//! See the repository's `README.md` for the architecture overview,
+//! `DESIGN.md` for the experiment index, and `EXPERIMENTS.md` for measured
+//! results against the paper's claims.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parallel_levy_walks::prelude::*;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // k = 64 walkers, exponents ~ U(2,3) (Theorem 1.6), target at ℓ = 25.
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let hit = parallel_hitting_time(
+//!     64,
+//!     &ExponentStrategy::UniformSuperdiffusive,
+//!     Point::ORIGIN,
+//!     Point::new(25, 0),
+//!     1_000_000,
+//!     &mut rng,
+//! );
+//! assert!(hit.found());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use levy_analysis as analysis;
+pub use levy_grid as grid;
+pub use levy_rng as rng;
+pub use levy_search as search;
+pub use levy_sim as sim;
+pub use levy_walks as walks;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use levy_analysis::{log_log_fit, CensoredSummary};
+    pub use levy_grid::{Ball, DirectPathWalker, Point, Ring, Spiral, Square, VisitMap};
+    pub use levy_rng::{
+        optimal_exponent, ExponentStrategy, JumpLengthDistribution, SeedStream,
+    };
+    pub use levy_search::{
+        AntsSearch, BallisticSearch, LevySearch, RandomWalkSearch, SearchProblem, SearchStrategy,
+    };
+    pub use levy_sim::{
+        measure_parallel_common, measure_parallel_strategy, measure_search_strategy,
+        measure_single_walk, MeasurementConfig, TargetPlacement, TextTable,
+    };
+    pub use levy_walks::{
+        levy_walk_hitting_time, parallel_hitting_time, JumpProcess, LevyFlight, LevyWalk,
+        ParallelHit,
+    };
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration tests across the workspace crates: run miniature
+//! versions of the paper's experiments through the public API and assert
+//! the qualitative outcomes the theorems predict.
+
+use parallel_levy_walks::prelude::*;
+use parallel_levy_walks::rng::ideal_exponent;
+
+fn cfg(ell: u64, budget: u64, trials: u64, seed: u64) -> MeasurementConfig {
+    MeasurementConfig::new(ell, budget, trials, seed)
+}
+
+#[test]
+fn parallel_speedup_with_tuned_exponent() {
+    // Corollary 4.2's headline: with α ≈ α*, more walks => faster search.
+    let ell = 32u64;
+    let budget = 8 * ell * ell;
+    let k_small = measure_parallel_common(2.5, 2, &cfg(ell, budget, 150, 1));
+    let k_large = measure_parallel_common(2.5, 32, &cfg(ell, budget, 150, 2));
+    assert!(
+        k_large.hit_rate() >= k_small.hit_rate(),
+        "more walks must not hurt: {} vs {}",
+        k_large.hit_rate(),
+        k_small.hit_rate()
+    );
+    let (ms, ml) = (
+        k_small.conditional_median().unwrap_or(f64::MAX),
+        k_large.conditional_median().unwrap_or(f64::MAX),
+    );
+    assert!(ml < ms, "k=32 median {ml} should beat k=2 median {ms}");
+}
+
+#[test]
+fn super_diffusive_beats_diffusive_at_long_range_small_k() {
+    // At ℓ = 64 with a single walk and budget Θ(ℓ^{α-1})-ish, α = 2.5
+    // reaches the target far more often than α = 3.5 within the same
+    // (sub-diffusive-scale) budget.
+    let ell = 64u64;
+    let budget = 4 * (ell as f64).powf(1.5) as u64;
+    let sup = measure_single_walk(2.5, &cfg(ell, budget, 4_000, 3));
+    let dif = measure_single_walk(3.5, &cfg(ell, budget, 4_000, 4));
+    assert!(
+        sup.hit_rate() > dif.hit_rate(),
+        "α=2.5 rate {} should exceed α=3.5 rate {} at budget {budget}",
+        sup.hit_rate(),
+        dif.hit_rate()
+    );
+}
+
+#[test]
+fn randomized_strategy_is_scale_robust() {
+    // Theorem 1.6: U(2,3) exponents stay competitive with the per-scale
+    // tuned exponent at two very different scales. The theorem's w.h.p.
+    // guarantee needs k ≥ polylog(ℓ), which at finite sizes means a
+    // generous k: with small k a constant fraction of trials never hits
+    // (each walk's total hit probability is Θ̃(ℓ^{α-3}) < 1).
+    for (ell, k, seed) in [(16u64, 32usize, 5u64), (96, 96, 6)] {
+        let budget = 64 * ((ell * ell) / k as u64 + ell);
+        let rand = measure_parallel_strategy(
+            ExponentStrategy::UniformSuperdiffusive,
+            k,
+            &cfg(ell, budget, 120, seed),
+        );
+        let tuned_alpha = ideal_exponent(k as u64, ell).clamp(2.05, 2.95);
+        let tuned = measure_parallel_common(tuned_alpha, k, &cfg(ell, budget, 120, seed + 50));
+        assert!(
+            rand.hit_rate() > 0.8,
+            "ℓ={ell}: randomized strategy hit rate too low: {}",
+            rand.hit_rate()
+        );
+        // Within a polylog-ish factor of tuned (allow generous 6x on medians).
+        if let (Some(mr), Some(mt)) = (rand.conditional_median(), tuned.conditional_median()) {
+            assert!(
+                mr < 6.0 * mt + (ell as f64) * 8.0,
+                "ℓ={ell}: randomized median {mr} too far above tuned {mt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shootout_orderings_match_paper() {
+    // k moderately large, ℓ moderate: the oblivious Lévy strategy and the
+    // k-aware ANTS spiral both succeed. The simple random walk eventually
+    // hits too (given a generous budget), but *much slower*: parallel RWs
+    // gain only a sublinear speedup from k (Corollary 4.4 / Section 2), so
+    // the separation the paper proves is in time, not in eventual success.
+    let (k, ell) = (64usize, 64u64);
+    let budget = 64 * ((ell * ell) / k as u64 + ell);
+    let config = cfg(ell, budget, 150, 9);
+    let levy = measure_search_strategy(&LevySearch::randomized(), k, &config);
+    let ants = measure_search_strategy(&AntsSearch::new(), k, &config);
+    let rw = measure_search_strategy(&RandomWalkSearch::new(), k, &config);
+    assert!(levy.hit_rate() > 0.8, "levy rate {}", levy.hit_rate());
+    assert!(ants.hit_rate() > 0.8, "ants rate {}", ants.hit_rate());
+    let levy_med = levy.conditional_median().expect("levy hits");
+    let rw_med = rw.conditional_median().expect("rw hits within generous budget");
+    assert!(
+        rw_med > 1.5 * levy_med,
+        "parallel RW median {rw_med} should clearly trail levy median {levy_med}"
+    );
+}
+
+#[test]
+fn ballistic_hits_fast_or_never() {
+    // Theorem 1.3: at α ∈ (1,2] a hit happens in O(ℓ) steps or essentially
+    // never — the conditional median must be O(ℓ).
+    let ell = 64u64;
+    let budget = 200 * ell;
+    let s = measure_single_walk(1.5, &cfg(ell, budget, 30_000, 10));
+    let median = s.conditional_median().expect("some hits at 30k trials");
+    assert!(
+        median < 16.0 * ell as f64,
+        "ballistic conditional median {median} should be O(ℓ = {ell})"
+    );
+}
+
+#[test]
+fn measurement_reproducibility_across_runs() {
+    let a = measure_single_walk(2.4, &cfg(24, 1_000, 500, 123));
+    let b = measure_single_walk(2.4, &cfg(24, 1_000, 500, 123));
+    assert_eq!(a, b, "same config + seed must reproduce exactly");
+}
+
+#[test]
+fn lower_bound_is_respected_by_all_strategies() {
+    // No strategy's median time may beat the universal Ω(ℓ²/k + ℓ) bound
+    // by a large factor (sanity check on our time accounting).
+    let (k, ell) = (8usize, 48u64);
+    let budget = 64 * ((ell * ell) / k as u64 + ell);
+    let problem = SearchProblem::at_distance(ell, k, budget);
+    let lb = problem.universal_lower_bound();
+    for strategy in [
+        Box::new(LevySearch::randomized()) as Box<dyn SearchStrategy + Sync>,
+        Box::new(AntsSearch::new()),
+    ] {
+        let s = measure_search_strategy(strategy.as_ref(), k, &cfg(ell, budget, 100, 11));
+        if let Some(med) = s.conditional_median() {
+            // Allow a modest constant: the bound is on expectation and the
+            // median can undershoot, but never below the distance ℓ.
+            assert!(
+                med >= ell as f64,
+                "{}: median {med} below distance ℓ (lb {lb})",
+                strategy.label()
+            );
+        }
+    }
+}

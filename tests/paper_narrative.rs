@@ -1,0 +1,83 @@
+//! The paper's three headline claims, as miniature executable narratives.
+//! These tests double as documentation: each follows one claim of the
+//! abstract end-to-end through the public API.
+
+use parallel_levy_walks::prelude::*;
+use parallel_levy_walks::rng::ideal_exponent;
+
+/// Claim 1 (Theorems 1.1–1.3): the three regimes have qualitatively
+/// different hitting behaviour at their characteristic time scales.
+#[test]
+fn claim_one_three_regimes() {
+    let ell = 48u64;
+    let trials = 12_000u64;
+    // Ballistic: budget O(ℓ) already realizes the Θ(1/ℓ)-scale probability.
+    let ballistic = measure_single_walk(1.5, &MeasurementConfig::new(ell, 8 * ell, trials, 1));
+    // Super-diffusive: budget Θ(ℓ^{α-1}) ≪ ℓ² realizes Θ̃(ℓ^{α-3}).
+    let budget_sd = (2.0 * (ell as f64).powf(1.5)).ceil() as u64;
+    let superdiff = measure_single_walk(2.5, &MeasurementConfig::new(ell, budget_sd, trials, 2));
+    // Diffusive at the SAME sub-quadratic budget: far behind.
+    let diffusive = measure_single_walk(3.5, &MeasurementConfig::new(ell, budget_sd, trials, 3));
+    assert!(
+        superdiff.hit_rate() > diffusive.hit_rate(),
+        "super-diffusive {} must beat diffusive {} at sub-quadratic budgets",
+        superdiff.hit_rate(),
+        diffusive.hit_rate()
+    );
+    // The ballistic walk's conditional hit time is linear in ℓ...
+    let bal_med = ballistic.conditional_median().expect("some ballistic hits");
+    assert!(bal_med <= 8.0 * ell as f64);
+    // ...while the super-diffusive one takes much longer than ℓ.
+    let sd_med = superdiff.conditional_median().expect("some sd hits");
+    assert!(sd_med > 2.0 * ell as f64, "sd median {sd_med}");
+}
+
+/// Claim 2 (Theorem 1.5 / Corollary 4.2): for known (k, ℓ) there is an
+/// interior optimal exponent, and mis-tuning is costly in BOTH directions.
+#[test]
+fn claim_two_unique_interior_optimum() {
+    let (k, ell) = (64usize, 128u64);
+    let budget = 12 * (ell * ell) / k as u64;
+    let trials = 500u64;
+    let rate = |alpha: f64, seed: u64| {
+        measure_parallel_common(alpha, k, &MeasurementConfig::new(ell, budget, trials, seed))
+            .hit_rate()
+    };
+    // α* ≈ 2.14 for these (k, ℓ); probe below, near, and far above.
+    let alpha_star = ideal_exponent(k as u64, ell);
+    let low = rate(2.02, 21);
+    let near = rate((alpha_star + 0.25).min(2.95), 22);
+    let high = rate(2.95, 23);
+    assert!(
+        near > high,
+        "near-optimal {near} must beat far-above {high} (α* = {alpha_star})"
+    );
+    assert!(
+        near >= low - 0.05,
+        "near-optimal {near} should not trail far-below {low}"
+    );
+}
+
+/// Claim 3 (Theorem 1.6): random U(2,3) exponents work at two different
+/// distances simultaneously, with the same algorithm and no knowledge.
+#[test]
+fn claim_three_one_algorithm_all_scales() {
+    let k = 64usize;
+    let trials = 200u64;
+    let mut rates = Vec::new();
+    for (ell, seed) in [(24u64, 31u64), (96, 32)] {
+        let budget = 64 * ((ell * ell) / k as u64 + ell);
+        let summary = measure_parallel_strategy(
+            ExponentStrategy::UniformSuperdiffusive,
+            k,
+            &MeasurementConfig::new(ell, budget, trials, seed),
+        );
+        rates.push(summary.hit_rate());
+    }
+    for (i, r) in rates.iter().enumerate() {
+        assert!(
+            *r > 0.75,
+            "scale {i}: randomized strategy rate {r} too low"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) of cross-crate invariants.
+
+use levy_grid::{
+    count_tie_positions, direct_path_node_at, DirectPathWalker, Point, Ring, SegmentPoints,
+    Spiral, Square,
+};
+use levy_rng::{JumpLengthDistribution, SeedStream};
+use levy_walks::{levy_walk_hitting_time, JumpProcess, LevyWalk};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-200i64..200, -200i64..200).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn direct_paths_are_shortest_paths(start in arb_point(), end in arb_point(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = start.l1_distance(end);
+        let path = DirectPathWalker::new(start, end).collect_path(&mut rng);
+        prop_assert_eq!(path.len() as u64, d);
+        let mut prev = start;
+        for (i, &node) in path.iter().enumerate() {
+            prop_assert!(prev.is_adjacent(node), "non-adjacent at step {}", i);
+            prop_assert_eq!(start.l1_distance(node), i as u64 + 1, "off-ring at step {}", i);
+            prev = node;
+        }
+        if d > 0 {
+            prop_assert_eq!(*path.last().unwrap(), end);
+        }
+    }
+
+    #[test]
+    fn direct_path_nodes_minimize_distance_to_segment(
+        start in arb_point(),
+        dx in -40i64..40,
+        dy in -40i64..40,
+        seed in any::<u64>(),
+    ) {
+        let end = start + Point::new(dx, dy);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let path = DirectPathWalker::new(start, end).collect_path(&mut rng);
+        let seg = SegmentPoints::new(start, end);
+        for (idx, &node) in path.iter().enumerate() {
+            let i = idx as u64 + 1;
+            let w = seg.point_at(i);
+            let mine = w.l2_distance_sq_num(node);
+            for other in Ring::new(start, i).iter() {
+                prop_assert!(mine <= w.l2_distance_sq_num(other),
+                    "step {} node {} beaten by {}", i, node, other);
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_node_lies_on_both_rings(
+        start in arb_point(),
+        end in arb_point(),
+        frac in 0.01f64..0.99,
+        seed in any::<u64>(),
+    ) {
+        let d = start.l1_distance(end);
+        prop_assume!(d >= 2);
+        let i = ((d as f64 * frac).ceil() as u64).clamp(1, d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let node = direct_path_node_at(start, end, i, &mut rng);
+        prop_assert_eq!(start.l1_distance(node), i);
+        prop_assert_eq!(end.l1_distance(node), d - i, "shortest-path consistency");
+    }
+
+    #[test]
+    fn ring_index_bijection(center in arb_point(), d in 0u64..64) {
+        let ring = Ring::new(center, d);
+        for index in 0..ring.len() {
+            let p = ring.node_at(index);
+            prop_assert_eq!(ring.index_of(p), Some(index));
+            prop_assert_eq!(center.l1_distance(p), d);
+        }
+    }
+
+    #[test]
+    fn spiral_prefix_covers_square(center in arb_point(), r in 0u64..12) {
+        let n = Spiral::steps_to_cover(r) as usize;
+        let covered: std::collections::HashSet<Point> = Spiral::new(center).take(n).collect();
+        let square = Square::new(center, r);
+        prop_assert_eq!(covered.len() as u64, square.len());
+        for p in square.iter() {
+            prop_assert!(covered.contains(&p));
+        }
+    }
+
+    #[test]
+    fn walk_moves_one_edge_per_step(alpha in 1.2f64..4.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut walk = LevyWalk::new(alpha, Point::ORIGIN).expect("alpha valid");
+        let mut prev = walk.position();
+        for t in 1..=300u64 {
+            let next = walk.step(&mut rng);
+            prop_assert!(prev.l1_distance(next) <= 1);
+            prop_assert_eq!(walk.time(), t);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn hitting_time_bounded_by_budget_and_distance(
+        alpha in 1.5f64..3.5,
+        ell in 1u64..60,
+        budget in 1u64..4000,
+        seed in any::<u64>(),
+    ) {
+        let jumps = JumpLengthDistribution::new(alpha).expect("valid alpha");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let target = Point::new(ell as i64, 0);
+        if let Some(t) = levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, &mut rng) {
+            prop_assert!(t >= ell, "hit time {} below distance {}", t, ell);
+            prop_assert!(t <= budget, "hit time {} beyond budget {}", t, budget);
+        }
+    }
+
+    #[test]
+    fn tie_count_is_symmetric_under_reflection(dx in -60i64..60, dy in -60i64..60) {
+        let a = count_tie_positions(Point::ORIGIN, Point::new(dx, dy));
+        let b = count_tie_positions(Point::ORIGIN, Point::new(-dx, dy));
+        let c = count_tie_positions(Point::ORIGIN, Point::new(dy, dx));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, c);
+    }
+
+    #[test]
+    fn jump_distribution_moments_consistent(alpha in 2.05f64..5.0) {
+        let d = JumpLengthDistribution::new(alpha).expect("valid");
+        // pmf decreasing, cdf increasing, tail decreasing.
+        prop_assert!(d.pmf(1) >= d.pmf(2));
+        prop_assert!(d.cdf(10) <= d.cdf(20));
+        prop_assert!(d.tail(10) >= d.tail(20));
+        let total = d.cdf(50) + d.tail(51);
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seed_streams_never_collide_along_paths(master in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
+        prop_assume!(a != b);
+        let root = SeedStream::new(master);
+        prop_assert_ne!(root.child(a).seed(), root.child(b).seed());
+    }
+}

@@ -1,0 +1,92 @@
+//! Cross-checks between the `levy_walks::theory` predictions and quick
+//! simulations: the predictions module must describe the simulator.
+
+use parallel_levy_walks::prelude::*;
+use parallel_levy_walks::walks::theory::{
+    characteristic_time, hit_probability_exponent, mu, nu, parallel_target, Regime,
+};
+
+#[test]
+fn characteristic_time_saturates_hit_probability() {
+    // At the characteristic time the hit probability should already be a
+    // large fraction of what doubling the budget achieves.
+    let alpha = 2.5;
+    let ell = 48u64;
+    let t_char = characteristic_time(alpha, ell).ceil() as u64;
+    let at_char = measure_single_walk(
+        alpha,
+        &MeasurementConfig::new(ell, t_char, 20_000, 3),
+    );
+    let at_four = measure_single_walk(
+        alpha,
+        &MeasurementConfig::new(ell, 4 * t_char, 20_000, 3),
+    );
+    let ratio = at_four.hit_rate() / at_char.hit_rate().max(1e-9);
+    assert!(
+        ratio < 4.0,
+        "4x budget quadrupled the probability (ratio {ratio}): {} is not a \
+         saturation scale",
+        t_char
+    );
+}
+
+#[test]
+fn regime_boundaries_agree_with_msd_behaviour() {
+    use parallel_levy_walks::walks::msd_exponent;
+    // msd_exponent and Regime must agree on the boundaries.
+    for (alpha, regime) in [
+        (1.5, Regime::Ballistic),
+        (2.0, Regime::Ballistic),
+        (2.5, Regime::SuperDiffusive),
+        (3.0, Regime::Diffusive),
+    ] {
+        assert_eq!(Regime::of(alpha), regime);
+        let beta = msd_exponent(alpha);
+        match regime {
+            Regime::Ballistic => assert_eq!(beta, 2.0),
+            Regime::SuperDiffusive => assert!((1.0..2.0).contains(&beta)),
+            Regime::Diffusive => assert_eq!(beta, 1.0),
+        }
+    }
+}
+
+#[test]
+fn predicted_exponent_orders_empirical_hit_rates() {
+    // Per theory, at matched characteristic budgets the saturated hit
+    // probability decays faster in ℓ for smaller α in (2,3). Compare the
+    // ℓ-ratio of hit rates for two exponents.
+    let trials = 25_000u64;
+    let rate = |alpha: f64, ell: u64| -> f64 {
+        let budget = (2.0 * characteristic_time(alpha, ell)).ceil() as u64;
+        measure_single_walk(alpha, &MeasurementConfig::new(ell, budget, trials, 9)).hit_rate()
+    };
+    let drop_22 = rate(2.2, 16) / rate(2.2, 64).max(1e-9);
+    let drop_28 = rate(2.8, 16) / rate(2.8, 64).max(1e-9);
+    assert!(
+        drop_22 > drop_28,
+        "α=2.2 should decay faster in ℓ: drop {drop_22} vs α=2.8 drop {drop_28}"
+    );
+    // And the predicted exponents order the same way.
+    assert!(hit_probability_exponent(2.2) < hit_probability_exponent(2.8));
+}
+
+#[test]
+fn mu_nu_are_bounded_by_log() {
+    for alpha in [2.01, 2.5, 2.99] {
+        for ell in [10u64, 1000, 1_000_000] {
+            let log_ell = (ell as f64).ln();
+            assert!(mu(alpha, ell) <= log_ell + 1e-9);
+            assert!(nu(alpha, ell) <= log_ell + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn parallel_target_matches_problem_lower_bound() {
+    for (k, ell) in [(1u64, 10u64), (16, 100), (1000, 1000)] {
+        let via_theory = parallel_target(k, ell);
+        let via_problem =
+            SearchProblem::at_distance(ell, k as usize, 1).universal_lower_bound();
+        assert!((via_theory - via_problem).abs() < 1e-9);
+    }
+}
