@@ -1,61 +1,47 @@
-//! Criterion benchmarks of the lattice-geometry substrate.
+//! Micro-benchmarks of the lattice-geometry substrate.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use levy_bench::microbench::{black_box, Session};
 use levy_grid::{direct_path_node_at, spiral_index, DirectPathWalker, Point, Ring};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn bench_ring_sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ring_sample_uniform");
+fn main() {
+    let mut s = Session::from_env();
+
     for d in [4u64, 64, 4096] {
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
-            let ring = Ring::new(Point::ORIGIN, d);
-            let mut rng = SmallRng::seed_from_u64(0);
-            b.iter(|| black_box(ring.sample_uniform(&mut rng)));
+        let ring = Ring::new(Point::ORIGIN, d);
+        let mut rng = SmallRng::seed_from_u64(0);
+        s.bench(&format!("ring_sample_uniform/{d}"), || {
+            black_box(ring.sample_uniform(&mut rng))
         });
     }
-    group.finish();
-}
 
-fn bench_direct_path_stepping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("direct_path_full_walk");
     for d in [16i64, 256, 4096] {
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            let end = Point::new(d * 2 / 3, d - d * 2 / 3);
-            b.iter(|| {
-                let mut w = DirectPathWalker::new(Point::ORIGIN, end);
-                let mut last = Point::ORIGIN;
-                while let Some(p) = w.next_node(&mut rng) {
-                    last = p;
-                }
-                black_box(last)
-            });
+        let mut rng = SmallRng::seed_from_u64(1);
+        let end = Point::new(d * 2 / 3, d - d * 2 / 3);
+        s.bench(&format!("direct_path_full_walk/{d}"), || {
+            let mut w = DirectPathWalker::new(Point::ORIGIN, end);
+            let mut last = Point::ORIGIN;
+            while let Some(p) = w.next_node(&mut rng) {
+                last = p;
+            }
+            black_box(last)
         });
     }
-    group.finish();
-}
 
-fn bench_marginal_node(c: &mut Criterion) {
     // The O(1) phase-hit test at the heart of the fast simulator.
-    c.bench_function("direct_path_node_at_d4096", |b| {
+    {
         let mut rng = SmallRng::seed_from_u64(2);
         let end = Point::new(3000, 1096);
-        b.iter(|| black_box(direct_path_node_at(Point::ORIGIN, end, 2048, &mut rng)));
+        s.bench("direct_path_node_at_d4096", || {
+            black_box(direct_path_node_at(Point::ORIGIN, end, 2048, &mut rng))
+        });
+    }
+
+    s.bench("spiral_index_far_node", || {
+        black_box(spiral_index(
+            Point::ORIGIN,
+            black_box(Point::new(777, -345)),
+        ))
     });
 }
-
-fn bench_spiral_index(c: &mut Criterion) {
-    c.bench_function("spiral_index_far_node", |b| {
-        b.iter(|| black_box(spiral_index(Point::ORIGIN, black_box(Point::new(777, -345)))));
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_ring_sampling,
-    bench_direct_path_stepping,
-    bench_marginal_node,
-    bench_spiral_index
-);
-criterion_main!(benches);

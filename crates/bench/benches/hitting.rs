@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the hitting-time simulators: the O(1)-per-phase
+//! Micro-benchmarks of the hitting-time simulators: the O(1)-per-phase
 //! fast path vs the O(d)-per-phase exact reference, per regime.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use levy_bench::microbench::{black_box, Session};
 use levy_grid::Point;
 use levy_rng::JumpLengthDistribution;
 use levy_walks::{levy_walk_hitting_time, levy_walk_hitting_time_exact};
@@ -11,46 +11,34 @@ use rand::SeedableRng;
 const ELL: i64 = 64;
 const BUDGET: u64 = 4_096;
 
-fn bench_fast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hitting_fast");
+fn main() {
+    let mut s = Session::from_env();
+
     for alpha in [1.5, 2.2, 2.8, 3.5] {
         let jumps = JumpLengthDistribution::new(alpha).expect("valid");
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, _| {
-            let mut rng = SmallRng::seed_from_u64(0);
-            b.iter(|| {
-                black_box(levy_walk_hitting_time(
-                    &jumps,
-                    Point::ORIGIN,
-                    Point::new(ELL, 0),
-                    BUDGET,
-                    &mut rng,
-                ))
-            });
+        let mut rng = SmallRng::seed_from_u64(0);
+        s.bench(&format!("hitting_fast/{alpha}"), || {
+            black_box(levy_walk_hitting_time(
+                &jumps,
+                Point::ORIGIN,
+                Point::new(ELL, 0),
+                BUDGET,
+                &mut rng,
+            ))
         });
     }
-    group.finish();
-}
 
-fn bench_exact(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hitting_exact_reference");
-    group.sample_size(20);
     for alpha in [2.2, 2.8] {
         let jumps = JumpLengthDistribution::new(alpha).expect("valid");
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, _| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            b.iter(|| {
-                black_box(levy_walk_hitting_time_exact(
-                    &jumps,
-                    Point::ORIGIN,
-                    Point::new(ELL, 0),
-                    BUDGET,
-                    &mut rng,
-                ))
-            });
+        let mut rng = SmallRng::seed_from_u64(1);
+        s.bench(&format!("hitting_exact_reference/{alpha}"), || {
+            black_box(levy_walk_hitting_time_exact(
+                &jumps,
+                Point::ORIGIN,
+                Point::new(ELL, 0),
+                BUDGET,
+                &mut rng,
+            ))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fast, bench_exact);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benchmarks of parallel search: cost of a k-walk trial for the
+//! Micro-benchmarks of parallel search: cost of a k-walk trial for the
 //! paper's strategies and the baselines.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use levy_bench::microbench::{black_box, Session};
 use levy_grid::Point;
 use levy_rng::ExponentStrategy;
 use levy_search::{AntsSearch, LevySearch, RandomWalkSearch, SearchProblem, SearchStrategy};
@@ -12,30 +12,23 @@ use rand::SeedableRng;
 const ELL: u64 = 64;
 const BUDGET: u64 = 16_384;
 
-fn bench_parallel_random_exponents(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel_hit_random_exponents");
-    group.sample_size(30);
+fn main() {
+    let mut s = Session::from_env();
+
     for k in [4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let mut rng = SmallRng::seed_from_u64(0);
-            b.iter(|| {
-                black_box(parallel_hitting_time(
-                    k,
-                    &ExponentStrategy::UniformSuperdiffusive,
-                    Point::ORIGIN,
-                    Point::new(ELL as i64, 0),
-                    BUDGET,
-                    &mut rng,
-                ))
-            });
+        let mut rng = SmallRng::seed_from_u64(0);
+        s.bench(&format!("parallel_hit_random_exponents/k{k}"), || {
+            black_box(parallel_hitting_time(
+                k,
+                &ExponentStrategy::UniformSuperdiffusive,
+                Point::ORIGIN,
+                Point::new(ELL as i64, 0),
+                BUDGET,
+                &mut rng,
+            ))
         });
     }
-    group.finish();
-}
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("strategy_trial_k16");
-    group.sample_size(20);
     let problem = SearchProblem::at_distance(ELL, 16, BUDGET);
     let strategies: Vec<(&str, Box<dyn SearchStrategy + Sync>)> = vec![
         ("levy_random", Box::new(LevySearch::randomized())),
@@ -43,13 +36,9 @@ fn bench_strategies(c: &mut Criterion) {
         ("simple_rw", Box::new(RandomWalkSearch::new())),
     ];
     for (name, strategy) in &strategies {
-        group.bench_function(*name, |b| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            b.iter(|| black_box(strategy.run(&problem, &mut rng)));
+        let mut rng = SmallRng::seed_from_u64(1);
+        s.bench(&format!("strategy_trial_k16/{name}"), || {
+            black_box(strategy.run(&problem, &mut rng))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_parallel_random_exponents, bench_strategies);
-criterion_main!(benches);

@@ -1,49 +1,42 @@
-//! Criterion benchmarks of the randomness substrate: the jump-length
-//! sampler is the innermost loop of every experiment.
+//! Micro-benchmarks of the randomness substrate: the jump-length sampler
+//! is the innermost loop of every experiment.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use levy_bench::microbench::{black_box, Session};
 use levy_rng::{sample_zeta, JumpLengthDistribution, ZetaTable};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn bench_devroye(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sample_zeta_devroye");
+fn main() {
+    let mut s = Session::from_env();
+
     for alpha in [1.5, 2.0, 2.5, 3.0, 4.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
-            let mut rng = SmallRng::seed_from_u64(0);
-            b.iter(|| black_box(sample_zeta(alpha, &mut rng)));
+        let mut rng = SmallRng::seed_from_u64(0);
+        s.bench(&format!("sample_zeta_devroye/{alpha}"), || {
+            black_box(sample_zeta(alpha, &mut rng))
         });
     }
-    group.finish();
-}
 
-fn bench_full_jump_law(c: &mut Criterion) {
-    let jumps = JumpLengthDistribution::new(2.5).expect("valid");
-    c.bench_function("jump_law_sample_alpha_2.5", |b| {
-        let mut rng = SmallRng::seed_from_u64(1);
-        b.iter(|| black_box(jumps.sample(&mut rng)));
+    let hybrid = JumpLengthDistribution::new(2.5).expect("valid");
+    let mut rng = SmallRng::seed_from_u64(1);
+    s.bench("jump_law_sample_hybrid_alpha_2.5", || {
+        black_box(hybrid.sample(&mut rng))
     });
-}
 
-fn bench_table_inversion(c: &mut Criterion) {
+    let devroye = JumpLengthDistribution::new_untabled(2.5).expect("valid");
+    let mut rng = SmallRng::seed_from_u64(1);
+    s.bench("jump_law_sample_devroye_alpha_2.5", || {
+        black_box(devroye.sample(&mut rng))
+    });
+
     let table = ZetaTable::new(2.5, 4096);
-    c.bench_function("zeta_table_sample_cap_4096", |b| {
-        let mut rng = SmallRng::seed_from_u64(2);
-        b.iter(|| black_box(table.sample(&mut rng)));
+    let mut rng = SmallRng::seed_from_u64(2);
+    s.bench("zeta_table_sample_cap_4096", || {
+        black_box(table.sample(&mut rng))
+    });
+
+    // Cached after the first call, so this times the cache hit path that
+    // experiment sweeps actually pay.
+    s.bench("jump_law_construction", || {
+        black_box(JumpLengthDistribution::new(black_box(2.5)).unwrap())
     });
 }
-
-fn bench_distribution_construction(c: &mut Criterion) {
-    c.bench_function("jump_law_construction", |b| {
-        b.iter(|| black_box(JumpLengthDistribution::new(black_box(2.5)).unwrap()));
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_devroye,
-    bench_full_jump_law,
-    bench_table_inversion,
-    bench_distribution_construction
-);
-criterion_main!(benches);

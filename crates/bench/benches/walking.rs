@@ -1,45 +1,32 @@
-//! Criterion benchmarks of the walk/flight processes: cost per step and
-//! per jump phase across the three regimes.
+//! Micro-benchmarks of the walk/flight processes: cost per step and per
+//! jump phase across the three regimes.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use levy_bench::microbench::{black_box, Session};
 use levy_grid::Point;
 use levy_walks::{JumpProcess, LevyFlight, LevyWalk};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn bench_walk_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("levy_walk_step");
-    group.throughput(Throughput::Elements(1_000));
+fn main() {
+    let mut s = Session::from_env();
+
     for alpha in [1.5, 2.5, 3.5] {
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
-            let mut rng = SmallRng::seed_from_u64(0);
-            let mut walk = LevyWalk::new(alpha, Point::ORIGIN).expect("valid");
-            b.iter(|| {
-                for _ in 0..1_000 {
-                    black_box(walk.step(&mut rng));
-                }
-            });
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut walk = LevyWalk::new(alpha, Point::ORIGIN).expect("valid");
+        s.bench(&format!("levy_walk_step_x1000/{alpha}"), || {
+            for _ in 0..1_000 {
+                black_box(walk.step(&mut rng));
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_flight_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("levy_flight_jump");
-    group.throughput(Throughput::Elements(1_000));
     for alpha in [1.5, 2.5, 3.5] {
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            let mut flight = LevyFlight::new(alpha, Point::ORIGIN).expect("valid");
-            b.iter(|| {
-                for _ in 0..1_000 {
-                    black_box(flight.step(&mut rng));
-                }
-            });
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut flight = LevyFlight::new(alpha, Point::ORIGIN).expect("valid");
+        s.bench(&format!("levy_flight_jump_x1000/{alpha}"), || {
+            for _ in 0..1_000 {
+                black_box(flight.step(&mut rng));
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_walk_steps, bench_flight_steps);
-criterion_main!(benches);

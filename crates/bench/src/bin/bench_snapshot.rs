@@ -1,0 +1,318 @@
+//! Bench snapshot pipeline: regenerates `BENCH_runner.json` and
+//! `BENCH_sampler.json` at the repository root (`scripts/bench_snapshot.sh`
+//! is the entry point).
+//!
+//! Three hot paths are timed at fixed seeds:
+//!
+//! * **single-walk hitting** — the E1-style workload (α = 2.5, targets up
+//!   to ℓ = 192, budget 4·ℓ^{α−1});
+//! * **k-parallel hitting** — k = 8 common-exponent walks at ℓ = 192;
+//! * **raw sampling** — jump-length draws, hybrid table vs pure Devroye.
+//!
+//! The runner comparison (work-stealing vs the seed contiguous-chunk
+//! scheduler) replays the *measured per-trial costs* through both
+//! schedules for an 8-worker machine: wall-clock times each trial once,
+//! then computes each schedule's makespan deterministically. This keeps
+//! the snapshot honest on throttled single-core CI hosts, where spawning
+//! 8 real threads would measure the container, not the scheduler; the
+//! schedules replayed are exactly the ones `levy_sim::run_trials`
+//! (shrinking stolen blocks) and `levy_sim::chunked::run_trials` (one
+//! contiguous chunk per worker) execute.
+//!
+//! `--smoke` (or `LEVY_BENCH_SMOKE=1`) shrinks every workload and writes
+//! under `results/` instead of the repository root, so CI can exercise the
+//! pipeline in seconds without touching the committed snapshots.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use levy_grid::Point;
+use levy_rng::{JumpLengthDistribution, SeedStream};
+use levy_sim::{chunked, run_trials, write_json, Json};
+use levy_walks::{levy_walk_hitting_time, parallel_hitting_time_common};
+
+/// Worker count the schedule replay models (the acceptance workload).
+const THREADS: usize = 8;
+
+/// Mirror of the runner's block-claim parameters; keep in sync with
+/// `levy-sim/src/runner.rs` (`MAX_BLOCK`, guided divisor `4 · threads`).
+const MAX_BLOCK: u64 = 1024;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("LEVY_BENCH_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Makespan of the seed scheduler: contiguous chunks, one per worker.
+fn chunked_makespan(costs: &[f64], threads: usize) -> f64 {
+    let trials = costs.len();
+    let chunk = trials.div_ceil(threads);
+    costs
+        .chunks(chunk.max(1))
+        .map(|c| c.iter().sum::<f64>())
+        .fold(0.0f64, f64::max)
+}
+
+/// Makespan of the work-stealing scheduler: the idle worker (smallest
+/// clock) claims the next shrinking block, exactly as `claim_block` does.
+fn stealing_makespan(costs: &[f64], threads: usize) -> f64 {
+    let trials = costs.len() as u64;
+    let mut clocks = vec![0.0f64; threads];
+    let mut next: u64 = 0;
+    while next < trials {
+        let worker = clocks
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(w, _)| w)
+            .expect("at least one worker");
+        let remaining = trials - next;
+        let block = (remaining / (4 * threads as u64)).clamp(1, MAX_BLOCK);
+        for i in next..(next + block).min(trials) {
+            clocks[worker] += costs[i as usize];
+        }
+        next += block;
+    }
+    clocks.into_iter().fold(0.0f64, f64::max)
+}
+
+/// Times `f` once per rep, returning best-of-reps seconds (and the last
+/// checksum, to keep the work observable).
+fn best_of<F: FnMut() -> u64>(reps: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn runner_snapshot(smoke: bool) -> Json {
+    let alpha = 2.5;
+    let jumps = JumpLengthDistribution::new(alpha).expect("valid alpha");
+    let ells: [u64; 4] = [24, 48, 96, 192];
+    let per_ell: u64 = if smoke { 16 } else { 192 };
+    let trials = per_ell * ells.len() as u64;
+    let seeds = SeedStream::new(0xE1_2021);
+    let budget = |ell: u64| (4.0 * (ell as f64).powf(alpha - 1.0)).ceil() as u64;
+    let trial_ell = |i: u64| ells[(i / per_ell) as usize % ells.len()];
+
+    // Single-walk hitting: wall-clock each trial once (single-threaded,
+    // fixed seeds). The per-trial costs feed the schedule replay; trials
+    // are grouped by ℓ exactly as a sweep enumerates them, which is the
+    // ordering that starves the contiguous scheduler.
+    let mut costs: Vec<f64> = Vec::with_capacity(trials as usize);
+    let mut hits = 0u64;
+    let wall = Instant::now();
+    for i in 0..trials {
+        let ell = trial_ell(i);
+        let mut rng = seeds.child(i).rng();
+        let t = Instant::now();
+        let hit = levy_walk_hitting_time(
+            &jumps,
+            Point::ORIGIN,
+            Point::new(ell as i64, 0),
+            budget(ell),
+            &mut rng,
+        );
+        costs.push(t.elapsed().as_secs_f64());
+        hits += u64::from(hit.is_some());
+    }
+    let single_walk_secs = wall.elapsed().as_secs_f64();
+
+    // k-parallel hitting throughput at the heaviest cell.
+    let k = 8usize;
+    let par_trials: u64 = if smoke { 8 } else { 96 };
+    let par_seeds = SeedStream::new(0xE6_2021);
+    let par_secs = best_of(1, || {
+        let outcomes = run_trials(par_trials, par_seeds, 1, |_i, rng| {
+            parallel_hitting_time_common(
+                k,
+                &jumps,
+                Point::ORIGIN,
+                Point::new(192, 0),
+                budget(192),
+                rng,
+            )
+        });
+        outcomes.iter().filter(|o| o.is_some()).count() as u64
+    });
+
+    // Determinism: identical results for 1/3/16 threads and for the seed
+    // chunked scheduler (timing differs; bits must not).
+    let run_with = |threads: usize| {
+        run_trials(trials, seeds, threads, |i, rng| {
+            let ell = trial_ell(i);
+            levy_walk_hitting_time(
+                &jumps,
+                Point::ORIGIN,
+                Point::new(ell as i64, 0),
+                budget(ell),
+                rng,
+            )
+        })
+    };
+    let r1 = run_with(1);
+    let deterministic = [3usize, 16].into_iter().all(|t| run_with(t) == r1)
+        && chunked::run_trials(trials, seeds, THREADS, |i, rng| {
+            let ell = trial_ell(i);
+            levy_walk_hitting_time(
+                &jumps,
+                Point::ORIGIN,
+                Point::new(ell as i64, 0),
+                budget(ell),
+                rng,
+            )
+        }) == r1;
+
+    // Schedule replay on the measured costs.
+    let chunked_span = chunked_makespan(&costs, THREADS);
+    let stealing_span = stealing_makespan(&costs, THREADS);
+    let speedup = chunked_span / stealing_span.max(1e-12);
+    let total_cost: f64 = costs.iter().sum();
+
+    println!("runner: {trials} trials (E1 sweep, alpha {alpha}), {hits} hits");
+    println!(
+        "runner: chunked makespan {chunked_span:.4}s vs stealing {stealing_span:.4}s on {THREADS} modeled workers -> {speedup:.2}x"
+    );
+    println!("runner: deterministic across threads/schedulers = {deterministic}");
+
+    Json::obj([
+        ("schema", Json::from("levy-bench/runner-v1")),
+        ("workload", Json::obj([
+            ("experiment_style", Json::from("E1 hit-probability sweep, batched as one trial queue")),
+            ("alpha", Json::from(alpha)),
+            ("ells", Json::arr(ells.iter().map(|&e| Json::from(e)))),
+            ("trials_per_ell", Json::from(per_ell)),
+            ("trials", Json::from(trials)),
+            ("budget_rule", Json::from("ceil(4 * ell^(alpha-1))")),
+            ("seed", Json::from("SeedStream::new(0x00E12021)")),
+        ])),
+        ("modeled_workers", Json::from(THREADS as u64)),
+        ("method", Json::from(
+            "per-trial wall-clock costs replayed through both schedules (container is single-core; schedules are exactly those of levy_sim::run_trials and levy_sim::chunked::run_trials)",
+        )),
+        ("single_walk", Json::obj([
+            ("trials", Json::from(trials)),
+            ("hits", Json::from(hits)),
+            ("secs_single_thread", Json::from(single_walk_secs)),
+            ("trials_per_sec", Json::from(trials as f64 / single_walk_secs)),
+        ])),
+        ("parallel_walk", Json::obj([
+            ("k", Json::from(k as u64)),
+            ("ell", Json::from(192u64)),
+            ("trials", Json::from(par_trials)),
+            ("secs_single_thread", Json::from(par_secs)),
+            ("trials_per_sec", Json::from(par_trials as f64 / par_secs)),
+        ])),
+        ("scheduler", Json::obj([
+            ("chunked_makespan_secs", Json::from(chunked_span)),
+            ("stealing_makespan_secs", Json::from(stealing_span)),
+            ("speedup", Json::from(speedup)),
+            ("total_cost_secs", Json::from(total_cost)),
+            ("ideal_makespan_secs", Json::from(total_cost / THREADS as f64)),
+        ])),
+        ("deterministic_across_threads_and_schedulers", Json::from(deterministic)),
+        ("host_cores", Json::from(
+            std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
+        )),
+        ("smoke", Json::from(smoke)),
+    ])
+}
+
+fn sampler_snapshot(smoke: bool) -> Json {
+    let draws: u64 = if smoke { 200_000 } else { 8_000_000 };
+    let reps: u32 = if smoke { 1 } else { 3 };
+    let mut rows: Vec<Json> = Vec::new();
+    let mut primary_speedup = 0.0;
+    for alpha in [2.2f64, 2.5, 3.0] {
+        let hybrid = JumpLengthDistribution::new(alpha).expect("valid");
+        let devroye = JumpLengthDistribution::new_untabled(alpha).expect("valid");
+        let time_draws = |law: &JumpLengthDistribution| {
+            best_of(reps, || {
+                let mut rng = SeedStream::new(0x5A_2021).child(0).rng();
+                let mut acc = 0u64;
+                for _ in 0..draws {
+                    acc = acc.wrapping_add(law.sample(&mut rng));
+                }
+                acc
+            })
+        };
+        let hybrid_secs = time_draws(&hybrid);
+        let devroye_secs = time_draws(&devroye);
+        let speedup = devroye_secs / hybrid_secs.max(1e-12);
+        if alpha == 2.5 {
+            primary_speedup = speedup;
+        }
+        println!(
+            "sampler alpha {alpha}: devroye {:.1} ns/draw, hybrid {:.1} ns/draw -> {speedup:.2}x",
+            devroye_secs * 1e9 / draws as f64,
+            hybrid_secs * 1e9 / draws as f64,
+        );
+        rows.push(Json::obj([
+            ("alpha", Json::from(alpha)),
+            ("table_cutoff", Json::from(hybrid.table_cutoff())),
+            ("draws", Json::from(draws)),
+            (
+                "devroye_ns_per_draw",
+                Json::from(devroye_secs * 1e9 / draws as f64),
+            ),
+            (
+                "hybrid_ns_per_draw",
+                Json::from(hybrid_secs * 1e9 / draws as f64),
+            ),
+            (
+                "devroye_draws_per_sec",
+                Json::from(draws as f64 / devroye_secs),
+            ),
+            (
+                "hybrid_draws_per_sec",
+                Json::from(draws as f64 / hybrid_secs),
+            ),
+            ("speedup", Json::from(speedup)),
+        ]));
+    }
+    Json::obj([
+        ("schema", Json::from("levy-bench/sampler-v1")),
+        ("law", Json::from("Eq. (3): P(d=0)=1/2, P(d=i)=c_a/i^a")),
+        ("seed", Json::from("SeedStream::new(0x005A2021).child(0)")),
+        ("per_alpha", Json::Arr(rows)),
+        ("primary_alpha", Json::from(2.5)),
+        ("primary_speedup", Json::from(primary_speedup)),
+        ("smoke", Json::from(smoke)),
+    ])
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let out_dir = if smoke {
+        repo_root().join("results")
+    } else {
+        repo_root()
+    };
+    println!(
+        "bench snapshot ({}) -> {}",
+        if smoke { "smoke" } else { "full" },
+        out_dir.display()
+    );
+
+    let runner = runner_snapshot(smoke);
+    let runner_path = out_dir.join("BENCH_runner.json");
+    write_json(&runner, &runner_path).expect("write BENCH_runner.json");
+    println!("[written {}]", runner_path.display());
+
+    let sampler = sampler_snapshot(smoke);
+    let sampler_path = out_dir.join("BENCH_sampler.json");
+    write_json(&sampler, &sampler_path).expect("write BENCH_sampler.json");
+    println!("[written {}]", sampler_path.display());
+}

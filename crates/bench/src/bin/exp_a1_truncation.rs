@@ -7,12 +7,12 @@
 //! (the cap removes only rare, overshooting jumps), certifying that the
 //! conditioning is analytically convenient but behaviourally mild.
 
+use levy_analysis::{wilson_interval, CensoredSummary};
 use levy_bench::{banner, emit, fmt_prob_ci, Scale, Stopwatch};
 use levy_grid::Point;
 use levy_rng::{JumpLengthDistribution, SeedStream};
 use levy_sim::{run_trials, TextTable};
 use levy_walks::{levy_walk_hitting_time, levy_walk_hitting_time_capped};
-use levy_analysis::{wilson_interval, CensoredSummary};
 
 fn main() {
     let scale = Scale::from_args();
@@ -38,16 +38,14 @@ fn main() {
         let t = (2.0 * (ell as f64).powf(alpha - 1.0)).ceil() as u64;
         let cap = ((t as f64 * (t as f64).ln()).powf(1.0 / (alpha - 1.0))).ceil() as u64;
         let target_ell = ell;
-        let uncapped: Vec<Option<u64>> =
-            run_trials(trials, SeedStream::new(0xA1), 1, move |_i, rng| {
-                let target = levy_grid::Ring::new(Point::ORIGIN, target_ell).sample_uniform(rng);
-                levy_walk_hitting_time(&jumps, Point::ORIGIN, target, t, rng)
-            });
-        let capped: Vec<Option<u64>> =
-            run_trials(trials, SeedStream::new(0xA1), 1, move |_i, rng| {
-                let target = levy_grid::Ring::new(Point::ORIGIN, target_ell).sample_uniform(rng);
-                levy_walk_hitting_time_capped(&jumps, cap, Point::ORIGIN, target, t, rng)
-            });
+        let uncapped: Vec<Option<u64>> = run_trials(trials, SeedStream::new(0xA1), 1, |_i, rng| {
+            let target = levy_grid::Ring::new(Point::ORIGIN, target_ell).sample_uniform(rng);
+            levy_walk_hitting_time(&jumps, Point::ORIGIN, target, t, rng)
+        });
+        let capped: Vec<Option<u64>> = run_trials(trials, SeedStream::new(0xA1), 1, |_i, rng| {
+            let target = levy_grid::Ring::new(Point::ORIGIN, target_ell).sample_uniform(rng);
+            levy_walk_hitting_time_capped(&jumps, cap, Point::ORIGIN, target, t, rng)
+        });
         let su = CensoredSummary::from_outcomes(&uncapped, t);
         let sc = CensoredSummary::from_outcomes(&capped, t);
         table.row(vec![

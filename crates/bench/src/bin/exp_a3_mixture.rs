@@ -19,7 +19,10 @@ fn main() {
         "iid U(2,3) exponents vs deterministic exponent palettes of equal span.",
     );
     let watch = Stopwatch::start();
-    let cases: Vec<(usize, u64)> = scale.pick(vec![(32, 64), (64, 128)], vec![(32, 64), (64, 128), (128, 256)]);
+    let cases: Vec<(usize, u64)> = scale.pick(
+        vec![(32, 64), (64, 128)],
+        vec![(32, 64), (64, 128), (128, 256)],
+    );
     let trials: u64 = scale.pick(250, 1_200);
 
     for (k, ell) in cases {

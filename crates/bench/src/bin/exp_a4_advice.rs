@@ -23,7 +23,10 @@ fn main() {
         "Zero knowledge (Lévy U(2,3)) vs knows-k (ANTS doubling) vs knows-k-and-ℓ (ANTS advised).",
     );
     let watch = Stopwatch::start();
-    let cases: Vec<(usize, u64)> = scale.pick(vec![(16, 64), (64, 128)], vec![(16, 64), (64, 128), (64, 256)]);
+    let cases: Vec<(usize, u64)> = scale.pick(
+        vec![(16, 64), (64, 128)],
+        vec![(16, 64), (64, 128), (64, 256)],
+    );
     let trials: u64 = scale.pick(250, 1_200);
 
     for (k, ell) in cases {
@@ -33,7 +36,10 @@ fn main() {
         let strategies: Vec<(&str, Box<dyn SearchStrategy + Sync>)> = vec![
             ("knows nothing", Box::new(LevySearch::randomized())),
             ("knows k", Box::new(AntsSearch::new())),
-            ("knows k and ℓ", Box::new(AntsSearch::with_known_distance(ell))),
+            (
+                "knows k and ℓ",
+                Box::new(AntsSearch::with_known_distance(ell)),
+            ),
         ];
         let mut table = TextTable::new(vec![
             "knowledge",

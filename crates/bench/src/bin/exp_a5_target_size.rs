@@ -23,7 +23,7 @@ fn hit_rate(
     seed: u64,
 ) -> f64 {
     let jumps = JumpLengthDistribution::new(alpha).expect("valid alpha");
-    let hits = run_trials(trials, SeedStream::new(seed), 1, move |_i, rng| {
+    let hits = run_trials(trials, SeedStream::new(seed), 1, |_i, rng| {
         let center = Ring::new(Point::ORIGIN, ell).sample_uniform(rng);
         if walk {
             levy_walk_hitting_time_ball(&jumps, Point::ORIGIN, center, radius, budget, rng)
@@ -54,7 +54,11 @@ fn main() {
     let radii = [0u64, 3, 9];
 
     for walk in [false, true] {
-        let model = if walk { "walk (en-route)" } else { "flight (endpoint-only)" };
+        let model = if walk {
+            "walk (en-route)"
+        } else {
+            "flight (endpoint-only)"
+        };
         println!("detection model: {model}");
         let mut table = TextTable::new(vec![
             "target radius D",

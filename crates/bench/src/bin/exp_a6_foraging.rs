@@ -46,8 +46,7 @@ fn main() {
                 1,
                 move |_i, rng| forage(alpha, &field, steps, rng),
             );
-            let enc: f64 =
-                outcomes.iter().map(|o| o.encounter_rate()).sum::<f64>() / trials as f64;
+            let enc: f64 = outcomes.iter().map(|o| o.encounter_rate()).sum::<f64>() / trials as f64;
             let unique: f64 =
                 outcomes.iter().map(|o| o.discovery_rate()).sum::<f64>() / trials as f64;
             if enc > best_enc.0 {

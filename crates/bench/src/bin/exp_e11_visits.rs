@@ -15,7 +15,7 @@ use levy_sim::{run_trials, TextTable};
 use levy_walks::flight_visits_to;
 
 fn expected_visits(alpha: f64, jumps: u64, trials: u64, seed: u64) -> f64 {
-    let counts = run_trials(trials, SeedStream::new(seed), 1, move |_i, rng| {
+    let counts = run_trials(trials, SeedStream::new(seed), 1, |_i, rng| {
         flight_visits_to(alpha, Point::ORIGIN, jumps, rng).expect("valid alpha") as f64
     });
     mean(&counts).expect("trials > 0")
@@ -56,7 +56,12 @@ fn main() {
     }
 
     // (ii) Grow t: bounded for α < 3, creeping at α = 3.
-    let mut table = TextTable::new(vec!["t (jumps)", "E[Z₀] α=2.5", "E[Z₀] α=3.0", "log²t shape"]);
+    let mut table = TextTable::new(vec![
+        "t (jumps)",
+        "E[Z₀] α=2.5",
+        "E[Z₀] α=3.0",
+        "log²t shape",
+    ]);
     for &tt in &[500u64, 2_000, 8_000, scale.pick(16_000, 64_000)] {
         let a25 = expected_visits(2.5, tt, trials / 2, 0x25);
         let a30 = expected_visits(3.0, tt, trials / 2, 0x30);

@@ -27,11 +27,16 @@ fn main() {
     let checkpoints: Vec<u64> = vec![64, 128, 256, 512, 1024, 2048, 4096, 8192];
 
     // (i) MSD exponent per α.
-    let mut table = TextTable::new(vec!["alpha", "fitted MSD exponent β", "predicted β(α)", "r²"]);
+    let mut table = TextTable::new(vec![
+        "alpha",
+        "fitted MSD exponent β",
+        "predicted β(α)",
+        "r²",
+    ]);
     let mut plot = AsciiPlot::new(64, 16).log_log();
     for alpha in [1.5, 2.0, 2.5, 2.8, 3.5] {
         let cps = checkpoints.clone();
-        let sums = run_trials(trials, SeedStream::new(0x12), 1, move |_i, rng| {
+        let sums = run_trials(trials, SeedStream::new(0x12), 1, |_i, rng| {
             walk_positions_at(alpha, &cps, rng)
                 .expect("valid alpha")
                 .into_iter()
@@ -70,7 +75,7 @@ fn main() {
     for alpha in [2.2, 2.5, 2.8] {
         let t: u64 = scale.pick(4_096, 16_384);
         let radius = ((t as f64) * (t as f64).ln()).powf(1.0 / (alpha - 1.0));
-        let exceed = run_trials(trials, SeedStream::new(0x4B + t), 1, move |_i, rng| {
+        let exceed = run_trials(trials, SeedStream::new(0x4B + t), 1, |_i, rng| {
             walk_max_displacement(alpha, t, rng).expect("valid alpha") as f64 > radius
         })
         .into_iter()

@@ -19,12 +19,13 @@ fn main() {
         "P(τ_α = O(µ·ℓ^{α-1})) = Θ̃(1/ℓ^{3-α}) for α ∈ (2,3): slope of log P vs log ℓ ≈ -(3-α).",
     );
     let alphas = [2.2, 2.5, 2.8];
-    let ells: Vec<u64> = scale.pick(vec![16, 32, 64, 128, 256], vec![32, 64, 128, 256, 512, 1024]);
+    let ells: Vec<u64> = scale.pick(
+        vec![16, 32, 64, 128, 256],
+        vec![32, 64, 128, 256, 512, 1024],
+    );
     let watch = Stopwatch::start();
 
-    let mut table = TextTable::new(vec![
-        "alpha", "ell", "budget", "trials", "P(hit) [95% CI]",
-    ]);
+    let mut table = TextTable::new(vec!["alpha", "ell", "budget", "trials", "P(hit) [95% CI]"]);
     let mut fits = TextTable::new(vec!["alpha", "fitted slope", "predicted -(3-alpha)", "r²"]);
     for &alpha in &alphas {
         let mut points = Vec::new();
@@ -33,7 +34,8 @@ fn main() {
             // More trials where the probability is smaller.
             let base: u64 = scale.pick(4_000, 40_000);
             let trials = (base as f64 * (ell as f64).powf(3.0 - alpha) / 8.0)
-                .clamp(base as f64, scale.pick(30_000.0, 300_000.0)) as u64;
+                .clamp(base as f64, scale.pick(30_000.0, 300_000.0))
+                as u64;
             let config = MeasurementConfig::new(ell, budget, trials, 0xE1 + ell);
             let summary = measure_single_walk(alpha, &config);
             let p = summary.hit_rate();

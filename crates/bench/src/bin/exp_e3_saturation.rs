@@ -39,9 +39,7 @@ fn main() {
         "gain vs m=1",
         "gain per doubling",
     ]);
-    let p_at = |t: u64| -> f64 {
-        times.partition_point(|&x| x <= t as f64) as f64 / trials as f64
-    };
+    let p_at = |t: u64| -> f64 { times.partition_point(|&x| x <= t as f64) as f64 / trials as f64 };
     let p_ref = p_at(t_char.ceil() as u64);
     let mut prev_p: Option<f64> = None;
     for &m in &multipliers {

@@ -23,7 +23,11 @@ fn main() {
     let watch = Stopwatch::start();
 
     let mut table = TextTable::new(vec![
-        "alpha", "ell", "budget ℓ²log²ℓ", "P(hit) [95% CI]", "1/log⁴ℓ (floor shape)",
+        "alpha",
+        "ell",
+        "budget ℓ²log²ℓ",
+        "P(hit) [95% CI]",
+        "1/log⁴ℓ (floor shape)",
     ]);
     let mut fits = TextTable::new(vec!["alpha", "log-log slope vs ℓ", "note"]);
     for &alpha in &alphas {

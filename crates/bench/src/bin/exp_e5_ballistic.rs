@@ -23,14 +23,22 @@ fn main() {
     );
     let watch = Stopwatch::start();
 
-    let mut table = TextTable::new(vec!["alpha", "ell", "budget 8ℓ", "trials", "P(hit) [95% CI]"]);
+    let mut table = TextTable::new(vec![
+        "alpha",
+        "ell",
+        "budget 8ℓ",
+        "trials",
+        "P(hit) [95% CI]",
+    ]);
     let mut fits = TextTable::new(vec!["alpha", "fitted slope", "predicted", "r²"]);
     for &alpha in &alphas {
         let mut points = Vec::new();
         for &ell in &ells {
             let budget = 8 * ell;
             // p ≈ 1/ℓ: scale trials to keep ~1k expected hits.
-            let trials: u64 = scale.pick(1_000 * ell, 4_000 * ell).clamp(20_000, 2_000_000);
+            let trials: u64 = scale
+                .pick(1_000 * ell, 4_000 * ell)
+                .clamp(20_000, 2_000_000);
             let config = MeasurementConfig::new(ell, budget, trials, 0xE5 + ell);
             let summary = measure_single_walk(alpha, &config);
             let p = summary.hit_rate();

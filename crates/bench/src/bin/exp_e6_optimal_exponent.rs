@@ -32,7 +32,9 @@ fn main() {
         let alpha_star = ideal_exponent(k as u64, ell);
         let budget = (12.0 * (ell * ell) as f64 / k as f64).ceil() as u64;
         let trials: u64 = scale.pick(250, 1_500);
-        println!("k = {k}, ℓ = {ell}: ideal α* = {alpha_star:.3}, budget = {budget}, trials = {trials}");
+        println!(
+            "k = {k}, ℓ = {ell}: ideal α* = {alpha_star:.3}, budget = {budget}, trials = {trials}"
+        );
         let mut table = TextTable::new(vec![
             "alpha",
             "P(τᵏ ≤ budget)",
@@ -43,7 +45,8 @@ fn main() {
         let mut best_alpha = f64::NAN;
         let mut best_rate = -1.0;
         for alpha in linspace(2.05, 2.95, scale.pick(13, 19)) {
-            let config = MeasurementConfig::new(ell, budget, trials, 0xE6 + (alpha * 1000.0) as u64);
+            let config =
+                MeasurementConfig::new(ell, budget, trials, 0xE6 + (alpha * 1000.0) as u64);
             let summary = measure_parallel_common(alpha, k, &config);
             let rate = summary.hit_rate();
             if rate > best_rate {
@@ -73,7 +76,11 @@ fn main() {
         println!(
             "argmax shift with k at fixed ℓ: k={k1} → α={a1:.3}, k={k2} → α={a2:.3} \
              (Corollary 4.2 predicts the optimum decreases as k grows: {})",
-            if (k2 > k1) == (a2 < a1) { "CONFIRMED" } else { "NOT OBSERVED" }
+            if (k2 > k1) == (a2 < a1) {
+                "CONFIRMED"
+            } else {
+                "NOT OBSERVED"
+            }
         );
     }
     println!("elapsed: {:.1}s", watch.seconds());

@@ -12,9 +12,7 @@ use levy_bench::{banner, emit, Scale, Stopwatch};
 use levy_grid::Point;
 use levy_rng::{JumpLengthDistribution, SeedStream};
 use levy_sim::{run_trials, TextTable};
-use levy_walks::{
-    levy_walk_hitting_time, levy_walk_hitting_time_exact, JumpProcess, LevyFlight,
-};
+use levy_walks::{levy_walk_hitting_time, levy_walk_hitting_time_exact, JumpProcess, LevyFlight};
 
 fn lemma_3_9_monotonicity(scale: Scale) {
     println!("-- Lemma 3.9: monotone radial visit probabilities --");
@@ -28,7 +26,7 @@ fn lemma_3_9_monotonicity(scale: Scale) {
         (Point::new(1, 0), Point::new(0, 2)),
         (Point::new(2, 2), Point::new(5, 0)),
     ];
-    let positions = run_trials(trials, SeedStream::new(0xE9), 1, move |_i, rng| {
+    let positions = run_trials(trials, SeedStream::new(0xE9), 1, |_i, rng| {
         let mut flight = LevyFlight::new(alpha, Point::ORIGIN).expect("valid alpha");
         flight.advance(t, rng);
         flight.position()
@@ -63,7 +61,7 @@ fn corollary_3_6_phase_visit(scale: Scale) {
         let target = Point::new(d as i64, 0);
         // One jump phase == a walk restricted to a single phase: simulate a
         // hit within a single sampled jump.
-        let hits = run_trials(trials, SeedStream::new(0x36 + d), 1, move |_i, rng| {
+        let hits = run_trials(trials, SeedStream::new(0x36 + d), 1, |_i, rng| {
             let (len, v) = levy_walks::sample_jump(&jumps, Point::ORIGIN, rng);
             len >= d && levy_grid::direct_path_node_at(Point::ORIGIN, v, d, rng) == target
         })
@@ -96,14 +94,14 @@ fn fast_vs_exact(scale: Scale) {
     let target = Point::new(5, 3);
     let budget = 300u64;
     let trials: u64 = scale.pick(30_000, 150_000);
-    let fast: Vec<f64> = run_trials(trials, SeedStream::new(1), 1, move |_i, rng| {
+    let fast: Vec<f64> = run_trials(trials, SeedStream::new(1), 1, |_i, rng| {
         levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, rng)
     })
     .into_iter()
     .flatten()
     .map(|t| t as f64)
     .collect();
-    let exact: Vec<f64> = run_trials(trials, SeedStream::new(2), 1, move |_i, rng| {
+    let exact: Vec<f64> = run_trials(trials, SeedStream::new(2), 1, |_i, rng| {
         levy_walk_hitting_time_exact(&jumps, Point::ORIGIN, target, budget, rng)
     })
     .into_iter()

@@ -35,13 +35,30 @@ fn main() {
     );
     let d = 4u64;
     println!("R_{d}(u):");
-    println!("{}", render_region(d as i64, |p| Ring::new(Point::ORIGIN, d).contains(p)));
+    println!(
+        "{}",
+        render_region(d as i64, |p| Ring::new(Point::ORIGIN, d).contains(p))
+    );
     println!("B_{d}(u):");
-    println!("{}", render_region(d as i64, |p| Ball::new(Point::ORIGIN, d).contains(p)));
+    println!(
+        "{}",
+        render_region(d as i64, |p| Ball::new(Point::ORIGIN, d).contains(p))
+    );
     println!("Q_{d}(u):");
-    println!("{}", render_region(d as i64, |p| Square::new(Point::ORIGIN, d).contains(p)));
+    println!(
+        "{}",
+        render_region(d as i64, |p| Square::new(Point::ORIGIN, d).contains(p))
+    );
 
-    let mut table = TextTable::new(vec!["d", "|R_d|", "4d", "|B_d|", "2d²+2d+1", "|Q_d|", "(2d+1)²"]);
+    let mut table = TextTable::new(vec![
+        "d",
+        "|R_d|",
+        "4d",
+        "|B_d|",
+        "2d²+2d+1",
+        "|Q_d|",
+        "(2d+1)²",
+    ]);
     for d in 1..=8u64 {
         let ring = Ring::new(Point::ORIGIN, d);
         let ball = Ball::new(Point::ORIGIN, d);

@@ -70,7 +70,13 @@ fn main() {
     }
     let lo = (i as f64 / d as f64) * (d / i) as f64 / (4 * i) as f64;
     let hi = (i as f64 / d as f64) * d.div_ceil(i) as f64 / (4 * i) as f64;
-    let mut table = TextTable::new(vec!["node w ∈ R_4", "P(u_4 = w)", "lemma lo", "lemma hi", "in bracket ±3σ"]);
+    let mut table = TextTable::new(vec![
+        "node w ∈ R_4",
+        "P(u_4 = w)",
+        "lemma lo",
+        "lemma hi",
+        "in bracket ±3σ",
+    ]);
     let sigma = (hi / trials as f64).sqrt();
     let mut violations = 0;
     for (idx, &c) in counts.iter().enumerate() {

@@ -39,7 +39,7 @@ fn main() {
     let trials: u64 = scale.pick(4_000, 20_000);
 
     let zones_for_trial = zones.clone();
-    let counts: Vec<[u64; 4]> = run_trials(trials, SeedStream::new(0xF3), 1, move |_i, rng| {
+    let counts: Vec<[u64; 4]> = run_trials(trials, SeedStream::new(0xF3), 1, |_i, rng| {
         let mut flight = LevyFlight::new(alpha, start).expect("valid alpha");
         let mut c = [0u64; 4];
         for _ in 0..t_jumps {
@@ -68,11 +68,7 @@ fn main() {
         .collect();
     let grand: f64 = stats.iter().map(|(m, _)| m).sum();
 
-    let mut table = TextTable::new(vec![
-        "zone center",
-        "mean visits/trial ± SE",
-        "share",
-    ]);
+    let mut table = TextTable::new(vec!["zone center", "mean visits/trial ± SE", "share"]);
     for (c, &(m, se)) in centers.iter().zip(&stats) {
         table.row(vec![
             c.to_string(),
@@ -100,8 +96,6 @@ fn main() {
             "UNEXPECTED asymmetry"
         }
     );
-    println!(
-        "α = {alpha}, ℓ = {ell}, start = {start}, {t_jumps} jumps × {trials} trials."
-    );
+    println!("α = {alpha}, ℓ = {ell}, start = {start}, {t_jumps} jumps × {trials} trials.");
     println!("elapsed: {:.1}s", watch.seconds());
 }

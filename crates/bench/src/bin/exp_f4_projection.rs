@@ -24,10 +24,15 @@ fn main() {
     let watch = Stopwatch::start();
     let trials: u64 = scale.pick(400_000, 3_000_000);
 
-    let mut table = TextTable::new(vec!["alpha", "fitted projection slope", "predicted -α", "r²"]);
+    let mut table = TextTable::new(vec![
+        "alpha",
+        "fitted projection slope",
+        "predicted -α",
+        "r²",
+    ]);
     for alpha in [1.5, 2.0, 2.5, 3.0] {
         let jumps = JumpLengthDistribution::new(alpha).expect("valid alpha");
-        let projections = run_trials(trials, SeedStream::new(0xF4), 1, move |_i, rng| {
+        let projections = run_trials(trials, SeedStream::new(0xF4), 1, |_i, rng| {
             let (_, v) = sample_jump(&jumps, Point::ORIGIN, rng);
             v.x.unsigned_abs()
         });

@@ -5,6 +5,8 @@
 //! same rows as CSV under `results/`. Pass `--full` for the larger
 //! parameterization recorded in EXPERIMENTS.md's "full" columns.
 
+pub mod microbench;
+
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -1,0 +1,136 @@
+//! A minimal micro-benchmark harness for the `harness = false` bench
+//! targets (`cargo bench` runs their `main` directly).
+//!
+//! Auto-calibrates the iteration count to a wall-clock target, takes the
+//! best of several samples (robust to scheduler noise), and prints one
+//! aligned line per benchmark. `--smoke` (or `LEVY_BENCH_SMOKE=1`) shrinks
+//! the target so CI can assert the benches still *run* in seconds.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name bench code expects.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters: u64,
+    /// Best-of-samples nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the best sample.
+    pub fn per_second(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+}
+
+/// Micro-benchmark session: collects [`Measurement`]s and prints them.
+pub struct Session {
+    target: Duration,
+    samples: u32,
+    results: Vec<Measurement>,
+}
+
+impl Session {
+    /// Creates a session; `smoke` shrinks per-bench time ~20x.
+    pub fn new(smoke: bool) -> Self {
+        Session {
+            target: if smoke {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(200)
+            },
+            samples: if smoke { 2 } else { 4 },
+            results: Vec::new(),
+        }
+    }
+
+    /// Creates a session from the command line / environment: smoke mode
+    /// when `--smoke` is passed or `LEVY_BENCH_SMOKE=1` is set.
+    pub fn from_env() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var("LEVY_BENCH_SMOKE")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        Session::new(smoke)
+    }
+
+    /// Times `f`, printing and recording the result.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        // Calibrate: grow the iteration count until one sample spans the
+        // target duration.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target || iters >= 1 << 40 {
+                break;
+            }
+            let grow = if elapsed < self.target / 16 {
+                16
+            } else {
+                // Close enough to extrapolate directly.
+                let need = self.target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                need.ceil().clamp(2.0, 16.0) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        // Measure: best of N samples at the calibrated count.
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            best = best.min(ns);
+        }
+        let m = Measurement {
+            name: name.to_owned(),
+            iters,
+            ns_per_iter: best,
+        };
+        println!(
+            "{:<44} {:>12.1} ns/iter {:>14.0} iters/s",
+            m.name,
+            m.ns_per_iter,
+            m.per_second()
+        );
+        self.results.push(m);
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut s = Session::new(true);
+        let mut acc = 0u64;
+        s.bench("noop-ish", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(s.results().len(), 1);
+        let m = &s.results()[0];
+        assert!(m.ns_per_iter > 0.0 && m.ns_per_iter.is_finite());
+        assert!(m.per_second() > 0.0);
+    }
+}

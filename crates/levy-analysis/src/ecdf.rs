@@ -4,8 +4,6 @@
 //! `P(τ ≤ t)` for many `t` from a *single* simulation at the largest
 //! budget; [`Ecdf`] is the shared machinery for that.
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical CDF over `f64` samples.
 ///
 /// # Examples
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ecdf.eval(2.0), 0.75);
 /// assert_eq!(ecdf.eval(100.0), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }

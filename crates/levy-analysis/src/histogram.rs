@@ -4,8 +4,6 @@
 //! bins waste resolution. [`LogHistogram`] bins by geometric ranges, the
 //! standard tool for estimating power-law densities.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram with geometrically growing bins `[lo·r^i, lo·r^{i+1})`.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.total(), 4);
 /// assert_eq!(h.count(1), 2); // bin [2,4) holds 3.0 and 3.5
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {
     lo: f64,
     ratio: f64,
@@ -56,7 +54,7 @@ impl LogHistogram {
 
     /// Records one observation.
     pub fn record(&mut self, x: f64) {
-        if !(x >= self.lo) {
+        if x.is_nan() || x < self.lo {
             self.underflow += 1;
             return;
         }

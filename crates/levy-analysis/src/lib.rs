@@ -24,10 +24,10 @@ mod summary;
 
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, bootstrap_median_ci};
 pub use ecdf::Ecdf;
-pub use histogram::LogHistogram;
 pub use goodness::{
     chi_square_critical, chi_square_statistic, ks_critical_99, ks_statistic,
     standard_normal_quantile,
 };
+pub use histogram::LogHistogram;
 pub use regression::{linear_fit, log_log_fit, LinearFit};
 pub use summary::{mean, median, quantile, variance, wilson_interval, CensoredSummary};

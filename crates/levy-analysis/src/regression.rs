@@ -4,10 +4,8 @@
 //! C·t²`, ...). The experiments verify them by fitting slopes on log–log
 //! axes and comparing with the predicted exponents.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of a simple linear regression `y = slope·x + intercept`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,
@@ -45,10 +43,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     let mean_x = sum_x / n;
     let mean_y = sum_y / n;
     let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     if sxx == 0.0 {
         return None;
     }

@@ -4,8 +4,6 @@
 //! censoring explicit so that "not found" is never silently conflated with
 //! a numeric time.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean of a slice (`None` when empty).
 pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
@@ -59,7 +57,7 @@ pub fn median(xs: &[f64]) -> Option<f64> {
 /// assert!((s.hit_rate() - 0.6).abs() < 1e-12);
 /// assert_eq!(s.conditional_mean(), Some(20.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CensoredSummary {
     /// Number of trials that hit within the budget.
     pub hits: u64,

@@ -1,120 +1,184 @@
-//! Property-based tests of the statistical estimators.
+//! Property-based tests of the statistical estimators (randomized with a
+//! fixed seed — the in-tree replacement for the former proptest harness).
 
 use levy_analysis::{
     bootstrap_mean_ci, ks_statistic, linear_fit, log_log_fit, mean, median, quantile, variance,
     wilson_interval, CensoredSummary, Ecdf, LogHistogram,
 };
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn linear_fit_is_invariant_under_index_shuffle(points in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40)) {
-        prop_assume!(points.windows(2).any(|w| w[0].0 != w[1].0));
+fn vec_in(rng: &mut SmallRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+fn points_in(
+    rng: &mut SmallRng,
+    lo: f64,
+    hi: f64,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<(f64, f64)> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len)
+        .map(|_| (rng.gen_range(lo..hi), rng.gen_range(lo..hi)))
+        .collect()
+}
+
+#[test]
+fn linear_fit_is_invariant_under_index_shuffle() {
+    let mut rng = SmallRng::seed_from_u64(101);
+    let mut cases = 0;
+    while cases < CASES {
+        let points = points_in(&mut rng, -100.0, 100.0, 3, 40);
+        if !points.windows(2).any(|w| w[0].0 != w[1].0) {
+            continue;
+        }
+        cases += 1;
         let mut shuffled = points.clone();
         shuffled.reverse();
         let a = linear_fit(&points);
         let b = linear_fit(&shuffled);
         match (a, b) {
             (Some(fa), Some(fb)) => {
-                prop_assert!((fa.slope - fb.slope).abs() < 1e-9);
-                prop_assert!((fa.intercept - fb.intercept).abs() < 1e-9);
+                assert!((fa.slope - fb.slope).abs() < 1e-9);
+                assert!((fa.intercept - fb.intercept).abs() < 1e-9);
             }
             (None, None) => {}
-            _ => prop_assert!(false, "fit existence differs under shuffle"),
+            _ => panic!("fit existence differs under shuffle"),
         }
     }
+}
 
-    #[test]
-    fn linear_fit_residuals_are_orthogonal_to_x(points in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 4..30)) {
+#[test]
+fn linear_fit_residuals_are_orthogonal_to_x() {
+    let mut rng = SmallRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let points = points_in(&mut rng, -50.0, 50.0, 4, 30);
         if let Some(fit) = linear_fit(&points) {
             // Normal equations: Σ (y - ŷ) = 0 and Σ x (y - ŷ) = 0.
             let r_sum: f64 = points.iter().map(|(x, y)| y - fit.predict(*x)).sum();
             let rx_sum: f64 = points.iter().map(|(x, y)| x * (y - fit.predict(*x))).sum();
-            prop_assert!(r_sum.abs() < 1e-6, "residual sum {}", r_sum);
-            prop_assert!(rx_sum.abs() < 1e-4, "x-weighted residual sum {}", rx_sum);
+            assert!(r_sum.abs() < 1e-6, "residual sum {r_sum}");
+            assert!(rx_sum.abs() < 1e-4, "x-weighted residual sum {rx_sum}");
         }
     }
+}
 
-    #[test]
-    fn log_log_fit_recovers_scaled_power_laws(c in 0.1f64..100.0, slope in -3.0f64..3.0) {
-        let pts: Vec<(f64, f64)> = (1..30).map(|i| {
-            let x = i as f64;
-            (x, c * x.powf(slope))
-        }).collect();
+#[test]
+fn log_log_fit_recovers_scaled_power_laws() {
+    let mut rng = SmallRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let c = rng.gen_range(0.1f64..100.0);
+        let slope = rng.gen_range(-3.0f64..3.0);
+        let pts: Vec<(f64, f64)> = (1..30)
+            .map(|i| {
+                let x = i as f64;
+                (x, c * x.powf(slope))
+            })
+            .collect();
         let fit = log_log_fit(&pts).unwrap();
-        prop_assert!((fit.slope - slope).abs() < 1e-6);
-        prop_assert!((fit.intercept - c.ln()).abs() < 1e-6);
+        assert!((fit.slope - slope).abs() < 1e-6);
+        assert!((fit.intercept - c.ln()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn mean_and_median_lie_within_range(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+#[test]
+fn mean_and_median_lie_within_range() {
+    let mut rng = SmallRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let xs = vec_in(&mut rng, -1e6, 1e6, 1, 100);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let m = mean(&xs).unwrap();
-        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
         let md = median(&xs).unwrap();
-        prop_assert!(md >= lo && md <= hi);
+        assert!((lo..=hi).contains(&md));
     }
+}
 
-    #[test]
-    fn variance_is_translation_invariant(xs in prop::collection::vec(-100.0f64..100.0, 2..50), shift in -1000.0f64..1000.0) {
+#[test]
+fn variance_is_translation_invariant() {
+    let mut rng = SmallRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let xs = vec_in(&mut rng, -100.0, 100.0, 2, 50);
+        let shift = rng.gen_range(-1000.0f64..1000.0);
         let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
         let v1 = variance(&xs).unwrap();
         let v2 = variance(&shifted).unwrap();
-        prop_assert!((v1 - v2).abs() < 1e-6 * (1.0 + v1.abs()));
+        assert!((v1 - v2).abs() < 1e-6 * (1.0 + v1.abs()));
     }
+}
 
-    #[test]
-    fn quantiles_are_monotone(xs in prop::collection::vec(-100.0f64..100.0, 1..60), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+#[test]
+fn quantiles_are_monotone() {
+    let mut rng = SmallRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let xs = vec_in(&mut rng, -100.0, 100.0, 1, 60);
+        let q1 = rng.gen_range(0.0f64..1.0);
+        let q2 = rng.gen_range(0.0f64..1.0);
         let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        prop_assert!(quantile(&xs, qa).unwrap() <= quantile(&xs, qb).unwrap());
+        assert!(quantile(&xs, qa).unwrap() <= quantile(&xs, qb).unwrap());
     }
+}
 
-    #[test]
-    fn wilson_interval_brackets_the_point_estimate(s in 0u64..=100, extra in 0u64..1000) {
+#[test]
+fn wilson_interval_brackets_the_point_estimate() {
+    let mut rng = SmallRng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let extra = rng.gen_range(0u64..1000);
         let n = 100 + extra;
-        let s = s.min(n);
+        let s = rng.gen_range(0u64..=100).min(n);
         let (lo, hi) = wilson_interval(s, n, 1.96);
         let p = s as f64 / n as f64;
-        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
-        prop_assert!(lo >= 0.0 && hi <= 1.0);
+        assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        assert!(lo >= 0.0 && hi <= 1.0);
     }
+}
 
-    #[test]
-    fn ecdf_is_monotone_and_normalized(xs in prop::collection::vec(-100.0f64..100.0, 1..80)) {
+#[test]
+fn ecdf_is_monotone_and_normalized() {
+    let mut rng = SmallRng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let xs = vec_in(&mut rng, -100.0, 100.0, 1, 80);
         let e = Ecdf::new(xs.clone());
         let lo = e.min().unwrap();
         let hi = e.max().unwrap();
-        prop_assert_eq!(e.eval(lo - 1.0), 0.0);
-        prop_assert_eq!(e.eval(hi), 1.0);
+        assert_eq!(e.eval(lo - 1.0), 0.0);
+        assert_eq!(e.eval(hi), 1.0);
         let mid = (lo + hi) / 2.0;
-        prop_assert!(e.eval(mid) <= e.eval(hi));
-        prop_assert!(e.eval(lo) >= 0.0);
+        assert!(e.eval(mid) <= e.eval(hi));
+        assert!(e.eval(lo) >= 0.0);
     }
+}
 
-    #[test]
-    fn ks_is_a_pseudometric(
-        a in prop::collection::vec(-50.0f64..50.0, 2..40),
-        b in prop::collection::vec(-50.0f64..50.0, 2..40),
-    ) {
+#[test]
+fn ks_is_a_pseudometric() {
+    let mut rng = SmallRng::seed_from_u64(109);
+    for _ in 0..CASES {
+        let a = vec_in(&mut rng, -50.0, 50.0, 2, 40);
+        let b = vec_in(&mut rng, -50.0, 50.0, 2, 40);
         let dab = ks_statistic(&a, &b).unwrap();
         let dba = ks_statistic(&b, &a).unwrap();
-        prop_assert!((dab - dba).abs() < 1e-12, "asymmetry");
-        prop_assert!((0.0..=1.0).contains(&dab));
-        prop_assert_eq!(ks_statistic(&a, &a).unwrap(), 0.0);
+        assert!((dab - dba).abs() < 1e-12, "asymmetry");
+        assert!((0.0..=1.0).contains(&dab));
+        assert_eq!(ks_statistic(&a, &a).unwrap(), 0.0);
     }
+}
 
-    #[test]
-    fn histogram_conserves_mass(xs in prop::collection::vec(0.01f64..1e6, 1..200)) {
+#[test]
+fn histogram_conserves_mass() {
+    let mut rng = SmallRng::seed_from_u64(110);
+    for _ in 0..CASES {
+        let xs = vec_in(&mut rng, 0.01, 1e6, 1, 200);
         let mut h = LogHistogram::new(0.5, 2.0, 24);
         for &x in &xs {
             h.record(x);
         }
-        prop_assert_eq!(h.total(), xs.len() as u64);
+        assert_eq!(h.total(), xs.len() as u64);
     }
 }
 

@@ -6,7 +6,6 @@
 //! distance `d`.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::point::Point;
 use crate::ring::Ring;
@@ -23,7 +22,7 @@ use crate::ring::Ring;
 /// assert!(ball.contains(Point::new(1, -1)));
 /// assert!(!ball.contains(Point::new(2, 1)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ball {
     center: Point,
     radius: u64,
@@ -104,7 +103,7 @@ fn inverse_ball_count(index: u64) -> u64 {
     // r = ceil((-1 + sqrt(2*index - 1)) / 2) computed safely.
     let mut r = (((2.0 * index as f64 - 1.0).sqrt() - 1.0) / 2.0).floor() as u64;
     // Adjust for floating point error: we need the ring containing `index`.
-    while 2 * r * r + 2 * r + 1 <= index {
+    while 2 * r * r + 2 * r < index {
         r += 1;
     }
     while r > 1 && 2 * (r - 1) * (r - 1) + 2 * (r - 1) + 1 > index {
@@ -159,7 +158,7 @@ impl Iterator for BallIter {
 /// assert_eq!(square.len(), 9); // (2d+1)^2
 /// assert!(square.contains(Point::new(1, 1)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Square {
     center: Point,
     radius: u64,

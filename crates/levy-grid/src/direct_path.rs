@@ -182,7 +182,10 @@ pub fn direct_path_node_at<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Point {
     let length = start.l1_distance(end);
-    assert!(i >= 1 && i <= length, "path position {i} not in 1..={length}");
+    assert!(
+        i >= 1 && i <= length,
+        "path position {i} not in 1..={length}"
+    );
     let delta = end - start;
     let sign = Point::new(
         if delta.x < 0 { -1 } else { 1 },
@@ -292,10 +295,7 @@ mod tests {
     #[test]
     fn axis_aligned_paths_are_straight_lines() {
         let path = sample_path(Point::ORIGIN, Point::new(0, 6), 1);
-        assert_eq!(
-            path,
-            (1..=6).map(|y| Point::new(0, y)).collect::<Vec<_>>()
-        );
+        assert_eq!(path, (1..=6).map(|y| Point::new(0, y)).collect::<Vec<_>>());
         let path = sample_path(Point::new(2, 2), Point::new(-3, 2), 1);
         assert_eq!(
             path,
@@ -349,8 +349,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(99);
         let mut seen = HashSet::new();
         for _ in 0..200 {
-            let path = DirectPathWalker::new(Point::ORIGIN, Point::new(2, 2))
-                .collect_path(&mut rng);
+            let path =
+                DirectPathWalker::new(Point::ORIGIN, Point::new(2, 2)).collect_path(&mut rng);
             assert_is_direct_path(Point::ORIGIN, Point::new(2, 2), &path);
             seen.insert(path);
         }
@@ -365,8 +365,8 @@ mod tests {
         let mut counts: std::collections::HashMap<Vec<Point>, u64> =
             std::collections::HashMap::new();
         for _ in 0..n {
-            let path = DirectPathWalker::new(Point::ORIGIN, Point::new(2, 2))
-                .collect_path(&mut rng);
+            let path =
+                DirectPathWalker::new(Point::ORIGIN, Point::new(2, 2)).collect_path(&mut rng);
             *counts.entry(path).or_insert(0) += 1;
         }
         assert_eq!(counts.len(), 4);
@@ -481,7 +481,7 @@ mod tests {
             counts[ring_i.index_of(node).unwrap() as usize] += 1;
         }
         let lo = (i as f64 / d as f64) * (d / i) as f64 / (4 * i) as f64;
-        let hi = (i as f64 / d as f64) * ((d + i - 1) / i) as f64 / (4 * i) as f64;
+        let hi = (i as f64 / d as f64) * d.div_ceil(i) as f64 / (4 * i) as f64;
         // Allow 4-sigma statistical slack around the analytic bracket.
         let sigma = (hi / trials as f64).sqrt();
         for (idx, &c) in counts.iter().enumerate() {

@@ -9,8 +9,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A node of the infinite lattice `Z^2`.
 ///
 /// Coordinates are `i64`; all experiments in this repository operate at
@@ -28,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.linf_norm(), 4);
 /// assert_eq!(origin.l1_distance(p), 7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: i64,

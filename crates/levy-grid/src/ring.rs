@@ -6,7 +6,6 @@
 //! bounded integer draw, plus iteration and membership tests.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::point::Point;
 
@@ -24,7 +23,7 @@ use crate::point::Point;
 /// assert_eq!(ring.len(), 12);
 /// assert!(ring.iter().all(|p| p.l1_norm() == 3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ring {
     center: Point,
     radius: u64,

@@ -7,15 +7,13 @@
 //! represents them exactly so that closest-node computations never touch
 //! floating point.
 
-use serde::{Deserialize, Serialize};
-
 use crate::point::Point;
 
 /// A point of the real plane with rational coordinates `(num_x/den, num_y/den)`.
 ///
 /// Produced by [`SegmentPoints`]; all comparisons against lattice points are
 /// exact (`i128` cross-multiplication).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RationalPoint {
     /// Numerator of the x coordinate.
     pub num_x: i128,
@@ -72,7 +70,7 @@ impl RationalPoint {
 /// assert_eq!((w2.num_x, w2.num_y, w2.den), (6, 4, 5));
 /// assert_eq!(w2.l1_norm_num(), 2 * w2.den);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SegmentPoints {
     start: Point,
     end: Point,
@@ -104,13 +102,13 @@ impl SegmentPoints {
     /// Panics if `i > self.length()` or the segment is degenerate (length 0)
     /// and `i > 0`.
     pub fn point_at(&self, i: u64) -> RationalPoint {
-        assert!(i <= self.length, "segment parameter {i} > length {}", self.length);
+        assert!(
+            i <= self.length,
+            "segment parameter {i} > length {}",
+            self.length
+        );
         if self.length == 0 {
-            return RationalPoint::new(
-                i128::from(self.start.x),
-                i128::from(self.start.y),
-                1,
-            );
+            return RationalPoint::new(i128::from(self.start.x), i128::from(self.start.y), 1);
         }
         let d = i128::from(self.length);
         let i = i128::from(i);
@@ -163,7 +161,7 @@ mod tests {
     #[test]
     fn l2_distance_sq_num_is_exact() {
         let w = RationalPoint::new(6, 4, 5); // (1.2, 0.8)
-        // Distance^2 to (1,1): (0.2)^2 + (0.2)^2 = 0.08 = 2/25.
+                                             // Distance^2 to (1,1): (0.2)^2 + (0.2)^2 = 0.08 = 2/25.
         assert_eq!(w.l2_distance_sq_num(Point::new(1, 1)), 2);
         // Distance^2 to (2,0): (0.8)^2 + (0.8)^2 = 32/25.
         assert_eq!(w.l2_distance_sq_num(Point::new(2, 0)), 32);

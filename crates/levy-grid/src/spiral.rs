@@ -7,8 +7,6 @@
 //! self-avoiding lattice path from a center that covers every square
 //! `Q_r(center)` before leaving it.
 
-use serde::{Deserialize, Serialize};
-
 use crate::point::{Point, UNIT_STEPS};
 
 /// Infinite square-spiral iterator starting at (and first yielding) `center`.
@@ -27,7 +25,7 @@ use crate::point::{Point, UNIT_STEPS};
 /// assert!(visited.iter().all(|&p| q1.contains(p)));
 /// assert_eq!(visited.len(), q1.len() as usize);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Spiral {
     current: Point,
     /// Index into [`UNIT_STEPS`] (E, N, W, S).

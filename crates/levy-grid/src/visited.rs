@@ -7,8 +7,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::point::Point;
 
 /// Sparse per-node visit counter.
@@ -26,7 +24,7 @@ use crate::point::Point;
 /// assert_eq!(visits.unique_nodes(), 2);
 /// assert_eq!(visits.total_visits(), 3);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VisitMap {
     counts: HashMap<Point, u64>,
     total: u64,

@@ -10,7 +10,6 @@
 //!   simultaneously for all `k` and `ℓ` — the paper's headline strategy.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::power_law::MIN_EXPONENT;
 
@@ -28,7 +27,7 @@ use crate::power_law::MIN_EXPONENT;
 /// let alpha = ExponentStrategy::UniformSuperdiffusive.draw(&mut rng);
 /// assert!(alpha > 2.0 && alpha < 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExponentStrategy {
     /// Every walk uses the same fixed exponent.
     Fixed(f64),
@@ -151,9 +150,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let s = ExponentStrategy::UniformSuperdiffusive;
         let n = 10_000;
-        let in_first_tenth = (0..n)
-            .filter(|_| s.draw(&mut rng) < 2.1)
-            .count() as f64;
+        let in_first_tenth = (0..n).filter(|_| s.draw(&mut rng) < 2.1).count() as f64;
         let frac = in_first_tenth / n as f64;
         assert!((frac - 0.1).abs() < 0.02, "frac = {frac}");
     }
@@ -187,7 +184,10 @@ mod tests {
         let correction = 5.0 * (ell as f64).ln().ln() / (ell as f64).ln();
         let expected = (ideal + correction).clamp(2.0 + 1e-9, 3.0);
         let opt = optimal_exponent(k, ell);
-        assert!((opt - expected).abs() < 1e-9, "opt={opt}, expected={expected}");
+        assert!(
+            (opt - expected).abs() < 1e-9,
+            "opt={opt}, expected={expected}"
+        );
         // A scale where the correction does NOT clamp: k = ℓ pushes the
         // ideal exponent down to 2, leaving room for the +5 term.
         let (k, ell) = (1 << 24, 1 << 24);

@@ -1,0 +1,434 @@
+//! Hybrid table/Devroye jump sampling.
+//!
+//! The Devroye rejection sampler ([`sample_zeta`](crate::sample_zeta)) is
+//! exact for every `α > 1` but pays several `powf` calls per draw — the
+//! innermost loop of every hitting-time experiment. This module removes
+//! the transcendental ops from ~all draws without giving up exactness:
+//!
+//! * [`JumpTable`] — a Walker/Vose **alias table** over the full jump law
+//!   `{0} ∪ {1, …, cutoff} ∪ {tail}`: one uniform index + one uniform
+//!   fraction decide almost every draw in O(1) with no `powf`;
+//! * the `tail` outcome (mass `P(d > cutoff)`, typically `≲ 2⁻³²` and
+//!   always tiny) falls back to [`sample_zeta_above`], an exact
+//!   Devroye-style rejection sampler *conditioned on* `d > cutoff` — so
+//!   the hybrid law is the jump law of Eq. (3) exactly (up to the same
+//!   f64 rounding any sampler has);
+//! * a bounded global cache interns tables by exponent bit pattern, so
+//!   every `JumpLengthDistribution::new(α)` for a repeated `α` (fixed
+//!   exponents, sweep grids) reuses one table with zero construction cost.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rand::Rng;
+
+use crate::power_law::MAX_JUMP;
+use crate::zeta::{riemann_zeta, zeta_tail};
+
+/// Hard cap on the number of tabled jump lengths (64 Ki entries ≈ 0.75 MiB
+/// per table): beyond this, shaving the residual tail mass further does
+/// not measurably change the hit rate of the table path.
+pub const MAX_TABLE_CUTOFF: u64 = 1 << 16;
+
+/// Target residual tail mass: the cutoff is chosen so the table covers at
+/// least `1 − 2⁻³²` of the jump law when that is achievable within
+/// [`MAX_TABLE_CUTOFF`] entries (it is for `α ≳ 2.7`; for heavier tails
+/// the cutoff caps out and the Devroye fallback absorbs the difference).
+pub const TARGET_TAIL_MASS: f64 = 1.0 / (1u64 << 32) as f64;
+
+/// Alias table over the full jump-length law of Eq. (3).
+///
+/// Outcome encoding: slot `0` is the zero-length jump (mass 1/2), slots
+/// `1..=cutoff` are the tabled zeta head, and the last slot is the tail
+/// sentinel resolved by [`sample_zeta_above`].
+///
+/// # Examples
+///
+/// ```
+/// use levy_rng::JumpTable;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let table = JumpTable::new(2.5, 1024);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let d = table.sample(&mut rng);
+/// assert!(d <= levy_rng::MAX_JUMP);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JumpTable {
+    alpha: f64,
+    cutoff: u64,
+    /// Residual tail mass `P(d > cutoff)` routed to the Devroye fallback.
+    tail_mass: f64,
+    /// Vose acceptance probability per slot.
+    prob: Vec<f64>,
+    /// Vose alias per slot.
+    alias: Vec<u32>,
+}
+
+impl JumpTable {
+    /// Builds the alias table for exponent `alpha` with the head tabled up
+    /// to `cutoff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 1`, `cutoff == 0`, or `cutoff` exceeds
+    /// [`MAX_TABLE_CUTOFF`].
+    pub fn new(alpha: f64, cutoff: u64) -> Self {
+        assert!(alpha > 1.0, "alpha must exceed 1");
+        assert!(
+            (1..=MAX_TABLE_CUTOFF).contains(&cutoff),
+            "cutoff must be in 1..={MAX_TABLE_CUTOFF}"
+        );
+        let zeta_alpha = riemann_zeta(alpha);
+        let norm = 1.0 / (2.0 * zeta_alpha);
+        let n = cutoff as usize + 2;
+        let mut masses = Vec::with_capacity(n);
+        masses.push(0.5);
+        for i in 1..=cutoff {
+            masses.push(norm * (i as f64).powf(-alpha));
+        }
+        let tail_mass = norm * zeta_tail(alpha, cutoff + 1);
+        masses.push(tail_mass);
+
+        // Walker/Vose alias construction over the (re-normalized) masses.
+        let total: f64 = masses.iter().sum();
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = masses.iter().map(|&m| m * scale).collect();
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (float residue) keep prob = 1.0: they alias to
+        // themselves, which is exactly right at machine precision.
+
+        JumpTable {
+            alpha,
+            cutoff,
+            tail_mass,
+            prob,
+            alias,
+        }
+    }
+
+    /// Builds a table whose cutoff is the smallest value leaving at most
+    /// [`TARGET_TAIL_MASS`] to the fallback, capped at
+    /// [`MAX_TABLE_CUTOFF`].
+    pub fn with_target_tail(alpha: f64) -> Self {
+        JumpTable::new(alpha, cutoff_for(alpha))
+    }
+
+    /// The exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Largest tabled jump length; draws beyond it use the exact Devroye
+    /// tail sampler.
+    pub fn cutoff(&self) -> u64 {
+        self.cutoff
+    }
+
+    /// Residual mass `P(d > cutoff)` routed to the fallback.
+    pub fn tail_mass(&self) -> f64 {
+        self.tail_mass
+    }
+
+    /// Draws one jump length from the full law of Eq. (3).
+    ///
+    /// Cost: one bounded-uniform index, one unit-interval fraction, one
+    /// table lookup — plus, with probability [`Self::tail_mass`], an exact
+    /// conditioned Devroye draw.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let n = self.prob.len();
+        let slot = rng.gen_range(0..n as u64) as usize;
+        let frac: f64 = rng.gen();
+        let outcome = if frac < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        };
+        if outcome as u64 <= self.cutoff {
+            // Slot 0 is the zero jump; slots 1..=cutoff are literal lengths.
+            outcome as u64
+        } else {
+            sample_zeta_above(self.alpha, self.cutoff, rng)
+        }
+    }
+}
+
+/// Smallest cutoff leaving at most [`TARGET_TAIL_MASS`] of the jump law
+/// untabled, clamped to `[64, MAX_TABLE_CUTOFF]`.
+pub fn cutoff_for(alpha: f64) -> u64 {
+    assert!(alpha > 1.0);
+    let zeta_alpha = riemann_zeta(alpha);
+    let tail_at = |m: u64| zeta_tail(alpha, m + 1) / (2.0 * zeta_alpha);
+    if tail_at(MAX_TABLE_CUTOFF) > TARGET_TAIL_MASS {
+        return MAX_TABLE_CUTOFF;
+    }
+    let (mut lo, mut hi) = (64u64, MAX_TABLE_CUTOFF);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if tail_at(mid) <= TARGET_TAIL_MASS {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Draws from the zeta law `P(X = x) ∝ x^{-alpha}` **conditioned on
+/// `x > m`**, exactly, via Devroye-style rejection with a shifted Pareto
+/// proposal.
+///
+/// With `m = 0` this is the classic Devroye zeta sampler. The proposal is
+/// `X = ⌊(m+1)·U^{-1/(α-1)}⌋ ≥ m+1`; the acceptance test uses the ratio
+/// `r(x) = t/(x(t-1))`, `t = (1+1/x)^{α-1}`, which is non-increasing in
+/// `x`, so the bound at `x = m+1` dominates (for `m = 0` this reduces to
+/// the textbook constant `b = 2^{α-1}`).
+///
+/// Draws larger than [`MAX_JUMP`] saturate, as in
+/// [`sample_zeta`](crate::sample_zeta).
+///
+/// # Panics
+///
+/// Panics in debug builds if `alpha <= 1`.
+pub fn sample_zeta_above<R: Rng + ?Sized>(alpha: f64, m: u64, rng: &mut R) -> u64 {
+    debug_assert!(alpha > 1.0);
+    let am1 = alpha - 1.0;
+    let base = (m + 1) as f64;
+    let t_base = (1.0 + 1.0 / base).powf(am1);
+    loop {
+        let u: f64 = rng.gen();
+        let v: f64 = rng.gen();
+        let x_real = base * u.powf(-1.0 / am1);
+        if x_real.is_nan() || x_real >= MAX_JUMP as f64 {
+            return MAX_JUMP;
+        }
+        let x = x_real.floor();
+        let t = (1.0 + 1.0 / x).powf(am1);
+        if v * x * (t - 1.0) / (base * (t_base - 1.0)) <= t / t_base {
+            return x as u64;
+        }
+    }
+}
+
+/// Bound on interned tables: at ~0.75 MiB each this caps cache memory at
+/// ~48 MiB, far beyond what any experiment sweep reaches in practice.
+const CACHE_CAP: usize = 64;
+
+type TableCache = Mutex<Vec<(u64, Arc<JumpTable>)>>;
+
+static TABLE_CACHE: OnceLock<TableCache> = OnceLock::new();
+
+/// Returns the interned table for `alpha`, building and caching it on
+/// first use.
+///
+/// Returns `None` once [`CACHE_CAP`] *distinct* exponents have been
+/// interned: workloads drawing exponents from a continuous distribution
+/// (e.g. `ExponentStrategy::UniformSuperdiffusive`, a fresh α per walk)
+/// would otherwise pay a table construction per trial and grow the cache
+/// without bound; they keep the seed Devroye path instead, which is the
+/// right cost model for a distribution that is sampled a handful of times.
+pub(crate) fn cached_table(alpha: f64) -> Option<Arc<JumpTable>> {
+    let bits = alpha.to_bits();
+    let cache = TABLE_CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    {
+        let guard = cache.lock().expect("jump-table cache poisoned");
+        if let Some((_, table)) = guard.iter().find(|(b, _)| *b == bits) {
+            return Some(Arc::clone(table));
+        }
+        if guard.len() >= CACHE_CAP {
+            return None;
+        }
+    }
+    // Build outside the lock: construction is ~ms-scale for big tables.
+    let table = Arc::new(JumpTable::with_target_tail(alpha));
+    let mut guard = cache.lock().expect("jump-table cache poisoned");
+    if let Some((_, existing)) = guard.iter().find(|(b, _)| *b == bits) {
+        return Some(Arc::clone(existing));
+    }
+    if guard.len() < CACHE_CAP {
+        guard.push((bits, Arc::clone(&table)));
+    }
+    Some(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_law::sample_zeta;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn acceptance_ratio_is_non_increasing() {
+        // Correctness of the conditioned rejection sampler relies on
+        // r(x) = t/(x(t-1)) being non-increasing; probe a wide grid.
+        for alpha in [1.1, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0] {
+            let am1 = alpha - 1.0;
+            let r = |x: f64| {
+                let t = (1.0 + 1.0 / x).powf(am1);
+                t / (x * (t - 1.0))
+            };
+            let mut prev = f64::INFINITY;
+            for x in (1..2000u64).chain([1 << 14, 1 << 20, 1 << 40]) {
+                let val = r(x as f64);
+                assert!(
+                    val <= prev * (1.0 + 1e-12),
+                    "alpha={alpha}, x={x}: r increased {prev} -> {val}"
+                );
+                prev = val;
+            }
+        }
+    }
+
+    #[test]
+    fn tail_sampler_stays_above_threshold() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for m in [0u64, 1, 7, 100, 4096] {
+            for _ in 0..2_000 {
+                let x = sample_zeta_above(2.2, m, &mut rng);
+                assert!(x > m, "m={m}: drew {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn tail_sampler_with_m_zero_matches_classic_devroye() {
+        // Same conditional law as the unconditioned sampler: compare
+        // small-value frequencies.
+        let alpha = 2.0;
+        let n = 200_000u64;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts_above = [0u64; 6];
+        let mut counts_classic = [0u64; 6];
+        for _ in 0..n {
+            let a = sample_zeta_above(alpha, 0, &mut rng);
+            if a <= 5 {
+                counts_above[a as usize] += 1;
+            }
+            let c = sample_zeta(alpha, &mut rng);
+            if c <= 5 {
+                counts_classic[c as usize] += 1;
+            }
+        }
+        for i in 1..=5usize {
+            let pa = counts_above[i] as f64 / n as f64;
+            let pc = counts_classic[i] as f64 / n as f64;
+            let sigma = (pa.max(pc) / n as f64).sqrt();
+            assert!(
+                (pa - pc).abs() < 6.0 * sigma + 1e-3,
+                "i={i}: above {pa} vs classic {pc}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_sampler_matches_conditional_pmf() {
+        // P(X = m+1 | X > m) = (m+1)^{-α} / Σ_{j>m} j^{-α}.
+        let alpha = 2.5;
+        let m = 10u64;
+        let n = 300_000u64;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut first = 0u64;
+        for _ in 0..n {
+            if sample_zeta_above(alpha, m, &mut rng) == m + 1 {
+                first += 1;
+            }
+        }
+        let expected = ((m + 1) as f64).powf(-alpha) / zeta_tail(alpha, m + 1);
+        let observed = first as f64 / n as f64;
+        let sigma = (expected * (1.0 - expected) / n as f64).sqrt();
+        assert!(
+            (observed - expected).abs() < 5.0 * sigma + 1e-3,
+            "obs {observed} vs exp {expected}"
+        );
+    }
+
+    #[test]
+    fn table_masses_reflect_pmf() {
+        let alpha = 2.5;
+        let table = JumpTable::new(alpha, 256);
+        let n = 400_000u64;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut zeros = 0u64;
+        let mut ones = 0u64;
+        for _ in 0..n {
+            match table.sample(&mut rng) {
+                0 => zeros += 1,
+                1 => ones += 1,
+                _ => {}
+            }
+        }
+        let norm = 1.0 / (2.0 * riemann_zeta(alpha));
+        let p0 = zeros as f64 / n as f64;
+        let p1 = ones as f64 / n as f64;
+        assert!((p0 - 0.5).abs() < 0.005, "P(0) = {p0}");
+        assert!((p1 - norm).abs() < 0.005, "P(1) = {p1} vs {norm}");
+    }
+
+    #[test]
+    fn table_tail_outcomes_exceed_cutoff() {
+        // A tiny cutoff makes the tail branch frequent; every tail draw
+        // must land strictly above the cutoff.
+        let table = JumpTable::new(1.5, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut beyond = 0u64;
+        for _ in 0..50_000 {
+            let d = table.sample(&mut rng);
+            if d > 4 {
+                beyond += 1;
+            }
+        }
+        let expected = table.tail_mass();
+        let observed = beyond as f64 / 50_000.0;
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "tail freq {observed} vs mass {expected}"
+        );
+    }
+
+    #[test]
+    fn cutoff_for_meets_target_or_caps() {
+        // Light tails reach the 2^-32 target well below the cap.
+        let c35 = cutoff_for(3.5);
+        assert!(c35 < MAX_TABLE_CUTOFF, "alpha=3.5 cutoff {c35}");
+        let zeta = riemann_zeta(3.5);
+        assert!(zeta_tail(3.5, c35 + 1) / (2.0 * zeta) <= TARGET_TAIL_MASS);
+        // Heavy tails cap out.
+        assert_eq!(cutoff_for(1.5), MAX_TABLE_CUTOFF);
+        assert_eq!(cutoff_for(2.5), MAX_TABLE_CUTOFF);
+    }
+
+    #[test]
+    fn cached_tables_are_shared() {
+        let a = cached_table(2.875).expect("cache not full in tests");
+        let b = cached_table(2.875).expect("cache not full in tests");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn zero_cutoff_rejected() {
+        let _ = JumpTable::new(2.0, 0);
+    }
+}

@@ -6,8 +6,10 @@
 //! * [`riemann_zeta`] and tail/partial sums — the normalization behind the
 //!   paper's jump law;
 //! * [`JumpLengthDistribution`] — Eq. (3): `P(d=0) = 1/2`,
-//!   `P(d=i) = c_α / i^α`, sampled exactly via Devroye rejection
-//!   ([`sample_zeta`]) with a table-inversion cross-check ([`ZetaTable`]);
+//!   `P(d=i) = c_α / i^α`, sampled exactly via a hybrid alias-table /
+//!   Devroye scheme ([`JumpTable`] head, [`sample_zeta_above`] tail) with
+//!   the pure rejection sampler ([`sample_zeta`]) and a table-inversion
+//!   cross-check ([`ZetaTable`]) retained as baselines;
 //! * [`ExponentStrategy`] — the exponent-selection rules the paper studies,
 //!   including the headline `α ~ Uniform(2,3)` strategy of Theorem 1.6 and
 //!   the scale-aware optimum of Theorem 1.5 ([`optimal_exponent`]);
@@ -29,11 +31,13 @@
 #![warn(missing_docs)]
 
 mod exponent;
+mod hybrid;
 mod power_law;
 mod seeds;
 mod zeta;
 
 pub use exponent::{ideal_exponent, optimal_exponent, ExponentStrategy};
+pub use hybrid::{cutoff_for, sample_zeta_above, JumpTable, MAX_TABLE_CUTOFF, TARGET_TAIL_MASS};
 pub use power_law::{
     sample_zeta, InvalidExponentError, JumpLengthDistribution, ZetaTable, MAX_JUMP, MIN_EXPONENT,
 };

@@ -12,9 +12,11 @@
 //! valid for every `α > 1`, no truncation bias), and cross-check against a
 //! table-inversion sampler in tests.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
+use rand::Rng;
+
+use crate::hybrid::{cached_table, JumpTable};
 use crate::zeta::{riemann_zeta, zeta_partial_sum, zeta_tail};
 
 /// Smallest exponent accepted, mirroring the paper's standing assumption
@@ -43,13 +45,24 @@ pub const MAX_JUMP: u64 = 1 << 62;
 /// // pmf(0) = 1/2 by definition.
 /// assert!((jumps.pmf(0) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JumpLengthDistribution {
     alpha: f64,
     /// `c_α = 1 / (2 ζ(α))`.
     norm: f64,
     /// Cached `ζ(α)`.
     zeta_alpha: f64,
+    /// Shared alias table for the head of the law (`None` when the global
+    /// table cache is saturated or construction was opted out of).
+    table: Option<Arc<JumpTable>>,
+}
+
+impl PartialEq for JumpLengthDistribution {
+    fn eq(&self, other: &Self) -> bool {
+        // `norm`/`zeta_alpha` are functions of `alpha` and the table is an
+        // interned accelerator, so the exponent alone identifies the law.
+        self.alpha.to_bits() == other.alpha.to_bits()
+    }
 }
 
 /// Error returned when a distribution is given an out-of-range exponent.
@@ -79,6 +92,23 @@ impl JumpLengthDistribution {
     /// Returns [`InvalidExponentError`] if `alpha` is not finite or is below
     /// `1 + ε` (Remark 3.5 of the paper assumes `α >= 1 + ε`).
     pub fn new(alpha: f64) -> Result<Self, InvalidExponentError> {
+        let mut law = Self::new_untabled(alpha)?;
+        law.table = cached_table(alpha);
+        Ok(law)
+    }
+
+    /// Creates the jump law without the alias-table accelerator: every
+    /// positive draw goes through the Devroye rejection sampler.
+    ///
+    /// Use this for throwaway distributions that are sampled only a few
+    /// times, and as the baseline in sampler benchmarks. The sampled law is
+    /// identical to [`JumpLengthDistribution::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidExponentError`] under the same conditions as
+    /// [`JumpLengthDistribution::new`].
+    pub fn new_untabled(alpha: f64) -> Result<Self, InvalidExponentError> {
         if !alpha.is_finite() || alpha < MIN_EXPONENT {
             return Err(InvalidExponentError {
                 requested_millis: (alpha * 1000.0) as i64,
@@ -89,7 +119,14 @@ impl JumpLengthDistribution {
             alpha,
             norm: 1.0 / (2.0 * zeta_alpha),
             zeta_alpha,
+            table: None,
         })
+    }
+
+    /// Largest jump length resolved by the alias table, or `None` when the
+    /// distribution runs pure Devroye sampling.
+    pub fn table_cutoff(&self) -> Option<u64> {
+        self.table.as_ref().map(|t| t.cutoff())
     }
 
     /// The exponent `α`.
@@ -149,12 +186,24 @@ impl JumpLengthDistribution {
     }
 
     /// Draws a jump length: 0 with probability 1/2, otherwise a zeta draw.
+    ///
+    /// Dispatches to the shared alias table when one is attached (the
+    /// common case — see [`crate::JumpTable`]); otherwise uses the seed
+    /// coin + Devroye path. Both paths sample exactly the law of Eq. (3),
+    /// but they consume the RNG differently, so switching between
+    /// [`Self::new`] and [`Self::new_untabled`] changes individual draws
+    /// (not the distribution).
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        if rng.gen::<bool>() {
-            0
-        } else {
-            sample_zeta(self.alpha, rng)
+        match &self.table {
+            Some(table) => table.sample(rng),
+            None => {
+                if rng.gen::<bool>() {
+                    0
+                } else {
+                    sample_zeta(self.alpha, rng)
+                }
+            }
         }
     }
 
@@ -192,7 +241,7 @@ pub fn sample_zeta<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> u64 {
         let v: f64 = rng.gen::<f64>();
         // X = floor(U^{-1/(α-1)}) — the continuous-Pareto proposal.
         let x_real = u.powf(-1.0 / am1);
-        if !(x_real < MAX_JUMP as f64) {
+        if x_real.is_nan() || x_real >= MAX_JUMP as f64 {
             // Beyond the saturation point; accept the cap (astronomically
             // rare — see MAX_JUMP docs).
             return MAX_JUMP;
@@ -405,6 +454,42 @@ mod tests {
                 (p_t - p_d).abs() < 6.0 * sigma + 2e-3,
                 "i={i}: table {p_t} vs devroye {p_d}"
             );
+        }
+    }
+
+    #[test]
+    fn new_attaches_table_and_untabled_does_not() {
+        let tabled = JumpLengthDistribution::new(2.5).unwrap();
+        assert!(tabled.table_cutoff().is_some());
+        let plain = JumpLengthDistribution::new_untabled(2.5).unwrap();
+        assert!(plain.table_cutoff().is_none());
+        // Same law regardless of the accelerator.
+        assert_eq!(tabled, plain);
+    }
+
+    #[test]
+    fn tabled_and_untabled_agree_on_small_value_frequencies() {
+        let alpha = 2.5;
+        let tabled = JumpLengthDistribution::new(alpha).unwrap();
+        let plain = JumpLengthDistribution::new_untabled(alpha).unwrap();
+        let n = 200_000u64;
+        let mut rng = SmallRng::seed_from_u64(40);
+        let mut freq = |d: &JumpLengthDistribution| {
+            let mut counts = [0u64; 4];
+            for _ in 0..n {
+                let x = d.sample(&mut rng);
+                if x <= 3 {
+                    counts[x as usize] += 1;
+                }
+            }
+            counts
+        };
+        let a = freq(&tabled);
+        let b = freq(&plain);
+        for i in 0..4 {
+            let pa = a[i] as f64 / n as f64;
+            let pb = b[i] as f64 / n as f64;
+            assert!((pa - pb).abs() < 0.01, "i={i}: tabled {pa} vs plain {pb}");
         }
     }
 

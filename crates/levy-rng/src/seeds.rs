@@ -6,7 +6,6 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function.
 ///
@@ -38,7 +37,7 @@ pub fn splitmix64(mut z: u64) -> u64 {
 /// // Sibling streams differ.
 /// assert_ne!(trial_7.child(3).seed(), trial_7.child(4).seed());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SeedStream {
     state: u64,
 }
@@ -80,7 +79,10 @@ mod tests {
         let a = splitmix64(0x1234_5678);
         let b = splitmix64(0x1234_5679);
         let differing = (a ^ b).count_ones();
-        assert!((20..=44).contains(&differing), "differing bits: {differing}");
+        assert!(
+            (20..=44).contains(&differing),
+            "differing bits: {differing}"
+        );
     }
 
     #[test]
@@ -110,10 +112,7 @@ mod tests {
     fn sibling_paths_do_not_collide_across_levels() {
         // child(a).child(b) should differ from child(b).child(a) in general.
         let root = SeedStream::new(5);
-        assert_ne!(
-            root.child(1).child(2).seed(),
-            root.child(2).child(1).seed()
-        );
+        assert_ne!(root.child(1).child(2).seed(), root.child(2).child(1).seed());
     }
 
     #[test]

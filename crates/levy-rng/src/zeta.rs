@@ -110,10 +110,7 @@ mod tests {
             for n in [1u64, 5, 50, 1000] {
                 let lhs = zeta_partial_sum(s, n) + zeta_tail(s, n + 1);
                 let rhs = riemann_zeta(s);
-                assert!(
-                    (lhs - rhs).abs() < 1e-9,
-                    "s={s}, n={n}: {lhs} vs {rhs}"
-                );
+                assert!((lhs - rhs).abs() < 1e-9, "s={s}, n={n}: {lhs} vs {rhs}");
             }
         }
     }

@@ -1,0 +1,91 @@
+//! Chi-square goodness-of-fit tests for the hybrid table/Devroye sampler
+//! against the analytic pmf of the jump law (Eq. 3), exercising bins on
+//! **both sides of the table cutoff**.
+
+use levy_analysis::{chi_square_critical, chi_square_statistic};
+use levy_rng::{JumpLengthDistribution, JumpTable};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Bins: `0`, `1`, ..., `max_bin` individually, plus one pooled
+/// `> max_bin` bin. Returns `(observed, expected_counts)`.
+fn binned_counts(
+    law: &JumpLengthDistribution,
+    max_bin: u64,
+    n: u64,
+    mut draw: impl FnMut() -> u64,
+) -> (Vec<u64>, Vec<f64>) {
+    let bins = max_bin as usize + 2;
+    let mut observed = vec![0u64; bins];
+    for _ in 0..n {
+        let d = draw();
+        let idx = (d.min(max_bin + 1)) as usize;
+        observed[idx] += 1;
+    }
+    let mut expected: Vec<f64> = (0..=max_bin).map(|i| law.pmf(i) * n as f64).collect();
+    expected.push(law.tail(max_bin + 1) * n as f64);
+    (observed, expected)
+}
+
+fn assert_gof(observed: &[u64], expected: &[f64], label: &str) {
+    let stat = chi_square_statistic(observed, expected);
+    let df = observed.len() as u64 - 1;
+    // Reject only at p < 0.01, i.e. the sampler passes when the statistic
+    // stays below the 1% critical value.
+    let crit = chi_square_critical(df, 0.01);
+    assert!(
+        stat < crit,
+        "{label}: chi-square {stat:.2} >= critical {crit:.2} (df = {df})"
+    );
+}
+
+#[test]
+fn hybrid_sampler_fits_pmf_across_a_small_cutoff() {
+    // A deliberately tiny cutoff makes the Devroye tail branch frequent, so
+    // the bins at 1..=cutoff test the alias-table side and the bins at
+    // cutoff+1..=max_bin test the fallback side of the very same sampler.
+    let alpha = 2.2;
+    let cutoff = 8u64;
+    let max_bin = 24u64;
+    let law = JumpLengthDistribution::new_untabled(alpha).unwrap();
+    let table = JumpTable::new(alpha, cutoff);
+    assert!(table.tail_mass() > 1e-3, "tail branch must be exercised");
+
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let n = 400_000u64;
+    let (observed, expected) = binned_counts(&law, max_bin, n, || table.sample(&mut rng));
+    let beyond_cutoff: u64 = observed[cutoff as usize + 1..].iter().sum();
+    assert!(
+        beyond_cutoff > 100,
+        "tail side under-sampled: {beyond_cutoff}"
+    );
+    assert_gof(&observed, &expected, "small-cutoff hybrid");
+}
+
+#[test]
+fn production_distribution_fits_pmf() {
+    // The distribution as experiments construct it (cutoff chosen for
+    // tail mass <= 2^-32; here the cutoff caps out for the heavy tail).
+    let alpha = 2.5;
+    let law = JumpLengthDistribution::new(alpha).unwrap();
+    assert!(law.table_cutoff().is_some(), "expected the hybrid path");
+
+    let mut rng = SmallRng::seed_from_u64(2021);
+    let n = 300_000u64;
+    let law_for_draws = law.clone();
+    let (observed, expected) = binned_counts(&law, 15, n, || law_for_draws.sample(&mut rng));
+    assert_gof(&observed, &expected, "production hybrid");
+}
+
+#[test]
+fn devroye_baseline_fits_pmf() {
+    // Same harness applied to the untabled path, guarding against the GOF
+    // machinery itself drifting.
+    let alpha = 2.5;
+    let law = JumpLengthDistribution::new_untabled(alpha).unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let n = 300_000u64;
+    let law_for_draws = law.clone();
+    let (observed, expected) = binned_counts(&law, 15, n, || law_for_draws.sample(&mut rng));
+    assert_gof(&observed, &expected, "devroye baseline");
+}

@@ -5,7 +5,6 @@ use levy_rng::{
     riemann_zeta, sample_zeta, zeta_tail, ExponentStrategy, JumpLengthDistribution, SeedStream,
     ZetaTable,
 };
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -20,9 +19,7 @@ fn empirical_mean_matches_analytic_mean_for_alpha_above_two() {
         let mut rng = SmallRng::seed_from_u64(42);
         let n = 400_000u64;
         let cap = 10_000_000u64;
-        let sum: f64 = (0..n)
-            .map(|_| dist.sample(&mut rng).min(cap) as f64)
-            .sum();
+        let sum: f64 = (0..n).map(|_| dist.sample(&mut rng).min(cap) as f64).sum();
         let empirical = sum / n as f64;
         // The tail makes the variance large for α = 2.5; allow 5%.
         assert!(
@@ -125,37 +122,55 @@ fn seed_streams_are_statistically_independent() {
     assert!((mean - 0.5).abs() < 0.02, "mean of first draws {mean}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+// Randomized property checks (fixed seed, many cases — the in-tree
+// replacement for the former proptest harness).
 
-    #[test]
-    fn tail_formula_consistent_with_pmf_sums(alpha in 1.2f64..4.5, n in 1u64..200) {
-        let dist = JumpLengthDistribution::new(alpha).unwrap();
+#[test]
+fn tail_formula_consistent_with_pmf_sums() {
+    let mut rng = SmallRng::seed_from_u64(0xA11CE);
+    for _ in 0..32 {
+        let alpha = rng.gen_range(1.2f64..4.5);
+        let n = rng.gen_range(1u64..200);
+        let dist = JumpLengthDistribution::new_untabled(alpha).unwrap();
         // tail(n) - tail(n + 50) must equal the pmf sum over [n, n+50).
         let direct: f64 = (n..n + 50).map(|i| dist.pmf(i)).sum();
         let via_tail = dist.tail(n) - dist.tail(n + 50);
-        prop_assert!((direct - via_tail).abs() < 1e-9);
+        assert!(
+            (direct - via_tail).abs() < 1e-9,
+            "alpha={alpha}, n={n}: {direct} vs {via_tail}"
+        );
     }
+}
 
-    #[test]
-    fn zeta_tail_scaling_matches_eq4(alpha in 1.3f64..4.0) {
+#[test]
+fn zeta_tail_scaling_matches_eq4() {
+    let mut rng = SmallRng::seed_from_u64(0xB0B);
+    for _ in 0..32 {
+        let alpha = rng.gen_range(1.3f64..4.0);
         // Eq. (4): P(d >= i) = Θ(1/i^{α-1}): ratio of tails at i and 2i
         // approaches 2^{α-1}.
         let t1 = zeta_tail(alpha, 1_000);
         let t2 = zeta_tail(alpha, 2_000);
         let ratio = t1 / t2;
         let predicted = 2f64.powf(alpha - 1.0);
-        prop_assert!((ratio / predicted - 1.0).abs() < 0.02,
-            "ratio {} vs predicted {}", ratio, predicted);
+        assert!(
+            (ratio / predicted - 1.0).abs() < 0.02,
+            "alpha={alpha}: ratio {ratio} vs predicted {predicted}"
+        );
     }
+}
 
-    #[test]
-    fn sampler_never_returns_invalid_values(alpha in 1.1f64..5.0, seed in any::<u64>()) {
+#[test]
+fn sampler_never_returns_invalid_values() {
+    let mut meta = SmallRng::seed_from_u64(0xDEC0DE);
+    for _ in 0..32 {
+        let alpha = meta.gen_range(1.1f64..5.0);
+        let seed: u64 = meta.gen();
         let mut rng = SmallRng::seed_from_u64(seed);
         for _ in 0..256 {
             let x = sample_zeta(alpha, &mut rng);
-            prop_assert!(x >= 1);
-            prop_assert!(x <= levy_rng::MAX_JUMP);
+            assert!(x >= 1, "alpha={alpha}, seed={seed}");
+            assert!(x <= levy_rng::MAX_JUMP, "alpha={alpha}, seed={seed}");
         }
     }
 }

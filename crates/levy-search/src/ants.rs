@@ -169,7 +169,7 @@ impl SearchStrategy for AntsSearch {
         let mut remaining = problem.budget;
         for _ in 0..problem.num_agents {
             if let Some(t) = self.single(problem, remaining, rng) {
-                if best.map_or(true, |b| t < b) {
+                if best.is_none_or(|b| t < b) {
                     best = Some(t);
                     remaining = t;
                 }
@@ -242,10 +242,7 @@ mod tests {
         };
         let t1 = mean_time(1, 10);
         let t16 = mean_time(16, 11);
-        assert!(
-            t16 < t1,
-            "k=16 mean {t16} should beat k=1 mean {t1}"
-        );
+        assert!(t16 < t1, "k=16 mean {t16} should beat k=1 mean {t1}");
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl SearchStrategy for BallisticSearch {
         let mut best: Option<u64> = None;
         for _ in 0..problem.num_agents {
             if let Some(t) = self.single(problem.source, problem.target, problem.budget, rng) {
-                if best.map_or(true, |b| t < b) {
+                if best.is_none_or(|b| t < b) {
                     best = Some(t);
                 }
             }
@@ -91,7 +91,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 50, "k=500 straight walkers should usually hit at ℓ=10");
+        assert!(
+            hits > 50,
+            "k=500 straight walkers should usually hit at ℓ=10"
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@
 
 use levy_grid::Point;
 use levy_rng::splitmix64;
-use serde::{Deserialize, Serialize};
 
 /// An infinite sparse field with one target per `spacing × spacing` cell.
 ///
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// let t = field.target_in_cell_of(Point::new(1000, -500));
 /// assert!(field.is_target(t));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TargetField {
     spacing: u64,
     seed: u64,
@@ -150,7 +149,11 @@ mod tests {
             let t = field.target_of_cell(cx, cx);
             offsets.insert((t.x.rem_euclid(8), t.y.rem_euclid(8)));
         }
-        assert!(offsets.len() > 30, "only {} distinct offsets", offsets.len());
+        assert!(
+            offsets.len() > 30,
+            "only {} distinct offsets",
+            offsets.len()
+        );
     }
 
     #[test]

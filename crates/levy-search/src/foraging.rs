@@ -14,12 +14,11 @@ use std::collections::HashSet;
 use levy_grid::Point;
 use levy_walks::{JumpProcess, LevyWalk};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::field::TargetField;
 
 /// Result of one foraging run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ForagingOutcome {
     /// Distinct targets discovered (the destructive count).
     pub unique_targets: u64,
@@ -49,12 +48,7 @@ impl ForagingOutcome {
 /// # Panics
 ///
 /// Panics if `alpha` is outside `(1, ∞)`.
-pub fn forage<R: Rng>(
-    alpha: f64,
-    field: &TargetField,
-    steps: u64,
-    rng: &mut R,
-) -> ForagingOutcome {
+pub fn forage<R: Rng>(alpha: f64, field: &TargetField, steps: u64, rng: &mut R) -> ForagingOutcome {
     let mut walk = LevyWalk::new(alpha, Point::ORIGIN).expect("valid exponent");
     let mut found: HashSet<(i64, i64)> = HashSet::new();
     let mut encounters = 0u64;

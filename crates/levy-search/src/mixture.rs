@@ -61,11 +61,7 @@ impl MixtureSearch {
     /// Panics if `n == 0`.
     pub fn grid(n: usize) -> Self {
         assert!(n >= 1);
-        MixtureSearch::new(
-            (0..n)
-                .map(|i| 2.0 + (i as f64 + 0.5) / n as f64)
-                .collect(),
-        )
+        MixtureSearch::new((0..n).map(|i| 2.0 + (i as f64 + 0.5) / n as f64).collect())
     }
 
     /// The exponent palette.
@@ -97,7 +93,7 @@ impl SearchStrategy for MixtureSearch {
             if let Some(t) =
                 levy_walk_hitting_time(&jumps, problem.source, problem.target, remaining, rng)
             {
-                if best.map_or(true, |b| t < b) {
+                if best.is_none_or(|b| t < b) {
                     best = Some(t);
                     remaining = t;
                 }
@@ -160,7 +156,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..50 {
             if let Some(t) = s.run(&problem, &mut rng) {
-                assert!(t >= 9 && t <= 2_000);
+                assert!((9..=2_000).contains(&t));
             }
         }
     }

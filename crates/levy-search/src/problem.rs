@@ -8,7 +8,6 @@
 
 use levy_grid::{Point, Ring};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One search instance: source, hidden target, team size and step budget.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(problem.distance(), 100);
 /// assert_eq!(problem.num_agents, 16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SearchProblem {
     /// Common start node of all agents.
     pub source: Point,

@@ -71,7 +71,7 @@ impl SearchStrategy for RandomWalkSearch {
         let mut remaining = problem.budget;
         for _ in 0..problem.num_agents {
             if let Some(t) = self.single(problem.source, problem.target, remaining, rng) {
-                if best.map_or(true, |b| t < b) {
+                if best.is_none_or(|b| t < b) {
                     best = Some(t);
                     remaining = t;
                 }

@@ -29,7 +29,7 @@ fn hit_times_are_within_distance_and_budget() {
         for _ in 0..40 {
             if let Some(t) = strategy.run(&problem, &mut rng) {
                 assert!(
-                    t >= 12 && t <= 4_000,
+                    (12..=4_000).contains(&t),
                     "{}: hit time {t} out of [12, 4000]",
                     strategy.label()
                 );

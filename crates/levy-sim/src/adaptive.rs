@@ -9,12 +9,11 @@
 use levy_analysis::wilson_interval;
 use levy_rng::SeedStream;
 use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
 
-use crate::runner::run_trials;
+use crate::runner::count_trials_offset;
 
 /// Stopping rule for [`estimate_probability`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Precision {
     /// Stop when the CI half-width is below this absolute value.
     pub absolute: f64,
@@ -37,7 +36,7 @@ impl Precision {
 }
 
 /// Result of an adaptive estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveEstimate {
     /// Point estimate of the probability.
     pub p: f64,
@@ -73,18 +72,11 @@ where
         if batch_size == 0 {
             break;
         }
-        // Trials [trials, trials + batch_size) with their canonical streams.
-        let start = trials;
-        let hits = run_trials(batch_size, seeds, threads, |i, rng| {
-            // Re-derive the global trial index so results are identical to
-            // a single non-adaptive run of the same predicate.
-            let mut trial_rng = seeds.child(start + i).rng();
-            let _ = rng; // the runner's stream for (local) i is unused
-            predicate(start + i, &mut trial_rng)
-        })
-        .into_iter()
-        .filter(|&b| b)
-        .count() as u64;
+        // Trials [trials, trials + batch_size) with their canonical
+        // streams: the offset-aware counter derives `seeds.child(global)`
+        // directly, so the estimate matches a single non-adaptive run and
+        // no per-trial Vec<bool> is ever materialized.
+        let hits = count_trials_offset(batch_size, trials, seeds, threads, &predicate);
         trials += batch_size;
         successes += hits;
         let p = successes as f64 / trials as f64;

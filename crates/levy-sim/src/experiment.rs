@@ -17,12 +17,11 @@ use levy_walks::{
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::runner::run_trials;
 
 /// How the hidden target is placed, at distance `ℓ` from the origin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TargetPlacement {
     /// Uniformly random node of `R_ℓ(0)`, fresh per trial.
     #[default]
@@ -42,7 +41,7 @@ impl TargetPlacement {
 }
 
 /// Shared knobs of a hitting-time measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasurementConfig {
     /// Target distance `ℓ`.
     pub ell: u64,

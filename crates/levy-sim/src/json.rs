@@ -1,0 +1,282 @@
+//! A minimal JSON value type and pretty-printer.
+//!
+//! The workspace persists machine-readable results (bench snapshots,
+//! experiment summaries) as JSON but builds without registry access, so
+//! this module provides the small writer the repo needs instead of a
+//! `serde_json` dependency. Output is deterministic: object keys keep
+//! insertion order, floats use Rust's shortest round-trip formatting.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// # Examples
+///
+/// ```
+/// use levy_sim::Json;
+///
+/// let v = Json::obj([
+///     ("alpha", Json::from(2.5)),
+///     ("trials", Json::from(1000u64)),
+///     ("tags", Json::arr(["fast", "seeded"])),
+/// ]);
+/// let text = v.to_string_pretty();
+/// assert!(text.contains("\"alpha\": 2.5"));
+/// assert!(text.contains("\"trials\": 1000"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float; non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values convertible to [`Json`].
+    pub fn arr<T: Into<Json>, I: IntoIterator<Item = T>>(items: I) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        // Keep integral floats readable ("3.0" not "3").
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        if u <= i64::MAX as u64 {
+            Json::Int(u as i64)
+        } else {
+            Json::Num(u as f64)
+        }
+    }
+}
+
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::from(u as u64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::Int(u as i64)
+    }
+}
+
+impl From<i32> for Json {
+    fn from(i: i32) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(o: Option<T>) -> Json {
+        match o {
+            Some(v) => v.into(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(xs: &[T]) -> Json {
+        Json::Arr(xs.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(xs: Vec<T>) -> Json {
+        Json::Arr(xs.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string_pretty(), "null\n");
+        assert_eq!(Json::from(true).to_string_pretty(), "true\n");
+        assert_eq!(Json::from(42u64).to_string_pretty(), "42\n");
+        assert_eq!(Json::from(-3i64).to_string_pretty(), "-3\n");
+        assert_eq!(Json::from(2.5).to_string_pretty(), "2.5\n");
+        assert_eq!(Json::from(3.0).to_string_pretty(), "3.0\n");
+        assert_eq!(Json::from("hi").to_string_pretty(), "\"hi\"\n");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(Json::from(f64::NAN).to_string_pretty(), "null\n");
+        assert_eq!(Json::from(f64::INFINITY).to_string_pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::from("a\"b\\c\nd");
+        assert_eq!(s.to_string_pretty(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn nested_structure_renders_stably() {
+        let v = Json::obj([
+            ("name", Json::from("bench")),
+            ("values", Json::arr([1u64, 2, 3])),
+            ("empty_obj", Json::obj::<String, _>([])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("missing", Json::from(None::<u64>)),
+        ]);
+        let text = v.to_string_pretty();
+        let expected = "{\n  \"name\": \"bench\",\n  \"values\": [\n    1,\n    2,\n    3\n  ],\n  \"empty_obj\": {},\n  \"empty_arr\": [],\n  \"missing\": null\n}\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn big_u64_degrades_to_float() {
+        let v = Json::from(u64::MAX);
+        assert!(matches!(v, Json::Num(_)));
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let v = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
+        let text = v.to_string_pretty();
+        assert!(text.find("\"z\"").unwrap() < text.find("\"a\"").unwrap());
+    }
+}

@@ -26,17 +26,19 @@
 
 mod adaptive;
 mod experiment;
+mod json;
 mod plot;
 mod report;
 mod runner;
 mod sweep;
 
+pub use adaptive::{estimate_probability, AdaptiveEstimate, Precision};
 pub use experiment::{
     measure_parallel_common, measure_parallel_strategy, measure_search_strategy,
     measure_single_flight, measure_single_walk, MeasurementConfig, TargetPlacement,
 };
-pub use adaptive::{estimate_probability, AdaptiveEstimate, Precision};
+pub use json::Json;
 pub use plot::AsciiPlot;
 pub use report::{write_json, TextTable};
-pub use runner::{count_trials, default_threads, run_trials};
+pub use runner::{chunked, count_trials, count_trials_offset, default_threads, run_trials};
 pub use sweep::{geom_integers, geomspace, linspace, pow2_range};

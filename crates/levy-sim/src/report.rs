@@ -5,7 +5,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::Serialize;
+use crate::json::Json;
 
 /// A simple aligned text table (the "rows the paper reports").
 ///
@@ -133,14 +133,12 @@ impl TextTable {
 ///
 /// # Errors
 ///
-/// Propagates filesystem and serialization errors.
-pub fn write_json<T: Serialize, P: AsRef<Path>>(value: &T, path: P) -> io::Result<()> {
+/// Propagates filesystem errors.
+pub fn write_json<T: Into<Json> + Clone, P: AsRef<Path>>(value: &T, path: P) -> io::Result<()> {
     if let Some(parent) = path.as_ref().parent() {
         fs::create_dir_all(parent)?;
     }
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    fs::write(path, value.clone().into().to_string_pretty())
 }
 
 #[cfg(test)]
@@ -155,7 +153,7 @@ mod tests {
         let lines: Vec<&str> = r.lines().collect();
         assert_eq!(lines.len(), 3);
         // Header line and data line have equal rendered width.
-        assert_eq!(lines[0].trim_end().len() <= lines[1].len(), true);
+        assert!(lines[0].trim_end().len() <= lines[1].len());
     }
 
     #[test]
@@ -188,7 +186,7 @@ mod tests {
         let mut t = TextTable::new(vec!["v"]);
         t.row(vec!["9".into()]);
         t.write_csv(&csv_path).unwrap();
-        write_json(&vec![1, 2, 3], &json_path).unwrap();
+        write_json(&vec![1u64, 2, 3], &json_path).unwrap();
         assert!(fs::read_to_string(&csv_path).unwrap().contains('9'));
         assert!(fs::read_to_string(&json_path).unwrap().contains('3'));
         let _ = fs::remove_dir_all(&dir);

@@ -1,26 +1,82 @@
 //! Multi-threaded trial execution with deterministic seeding.
 //!
-//! Experiments run many independent trials; this runner distributes them
-//! over OS threads (crossbeam scoped threads, no `unsafe`, no global pool)
-//! while deriving each trial's RNG from `SeedStream::child(trial_index)`, so
-//! results are bit-identical regardless of thread count or scheduling.
+//! Experiments run many independent trials whose per-trial cost is itself
+//! heavy-tailed: a hitting-time trial either finds the target early and
+//! returns in microseconds or burns its full step budget. Static contiguous
+//! chunking (one chunk per worker) therefore leaves most cores idle behind
+//! whichever chunk drew the expensive trials. This runner instead uses
+//! **work stealing over an atomic trial counter**: workers repeatedly claim
+//! small blocks of trial indices (block size shrinks as the queue drains)
+//! and write each result into its pre-assigned slot.
+//!
+//! Determinism is preserved exactly as before: each trial `i` derives its
+//! RNG from `SeedStream::child(i)` and results are placed by trial index,
+//! so output is bit-identical regardless of thread count or scheduling.
+//!
+//! The previous contiguous-chunk scheduler is kept as [`chunked`] — it is
+//! the baseline that `BENCH_runner.json` compares against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use levy_rng::SeedStream;
 use rand::rngs::SmallRng;
 
-/// Number of worker threads to use by default (the machine's available
-/// parallelism, at least 1).
+/// Number of worker threads to use by default: the `LEVY_THREADS`
+/// environment variable if set to a positive integer (wired through
+/// `scripts/run_all_experiments.sh --threads N`), otherwise the machine's
+/// available parallelism, at least 1.
 pub fn default_threads() -> usize {
+    if let Ok(value) = std::env::var("LEVY_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Upper bound on a stolen block, keeping the tail of the trial queue
+/// finely divisible even for huge runs.
+const MAX_BLOCK: u64 = 1024;
+
+/// Claims the next block of trial indices `[start, end)`, or `None` when
+/// the queue is drained.
+///
+/// Guided self-scheduling: block size is `remaining / (4 · threads)`
+/// clamped to `[1, MAX_BLOCK]`, so early blocks are large (low contention)
+/// and late blocks shrink to single trials (no straggler serializes more
+/// than one expensive trial behind it).
+#[inline]
+fn claim_block(next: &AtomicU64, trials: u64, threads: u64) -> Option<(u64, u64)> {
+    loop {
+        let cur = next.load(Ordering::Relaxed);
+        if cur >= trials {
+            return None;
+        }
+        let remaining = trials - cur;
+        let block = (remaining / (4 * threads)).clamp(1, MAX_BLOCK);
+        let end = cur + block;
+        if next
+            .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return Some((cur, end));
+        }
+    }
 }
 
 /// Runs `trials` independent trials of `f`, in parallel, returning results
 /// in trial order.
 ///
 /// Each trial `i` receives its own RNG derived from `seeds.child(i)`; `f`
-/// must be deterministic given `(i, rng)` for reproducibility.
+/// must be deterministic given `(i, rng)` for reproducibility. Workers
+/// steal shrinking index blocks from a shared atomic counter, so
+/// heavy-tailed per-trial costs spread across cores instead of serializing
+/// behind the slowest contiguous chunk — while results remain bit-identical
+/// for every thread count.
 ///
 /// # Examples
 ///
@@ -55,42 +111,164 @@ where
             })
             .collect();
     }
-    // Split 0..trials into `threads` contiguous chunks; each worker returns
-    // its chunk's results, concatenated in order afterwards.
-    let chunk = trials.div_ceil(threads as u64);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    let next = AtomicU64::new(0);
+    let mut buckets: Vec<Vec<(u64, T)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for w in 0..threads as u64 {
-            let start = w * chunk;
-            let end = ((w + 1) * chunk).min(trials);
+        for _ in 0..threads {
+            let next = &next;
             let f = &f;
-            handles.push(scope.spawn(move |_| {
-                (start..end)
-                    .map(|i| {
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(u64, T)> = Vec::new();
+                while let Some((start, end)) = claim_block(next, trials, threads as u64) {
+                    out.reserve(end.saturating_sub(start) as usize);
+                    for i in start..end {
                         let mut rng = seeds.child(i).rng();
-                        f(i, &mut rng)
-                    })
-                    .collect::<Vec<T>>()
+                        out.push((i, f(i, &mut rng)));
+                    }
+                }
+                out
             }));
         }
         for h in handles {
-            chunks.push(h.join().expect("trial worker panicked"));
+            buckets.push(h.join().expect("trial worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
-    chunks.into_iter().flatten().collect()
+    });
+    // Place results into their pre-assigned slots, restoring trial order.
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, value) in bucket {
+            slots[i as usize] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every trial index claimed exactly once"))
+        .collect()
 }
 
 /// Counts, in parallel, the trials for which `predicate` holds.
+///
+/// Unlike [`run_trials`], no per-trial results are materialized: each
+/// worker keeps a `u64` partial sum over the blocks it steals and the
+/// partials are added at the end.
 pub fn count_trials<F>(trials: u64, seeds: SeedStream, threads: usize, predicate: F) -> u64
 where
     F: Fn(u64, &mut SmallRng) -> bool + Sync,
 {
-    run_trials(trials, seeds, threads, predicate)
-        .into_iter()
-        .filter(|&b| b)
-        .count() as u64
+    count_trials_offset(trials, 0, seeds, threads, predicate)
+}
+
+/// Counts trials like [`count_trials`], but over the global trial indices
+/// `[offset, offset + trials)`: trial `i` derives its RNG from
+/// `seeds.child(offset + i)` and `predicate` receives `offset + i`.
+///
+/// This is the batched-extension primitive behind
+/// [`estimate_probability`](crate::estimate_probability): an adaptive run
+/// that consumes trials `0..n` and later `n..m` observes exactly the
+/// trials a single non-adaptive run of `m` trials would.
+pub fn count_trials_offset<F>(
+    trials: u64,
+    offset: u64,
+    seeds: SeedStream,
+    threads: usize,
+    predicate: F,
+) -> u64
+where
+    F: Fn(u64, &mut SmallRng) -> bool + Sync,
+{
+    let threads = threads.max(1).min(trials.max(1) as usize);
+    if threads == 1 {
+        return (0..trials)
+            .filter(|&i| {
+                let global = offset + i;
+                let mut rng = seeds.child(global).rng();
+                predicate(global, &mut rng)
+            })
+            .count() as u64;
+    }
+    let next = AtomicU64::new(0);
+    let mut total: u64 = 0;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let predicate = &predicate;
+            handles.push(scope.spawn(move || {
+                let mut hits: u64 = 0;
+                while let Some((start, end)) = claim_block(next, trials, threads as u64) {
+                    for i in start..end {
+                        let global = offset + i;
+                        let mut rng = seeds.child(global).rng();
+                        if predicate(global, &mut rng) {
+                            hits += 1;
+                        }
+                    }
+                }
+                hits
+            }));
+        }
+        for h in handles {
+            total += h.join().expect("trial worker panicked");
+        }
+    });
+    total
+}
+
+/// The seed scheduler this runner replaced: static contiguous chunking,
+/// one chunk per worker.
+///
+/// Kept (not deprecated) as the measured baseline for the bench snapshot
+/// pipeline — `BENCH_runner.json` records the throughput of
+/// [`run_trials`](crate::run_trials) relative to [`chunked::run_trials`].
+/// Output is bit-identical to the work-stealing runner; only the schedule
+/// differs.
+pub mod chunked {
+    use super::*;
+
+    /// Runs `trials` trials split into `threads` contiguous chunks.
+    ///
+    /// Each worker processes one chunk; the makespan is therefore the cost
+    /// of the most expensive chunk, which under heavy-tailed trial costs
+    /// is far above the mean — exactly the imbalance the work-stealing
+    /// runner removes.
+    pub fn run_trials<T, F>(trials: u64, seeds: SeedStream, threads: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64, &mut SmallRng) -> T + Sync,
+    {
+        let threads = threads.max(1).min(trials.max(1) as usize);
+        if threads == 1 {
+            return (0..trials)
+                .map(|i| {
+                    let mut rng = seeds.child(i).rng();
+                    f(i, &mut rng)
+                })
+                .collect();
+        }
+        let chunk = trials.div_ceil(threads as u64);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads as u64 {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(trials);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    (start..end)
+                        .map(|i| {
+                            let mut rng = seeds.child(i).rng();
+                            f(i, &mut rng)
+                        })
+                        .collect::<Vec<T>>()
+                }));
+            }
+            for h in handles {
+                chunks.push(h.join().expect("trial worker panicked"));
+            }
+        });
+        chunks.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +293,34 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_on_skewed_workloads() {
+        // Trial 0 is ~1000x slower than the rest: the scheduler must not
+        // let the skew leak into results (bit-identical across thread
+        // counts, in order), only into timing.
+        let f = |i: u64, rng: &mut rand::rngs::SmallRng| -> u64 {
+            let spins = if i == 0 { 100_000 } else { 100 };
+            let mut acc = i;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+            }
+            acc ^ rng.gen::<u64>()
+        };
+        let a = run_trials(97, SeedStream::new(11), 1, f);
+        let b = run_trials(97, SeedStream::new(11), 3, f);
+        let c = run_trials(97, SeedStream::new(11), 16, f);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn stealing_matches_chunked_bit_for_bit() {
+        let f = |i: u64, rng: &mut rand::rngs::SmallRng| -> u64 { rng.gen::<u64>() ^ (i << 1) };
+        let stealing = run_trials(513, SeedStream::new(21), 7, f);
+        let legacy = chunked::run_trials(513, SeedStream::new(21), 4, f);
+        assert_eq!(stealing, legacy);
+    }
+
+    #[test]
     fn zero_trials_yield_empty() {
         let out: Vec<u64> = run_trials(0, SeedStream::new(1), 4, |i, _| i);
         assert!(out.is_empty());
@@ -132,6 +338,30 @@ mod tests {
     fn count_trials_counts() {
         let n = count_trials(100, SeedStream::new(3), 4, |i, _| i % 4 == 0);
         assert_eq!(n, 25);
+    }
+
+    #[test]
+    fn count_matches_run_then_filter() {
+        let seeds = SeedStream::new(17);
+        let predicate = |_: u64, rng: &mut rand::rngs::SmallRng| rng.gen::<f64>() < 0.37;
+        let counted = count_trials(5_000, seeds, 8, predicate);
+        let collected = run_trials(5_000, seeds, 8, predicate)
+            .into_iter()
+            .filter(|&b| b)
+            .count() as u64;
+        assert_eq!(counted, collected);
+    }
+
+    #[test]
+    fn count_offset_extends_a_prefix_run() {
+        // Counting [0, 300) must equal count([0, 100)) + count([100, 300)).
+        let seeds = SeedStream::new(23);
+        let predicate =
+            |i: u64, rng: &mut rand::rngs::SmallRng| (rng.gen::<u64>() ^ i).is_multiple_of(3);
+        let whole = count_trials(300, seeds, 4, predicate);
+        let head = count_trials_offset(100, 0, seeds, 4, predicate);
+        let tail = count_trials_offset(200, 100, seeds, 4, predicate);
+        assert_eq!(whole, head + tail);
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn censoring_accounts_every_trial_exactly_once() {
     assert_eq!(summary.hits + summary.censored, 1_234);
     assert_eq!(summary.observed.len() as u64, summary.hits);
     for &t in &summary.observed {
-        assert!(t >= 40.0 && t <= 100.0, "observed time {t} out of range");
+        assert!(
+            (40.0..=100.0).contains(&t),
+            "observed time {t} out of range"
+        );
     }
 }
 

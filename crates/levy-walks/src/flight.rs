@@ -9,7 +9,6 @@
 use levy_grid::{Point, Ring};
 use levy_rng::{InvalidExponentError, JumpLengthDistribution};
 use rand::{Rng, RngCore};
-use serde::{Deserialize, Serialize};
 
 use crate::process::JumpProcess;
 
@@ -31,7 +30,7 @@ use crate::process::JumpProcess;
 /// assert_eq!(flight.time(), 1);
 /// # Ok::<(), levy_rng::InvalidExponentError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LevyFlight {
     jumps: JumpLengthDistribution,
     position: Point,

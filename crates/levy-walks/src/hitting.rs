@@ -124,7 +124,7 @@ pub fn levy_walk_hitting_time_exact<R: Rng>(
     budget: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    let mut walk = LevyWalk::with_distribution(*jumps, start);
+    let mut walk = LevyWalk::with_distribution(jumps.clone(), start);
     walk.run_until_hit(target, budget, rng)
 }
 
@@ -262,7 +262,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let p = Point::new(2, 2);
         assert_eq!(levy_walk_hitting_time(&jumps, p, p, 10, &mut rng), Some(0));
-        assert_eq!(levy_flight_hitting_time(&jumps, p, p, 10, &mut rng), Some(0));
+        assert_eq!(
+            levy_flight_hitting_time(&jumps, p, p, 10, &mut rng),
+            Some(0)
+        );
     }
 
     #[test]
@@ -271,8 +274,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let target = Point::new(5, 3);
         for _ in 0..500 {
-            if let Some(t) =
-                levy_walk_hitting_time(&jumps, Point::ORIGIN, target, 10_000, &mut rng)
+            if let Some(t) = levy_walk_hitting_time(&jumps, Point::ORIGIN, target, 10_000, &mut rng)
             {
                 assert!(t >= 8, "hit at {t} < distance 8");
             }
@@ -324,8 +326,7 @@ mod tests {
             let mut exact_hits = 0u32;
             let mut rng = SmallRng::seed_from_u64(1000 + budget);
             for _ in 0..trials {
-                if levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, &mut rng)
-                    .is_some()
+                if levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, &mut rng).is_some()
                 {
                     fast_hits += 1;
                 }
@@ -473,25 +474,11 @@ mod tests {
         let jumps = JumpLengthDistribution::new(2.0).unwrap();
         let mut rng = SmallRng::seed_from_u64(104);
         assert_eq!(
-            levy_walk_hitting_time_ball(
-                &jumps,
-                Point::new(1, 1),
-                Point::ORIGIN,
-                2,
-                10,
-                &mut rng
-            ),
+            levy_walk_hitting_time_ball(&jumps, Point::new(1, 1), Point::ORIGIN, 2, 10, &mut rng),
             Some(0)
         );
         assert_eq!(
-            levy_flight_hitting_time_ball(
-                &jumps,
-                Point::new(1, 1),
-                Point::ORIGIN,
-                2,
-                10,
-                &mut rng
-            ),
+            levy_flight_hitting_time_ball(&jumps, Point::new(1, 1), Point::ORIGIN, 2, 10, &mut rng),
             Some(0)
         );
     }
@@ -539,7 +526,10 @@ mod tests {
                 levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, &mut rng).is_some()
             })
             .count();
-        let (pc, pu) = (capped as f64 / trials as f64, uncapped as f64 / trials as f64);
+        let (pc, pu) = (
+            capped as f64 / trials as f64,
+            uncapped as f64 / trials as f64,
+        );
         assert!((pc - pu).abs() < 0.05, "capped {pc} vs uncapped {pu}");
     }
 

@@ -46,8 +46,8 @@ mod hitting;
 mod parallel;
 mod process;
 mod statistics;
-mod walk;
 pub mod theory;
+mod walk;
 
 pub use flight::{sample_jump, LevyFlight};
 pub use hitting::{

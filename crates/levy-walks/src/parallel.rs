@@ -11,12 +11,11 @@
 use levy_grid::Point;
 use levy_rng::{ExponentStrategy, JumpLengthDistribution};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::hitting::levy_walk_hitting_time;
 
 /// Outcome of a parallel hitting-time simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParallelHit {
     /// First step at which some walk visits the target, if within budget.
     pub time: Option<u64>,
@@ -83,7 +82,7 @@ pub fn parallel_hitting_time<R: Rng + ?Sized>(
             JumpLengthDistribution::new(alpha).expect("exponent strategies yield valid exponents");
         if let Some(t) = levy_walk_hitting_time(&jumps, start, target, remaining, rng) {
             // Min over walks; `remaining` guarantees t <= current best.
-            if best.map_or(true, |(bt, _)| t < bt) {
+            if best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, walk_index));
                 remaining = t;
             }
@@ -111,7 +110,7 @@ pub fn parallel_hitting_time_common<R: Rng + ?Sized>(
     let mut remaining = budget;
     for _ in 0..k {
         if let Some(t) = levy_walk_hitting_time(jumps, start, target, remaining, rng) {
-            if best.map_or(true, |bt| t < bt) {
+            if best.is_none_or(|bt| t < bt) {
                 best = Some(t);
                 remaining = t;
             }

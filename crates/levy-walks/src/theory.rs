@@ -12,10 +12,8 @@
 //!   one;
 //! * the hitting-probability exponents per regime.
 
-use serde::{Deserialize, Serialize};
-
 /// The paper's three exponent regimes (Section 1.2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Regime {
     /// `α ∈ (1, 2]`: unbounded mean jump length; straight-walk-like.
     Ballistic,

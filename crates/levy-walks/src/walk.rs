@@ -192,9 +192,7 @@ mod tests {
                 // Either a zero jump (still boundary, same node) or the
                 // first edge of a path toward a recorded destination.
                 if w.at_phase_boundary() {
-                    assert!(
-                        w.position() == before || w.current_destination().is_none()
-                    );
+                    assert!(w.position() == before || w.current_destination().is_none());
                 }
             } else {
                 let dest = w.current_destination().expect("mid-phase destination");
@@ -248,8 +246,7 @@ mod tests {
             let before_phases = w.phases_completed();
             let boundary = w.at_phase_boundary();
             w.step(&mut rng);
-            if boundary && w.position() == before_pos && w.phases_completed() == before_phases + 1
-            {
+            if boundary && w.position() == before_pos && w.phases_completed() == before_phases + 1 {
                 seen_zero = true;
                 break;
             }

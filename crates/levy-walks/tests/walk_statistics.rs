@@ -6,9 +6,8 @@ use levy_walks::{
     levy_walk_hitting_time, levy_walk_hitting_time_capped, parallel_hitting_time_common,
     sample_jump, JumpProcess, LevyFlight, LevyWalk,
 };
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn walk_phase_endpoints_reproduce_flight_distribution() {
@@ -152,46 +151,58 @@ fn jump_lengths_and_phase_durations_are_consistent() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+// Randomized property checks (fixed seed, many cases — the in-tree
+// replacement for the former proptest harness).
 
-    #[test]
-    fn sample_jump_destination_is_on_the_sampled_ring(alpha in 1.2f64..4.0, seed in any::<u64>()) {
+#[test]
+fn sample_jump_destination_is_on_the_sampled_ring() {
+    let mut meta = SmallRng::seed_from_u64(0x71A9);
+    for _ in 0..24 {
+        let alpha = meta.gen_range(1.2f64..4.0);
+        let seed: u64 = meta.gen();
         let jumps = JumpLengthDistribution::new(alpha).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
         let from = Point::new(17, -9);
         for _ in 0..64 {
             let (d, v) = sample_jump(&jumps, from, &mut rng);
-            prop_assert_eq!(from.l1_distance(v), d);
+            assert_eq!(from.l1_distance(v), d, "alpha={alpha}, seed={seed}");
         }
     }
+}
 
-    #[test]
-    fn hitting_from_target_is_zero_regardless_of_budget(
-        alpha in 1.5f64..3.5,
-        budget in 0u64..1000,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn hitting_from_target_is_zero_regardless_of_budget() {
+    let mut meta = SmallRng::seed_from_u64(0x2E40);
+    for _ in 0..24 {
+        let alpha = meta.gen_range(1.5f64..3.5);
+        let budget = meta.gen_range(0u64..1000);
+        let seed: u64 = meta.gen();
         let jumps = JumpLengthDistribution::new(alpha).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
         let p = Point::new(-3, 12);
-        prop_assert_eq!(
+        assert_eq!(
             levy_walk_hitting_time(&jumps, p, p, budget, &mut rng),
-            Some(0)
+            Some(0),
+            "alpha={alpha}, budget={budget}, seed={seed}"
         );
     }
+}
 
-    #[test]
-    fn flight_time_and_walk_time_semantics(alpha in 2.0f64..3.0, seed in any::<u64>()) {
+#[test]
+fn flight_time_and_walk_time_semantics() {
+    let mut meta = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..24 {
         // The flight advances one jump per step; the walk one lattice edge.
+        let alpha = meta.gen_range(2.0f64..3.0);
+        let seed: u64 = meta.gen();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut flight = LevyFlight::new(alpha, Point::ORIGIN).unwrap();
         let mut walk = LevyWalk::new(alpha, Point::ORIGIN).unwrap();
         flight.advance(32, &mut rng);
         walk.advance(32, &mut rng);
-        prop_assert_eq!(flight.time(), 32);
-        prop_assert_eq!(walk.time(), 32);
+        assert_eq!(flight.time(), 32);
+        assert_eq!(walk.time(), 32);
         // The walk can have completed at most 32 phases in 32 steps.
-        prop_assert!(walk.phases_completed() <= 32);
+        assert!(walk.phases_completed() <= 32);
     }
 }

@@ -36,7 +36,12 @@ fn main() {
         ),
     ];
 
-    let mut table = TextTable::new(vec!["knowledge", "P(find)", "median time", "vs lower bound"]);
+    let mut table = TextTable::new(vec![
+        "knowledge",
+        "P(find)",
+        "median time",
+        "vs lower bound",
+    ]);
     for (knowledge, strategy) in &ladder {
         let config = MeasurementConfig::new(ell, budget, trials, 0xA275);
         let summary = measure_search_strategy(strategy.as_ref(), k, &config);

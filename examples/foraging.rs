@@ -25,8 +25,14 @@ fn main() {
 
     println!("colony size k = {k}; food at distances {distances:?}\n");
     let colonies = [
-        ("all-Cauchy colony (α = 2)", ExponentStrategy::Fixed(2.0 + 1e-9)),
-        ("all-diffusive colony (α ≈ 3)", ExponentStrategy::Fixed(2.95)),
+        (
+            "all-Cauchy colony (α = 2)",
+            ExponentStrategy::Fixed(2.0 + 1e-9),
+        ),
+        (
+            "all-diffusive colony (α ≈ 3)",
+            ExponentStrategy::Fixed(2.95),
+        ),
         (
             "mixed colony (each forager: α ~ U(2,3))",
             ExponentStrategy::UniformSuperdiffusive,

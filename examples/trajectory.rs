@@ -22,9 +22,8 @@ fn main() {
     visits.record(Point::ORIGIN);
 
     let out_path = std::env::temp_dir().join(format!("levy_trajectory_a{alpha}.csv"));
-    let mut file = std::io::BufWriter::new(
-        std::fs::File::create(&out_path).expect("temp dir is writable"),
-    );
+    let mut file =
+        std::io::BufWriter::new(std::fs::File::create(&out_path).expect("temp dir is writable"));
     writeln!(file, "t,x,y").unwrap();
     for t in 1..=steps {
         let p = walk.step(&mut rng);
@@ -46,10 +45,18 @@ fn main() {
     println!("steps:                {steps}");
     println!("final position:       {}", walk.position());
     println!("final displacement:   {}", walk.position().l1_norm());
-    println!("max displacement:     {}", visits.max_l1_norm().unwrap_or(0));
+    println!(
+        "max displacement:     {}",
+        visits.max_l1_norm().unwrap_or(0)
+    );
     println!("distinct nodes:       {}", visits.unique_nodes());
-    println!("revisit ratio:        {:.2}", steps as f64 / visits.unique_nodes() as f64);
+    println!(
+        "revisit ratio:        {:.2}",
+        steps as f64 / visits.unique_nodes() as f64
+    );
     println!("jump phases:          {}", walk.phases_completed());
     println!("trajectory CSV:       {}", out_path.display());
-    println!("\ntip: α = 1.5 wanders far and revisits little; α = 3.5 stays close and revisits a lot.");
+    println!(
+        "\ntip: α = 1.5 wanders far and revisits little; α = 3.5 stays close and revisits a lot."
+    );
 }

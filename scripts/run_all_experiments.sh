@@ -2,12 +2,25 @@
 # Regenerates every experiment of DESIGN.md's index, writing tables to
 # stdout/results/*.csv and a combined log to results/full_run.log.
 #
-# Usage: scripts/run_all_experiments.sh [--full]
-#   --full   larger grids and trial counts (see EXPERIMENTS.md)
+# Usage: scripts/run_all_experiments.sh [--full] [--threads N]
+#   --full       larger grids and trial counts (see EXPERIMENTS.md)
+#   --threads N  worker threads for the trial runner (exported as
+#                LEVY_THREADS, which levy_sim::default_threads honors;
+#                default: all available cores)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCALE="${1:-}"
+SCALE=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --full) SCALE="--full"; shift ;;
+    --threads)
+      [ "$#" -ge 2 ] || { echo "--threads requires a value" >&2; exit 2; }
+      export LEVY_THREADS="$2"; shift 2 ;;
+    --threads=*) export LEVY_THREADS="${1#--threads=}"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
 EXPERIMENTS=(
   exp_f1_regions
   exp_f2_direct_path

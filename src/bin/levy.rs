@@ -91,9 +91,9 @@ fn build_strategy(spec: &str) -> Result<Box<dyn SearchStrategy + Sync>, String> 
         let n: usize = raw
             .parse()
             .map_err(|_| format!("invalid grid size '{raw}'"))?;
-        return Ok(Box::new(
-            parallel_levy_walks::search::MixtureSearch::grid(n),
-        ));
+        return Ok(Box::new(parallel_levy_walks::search::MixtureSearch::grid(
+            n,
+        )));
     }
     Err(format!(
         "unknown strategy '{spec}' (try: random, alpha=X, grid=N, rw, ballistic, ants)"

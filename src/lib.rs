@@ -53,9 +53,7 @@ pub use levy_walks as walks;
 pub mod prelude {
     pub use levy_analysis::{log_log_fit, CensoredSummary};
     pub use levy_grid::{Ball, DirectPathWalker, Point, Ring, Spiral, Square, VisitMap};
-    pub use levy_rng::{
-        optimal_exponent, ExponentStrategy, JumpLengthDistribution, SeedStream,
-    };
+    pub use levy_rng::{optimal_exponent, ExponentStrategy, JumpLengthDistribution, SeedStream};
     pub use levy_search::{
         AntsSearch, BallisticSearch, LevySearch, RandomWalkSearch, SearchProblem, SearchStrategy,
     };

@@ -93,7 +93,9 @@ fn shootout_orderings_match_paper() {
     assert!(levy.hit_rate() > 0.8, "levy rate {}", levy.hit_rate());
     assert!(ants.hit_rate() > 0.8, "ants rate {}", ants.hit_rate());
     let levy_med = levy.conditional_median().expect("levy hits");
-    let rw_med = rw.conditional_median().expect("rw hits within generous budget");
+    let rw_med = rw
+        .conditional_median()
+        .expect("rw hits within generous budget");
     assert!(
         rw_med > 1.5 * levy_med,
         "parallel RW median {rw_med} should clearly trail levy median {levy_med}"

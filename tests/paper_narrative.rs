@@ -75,9 +75,6 @@ fn claim_three_one_algorithm_all_scales() {
         rates.push(summary.hit_rate());
     }
     for (i, r) in rates.iter().enumerate() {
-        assert!(
-            *r > 0.75,
-            "scale {i}: randomized strategy rate {r} too low"
-        );
+        assert!(*r > 0.75, "scale {i}: randomized strategy rate {r} too low");
     }
 }

@@ -1,47 +1,55 @@
-//! Property-based tests (proptest) of cross-crate invariants.
+//! Randomized cross-crate invariant tests (fixed seed, many cases — the
+//! in-tree replacement for the former proptest harness).
 
 use levy_grid::{
-    count_tie_positions, direct_path_node_at, DirectPathWalker, Point, Ring, SegmentPoints,
-    Spiral, Square,
+    count_tie_positions, direct_path_node_at, DirectPathWalker, Point, Ring, SegmentPoints, Spiral,
+    Square,
 };
 use levy_rng::{JumpLengthDistribution, SeedStream};
 use levy_walks::{levy_walk_hitting_time, JumpProcess, LevyWalk};
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-200i64..200, -200i64..200).prop_map(|(x, y)| Point::new(x, y))
+const CASES: usize = 64;
+
+fn arb_point(rng: &mut SmallRng) -> Point {
+    Point::new(rng.gen_range(-200i64..200), rng.gen_range(-200i64..200))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn direct_paths_are_shortest_paths(start in arb_point(), end in arb_point(), seed in any::<u64>()) {
+#[test]
+fn direct_paths_are_shortest_paths() {
+    let mut meta = SmallRng::seed_from_u64(201);
+    for _ in 0..CASES {
+        let start = arb_point(&mut meta);
+        let end = arb_point(&mut meta);
+        let seed: u64 = meta.gen();
         let mut rng = SmallRng::seed_from_u64(seed);
         let d = start.l1_distance(end);
         let path = DirectPathWalker::new(start, end).collect_path(&mut rng);
-        prop_assert_eq!(path.len() as u64, d);
+        assert_eq!(path.len() as u64, d);
         let mut prev = start;
         for (i, &node) in path.iter().enumerate() {
-            prop_assert!(prev.is_adjacent(node), "non-adjacent at step {}", i);
-            prop_assert_eq!(start.l1_distance(node), i as u64 + 1, "off-ring at step {}", i);
+            assert!(prev.is_adjacent(node), "non-adjacent at step {i}");
+            assert_eq!(
+                start.l1_distance(node),
+                i as u64 + 1,
+                "off-ring at step {i}"
+            );
             prev = node;
         }
         if d > 0 {
-            prop_assert_eq!(*path.last().unwrap(), end);
+            assert_eq!(*path.last().unwrap(), end);
         }
     }
+}
 
-    #[test]
-    fn direct_path_nodes_minimize_distance_to_segment(
-        start in arb_point(),
-        dx in -40i64..40,
-        dy in -40i64..40,
-        seed in any::<u64>(),
-    ) {
-        let end = start + Point::new(dx, dy);
+#[test]
+fn direct_path_nodes_minimize_distance_to_segment() {
+    let mut meta = SmallRng::seed_from_u64(202);
+    for _ in 0..CASES {
+        let start = arb_point(&mut meta);
+        let end = start + Point::new(meta.gen_range(-40i64..40), meta.gen_range(-40i64..40));
+        let seed: u64 = meta.gen();
         let mut rng = SmallRng::seed_from_u64(seed);
         let path = DirectPathWalker::new(start, end).collect_path(&mut rng);
         let seg = SegmentPoints::new(start, end);
@@ -50,102 +58,146 @@ proptest! {
             let w = seg.point_at(i);
             let mine = w.l2_distance_sq_num(node);
             for other in Ring::new(start, i).iter() {
-                prop_assert!(mine <= w.l2_distance_sq_num(other),
-                    "step {} node {} beaten by {}", i, node, other);
+                assert!(
+                    mine <= w.l2_distance_sq_num(other),
+                    "step {i} node {node} beaten by {other}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn marginal_node_lies_on_both_rings(
-        start in arb_point(),
-        end in arb_point(),
-        frac in 0.01f64..0.99,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn marginal_node_lies_on_both_rings() {
+    let mut meta = SmallRng::seed_from_u64(203);
+    let mut cases = 0;
+    while cases < CASES {
+        let start = arb_point(&mut meta);
+        let end = arb_point(&mut meta);
+        let frac = meta.gen_range(0.01f64..0.99);
+        let seed: u64 = meta.gen();
         let d = start.l1_distance(end);
-        prop_assume!(d >= 2);
+        if d < 2 {
+            continue;
+        }
+        cases += 1;
         let i = ((d as f64 * frac).ceil() as u64).clamp(1, d);
         let mut rng = SmallRng::seed_from_u64(seed);
         let node = direct_path_node_at(start, end, i, &mut rng);
-        prop_assert_eq!(start.l1_distance(node), i);
-        prop_assert_eq!(end.l1_distance(node), d - i, "shortest-path consistency");
+        assert_eq!(start.l1_distance(node), i);
+        assert_eq!(end.l1_distance(node), d - i, "shortest-path consistency");
     }
+}
 
-    #[test]
-    fn ring_index_bijection(center in arb_point(), d in 0u64..64) {
+#[test]
+fn ring_index_bijection() {
+    let mut meta = SmallRng::seed_from_u64(204);
+    for _ in 0..CASES {
+        let center = arb_point(&mut meta);
+        let d = meta.gen_range(0u64..64);
         let ring = Ring::new(center, d);
         for index in 0..ring.len() {
             let p = ring.node_at(index);
-            prop_assert_eq!(ring.index_of(p), Some(index));
-            prop_assert_eq!(center.l1_distance(p), d);
+            assert_eq!(ring.index_of(p), Some(index));
+            assert_eq!(center.l1_distance(p), d);
         }
     }
+}
 
-    #[test]
-    fn spiral_prefix_covers_square(center in arb_point(), r in 0u64..12) {
+#[test]
+fn spiral_prefix_covers_square() {
+    let mut meta = SmallRng::seed_from_u64(205);
+    for _ in 0..CASES {
+        let center = arb_point(&mut meta);
+        let r = meta.gen_range(0u64..12);
         let n = Spiral::steps_to_cover(r) as usize;
         let covered: std::collections::HashSet<Point> = Spiral::new(center).take(n).collect();
         let square = Square::new(center, r);
-        prop_assert_eq!(covered.len() as u64, square.len());
+        assert_eq!(covered.len() as u64, square.len());
         for p in square.iter() {
-            prop_assert!(covered.contains(&p));
+            assert!(covered.contains(&p));
         }
     }
+}
 
-    #[test]
-    fn walk_moves_one_edge_per_step(alpha in 1.2f64..4.0, seed in any::<u64>()) {
+#[test]
+fn walk_moves_one_edge_per_step() {
+    let mut meta = SmallRng::seed_from_u64(206);
+    for _ in 0..CASES {
+        let alpha = meta.gen_range(1.2f64..4.0);
+        let seed: u64 = meta.gen();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut walk = LevyWalk::new(alpha, Point::ORIGIN).expect("alpha valid");
         let mut prev = walk.position();
         for t in 1..=300u64 {
             let next = walk.step(&mut rng);
-            prop_assert!(prev.l1_distance(next) <= 1);
-            prop_assert_eq!(walk.time(), t);
+            assert!(prev.l1_distance(next) <= 1);
+            assert_eq!(walk.time(), t);
             prev = next;
         }
     }
+}
 
-    #[test]
-    fn hitting_time_bounded_by_budget_and_distance(
-        alpha in 1.5f64..3.5,
-        ell in 1u64..60,
-        budget in 1u64..4000,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn hitting_time_bounded_by_budget_and_distance() {
+    let mut meta = SmallRng::seed_from_u64(207);
+    for _ in 0..CASES {
+        let alpha = meta.gen_range(1.5f64..3.5);
+        let ell = meta.gen_range(1u64..60);
+        let budget = meta.gen_range(1u64..4000);
+        let seed: u64 = meta.gen();
         let jumps = JumpLengthDistribution::new(alpha).expect("valid alpha");
         let mut rng = SmallRng::seed_from_u64(seed);
         let target = Point::new(ell as i64, 0);
         if let Some(t) = levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, &mut rng) {
-            prop_assert!(t >= ell, "hit time {} below distance {}", t, ell);
-            prop_assert!(t <= budget, "hit time {} beyond budget {}", t, budget);
+            assert!(t >= ell, "hit time {t} below distance {ell}");
+            assert!(t <= budget, "hit time {t} beyond budget {budget}");
         }
     }
+}
 
-    #[test]
-    fn tie_count_is_symmetric_under_reflection(dx in -60i64..60, dy in -60i64..60) {
+#[test]
+fn tie_count_is_symmetric_under_reflection() {
+    let mut meta = SmallRng::seed_from_u64(208);
+    for _ in 0..CASES {
+        let dx = meta.gen_range(-60i64..60);
+        let dy = meta.gen_range(-60i64..60);
         let a = count_tie_positions(Point::ORIGIN, Point::new(dx, dy));
         let b = count_tie_positions(Point::ORIGIN, Point::new(-dx, dy));
         let c = count_tie_positions(Point::ORIGIN, Point::new(dy, dx));
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(a, c);
+        assert_eq!(a, b, "dx={dx}, dy={dy}");
+        assert_eq!(a, c, "dx={dx}, dy={dy}");
     }
+}
 
-    #[test]
-    fn jump_distribution_moments_consistent(alpha in 2.05f64..5.0) {
-        let d = JumpLengthDistribution::new(alpha).expect("valid");
+#[test]
+fn jump_distribution_moments_consistent() {
+    let mut meta = SmallRng::seed_from_u64(209);
+    for _ in 0..CASES {
+        let alpha = meta.gen_range(2.05f64..5.0);
+        let d = JumpLengthDistribution::new_untabled(alpha).expect("valid");
         // pmf decreasing, cdf increasing, tail decreasing.
-        prop_assert!(d.pmf(1) >= d.pmf(2));
-        prop_assert!(d.cdf(10) <= d.cdf(20));
-        prop_assert!(d.tail(10) >= d.tail(20));
+        assert!(d.pmf(1) >= d.pmf(2));
+        assert!(d.cdf(10) <= d.cdf(20));
+        assert!(d.tail(10) >= d.tail(20));
         let total = d.cdf(50) + d.tail(51);
-        prop_assert!((total - 1.0).abs() < 1e-6);
+        assert!((total - 1.0).abs() < 1e-6, "alpha={alpha}: {total}");
     }
+}
 
-    #[test]
-    fn seed_streams_never_collide_along_paths(master in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
-        prop_assume!(a != b);
+#[test]
+fn seed_streams_never_collide_along_paths() {
+    let mut meta = SmallRng::seed_from_u64(210);
+    let mut cases = 0;
+    while cases < CASES {
+        let master: u64 = meta.gen();
+        let a = meta.gen_range(0u64..1000);
+        let b = meta.gen_range(0u64..1000);
+        if a == b {
+            continue;
+        }
+        cases += 1;
         let root = SeedStream::new(master);
-        prop_assert_ne!(root.child(a).seed(), root.child(b).seed());
+        assert_ne!(root.child(a).seed(), root.child(b).seed());
     }
 }

@@ -13,14 +13,8 @@ fn characteristic_time_saturates_hit_probability() {
     let alpha = 2.5;
     let ell = 48u64;
     let t_char = characteristic_time(alpha, ell).ceil() as u64;
-    let at_char = measure_single_walk(
-        alpha,
-        &MeasurementConfig::new(ell, t_char, 20_000, 3),
-    );
-    let at_four = measure_single_walk(
-        alpha,
-        &MeasurementConfig::new(ell, 4 * t_char, 20_000, 3),
-    );
+    let at_char = measure_single_walk(alpha, &MeasurementConfig::new(ell, t_char, 20_000, 3));
+    let at_four = measure_single_walk(alpha, &MeasurementConfig::new(ell, 4 * t_char, 20_000, 3));
     let ratio = at_four.hit_rate() / at_char.hit_rate().max(1e-9);
     assert!(
         ratio < 4.0,
@@ -85,8 +79,7 @@ fn mu_nu_are_bounded_by_log() {
 fn parallel_target_matches_problem_lower_bound() {
     for (k, ell) in [(1u64, 10u64), (16, 100), (1000, 1000)] {
         let via_theory = parallel_target(k, ell);
-        let via_problem =
-            SearchProblem::at_distance(ell, k as usize, 1).universal_lower_bound();
+        let via_problem = SearchProblem::at_distance(ell, k as usize, 1).universal_lower_bound();
         assert!((via_theory - via_problem).abs() < 1e-9);
     }
 }

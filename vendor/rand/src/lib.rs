@@ -1,0 +1,338 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The workspace builds in environments without crates.io access, so this
+//! crate re-implements exactly the slice of `rand` the repository uses:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the core generator traits, including
+//!   `seed_from_u64` with SplitMix64 seed expansion;
+//! * [`Rng`] — the user-facing extension trait with `gen`, `gen_range`
+//!   (Lemire unbiased integer ranges) and `gen_bool`;
+//! * [`rngs::SmallRng`] — xoshiro256++, the same algorithm rand 0.8 uses
+//!   for `SmallRng` on 64-bit targets.
+//!
+//! Streams are deterministic per seed but are **not** guaranteed to be
+//! bit-identical to upstream `rand`; the workspace's reproducibility
+//! contract is "identical across thread counts and runs for a fixed seed",
+//! which this crate provides.
+
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of uniform bits.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, e.g. `[u8; 32]`.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it to a full seed with
+    /// SplitMix64 (the same scheme as `rand_core`).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (including trait objects).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution
+    /// (uniform bits for integers, `[0, 1)` for floats, fair coin for
+    /// `bool`).
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive). Integer
+    /// ranges use Lemire's unbiased multiply-shift rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can be sampled uniformly (mirrors `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform-range sampling routine (mirrors `SampleUniform`).
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// Unbiased uniform draw from `[0, bound)` via Lemire's multiply-shift.
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(bound: u64, rng: &mut R) -> u64 {
+    debug_assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                // Width computed in u64 space; signed types wrap correctly
+                // because two's-complement subtraction is order-preserving.
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                let bound = if inclusive {
+                    if span == u64::MAX {
+                        // Full-width inclusive range: every value is fair.
+                        return rng.next_u64() as $t;
+                    }
+                    assert!(hi >= lo, "cannot sample empty range");
+                    span + 1
+                } else {
+                    assert!(hi > lo, "cannot sample empty range");
+                    span
+                };
+                lo.wrapping_add(uniform_u64_below(bound, rng) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let u: $t = Standard.sample(rng);
+                let v = lo + u * (hi - lo);
+                // Guard against rounding up to the open endpoint.
+                if v >= hi { lo } else { v }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0..7usize);
+            assert!(x < 7);
+            let y = rng.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&y));
+            let z = rng.gen_range(2.0..3.0f64);
+            assert!((2.0..3.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_integers_are_unbiased_enough() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0u64; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.01, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn bool_is_fair() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let heads = (0..100_000).filter(|_| rng.gen::<bool>()).count();
+        let frac = heads as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn trait_objects_are_rngs() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x: u64 = dyn_rng.gen();
+        let _ = x;
+        let y = dyn_rng.gen_range(0..10u64);
+        assert!(y < 10);
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let _ = rng.gen_range(5..5u64);
+    }
+}
