@@ -67,6 +67,21 @@ impl ExponentStrategy {
         matches!(self, ExponentStrategy::OptimalForScale { .. })
     }
 
+    /// The common per-walk exponent when the strategy is deterministic:
+    /// `Some` for [`ExponentStrategy::Fixed`] and
+    /// [`ExponentStrategy::OptimalForScale`] (whose [`Self::draw`] consumes
+    /// no randomness), `None` for the continuous-random strategies.
+    ///
+    /// Simulators of many walks use this to build one shared (tabled) jump
+    /// distribution up front instead of one per walk.
+    pub fn fixed_exponent(&self) -> Option<f64> {
+        match *self {
+            ExponentStrategy::Fixed(alpha) => Some(alpha),
+            ExponentStrategy::OptimalForScale { k, ell } => Some(optimal_exponent(k, ell)),
+            ExponentStrategy::UniformSuperdiffusive | ExponentStrategy::UniformRange { .. } => None,
+        }
+    }
+
     /// A short human-readable label used in reports.
     pub fn label(&self) -> String {
         match *self {
@@ -229,6 +244,24 @@ mod tests {
         assert!(ExponentStrategy::OptimalForScale { k: 10, ell: 100 }
             .label()
             .contains("α*"));
+    }
+
+    #[test]
+    fn fixed_exponent_reflects_determinism_of_draws() {
+        assert_eq!(ExponentStrategy::Fixed(2.4).fixed_exponent(), Some(2.4));
+        let scale = ExponentStrategy::OptimalForScale {
+            k: 100,
+            ell: 10_000,
+        };
+        assert_eq!(scale.fixed_exponent(), Some(optimal_exponent(100, 10_000)));
+        assert_eq!(
+            ExponentStrategy::UniformSuperdiffusive.fixed_exponent(),
+            None
+        );
+        assert_eq!(
+            ExponentStrategy::UniformRange { lo: 2.1, hi: 2.9 }.fixed_exponent(),
+            None
+        );
     }
 
     #[test]

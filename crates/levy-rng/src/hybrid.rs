@@ -15,9 +15,12 @@
 //!   f64 rounding any sampler has);
 //! * a bounded global cache interns tables by exponent bit pattern, so
 //!   every `JumpLengthDistribution::new(α)` for a repeated `α` (fixed
-//!   exponents, sweep grids) reuses one table with zero construction cost.
+//!   exponents, sweep grids) reuses one table with zero construction cost;
+//!   when the cache is full the oldest entry is evicted and rebuilt on
+//!   demand, so a request is *always* served — the RNG stream a tabled
+//!   distribution consumes never depends on cache state.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use rand::Rng;
 
@@ -235,41 +238,51 @@ pub fn sample_zeta_above<R: Rng + ?Sized>(alpha: f64, m: u64, rng: &mut R) -> u6
 /// ~48 MiB, far beyond what any experiment sweep reaches in practice.
 const CACHE_CAP: usize = 64;
 
-type TableCache = Mutex<Vec<(u64, Arc<JumpTable>)>>;
+type TableCache = RwLock<Vec<(u64, Arc<JumpTable>)>>;
 
 static TABLE_CACHE: OnceLock<TableCache> = OnceLock::new();
 
 /// Returns the interned table for `alpha`, building and caching it on
 /// first use.
 ///
-/// Returns `None` once [`CACHE_CAP`] *distinct* exponents have been
-/// interned: workloads drawing exponents from a continuous distribution
-/// (e.g. `ExponentStrategy::UniformSuperdiffusive`, a fresh α per walk)
-/// would otherwise pay a table construction per trial and grow the cache
-/// without bound; they keep the seed Devroye path instead, which is the
-/// right cost model for a distribution that is sampled a handful of times.
-pub(crate) fn cached_table(alpha: f64) -> Option<Arc<JumpTable>> {
+/// The cache is read-mostly: lookups take a shared lock, so concurrent
+/// workers reusing interned exponents do not serialize on each other. When
+/// more than [`CACHE_CAP`] distinct exponents have been interned, the
+/// oldest entry is evicted (insertion order — true LRU would need a
+/// recency write on every hit, defeating the shared-lock read path) and a
+/// re-requested evicted exponent simply rebuilds its table. A request is
+/// therefore *always* served, so a sweep over arbitrarily many exponents
+/// never silently loses the table speedup, and the RNG words a tabled
+/// distribution consumes are a function of the exponent alone — never of
+/// cache admission order, thread scheduling, or which experiments ran
+/// earlier in the process.
+///
+/// Workloads drawing a fresh continuous exponent per trial (e.g.
+/// `ExponentStrategy::UniformSuperdiffusive`, a fresh α per walk) should
+/// not intern at all — paying a table build for a distribution sampled a
+/// handful of times is the wrong cost model and would thrash the cache.
+/// They use `JumpLengthDistribution::new_untabled`, which never calls
+/// this function.
+pub(crate) fn cached_table(alpha: f64) -> Arc<JumpTable> {
     let bits = alpha.to_bits();
-    let cache = TABLE_CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let cache = TABLE_CACHE.get_or_init(|| RwLock::new(Vec::new()));
     {
-        let guard = cache.lock().expect("jump-table cache poisoned");
+        let guard = cache.read().expect("jump-table cache poisoned");
         if let Some((_, table)) = guard.iter().find(|(b, _)| *b == bits) {
-            return Some(Arc::clone(table));
-        }
-        if guard.len() >= CACHE_CAP {
-            return None;
+            return Arc::clone(table);
         }
     }
     // Build outside the lock: construction is ~ms-scale for big tables.
     let table = Arc::new(JumpTable::with_target_tail(alpha));
-    let mut guard = cache.lock().expect("jump-table cache poisoned");
+    let mut guard = cache.write().expect("jump-table cache poisoned");
     if let Some((_, existing)) = guard.iter().find(|(b, _)| *b == bits) {
-        return Some(Arc::clone(existing));
+        return Arc::clone(existing);
     }
-    if guard.len() < CACHE_CAP {
-        guard.push((bits, Arc::clone(&table)));
+    if guard.len() >= CACHE_CAP {
+        guard.remove(0);
     }
-    Some(table)
+    guard.push((bits, Arc::clone(&table)));
+    table
 }
 
 #[cfg(test)]
@@ -420,10 +433,26 @@ mod tests {
     }
 
     #[test]
-    fn cached_tables_are_shared() {
-        let a = cached_table(2.875).expect("cache not full in tests");
-        let b = cached_table(2.875).expect("cache not full in tests");
+    fn cached_tables_are_shared_and_cap_evicts_rather_than_refuses() {
+        // One test (not two) so the flood below cannot race the ptr_eq
+        // check through the process-global cache.
+        let a = cached_table(2.875);
+        let b = cached_table(2.875);
         assert!(Arc::ptr_eq(&a, &b));
+        // Intern more distinct exponents than the cache holds: every
+        // request must still be served (eviction, not refusal), so sweeps
+        // past CACHE_CAP alphas keep the table path.
+        for i in 0..(CACHE_CAP + 8) {
+            let alpha = 4.0 + i as f64 * 0.015_625;
+            let t = cached_table(alpha);
+            assert_eq!(t.alpha(), alpha);
+        }
+        // An evicted exponent is rebuilt on demand with identical shape
+        // (tables are pure functions of α, so eviction never changes draws).
+        let c = cached_table(2.875);
+        assert_eq!(c.alpha(), a.alpha());
+        assert_eq!(c.cutoff(), a.cutoff());
+        assert_eq!(c.tail_mass(), a.tail_mass());
     }
 
     #[test]

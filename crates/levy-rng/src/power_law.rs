@@ -52,8 +52,8 @@ pub struct JumpLengthDistribution {
     norm: f64,
     /// Cached `ζ(α)`.
     zeta_alpha: f64,
-    /// Shared alias table for the head of the law (`None` when the global
-    /// table cache is saturated or construction was opted out of).
+    /// Shared alias table for the head of the law (`None` only when built
+    /// via [`Self::new_untabled`]).
     table: Option<Arc<JumpTable>>,
 }
 
@@ -87,13 +87,19 @@ impl std::error::Error for InvalidExponentError {}
 impl JumpLengthDistribution {
     /// Creates the jump law for exponent `alpha`.
     ///
+    /// The returned law always carries the interned alias-table accelerator
+    /// (see [`crate::JumpTable`]): attachment is unconditional, so the RNG
+    /// words [`Self::sample`] consumes are a function of the exponent alone
+    /// — never of global cache state, thread scheduling, or process
+    /// history. Reproducibility of seeded experiments relies on this.
+    ///
     /// # Errors
     ///
     /// Returns [`InvalidExponentError`] if `alpha` is not finite or is below
     /// `1 + ε` (Remark 3.5 of the paper assumes `α >= 1 + ε`).
     pub fn new(alpha: f64) -> Result<Self, InvalidExponentError> {
         let mut law = Self::new_untabled(alpha)?;
-        law.table = cached_table(alpha);
+        law.table = Some(cached_table(alpha));
         Ok(law)
     }
 
@@ -101,8 +107,11 @@ impl JumpLengthDistribution {
     /// positive draw goes through the Devroye rejection sampler.
     ///
     /// Use this for throwaway distributions that are sampled only a few
-    /// times, and as the baseline in sampler benchmarks. The sampled law is
-    /// identical to [`JumpLengthDistribution::new`].
+    /// times — in particular for workloads drawing a fresh continuous
+    /// exponent per trial (strategy-drawn parallel walks), where a table
+    /// build per handful of draws is wasted work — and as the baseline in
+    /// sampler benchmarks. The sampled law is identical to
+    /// [`JumpLengthDistribution::new`].
     ///
     /// # Errors
     ///
@@ -187,12 +196,11 @@ impl JumpLengthDistribution {
 
     /// Draws a jump length: 0 with probability 1/2, otherwise a zeta draw.
     ///
-    /// Dispatches to the shared alias table when one is attached (the
-    /// common case — see [`crate::JumpTable`]); otherwise uses the seed
-    /// coin + Devroye path. Both paths sample exactly the law of Eq. (3),
-    /// but they consume the RNG differently, so switching between
-    /// [`Self::new`] and [`Self::new_untabled`] changes individual draws
-    /// (not the distribution).
+    /// Dispatches to the shared alias table when built via [`Self::new`]
+    /// (see [`crate::JumpTable`]); uses the coin + Devroye path when built
+    /// via [`Self::new_untabled`]. Both paths sample exactly the law of
+    /// Eq. (3), but they consume the RNG differently, so switching
+    /// constructors changes individual draws (not the distribution).
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match &self.table {

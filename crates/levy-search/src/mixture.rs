@@ -33,6 +33,10 @@ use crate::strategy::SearchStrategy;
 #[derive(Debug, Clone)]
 pub struct MixtureSearch {
     palette: Vec<f64>,
+    /// One pre-built (tabled) jump law per palette entry, constructed once
+    /// so `run` touches neither the zeta normalization nor the global
+    /// table cache in its per-agent loop.
+    laws: Vec<JumpLengthDistribution>,
 }
 
 impl MixtureSearch {
@@ -44,13 +48,17 @@ impl MixtureSearch {
     /// `(1, ∞)`.
     pub fn new(palette: Vec<f64>) -> Self {
         assert!(!palette.is_empty(), "palette must not be empty");
-        for &a in &palette {
-            assert!(
-                a.is_finite() && a > 1.0,
-                "exponent {a} outside the admissible range (1, ∞)"
-            );
-        }
-        MixtureSearch { palette }
+        let laws = palette
+            .iter()
+            .map(|&a| {
+                assert!(
+                    a.is_finite() && a > 1.0,
+                    "exponent {a} outside the admissible range (1, ∞)"
+                );
+                JumpLengthDistribution::new(a).expect("admissible exponent")
+            })
+            .collect();
+        MixtureSearch { palette, laws }
     }
 
     /// An evenly spaced grid of `n` exponents strictly inside `(2, 3)`:
@@ -88,10 +96,9 @@ impl SearchStrategy for MixtureSearch {
         let mut best: Option<u64> = None;
         let mut remaining = problem.budget;
         for j in 0..problem.num_agents {
-            let alpha = self.palette[j % self.palette.len()];
-            let jumps = JumpLengthDistribution::new(alpha).expect("validated at construction");
+            let jumps = &self.laws[j % self.laws.len()];
             if let Some(t) =
-                levy_walk_hitting_time(&jumps, problem.source, problem.target, remaining, rng)
+                levy_walk_hitting_time(jumps, problem.source, problem.target, remaining, rng)
             {
                 if best.is_none_or(|b| t < b) {
                     best = Some(t);

@@ -41,6 +41,12 @@ impl ParallelHit {
 /// drawn from `strategy`, and returns their parallel hitting time for
 /// `target` within `budget` steps.
 ///
+/// The result is a pure function of `(k, strategy, start, target, budget)`
+/// and the RNG state: strategy-drawn continuous exponents always sample via
+/// the exact Devroye path and fixed exponents always sample via the alias
+/// table, so no global cache state or thread scheduling can perturb the
+/// stream of a seeded run.
+///
 /// # Examples
 ///
 /// ```
@@ -72,15 +78,32 @@ pub fn parallel_hitting_time<R: Rng + ?Sized>(
     budget: u64,
     rng: &mut R,
 ) -> ParallelHit {
+    // Deterministic strategies share one tabled distribution across all k
+    // walks (no per-walk construction or table-cache traffic in the hot
+    // loop). Random strategies draw a fresh exponent per walk and stay on
+    // the untabled Devroye path: a table build per handful of draws is the
+    // wrong cost model, and — crucially for reproducibility — the RNG
+    // stream must never depend on which exponents happen to sit in the
+    // process-global table cache.
+    let shared = strategy.fixed_exponent().map(|alpha| {
+        JumpLengthDistribution::new(alpha).expect("exponent strategies yield valid exponents")
+    });
     let mut exponents = Vec::with_capacity(k);
     let mut best: Option<(u64, usize)> = None;
     let mut remaining = budget;
     for walk_index in 0..k {
         let alpha = strategy.draw(rng);
         exponents.push(alpha);
-        let jumps =
-            JumpLengthDistribution::new(alpha).expect("exponent strategies yield valid exponents");
-        if let Some(t) = levy_walk_hitting_time(&jumps, start, target, remaining, rng) {
+        let fresh;
+        let jumps = match &shared {
+            Some(jumps) => jumps,
+            None => {
+                fresh = JumpLengthDistribution::new_untabled(alpha)
+                    .expect("exponent strategies yield valid exponents");
+                &fresh
+            }
+        };
+        if let Some(t) = levy_walk_hitting_time(jumps, start, target, remaining, rng) {
             // Min over walks; `remaining` guarantees t <= current best.
             if best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, walk_index));
@@ -235,6 +258,39 @@ mod tests {
             .count();
         let (pa, pb) = (a as f64 / trials as f64, b as f64 / trials as f64);
         assert!((pa - pb).abs() < 0.05, "common {pa} vs strategy {pb}");
+    }
+
+    #[test]
+    fn strategy_results_are_independent_of_global_table_cache_state() {
+        // Regression: strategy-drawn exponents used to go through
+        // `JumpLengthDistribution::new`, whose table attachment depended on
+        // a bounded global cache — so seeded results varied with which
+        // exponents other code had interned first. Drawn exponents now stay
+        // on the untabled Devroye path unconditionally.
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(99);
+            (0..20)
+                .map(|_| {
+                    parallel_hitting_time(
+                        4,
+                        &ExponentStrategy::UniformSuperdiffusive,
+                        Point::ORIGIN,
+                        Point::new(6, 0),
+                        2_000,
+                        &mut rng,
+                    )
+                    .time
+                })
+                .collect::<Vec<_>>()
+        };
+        let before = run();
+        // Churn the process-global table cache past its capacity with fresh
+        // fixed exponents between the two seeded runs.
+        for i in 0..72 {
+            let _ = JumpLengthDistribution::new(4.0 + i as f64 * 0.015_625).unwrap();
+        }
+        let after = run();
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -232,8 +232,19 @@ macro_rules! impl_sample_uniform_float {
                 assert!(lo < hi, "cannot sample empty range");
                 let u: $t = Standard.sample(rng);
                 let v = lo + u * (hi - lo);
-                // Guard against rounding up to the open endpoint.
-                if v >= hi { lo } else { v }
+                // Rounding can land on the open endpoint; step down one ulp
+                // instead of wrapping to `lo`, which would give `lo` double
+                // mass. The predecessor of `hi` is >= `lo` since `lo < hi`.
+                if v < hi {
+                    v
+                } else if hi > 0.0 {
+                    <$t>::from_bits(hi.to_bits() - 1)
+                } else if hi < 0.0 {
+                    <$t>::from_bits(hi.to_bits() + 1)
+                } else {
+                    // hi == 0.0 (so lo < 0): largest value below zero.
+                    -<$t>::from_bits(1)
+                }
             }
         }
     )*};
@@ -286,6 +297,25 @@ mod tests {
             assert!((-3..=3).contains(&y));
             let z = rng.gen_range(2.0..3.0f64);
             assert!((2.0..3.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_gen_range_endpoint_rounding_steps_down_not_to_lo() {
+        // In a two-ulp range, `lo + u * (hi - lo)` rounds onto `hi` for
+        // roughly half of all u; the guard must return hi's predecessor
+        // (== lo here, the only representable value below hi) and never hi
+        // itself. Also cover the hi == 0.0 and hi < 0.0 branches.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let lo = 1.0f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(lo..hi);
+            assert!(x >= lo && x < hi, "x = {x:e}");
+            let y = rng.gen_range(-1.0..0.0f64);
+            assert!((-1.0..0.0).contains(&y), "y = {y:e}");
+            let z = rng.gen_range(-2.0..-1.0f64);
+            assert!((-2.0..-1.0).contains(&z), "z = {z:e}");
         }
     }
 
