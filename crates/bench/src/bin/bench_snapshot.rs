@@ -1,6 +1,6 @@
-//! Bench snapshot pipeline: regenerates `BENCH_runner.json` and
-//! `BENCH_sampler.json` at the repository root (`scripts/bench_snapshot.sh`
-//! is the entry point).
+//! Bench snapshot pipeline: regenerates `BENCH_runner.json`,
+//! `BENCH_sampler.json`, and `BENCH_server.json` at the repository root
+//! (`scripts/bench_snapshot.sh` is the entry point).
 //!
 //! Three hot paths are timed at fixed seeds:
 //!
@@ -20,8 +20,9 @@
 //! contiguous chunk per worker) execute.
 //!
 //! `--smoke` (or `LEVY_BENCH_SMOKE=1`) shrinks every workload and writes
-//! under `results/` instead of the repository root, so CI can exercise the
-//! pipeline in seconds without touching the committed snapshots.
+//! under the results directory (`LEVY_RESULTS_DIR`, default `results/`)
+//! instead of the repository root, so CI can exercise the pipeline in
+//! seconds without touching the committed snapshots.
 
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -293,13 +294,157 @@ fn sampler_snapshot(smoke: bool) -> Json {
     ])
 }
 
+/// Serving throughput: an in-process `levyd` core timed over real TCP.
+///
+/// Three measurements, all on E6-style parallel queries:
+///
+/// * **cold** — distinct seeds, every request simulates;
+/// * **cached** — the same queries replayed, every request is a memory
+///   hit (and the bodies must be byte-identical to the cold run);
+/// * **dedup** — N concurrent identical cold requests, which must cost
+///   exactly one simulation (`dedup_factor = N / simulations`).
+fn server_snapshot(smoke: bool) -> Json {
+    use levy_served::server::{Server, ServerConfig};
+    use levy_served::{CacheConfig, Client};
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Barrier};
+
+    let distinct: u64 = if smoke { 4 } else { 16 };
+    let trials: u64 = if smoke { 100 } else { 300 };
+    let dedup_clients: usize = if smoke { 4 } else { 8 };
+    let query = |seed: u64| {
+        format!(
+            r#"{{"kind":"parallel","strategy":"optimal","k":8,"ell":16,"budget":4000,"trials":{trials},"seed":{seed}}}"#
+        )
+    };
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        sim_threads: 2,
+        queue_capacity: 64,
+        cache: CacheConfig {
+            mem_capacity: 256,
+            disk_capacity: 0,
+            dir: None,
+        },
+        default_timeout_ms: 120_000,
+        quiet: true,
+    })
+    .expect("server starts");
+    let client = Client::new(&server.addr().to_string());
+
+    let mut cold_bodies = Vec::with_capacity(distinct as usize);
+    let cold_start = Instant::now();
+    for seed in 0..distinct {
+        let response = client.post("/v1/query", &query(seed)).expect("cold query");
+        assert_eq!(response.status, 200, "cold query failed");
+        cold_bodies.push(response.body);
+    }
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+
+    let mut replay_identical = true;
+    let cached_start = Instant::now();
+    for seed in 0..distinct {
+        let response = client
+            .post("/v1/query", &query(seed))
+            .expect("cached query");
+        assert_eq!(response.status, 200, "cached query failed");
+        replay_identical &= response.body == cold_bodies[seed as usize];
+    }
+    let cached_secs = cached_start.elapsed().as_secs_f64();
+
+    // Dedup: a fresh key, N clients racing from a barrier.
+    let dedup_body = query(1_000_000);
+    let before = server.stats().simulations_started.load(Ordering::Relaxed);
+    let barrier = Arc::new(Barrier::new(dedup_clients));
+    let handles: Vec<_> = (0..dedup_clients)
+        .map(|_| {
+            let client = client.clone();
+            let body = dedup_body.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                client.post("/v1/query", &body).expect("dedup query").status
+            })
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.join().expect("client thread"), 200);
+    }
+    let dedup_simulations = server.stats().simulations_started.load(Ordering::Relaxed) - before;
+    let dedup_factor = dedup_clients as f64 / dedup_simulations.max(1) as f64;
+
+    let cold_rps = distinct as f64 / cold_secs;
+    let cached_rps = distinct as f64 / cached_secs;
+    let cache_speedup = cached_rps / cold_rps.max(1e-12);
+    println!(
+        "server: cold {cold_rps:.1} req/s vs cached {cached_rps:.1} req/s -> {cache_speedup:.1}x; \
+         {dedup_clients} concurrent identical queries cost {dedup_simulations} simulation(s)"
+    );
+    let stats = server.stats().to_json();
+    server.shutdown();
+
+    Json::obj([
+        ("schema", Json::from("levy-bench/server-v1")),
+        (
+            "workload",
+            Json::obj([
+                (
+                    "query",
+                    Json::from("E6-style: parallel, optimal strategy, k=8, ell=16, budget=4000"),
+                ),
+                ("trials_per_query", Json::from(trials)),
+                ("distinct_queries", Json::from(distinct)),
+                ("workers", Json::from(2u64)),
+                ("sim_threads", Json::from(2u64)),
+            ]),
+        ),
+        (
+            "cold",
+            Json::obj([
+                ("requests", Json::from(distinct)),
+                ("secs", Json::from(cold_secs)),
+                ("requests_per_sec", Json::from(cold_rps)),
+            ]),
+        ),
+        (
+            "cached",
+            Json::obj([
+                ("requests", Json::from(distinct)),
+                ("secs", Json::from(cached_secs)),
+                ("requests_per_sec", Json::from(cached_rps)),
+                (
+                    "bodies_byte_identical_to_cold",
+                    Json::from(replay_identical),
+                ),
+            ]),
+        ),
+        ("cache_speedup", Json::from(cache_speedup)),
+        (
+            "dedup",
+            Json::obj([
+                ("concurrent_clients", Json::from(dedup_clients as u64)),
+                ("simulations", Json::from(dedup_simulations)),
+                ("factor", Json::from(dedup_factor)),
+            ]),
+        ),
+        ("counters", stats),
+        ("smoke", Json::from(smoke)),
+    ])
+}
+
 fn main() {
     let smoke = smoke_mode();
     let out_dir = if smoke {
-        repo_root().join("results")
+        // Honors LEVY_RESULTS_DIR like the exp_* binaries.
+        levy_bench::results_dir()
     } else {
         repo_root()
     };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("warning: could not create {}: {e}", out_dir.display());
+    }
     println!(
         "bench snapshot ({}) -> {}",
         if smoke { "smoke" } else { "full" },
@@ -315,4 +460,9 @@ fn main() {
     let sampler_path = out_dir.join("BENCH_sampler.json");
     write_json(&sampler, &sampler_path).expect("write BENCH_sampler.json");
     println!("[written {}]", sampler_path.display());
+
+    let server = server_snapshot(smoke);
+    let server_path = out_dir.join("BENCH_server.json");
+    write_json(&server, &server_path).expect("write BENCH_server.json");
+    println!("[written {}]", server_path.display());
 }

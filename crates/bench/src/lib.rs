@@ -40,12 +40,19 @@ impl Scale {
     }
 }
 
-/// Directory where experiment CSVs are written (`<workspace>/results`).
+/// Directory where experiment CSVs are written.
+///
+/// `LEVY_RESULTS_DIR` overrides the default `<workspace>/results`, so
+/// experiment runs (local, CI, or driven by `levyd` deployments) can be
+/// redirected without touching the checkout.
 pub fn results_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("results")
+    match std::env::var_os("LEVY_RESULTS_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("results"),
+    }
 }
 
 /// Prints the experiment banner.
@@ -59,7 +66,11 @@ pub fn banner(id: &str, paper_anchor: &str, claim: &str) {
 /// to stderr without failing the run.
 pub fn emit(table: &TextTable, file: &str) {
     print!("{}", table.render());
-    let path = results_dir().join(format!("{file}.csv"));
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+    }
+    let path = dir.join(format!("{file}.csv"));
     if let Err(e) = table.write_csv(&path) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
@@ -112,9 +123,20 @@ mod tests {
         assert_eq!(Scale::Full.pick(1, 2), 2);
     }
 
+    // One test for both behaviours: tests run in parallel threads, and
+    // splitting this would race on the process-wide env var.
     #[test]
-    fn results_dir_ends_with_results() {
+    fn results_dir_default_and_env_override() {
+        std::env::remove_var("LEVY_RESULTS_DIR");
         assert!(results_dir().ends_with("results"));
+        std::env::set_var("LEVY_RESULTS_DIR", "/tmp/levy-results-override");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/levy-results-override"));
+        std::env::set_var("LEVY_RESULTS_DIR", "");
+        assert!(
+            results_dir().ends_with("results"),
+            "empty value means default"
+        );
+        std::env::remove_var("LEVY_RESULTS_DIR");
     }
 
     #[test]

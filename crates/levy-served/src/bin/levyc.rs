@@ -1,0 +1,106 @@
+//! `levyc` — command-line client for `levyd`.
+//!
+//! ```text
+//! levyc [--addr HOST:PORT] [--timeout-ms MS] COMMAND [ARGS]
+//!
+//! commands:
+//!   health                     GET /healthz
+//!   stats                      GET /v1/stats
+//!   shutdown                   POST /v1/shutdown
+//!   query JSON                 POST /v1/query with the given body
+//!   query -                    POST /v1/query with the body from stdin
+//!   raw METHOD PATH [BODY]     arbitrary request (debugging)
+//! ```
+//!
+//! The response body goes to stdout; the status line and cache
+//! disposition (`X-Levy-Cache` / `X-Levy-Cache-Tier`) go to stderr.
+//! Exit status is 0 for 2xx responses, 1 otherwise.
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use levy_served::http::Response;
+use levy_served::Client;
+
+const USAGE: &str = "usage: levyc [--addr HOST:PORT] [--timeout-ms MS] \
+                     health|stats|shutdown|query JSON|raw METHOD PATH [BODY]";
+
+fn read_body_arg(arg: &str) -> Result<String, String> {
+    if arg == "-" {
+        let mut body = String::new();
+        std::io::stdin()
+            .read_to_string(&mut body)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(body)
+    } else {
+        Ok(arg.to_owned())
+    }
+}
+
+fn run() -> Result<Response, String> {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut timeout_ms: u64 = 120_000;
+    let mut args = std::env::args().skip(1).peekable();
+    loop {
+        match args.peek().map(String::as_str) {
+            Some("--addr") => {
+                args.next();
+                addr = args.next().ok_or_else(|| USAGE.to_owned())?;
+            }
+            Some("--timeout-ms") => {
+                args.next();
+                timeout_ms = args
+                    .next()
+                    .ok_or_else(|| USAGE.to_owned())?
+                    .parse()
+                    .map_err(|_| "--timeout-ms must be an integer".to_owned())?;
+            }
+            _ => break,
+        }
+    }
+    let client = Client::new(&addr).with_timeout(Duration::from_millis(timeout_ms.max(1)));
+    let command = args.next().ok_or_else(|| USAGE.to_owned())?;
+    let response = match command.as_str() {
+        "health" => client.get("/healthz"),
+        "stats" => client.get("/v1/stats"),
+        "shutdown" => client.post("/v1/shutdown", ""),
+        "query" => {
+            let body = read_body_arg(&args.next().ok_or_else(|| USAGE.to_owned())?)?;
+            client.post("/v1/query", &body)
+        }
+        "raw" => {
+            let method = args.next().ok_or_else(|| USAGE.to_owned())?;
+            let path = args.next().ok_or_else(|| USAGE.to_owned())?;
+            let body = match args.next() {
+                Some(arg) => read_body_arg(&arg)?,
+                None => String::new(),
+            };
+            client.request(&method.to_ascii_uppercase(), &path, body.as_bytes())
+        }
+        other => return Err(format!("unknown command {other}\n{USAGE}")),
+    };
+    response.map_err(|e| format!("request to {addr} failed: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(response) => {
+            eprintln!("HTTP {}", response.status);
+            if let Some(cache) = response.header("x-levy-cache") {
+                let tier = response.header("x-levy-cache-tier").unwrap_or("-");
+                eprintln!("cache: {cache} (tier: {tier})");
+            }
+            println!("{}", response.body_string().trim_end());
+            if (200..300).contains(&response.status) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("levyc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

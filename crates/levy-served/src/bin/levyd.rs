@@ -1,0 +1,101 @@
+//! `levyd` — the Lévy-walk simulation daemon.
+//!
+//! ```text
+//! levyd [--addr HOST:PORT] [--workers N] [--sim-threads N]
+//!       [--queue-capacity N] [--cache-dir DIR] [--mem-capacity N]
+//!       [--disk-capacity N] [--timeout-ms MS] [--quiet]
+//! ```
+//!
+//! Prints `levyd listening on ADDR` on stdout once the socket is bound
+//! (scripts parse this line to learn an ephemeral port), then serves
+//! until SIGTERM/SIGINT or `POST /v1/shutdown`, draining in-flight work
+//! before exiting.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use levy_served::server::{Server, ServerConfig};
+use levy_served::signal;
+
+const USAGE: &str = "usage: levyd [--addr HOST:PORT] [--workers N] [--sim-threads N] \
+                     [--queue-capacity N] [--cache-dir DIR] [--mem-capacity N] \
+                     [--disk-capacity N] [--timeout-ms MS] [--quiet]";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_owned())?;
+            }
+            "--sim-threads" => {
+                config.sim_threads = value("--sim-threads")?
+                    .parse()
+                    .map_err(|_| "--sim-threads must be an integer".to_owned())?;
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|_| "--queue-capacity must be an integer".to_owned())?;
+            }
+            "--cache-dir" => config.cache.dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--mem-capacity" => {
+                config.cache.mem_capacity = value("--mem-capacity")?
+                    .parse()
+                    .map_err(|_| "--mem-capacity must be an integer".to_owned())?;
+            }
+            "--disk-capacity" => {
+                config.cache.disk_capacity = value("--disk-capacity")?
+                    .parse()
+                    .map_err(|_| "--disk-capacity must be an integer".to_owned())?;
+            }
+            "--timeout-ms" => {
+                config.default_timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms must be an integer".to_owned())?;
+            }
+            "--quiet" => config.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signal::install_handlers();
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("levyd: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("levyd listening on {}", server.addr());
+
+    while !signal::termination_requested() && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("levyd: shutting down (draining in-flight work)");
+    server.shutdown();
+    ExitCode::SUCCESS
+}

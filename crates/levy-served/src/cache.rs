@@ -1,0 +1,379 @@
+//! Content-addressed result cache: in-memory LRU over an optional
+//! on-disk store.
+//!
+//! Keys are the FNV-1a-128 hex digests of canonical queries (see
+//! `request`), so a body cached under a key is *the* answer for every
+//! request that canonicalizes to it — seeded determinism makes hits
+//! exact, not approximate. The memory tier is LRU-bounded by entry
+//! count; the disk tier persists bodies as `<dir>/<key>.json` and is
+//! bounded by file count with oldest-written-first eviction (tie-broken
+//! by name). Disk entries survive daemon restarts; a disk hit promotes
+//! the body back into memory.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use levy_sim::Json;
+
+/// Which tier served a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-memory LRU.
+    Memory,
+    /// On-disk store (body was promoted to memory on the way out).
+    Disk,
+}
+
+impl CacheTier {
+    /// Lowercase name for headers and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheTier::Memory => "memory",
+            CacheTier::Disk => "disk",
+        }
+    }
+}
+
+/// Cache sizing and placement.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum in-memory entries (0 disables the memory tier).
+    pub mem_capacity: usize,
+    /// Maximum on-disk entries (0 disables the disk tier).
+    pub disk_capacity: usize,
+    /// Directory for the disk tier; `None` disables it.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            mem_capacity: 256,
+            disk_capacity: 4096,
+            dir: None,
+        }
+    }
+}
+
+/// LRU entries: body plus a recency tick.
+struct MemEntry {
+    body: String,
+    tick: u64,
+}
+
+/// The two-tier result cache. All methods are `&self`; internal state is
+/// mutex-protected so handler and worker threads share one instance.
+pub struct ResultCache {
+    config: CacheConfig,
+    mem: Mutex<HashMap<String, MemEntry>>,
+    clock: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates the cache, creating the disk directory if configured.
+    pub fn new(config: CacheConfig) -> io::Result<ResultCache> {
+        if let Some(dir) = &config.dir {
+            fs::create_dir_all(dir)?;
+        }
+        Ok(ResultCache {
+            config,
+            mem: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        // Keys are generated hex internally, but revalidate before using
+        // one as a file name: this is the only untrusted-input boundary.
+        if !(key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit())) {
+            return None;
+        }
+        self.config
+            .dir
+            .as_ref()
+            .filter(|_| self.config.disk_capacity > 0)
+            .map(|dir| dir.join(format!("{key}.json")))
+    }
+
+    /// Looks up a body; `None` on miss.
+    pub fn get(&self, key: &str) -> Option<(String, CacheTier)> {
+        if self.config.mem_capacity > 0 {
+            let mut mem = self.mem.lock().expect("cache lock");
+            if let Some(entry) = mem.get_mut(key) {
+                entry.tick = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Some((entry.body.clone(), CacheTier::Memory));
+            }
+        }
+        if let Some(path) = self.disk_path(key) {
+            if let Ok(body) = fs::read_to_string(&path) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.insert_mem(key, &body);
+                return Some((body, CacheTier::Disk));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a body under `key` in both tiers.
+    pub fn put(&self, key: &str, body: &str) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insert_mem(key, body);
+        if let Some(path) = self.disk_path(key) {
+            // Write-then-rename so concurrent readers never observe a
+            // torn body.
+            let tmp = path.with_extension("tmp");
+            let write = fs::write(&tmp, body).and_then(|()| fs::rename(&tmp, &path));
+            if let Err(e) = write {
+                eprintln!("levy-served: cache write {} failed: {e}", path.display());
+                return;
+            }
+            self.enforce_disk_capacity();
+        }
+    }
+
+    fn insert_mem(&self, key: &str, body: &str) {
+        if self.config.mem_capacity == 0 {
+            return;
+        }
+        let tick = self.tick();
+        let mut mem = self.mem.lock().expect("cache lock");
+        mem.insert(
+            key.to_owned(),
+            MemEntry {
+                body: body.to_owned(),
+                tick,
+            },
+        );
+        while mem.len() > self.config.mem_capacity {
+            let oldest = mem
+                .iter()
+                .min_by_key(|(k, e)| (e.tick, (*k).clone()))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            mem.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn enforce_disk_capacity(&self) {
+        let Some(dir) = &self.config.dir else { return };
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let modified = e.metadata().and_then(|m| m.modified()).ok()?;
+                Some((modified, e.path()))
+            })
+            .collect();
+        if files.len() <= self.config.disk_capacity {
+            return;
+        }
+        files.sort();
+        let excess = files.len() - self.config.disk_capacity;
+        for (_, path) in files.into_iter().take(excess) {
+            if fs::remove_file(&path).is_ok() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Entries currently in the memory tier.
+    pub fn mem_len(&self) -> usize {
+        self.mem.lock().expect("cache lock").len()
+    }
+
+    /// Counter snapshot for `/v1/stats` and the bench snapshot.
+    pub fn stats_json(&self) -> Json {
+        Json::obj([
+            ("mem_entries", Json::from(self.mem_len())),
+            ("mem_capacity", Json::from(self.config.mem_capacity)),
+            ("disk_capacity", Json::from(self.config.disk_capacity)),
+            (
+                "disk_enabled",
+                Json::from(self.config.dir.is_some() && self.config.disk_capacity > 0),
+            ),
+            (
+                "mem_hits",
+                Json::from(self.mem_hits.load(Ordering::Relaxed)),
+            ),
+            (
+                "disk_hits",
+                Json::from(self.disk_hits.load(Ordering::Relaxed)),
+            ),
+            ("misses", Json::from(self.misses.load(Ordering::Relaxed))),
+            (
+                "insertions",
+                Json::from(self.insertions.load(Ordering::Relaxed)),
+            ),
+            (
+                "evictions",
+                Json::from(self.evictions.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> String {
+        crate::request::fnv1a_128_hex(&i.to_le_bytes())
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "levy-served-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_round_trip_and_miss() {
+        let cache = ResultCache::new(CacheConfig {
+            mem_capacity: 4,
+            disk_capacity: 0,
+            dir: None,
+        })
+        .unwrap();
+        assert!(cache.get(&key(1)).is_none());
+        cache.put(&key(1), "body-1");
+        assert_eq!(
+            cache.get(&key(1)),
+            Some(("body-1".into(), CacheTier::Memory))
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(CacheConfig {
+            mem_capacity: 2,
+            disk_capacity: 0,
+            dir: None,
+        })
+        .unwrap();
+        cache.put(&key(1), "one");
+        cache.put(&key(2), "two");
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.put(&key(3), "three");
+        assert!(cache.get(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.mem_len(), 2);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = temp_dir("persist");
+        let config = CacheConfig {
+            mem_capacity: 4,
+            disk_capacity: 16,
+            dir: Some(dir.clone()),
+        };
+        let cache = ResultCache::new(config.clone()).unwrap();
+        cache.put(&key(7), "persisted");
+        drop(cache);
+        let reborn = ResultCache::new(config).unwrap();
+        assert_eq!(
+            reborn.get(&key(7)),
+            Some(("persisted".into(), CacheTier::Disk))
+        );
+        // Promoted to memory: second read is a memory hit.
+        assert_eq!(
+            reborn.get(&key(7)),
+            Some(("persisted".into(), CacheTier::Memory))
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_capacity_is_enforced() {
+        let dir = temp_dir("capacity");
+        let cache = ResultCache::new(CacheConfig {
+            mem_capacity: 1,
+            disk_capacity: 3,
+            dir: Some(dir.clone()),
+        })
+        .unwrap();
+        for i in 0..6 {
+            cache.put(&key(i), &format!("body-{i}"));
+        }
+        let files = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count();
+        assert!(files <= 3, "disk tier kept {files} files over capacity 3");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_disables_tiers() {
+        let cache = ResultCache::new(CacheConfig {
+            mem_capacity: 0,
+            disk_capacity: 0,
+            dir: None,
+        })
+        .unwrap();
+        cache.put(&key(1), "x");
+        assert!(cache.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn malformed_keys_never_touch_disk() {
+        let dir = temp_dir("badkey");
+        let cache = ResultCache::new(CacheConfig {
+            mem_capacity: 0,
+            disk_capacity: 8,
+            dir: Some(dir.clone()),
+        })
+        .unwrap();
+        cache.put("../../etc/passwd", "nope");
+        cache.put("short", "nope");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let cache = ResultCache::new(CacheConfig {
+            mem_capacity: 4,
+            disk_capacity: 0,
+            dir: None,
+        })
+        .unwrap();
+        cache.put(&key(1), "x");
+        let _ = cache.get(&key(1));
+        let _ = cache.get(&key(2));
+        let stats = cache.stats_json();
+        assert_eq!(stats.get("mem_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("insertions").unwrap().as_u64(), Some(1));
+    }
+}

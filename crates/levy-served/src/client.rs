@@ -1,0 +1,55 @@
+//! Blocking HTTP client used by `levyc`, the smoke script, tests, and
+//! the bench pipeline.
+
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::http::{read_response, write_request, Response};
+
+/// A client bound to one `host:port` with a per-request timeout.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Client for `addr` (`host:port`) with a 60 s default timeout.
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_owned(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Overrides the connect/read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// One request/response exchange on a fresh connection.
+    pub fn request(&self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let mut addrs = std::net::ToSocketAddrs::to_socket_addrs(&self.addr.as_str())?;
+        let addr = addrs.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        write_request(&mut stream, method, path, &self.addr, body)?;
+        let mut reader = BufReader::new(stream);
+        read_response(&mut reader)
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&self, path: &str, body: &str) -> io::Result<Response> {
+        self.request("POST", path, body.as_bytes())
+    }
+}

@@ -1,0 +1,356 @@
+//! Minimal HTTP/1.1 framing over `std::net` streams.
+//!
+//! `levyd` and `levyc` speak a deliberately small subset of HTTP/1.1:
+//! one request per connection (`Connection: close`), bodies framed by
+//! `Content-Length` only (no chunked transfer encoding), header block
+//! capped at 16 KiB and bodies at 1 MiB. That subset is enough for every
+//! mainstream HTTP client (`curl`, browsers, load generators) to talk to
+//! the daemon while keeping the parser small enough to audit.
+
+use std::io::{self, BufRead, Write};
+
+use levy_sim::Json;
+
+/// Upper bound on the request line + header block, in bytes.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request or response body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased as received.
+    pub method: String,
+    /// Request target (path + optional query string).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response under construction (server) or as received (client).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 400, ...).
+    pub status: u16,
+    /// Headers with names as written on the wire (server) or lowercased
+    /// (client-parsed).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the standard content type.
+    pub fn json(status: u16, body: &Json) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.to_string_pretty().into_bytes(),
+        }
+    }
+
+    /// A JSON error response `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Json::obj([("error", Json::from(message))]))
+    }
+
+    /// Adds a header, returning `self` for chaining.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(&name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one line terminated by `\n`, rejecting oversized input.
+fn read_line<R: BufRead>(stream: &mut R, budget: &mut usize) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte)? {
+            0 => break,
+            _ => {
+                if *budget == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "header block too large",
+                    ));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header line"))
+}
+
+/// Header list as parsed off the wire: lowercased names, arrival order.
+type Headers = Vec<(String, String)>;
+
+/// Parses the shared header/body tail of a request or response.
+fn read_headers_and_body<R: BufRead>(
+    stream: &mut R,
+    budget: &mut usize,
+) -> io::Result<(Headers, Vec<u8>)> {
+    let mut headers = Vec::new();
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_line(stream, budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed header line",
+            ));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "invalid Content-Length")
+            })?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+            }
+        }
+        if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "chunked transfer encoding is not supported",
+            ));
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// Reads and parses one HTTP request.
+pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Request> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = read_line(stream, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported HTTP version",
+        ));
+    }
+    let (headers, body) = read_headers_and_body(stream, &mut budget)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+/// Writes `response` with `Connection: close` framing.
+pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        reason(response.status)
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
+        response.body.len()
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Writes one client request with `Connection: close` framing.
+pub fn write_request<W: Write>(
+    stream: &mut W,
+    method: &str,
+    path: &str,
+    host: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Reads and parses one HTTP response (client side).
+pub fn read_response<R: BufRead>(stream: &mut R) -> io::Result<Response> {
+    let mut budget = MAX_HEADER_BYTES;
+    let status_line = read_line(stream, &mut budget)?;
+    let mut parts = status_line.split_whitespace();
+    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed status line",
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported HTTP version",
+        ));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid status code"))?;
+    let (headers, body) = read_headers_and_body(stream, &mut budget)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trip() {
+        let wire = b"POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.header("content-type"), Some("application/json"));
+        assert_eq!(req.header("Content-Type"), Some("application/json"));
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn request_without_body() {
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::json(200, &Json::obj([("ok", Json::from(true))]))
+            .with_header("X-Levy-Cache", "hit");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let parsed = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("x-levy-cache"), Some("hit"));
+        assert_eq!(parsed.body, resp.body);
+    }
+
+    #[test]
+    fn client_request_wire_format() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/v1/query", "127.0.0.1:1", b"{}").unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for wire in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+        ] {
+            assert!(read_request(&mut BufReader::new(wire)).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_header_block_rejected() {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        wire.extend(std::iter::repeat_n(b'x', MAX_HEADER_BYTES + 10));
+        assert!(read_request(&mut BufReader::new(&wire[..])).is_err());
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let wire = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(read_request(&mut BufReader::new(wire.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn reasons_cover_service_codes() {
+        for code in [200, 400, 404, 429, 500, 503, 504] {
+            assert_ne!(reason(code), "Unknown");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `levy-served`: a std-only HTTP service around the Lévy-walk
+//! simulation engine.
+//!
+//! The crate packages the deterministic simulation core (`levy-sim` and
+//! friends) behind a small daemon, `levyd`, with the properties a
+//! shared deployment needs:
+//!
+//! - **Canonical queries.** Request bodies are validated into one
+//!   canonical form ([`request::Query`]); field order, defaulted
+//!   fields, and result-irrelevant knobs (timeouts) never change the
+//!   identity of a query.
+//! - **Content-addressed results.** The canonical form hashes to a
+//!   cache key; because simulation is seeded and bit-identical across
+//!   thread counts, a cached body is byte-for-byte the body a fresh
+//!   run would produce ([`cache`]).
+//! - **Request coalescing.** Identical queries in flight share one
+//!   simulation; N concurrent cold requests cost one run ([`server`]).
+//! - **Backpressure and cancellation.** A bounded queue rejects
+//!   overload with `503 + Retry-After`; abandoned jobs are cancelled
+//!   cooperatively mid-simulation ([`levy_sim::CancelToken`]).
+//!
+//! Everything is built on `std` alone: HTTP framing ([`http`]), JSON
+//! (re-used from `levy-sim`), signal handling ([`signal`]), and the
+//! client ([`client`]) used by `levyc` and the tests.
+
+// `signal` needs two libc declarations; everything else is safe code.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod request;
+pub mod server;
+#[allow(unsafe_code)]
+pub mod signal;
+
+pub use cache::{CacheConfig, CacheTier, ResultCache};
+pub use client::Client;
+pub use http::{Request, Response};
+pub use request::Query;
+pub use server::{Server, ServerConfig, Stats};

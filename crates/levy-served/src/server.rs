@@ -1,0 +1,635 @@
+//! The `levyd` server core: listener, bounded job queue, worker pool,
+//! in-flight dedup, and graceful shutdown.
+//!
+//! Request lifecycle (`POST /v1/query`):
+//!
+//! 1. parse + validate the JSON body into a canonical [`Query`];
+//! 2. cache lookup by content-addressed key → immediate 200 on a hit;
+//! 3. dedup: if a job for the same key is already in flight, attach to
+//!    it as a waiter (no new simulation); otherwise admit a new job into
+//!    the bounded queue — or reply `503 + Retry-After` when it is full
+//!    (backpressure);
+//! 4. wait for the job with a deadline; on timeout the waiter detaches,
+//!    and the *last* waiter to detach cancels the job cooperatively
+//!    (`CancelToken`), so abandoned work stops burning cores;
+//! 5. workers pop jobs, run the deterministic engine, store the body in
+//!    the cache, and wake every waiter.
+//!
+//! Shutdown (`SIGTERM` via `signal`, or `POST /v1/shutdown`) stops the
+//! accept loop, lets workers drain every queued job, and waits for open
+//! connections to finish — in-flight work is answered, new work is
+//! refused with 503.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use levy_sim::{CancelToken, Json};
+
+use crate::cache::{CacheConfig, ResultCache};
+use crate::engine;
+use crate::http::{read_request, write_response, Request, Response};
+use crate::request::Query;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing simulations.
+    pub workers: usize,
+    /// Runner threads *per simulation* (`levy_sim` work-stealing pool).
+    pub sim_threads: usize,
+    /// Bounded job-queue capacity; beyond it, `503 Retry-After`.
+    pub queue_capacity: usize,
+    /// Result-cache sizing and placement.
+    pub cache: CacheConfig,
+    /// Default per-request wait deadline (overridable per request via
+    /// `timeout_ms`).
+    pub default_timeout_ms: u64,
+    /// Suppress structured request logs (tests, benchmarks).
+    pub quiet: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            sim_threads: levy_sim::default_threads(),
+            queue_capacity: 64,
+            cache: CacheConfig::default(),
+            default_timeout_ms: 30_000,
+            quiet: false,
+        }
+    }
+}
+
+/// Monotonic counters exposed at `/v1/stats` (and asserted on by the
+/// dedup integration tests: `simulations_started` is the ground truth
+/// for "the simulation ran exactly once").
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// HTTP requests accepted (any route).
+    pub http_requests: AtomicU64,
+    /// `POST /v1/query` requests.
+    pub queries: AtomicU64,
+    /// Queries answered from the cache (either tier).
+    pub cache_hits: AtomicU64,
+    /// Queries coalesced onto an already-in-flight job.
+    pub coalesced: AtomicU64,
+    /// Simulations actually started by workers.
+    pub simulations_started: AtomicU64,
+    /// Simulations that ran to completion.
+    pub simulations_completed: AtomicU64,
+    /// Simulations cancelled after every waiter abandoned them.
+    pub simulations_cancelled: AtomicU64,
+    /// Queries refused because the queue was full (503).
+    pub rejected_queue_full: AtomicU64,
+    /// Malformed or invalid requests (400).
+    pub invalid_requests: AtomicU64,
+    /// Waits that hit their deadline (504).
+    pub wait_timeouts: AtomicU64,
+}
+
+impl Stats {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "http_requests",
+                Json::from(self.http_requests.load(Ordering::Relaxed)),
+            ),
+            ("queries", Json::from(self.queries.load(Ordering::Relaxed))),
+            (
+                "cache_hits",
+                Json::from(self.cache_hits.load(Ordering::Relaxed)),
+            ),
+            (
+                "coalesced",
+                Json::from(self.coalesced.load(Ordering::Relaxed)),
+            ),
+            (
+                "simulations_started",
+                Json::from(self.simulations_started.load(Ordering::Relaxed)),
+            ),
+            (
+                "simulations_completed",
+                Json::from(self.simulations_completed.load(Ordering::Relaxed)),
+            ),
+            (
+                "simulations_cancelled",
+                Json::from(self.simulations_cancelled.load(Ordering::Relaxed)),
+            ),
+            (
+                "rejected_queue_full",
+                Json::from(self.rejected_queue_full.load(Ordering::Relaxed)),
+            ),
+            (
+                "invalid_requests",
+                Json::from(self.invalid_requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "wait_timeouts",
+                Json::from(self.wait_timeouts.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
+/// Terminal states of a job.
+enum JobOutcome {
+    /// Still queued or running.
+    Pending,
+    /// Completed; the cached body (shared, not copied per waiter).
+    Done(Arc<String>),
+    /// The engine panicked or failed.
+    Failed(String),
+    /// Cancelled after all waiters abandoned it (or at shutdown).
+    Cancelled,
+}
+
+/// One deduplicated unit of simulation work.
+struct Job {
+    key: String,
+    query: Query,
+    cancel: CancelToken,
+    outcome: Mutex<JobOutcome>,
+    done: Condvar,
+    /// Waiters currently blocked on this job; the last to detach on
+    /// timeout cancels it.
+    waiters: AtomicUsize,
+}
+
+impl Job {
+    fn new(key: String, query: Query) -> Arc<Job> {
+        Arc::new(Job {
+            key,
+            query,
+            cancel: CancelToken::new(),
+            outcome: Mutex::new(JobOutcome::Pending),
+            done: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+struct Inner {
+    config: ServerConfig,
+    cache: ResultCache,
+    stats: Stats,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_changed: Condvar,
+    inflight: Mutex<HashMap<String, Arc<Job>>>,
+    /// Stop accepting, drain, exit.
+    shutting_down: AtomicBool,
+    /// Set by `POST /v1/shutdown`; the daemon's main loop polls it.
+    shutdown_requested: AtomicBool,
+    open_connections: AtomicUsize,
+    started: Instant,
+}
+
+impl Inner {
+    fn log(&self, fields: Json) {
+        if self.config.quiet {
+            return;
+        }
+        let mut line = vec![
+            (
+                "ts_ms".to_owned(),
+                Json::from(self.started.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("evt".to_owned(), Json::from("http")),
+        ];
+        if let Json::Obj(pairs) = fields {
+            line.extend(pairs);
+        }
+        eprintln!("{}", Json::Obj(line).to_string_compact());
+    }
+}
+
+/// A running server; dropping it does *not* stop the daemon — call
+/// [`shutdown`](Server::shutdown).
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and accept loop, and returns.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let cache = ResultCache::new(config.cache.clone())?;
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            config,
+            cache,
+            stats: Stats::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_changed: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let inner = Arc::clone(&inner);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("levyd-worker-{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker"),
+            );
+        }
+        let accept_inner = Arc::clone(&inner);
+        let accept_handle = std::thread::Builder::new()
+            .name("levyd-accept".into())
+            .spawn(move || accept_loop(listener, &accept_inner))
+            .expect("spawn accept loop");
+
+        Ok(Server {
+            inner,
+            addr,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot (tests and the bench pipeline).
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Cache counter snapshot.
+    pub fn cache_stats(&self) -> Json {
+        self.inner.cache.stats_json()
+    }
+
+    /// Whether a client asked the daemon to stop (`POST /v1/shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue, join workers,
+    /// wait (bounded) for open connections to finish writing.
+    pub fn shutdown(mut self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        self.inner.queue_changed.notify_all();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Connection handlers only write out already-computed responses
+        // at this point; give them a bounded grace period.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.inner.open_connections.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.inner.log(Json::obj([
+            ("evt", Json::from("shutdown")),
+            (
+                "drained_jobs",
+                Json::from(
+                    self.inner
+                        .stats
+                        .simulations_completed
+                        .load(Ordering::Relaxed),
+                ),
+            ),
+        ]));
+    }
+}
+
+/// Polling accept loop: nonblocking accepts + shutdown checks, one
+/// handler thread per connection (connections are short-lived:
+/// `Connection: close`).
+fn accept_loop(listener: TcpListener, inner: &Arc<Inner>) {
+    while !inner.shutting_down.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.open_connections.fetch_add(1, Ordering::AcqRel);
+                let conn_inner = Arc::clone(inner);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("levyd-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &conn_inner);
+                            conn_inner.open_connections.fetch_sub(1, Ordering::AcqRel);
+                        });
+                if spawned.is_err() {
+                    inner.open_connections.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let started = Instant::now();
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(_) => {
+            let mut stream = stream;
+            let _ = write_response(&mut stream, &Response::error(400, "malformed HTTP request"));
+            return;
+        }
+    };
+    inner.stats.bump(&inner.stats.http_requests);
+    let response = route(&request, inner);
+    let cache_disposition = response.header("X-Levy-Cache").unwrap_or("-").to_owned();
+    let mut stream = stream;
+    let _ = write_response(&mut stream, &response);
+    inner.log(Json::obj([
+        ("method", Json::from(request.method.as_str())),
+        ("path", Json::from(request.path.as_str())),
+        ("status", Json::from(u32::from(response.status))),
+        ("cache", Json::from(cache_disposition)),
+        ("dur_ms", Json::from(started.elapsed().as_secs_f64() * 1e3)),
+        (
+            "queue_depth",
+            Json::from(inner.queue.lock().expect("queue lock").len()),
+        ),
+    ]));
+}
+
+fn route(request: &Request, inner: &Arc<Inner>) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            &Json::obj([
+                ("status", Json::from("ok")),
+                (
+                    "uptime_secs",
+                    Json::from(inner.started.elapsed().as_secs_f64()),
+                ),
+            ]),
+        ),
+        ("GET", "/v1/stats") => {
+            let queue_depth = inner.queue.lock().expect("queue lock").len();
+            let inflight = inner.inflight.lock().expect("inflight lock").len();
+            Response::json(
+                200,
+                &Json::obj([
+                    ("schema", Json::from("levy-served/stats-v1")),
+                    ("queue_depth", Json::from(queue_depth)),
+                    ("inflight", Json::from(inflight)),
+                    ("counters", inner.stats.to_json()),
+                    ("cache", inner.cache.stats_json()),
+                    (
+                        "config",
+                        Json::obj([
+                            ("workers", Json::from(inner.config.workers)),
+                            ("sim_threads", Json::from(inner.config.sim_threads)),
+                            ("queue_capacity", Json::from(inner.config.queue_capacity)),
+                            (
+                                "default_timeout_ms",
+                                Json::from(inner.config.default_timeout_ms),
+                            ),
+                        ]),
+                    ),
+                ]),
+            )
+        }
+        ("POST", "/v1/shutdown") => {
+            inner.shutdown_requested.store(true, Ordering::Release);
+            Response::json(202, &Json::obj([("status", Json::from("shutting down"))]))
+        }
+        ("POST", "/v1/query") => handle_query(request, inner),
+        ("POST" | "GET", _) => Response::error(404, "no such route"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// The role this request played for its job.
+enum QueryRole {
+    /// First requester: the job was admitted to the queue for it.
+    Owner,
+    /// Deduplicated onto an existing in-flight job.
+    Coalesced,
+}
+
+fn handle_query(request: &Request, inner: &Arc<Inner>) -> Response {
+    inner.stats.bump(&inner.stats.queries);
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => {
+            inner.stats.bump(&inner.stats.invalid_requests);
+            return Response::error(400, "request body must be UTF-8 JSON");
+        }
+    };
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => {
+            inner.stats.bump(&inner.stats.invalid_requests);
+            return Response::error(400, &format!("invalid JSON: {e}"));
+        }
+    };
+    let query = match Query::from_json(&parsed) {
+        Ok(q) => q,
+        Err(e) => {
+            inner.stats.bump(&inner.stats.invalid_requests);
+            return Response::error(400, &e.0);
+        }
+    };
+    let key = query.cache_key();
+
+    // Tier 1: completed results.
+    if let Some((cached, tier)) = inner.cache.get(&key) {
+        inner.stats.bump(&inner.stats.cache_hits);
+        return Response {
+            status: 200,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: cached.into_bytes(),
+        }
+        .with_header("X-Levy-Cache", "hit")
+        .with_header("X-Levy-Cache-Tier", tier.as_str())
+        .with_header("X-Levy-Key", &key);
+    }
+
+    // Tier 2: coalesce onto in-flight work, or admit a new job.
+    let timeout = Duration::from_millis(
+        query
+            .timeout_ms
+            .unwrap_or(inner.config.default_timeout_ms)
+            .max(1),
+    );
+    let (job, role) = {
+        let mut inflight = inner.inflight.lock().expect("inflight lock");
+        if let Some(job) = inflight.get(&key) {
+            inner.stats.bump(&inner.stats.coalesced);
+            (Arc::clone(job), QueryRole::Coalesced)
+        } else {
+            if inner.shutting_down.load(Ordering::Acquire) {
+                return Response::error(503, "daemon is shutting down")
+                    .with_header("Retry-After", "1");
+            }
+            let mut queue = inner.queue.lock().expect("queue lock");
+            if queue.len() >= inner.config.queue_capacity {
+                inner.stats.bump(&inner.stats.rejected_queue_full);
+                return Response::error(503, "job queue is full, retry shortly")
+                    .with_header("Retry-After", "1")
+                    .with_header("X-Levy-Queue-Depth", &queue.len().to_string());
+            }
+            let job = Job::new(key.clone(), query);
+            queue.push_back(Arc::clone(&job));
+            inner.queue_changed.notify_one();
+            drop(queue);
+            inflight.insert(key.clone(), Arc::clone(&job));
+            (job, QueryRole::Owner)
+        }
+    };
+
+    wait_for_job(&job, role, timeout, inner)
+}
+
+/// Blocks on a job until it resolves or `timeout` elapses.
+fn wait_for_job(
+    job: &Arc<Job>,
+    role: QueryRole,
+    timeout: Duration,
+    inner: &Arc<Inner>,
+) -> Response {
+    job.waiters.fetch_add(1, Ordering::AcqRel);
+    let deadline = Instant::now() + timeout;
+    let mut outcome = job.outcome.lock().expect("job lock");
+    while matches!(*outcome, JobOutcome::Pending) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        let (next, _timed_out) = job.done.wait_timeout(outcome, remaining).expect("job lock");
+        outcome = next;
+    }
+    let response = match &*outcome {
+        JobOutcome::Done(body) => {
+            let disposition = match role {
+                QueryRole::Owner => "miss",
+                QueryRole::Coalesced => "coalesced",
+            };
+            Response {
+                status: 200,
+                headers: vec![("Content-Type".into(), "application/json".into())],
+                body: body.as_bytes().to_vec(),
+            }
+            .with_header("X-Levy-Cache", disposition)
+            .with_header("X-Levy-Key", &job.key)
+        }
+        JobOutcome::Failed(message) => Response::error(500, message),
+        JobOutcome::Cancelled => {
+            Response::error(503, "job was cancelled, retry").with_header("Retry-After", "0")
+        }
+        JobOutcome::Pending => {
+            // Deadline hit: detach; the last waiter out cancels the job.
+            inner.stats.bump(&inner.stats.wait_timeouts);
+            if job.waiters.fetch_sub(1, Ordering::AcqRel) == 1 {
+                job.cancel.cancel();
+                // Wake the queue in case the job is still unstarted: a
+                // worker will observe the cancelled token and retire it.
+                inner.queue_changed.notify_all();
+            }
+            return Response::error(504, "simulation did not finish within the deadline")
+                .with_header("X-Levy-Key", &job.key);
+        }
+    };
+    job.waiters.fetch_sub(1, Ordering::AcqRel);
+    response
+}
+
+/// Worker: pop a job, run the engine, publish the outcome, repeat.
+/// Exits when shutdown is flagged *and* the queue is drained.
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner
+                    .queue_changed
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        if job.cancel.is_cancelled() {
+            inner.stats.bump(&inner.stats.simulations_cancelled);
+            finish(inner, &job, JobOutcome::Cancelled);
+            continue;
+        }
+        inner.stats.bump(&inner.stats.simulations_started);
+        let sim_threads = inner.config.sim_threads;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine::execute(&job.query, sim_threads, &job.cancel)
+        }));
+        let outcome = match outcome {
+            Ok(Some(body)) => {
+                let text = body.to_string_pretty();
+                inner.cache.put(&job.key, &text);
+                inner.stats.bump(&inner.stats.simulations_completed);
+                JobOutcome::Done(Arc::new(text))
+            }
+            Ok(None) => {
+                inner.stats.bump(&inner.stats.simulations_cancelled);
+                JobOutcome::Cancelled
+            }
+            Err(panic) => {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "simulation panicked".into());
+                JobOutcome::Failed(format!("simulation failed: {message}"))
+            }
+        };
+        finish(inner, &job, outcome);
+    }
+}
+
+/// Publishes a terminal outcome: removes the job from the dedup table,
+/// stores the outcome, and wakes every waiter.
+fn finish(inner: &Arc<Inner>, job: &Arc<Job>, outcome: JobOutcome) {
+    inner
+        .inflight
+        .lock()
+        .expect("inflight lock")
+        .remove(&job.key);
+    *job.outcome.lock().expect("job lock") = outcome;
+    job.done.notify_all();
+}

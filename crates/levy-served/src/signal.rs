@@ -1,0 +1,69 @@
+//! std-only SIGTERM/SIGINT notification for the daemon.
+//!
+//! Rust's standard library has no signal API, and this workspace takes
+//! no external dependencies — so this module declares the two libc
+//! symbols it needs (`signal`, already linked by std on every Unix
+//! target) and installs a handler that only flips an `AtomicBool`,
+//! which is the full extent of what's async-signal-safe here. On
+//! non-Unix targets installation is a no-op and the daemon stops via
+//! `POST /v1/shutdown` instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Flipped by the handler; polled by the daemon main loop.
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATION_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    unsafe extern "C" {
+        /// libc `signal(2)`; std already links libc on Unix targets.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        // Only an atomic store: the one operation unconditionally
+        // async-signal-safe.
+        TERMINATION_REQUESTED.store(true, Ordering::Release);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_terminate);
+            signal(SIGINT, on_terminate);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs SIGTERM/SIGINT handlers (no-op off Unix).
+pub fn install_handlers() {
+    imp::install();
+}
+
+/// Whether a termination signal has arrived.
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_safe() {
+        install_handlers();
+        // Other tests in this process never raise signals, so the flag
+        // stays clear.
+        assert!(!termination_requested());
+    }
+}

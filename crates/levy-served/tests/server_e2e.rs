@@ -1,0 +1,296 @@
+//! End-to-end tests: a real `Server` on an ephemeral port, exercised
+//! through the real `Client` over TCP.
+//!
+//! These pin the acceptance criteria for the service: an E6-style query
+//! answered over HTTP, byte-identical cache replays, N concurrent
+//! identical cold queries costing exactly one simulation, determinism
+//! across worker/thread configurations and cache tiers, backpressure,
+//! and deadline behaviour.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use levy_served::server::{Server, ServerConfig};
+use levy_served::{CacheConfig, Client};
+use levy_sim::Json;
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        sim_threads: 2,
+        queue_capacity: 32,
+        cache: CacheConfig {
+            mem_capacity: 64,
+            disk_capacity: 0,
+            dir: None,
+        },
+        default_timeout_ms: 60_000,
+        quiet: true,
+    }
+}
+
+fn start(config: ServerConfig) -> (Server, Client) {
+    let server = Server::start(config).expect("server starts");
+    let client = Client::new(&server.addr().to_string()).with_timeout(Duration::from_secs(120));
+    (server, client)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("levy-served-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An E6-style query: k parallel walkers, optimal mixed exponent
+/// strategy, hit probability within budget Θ(ℓ² log ℓ / k).
+const E6_QUERY: &str = r#"{"kind":"parallel","strategy":"optimal","k":8,"ell":16,
+    "budget":4000,"trials":300,"seed":42}"#;
+
+/// Heavy enough that concurrent clients attach while it is in flight.
+const SLOW_QUERY: &str = r#"{"kind":"single_walk","alpha":2.0,"ell":1000000,
+    "budget":20000,"trials":2000,"seed":7}"#;
+
+#[test]
+fn serves_an_e6_style_query_over_http() {
+    let (server, client) = start(test_config());
+    let response = client.post("/v1/query", E6_QUERY).expect("request ok");
+    assert_eq!(response.status, 200, "body: {}", response.body_string());
+    assert_eq!(response.header("x-levy-cache"), Some("miss"));
+    let body = Json::parse(&response.body_string()).expect("JSON body");
+    assert_eq!(
+        body.get("schema").unwrap().as_str(),
+        Some("levy-served/result-v1")
+    );
+    let result = body.get("result").expect("result");
+    assert_eq!(result.get("mode").unwrap().as_str(), Some("summary"));
+    assert_eq!(result.get("trials").unwrap().as_u64(), Some(300));
+    let rate = result.get("hit_rate").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&rate));
+    // The canonical query is echoed, with the strategy normalized.
+    let echoed = body.get("query").unwrap();
+    assert_eq!(echoed.get("strategy").unwrap().as_str(), Some("optimal"));
+    server.shutdown();
+}
+
+#[test]
+fn repeated_query_replays_identical_bytes_from_cache() {
+    let (server, client) = start(test_config());
+    let cold = client.post("/v1/query", E6_QUERY).expect("cold ok");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-levy-cache"), Some("miss"));
+    let cached = client.post("/v1/query", E6_QUERY).expect("cached ok");
+    assert_eq!(cached.status, 200);
+    assert_eq!(cached.header("x-levy-cache"), Some("hit"));
+    assert_eq!(cached.header("x-levy-cache-tier"), Some("memory"));
+    assert_eq!(cold.body, cached.body, "cache must replay exact bytes");
+    assert_eq!(
+        server.stats().simulations_started.load(Ordering::Relaxed),
+        1,
+        "the cached reply must not re-simulate"
+    );
+    // Reordered fields and explicit defaults canonicalize to the same key.
+    let reordered = r#"{"seed":42,"trials":300,"ell":16,"k":8,
+        "strategy":"optimal","budget":4000,"kind":"parallel","placement":"random"}"#;
+    let same = client.post("/v1/query", reordered).expect("reordered ok");
+    assert_eq!(same.header("x-levy-cache"), Some("hit"));
+    assert_eq!(same.body, cold.body);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_cold_queries_simulate_once() {
+    let (server, client) = start(test_config());
+    let n = 8;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let client = client.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                client.post("/v1/query", SLOW_QUERY).expect("request ok")
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first = &responses[0];
+    assert_eq!(first.status, 200, "body: {}", first.body_string());
+    for response in &responses {
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, first.body, "all waiters share one result");
+    }
+    assert_eq!(
+        server.stats().simulations_started.load(Ordering::Relaxed),
+        1,
+        "N identical cold queries must run the simulation exactly once"
+    );
+    let coalesced = server.stats().coalesced.load(Ordering::Relaxed);
+    let hits = server.stats().cache_hits.load(Ordering::Relaxed);
+    assert_eq!(
+        coalesced + hits,
+        (n as u64) - 1,
+        "everyone but the owner coalesced or hit the cache"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bodies_identical_across_thread_counts_and_cache_tiers() {
+    let dir = temp_dir("tiers");
+    let disk_cache = CacheConfig {
+        mem_capacity: 16,
+        disk_capacity: 64,
+        dir: Some(dir.clone()),
+    };
+
+    // Cold, 1 simulation thread.
+    let (one, client) = start(ServerConfig {
+        sim_threads: 1,
+        cache: disk_cache.clone(),
+        ..test_config()
+    });
+    let body_one = client.post("/v1/query", E6_QUERY).expect("ok");
+    assert_eq!(body_one.header("x-levy-cache"), Some("miss"));
+    one.shutdown();
+
+    // Cold in memory, warm on disk, 4 simulation threads: the disk tier
+    // written by the 1-thread server must satisfy this query.
+    let (four, client) = start(ServerConfig {
+        sim_threads: 4,
+        cache: disk_cache,
+        ..test_config()
+    });
+    let body_four = client.post("/v1/query", E6_QUERY).expect("ok");
+    assert_eq!(body_four.header("x-levy-cache"), Some("hit"));
+    assert_eq!(body_four.header("x-levy-cache-tier"), Some("disk"));
+    assert_eq!(
+        body_one.body, body_four.body,
+        "disk replay equals a 1-thread cold run"
+    );
+    // And a genuinely cold 4-thread run (cache disabled) agrees too.
+    let (cold4, client) = start(ServerConfig {
+        sim_threads: 4,
+        cache: CacheConfig {
+            mem_capacity: 0,
+            disk_capacity: 0,
+            dir: None,
+        },
+        ..test_config()
+    });
+    let body_cold4 = client.post("/v1/query", E6_QUERY).expect("ok");
+    assert_eq!(body_cold4.header("x-levy-cache"), Some("miss"));
+    assert_eq!(
+        body_one.body, body_cold4.body,
+        "simulation is deterministic across sim thread counts"
+    );
+    cold4.shutdown();
+    four.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn adaptive_queries_report_trials_used_over_http() {
+    let (server, client) = start(test_config());
+    let query = r#"{"kind":"single_walk","alpha":2.2,"ell":4,"budget":400,
+        "precision":{"absolute":0.05,"relative":0.5,"max_trials":4096},"seed":5}"#;
+    let response = client.post("/v1/query", query).expect("ok");
+    assert_eq!(response.status, 200, "body: {}", response.body_string());
+    let body = Json::parse(&response.body_string()).unwrap();
+    let result = body.get("result").unwrap();
+    assert_eq!(result.get("mode").unwrap().as_str(), Some("adaptive"));
+    assert!(result.get("trials_used").unwrap().as_u64().unwrap() >= 256);
+    assert!(result.get("batches").unwrap().as_u64().unwrap() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_retry_after() {
+    let (server, client) = start(ServerConfig {
+        queue_capacity: 0,
+        ..test_config()
+    });
+    let response = client.post("/v1/query", E6_QUERY).expect("request ok");
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    assert_eq!(
+        server.stats().rejected_queue_full.load(Ordering::Relaxed),
+        1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn deadline_expiry_returns_504_and_cancels_the_job() {
+    let (server, client) = start(test_config());
+    let query = r#"{"kind":"single_walk","alpha":2.0,"ell":1000000,
+        "budget":50000,"trials":50000,"seed":9,"timeout_ms":1}"#;
+    let response = client.post("/v1/query", query).expect("request ok");
+    assert_eq!(response.status, 504);
+    assert_eq!(server.stats().wait_timeouts.load(Ordering::Relaxed), 1);
+    // The abandoned job is cancelled (either before or mid-run); wait
+    // for the worker to retire it.
+    for _ in 0..400 {
+        if server.stats().simulations_cancelled.load(Ordering::Relaxed) == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(
+        server.stats().simulations_cancelled.load(Ordering::Relaxed),
+        1,
+        "abandoned work must be cancelled, not run to completion"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn invalid_requests_are_rejected_cleanly() {
+    let (server, client) = start(test_config());
+    for (body, expect) in [
+        ("not json", 400),
+        (r#"{"kind":"parallel"}"#, 400),
+        (
+            r#"{"kind":"parallel","alpha":2.5,"k":4,"ell":8,"budget":100,"trials":10,"bogus":1}"#,
+            400,
+        ),
+        (
+            r#"{"kind":"parallel","alpha":0.5,"k":4,"ell":8,"budget":100,"trials":10}"#,
+            400,
+        ),
+    ] {
+        let response = client.post("/v1/query", body).expect("request ok");
+        assert_eq!(response.status, expect, "body: {body}");
+        let parsed = Json::parse(&response.body_string()).unwrap();
+        assert!(parsed.get("error").is_some());
+    }
+    let response = client.get("/nope").expect("ok");
+    assert_eq!(response.status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn health_stats_and_shutdown_endpoints_work() {
+    let (server, client) = start(test_config());
+    let health = client.get("/healthz").expect("ok");
+    assert_eq!(health.status, 200);
+    let _ = client.post("/v1/query", E6_QUERY).expect("ok");
+    let stats = client.get("/v1/stats").expect("ok");
+    assert_eq!(stats.status, 200);
+    let body = Json::parse(&stats.body_string()).unwrap();
+    assert_eq!(
+        body.get("counters")
+            .unwrap()
+            .get("simulations_completed")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+    assert!(body.get("cache").is_some());
+    let shutdown = client.post("/v1/shutdown", "").expect("ok");
+    assert_eq!(shutdown.status, 202);
+    assert!(server.shutdown_requested());
+    server.shutdown();
+}

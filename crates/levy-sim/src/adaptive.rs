@@ -10,7 +10,7 @@ use levy_analysis::wilson_interval;
 use levy_rng::SeedStream;
 use rand::rngs::SmallRng;
 
-use crate::runner::count_trials_offset;
+use crate::runner::{count_trials_offset_cancellable, CancelToken};
 
 /// Stopping rule for [`estimate_probability`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,16 +36,25 @@ impl Precision {
 }
 
 /// Result of an adaptive estimation.
+///
+/// Beyond the point estimate and interval, the estimate reports exactly
+/// how much simulation was spent reaching it: `trials` (the service API's
+/// `trials_used` field), `successes`, and the number of doubling `batches`
+/// the stopping rule evaluated. Callers that bill or budget simulation
+/// work read the spend from here instead of re-deriving it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveEstimate {
     /// Point estimate of the probability.
     pub p: f64,
     /// 95% Wilson interval.
     pub ci: (f64, f64),
-    /// Trials actually consumed.
+    /// Trials actually consumed (the `trials_used` of the service API).
     pub trials: u64,
     /// Successes observed.
     pub successes: u64,
+    /// Doubling batches executed before stopping (≥ 1 whenever
+    /// `max_trials > 0`).
+    pub batches: u64,
     /// Whether the precision target was met (false = trial cap hit).
     pub converged: bool,
 }
@@ -64,8 +73,27 @@ pub fn estimate_probability<F>(
 where
     F: Fn(u64, &mut SmallRng) -> bool + Sync,
 {
+    estimate_probability_cancellable(seeds, threads, precision, &CancelToken::new(), predicate)
+        .expect("uncancelled estimate completes")
+}
+
+/// [`estimate_probability`] with a cooperative [`CancelToken`]: returns
+/// `None` if `cancel` fires before the stopping rule is satisfied. The
+/// token is polled between trial blocks inside each batch, so abandoned
+/// estimates stop within one block of simulation work.
+pub fn estimate_probability_cancellable<F>(
+    seeds: SeedStream,
+    threads: usize,
+    precision: Precision,
+    cancel: &CancelToken,
+    predicate: F,
+) -> Option<AdaptiveEstimate>
+where
+    F: Fn(u64, &mut SmallRng) -> bool + Sync,
+{
     let mut trials: u64 = 0;
     let mut successes: u64 = 0;
+    let mut batches: u64 = 0;
     let mut batch: u64 = 256;
     loop {
         let batch_size = batch.min(precision.max_trials - trials);
@@ -76,21 +104,25 @@ where
         // streams: the offset-aware counter derives `seeds.child(global)`
         // directly, so the estimate matches a single non-adaptive run and
         // no per-trial Vec<bool> is ever materialized.
-        let hits = count_trials_offset(batch_size, trials, seeds, threads, &predicate);
+        let hits = count_trials_offset_cancellable(
+            batch_size, trials, seeds, threads, cancel, &predicate,
+        )?;
         trials += batch_size;
         successes += hits;
+        batches += 1;
         let p = successes as f64 / trials as f64;
         let ci = wilson_interval(successes, trials, 1.96);
         let half = (ci.1 - ci.0) / 2.0;
         let met = half <= precision.absolute || (p > 0.0 && half <= precision.relative * p);
         if met {
-            return AdaptiveEstimate {
+            return Some(AdaptiveEstimate {
                 p,
                 ci,
                 trials,
                 successes,
+                batches,
                 converged: true,
-            };
+            });
         }
         batch *= 2;
     }
@@ -99,13 +131,14 @@ where
     } else {
         0.0
     };
-    AdaptiveEstimate {
+    Some(AdaptiveEstimate {
         p,
         ci: wilson_interval(successes, trials.max(1), 1.96),
         trials,
         successes,
+        batches,
         converged: false,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -187,6 +220,68 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batches_report_the_doubling_schedule() {
+        // 1_000 = 256 + 512 + 232(capped) under a never-met precision:
+        // exactly 3 batches, and trials(_used) accounts for every trial.
+        let est = estimate_probability(
+            SeedStream::new(3),
+            1,
+            Precision {
+                absolute: 1e-9,
+                relative: 1e-9,
+                max_trials: 1_000,
+            },
+            |_i, rng| rng.gen::<f64>() < 0.5,
+        );
+        assert_eq!(est.batches, 3);
+        assert_eq!(est.trials, 1_000);
+        // A quickly-converging estimate stops after the first batch.
+        let quick = estimate_probability(
+            SeedStream::new(3),
+            1,
+            Precision {
+                absolute: 0.5,
+                relative: 1.0,
+                max_trials: 100_000,
+            },
+            |_i, rng| rng.gen::<f64>() < 0.5,
+        );
+        assert_eq!(quick.batches, 1);
+        assert_eq!(quick.trials, 256);
+    }
+
+    #[test]
+    fn cancellation_aborts_the_estimate() {
+        let token = CancelToken::new();
+        token.cancel();
+        let est = estimate_probability_cancellable(
+            SeedStream::new(6),
+            2,
+            Precision::default_with_cap(100_000),
+            &token,
+            |_i, rng| rng.gen::<f64>() < 0.5,
+        );
+        assert!(est.is_none());
+    }
+
+    #[test]
+    fn cancellable_matches_plain_when_never_cancelled() {
+        let precision = Precision::default_with_cap(10_000);
+        let plain = estimate_probability(SeedStream::new(7), 2, precision, |_i, rng| {
+            rng.gen::<f64>() < 0.2
+        });
+        let tokened = estimate_probability_cancellable(
+            SeedStream::new(7),
+            2,
+            precision,
+            &CancelToken::new(),
+            |_i, rng| rng.gen::<f64>() < 0.2,
+        )
+        .unwrap();
+        assert_eq!(plain, tokened);
     }
 
     #[test]

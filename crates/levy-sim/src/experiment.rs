@@ -18,7 +18,7 @@ use levy_walks::{
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::runner::run_trials;
+use crate::runner::{run_trials_cancellable, CancelToken};
 
 /// How the hidden target is placed, at distance `ℓ` from the origin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -90,36 +90,59 @@ impl MeasurementConfig {
 ///
 /// Panics if `alpha` is outside `(1, ∞)`.
 pub fn measure_single_walk(alpha: f64, config: &MeasurementConfig) -> CensoredSummary {
+    measure_single_walk_cancellable(alpha, config, &CancelToken::new())
+        .expect("uncancelled measurement completes")
+}
+
+/// [`measure_single_walk`] with a cooperative [`CancelToken`]; `None` when
+/// cancelled before all trials complete.
+pub fn measure_single_walk_cancellable(
+    alpha: f64,
+    config: &MeasurementConfig,
+    cancel: &CancelToken,
+) -> Option<CensoredSummary> {
     let jumps = JumpLengthDistribution::new(alpha).expect("valid exponent");
     let (ell, budget, placement) = (config.ell, config.budget, config.placement);
-    let outcomes = run_trials(
+    let outcomes = run_trials_cancellable(
         config.trials,
         config.seeds(),
         config.effective_threads(),
+        cancel,
         move |_i, rng: &mut SmallRng| {
             let target = placement.place(ell, rng);
             levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, rng)
         },
-    );
-    CensoredSummary::from_outcomes(&outcomes, budget)
+    )?;
+    Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
 /// Estimates the hitting-jump distribution of a single Lévy **flight**
 /// (intermittent detection; the flight-vs-walk ablation). The budget is in
 /// *jumps*.
 pub fn measure_single_flight(alpha: f64, config: &MeasurementConfig) -> CensoredSummary {
+    measure_single_flight_cancellable(alpha, config, &CancelToken::new())
+        .expect("uncancelled measurement completes")
+}
+
+/// [`measure_single_flight`] with a cooperative [`CancelToken`].
+pub fn measure_single_flight_cancellable(
+    alpha: f64,
+    config: &MeasurementConfig,
+    cancel: &CancelToken,
+) -> Option<CensoredSummary> {
     let jumps = JumpLengthDistribution::new(alpha).expect("valid exponent");
     let (ell, budget, placement) = (config.ell, config.budget, config.placement);
-    let outcomes = run_trials(
+    let outcomes = run_trials_cancellable(
         config.trials,
         config.seeds(),
         config.effective_threads(),
+        cancel,
         move |_i, rng: &mut SmallRng| {
             let target = placement.place(ell, rng);
             levy_flight_hitting_time(&jumps, Point::ORIGIN, target, budget, rng)
         },
-    );
-    CensoredSummary::from_outcomes(&outcomes, budget)
+    )?;
+    Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
 /// Estimates the **parallel** hitting time of `k` walks sharing a common
@@ -129,18 +152,30 @@ pub fn measure_parallel_common(
     k: usize,
     config: &MeasurementConfig,
 ) -> CensoredSummary {
+    measure_parallel_common_cancellable(alpha, k, config, &CancelToken::new())
+        .expect("uncancelled measurement completes")
+}
+
+/// [`measure_parallel_common`] with a cooperative [`CancelToken`].
+pub fn measure_parallel_common_cancellable(
+    alpha: f64,
+    k: usize,
+    config: &MeasurementConfig,
+    cancel: &CancelToken,
+) -> Option<CensoredSummary> {
     let jumps = JumpLengthDistribution::new(alpha).expect("valid exponent");
     let (ell, budget, placement) = (config.ell, config.budget, config.placement);
-    let outcomes = run_trials(
+    let outcomes = run_trials_cancellable(
         config.trials,
         config.seeds(),
         config.effective_threads(),
+        cancel,
         move |_i, rng: &mut SmallRng| {
             let target = placement.place(ell, rng);
             parallel_hitting_time_common(k, &jumps, Point::ORIGIN, target, budget, rng)
         },
-    );
-    CensoredSummary::from_outcomes(&outcomes, budget)
+    )?;
+    Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
 /// Estimates the parallel hitting time of `k` walks with exponents drawn
@@ -151,17 +186,29 @@ pub fn measure_parallel_strategy(
     k: usize,
     config: &MeasurementConfig,
 ) -> CensoredSummary {
+    measure_parallel_strategy_cancellable(strategy, k, config, &CancelToken::new())
+        .expect("uncancelled measurement completes")
+}
+
+/// [`measure_parallel_strategy`] with a cooperative [`CancelToken`].
+pub fn measure_parallel_strategy_cancellable(
+    strategy: ExponentStrategy,
+    k: usize,
+    config: &MeasurementConfig,
+    cancel: &CancelToken,
+) -> Option<CensoredSummary> {
     let (ell, budget, placement) = (config.ell, config.budget, config.placement);
-    let outcomes = run_trials(
+    let outcomes = run_trials_cancellable(
         config.trials,
         config.seeds(),
         config.effective_threads(),
+        cancel,
         move |_i, rng: &mut SmallRng| {
             let target = placement.place(ell, rng);
             parallel_hitting_time(k, &strategy, Point::ORIGIN, target, budget, rng).time
         },
-    );
-    CensoredSummary::from_outcomes(&outcomes, budget)
+    )?;
+    Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
 /// Estimates the parallel search time of an arbitrary [`SearchStrategy`]
@@ -174,18 +221,33 @@ pub fn measure_search_strategy<S>(
 where
     S: SearchStrategy + Sync + ?Sized,
 {
+    measure_search_strategy_cancellable(strategy, k, config, &CancelToken::new())
+        .expect("uncancelled measurement completes")
+}
+
+/// [`measure_search_strategy`] with a cooperative [`CancelToken`].
+pub fn measure_search_strategy_cancellable<S>(
+    strategy: &S,
+    k: usize,
+    config: &MeasurementConfig,
+    cancel: &CancelToken,
+) -> Option<CensoredSummary>
+where
+    S: SearchStrategy + Sync + ?Sized,
+{
     let (ell, budget, placement) = (config.ell, config.budget, config.placement);
-    let outcomes = run_trials(
+    let outcomes = run_trials_cancellable(
         config.trials,
         config.seeds(),
         config.effective_threads(),
+        cancel,
         move |_i, rng: &mut SmallRng| {
             let mut problem = SearchProblem::at_distance(ell, k, budget);
             problem.target = placement.place(ell, rng);
             strategy.run(&problem, rng)
         },
-    );
-    CensoredSummary::from_outcomes(&outcomes, budget)
+    )?;
+    Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
 #[cfg(test)]

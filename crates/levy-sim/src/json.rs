@@ -1,10 +1,12 @@
-//! A minimal JSON value type and pretty-printer.
+//! A minimal JSON value type, pretty-printer, and parser.
 //!
 //! The workspace persists machine-readable results (bench snapshots,
-//! experiment summaries) as JSON but builds without registry access, so
-//! this module provides the small writer the repo needs instead of a
-//! `serde_json` dependency. Output is deterministic: object keys keep
-//! insertion order, floats use Rust's shortest round-trip formatting.
+//! experiment summaries) as JSON and — since the `levy-served` daemon —
+//! also *receives* JSON request bodies, but builds without registry
+//! access, so this module provides the small writer and recursive-descent
+//! parser the repo needs instead of a `serde_json` dependency. Output is
+//! deterministic: object keys keep insertion order, floats use Rust's
+//! shortest round-trip formatting.
 
 use std::fmt::Write as _;
 
@@ -59,6 +61,140 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders on a single line with no whitespace (for canonical cache
+    /// keys and structured log lines).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Accepts the value grammar this module writes (objects, arrays,
+    /// strings with `\uXXXX` escapes and surrogate pairs, numbers, `true`,
+    /// `false`, `null`). Numbers without `.`/`e`/`E` that fit an `i64`
+    /// parse as [`Json::Int`]; everything else numeric parses as
+    /// [`Json::Num`]. Trailing non-whitespace input is an error, as is
+    /// nesting deeper than 128 levels.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use levy_sim::Json;
+    ///
+    /// let v = Json::parse(r#"{"alpha": 2.5, "k": 16, "tags": ["a", "b"]}"#).unwrap();
+    /// assert_eq!(v.get("alpha").and_then(Json::as_f64), Some(2.5));
+    /// assert_eq!(v.get("k").and_then(Json::as_u64), Some(16));
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value(0)?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`: integers directly, floats only when integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Num(x) if *x == x.trunc() && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 => {
+                Some(*x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (non-negative integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as an `f64`: both [`Json::Int`] and [`Json::Num`] qualify.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars render identically in both modes.
+            scalar => scalar.write(out, 0),
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -226,6 +362,247 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
     }
 }
 
+/// Error from [`Json::parse`]: what went wrong and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Deepest nesting [`Json::parse`] accepts (guards the recursion).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than 128 levels"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(byte) if byte < 0x20 => return Err(self.error("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut unit: u32 = 0;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(self.error("expected 4 hex digits")),
+            };
+            unit = unit * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if fractional => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !fractional {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            _ => Err(JsonParseError {
+                offset: start,
+                message: format!("invalid number '{text}'"),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +655,108 @@ mod tests {
         let v = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
         let text = v.to_string_pretty();
         assert!(text.find("\"z\"").unwrap() < text.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Num(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("-1.25e-2").unwrap(), Json::Num(-0.0125));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::from("hi"));
+        assert_eq!(Json::parse("  42  ").unwrap(), Json::Int(42));
+    }
+
+    #[test]
+    fn parse_structures() {
+        let v = Json::parse(r#"{"a": [1, 2.5, "x"], "b": {"c": null}, "d": true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = Json::parse(r#""a\"b\\c\nd\t\u0041\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\tAé"));
+        // Surrogate pair: U+1F600.
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Raw (unescaped) multi-byte UTF-8 passes through.
+        let v = Json::parse("\"αβ→\"").unwrap();
+        assert_eq!(v.as_str(), Some("αβ→"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "nan",
+            "{'a':1}",
+            "[1 2]",
+            "\"\x01\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn round_trips_pretty_and_compact() {
+        let v = Json::obj([
+            ("kind", Json::from("parallel")),
+            ("alpha", Json::from(2.5)),
+            ("k", Json::from(16u64)),
+            ("precision", Json::obj([("absolute", Json::from(0.01))])),
+            ("tags", Json::arr(["a\nb", "c\"d"])),
+            ("flag", Json::from(true)),
+            ("missing", Json::Null),
+            ("big", Json::from(1.0e300)),
+            ("neg", Json::from(-3i64)),
+        ]);
+        for text in [v.to_string_pretty(), v.to_string_compact()] {
+            assert_eq!(Json::parse(&text).unwrap(), v, "round-trip via {text}");
+        }
+        // Reprinting the parse of a print is a fixed point.
+        let printed = v.to_string_pretty();
+        assert_eq!(Json::parse(&printed).unwrap().to_string_pretty(), printed);
+    }
+
+    #[test]
+    fn compact_has_no_whitespace() {
+        let v = Json::obj([("a", Json::arr([1u64, 2])), ("b", Json::from("x y"))]);
+        assert_eq!(v.to_string_compact(), r#"{"a":[1,2],"b":"x y"}"#);
+    }
+
+    #[test]
+    fn accessors_coerce_sensibly() {
+        assert_eq!(Json::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Json::Num(5.0).as_u64(), Some(5));
+        assert_eq!(Json::Num(5.5).as_u64(), None);
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(Json::from("s").as_f64(), None);
+        assert_eq!(Json::Null.get("x"), None);
     }
 }

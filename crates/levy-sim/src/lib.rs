@@ -32,13 +32,20 @@ mod report;
 mod runner;
 mod sweep;
 
-pub use adaptive::{estimate_probability, AdaptiveEstimate, Precision};
-pub use experiment::{
-    measure_parallel_common, measure_parallel_strategy, measure_search_strategy,
-    measure_single_flight, measure_single_walk, MeasurementConfig, TargetPlacement,
+pub use adaptive::{
+    estimate_probability, estimate_probability_cancellable, AdaptiveEstimate, Precision,
 };
-pub use json::Json;
+pub use experiment::{
+    measure_parallel_common, measure_parallel_common_cancellable, measure_parallel_strategy,
+    measure_parallel_strategy_cancellable, measure_search_strategy,
+    measure_search_strategy_cancellable, measure_single_flight, measure_single_flight_cancellable,
+    measure_single_walk, measure_single_walk_cancellable, MeasurementConfig, TargetPlacement,
+};
+pub use json::{Json, JsonParseError};
 pub use plot::AsciiPlot;
 pub use report::{write_json, TextTable};
-pub use runner::{chunked, count_trials, count_trials_offset, default_threads, run_trials};
+pub use runner::{
+    chunked, count_trials, count_trials_offset, count_trials_offset_cancellable, default_threads,
+    run_trials, run_trials_cancellable, CancelToken,
+};
 pub use sweep::{geom_integers, geomspace, linspace, pow2_range};

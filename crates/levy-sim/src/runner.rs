@@ -16,10 +16,54 @@
 //! The previous contiguous-chunk scheduler is kept as [`chunked`] — it is
 //! the baseline that `BENCH_runner.json` compares against.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use levy_rng::SeedStream;
 use rand::rngs::SmallRng;
+
+/// Cooperative cancellation handle for long-running trial batches.
+///
+/// A token is shared between the party that may abandon a computation
+/// (e.g. an HTTP handler whose client timed out) and the workers running
+/// it: workers poll [`is_cancelled`](CancelToken::is_cancelled) between
+/// trial blocks and stop claiming work once it fires. Cancellation is
+/// *cooperative* — a trial that is already running completes; the
+/// granularity is one stolen block (at most [`MAX_BLOCK`] trials).
+///
+/// Cloning shares the underlying flag.
+///
+/// # Examples
+///
+/// ```
+/// use levy_sim::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; idempotent and visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// Number of worker threads to use by default: the `LEVY_THREADS`
 /// environment variable if set to a positive integer (wired through
@@ -102,17 +146,42 @@ where
     T: Send,
     F: Fn(u64, &mut SmallRng) -> T + Sync,
 {
+    run_trials_cancellable(trials, seeds, threads, &CancelToken::new(), f)
+        .expect("uncancelled run completes")
+}
+
+/// [`run_trials`] with a cooperative [`CancelToken`]: returns `None` (and
+/// discards any partial results) if `cancel` fires before the queue
+/// drains. Workers poll the token once per stolen block, so cancellation
+/// latency is bounded by the cost of one block of trials.
+pub fn run_trials_cancellable<T, F>(
+    trials: u64,
+    seeds: SeedStream,
+    threads: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(u64, &mut SmallRng) -> T + Sync,
+{
     let threads = threads.max(1).min(trials.max(1) as usize);
     if threads == 1 {
-        return (0..trials)
-            .map(|i| {
+        let mut out = Vec::with_capacity(trials as usize);
+        for start in (0..trials).step_by(MAX_BLOCK as usize) {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            for i in start..(start + MAX_BLOCK).min(trials) {
                 let mut rng = seeds.child(i).rng();
-                f(i, &mut rng)
-            })
-            .collect();
+                out.push(f(i, &mut rng));
+            }
+        }
+        return Some(out);
     }
     let next = AtomicU64::new(0);
     let mut buckets: Vec<Vec<(u64, T)>> = Vec::with_capacity(threads);
+    let mut aborted = false;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -120,20 +189,28 @@ where
             let f = &f;
             handles.push(scope.spawn(move || {
                 let mut out: Vec<(u64, T)> = Vec::new();
-                while let Some((start, end)) = claim_block(next, trials, threads as u64) {
+                while !cancel.is_cancelled() {
+                    let Some((start, end)) = claim_block(next, trials, threads as u64) else {
+                        return (out, false);
+                    };
                     out.reserve(end.saturating_sub(start) as usize);
                     for i in start..end {
                         let mut rng = seeds.child(i).rng();
                         out.push((i, f(i, &mut rng)));
                     }
                 }
-                out
+                (out, true)
             }));
         }
         for h in handles {
-            buckets.push(h.join().expect("trial worker panicked"));
+            let (bucket, worker_aborted) = h.join().expect("trial worker panicked");
+            aborted |= worker_aborted;
+            buckets.push(bucket);
         }
     });
+    if aborted {
+        return None;
+    }
     // Place results into their pre-assigned slots, restoring trial order.
     let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     for bucket in buckets {
@@ -141,10 +218,12 @@ where
             slots[i as usize] = Some(value);
         }
     }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every trial index claimed exactly once"))
-        .collect()
+    Some(
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every trial index claimed exactly once"))
+            .collect(),
+    )
 }
 
 /// Counts, in parallel, the trials for which `predicate` holds.
@@ -177,18 +256,50 @@ pub fn count_trials_offset<F>(
 where
     F: Fn(u64, &mut SmallRng) -> bool + Sync,
 {
+    count_trials_offset_cancellable(
+        trials,
+        offset,
+        seeds,
+        threads,
+        &CancelToken::new(),
+        predicate,
+    )
+    .expect("uncancelled count completes")
+}
+
+/// [`count_trials_offset`] with a cooperative [`CancelToken`]: returns
+/// `None` if `cancel` fires before all `trials` are counted.
+pub fn count_trials_offset_cancellable<F>(
+    trials: u64,
+    offset: u64,
+    seeds: SeedStream,
+    threads: usize,
+    cancel: &CancelToken,
+    predicate: F,
+) -> Option<u64>
+where
+    F: Fn(u64, &mut SmallRng) -> bool + Sync,
+{
     let threads = threads.max(1).min(trials.max(1) as usize);
     if threads == 1 {
-        return (0..trials)
-            .filter(|&i| {
+        let mut hits: u64 = 0;
+        for start in (0..trials).step_by(MAX_BLOCK as usize) {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            for i in start..(start + MAX_BLOCK).min(trials) {
                 let global = offset + i;
                 let mut rng = seeds.child(global).rng();
-                predicate(global, &mut rng)
-            })
-            .count() as u64;
+                if predicate(global, &mut rng) {
+                    hits += 1;
+                }
+            }
+        }
+        return Some(hits);
     }
     let next = AtomicU64::new(0);
     let mut total: u64 = 0;
+    let mut aborted = false;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -196,7 +307,10 @@ where
             let predicate = &predicate;
             handles.push(scope.spawn(move || {
                 let mut hits: u64 = 0;
-                while let Some((start, end)) = claim_block(next, trials, threads as u64) {
+                while !cancel.is_cancelled() {
+                    let Some((start, end)) = claim_block(next, trials, threads as u64) else {
+                        return (hits, false);
+                    };
                     for i in start..end {
                         let global = offset + i;
                         let mut rng = seeds.child(global).rng();
@@ -205,14 +319,19 @@ where
                         }
                     }
                 }
-                hits
+                (hits, true)
             }));
         }
         for h in handles {
-            total += h.join().expect("trial worker panicked");
+            let (hits, worker_aborted) = h.join().expect("trial worker panicked");
+            aborted |= worker_aborted;
+            total += hits;
         }
     });
-    total
+    if aborted {
+        return None;
+    }
+    Some(total)
 }
 
 /// The seed scheduler this runner replaced: static contiguous chunking,
@@ -368,5 +487,70 @@ mod tests {
     fn more_threads_than_trials_is_fine() {
         let out = run_trials(3, SeedStream::new(9), 64, |i, _| i * 2);
         assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let f = |i: u64, rng: &mut rand::rngs::SmallRng| -> u64 { rng.gen::<u64>() ^ i };
+        let plain = run_trials(513, SeedStream::new(31), 4, f);
+        let tokened =
+            run_trials_cancellable(513, SeedStream::new(31), 4, &CancelToken::new(), f).unwrap();
+        assert_eq!(plain, tokened);
+        let counted = count_trials_offset_cancellable(
+            513,
+            0,
+            SeedStream::new(31),
+            4,
+            &CancelToken::new(),
+            |i, rng| f(i, rng) % 2 == 0,
+        )
+        .unwrap();
+        assert_eq!(
+            counted,
+            count_trials(513, SeedStream::new(31), 4, |i, rng| f(i, rng) % 2 == 0)
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_run_returns_none() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(run_trials_cancellable(100, SeedStream::new(1), 1, &token, |i, _| i).is_none());
+        assert!(run_trials_cancellable(5_000, SeedStream::new(1), 4, &token, |i, _| i).is_none());
+        assert!(
+            count_trials_offset_cancellable(100, 0, SeedStream::new(1), 1, &token, |_, _| true)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_workers() {
+        // The token fires from inside a trial; the run must abort (None)
+        // well before all trials execute. Executed-trial count is tracked
+        // to show cancellation actually short-circuited the queue.
+        use std::sync::atomic::AtomicU64 as Counter;
+        let token = CancelToken::new();
+        let executed = Counter::new(0);
+        let trials: u64 = 1_000_000;
+        let out = run_trials_cancellable(trials, SeedStream::new(2), 4, &token, |i, _| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i == 10 {
+                token.cancel();
+            }
+            i
+        });
+        assert!(out.is_none());
+        assert!(
+            executed.load(Ordering::Relaxed) < trials,
+            "cancellation should stop the queue early"
+        );
+    }
+
+    #[test]
+    fn cancel_token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
     }
 }

@@ -2,11 +2,14 @@
 # Regenerates every experiment of DESIGN.md's index, writing tables to
 # stdout/results/*.csv and a combined log to results/full_run.log.
 #
-# Usage: scripts/run_all_experiments.sh [--full] [--threads N]
-#   --full       larger grids and trial counts (see EXPERIMENTS.md)
-#   --threads N  worker threads for the trial runner (exported as
-#                LEVY_THREADS, which levy_sim::default_threads honors;
-#                default: all available cores)
+# Usage: scripts/run_all_experiments.sh [--full] [--threads N] [--results-dir DIR]
+#   --full             larger grids and trial counts (see EXPERIMENTS.md)
+#   --threads N        worker threads for the trial runner (exported as
+#                      LEVY_THREADS, which levy_sim::default_threads honors;
+#                      default: all available cores)
+#   --results-dir DIR  where CSVs and the log land (exported as
+#                      LEVY_RESULTS_DIR, which the exp_* binaries honor;
+#                      default: results/, or a preexisting LEVY_RESULTS_DIR)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,9 +21,14 @@ while [ "$#" -gt 0 ]; do
       [ "$#" -ge 2 ] || { echo "--threads requires a value" >&2; exit 2; }
       export LEVY_THREADS="$2"; shift 2 ;;
     --threads=*) export LEVY_THREADS="${1#--threads=}"; shift ;;
+    --results-dir)
+      [ "$#" -ge 2 ] || { echo "--results-dir requires a value" >&2; exit 2; }
+      export LEVY_RESULTS_DIR="$2"; shift 2 ;;
+    --results-dir=*) export LEVY_RESULTS_DIR="${1#--results-dir=}"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+RESULTS_DIR="${LEVY_RESULTS_DIR:-results}"
 EXPERIMENTS=(
   exp_f1_regions
   exp_f2_direct_path
@@ -47,8 +55,8 @@ EXPERIMENTS=(
 )
 
 cargo build --release -p levy-bench --bins
-mkdir -p results
-LOG=results/full_run.log
+mkdir -p "$RESULTS_DIR"
+LOG="$RESULTS_DIR/full_run.log"
 : > "$LOG"
 for exp in "${EXPERIMENTS[@]}"; do
   echo "=== RUNNING $exp ===" | tee -a "$LOG"
@@ -56,4 +64,4 @@ for exp in "${EXPERIMENTS[@]}"; do
   "./target/release/$exp" $SCALE 2>&1 | tee -a "$LOG"
   echo "=== EXIT $? ===" | tee -a "$LOG"
 done
-echo "All ${#EXPERIMENTS[@]} experiments completed; see $LOG and results/*.csv"
+echo "All ${#EXPERIMENTS[@]} experiments completed; see $LOG and $RESULTS_DIR/*.csv"

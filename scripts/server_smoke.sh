@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the levyd daemon as a real OS process:
+#
+#   1. start levyd on an ephemeral port with a disk cache;
+#   2. health-check it with levyc;
+#   3. run an E6-style query twice — the first must be a cache miss, the
+#      second a cache hit with a byte-identical body;
+#   4. SIGTERM the daemon and require a clean (0) exit.
+#
+# Usage: scripts/server_smoke.sh [path-to-target-dir]
+#   Binaries are taken from $1/release (default: target/release); build
+#   them first with `cargo build --release -p levy-served`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET="${1:-target}/release"
+LEVYD="$TARGET/levyd"
+LEVYC="$TARGET/levyc"
+[ -x "$LEVYD" ] && [ -x "$LEVYC" ] || {
+  echo "error: $LEVYD / $LEVYC not built (run: cargo build --release -p levy-served)" >&2
+  exit 2
+}
+
+WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/levy-server-smoke.XXXXXX")"
+LEVYD_PID=""
+cleanup() {
+  [ -n "$LEVYD_PID" ] && kill "$LEVYD_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# 1. Start on an ephemeral port; parse the advertised address.
+"$LEVYD" --addr 127.0.0.1:0 --workers 2 --cache-dir "$WORKDIR/cache" \
+  >"$WORKDIR/levyd.out" 2>"$WORKDIR/levyd.log" &
+LEVYD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^levyd listening on //p' "$WORKDIR/levyd.out")"
+  [ -n "$ADDR" ] && break
+  kill -0 "$LEVYD_PID" 2>/dev/null || { echo "levyd died on startup:" >&2; cat "$WORKDIR/levyd.log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "levyd never advertised an address" >&2; exit 1; }
+echo "levyd up at $ADDR (pid $LEVYD_PID)"
+
+# 2. Health check.
+"$LEVYC" --addr "$ADDR" health >/dev/null
+echo "health: ok"
+
+QUERY='{"kind":"parallel","strategy":"optimal","k":8,"ell":16,"budget":4000,"trials":200,"seed":42}'
+
+# 3. Cold query, then a replay that must hit the cache byte-for-byte.
+"$LEVYC" --addr "$ADDR" query "$QUERY" >"$WORKDIR/cold.json" 2>"$WORKDIR/cold.hdr"
+grep -q '^cache: miss' "$WORKDIR/cold.hdr" || {
+  echo "expected first query to be a cache miss:" >&2; cat "$WORKDIR/cold.hdr" >&2; exit 1
+}
+"$LEVYC" --addr "$ADDR" query "$QUERY" >"$WORKDIR/cached.json" 2>"$WORKDIR/cached.hdr"
+grep -q '^cache: hit' "$WORKDIR/cached.hdr" || {
+  echo "expected second query to be a cache hit:" >&2; cat "$WORKDIR/cached.hdr" >&2; exit 1
+}
+cmp -s "$WORKDIR/cold.json" "$WORKDIR/cached.json" || {
+  echo "cache replay was not byte-identical" >&2
+  diff "$WORKDIR/cold.json" "$WORKDIR/cached.json" >&2 || true
+  exit 1
+}
+echo "query: cold miss + cached hit, bodies byte-identical"
+
+# 4. Graceful SIGTERM shutdown with a clean exit status.
+kill -TERM "$LEVYD_PID"
+STATUS=0
+wait "$LEVYD_PID" || STATUS=$?
+LEVYD_PID=""
+[ "$STATUS" -eq 0 ] || {
+  echo "levyd exited with status $STATUS on SIGTERM:" >&2
+  cat "$WORKDIR/levyd.log" >&2
+  exit 1
+}
+echo "shutdown: clean exit on SIGTERM"
+echo "server smoke: PASS"
