@@ -1,0 +1,117 @@
+//! `bench_gate` — regression gate over the committed bench snapshots.
+//!
+//! ```text
+//! bench_gate [--smoke] [--tolerance FRAC]
+//! ```
+//!
+//! Runs a fresh benchmark snapshot and diffs it against the committed
+//! `BENCH_runner.json` / `BENCH_sampler.json` / `BENCH_server.json` at
+//! the repository root, failing (exit code 1) when any gated ratio
+//! regresses by more than the tolerance (default 30%) or a hard
+//! invariant (determinism, byte-identical cache replay) breaks.
+//!
+//! `--smoke` measures at the *gate profile*: reduced repetition so CI
+//! finishes in tens of seconds, but with scale-sensitive quantities
+//! (per-query trial count, dedup client count) kept at committed scale
+//! so the gated ratios stay comparable. Without the flag the fresh run
+//! uses the full committed-snapshot workload.
+//!
+//! Only host-independent ratios are gated; absolute throughputs are
+//! printed for context but never compared (CI hosts vary wildly).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use levy_bench::gate::{gate_snapshots, Snapshots, DEFAULT_TOLERANCE};
+use levy_bench::snapshot::{runner_snapshot, sampler_snapshot, server_snapshot, Profile};
+use levy_sim::Json;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn parse_args() -> Result<(Profile, f64), String> {
+    let mut profile = Profile::full();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => profile = Profile::gate(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .ok_or("--tolerance requires a value")?
+                    .parse()
+                    .map_err(|_| "--tolerance must be a number".to_owned())?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err("--tolerance must be in [0, 1)".to_owned());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other}\nusage: bench_gate [--smoke] [--tolerance FRAC]"
+                ))
+            }
+        }
+    }
+    Ok((profile, tolerance))
+}
+
+fn main() -> ExitCode {
+    let (profile, tolerance) = match parse_args() {
+        Ok(v) => v,
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let root = repo_root();
+    let committed = match (
+        load(&root.join("BENCH_runner.json")),
+        load(&root.join("BENCH_sampler.json")),
+        load(&root.join("BENCH_server.json")),
+    ) {
+        (Ok(runner), Ok(sampler), Ok(server)) => Snapshots {
+            runner,
+            sampler,
+            server,
+        },
+        (runner, sampler, server) => {
+            for result in [runner, sampler, server] {
+                if let Err(e) = result {
+                    eprintln!("bench_gate: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "bench_gate: measuring fresh snapshot ({} profile, tolerance {:.0}%)",
+        profile.name,
+        tolerance * 100.0
+    );
+    let fresh = Snapshots {
+        runner: runner_snapshot(&profile),
+        sampler: sampler_snapshot(&profile),
+        server: server_snapshot(&profile),
+    };
+
+    let report = gate_snapshots(&committed, &fresh, tolerance);
+    println!();
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -2,43 +2,19 @@
 //! `BENCH_sampler.json`, and `BENCH_server.json` at the repository root
 //! (`scripts/bench_snapshot.sh` is the entry point).
 //!
-//! Three hot paths are timed at fixed seeds:
-//!
-//! * **single-walk hitting** — the E1-style workload (α = 2.5, targets up
-//!   to ℓ = 192, budget 4·ℓ^{α−1});
-//! * **k-parallel hitting** — k = 8 common-exponent walks at ℓ = 192;
-//! * **raw sampling** — jump-length draws, hybrid table vs pure Devroye.
-//!
-//! The runner comparison (work-stealing vs the seed contiguous-chunk
-//! scheduler) replays the *measured per-trial costs* through both
-//! schedules for an 8-worker machine: wall-clock times each trial once,
-//! then computes each schedule's makespan deterministically. This keeps
-//! the snapshot honest on throttled single-core CI hosts, where spawning
-//! 8 real threads would measure the container, not the scheduler; the
-//! schedules replayed are exactly the ones `levy_sim::run_trials`
-//! (shrinking stolen blocks) and `levy_sim::chunked::run_trials` (one
-//! contiguous chunk per worker) execute.
+//! The measurements live in `levy_bench::snapshot` (shared with the
+//! `bench_gate` regression gate); this binary picks the workload profile
+//! and the output directory.
 //!
 //! `--smoke` (or `LEVY_BENCH_SMOKE=1`) shrinks every workload and writes
 //! under the results directory (`LEVY_RESULTS_DIR`, default `results/`)
 //! instead of the repository root, so CI can exercise the pipeline in
 //! seconds without touching the committed snapshots.
 
-use std::hint::black_box;
 use std::path::PathBuf;
-use std::time::Instant;
 
-use levy_grid::Point;
-use levy_rng::{JumpLengthDistribution, SeedStream};
-use levy_sim::{chunked, run_trials, write_json, Json};
-use levy_walks::{levy_walk_hitting_time, parallel_hitting_time_common};
-
-/// Worker count the schedule replay models (the acceptance workload).
-const THREADS: usize = 8;
-
-/// Mirror of the runner's block-claim parameters; keep in sync with
-/// `levy-sim/src/runner.rs` (`MAX_BLOCK`, guided divisor `4 · threads`).
-const MAX_BLOCK: u64 = 1024;
+use levy_bench::snapshot::{runner_snapshot, sampler_snapshot, server_snapshot, Profile};
+use levy_sim::write_json;
 
 fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke")
@@ -53,389 +29,13 @@ fn repo_root() -> PathBuf {
         .join("..")
 }
 
-/// Makespan of the seed scheduler: contiguous chunks, one per worker.
-fn chunked_makespan(costs: &[f64], threads: usize) -> f64 {
-    let trials = costs.len();
-    let chunk = trials.div_ceil(threads);
-    costs
-        .chunks(chunk.max(1))
-        .map(|c| c.iter().sum::<f64>())
-        .fold(0.0f64, f64::max)
-}
-
-/// Makespan of the work-stealing scheduler: the idle worker (smallest
-/// clock) claims the next shrinking block, exactly as `claim_block` does.
-fn stealing_makespan(costs: &[f64], threads: usize) -> f64 {
-    let trials = costs.len() as u64;
-    let mut clocks = vec![0.0f64; threads];
-    let mut next: u64 = 0;
-    while next < trials {
-        let worker = clocks
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(w, _)| w)
-            .expect("at least one worker");
-        let remaining = trials - next;
-        let block = (remaining / (4 * threads as u64)).clamp(1, MAX_BLOCK);
-        for i in next..(next + block).min(trials) {
-            clocks[worker] += costs[i as usize];
-        }
-        next += block;
-    }
-    clocks.into_iter().fold(0.0f64, f64::max)
-}
-
-/// Times `f` once per rep, returning best-of-reps seconds (and the last
-/// checksum, to keep the work observable).
-fn best_of<F: FnMut() -> u64>(reps: u32, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        black_box(f());
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
-fn runner_snapshot(smoke: bool) -> Json {
-    let alpha = 2.5;
-    let jumps = JumpLengthDistribution::new(alpha).expect("valid alpha");
-    let ells: [u64; 4] = [24, 48, 96, 192];
-    let per_ell: u64 = if smoke { 16 } else { 192 };
-    let trials = per_ell * ells.len() as u64;
-    let seeds = SeedStream::new(0xE1_2021);
-    let budget = |ell: u64| (4.0 * (ell as f64).powf(alpha - 1.0)).ceil() as u64;
-    let trial_ell = |i: u64| ells[(i / per_ell) as usize % ells.len()];
-
-    // Single-walk hitting: wall-clock each trial once (single-threaded,
-    // fixed seeds). The per-trial costs feed the schedule replay; trials
-    // are grouped by ℓ exactly as a sweep enumerates them, which is the
-    // ordering that starves the contiguous scheduler.
-    let mut costs: Vec<f64> = Vec::with_capacity(trials as usize);
-    let mut hits = 0u64;
-    let wall = Instant::now();
-    for i in 0..trials {
-        let ell = trial_ell(i);
-        let mut rng = seeds.child(i).rng();
-        let t = Instant::now();
-        let hit = levy_walk_hitting_time(
-            &jumps,
-            Point::ORIGIN,
-            Point::new(ell as i64, 0),
-            budget(ell),
-            &mut rng,
-        );
-        costs.push(t.elapsed().as_secs_f64());
-        hits += u64::from(hit.is_some());
-    }
-    let single_walk_secs = wall.elapsed().as_secs_f64();
-
-    // k-parallel hitting throughput at the heaviest cell.
-    let k = 8usize;
-    let par_trials: u64 = if smoke { 8 } else { 96 };
-    let par_seeds = SeedStream::new(0xE6_2021);
-    let par_secs = best_of(1, || {
-        let outcomes = run_trials(par_trials, par_seeds, 1, |_i, rng| {
-            parallel_hitting_time_common(
-                k,
-                &jumps,
-                Point::ORIGIN,
-                Point::new(192, 0),
-                budget(192),
-                rng,
-            )
-        });
-        outcomes.iter().filter(|o| o.is_some()).count() as u64
-    });
-
-    // Determinism: identical results for 1/3/16 threads and for the seed
-    // chunked scheduler (timing differs; bits must not).
-    let run_with = |threads: usize| {
-        run_trials(trials, seeds, threads, |i, rng| {
-            let ell = trial_ell(i);
-            levy_walk_hitting_time(
-                &jumps,
-                Point::ORIGIN,
-                Point::new(ell as i64, 0),
-                budget(ell),
-                rng,
-            )
-        })
-    };
-    let r1 = run_with(1);
-    let deterministic = [3usize, 16].into_iter().all(|t| run_with(t) == r1)
-        && chunked::run_trials(trials, seeds, THREADS, |i, rng| {
-            let ell = trial_ell(i);
-            levy_walk_hitting_time(
-                &jumps,
-                Point::ORIGIN,
-                Point::new(ell as i64, 0),
-                budget(ell),
-                rng,
-            )
-        }) == r1;
-
-    // Schedule replay on the measured costs.
-    let chunked_span = chunked_makespan(&costs, THREADS);
-    let stealing_span = stealing_makespan(&costs, THREADS);
-    let speedup = chunked_span / stealing_span.max(1e-12);
-    let total_cost: f64 = costs.iter().sum();
-
-    println!("runner: {trials} trials (E1 sweep, alpha {alpha}), {hits} hits");
-    println!(
-        "runner: chunked makespan {chunked_span:.4}s vs stealing {stealing_span:.4}s on {THREADS} modeled workers -> {speedup:.2}x"
-    );
-    println!("runner: deterministic across threads/schedulers = {deterministic}");
-
-    Json::obj([
-        ("schema", Json::from("levy-bench/runner-v1")),
-        ("workload", Json::obj([
-            ("experiment_style", Json::from("E1 hit-probability sweep, batched as one trial queue")),
-            ("alpha", Json::from(alpha)),
-            ("ells", Json::arr(ells.iter().map(|&e| Json::from(e)))),
-            ("trials_per_ell", Json::from(per_ell)),
-            ("trials", Json::from(trials)),
-            ("budget_rule", Json::from("ceil(4 * ell^(alpha-1))")),
-            ("seed", Json::from("SeedStream::new(0x00E12021)")),
-        ])),
-        ("modeled_workers", Json::from(THREADS as u64)),
-        ("method", Json::from(
-            "per-trial wall-clock costs replayed through both schedules (container is single-core; schedules are exactly those of levy_sim::run_trials and levy_sim::chunked::run_trials)",
-        )),
-        ("single_walk", Json::obj([
-            ("trials", Json::from(trials)),
-            ("hits", Json::from(hits)),
-            ("secs_single_thread", Json::from(single_walk_secs)),
-            ("trials_per_sec", Json::from(trials as f64 / single_walk_secs)),
-        ])),
-        ("parallel_walk", Json::obj([
-            ("k", Json::from(k as u64)),
-            ("ell", Json::from(192u64)),
-            ("trials", Json::from(par_trials)),
-            ("secs_single_thread", Json::from(par_secs)),
-            ("trials_per_sec", Json::from(par_trials as f64 / par_secs)),
-        ])),
-        ("scheduler", Json::obj([
-            ("chunked_makespan_secs", Json::from(chunked_span)),
-            ("stealing_makespan_secs", Json::from(stealing_span)),
-            ("speedup", Json::from(speedup)),
-            ("total_cost_secs", Json::from(total_cost)),
-            ("ideal_makespan_secs", Json::from(total_cost / THREADS as f64)),
-        ])),
-        ("deterministic_across_threads_and_schedulers", Json::from(deterministic)),
-        ("host_cores", Json::from(
-            std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
-        )),
-        ("smoke", Json::from(smoke)),
-    ])
-}
-
-fn sampler_snapshot(smoke: bool) -> Json {
-    let draws: u64 = if smoke { 200_000 } else { 8_000_000 };
-    let reps: u32 = if smoke { 1 } else { 3 };
-    let mut rows: Vec<Json> = Vec::new();
-    let mut primary_speedup = 0.0;
-    for alpha in [2.2f64, 2.5, 3.0] {
-        let hybrid = JumpLengthDistribution::new(alpha).expect("valid");
-        let devroye = JumpLengthDistribution::new_untabled(alpha).expect("valid");
-        let time_draws = |law: &JumpLengthDistribution| {
-            best_of(reps, || {
-                let mut rng = SeedStream::new(0x5A_2021).child(0).rng();
-                let mut acc = 0u64;
-                for _ in 0..draws {
-                    acc = acc.wrapping_add(law.sample(&mut rng));
-                }
-                acc
-            })
-        };
-        let hybrid_secs = time_draws(&hybrid);
-        let devroye_secs = time_draws(&devroye);
-        let speedup = devroye_secs / hybrid_secs.max(1e-12);
-        if alpha == 2.5 {
-            primary_speedup = speedup;
-        }
-        println!(
-            "sampler alpha {alpha}: devroye {:.1} ns/draw, hybrid {:.1} ns/draw -> {speedup:.2}x",
-            devroye_secs * 1e9 / draws as f64,
-            hybrid_secs * 1e9 / draws as f64,
-        );
-        rows.push(Json::obj([
-            ("alpha", Json::from(alpha)),
-            ("table_cutoff", Json::from(hybrid.table_cutoff())),
-            ("draws", Json::from(draws)),
-            (
-                "devroye_ns_per_draw",
-                Json::from(devroye_secs * 1e9 / draws as f64),
-            ),
-            (
-                "hybrid_ns_per_draw",
-                Json::from(hybrid_secs * 1e9 / draws as f64),
-            ),
-            (
-                "devroye_draws_per_sec",
-                Json::from(draws as f64 / devroye_secs),
-            ),
-            (
-                "hybrid_draws_per_sec",
-                Json::from(draws as f64 / hybrid_secs),
-            ),
-            ("speedup", Json::from(speedup)),
-        ]));
-    }
-    Json::obj([
-        ("schema", Json::from("levy-bench/sampler-v1")),
-        ("law", Json::from("Eq. (3): P(d=0)=1/2, P(d=i)=c_a/i^a")),
-        ("seed", Json::from("SeedStream::new(0x005A2021).child(0)")),
-        ("per_alpha", Json::Arr(rows)),
-        ("primary_alpha", Json::from(2.5)),
-        ("primary_speedup", Json::from(primary_speedup)),
-        ("smoke", Json::from(smoke)),
-    ])
-}
-
-/// Serving throughput: an in-process `levyd` core timed over real TCP.
-///
-/// Three measurements, all on E6-style parallel queries:
-///
-/// * **cold** — distinct seeds, every request simulates;
-/// * **cached** — the same queries replayed, every request is a memory
-///   hit (and the bodies must be byte-identical to the cold run);
-/// * **dedup** — N concurrent identical cold requests, which must cost
-///   exactly one simulation (`dedup_factor = N / simulations`).
-fn server_snapshot(smoke: bool) -> Json {
-    use levy_served::server::{Server, ServerConfig};
-    use levy_served::{CacheConfig, Client};
-    use std::sync::atomic::Ordering;
-    use std::sync::{Arc, Barrier};
-
-    let distinct: u64 = if smoke { 4 } else { 16 };
-    let trials: u64 = if smoke { 100 } else { 300 };
-    let dedup_clients: usize = if smoke { 4 } else { 8 };
-    let query = |seed: u64| {
-        format!(
-            r#"{{"kind":"parallel","strategy":"optimal","k":8,"ell":16,"budget":4000,"trials":{trials},"seed":{seed}}}"#
-        )
-    };
-
-    let server = Server::start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        workers: 2,
-        sim_threads: 2,
-        queue_capacity: 64,
-        cache: CacheConfig {
-            mem_capacity: 256,
-            disk_capacity: 0,
-            dir: None,
-        },
-        default_timeout_ms: 120_000,
-        quiet: true,
-    })
-    .expect("server starts");
-    let client = Client::new(&server.addr().to_string());
-
-    let mut cold_bodies = Vec::with_capacity(distinct as usize);
-    let cold_start = Instant::now();
-    for seed in 0..distinct {
-        let response = client.post("/v1/query", &query(seed)).expect("cold query");
-        assert_eq!(response.status, 200, "cold query failed");
-        cold_bodies.push(response.body);
-    }
-    let cold_secs = cold_start.elapsed().as_secs_f64();
-
-    let mut replay_identical = true;
-    let cached_start = Instant::now();
-    for seed in 0..distinct {
-        let response = client
-            .post("/v1/query", &query(seed))
-            .expect("cached query");
-        assert_eq!(response.status, 200, "cached query failed");
-        replay_identical &= response.body == cold_bodies[seed as usize];
-    }
-    let cached_secs = cached_start.elapsed().as_secs_f64();
-
-    // Dedup: a fresh key, N clients racing from a barrier.
-    let dedup_body = query(1_000_000);
-    let before = server.stats().simulations_started.load(Ordering::Relaxed);
-    let barrier = Arc::new(Barrier::new(dedup_clients));
-    let handles: Vec<_> = (0..dedup_clients)
-        .map(|_| {
-            let client = client.clone();
-            let body = dedup_body.clone();
-            let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || {
-                barrier.wait();
-                client.post("/v1/query", &body).expect("dedup query").status
-            })
-        })
-        .collect();
-    for handle in handles {
-        assert_eq!(handle.join().expect("client thread"), 200);
-    }
-    let dedup_simulations = server.stats().simulations_started.load(Ordering::Relaxed) - before;
-    let dedup_factor = dedup_clients as f64 / dedup_simulations.max(1) as f64;
-
-    let cold_rps = distinct as f64 / cold_secs;
-    let cached_rps = distinct as f64 / cached_secs;
-    let cache_speedup = cached_rps / cold_rps.max(1e-12);
-    println!(
-        "server: cold {cold_rps:.1} req/s vs cached {cached_rps:.1} req/s -> {cache_speedup:.1}x; \
-         {dedup_clients} concurrent identical queries cost {dedup_simulations} simulation(s)"
-    );
-    let stats = server.stats().to_json();
-    server.shutdown();
-
-    Json::obj([
-        ("schema", Json::from("levy-bench/server-v1")),
-        (
-            "workload",
-            Json::obj([
-                (
-                    "query",
-                    Json::from("E6-style: parallel, optimal strategy, k=8, ell=16, budget=4000"),
-                ),
-                ("trials_per_query", Json::from(trials)),
-                ("distinct_queries", Json::from(distinct)),
-                ("workers", Json::from(2u64)),
-                ("sim_threads", Json::from(2u64)),
-            ]),
-        ),
-        (
-            "cold",
-            Json::obj([
-                ("requests", Json::from(distinct)),
-                ("secs", Json::from(cold_secs)),
-                ("requests_per_sec", Json::from(cold_rps)),
-            ]),
-        ),
-        (
-            "cached",
-            Json::obj([
-                ("requests", Json::from(distinct)),
-                ("secs", Json::from(cached_secs)),
-                ("requests_per_sec", Json::from(cached_rps)),
-                (
-                    "bodies_byte_identical_to_cold",
-                    Json::from(replay_identical),
-                ),
-            ]),
-        ),
-        ("cache_speedup", Json::from(cache_speedup)),
-        (
-            "dedup",
-            Json::obj([
-                ("concurrent_clients", Json::from(dedup_clients as u64)),
-                ("simulations", Json::from(dedup_simulations)),
-                ("factor", Json::from(dedup_factor)),
-            ]),
-        ),
-        ("counters", stats),
-        ("smoke", Json::from(smoke)),
-    ])
-}
-
 fn main() {
     let smoke = smoke_mode();
+    let profile = if smoke {
+        Profile::smoke()
+    } else {
+        Profile::full()
+    };
     let out_dir = if smoke {
         // Honors LEVY_RESULTS_DIR like the exp_* binaries.
         levy_bench::results_dir()
@@ -445,23 +45,19 @@ fn main() {
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("warning: could not create {}: {e}", out_dir.display());
     }
-    println!(
-        "bench snapshot ({}) -> {}",
-        if smoke { "smoke" } else { "full" },
-        out_dir.display()
-    );
+    println!("bench snapshot ({}) -> {}", profile.name, out_dir.display());
 
-    let runner = runner_snapshot(smoke);
+    let runner = runner_snapshot(&profile);
     let runner_path = out_dir.join("BENCH_runner.json");
     write_json(&runner, &runner_path).expect("write BENCH_runner.json");
     println!("[written {}]", runner_path.display());
 
-    let sampler = sampler_snapshot(smoke);
+    let sampler = sampler_snapshot(&profile);
     let sampler_path = out_dir.join("BENCH_sampler.json");
     write_json(&sampler, &sampler_path).expect("write BENCH_sampler.json");
     println!("[written {}]", sampler_path.display());
 
-    let server = server_snapshot(smoke);
+    let server = server_snapshot(&profile);
     let server_path = out_dir.join("BENCH_server.json");
     write_json(&server, &server_path).expect("write BENCH_server.json");
     println!("[written {}]", server_path.display());

@@ -5,7 +5,9 @@
 //! same rows as CSV under `results/`. Pass `--full` for the larger
 //! parameterization recorded in EXPERIMENTS.md's "full" columns.
 
+pub mod gate;
 pub mod microbench;
+pub mod snapshot;
 
 use std::path::PathBuf;
 use std::time::Instant;

@@ -1,0 +1,36 @@
+//! `levy-obs` — std-only observability for the Lévy-walk workspace.
+//!
+//! Everything here is dependency-free and allocation-light so the hot
+//! layers (the jump sampler at ~5 ns/draw, the trial runner, the serving
+//! path) can be instrumented without perturbing what they measure:
+//!
+//! - [`metrics`]: lock-free [`Counter`]/[`Gauge`]/[`Histogram`] handles.
+//!   Histograms use base-2 log buckets and merge by bucket-wise addition —
+//!   the same instrument backs both `/metrics` latency series and the
+//!   hitting-time step distributions EXPERIMENTS.md studies.
+//! - [`registry`]: a [`Registry`] interning families by name, plus a
+//!   Prometheus text-format encoder ([`Registry::encode`]).
+//! - [`trace`]: RAII [`Span`] guards recording wall time into histograms,
+//!   with optional JSONL events behind the `LEVY_TRACE` env var.
+//! - [`log`]: one structured stderr format (`ts level target msg k=v`)
+//!   shared by every binary.
+//!
+//! Metric recording is strictly off the result path: no instrument touches
+//! an RNG stream or simulation state, so seeded outputs stay byte-identical
+//! whether or not anything is observing.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use log::Level;
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use registry::Registry;
+pub use trace::{set_trace_enabled, trace_enabled, Span};

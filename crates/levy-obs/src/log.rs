@@ -1,0 +1,183 @@
+//! Structured stderr logging with a single, consistent line format:
+//!
+//! ```text
+//! ts=1754480000.123 level=info target=levyd msg="listening" addr=127.0.0.1:7878
+//! ```
+//!
+//! `ts` is seconds since the Unix epoch with millisecond precision; `msg`
+//! is always quoted; additional `k=v` fields are quoted only when the value
+//! contains whitespace, quotes, or `=`. Each record is written with one
+//! `eprintln!`, so concurrent lines never interleave mid-record.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail, off by default.
+    Debug = 0,
+    /// Routine operational events (requests, startup, shutdown).
+    Info = 1,
+    /// Unexpected but handled conditions.
+    Warn = 2,
+    /// Failures that lose work or data.
+    Error = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// Minimum level that gets emitted; default `Info`.
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-wide minimum level (e.g. `Warn` for `--quiet` daemons).
+pub fn set_min_level(level: Level) {
+    MIN_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether records at `level` are currently emitted.
+pub fn level_enabled(level: Level) -> bool {
+    level as u8 >= MIN_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one structured record to stderr.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+    if !level_enabled(level) {
+        return;
+    }
+    eprintln!(
+        "{}",
+        format_record(level, target, msg, fields, now_epoch_secs())
+    );
+}
+
+/// `log` at `Debug`.
+pub fn debug(target: &str, msg: &str, fields: &[(&str, String)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// `log` at `Info`.
+pub fn info(target: &str, msg: &str, fields: &[(&str, String)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// `log` at `Warn`.
+pub fn warn(target: &str, msg: &str, fields: &[(&str, String)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// `log` at `Error`.
+pub fn error(target: &str, msg: &str, fields: &[(&str, String)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+fn now_epoch_secs() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+fn format_record(
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, String)],
+    ts: f64,
+) -> String {
+    let mut line = String::with_capacity(64 + fields.len() * 16);
+    let _ = write!(
+        line,
+        "ts={ts:.3} level={} target={} msg={}",
+        level.as_str(),
+        target,
+        quote(msg)
+    );
+    for (k, v) in fields {
+        let _ = write!(line, " {k}={}", maybe_quote(v));
+    }
+    line
+}
+
+/// Always-quoted value (used for `msg`).
+fn quote(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Quotes only when the bare token would be ambiguous.
+fn maybe_quote(v: &str) -> String {
+    let needs_quoting = v.is_empty()
+        || v.chars()
+            .any(|c| c.is_whitespace() || c == '"' || c == '=' || c == '\\');
+    if needs_quoting {
+        quote(v)
+    } else {
+        v.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_format_is_stable() {
+        let line = format_record(
+            Level::Info,
+            "levyd",
+            "request served",
+            &[
+                ("path", "/v1/query".to_owned()),
+                ("status", "200".to_owned()),
+                ("note", "two words".to_owned()),
+            ],
+            1754480000.1234,
+        );
+        assert_eq!(
+            line,
+            "ts=1754480000.123 level=info target=levyd msg=\"request served\" \
+             path=/v1/query status=200 note=\"two words\""
+        );
+    }
+
+    #[test]
+    fn values_needing_quotes_are_escaped() {
+        assert_eq!(maybe_quote("plain"), "plain");
+        assert_eq!(maybe_quote(""), "\"\"");
+        assert_eq!(maybe_quote("a=b"), "\"a=b\"");
+        assert_eq!(maybe_quote("say \"hi\""), "\"say \\\"hi\\\"\"");
+        assert_eq!(maybe_quote("line\nbreak"), "\"line\\nbreak\"");
+    }
+
+    #[test]
+    fn levels_are_ordered_and_gated() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Warn < Level::Error);
+        set_min_level(Level::Warn);
+        assert!(!level_enabled(Level::Info));
+        assert!(level_enabled(Level::Error));
+        set_min_level(Level::Info);
+        assert!(level_enabled(Level::Info));
+    }
+}

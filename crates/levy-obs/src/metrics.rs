@@ -1,0 +1,356 @@
+//! Lock-free metric primitives: counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! All handles are cheap clones around `Arc`'d atomics, so a handle can be
+//! resolved once (at startup or first use) and then recorded into from hot
+//! loops without ever touching the registry again. Every mutation uses
+//! `Ordering::Relaxed`: metrics are monotone tallies, not synchronization
+//! edges, and the encoder only needs eventually-consistent snapshots.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing event tally.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level that can move both ways (queue depth, busy workers).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per base-2 magnitude (`le = 2^i` for
+/// `i in 0..64`) plus a final `+Inf` overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Index of the bucket that receives `v`.
+///
+/// Bucket `i < 64` covers `(2^(i-1), 2^i]` (bucket 0 covers `[0, 1]`), so a
+/// value exactly on a power of two lands in the bucket whose upper bound it
+/// equals. Everything above `2^63` lands in the `+Inf` bucket (index 64).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, or `None` for the `+Inf` bucket.
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i < HISTOGRAM_BUCKETS - 1 {
+        Some(1u64 << i)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> HistogramCore {
+        HistogramCore {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log-bucketed histogram with a lock-free record path.
+///
+/// Buckets are base-2 (`le = 1, 2, 4, ..., 2^63, +Inf`), which keeps
+/// recording to three relaxed `fetch_add`s and makes snapshots from
+/// different histograms (threads, processes, runs) mergeable by plain
+/// bucket-wise addition. The sum saturates instead of wrapping so merged
+/// aggregates stay monotone even for pathological inputs.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A fresh, unregistered histogram with empty buckets.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let core = &*self.0;
+        core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating accumulate: `fetch_add` would wrap, and a wrapped sum
+        // reads as a huge regression in dashboards.
+        let mut sum = core.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(v);
+            match core
+                .sum
+                .compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => sum = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.0.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Owned copy of a histogram's buckets, mergeable across sources.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Bucket-wise merge of two snapshots.
+    ///
+    /// Merging is associative and commutative with `empty()` as identity,
+    /// so per-thread or per-process snapshots can be combined in any order.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut merged = self.clone();
+        for (slot, v) in merged.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += v;
+        }
+        merged.count += other.count;
+        merged.sum = merged.sum.saturating_add(other.sum);
+        merged
+    }
+
+    /// Smallest bucket upper bound `b` with `P[v <= b] >= q`, or `None`
+    /// when the quantile falls in the `+Inf` bucket or nothing was
+    /// recorded. `q` is clamped to `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        c.add(0);
+        assert_eq!(c.get(), 42);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 43, "clones share the same cell");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_boundaries_exact_powers_of_two() {
+        // Values exactly on a power of two must land in the bucket whose
+        // upper bound they equal, not the next one up.
+        for i in 0..63usize {
+            let v = 1u64 << i;
+            assert_eq!(bucket_index(v), i, "v = 2^{i}");
+            assert_eq!(bucket_upper_bound(bucket_index(v)), Some(v));
+            if v > 1 {
+                assert_eq!(bucket_index(v + 1), i + 1, "v = 2^{i} + 1");
+            }
+        }
+        assert_eq!(bucket_index(1u64 << 63), 63);
+        assert_eq!(bucket_upper_bound(63), Some(1u64 << 63));
+    }
+
+    #[test]
+    fn bucket_boundaries_zero_one_and_max() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index((1u64 << 63) + 1), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None, "+Inf");
+    }
+
+    #[test]
+    fn histogram_records_and_sums() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.buckets[0], 2); // 0 and 1
+        assert_eq!(snap.buckets[1], 1); // 2
+        assert_eq!(snap.buckets[2], 1); // 3
+        assert_eq!(snap.buckets[10], 1); // 1024
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1); // u64::MAX
+        assert_eq!(snap.sum, u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 2, 4, 8, 1 << 40]);
+        let b = mk(&[0, 3, 3, 1 << 63, u64::MAX]);
+        let c = mk(&[17, 1 << 20]);
+
+        let ab_c = a.merge(&b).merge(&c);
+        let a_bc = a.merge(&b.merge(&c));
+        assert_eq!(ab_c, a_bc, "merge is associative");
+        assert_eq!(a.merge(&b), b.merge(&a), "merge is commutative");
+        assert_eq!(a.merge(&HistogramSnapshot::empty()), a, "empty is identity");
+        assert_eq!(ab_c.count, 12);
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // p50 of 1..=100 is 50, whose bucket has upper bound 64.
+        assert_eq!(snap.quantile_upper_bound(0.5), Some(64));
+        assert_eq!(snap.quantile_upper_bound(1.0), Some(128));
+        assert_eq!(HistogramSnapshot::empty().quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for v in 0..10_000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), 40_000);
+    }
+}

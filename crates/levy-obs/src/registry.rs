@@ -1,0 +1,470 @@
+//! Metric registry and Prometheus text-format encoder.
+//!
+//! A [`Registry`] interns metric families by name: the first
+//! `counter`/`gauge`/`histogram` call for a name creates the family, later
+//! calls with the same name and labels return clones of the same handle.
+//! The registry mutex is only held while resolving or encoding — recording
+//! happens on the returned handles and never touches the registry.
+//!
+//! Naming scheme (see DESIGN.md §8): `levy_<crate>_<name>`, with counter
+//! families suffixed `_total` and duration histograms suffixed `_us`.
+//! Process-wide instruments (sampler, runner) live in [`Registry::global`];
+//! components that are instantiated several times per process (each
+//! `levy-served` server) keep their own `Registry` so absolute values stay
+//! meaningful per instance.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{bucket_upper_bound, Counter, Gauge, Histogram};
+
+/// What kind of series a family holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// A set of metric families, encodable as Prometheus text exposition.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get-or-create an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create a counter with the given label set.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.resolve(name, help, Kind::Counter, labels, || {
+            Handle::Counter(Counter::new())
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-create an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create a gauge with the given label set.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.resolve(name, help, Kind::Gauge, labels, || {
+            Handle::Gauge(Gauge::new())
+        }) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-create an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get-or-create a histogram with the given label set.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.resolve(name, help, Kind::Histogram, labels, || {
+            Handle::Histogram(Histogram::new())
+        }) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Adopts an existing counter handle into this registry, so components
+    /// that own their counters (e.g. a cache) can still be scraped.
+    pub fn register_counter(&self, name: &str, help: &str, counter: &Counter) {
+        self.adopt(
+            name,
+            help,
+            Kind::Counter,
+            &[],
+            Handle::Counter(counter.clone()),
+        );
+    }
+
+    /// Adopts an existing gauge handle into this registry.
+    pub fn register_gauge(&self, name: &str, help: &str, gauge: &Gauge) {
+        self.adopt(name, help, Kind::Gauge, &[], Handle::Gauge(gauge.clone()));
+    }
+
+    /// Adopts an existing histogram handle into this registry.
+    pub fn register_histogram(&self, name: &str, help: &str, histogram: &Histogram) {
+        self.adopt(
+            name,
+            help,
+            Kind::Histogram,
+            &[],
+            Handle::Histogram(histogram.clone()),
+        );
+    }
+
+    /// Number of registered families.
+    pub fn family_count(&self) -> usize {
+        self.families.lock().unwrap().len()
+    }
+
+    fn resolve(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(family) => {
+                assert_eq!(
+                    family.kind,
+                    kind,
+                    "metric {name} already registered as a {}",
+                    family.kind.as_str()
+                );
+                family
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(series) = family.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k0, v0), (k1, v1))| k0 == k1 && v0 == v1)
+        }) {
+            return series.handle.clone();
+        }
+        let handle = make();
+        family.series.push(Series {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    fn adopt(&self, name: &str, help: &str, kind: Kind, labels: &[(&str, &str)], handle: Handle) {
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(family) => {
+                assert_eq!(
+                    family.kind,
+                    kind,
+                    "metric {name} already registered as a {}",
+                    family.kind.as_str()
+                );
+                family
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        match family.series.iter_mut().find(|s| s.labels == labels) {
+            Some(series) => series.handle = handle,
+            None => family.series.push(Series { labels, handle }),
+        }
+    }
+
+    /// Encodes every family in Prometheus text exposition format.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the exposition text to `out` (for concatenating registries).
+    pub fn encode_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        let families = self.families.lock().unwrap();
+        for family in families.iter() {
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+            for series in &family.series {
+                match &series.handle {
+                    Handle::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            label_block(&series.labels, None),
+                            c.get()
+                        );
+                    }
+                    Handle::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            label_block(&series.labels, None),
+                            g.get()
+                        );
+                    }
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        // Trim trailing empty buckets: emit boundaries up to
+                        // the last occupied one, then the mandatory +Inf.
+                        let last = snap
+                            .buckets
+                            .iter()
+                            .rposition(|&n| n > 0)
+                            .unwrap_or(0)
+                            .min(snap.buckets.len() - 2);
+                        let mut cumulative = 0u64;
+                        for (i, &n) in snap.buckets.iter().enumerate().take(last + 1) {
+                            cumulative += n;
+                            let le = bucket_upper_bound(i).expect("bounded bucket");
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                family.name,
+                                label_block(&series.labels, Some(&le.to_string())),
+                                cumulative
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            family.name,
+                            label_block(&series.labels, Some("+Inf")),
+                            snap.count
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            family.name,
+                            label_block(&series.labels, None),
+                            snap.sum
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            family.name,
+                            label_block(&series.labels, None),
+                            snap.count
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Renders `{k="v",...}` (with the optional `le` bound appended), or an
+/// empty string when there are no labels.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_interned_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("levy_test_events_total", "Events.");
+        let b = r.counter("levy_test_events_total", "Events.");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same name resolves to the same cell");
+
+        let x = r.counter_with("levy_test_hits_total", "Hits.", &[("path", "/a")]);
+        let y = r.counter_with("levy_test_hits_total", "Hits.", &[("path", "/b")]);
+        x.inc();
+        assert_eq!(y.get(), 0, "different labels are distinct series");
+        assert_eq!(r.family_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("levy_test_thing", "A counter.");
+        let _ = r.gauge("levy_test_thing", "Now a gauge?");
+    }
+
+    #[test]
+    fn encode_counters_and_gauges() {
+        let r = Registry::new();
+        r.counter("levy_test_a_total", "Help for a.").add(3);
+        r.gauge("levy_test_depth", "Queue depth.").set(-2);
+        r.counter_with(
+            "levy_test_b_total",
+            "B.",
+            &[("path", "/v1/query"), ("status", "200")],
+        )
+        .inc();
+        let text = r.encode();
+        assert!(text.contains("# HELP levy_test_a_total Help for a.\n"));
+        assert!(text.contains("# TYPE levy_test_a_total counter\n"));
+        assert!(text.contains("\nlevy_test_a_total 3\n"));
+        assert!(text.contains("\nlevy_test_depth -2\n"));
+        assert!(text.contains("levy_test_b_total{path=\"/v1/query\",status=\"200\"} 1\n"));
+    }
+
+    #[test]
+    fn encode_histogram_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("levy_test_lat_us", "Latency.");
+        for v in [1u64, 2, 2, 5] {
+            h.record(v);
+        }
+        let text = r.encode();
+        assert!(text.contains("# TYPE levy_test_lat_us histogram\n"));
+        assert!(text.contains("levy_test_lat_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("levy_test_lat_us_bucket{le=\"2\"} 3\n"));
+        assert!(text.contains("levy_test_lat_us_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("levy_test_lat_us_bucket{le=\"8\"} 4\n"));
+        assert!(text.contains("levy_test_lat_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(
+            !text.contains("le=\"16\""),
+            "trailing empty buckets trimmed"
+        );
+        assert!(text.contains("levy_test_lat_us_sum 10\n"));
+        assert!(text.contains("levy_test_lat_us_count 4\n"));
+    }
+
+    #[test]
+    fn adopted_handles_are_scraped() {
+        let r = Registry::new();
+        let c = Counter::new();
+        c.add(7);
+        r.register_counter("levy_test_adopted_total", "Adopted.", &c);
+        assert!(r.encode().contains("levy_test_adopted_total 7\n"));
+        c.inc();
+        assert!(r.encode().contains("levy_test_adopted_total 8\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("levy_test_esc_total", "Esc.", &[("q", "a\"b\\c\nd")])
+            .inc();
+        assert!(r
+            .encode()
+            .contains("levy_test_esc_total{q=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn exposition_lines_are_well_formed() {
+        let r = Registry::new();
+        r.counter("levy_test_c_total", "C.").inc();
+        r.gauge("levy_test_g", "G.").set(4);
+        r.histogram("levy_test_h_us", "H.").record(100);
+        for line in r.encode().lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+            } else {
+                let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+                assert!(!name.is_empty());
+                assert!(
+                    value.parse::<i64>().is_ok() || value.parse::<f64>().is_ok(),
+                    "unparseable sample value: {line}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Lightweight span tracing.
+//!
+//! A [`Span`] is an RAII guard: construct it when entering a region, and on
+//! drop the elapsed wall time is recorded (in microseconds) into a
+//! histogram. When tracing is enabled — via the `LEVY_TRACE` environment
+//! variable or programmatically with [`set_trace_enabled`] — each span
+//! additionally emits one JSONL event on stderr:
+//!
+//! ```text
+//! {"ts_us":1754480000123456,"span":"levy_served_engine_execute","dur_us":8123}
+//! ```
+//!
+//! Tracing only observes timing and writes to stderr; it never touches RNG
+//! streams or simulation state, so seeded results are byte-identical with
+//! tracing on or off (tested in `levy-served`).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::metrics::Histogram;
+use crate::registry::Registry;
+
+/// Tri-state so the `LEVY_TRACE` lookup happens at most once.
+const TRACE_UNSET: u8 = 0;
+const TRACE_OFF: u8 = 1;
+const TRACE_ON: u8 = 2;
+
+static TRACE_STATE: AtomicU8 = AtomicU8::new(TRACE_UNSET);
+
+/// Whether JSONL span events are being emitted.
+///
+/// Initialized lazily from `LEVY_TRACE` (enabled when set to anything other
+/// than empty or `0`), unless overridden by [`set_trace_enabled`].
+pub fn trace_enabled() -> bool {
+    match TRACE_STATE.load(Ordering::Relaxed) {
+        TRACE_ON => true,
+        TRACE_OFF => false,
+        _ => {
+            let on = matches!(std::env::var("LEVY_TRACE"), Ok(v) if !v.is_empty() && v != "0");
+            let state = if on { TRACE_ON } else { TRACE_OFF };
+            // A racing initializer computes the same answer; last store wins.
+            TRACE_STATE.store(state, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the `LEVY_TRACE` decision for this process.
+///
+/// Exists so tests and tools can toggle tracing without mutating the
+/// process environment (which is unsafe under concurrent threads).
+pub fn set_trace_enabled(enabled: bool) {
+    TRACE_STATE.store(
+        if enabled { TRACE_ON } else { TRACE_OFF },
+        Ordering::Relaxed,
+    );
+}
+
+/// RAII timing guard. See the module docs.
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    histogram: Option<Histogram>,
+}
+
+impl Span {
+    /// Enters a span whose duration lands in the global-registry histogram
+    /// `<name>_duration_us`.
+    ///
+    /// Resolving the histogram takes the registry lock, so for per-item hot
+    /// loops resolve once and use [`Span::with`] instead.
+    pub fn enter(name: &'static str) -> Span {
+        let histogram = Registry::global().histogram(
+            &format!("{name}_duration_us"),
+            "Wall time of the span, in microseconds.",
+        );
+        Span::with(&histogram, name)
+    }
+
+    /// Enters a span recording into an already-resolved histogram.
+    pub fn with(histogram: &Histogram, name: &'static str) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+            histogram: Some(histogram.clone()),
+        }
+    }
+
+    /// Enters a span that only emits trace events (no histogram).
+    pub fn untimed(name: &'static str) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+            histogram: None,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if let Some(histogram) = &self.histogram {
+            histogram.record(dur_us);
+        }
+        if trace_enabled() {
+            let ts_us = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            eprintln!(
+                "{{\"ts_us\":{ts_us},\"span\":\"{}\",\"dur_us\":{dur_us}}}",
+                self.name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram() {
+        let h = Histogram::new();
+        {
+            let _span = Span::with(&h, "test_span");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum >= 1_000, "slept 2ms, recorded {} us", snap.sum);
+    }
+
+    #[test]
+    fn enter_registers_duration_histogram() {
+        {
+            let _span = Span::enter("levy_obs_test_span");
+        }
+        let text = Registry::global().encode();
+        assert!(text.contains("levy_obs_test_span_duration_us_count"));
+    }
+
+    #[test]
+    fn trace_override_toggles() {
+        set_trace_enabled(true);
+        assert!(trace_enabled());
+        set_trace_enabled(false);
+        assert!(!trace_enabled());
+    }
+}

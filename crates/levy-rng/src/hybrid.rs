@@ -121,6 +121,7 @@ impl JumpTable {
         // Leftovers (float residue) keep prob = 1.0: they alias to
         // themselves, which is exactly right at machine precision.
 
+        crate::obs::record_table_build();
         JumpTable {
             alpha,
             cutoff,
@@ -170,8 +171,10 @@ impl JumpTable {
         };
         if outcome as u64 <= self.cutoff {
             // Slot 0 is the zero jump; slots 1..=cutoff are literal lengths.
+            crate::obs::record_table_draw();
             outcome as u64
         } else {
+            crate::obs::record_devroye_draw();
             sample_zeta_above(self.alpha, self.cutoff, rng)
         }
     }
@@ -280,6 +283,7 @@ pub(crate) fn cached_table(alpha: f64) -> Arc<JumpTable> {
     }
     if guard.len() >= CACHE_CAP {
         guard.remove(0);
+        crate::obs::record_cache_eviction();
     }
     guard.push((bits, Arc::clone(&table)));
     table

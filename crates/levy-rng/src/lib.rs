@@ -32,12 +32,14 @@
 
 mod exponent;
 mod hybrid;
+pub mod obs;
 mod power_law;
 mod seeds;
 mod zeta;
 
 pub use exponent::{ideal_exponent, optimal_exponent, ExponentStrategy};
 pub use hybrid::{cutoff_for, sample_zeta_above, JumpTable, MAX_TABLE_CUTOFF, TARGET_TAIL_MASS};
+pub use obs::flush_draw_stats;
 pub use power_law::{
     sample_zeta, InvalidExponentError, JumpLengthDistribution, ZetaTable, MAX_JUMP, MIN_EXPONENT,
 };

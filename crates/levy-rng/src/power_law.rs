@@ -209,6 +209,7 @@ impl JumpLengthDistribution {
                 if rng.gen::<bool>() {
                     0
                 } else {
+                    crate::obs::record_devroye_draw();
                     sample_zeta(self.alpha, rng)
                 }
             }

@@ -1,11 +1,12 @@
 //! `levyc` — command-line client for `levyd`.
 //!
 //! ```text
-//! levyc [--addr HOST:PORT] [--timeout-ms MS] COMMAND [ARGS]
+//! levyc [--addr HOST:PORT] [--timeout-ms MS] [--no-retry] COMMAND [ARGS]
 //!
 //! commands:
 //!   health                     GET /healthz
 //!   stats                      GET /v1/stats
+//!   metrics                    GET /metrics (Prometheus text format)
 //!   shutdown                   POST /v1/shutdown
 //!   query JSON                 POST /v1/query with the given body
 //!   query -                    POST /v1/query with the body from stdin
@@ -15,6 +16,10 @@
 //! The response body goes to stdout; the status line and cache
 //! disposition (`X-Levy-Cache` / `X-Levy-Cache-Tier`) go to stderr.
 //! Exit status is 0 for 2xx responses, 1 otherwise.
+//!
+//! A `503` carrying a `Retry-After` header (backpressure from a full
+//! queue, or a cancelled job) is retried exactly once after honoring the
+//! advertised delay; `--no-retry` disables this.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -23,8 +28,11 @@ use std::time::Duration;
 use levy_served::http::Response;
 use levy_served::Client;
 
-const USAGE: &str = "usage: levyc [--addr HOST:PORT] [--timeout-ms MS] \
-                     health|stats|shutdown|query JSON|raw METHOD PATH [BODY]";
+const USAGE: &str = "usage: levyc [--addr HOST:PORT] [--timeout-ms MS] [--no-retry] \
+                     health|stats|metrics|shutdown|query JSON|raw METHOD PATH [BODY]";
+
+/// Longest `Retry-After` delay we will actually sleep for.
+const MAX_RETRY_AFTER: Duration = Duration::from_secs(10);
 
 fn read_body_arg(arg: &str) -> Result<String, String> {
     if arg == "-" {
@@ -38,9 +46,17 @@ fn read_body_arg(arg: &str) -> Result<String, String> {
     }
 }
 
+/// Parses a `Retry-After` header value as whole seconds (the only form
+/// `levyd` emits; HTTP-date values are ignored).
+fn retry_after(response: &Response) -> Option<Duration> {
+    let secs: u64 = response.header("retry-after")?.trim().parse().ok()?;
+    Some(Duration::from_secs(secs).min(MAX_RETRY_AFTER))
+}
+
 fn run() -> Result<Response, String> {
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut timeout_ms: u64 = 120_000;
+    let mut retry = true;
     let mut args = std::env::args().skip(1).peekable();
     loop {
         match args.peek().map(String::as_str) {
@@ -56,18 +72,25 @@ fn run() -> Result<Response, String> {
                     .parse()
                     .map_err(|_| "--timeout-ms must be an integer".to_owned())?;
             }
+            Some("--no-retry") => {
+                args.next();
+                retry = false;
+            }
             _ => break,
         }
     }
     let client = Client::new(&addr).with_timeout(Duration::from_millis(timeout_ms.max(1)));
     let command = args.next().ok_or_else(|| USAGE.to_owned())?;
-    let response = match command.as_str() {
-        "health" => client.get("/healthz"),
-        "stats" => client.get("/v1/stats"),
-        "shutdown" => client.post("/v1/shutdown", ""),
+    // Resolve the command to (method, path, body) up front so the
+    // request can be re-issued on a 503 (stdin is only read once).
+    let (method, path, body) = match command.as_str() {
+        "health" => ("GET".to_owned(), "/healthz".to_owned(), String::new()),
+        "stats" => ("GET".to_owned(), "/v1/stats".to_owned(), String::new()),
+        "metrics" => ("GET".to_owned(), "/metrics".to_owned(), String::new()),
+        "shutdown" => ("POST".to_owned(), "/v1/shutdown".to_owned(), String::new()),
         "query" => {
             let body = read_body_arg(&args.next().ok_or_else(|| USAGE.to_owned())?)?;
-            client.post("/v1/query", &body)
+            ("POST".to_owned(), "/v1/query".to_owned(), body)
         }
         "raw" => {
             let method = args.next().ok_or_else(|| USAGE.to_owned())?;
@@ -76,11 +99,30 @@ fn run() -> Result<Response, String> {
                 Some(arg) => read_body_arg(&arg)?,
                 None => String::new(),
             };
-            client.request(&method.to_ascii_uppercase(), &path, body.as_bytes())
+            (method.to_ascii_uppercase(), path, body)
         }
         other => return Err(format!("unknown command {other}\n{USAGE}")),
     };
-    response.map_err(|e| format!("request to {addr} failed: {e}"))
+    let send = || {
+        client
+            .request(&method, &path, body.as_bytes())
+            .map_err(|e| format!("request to {addr} failed: {e}"))
+    };
+    let response = send()?;
+    if response.status != 503 || !retry {
+        return Ok(response);
+    }
+    // One-shot retry on backpressure, honoring the server's delay hint.
+    let Some(delay) = retry_after(&response) else {
+        return Ok(response);
+    };
+    eprintln!(
+        "levyc: 503 ({}), retrying once in {:.1}s",
+        response.body_string().trim_end(),
+        delay.as_secs_f64()
+    );
+    std::thread::sleep(delay);
+    send()
 }
 
 fn main() -> ExitCode {

@@ -83,19 +83,25 @@ fn main() -> ExitCode {
         }
     };
     signal::install_handlers();
+    let quiet = config.quiet;
     let server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("levyd: failed to start: {e}");
+            levy_obs::log::error("levyd", "failed to start", &[("error", e.to_string())]);
             return ExitCode::FAILURE;
         }
     };
     println!("levyd listening on {}", server.addr());
+    if !quiet {
+        levy_obs::log::info("levyd", "listening", &[("addr", server.addr().to_string())]);
+    }
 
     while !signal::termination_requested() && !server.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(50));
     }
-    eprintln!("levyd: shutting down (draining in-flight work)");
+    if !quiet {
+        levy_obs::log::info("levyd", "shutting down, draining in-flight work", &[]);
+    }
     server.shutdown();
     ExitCode::SUCCESS
 }

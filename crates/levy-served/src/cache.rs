@@ -17,6 +17,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use levy_obs::{Counter, Gauge, Registry};
 use levy_sim::Json;
 
 /// Which tier served a cache hit.
@@ -71,11 +72,12 @@ pub struct ResultCache {
     config: CacheConfig,
     mem: Mutex<HashMap<String, MemEntry>>,
     clock: AtomicU64,
-    mem_hits: AtomicU64,
-    disk_hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
+    mem_hits: Counter,
+    disk_hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    mem_entries: Gauge,
 }
 
 impl ResultCache {
@@ -88,12 +90,48 @@ impl ResultCache {
             config,
             mem: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(0),
-            mem_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            mem_hits: Counter::new(),
+            disk_hits: Counter::new(),
+            misses: Counter::new(),
+            insertions: Counter::new(),
+            evictions: Counter::new(),
+            mem_entries: Gauge::new(),
         })
+    }
+
+    /// Adopts this cache's counters into `registry` under
+    /// `levy_served_cache_*` names so `/metrics` can scrape them.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "levy_served_cache_mem_hits_total",
+            "Cache lookups served by the in-memory tier.",
+            &self.mem_hits,
+        );
+        registry.register_counter(
+            "levy_served_cache_disk_hits_total",
+            "Cache lookups served by the disk tier (promoted to memory).",
+            &self.disk_hits,
+        );
+        registry.register_counter(
+            "levy_served_cache_misses_total",
+            "Cache lookups that found nothing in either tier.",
+            &self.misses,
+        );
+        registry.register_counter(
+            "levy_served_cache_insertions_total",
+            "Bodies stored in the cache.",
+            &self.insertions,
+        );
+        registry.register_counter(
+            "levy_served_cache_evictions_total",
+            "Entries evicted from either tier to stay within capacity.",
+            &self.evictions,
+        );
+        registry.register_gauge(
+            "levy_served_cache_mem_entries",
+            "Entries currently in the memory tier.",
+            &self.mem_entries,
+        );
     }
 
     fn tick(&self) -> u64 {
@@ -119,24 +157,24 @@ impl ResultCache {
             let mut mem = self.mem.lock().expect("cache lock");
             if let Some(entry) = mem.get_mut(key) {
                 entry.tick = self.clock.fetch_add(1, Ordering::Relaxed);
-                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                self.mem_hits.inc();
                 return Some((entry.body.clone(), CacheTier::Memory));
             }
         }
         if let Some(path) = self.disk_path(key) {
             if let Ok(body) = fs::read_to_string(&path) {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.inc();
                 self.insert_mem(key, &body);
                 return Some((body, CacheTier::Disk));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         None
     }
 
     /// Stores a body under `key` in both tiers.
     pub fn put(&self, key: &str, body: &str) {
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
         self.insert_mem(key, body);
         if let Some(path) = self.disk_path(key) {
             // Write-then-rename so concurrent readers never observe a
@@ -144,7 +182,14 @@ impl ResultCache {
             let tmp = path.with_extension("tmp");
             let write = fs::write(&tmp, body).and_then(|()| fs::rename(&tmp, &path));
             if let Err(e) = write {
-                eprintln!("levy-served: cache write {} failed: {e}", path.display());
+                levy_obs::log::warn(
+                    "levy-served",
+                    "cache write failed",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
                 return;
             }
             self.enforce_disk_capacity();
@@ -171,8 +216,10 @@ impl ResultCache {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty over capacity");
             mem.remove(&oldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
+        self.mem_entries
+            .set(i64::try_from(mem.len()).unwrap_or(i64::MAX));
     }
 
     fn enforce_disk_capacity(&self) {
@@ -195,7 +242,7 @@ impl ResultCache {
         let excess = files.len() - self.config.disk_capacity;
         for (_, path) in files.into_iter().take(excess) {
             if fs::remove_file(&path).is_ok() {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
     }
@@ -215,23 +262,11 @@ impl ResultCache {
                 "disk_enabled",
                 Json::from(self.config.dir.is_some() && self.config.disk_capacity > 0),
             ),
-            (
-                "mem_hits",
-                Json::from(self.mem_hits.load(Ordering::Relaxed)),
-            ),
-            (
-                "disk_hits",
-                Json::from(self.disk_hits.load(Ordering::Relaxed)),
-            ),
-            ("misses", Json::from(self.misses.load(Ordering::Relaxed))),
-            (
-                "insertions",
-                Json::from(self.insertions.load(Ordering::Relaxed)),
-            ),
-            (
-                "evictions",
-                Json::from(self.evictions.load(Ordering::Relaxed)),
-            ),
+            ("mem_hits", Json::from(self.mem_hits.get())),
+            ("disk_hits", Json::from(self.disk_hits.get())),
+            ("misses", Json::from(self.misses.get())),
+            ("insertions", Json::from(self.insertions.get())),
+            ("evictions", Json::from(self.evictions.get())),
         ])
     }
 }

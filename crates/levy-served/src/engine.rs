@@ -28,6 +28,10 @@ use crate::request::{Estimator, ExponentSpec, Query, QueryKind, SearchSpec};
 /// job was abandoned by every waiter); otherwise the deterministic
 /// response body.
 pub fn execute(query: &Query, sim_threads: usize, cancel: &CancelToken) -> Option<Json> {
+    // Timing guard only: records wall time into the global-registry
+    // histogram `levy_served_engine_execute_duration_us` (and a JSONL
+    // event under LEVY_TRACE) without touching any RNG stream.
+    let _span = levy_obs::Span::enter("levy_served_engine_execute");
     let result = match &query.estimator {
         Estimator::Trials(_) => summary_result(query, sim_threads, cancel)?,
         Estimator::Adaptive(precision) => adaptive_result(query, *precision, sim_threads, cancel)?,
@@ -250,6 +254,23 @@ mod tests {
         // Deterministic too.
         let again = execute(&q, 4, &CancelToken::new()).unwrap();
         assert_eq!(out.to_string_pretty(), again.to_string_pretty());
+    }
+
+    #[test]
+    fn bodies_are_byte_identical_with_tracing_enabled() {
+        let q = query(
+            r#"{"kind":"parallel","alpha":2.5,"k":4,"ell":8,"budget":400,
+                "trials":150,"seed":11}"#,
+        );
+        let quiet = execute(&q, 2, &CancelToken::new())
+            .unwrap()
+            .to_string_pretty();
+        levy_obs::set_trace_enabled(true);
+        let traced = execute(&q, 2, &CancelToken::new())
+            .unwrap()
+            .to_string_pretty();
+        levy_obs::set_trace_enabled(false);
+        assert_eq!(quiet, traced, "tracing must never perturb seeded results");
     }
 
     #[test]

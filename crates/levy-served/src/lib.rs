@@ -31,6 +31,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod http;
+pub mod metrics;
 pub mod request;
 pub mod server;
 #[allow(unsafe_code)]
@@ -39,5 +40,6 @@ pub mod signal;
 pub use cache::{CacheConfig, CacheTier, ResultCache};
 pub use client::Client;
 pub use http::{Request, Response};
+pub use metrics::Stats;
 pub use request::Query;
-pub use server::{Server, ServerConfig, Stats};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,252 @@
+//! Server instrumentation: the [`Stats`] block every server instance owns.
+//!
+//! Each server keeps its *own* [`Registry`] so absolute counter values
+//! stay meaningful per instance — the dedup tests assert facts like
+//! `simulations_started == 1` even when several servers share a process.
+//! `GET /metrics` concatenates this per-server registry with
+//! [`Registry::global`], which holds the process-wide sampler and runner
+//! instruments (`levy_rng_*`, `levy_sim_*`) plus span histograms.
+
+use std::time::Duration;
+
+use levy_obs::{Counter, Gauge, Registry};
+use levy_sim::Json;
+
+/// Routes that get their own `path` label on per-endpoint series.
+/// Anything else collapses into `other` so label cardinality stays
+/// bounded even under scanner traffic.
+const KNOWN_PATHS: &[&str] = &[
+    "/healthz",
+    "/metrics",
+    "/v1/query",
+    "/v1/stats",
+    "/v1/shutdown",
+];
+
+/// Monotonic counters and gauges exposed at `/v1/stats` and `/metrics`
+/// (and asserted on by the dedup integration tests: `simulations_started`
+/// is the ground truth for "the simulation ran exactly once").
+pub struct Stats {
+    registry: Registry,
+    /// HTTP requests accepted (any route).
+    pub http_requests: Counter,
+    /// `POST /v1/query` requests.
+    pub queries: Counter,
+    /// Queries answered from the cache (either tier).
+    pub cache_hits: Counter,
+    /// Queries coalesced onto an already-in-flight job.
+    pub coalesced: Counter,
+    /// Simulations actually started by workers.
+    pub simulations_started: Counter,
+    /// Simulations that ran to completion.
+    pub simulations_completed: Counter,
+    /// Simulations cancelled after every waiter abandoned them.
+    pub simulations_cancelled: Counter,
+    /// Queries refused because the queue was full (503).
+    pub rejected_queue_full: Counter,
+    /// Malformed or invalid requests (400).
+    pub invalid_requests: Counter,
+    /// Waits that hit their deadline (504).
+    pub wait_timeouts: Counter,
+    /// Jobs currently in the bounded queue.
+    pub queue_depth: Gauge,
+    /// Configured queue capacity (constant per server; exported so
+    /// depth can be read as a fraction).
+    pub queue_capacity: Gauge,
+    /// Workers currently executing a simulation.
+    pub workers_busy: Gauge,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats::new()
+    }
+}
+
+impl Stats {
+    /// Fresh stats backed by a fresh per-server registry.
+    pub fn new() -> Stats {
+        let registry = Registry::new();
+        let http_requests = registry.counter(
+            "levy_served_http_requests_total",
+            "HTTP requests accepted, any route.",
+        );
+        let queries = registry.counter("levy_served_queries_total", "POST /v1/query requests.");
+        let cache_hits = registry.counter(
+            "levy_served_cache_hits_total",
+            "Queries answered from the result cache (either tier).",
+        );
+        let coalesced = registry.counter(
+            "levy_served_coalesced_total",
+            "Queries coalesced onto an already-in-flight job.",
+        );
+        let simulations_started = registry.counter(
+            "levy_served_simulations_started_total",
+            "Simulations actually started by workers.",
+        );
+        let simulations_completed = registry.counter(
+            "levy_served_simulations_completed_total",
+            "Simulations that ran to completion.",
+        );
+        let simulations_cancelled = registry.counter(
+            "levy_served_simulations_cancelled_total",
+            "Simulations cancelled after every waiter abandoned them.",
+        );
+        let rejected_queue_full = registry.counter(
+            "levy_served_rejected_queue_full_total",
+            "Queries refused with 503 because the job queue was full.",
+        );
+        let invalid_requests = registry.counter(
+            "levy_served_invalid_requests_total",
+            "Malformed or invalid requests answered with 400.",
+        );
+        let wait_timeouts = registry.counter(
+            "levy_served_wait_timeouts_total",
+            "Waits that hit their deadline and were answered with 504.",
+        );
+        let queue_depth = registry.gauge(
+            "levy_served_queue_depth",
+            "Jobs currently in the bounded queue.",
+        );
+        let queue_capacity = registry.gauge(
+            "levy_served_queue_capacity",
+            "Configured bound of the job queue.",
+        );
+        let workers_busy = registry.gauge(
+            "levy_served_workers_busy",
+            "Workers currently executing a simulation.",
+        );
+        Stats {
+            registry,
+            http_requests,
+            queries,
+            cache_hits,
+            coalesced,
+            simulations_started,
+            simulations_completed,
+            simulations_cancelled,
+            rejected_queue_full,
+            invalid_requests,
+            wait_timeouts,
+            queue_depth,
+            queue_capacity,
+            workers_busy,
+        }
+    }
+
+    /// The per-server registry (for adopting cache counters and tests).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records one finished HTTP exchange on the per-endpoint series:
+    /// `levy_served_http_responses_total{path,status}` and
+    /// `levy_served_http_request_duration_us{path}`.
+    pub fn record_response(&self, path: &str, status: u16, elapsed: Duration) {
+        let path = if KNOWN_PATHS.contains(&path) {
+            path
+        } else {
+            "other"
+        };
+        let status = status.to_string();
+        self.registry
+            .counter_with(
+                "levy_served_http_responses_total",
+                "HTTP responses by route and status code.",
+                &[("path", path), ("status", &status)],
+            )
+            .inc();
+        self.registry
+            .histogram_with(
+                "levy_served_http_request_duration_us",
+                "Wall time from request read to response write, in microseconds.",
+                &[("path", path)],
+            )
+            .record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Prometheus text exposition: this server's registry followed by the
+    /// process-global one (sampler, runner, spans).
+    pub fn encode_prometheus(&self) -> String {
+        let mut out = self.registry.encode();
+        Registry::global().encode_into(&mut out);
+        out
+    }
+
+    /// Snapshot as JSON (the `counters` object of `/v1/stats`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("http_requests", Json::from(self.http_requests.get())),
+            ("queries", Json::from(self.queries.get())),
+            ("cache_hits", Json::from(self.cache_hits.get())),
+            ("coalesced", Json::from(self.coalesced.get())),
+            (
+                "simulations_started",
+                Json::from(self.simulations_started.get()),
+            ),
+            (
+                "simulations_completed",
+                Json::from(self.simulations_completed.get()),
+            ),
+            (
+                "simulations_cancelled",
+                Json::from(self.simulations_cancelled.get()),
+            ),
+            (
+                "rejected_queue_full",
+                Json::from(self.rejected_queue_full.get()),
+            ),
+            ("invalid_requests", Json::from(self.invalid_requests.get())),
+            ("wait_timeouts", Json::from(self.wait_timeouts.get())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_per_instance() {
+        let a = Stats::new();
+        let b = Stats::new();
+        a.queries.inc();
+        assert_eq!(a.queries.get(), 1);
+        assert_eq!(b.queries.get(), 0, "instances must not share counters");
+    }
+
+    #[test]
+    fn unknown_paths_collapse_into_other() {
+        let stats = Stats::new();
+        stats.record_response("/v1/query", 200, Duration::from_micros(150));
+        stats.record_response("/../../etc/passwd", 404, Duration::from_micros(20));
+        stats.record_response("/some/other/probe", 404, Duration::from_micros(20));
+        let text = stats.encode_prometheus();
+        assert!(
+            text.contains("levy_served_http_responses_total{path=\"/v1/query\",status=\"200\"} 1")
+        );
+        assert!(text.contains("levy_served_http_responses_total{path=\"other\",status=\"404\"} 2"));
+        assert!(!text.contains("passwd"), "unknown paths must not be labels");
+    }
+
+    #[test]
+    fn exposition_includes_global_registry() {
+        let stats = Stats::new();
+        // Touch a global-registry instrument so the concatenation is visible.
+        levy_sim::obs::record_trial_outcomes(&[Some(8)]);
+        let text = stats.encode_prometheus();
+        assert!(text.contains("levy_served_queries_total"));
+        assert!(text.contains("levy_sim_trial_steps"));
+    }
+
+    #[test]
+    fn json_snapshot_tracks_counters() {
+        let stats = Stats::new();
+        stats.queries.add(3);
+        stats.cache_hits.inc();
+        let json = stats.to_json();
+        assert_eq!(json.get("queries").unwrap().as_u64(), Some(3));
+        assert_eq!(json.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("wait_timeouts").unwrap().as_u64(), Some(0));
+    }
+}

@@ -23,7 +23,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -32,6 +32,7 @@ use levy_sim::{CancelToken, Json};
 use crate::cache::{CacheConfig, ResultCache};
 use crate::engine;
 use crate::http::{read_request, write_response, Request, Response};
+use crate::metrics::Stats;
 use crate::request::Query;
 
 /// Tuning knobs for [`Server::start`].
@@ -65,82 +66,6 @@ impl Default for ServerConfig {
             default_timeout_ms: 30_000,
             quiet: false,
         }
-    }
-}
-
-/// Monotonic counters exposed at `/v1/stats` (and asserted on by the
-/// dedup integration tests: `simulations_started` is the ground truth
-/// for "the simulation ran exactly once").
-#[derive(Debug, Default)]
-pub struct Stats {
-    /// HTTP requests accepted (any route).
-    pub http_requests: AtomicU64,
-    /// `POST /v1/query` requests.
-    pub queries: AtomicU64,
-    /// Queries answered from the cache (either tier).
-    pub cache_hits: AtomicU64,
-    /// Queries coalesced onto an already-in-flight job.
-    pub coalesced: AtomicU64,
-    /// Simulations actually started by workers.
-    pub simulations_started: AtomicU64,
-    /// Simulations that ran to completion.
-    pub simulations_completed: AtomicU64,
-    /// Simulations cancelled after every waiter abandoned them.
-    pub simulations_cancelled: AtomicU64,
-    /// Queries refused because the queue was full (503).
-    pub rejected_queue_full: AtomicU64,
-    /// Malformed or invalid requests (400).
-    pub invalid_requests: AtomicU64,
-    /// Waits that hit their deadline (504).
-    pub wait_timeouts: AtomicU64,
-}
-
-impl Stats {
-    fn bump(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Snapshot as JSON.
-    pub fn to_json(&self) -> Json {
-        Json::obj([
-            (
-                "http_requests",
-                Json::from(self.http_requests.load(Ordering::Relaxed)),
-            ),
-            ("queries", Json::from(self.queries.load(Ordering::Relaxed))),
-            (
-                "cache_hits",
-                Json::from(self.cache_hits.load(Ordering::Relaxed)),
-            ),
-            (
-                "coalesced",
-                Json::from(self.coalesced.load(Ordering::Relaxed)),
-            ),
-            (
-                "simulations_started",
-                Json::from(self.simulations_started.load(Ordering::Relaxed)),
-            ),
-            (
-                "simulations_completed",
-                Json::from(self.simulations_completed.load(Ordering::Relaxed)),
-            ),
-            (
-                "simulations_cancelled",
-                Json::from(self.simulations_cancelled.load(Ordering::Relaxed)),
-            ),
-            (
-                "rejected_queue_full",
-                Json::from(self.rejected_queue_full.load(Ordering::Relaxed)),
-            ),
-            (
-                "invalid_requests",
-                Json::from(self.invalid_requests.load(Ordering::Relaxed)),
-            ),
-            (
-                "wait_timeouts",
-                Json::from(self.wait_timeouts.load(Ordering::Relaxed)),
-            ),
-        ])
     }
 }
 
@@ -198,21 +123,14 @@ struct Inner {
 }
 
 impl Inner {
-    fn log(&self, fields: Json) {
+    /// Routine request-path record (`target=levyd`); suppressed by
+    /// `--quiet` so benchmarks and tests stay silent. Warnings and
+    /// errors go straight through `levy_obs::log` ungated.
+    fn log(&self, msg: &str, fields: &[(&str, String)]) {
         if self.config.quiet {
             return;
         }
-        let mut line = vec![
-            (
-                "ts_ms".to_owned(),
-                Json::from(self.started.elapsed().as_secs_f64() * 1e3),
-            ),
-            ("evt".to_owned(), Json::from("http")),
-        ];
-        if let Json::Obj(pairs) = fields {
-            line.extend(pairs);
-        }
-        eprintln!("{}", Json::Obj(line).to_string_compact());
+        levy_obs::log::info("levyd", msg, fields);
     }
 }
 
@@ -233,10 +151,15 @@ impl Server {
         let addr = listener.local_addr()?;
         let cache = ResultCache::new(config.cache.clone())?;
         let workers = config.workers.max(1);
+        let stats = Stats::new();
+        stats
+            .queue_capacity
+            .set(i64::try_from(config.queue_capacity).unwrap_or(i64::MAX));
+        cache.register_metrics(stats.registry());
         let inner = Arc::new(Inner {
             config,
             cache,
-            stats: Stats::default(),
+            stats,
             queue: Mutex::new(VecDeque::new()),
             queue_changed: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
@@ -307,18 +230,13 @@ impl Server {
         while self.inner.open_connections.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        self.inner.log(Json::obj([
-            ("evt", Json::from("shutdown")),
-            (
+        self.inner.log(
+            "shutdown complete",
+            &[(
                 "drained_jobs",
-                Json::from(
-                    self.inner
-                        .stats
-                        .simulations_completed
-                        .load(Ordering::Relaxed),
-                ),
-            ),
-        ]));
+                self.inner.stats.simulations_completed.get().to_string(),
+            )],
+        );
     }
 }
 
@@ -367,22 +285,26 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
             return;
         }
     };
-    inner.stats.bump(&inner.stats.http_requests);
+    inner.stats.http_requests.inc();
     let response = route(&request, inner);
     let cache_disposition = response.header("X-Levy-Cache").unwrap_or("-").to_owned();
     let mut stream = stream;
     let _ = write_response(&mut stream, &response);
-    inner.log(Json::obj([
-        ("method", Json::from(request.method.as_str())),
-        ("path", Json::from(request.path.as_str())),
-        ("status", Json::from(u32::from(response.status))),
-        ("cache", Json::from(cache_disposition)),
-        ("dur_ms", Json::from(started.elapsed().as_secs_f64() * 1e3)),
-        (
-            "queue_depth",
-            Json::from(inner.queue.lock().expect("queue lock").len()),
-        ),
-    ]));
+    let elapsed = started.elapsed();
+    inner
+        .stats
+        .record_response(&request.path, response.status, elapsed);
+    inner.log(
+        "request",
+        &[
+            ("method", request.method.clone()),
+            ("path", request.path.clone()),
+            ("status", response.status.to_string()),
+            ("cache", cache_disposition),
+            ("dur_ms", format!("{:.3}", elapsed.as_secs_f64() * 1e3)),
+            ("queue_depth", inner.stats.queue_depth.get().to_string()),
+        ],
+    );
 }
 
 fn route(request: &Request, inner: &Arc<Inner>) -> Response {
@@ -397,6 +319,17 @@ fn route(request: &Request, inner: &Arc<Inner>) -> Response {
                 ),
             ]),
         ),
+        ("GET", "/metrics") => {
+            let body = inner.stats.encode_prometheus();
+            Response {
+                status: 200,
+                headers: vec![(
+                    "Content-Type".into(),
+                    "text/plain; version=0.0.4; charset=utf-8".into(),
+                )],
+                body: body.into_bytes(),
+            }
+        }
         ("GET", "/v1/stats") => {
             let queue_depth = inner.queue.lock().expect("queue lock").len();
             let inflight = inner.inflight.lock().expect("inflight lock").len();
@@ -442,25 +375,25 @@ enum QueryRole {
 }
 
 fn handle_query(request: &Request, inner: &Arc<Inner>) -> Response {
-    inner.stats.bump(&inner.stats.queries);
+    inner.stats.queries.inc();
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => {
-            inner.stats.bump(&inner.stats.invalid_requests);
+            inner.stats.invalid_requests.inc();
             return Response::error(400, "request body must be UTF-8 JSON");
         }
     };
     let parsed = match Json::parse(body) {
         Ok(v) => v,
         Err(e) => {
-            inner.stats.bump(&inner.stats.invalid_requests);
+            inner.stats.invalid_requests.inc();
             return Response::error(400, &format!("invalid JSON: {e}"));
         }
     };
     let query = match Query::from_json(&parsed) {
         Ok(q) => q,
         Err(e) => {
-            inner.stats.bump(&inner.stats.invalid_requests);
+            inner.stats.invalid_requests.inc();
             return Response::error(400, &e.0);
         }
     };
@@ -468,7 +401,7 @@ fn handle_query(request: &Request, inner: &Arc<Inner>) -> Response {
 
     // Tier 1: completed results.
     if let Some((cached, tier)) = inner.cache.get(&key) {
-        inner.stats.bump(&inner.stats.cache_hits);
+        inner.stats.cache_hits.inc();
         return Response {
             status: 200,
             headers: vec![("Content-Type".into(), "application/json".into())],
@@ -489,7 +422,7 @@ fn handle_query(request: &Request, inner: &Arc<Inner>) -> Response {
     let (job, role) = {
         let mut inflight = inner.inflight.lock().expect("inflight lock");
         if let Some(job) = inflight.get(&key) {
-            inner.stats.bump(&inner.stats.coalesced);
+            inner.stats.coalesced.inc();
             (Arc::clone(job), QueryRole::Coalesced)
         } else {
             if inner.shutting_down.load(Ordering::Acquire) {
@@ -498,13 +431,14 @@ fn handle_query(request: &Request, inner: &Arc<Inner>) -> Response {
             }
             let mut queue = inner.queue.lock().expect("queue lock");
             if queue.len() >= inner.config.queue_capacity {
-                inner.stats.bump(&inner.stats.rejected_queue_full);
+                inner.stats.rejected_queue_full.inc();
                 return Response::error(503, "job queue is full, retry shortly")
                     .with_header("Retry-After", "1")
                     .with_header("X-Levy-Queue-Depth", &queue.len().to_string());
             }
             let job = Job::new(key.clone(), query);
             queue.push_back(Arc::clone(&job));
+            inner.stats.queue_depth.inc();
             inner.queue_changed.notify_one();
             drop(queue);
             inflight.insert(key.clone(), Arc::clone(&job));
@@ -553,7 +487,7 @@ fn wait_for_job(
         }
         JobOutcome::Pending => {
             // Deadline hit: detach; the last waiter out cancels the job.
-            inner.stats.bump(&inner.stats.wait_timeouts);
+            inner.stats.wait_timeouts.inc();
             if job.waiters.fetch_sub(1, Ordering::AcqRel) == 1 {
                 job.cancel.cancel();
                 // Wake the queue in case the job is still unstarted: a
@@ -576,6 +510,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             let mut queue = inner.queue.lock().expect("queue lock");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    inner.stats.queue_depth.dec();
                     break job;
                 }
                 if inner.shutting_down.load(Ordering::Acquire) {
@@ -589,24 +524,26 @@ fn worker_loop(inner: &Arc<Inner>) {
             }
         };
         if job.cancel.is_cancelled() {
-            inner.stats.bump(&inner.stats.simulations_cancelled);
+            inner.stats.simulations_cancelled.inc();
             finish(inner, &job, JobOutcome::Cancelled);
             continue;
         }
-        inner.stats.bump(&inner.stats.simulations_started);
+        inner.stats.simulations_started.inc();
+        inner.stats.workers_busy.inc();
         let sim_threads = inner.config.sim_threads;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             engine::execute(&job.query, sim_threads, &job.cancel)
         }));
+        inner.stats.workers_busy.dec();
         let outcome = match outcome {
             Ok(Some(body)) => {
                 let text = body.to_string_pretty();
                 inner.cache.put(&job.key, &text);
-                inner.stats.bump(&inner.stats.simulations_completed);
+                inner.stats.simulations_completed.inc();
                 JobOutcome::Done(Arc::new(text))
             }
             Ok(None) => {
-                inner.stats.bump(&inner.stats.simulations_cancelled);
+                inner.stats.simulations_cancelled.inc();
                 JobOutcome::Cancelled
             }
             Err(panic) => {

@@ -8,7 +8,6 @@
 //! and deadline behaviour.
 
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -87,7 +86,7 @@ fn repeated_query_replays_identical_bytes_from_cache() {
     assert_eq!(cached.header("x-levy-cache-tier"), Some("memory"));
     assert_eq!(cold.body, cached.body, "cache must replay exact bytes");
     assert_eq!(
-        server.stats().simulations_started.load(Ordering::Relaxed),
+        server.stats().simulations_started.get(),
         1,
         "the cached reply must not re-simulate"
     );
@@ -123,12 +122,12 @@ fn concurrent_identical_cold_queries_simulate_once() {
         assert_eq!(response.body, first.body, "all waiters share one result");
     }
     assert_eq!(
-        server.stats().simulations_started.load(Ordering::Relaxed),
+        server.stats().simulations_started.get(),
         1,
         "N identical cold queries must run the simulation exactly once"
     );
-    let coalesced = server.stats().coalesced.load(Ordering::Relaxed);
-    let hits = server.stats().cache_hits.load(Ordering::Relaxed);
+    let coalesced = server.stats().coalesced.get();
+    let hits = server.stats().cache_hits.get();
     assert_eq!(
         coalesced + hits,
         (n as u64) - 1,
@@ -215,10 +214,7 @@ fn full_queue_rejects_with_retry_after() {
     let response = client.post("/v1/query", E6_QUERY).expect("request ok");
     assert_eq!(response.status, 503);
     assert_eq!(response.header("retry-after"), Some("1"));
-    assert_eq!(
-        server.stats().rejected_queue_full.load(Ordering::Relaxed),
-        1
-    );
+    assert_eq!(server.stats().rejected_queue_full.get(), 1);
     server.shutdown();
 }
 
@@ -229,17 +225,17 @@ fn deadline_expiry_returns_504_and_cancels_the_job() {
         "budget":50000,"trials":50000,"seed":9,"timeout_ms":1}"#;
     let response = client.post("/v1/query", query).expect("request ok");
     assert_eq!(response.status, 504);
-    assert_eq!(server.stats().wait_timeouts.load(Ordering::Relaxed), 1);
+    assert_eq!(server.stats().wait_timeouts.get(), 1);
     // The abandoned job is cancelled (either before or mid-run); wait
     // for the worker to retire it.
     for _ in 0..400 {
-        if server.stats().simulations_cancelled.load(Ordering::Relaxed) == 1 {
+        if server.stats().simulations_cancelled.get() == 1 {
             break;
         }
         std::thread::sleep(Duration::from_millis(25));
     }
     assert_eq!(
-        server.stats().simulations_cancelled.load(Ordering::Relaxed),
+        server.stats().simulations_cancelled.get(),
         1,
         "abandoned work must be cancelled, not run to completion"
     );
@@ -268,6 +264,90 @@ fn invalid_requests_are_rejected_cleanly() {
     }
     let response = client.get("/nope").expect("ok");
     assert_eq!(response.status, 404);
+    server.shutdown();
+}
+
+/// Pulls the value of an unlabeled counter/gauge sample out of a
+/// Prometheus exposition body.
+fn sample(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let (sample_name, value) = line.split_once(' ')?;
+        (sample_name == name).then(|| value.parse().ok())?
+    })
+}
+
+#[test]
+fn metrics_exposition_covers_every_layer_and_tracks_the_cache() {
+    let (server, client) = start(test_config());
+
+    // Cold miss, then a cache hit for the identical query.
+    let cold = client.post("/v1/query", E6_QUERY).expect("cold ok");
+    assert_eq!(cold.header("x-levy-cache"), Some("miss"));
+    let scrape = client.get("/metrics").expect("metrics ok");
+    assert_eq!(scrape.status, 200);
+    assert!(scrape
+        .header("content-type")
+        .is_some_and(|t| t.starts_with("text/plain")));
+    let before = scrape.body_string();
+
+    let warm = client.post("/v1/query", E6_QUERY).expect("warm ok");
+    assert_eq!(warm.header("x-levy-cache"), Some("hit"));
+    let after = client.get("/metrics").expect("metrics ok").body_string();
+
+    // Exposition shape: every non-comment line is `name[{labels}] value`,
+    // every comment is HELP or TYPE.
+    let mut families = std::collections::HashSet::new();
+    for line in after.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            families.insert(rest.split(' ').next().unwrap().to_owned());
+        } else if !line.starts_with('#') {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(
+                value.parse::<i64>().is_ok() || value.parse::<f64>().is_ok(),
+                "unparseable sample: {line}"
+            );
+        }
+    }
+    assert!(
+        families.len() >= 12,
+        "want >= 12 metric families, got {}: {families:?}",
+        families.len()
+    );
+    // Families span every instrumented layer: HTTP serving, queue,
+    // result cache, runner, and jump sampler.
+    for name in [
+        "levy_served_http_requests_total",
+        "levy_served_http_request_duration_us",
+        "levy_served_queue_depth",
+        "levy_served_workers_busy",
+        "levy_served_cache_mem_hits_total",
+        "levy_served_engine_execute_duration_us",
+        "levy_sim_trials_started_total",
+        "levy_sim_trial_steps",
+        "levy_rng_table_draws_total",
+    ] {
+        assert!(families.contains(name), "missing family {name}");
+    }
+
+    // Counters move across the cold-miss → cache-hit pair.
+    let hits_before = sample(&before, "levy_served_cache_hits_total").unwrap();
+    let hits_after = sample(&after, "levy_served_cache_hits_total").unwrap();
+    assert_eq!(hits_before, 0);
+    assert_eq!(hits_after, 1, "the warm request was a cache hit");
+    assert_eq!(
+        sample(&after, "levy_served_simulations_completed_total"),
+        Some(1),
+        "one simulation serves both requests"
+    );
+    let requests = sample(&after, "levy_served_http_requests_total").unwrap();
+    assert!(requests >= 3, "cold + scrape + warm, got {requests}");
+    assert!(
+        sample(&after, "levy_sim_trials_completed_total").unwrap()
+            >= sample(&before, "levy_sim_trials_completed_total").unwrap(),
+        "runner counters are monotone"
+    );
+    // Labeled per-endpoint series exist for the query route.
+    assert!(after.contains("levy_served_http_responses_total{path=\"/v1/query\",status=\"200\"}"));
     server.shutdown();
 }
 

@@ -113,6 +113,7 @@ pub fn measure_single_walk_cancellable(
             levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, rng)
         },
     )?;
+    crate::obs::record_trial_outcomes(&outcomes);
     Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
@@ -142,6 +143,7 @@ pub fn measure_single_flight_cancellable(
             levy_flight_hitting_time(&jumps, Point::ORIGIN, target, budget, rng)
         },
     )?;
+    crate::obs::record_trial_outcomes(&outcomes);
     Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
@@ -175,6 +177,7 @@ pub fn measure_parallel_common_cancellable(
             parallel_hitting_time_common(k, &jumps, Point::ORIGIN, target, budget, rng)
         },
     )?;
+    crate::obs::record_trial_outcomes(&outcomes);
     Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
@@ -208,6 +211,7 @@ pub fn measure_parallel_strategy_cancellable(
             parallel_hitting_time(k, &strategy, Point::ORIGIN, target, budget, rng).time
         },
     )?;
+    crate::obs::record_trial_outcomes(&outcomes);
     Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
@@ -247,6 +251,7 @@ where
             strategy.run(&problem, rng)
         },
     )?;
+    crate::obs::record_trial_outcomes(&outcomes);
     Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 

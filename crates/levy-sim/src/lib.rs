@@ -27,6 +27,7 @@
 mod adaptive;
 mod experiment;
 mod json;
+pub mod obs;
 mod plot;
 mod report;
 mod runner;

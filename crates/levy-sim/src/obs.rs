@@ -1,0 +1,95 @@
+//! Runner and experiment instrumentation.
+//!
+//! All instruments live in the process-global [`levy_obs::Registry`]
+//! because the trial runner is a free function shared by every caller.
+//! Counters are bumped once per stolen *block* (1..=1024 trials), not per
+//! trial, so the scheduler's throughput is unaffected; the per-trial step
+//! histogram is filled after a measurement completes, outside the workers
+//! entirely. Nothing here consumes RNG words — seeded results are
+//! byte-identical whether or not anything scrapes the registry.
+
+use std::sync::OnceLock;
+
+use levy_obs::{Counter, Histogram, Registry};
+
+pub(crate) struct RunnerMetrics {
+    /// Trials claimed from the shared queue.
+    pub trials_started: Counter,
+    /// Trials that ran to completion.
+    pub trials_completed: Counter,
+    /// Blocks claimed by workers (steal granularity).
+    pub steal_blocks: Counter,
+    /// Runs abandoned via a fired `CancelToken`.
+    pub runs_cancelled: Counter,
+    /// Steps-to-hit of successful hitting-time trials.
+    pub trial_steps: Histogram,
+    /// Trials censored at the step budget (target not found).
+    pub trials_censored: Counter,
+}
+
+pub(crate) fn runner_metrics() -> &'static RunnerMetrics {
+    static METRICS: OnceLock<RunnerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = Registry::global();
+        RunnerMetrics {
+            trials_started: registry.counter(
+                "levy_sim_trials_started_total",
+                "Trials claimed from the work-stealing queue.",
+            ),
+            trials_completed: registry.counter(
+                "levy_sim_trials_completed_total",
+                "Trials that ran to completion.",
+            ),
+            steal_blocks: registry.counter(
+                "levy_sim_steal_blocks_total",
+                "Index blocks claimed by runner workers.",
+            ),
+            runs_cancelled: registry.counter(
+                "levy_sim_runs_cancelled_total",
+                "Trial runs abandoned because a CancelToken fired.",
+            ),
+            trial_steps: registry.histogram(
+                "levy_sim_trial_steps",
+                "Steps until the target was hit, per successful trial (base-2 buckets).",
+            ),
+            trials_censored: registry.counter(
+                "levy_sim_trials_censored_total",
+                "Trials censored at the step budget without hitting the target.",
+            ),
+        }
+    })
+}
+
+/// Records the per-trial outcomes of one hitting-time measurement: hit
+/// times land in the `levy_sim_trial_steps` histogram, censored trials in
+/// the censored counter.
+///
+/// This is the same instrument `/metrics` exposes for request latencies —
+/// the step-count distributions EXPERIMENTS.md studies and the serving
+/// histograms share one implementation (see DESIGN.md §8).
+pub fn record_trial_outcomes(outcomes: &[Option<u64>]) {
+    let metrics = runner_metrics();
+    let mut censored = 0u64;
+    for outcome in outcomes {
+        match outcome {
+            Some(steps) => metrics.trial_steps.record(*steps),
+            None => censored += 1,
+        }
+    }
+    metrics.trials_censored.add(censored);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_split_into_steps_and_censored() {
+        let metrics = runner_metrics();
+        let steps_before = metrics.trial_steps.count();
+        let censored_before = metrics.trials_censored.get();
+        record_trial_outcomes(&[Some(3), None, Some(1024), None, None]);
+        assert_eq!(metrics.trial_steps.count(), steps_before + 2);
+        assert_eq!(metrics.trials_censored.get(), censored_before + 3);
+    }
+}

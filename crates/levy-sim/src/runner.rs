@@ -165,18 +165,26 @@ where
     T: Send,
     F: Fn(u64, &mut SmallRng) -> T + Sync,
 {
+    let metrics = crate::obs::runner_metrics();
     let threads = threads.max(1).min(trials.max(1) as usize);
     if threads == 1 {
         let mut out = Vec::with_capacity(trials as usize);
         for start in (0..trials).step_by(MAX_BLOCK as usize) {
             if cancel.is_cancelled() {
+                metrics.runs_cancelled.inc();
                 return None;
             }
-            for i in start..(start + MAX_BLOCK).min(trials) {
+            let end = (start + MAX_BLOCK).min(trials);
+            metrics.trials_started.add(end - start);
+            for i in start..end {
                 let mut rng = seeds.child(i).rng();
                 out.push(f(i, &mut rng));
             }
+            metrics.trials_completed.add(end - start);
         }
+        // This thread outlives the run, so its batched sampler tallies
+        // only reach the registry via an explicit flush.
+        levy_rng::flush_draw_stats();
         return Some(out);
     }
     let next = AtomicU64::new(0);
@@ -193,11 +201,14 @@ where
                     let Some((start, end)) = claim_block(next, trials, threads as u64) else {
                         return (out, false);
                     };
+                    metrics.steal_blocks.inc();
+                    metrics.trials_started.add(end - start);
                     out.reserve(end.saturating_sub(start) as usize);
                     for i in start..end {
                         let mut rng = seeds.child(i).rng();
                         out.push((i, f(i, &mut rng)));
                     }
+                    metrics.trials_completed.add(end - start);
                 }
                 (out, true)
             }));
@@ -209,6 +220,7 @@ where
         }
     });
     if aborted {
+        metrics.runs_cancelled.inc();
         return None;
     }
     // Place results into their pre-assigned slots, restoring trial order.
@@ -280,21 +292,27 @@ pub fn count_trials_offset_cancellable<F>(
 where
     F: Fn(u64, &mut SmallRng) -> bool + Sync,
 {
+    let metrics = crate::obs::runner_metrics();
     let threads = threads.max(1).min(trials.max(1) as usize);
     if threads == 1 {
         let mut hits: u64 = 0;
         for start in (0..trials).step_by(MAX_BLOCK as usize) {
             if cancel.is_cancelled() {
+                metrics.runs_cancelled.inc();
                 return None;
             }
-            for i in start..(start + MAX_BLOCK).min(trials) {
+            let end = (start + MAX_BLOCK).min(trials);
+            metrics.trials_started.add(end - start);
+            for i in start..end {
                 let global = offset + i;
                 let mut rng = seeds.child(global).rng();
                 if predicate(global, &mut rng) {
                     hits += 1;
                 }
             }
+            metrics.trials_completed.add(end - start);
         }
+        levy_rng::flush_draw_stats();
         return Some(hits);
     }
     let next = AtomicU64::new(0);
@@ -311,6 +329,8 @@ where
                     let Some((start, end)) = claim_block(next, trials, threads as u64) else {
                         return (hits, false);
                     };
+                    metrics.steal_blocks.inc();
+                    metrics.trials_started.add(end - start);
                     for i in start..end {
                         let global = offset + i;
                         let mut rng = seeds.child(global).rng();
@@ -318,6 +338,7 @@ where
                             hits += 1;
                         }
                     }
+                    metrics.trials_completed.add(end - start);
                 }
                 (hits, true)
             }));
@@ -329,6 +350,7 @@ where
         }
     });
     if aborted {
+        metrics.runs_cancelled.inc();
         return None;
     }
     Some(total)

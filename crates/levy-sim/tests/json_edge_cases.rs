@@ -1,0 +1,201 @@
+//! Edge-case coverage for the `levy_sim::Json` parser.
+//!
+//! The parser fronts the `levy-served` HTTP API, so hostile input is the
+//! norm, not the exception: these tests pin the recursion guard's exact
+//! boundary, `\uXXXX` escape handling including surrogate pairs, integer
+//! overflow falling back to floats, and strict trailing-garbage rejection.
+
+use levy_sim::Json;
+
+/// `n` nested arrays: `[[[...]]]`.
+fn nested_arrays(n: usize) -> String {
+    "[".repeat(n) + &"]".repeat(n)
+}
+
+/// `n` nested single-key objects: `{"k":{"k":...null...}}`.
+fn nested_objects(n: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str("{\"k\":");
+    }
+    s.push_str("null");
+    s.push_str(&"}".repeat(n));
+    s
+}
+
+#[test]
+fn recursion_guard_boundary_is_exact() {
+    // The guard admits 129 bracket levels (root value at depth 0 plus 128
+    // nested ones) and rejects the 130th. Pinning the exact boundary makes
+    // accidental off-by-one changes to the guard visible.
+    assert!(Json::parse(&nested_arrays(129)).is_ok());
+    assert!(Json::parse(&nested_arrays(130)).is_err());
+
+    let err = Json::parse(&nested_arrays(130)).unwrap_err();
+    assert!(
+        err.message.contains("nesting"),
+        "guard should name the problem, got: {}",
+        err.message
+    );
+}
+
+#[test]
+fn recursion_guard_counts_objects_and_mixed_nesting() {
+    // One less than the array boundary: the innermost `null` scalar sits
+    // one level below the deepest brace and consumes the 129th slot.
+    assert!(Json::parse(&nested_objects(128)).is_ok());
+    assert!(Json::parse(&nested_objects(129)).is_err());
+
+    // Mixed arrays and objects share the same depth budget.
+    let mut mixed = String::new();
+    for _ in 0..65 {
+        mixed.push_str("[{\"k\":");
+    }
+    mixed.push_str("null");
+    mixed.push_str(&"}]".repeat(65));
+    assert!(Json::parse(&mixed).is_err(), "130 mixed levels must fail");
+}
+
+#[test]
+fn recursion_guard_rejects_pathological_input_quickly() {
+    // A 64 KiB bracket bomb must be rejected without exhausting the stack;
+    // merely returning (vs. crashing the test process) is the assertion.
+    assert!(Json::parse(&nested_arrays(32 * 1024)).is_err());
+}
+
+#[test]
+fn wide_documents_are_not_deep() {
+    // Breadth is unlimited: 10k sibling elements parse fine at depth 1.
+    let wide = format!("[{}]", vec!["0"; 10_000].join(","));
+    let v = Json::parse(&wide).unwrap();
+    assert_eq!(v.as_array().unwrap().len(), 10_000);
+}
+
+#[test]
+fn unicode_escape_basic_plane() {
+    let v = Json::parse(r#""\u0041\u00e9\u2192\ufffd""#).unwrap();
+    assert_eq!(v.as_str(), Some("A\u{e9}\u{2192}\u{fffd}"));
+    // Escaped NUL is legal JSON even though raw control bytes are not.
+    let v = Json::parse(r#""a\u0000b""#).unwrap();
+    assert_eq!(v.as_str(), Some("a\u{0}b"));
+    // Hex digits are case-insensitive.
+    assert_eq!(
+        Json::parse(r#""\u00E9""#).unwrap(),
+        Json::parse(r#""\u00e9""#).unwrap()
+    );
+}
+
+#[test]
+fn surrogate_pairs_decode_across_the_astral_range() {
+    // First and last astral scalar values.
+    assert_eq!(
+        Json::parse(r#""\ud800\udc00""#).unwrap().as_str(),
+        Some("\u{10000}")
+    );
+    assert_eq!(
+        Json::parse(r#""\udbff\udfff""#).unwrap().as_str(),
+        Some("\u{10FFFF}")
+    );
+    // A surrogate-pair emoji surrounded by ASCII keeps its neighbours.
+    let v = Json::parse(r#""x\ud83d\ude00y""#).unwrap();
+    assert_eq!(v.as_str(), Some("x\u{1F600}y"));
+}
+
+#[test]
+fn malformed_surrogates_are_rejected() {
+    for bad in [
+        r#""\ud800""#,       // lone high surrogate at end of string
+        r#""\ud800x""#,      // high surrogate followed by a raw char
+        r#""\ud800\n""#,     // high surrogate followed by a non-\u escape
+        r#""\ud800\u0041""#, // high surrogate followed by a BMP escape
+        r#""\ud800\ud800""#, // two high surrogates
+        r#""\udc00""#,       // lone low surrogate
+        r#""\ude00\ud83d""#, // pair in the wrong order
+        r#""\ud83d\ude0""#,  // truncated low half
+        r#""\u123""#,        // fewer than 4 hex digits
+        r#""\u12g4""#,       // non-hex digit
+    ] {
+        assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
+    }
+}
+
+#[test]
+fn escape_round_trip_survives_writer_and_parser() {
+    // Writer output for exotic strings must parse back to the same value.
+    let original = Json::from("quote\" slash\\ nl\n tab\t nul\u{0000} astral\u{1F600}");
+    for text in [original.to_string_pretty(), original.to_string_compact()] {
+        assert_eq!(Json::parse(&text).unwrap(), original, "via {text:?}");
+    }
+}
+
+#[test]
+fn integer_overflow_falls_back_to_float() {
+    // i64::MAX parses exactly as an integer...
+    assert_eq!(
+        Json::parse("9223372036854775807").unwrap(),
+        Json::Int(i64::MAX)
+    );
+    // ...one past it overflows into a float, not an error.
+    let v = Json::parse("9223372036854775808").unwrap();
+    assert!(matches!(v, Json::Num(_)), "i64::MAX + 1 should be Num");
+    assert_eq!(v.as_f64(), Some(9.223372036854776e18));
+    // Same on the negative side.
+    assert_eq!(
+        Json::parse("-9223372036854775808").unwrap(),
+        Json::Int(i64::MIN)
+    );
+    assert!(matches!(
+        Json::parse("-9223372036854775809").unwrap(),
+        Json::Num(_)
+    ));
+    // u64-range and wildly larger magnitudes stay finite floats.
+    assert!(matches!(
+        Json::parse("18446744073709551615").unwrap(),
+        Json::Num(_)
+    ));
+    assert_eq!(Json::parse("1e300").unwrap().as_f64(), Some(1e300));
+}
+
+#[test]
+fn numbers_overflowing_f64_are_rejected() {
+    // Values that round to infinity cannot be represented; the parser
+    // refuses them rather than silently degrading to null/inf.
+    for bad in ["1e400", "-1e400", &format!("1{}", "0".repeat(400))] {
+        assert!(Json::parse(bad).is_err(), "accepted non-finite {bad:?}");
+    }
+    // Underflow to zero is fine — that's rounding, not overflow.
+    assert_eq!(Json::parse("1e-400").unwrap().as_f64(), Some(0.0));
+}
+
+#[test]
+fn trailing_garbage_is_rejected_everywhere() {
+    for bad in [
+        "42 x",
+        "{} {}",
+        "[1],",
+        "null null",
+        "true,",
+        "\"s\"\"t\"",
+        "{\"a\":1}]",
+        "1 2",
+        "42\u{0000}", // NUL is not JSON whitespace
+    ] {
+        let err = Json::parse(bad).unwrap_err();
+        assert!(
+            err.message.contains("trailing"),
+            "{bad:?} should fail as trailing garbage, got: {}",
+            err.message
+        );
+    }
+    // Trailing *whitespace* (space, tab, CR, LF) is fine.
+    assert_eq!(Json::parse("42 \t\r\n").unwrap(), Json::Int(42));
+}
+
+#[test]
+fn parse_errors_carry_a_useful_offset() {
+    // The offset points into the input so levyd can echo it to clients.
+    let err = Json::parse("{\"a\": nope}").unwrap_err();
+    assert_eq!(err.offset, 6, "offset should point at the bad token");
+    let rendered = err.to_string();
+    assert!(rendered.contains("byte 6"), "Display includes the offset");
+}

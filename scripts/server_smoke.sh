@@ -5,7 +5,9 @@
 #   2. health-check it with levyc;
 #   3. run an E6-style query twice — the first must be a cache miss, the
 #      second a cache hit with a byte-identical body;
-#   4. SIGTERM the daemon and require a clean (0) exit.
+#   4. scrape GET /metrics and require the cache hit to be visible in the
+#      Prometheus exposition;
+#   5. SIGTERM the daemon and require a clean (0) exit.
 #
 # Usage: scripts/server_smoke.sh [path-to-target-dir]
 #   Binaries are taken from $1/release (default: target/release); build
@@ -65,7 +67,17 @@ cmp -s "$WORKDIR/cold.json" "$WORKDIR/cached.json" || {
 }
 echo "query: cold miss + cached hit, bodies byte-identical"
 
-# 4. Graceful SIGTERM shutdown with a clean exit status.
+# 4. The hit must show up in the Prometheus exposition.
+"$LEVYC" --addr "$ADDR" metrics >"$WORKDIR/metrics.txt" 2>/dev/null
+CACHE_HITS="$(awk '$1 == "levy_served_cache_hits_total" { print $2 }' "$WORKDIR/metrics.txt")"
+[ -n "$CACHE_HITS" ] && [ "$CACHE_HITS" -ge 1 ] || {
+  echo "expected levy_served_cache_hits_total >= 1 in /metrics, got '${CACHE_HITS:-absent}':" >&2
+  grep '^levy_served_cache' "$WORKDIR/metrics.txt" >&2 || cat "$WORKDIR/metrics.txt" >&2
+  exit 1
+}
+echo "metrics: levy_served_cache_hits_total=$CACHE_HITS"
+
+# 5. Graceful SIGTERM shutdown with a clean exit status.
 kill -TERM "$LEVYD_PID"
 STATUS=0
 wait "$LEVYD_PID" || STATUS=$?
