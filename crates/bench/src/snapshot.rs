@@ -398,6 +398,7 @@ pub fn server_snapshot(profile: &Profile) -> Json {
         },
         default_timeout_ms: 120_000,
         quiet: true,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let client = Client::new(&server.addr().to_string());

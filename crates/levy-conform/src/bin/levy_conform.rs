@@ -1,0 +1,87 @@
+//! `levy_conform` — run the statistical conformance suite.
+//!
+//! ```text
+//! levy_conform [--smoke | --full] [--only NAME] [--list]
+//! ```
+//!
+//! Runs every check (or the one named by `--only`) at the chosen
+//! profile, prints each verdict, and exits nonzero if any check fails.
+//! `--smoke` (the default) finishes in seconds and is what CI runs;
+//! `--full` repeats the EXPERIMENTS.md scale.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use levy_conform::{all_checks, Profile};
+
+const USAGE: &str = "usage: levy_conform [--smoke | --full] [--only NAME] [--list]";
+
+fn main() -> ExitCode {
+    let mut profile = Profile::Smoke;
+    let mut only: Option<String> = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => profile = Profile::Smoke,
+            "--full" => profile = Profile::Full,
+            "--only" => match args.next() {
+                Some(name) => only = Some(name),
+                None => {
+                    eprintln!("--only requires a check name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let checks = all_checks();
+    if list {
+        for c in &checks {
+            println!("{:<28} {}", c.name, c.claim);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<_> = match &only {
+        Some(name) => {
+            let found: Vec<_> = checks.iter().filter(|c| c.name == *name).collect();
+            if found.is_empty() {
+                eprintln!("no check named {name:?}; try --list");
+                return ExitCode::FAILURE;
+            }
+            found
+        }
+        None => checks.iter().collect(),
+    };
+
+    println!(
+        "levy-conform: {} check(s) at the {} profile\n",
+        selected.len(),
+        profile.label()
+    );
+    let mut failures = 0u32;
+    for check in selected {
+        let start = Instant::now();
+        let result = (check.run)(profile);
+        print!("{}", result.render());
+        println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+        if !result.passed() {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} check(s) FAILED");
+        return ExitCode::FAILURE;
+    }
+    println!("all checks passed");
+    ExitCode::SUCCESS
+}

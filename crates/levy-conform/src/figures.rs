@@ -1,0 +1,288 @@
+//! Conformance checks for the figure-level claims (F1–F4).
+//!
+//! These gate the *combinatorial and distributional* foundations of the
+//! paper's analysis: the region cardinalities of Section 3.1, the
+//! Lemma 3.2 direct-path marginal bracket, the Lemma 4.8 zone isotropy,
+//! and the Lemma C.1 projection exponent. Each check mirrors the
+//! corresponding `exp_f*` binary in `crates/bench`, but replaces the
+//! human-read table with a machine-checked accepted band.
+
+use levy_analysis::LogHistogram;
+use levy_analysis::{mean, variance};
+use levy_grid::{Ball, DirectPathWalker, Point, Ring, Square};
+use levy_rng::{JumpLengthDistribution, SeedStream};
+use levy_sim::run_trials;
+use levy_walks::{sample_jump, JumpProcess, LevyFlight};
+
+use crate::{density_slope_ci, CheckResult, Finding, Profile};
+
+/// F1 — the cardinality identities of Section 3.1, checked exactly.
+///
+/// `|R_d| = 4d`, `|B_d| = 2d² + 2d + 1`, `|Q_d| = (2d+1)²`, and
+/// `B_d ⊆ Q_d`, for every `d` in the profile's range. These are exact
+/// combinatorial facts, so the accepted band is "zero violations".
+pub fn f1_region_identities(profile: Profile) -> CheckResult {
+    let d_max: u64 = profile.pick(8, 24);
+    let mut ring_bad = 0u64;
+    let mut ball_bad = 0u64;
+    let mut square_bad = 0u64;
+    let mut subset_bad = 0u64;
+    for d in 1..=d_max {
+        let ring = Ring::new(Point::ORIGIN, d);
+        let ball = Ball::new(Point::ORIGIN, d);
+        let square = Square::new(Point::ORIGIN, d);
+        if ring.iter().count() as u64 != 4 * d || ring.len() != 4 * d {
+            ring_bad += 1;
+        }
+        if ball.iter().count() as u64 != 2 * d * d + 2 * d + 1 {
+            ball_bad += 1;
+        }
+        if square.iter().count() as u64 != (2 * d + 1) * (2 * d + 1) {
+            square_bad += 1;
+        }
+        if !ball.iter().all(|p| square.contains(p)) {
+            subset_bad += 1;
+        }
+    }
+    let band = format!("0 violations for d = 1..={d_max}");
+    CheckResult {
+        name: "f1_region_identities",
+        claim: "|R_d| = 4d, |B_d| = 2d²+2d+1, |Q_d| = (2d+1)², B_d ⊆ Q_d (Section 3.1)",
+        findings: vec![
+            Finding::new(
+                "|R_d| = 4d",
+                format!("{ring_bad} violations"),
+                band.clone(),
+                ring_bad == 0,
+            ),
+            Finding::new(
+                "|B_d| = 2d²+2d+1",
+                format!("{ball_bad} violations"),
+                band.clone(),
+                ball_bad == 0,
+            ),
+            Finding::new(
+                "|Q_d| = (2d+1)²",
+                format!("{square_bad} violations"),
+                band.clone(),
+                square_bad == 0,
+            ),
+            Finding::new(
+                "B_d ⊆ Q_d",
+                format!("{subset_bad} violations"),
+                band,
+                subset_bad == 0,
+            ),
+        ],
+    }
+}
+
+/// F2 — Lemma 3.2: direct-path marginals on an inner ring.
+///
+/// With `v` uniform on `R_d` and the direct path uniform, every
+/// `w ∈ R_i` has `(i/d)·⌊d/i⌋/4i ≤ P(u_i = w) ≤ (i/d)·⌈d/i⌉/4i`.
+/// The check estimates every marginal at `d = 12`, `i = 4` and accepts
+/// the bracket widened by `±3σ` of the binomial sampling noise.
+pub fn f2_direct_path_marginals(profile: Profile) -> CheckResult {
+    let d = 12u64;
+    let i = 4u64;
+    let trials: u64 = profile.pick(20_000, 2_000_000);
+    let ring_d = Ring::new(Point::ORIGIN, d);
+    let ring_i = Ring::new(Point::ORIGIN, i);
+    let indices = run_trials(trials, SeedStream::new(3), 0, move |_t, rng| {
+        let v = ring_d.sample_uniform(rng);
+        let mut walker = DirectPathWalker::new(Point::ORIGIN, v);
+        let mut node = Point::ORIGIN;
+        for _ in 0..i {
+            node = walker.next_node(rng).expect("i <= d");
+        }
+        ring_i.index_of(node).expect("node on R_i")
+    });
+    let mut counts = vec![0u64; ring_i.len() as usize];
+    for idx in indices {
+        counts[idx as usize] += 1;
+    }
+    let lo = (i as f64 / d as f64) * (d / i) as f64 / (4 * i) as f64;
+    let hi = (i as f64 / d as f64) * d.div_ceil(i) as f64 / (4 * i) as f64;
+    let sigma = (hi / trials as f64).sqrt();
+    let mut violations = 0u64;
+    let mut p_min = f64::INFINITY;
+    let mut p_max = f64::NEG_INFINITY;
+    for &c in &counts {
+        let p = c as f64 / trials as f64;
+        p_min = p_min.min(p);
+        p_max = p_max.max(p);
+        if p < lo - 3.0 * sigma || p > hi + 3.0 * sigma {
+            violations += 1;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    CheckResult {
+        name: "f2_direct_path_marginals",
+        claim: "Lemma 3.2: direct-path marginals on R_i stay in the (i/d)⌊d/i⌋/4i bracket",
+        findings: vec![
+            Finding::new(
+                "nodes inside bracket ±3σ",
+                format!(
+                    "{} of {} in bracket (p ∈ [{p_min:.5}, {p_max:.5}])",
+                    counts.len() as u64 - violations,
+                    counts.len()
+                ),
+                format!(
+                    "all {} nodes in [{:.5}, {:.5}]",
+                    counts.len(),
+                    lo - 3.0 * sigma,
+                    hi + 3.0 * sigma
+                ),
+                violations == 0,
+            ),
+            Finding::new(
+                "mass lands on R_i",
+                format!("{total} of {trials} trials"),
+                "every trial's step-i node lies on R_i".into(),
+                total == trials,
+            ),
+        ],
+    }
+}
+
+/// F3 — Lemma 4.8: the four rotated zones receive equal visit shares.
+///
+/// A flight started at distance `5ℓ/2` from the origin visits the four
+/// 90°-rotated copies of `Q_ℓ(0)` equally often (isotropy), so the
+/// origin's square absorbs at most ~1/4 of zone visits. The check
+/// compares across-trial mean visit counts pairwise and accepts a
+/// maximum z-score below 4.
+pub fn f3_zone_shares(profile: Profile) -> CheckResult {
+    let alpha = 2.5;
+    let ell: u64 = profile.pick(8, 32);
+    let t_jumps: u64 = profile.pick(200, 1_000);
+    let trials: u64 = profile.pick(1_500, 20_000);
+    let start = Point::new(5 * ell as i64 / 2, 0);
+    let to_origin = Point::ORIGIN - start;
+    let centers: Vec<Point> = (0..4)
+        .scan(to_origin, |v, _| {
+            let c = start + *v;
+            *v = v.rotate90();
+            Some(c)
+        })
+        .collect();
+    let zones: Vec<Square> = centers.iter().map(|&c| Square::new(c, ell)).collect();
+    let counts: Vec<[u64; 4]> = run_trials(trials, SeedStream::new(0xF3), 0, move |_t, rng| {
+        let mut flight = LevyFlight::new(alpha, start).expect("valid alpha");
+        let mut c = [0u64; 4];
+        for _ in 0..t_jumps {
+            let p = flight.step(rng);
+            for (z, slot) in zones.iter().zip(c.iter_mut()) {
+                if z.contains(p) {
+                    *slot += 1;
+                }
+            }
+        }
+        c
+    });
+    let stats: Vec<(f64, f64)> = (0..4)
+        .map(|z| {
+            let xs: Vec<f64> = counts.iter().map(|c| c[z] as f64).collect();
+            let m = mean(&xs).expect("trials > 0");
+            let se = (variance(&xs).expect("trials > 1") / xs.len() as f64).sqrt();
+            (m, se)
+        })
+        .collect();
+    let grand: f64 = stats.iter().map(|(m, _)| m).sum();
+    let mut max_z = 0.0f64;
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            let (ma, sa) = stats[a];
+            let (mb, sb) = stats[b];
+            max_z = max_z.max((ma - mb).abs() / (sa * sa + sb * sb).sqrt());
+        }
+    }
+    let shares: Vec<String> = stats
+        .iter()
+        .map(|(m, _)| format!("{:.4}", m / grand))
+        .collect();
+    CheckResult {
+        name: "f3_zone_shares",
+        claim: "Lemma 4.8: the four rotated zones receive equal visit shares (max |z| < 4)",
+        findings: vec![
+            Finding::new(
+                "max pairwise z-score",
+                format!("{max_z:.2} (shares {})", shares.join(", ")),
+                "< 4 (isotropy: no zone is preferred)".into(),
+                max_z < 4.0,
+            ),
+            Finding::new(
+                "zones are reached",
+                format!("{grand:.3} mean zone visits/trial"),
+                "> 0 (flights actually visit the zones)".into(),
+                grand > 0.0,
+            ),
+        ],
+    }
+}
+
+/// F4 — Lemma C.1: the jump's x-projection density has slope `-α`.
+///
+/// `P(|Sˣ| = d) = Θ(1/d^α)`, so the log-binned density of absolute
+/// x-projections fits a log–log slope close to `-α`. The check fits the
+/// slope per `α` with a parametric bootstrap CI and accepts the
+/// interval `[-α - tol, -α + tol]` around the point estimate.
+pub fn f4_projection_slope(profile: Profile) -> CheckResult {
+    let alphas: Vec<f64> = profile.pick(vec![1.5, 2.5], vec![1.5, 2.0, 2.5, 3.0]);
+    let trials: u64 = profile.pick(150_000, 3_000_000);
+    let tol = profile.pick(0.35, 0.25);
+    let mut findings = Vec::new();
+    let mut slopes = Vec::new();
+    for &alpha in &alphas {
+        let jumps = JumpLengthDistribution::new(alpha).expect("valid alpha");
+        let projections = run_trials(trials, SeedStream::new(0xF4), 0, move |_t, rng| {
+            let (_, v) = sample_jump(&jumps, Point::ORIGIN, rng);
+            v.x.unsigned_abs()
+        });
+        let mut hist = LogHistogram::new(1.0, 2.0, 20);
+        for p in projections {
+            if p > 0 {
+                hist.record(p as f64);
+            }
+        }
+        let what = format!("slope(alpha={alpha})");
+        match density_slope_ci(&hist, 1e4, 200, 0xF4 + (alpha * 10.0) as u64) {
+            Some(ci) => {
+                let ok = (ci.slope + alpha).abs() <= tol && ci.r_squared >= 0.9;
+                slopes.push((alpha, ci.slope));
+                findings.push(Finding::new(
+                    &what,
+                    ci.render(),
+                    format!(
+                        "slope in [{:.3}, {:.3}], r² ≥ 0.9",
+                        -alpha - tol,
+                        -alpha + tol
+                    ),
+                    ok,
+                ));
+            }
+            None => findings.push(Finding::new(
+                &what,
+                "fit failed".into(),
+                "a log–log fit must exist".into(),
+                false,
+            )),
+        }
+    }
+    if slopes.len() >= 2 {
+        let (a_lo, s_lo) = slopes[0];
+        let (a_hi, s_hi) = slopes[slopes.len() - 1];
+        findings.push(Finding::new(
+            "slope steepens with α",
+            format!("slope({a_lo}) = {s_lo:.3}, slope({a_hi}) = {s_hi:.3}"),
+            format!("slope({a_hi}) < slope({a_lo})"),
+            s_hi < s_lo,
+        ));
+    }
+    CheckResult {
+        name: "f4_projection_slope",
+        claim: "Lemma C.1: jump x-projection density has log-log slope -α",
+        findings,
+    }
+}

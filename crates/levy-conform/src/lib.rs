@@ -1,0 +1,359 @@
+//! Statistical conformance suite for the paper reproduction.
+//!
+//! EXPERIMENTS.md asserts the paper's quantitative claims (region
+//! identities, Lemma 3.2 marginals, zone isotropy, projection and
+//! hit-probability exponents, the Corollary 1.4 argmax, the strategy
+//! shoot-out) as prose tables. This crate re-derives each claim as a
+//! *pass/fail hypothesis test* built on `levy-analysis` primitives —
+//! bootstrap confidence intervals on fitted log–log slopes, z-tests on
+//! zone shares and marginal brackets — with fixed seeds, so the whole
+//! suite is deterministic: the same binary produces byte-identical
+//! verdicts, slopes, and CIs on every run.
+//!
+//! Two profiles (see [`Profile`]):
+//!
+//! * `Smoke` — seconds per check; CI runs this on every push.
+//! * `Full` — the EXPERIMENTS.md scale; for release validation.
+//!
+//! Each check returns a [`CheckResult`]: a list of [`Finding`]s pairing
+//! a measured quantity (formatted once, deterministically) with the
+//! accepted band derived from the theorem it gates. The `levy_conform`
+//! binary renders them and exits nonzero on any failure; the
+//! integration tests assert each check individually so a regression
+//! names the exact claim it broke.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scaling;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use levy_analysis::{log_log_fit, quantile, standard_normal_quantile, LogHistogram};
+
+/// How much statistics to spend: CI smoke or EXPERIMENTS.md scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Seconds per check; the scale CI runs on every push.
+    Smoke,
+    /// The EXPERIMENTS.md scale (minutes); release validation.
+    Full,
+}
+
+impl Profile {
+    /// Chooses a profile-dependent constant.
+    pub fn pick<T>(self, smoke: T, full: T) -> T {
+        match self {
+            Profile::Smoke => smoke,
+            Profile::Full => full,
+        }
+    }
+
+    /// Lowercase name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    }
+}
+
+/// One measured quantity compared against its accepted band.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What was measured (`slope(alpha=2.2)`).
+    pub what: String,
+    /// The measurement, formatted deterministically (slope, CI, r²).
+    pub measured: String,
+    /// The accepted band and where it comes from.
+    pub expected: String,
+    /// Whether the measurement landed inside the band.
+    pub passed: bool,
+}
+
+impl Finding {
+    /// A finding from its four parts.
+    pub fn new(what: &str, measured: String, expected: String, passed: bool) -> Finding {
+        Finding {
+            what: what.to_owned(),
+            measured,
+            expected,
+            passed,
+        }
+    }
+}
+
+/// The verdict of one conformance check.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Stable check name (referenced from EXPERIMENTS.md).
+    pub name: &'static str,
+    /// The claim being gated, in one sentence.
+    pub claim: &'static str,
+    /// Every measurement the check made.
+    pub findings: Vec<Finding>,
+}
+
+impl CheckResult {
+    /// `true` when every finding passed (and at least one exists).
+    pub fn passed(&self) -> bool {
+        !self.findings.is_empty() && self.findings.iter().all(|f| f.passed)
+    }
+
+    /// Multi-line human-readable report (deterministic).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "[{}] {} — {}\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.name,
+            self.claim
+        );
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  {} {:<28} measured {} | accepted {}\n",
+                if f.passed { "ok  " } else { "FAIL" },
+                f.what,
+                f.measured,
+                f.expected
+            ));
+        }
+        out
+    }
+}
+
+/// A named conformance check.
+pub struct Check {
+    /// Stable name (used by `--only` and the EXPERIMENTS.md gate column).
+    pub name: &'static str,
+    /// One-sentence claim.
+    pub claim: &'static str,
+    /// Runs the check at a profile.
+    pub run: fn(Profile) -> CheckResult,
+}
+
+/// Every conformance check, in EXPERIMENTS.md order.
+pub fn all_checks() -> Vec<Check> {
+    vec![
+        Check {
+            name: "f1_region_identities",
+            claim: "|R_d| = 4d, |B_d| = 2d²+2d+1, |Q_d| = (2d+1)², B_d ⊆ Q_d (Section 3.1)",
+            run: figures::f1_region_identities,
+        },
+        Check {
+            name: "f2_direct_path_marginals",
+            claim: "Lemma 3.2: direct-path marginals on R_i stay in the (i/d)⌊d/i⌋/4i bracket",
+            run: figures::f2_direct_path_marginals,
+        },
+        Check {
+            name: "f3_zone_shares",
+            claim: "Lemma 4.8: the four rotated zones receive equal visit shares (max |z| < 4)",
+            run: figures::f3_zone_shares,
+        },
+        Check {
+            name: "f4_projection_slope",
+            claim: "Lemma C.1: jump x-projection density has log-log slope -α",
+            run: figures::f4_projection_slope,
+        },
+        Check {
+            name: "e1_superdiffusive_slope",
+            claim: "Theorem 1.1(a): P(hit in O(µℓ^{α-1})) scales as ℓ^{-(3-α)} for α ∈ (2,3)",
+            run: scaling::e1_superdiffusive_slope,
+        },
+        Check {
+            name: "e6_optimal_exponent_argmax",
+            claim: "Corollary 1.4 / Theorem 1.5: hit rate peaks inside [α*, α* + 5 loglog ℓ/log ℓ] and the argmax decreases with k",
+            run: scaling::e6_optimal_exponent_argmax,
+        },
+        Check {
+            name: "e8_strategy_shootout",
+            claim: "Sections 1.2.4/2: ANTS ≥ all, ballistic worst-and-fastest, Cauchy < randomized U(2,3)",
+            run: scaling::e8_strategy_shootout,
+        },
+    ]
+}
+
+/// A fitted slope with its bootstrap confidence interval.
+#[derive(Debug, Clone, Copy)]
+pub struct SlopeCi {
+    /// Point-estimate log–log slope.
+    pub slope: f64,
+    /// Lower bootstrap percentile bound.
+    pub lo: f64,
+    /// Upper bootstrap percentile bound.
+    pub hi: f64,
+    /// r² of the point-estimate fit.
+    pub r_squared: f64,
+}
+
+impl SlopeCi {
+    /// Deterministic report string (three decimals throughout).
+    pub fn render(&self) -> String {
+        format!(
+            "slope {:.3} [95% CI {:.3}, {:.3}], r² {:.3}",
+            self.slope, self.lo, self.hi, self.r_squared
+        )
+    }
+}
+
+/// Parametric bootstrap CI for the log–log slope through binomial
+/// points `(x, hits, trials)`.
+///
+/// Each resample redraws every point's hit count from the normal
+/// approximation of `Binomial(trials, hits/trials)` and refits; the CI
+/// is the percentile interval of the resampled slopes. Deterministic
+/// for a fixed `seed`.
+pub fn binomial_slope_ci(
+    points: &[(f64, u64, u64)],
+    resamples: usize,
+    seed: u64,
+) -> Option<SlopeCi> {
+    let observed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, h, n)| (x, h as f64 / n.max(1) as f64))
+        .collect();
+    let fit = log_log_fit(&observed)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut slopes = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let resampled: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(x, h, n)| {
+                let n = n.max(1) as f64;
+                let p = h as f64 / n;
+                let z = standard_normal_quantile(rng.gen::<f64>().clamp(1e-9, 1.0 - 1e-9));
+                let hits = (n * p + z * (n * p * (1.0 - p)).sqrt())
+                    .round()
+                    .clamp(0.0, n);
+                (x, hits / n)
+            })
+            .collect();
+        if let Some(f) = log_log_fit(&resampled) {
+            slopes.push(f.slope);
+        }
+    }
+    Some(SlopeCi {
+        slope: fit.slope,
+        lo: quantile(&slopes, 0.025)?,
+        hi: quantile(&slopes, 0.975)?,
+        r_squared: fit.r_squared,
+    })
+}
+
+/// Parametric bootstrap CI for the power-law slope of a log-binned
+/// histogram's density, using bins with center below `x_max`.
+///
+/// Resamples perturb each bin count by its Poisson noise (normal
+/// approximation, `σ = √c`); the total stays fixed, which only shifts
+/// the fit's intercept, never its slope.
+pub fn density_slope_ci(
+    hist: &LogHistogram,
+    x_max: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<SlopeCi> {
+    let total = hist.total().max(1) as f64;
+    // (center, width, count) of the non-empty bins under the cutoff.
+    let bins: Vec<(f64, f64, f64)> = (0..hist.bins())
+        .filter(|&i| hist.count(i) > 0)
+        .map(|i| {
+            let (lo, hi) = hist.bin_range(i);
+            ((lo * hi).sqrt(), hi - lo, hist.count(i) as f64)
+        })
+        .filter(|&(center, _, _)| center < x_max)
+        .collect();
+    let observed: Vec<(f64, f64)> = bins.iter().map(|&(x, w, c)| (x, c / (total * w))).collect();
+    let fit = log_log_fit(&observed)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut slopes = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let resampled: Vec<(f64, f64)> = bins
+            .iter()
+            .filter_map(|&(x, w, c)| {
+                let z = standard_normal_quantile(rng.gen::<f64>().clamp(1e-9, 1.0 - 1e-9));
+                let c = (c + z * c.sqrt()).round();
+                (c >= 1.0).then_some((x, c / (total * w)))
+            })
+            .collect();
+        if let Some(f) = log_log_fit(&resampled) {
+            slopes.push(f.slope);
+        }
+    }
+    Some(SlopeCi {
+        slope: fit.slope,
+        lo: quantile(&slopes, 0.025)?,
+        hi: quantile(&slopes, 0.975)?,
+        r_squared: fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_slope_ci_recovers_an_exact_power_law() {
+        // p(x) = x^{-1} exactly, huge n → CI hugs -1.
+        let points: Vec<(f64, u64, u64)> = [10u64, 100, 1000]
+            .iter()
+            .map(|&x| (x as f64, 1_000_000_000 / x, 1_000_000_000))
+            .collect();
+        let ci = binomial_slope_ci(&points, 200, 7).unwrap();
+        assert!((ci.slope + 1.0).abs() < 1e-9, "{}", ci.render());
+        assert!(ci.lo <= -0.99 && ci.hi >= -1.01, "{}", ci.render());
+        assert!(ci.hi - ci.lo < 0.02, "{}", ci.render());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let points = vec![(8.0, 120, 1000), (16.0, 70, 1000), (32.0, 40, 1000)];
+        let a = binomial_slope_ci(&points, 300, 42).unwrap();
+        let b = binomial_slope_ci(&points, 300, 42).unwrap();
+        assert_eq!(a.render(), b.render());
+        let c = binomial_slope_ci(&points, 300, 43).unwrap();
+        assert_eq!(a.slope, c.slope, "point estimate ignores the seed");
+    }
+
+    #[test]
+    fn density_slope_ci_tracks_a_synthetic_power_law() {
+        let mut hist = LogHistogram::new(1.0, 2.0, 20);
+        // Density f(x) = x^{-2}: bin count ≈ f(center) · width.
+        for i in 0..10i32 {
+            let width = 2f64.powi(i);
+            let x = 2f64.powi(i) * 1.414;
+            let c = (4e5 * x.powi(-2) * width).round() as u64;
+            for _ in 0..c {
+                hist.record(x);
+            }
+        }
+        let ci = density_slope_ci(&hist, 1e5, 100, 3).unwrap();
+        assert!((ci.slope + 2.0).abs() < 0.1, "{}", ci.render());
+        assert!(ci.lo < -2.0 && -2.0 < ci.hi, "{}", ci.render());
+    }
+
+    #[test]
+    fn check_result_requires_findings_and_all_passes() {
+        let mut r = CheckResult {
+            name: "x",
+            claim: "y",
+            findings: vec![],
+        };
+        assert!(!r.passed(), "no findings is a failure, not a pass");
+        r.findings
+            .push(Finding::new("a", "1".into(), "1".into(), true));
+        assert!(r.passed());
+        r.findings
+            .push(Finding::new("b", "2".into(), "3".into(), false));
+        assert!(!r.passed());
+        assert!(r.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn all_checks_have_unique_names() {
+        let checks = all_checks();
+        let mut names: Vec<_> = checks.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), checks.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! The conformance suite at the smoke profile, one test per check, so a
+//! regression names the exact EXPERIMENTS.md claim it broke. CI runs
+//! this on every push (see the `conformance` job).
+
+use levy_conform::{all_checks, CheckResult, Profile};
+
+fn run(name: &str) -> CheckResult {
+    let checks = all_checks();
+    let check = checks
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("no check named {name}"));
+    (check.run)(Profile::Smoke)
+}
+
+fn assert_passes(name: &str) {
+    let result = run(name);
+    assert!(result.passed(), "\n{}", result.render());
+}
+
+#[test]
+fn f1_region_identities_smoke() {
+    assert_passes("f1_region_identities");
+}
+
+#[test]
+fn f2_direct_path_marginals_smoke() {
+    assert_passes("f2_direct_path_marginals");
+}
+
+#[test]
+fn f3_zone_shares_smoke() {
+    assert_passes("f3_zone_shares");
+}
+
+#[test]
+fn f4_projection_slope_smoke() {
+    assert_passes("f4_projection_slope");
+}
+
+#[test]
+fn e1_superdiffusive_slope_smoke() {
+    assert_passes("e1_superdiffusive_slope");
+}
+
+#[test]
+fn e6_optimal_exponent_argmax_smoke() {
+    assert_passes("e6_optimal_exponent_argmax");
+}
+
+#[test]
+fn e8_strategy_shootout_smoke() {
+    assert_passes("e8_strategy_shootout");
+}
+
+/// The whole point of fixed seeds: running a stochastic check twice must
+/// reproduce byte-identical findings — same slopes, same CIs, same
+/// verdicts — or the suite cannot gate CI.
+#[test]
+fn stochastic_checks_are_deterministic() {
+    for name in ["f4_projection_slope", "e1_superdiffusive_slope"] {
+        let a = run(name);
+        let b = run(name);
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "{name} produced different findings on a second run"
+        );
+    }
+}

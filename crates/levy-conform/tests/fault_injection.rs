@@ -1,0 +1,309 @@
+//! Deterministic fault injection against a real `levy-served` server.
+//!
+//! Every test follows the same shape: capture the seeded response bytes
+//! from an unfaulted server, replay the identical request sequence
+//! against a server with a scheduled [`FaultPlan`], assert the server
+//! degrades the way the spec says (4xx/5xx, miss-and-recompute, counter
+//! movement), and assert that the seeded result bytes delivered around
+//! the fault are byte-identical to the unfaulted baseline. The plans are
+//! addressed by operation index (accept-order connections, arrival-order
+//! disk reads/writes, start-order executions), so each run replays the
+//! same faults at the same wire/disk offsets.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use levy_served::server::{Server, ServerConfig};
+use levy_served::{CacheConfig, Client, FaultPlan};
+use levy_sim::Json;
+
+/// Small but real simulation: ~quarter-second even unoptimized.
+const QUERY: &str =
+    r#"{"kind":"parallel","alpha":2.5,"k":4,"ell":8,"budget":400,"trials":150,"seed":11}"#;
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        sim_threads: 2,
+        queue_capacity: 32,
+        cache: CacheConfig {
+            mem_capacity: 64,
+            disk_capacity: 0,
+            dir: None,
+        },
+        default_timeout_ms: 60_000,
+        quiet: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(config: ServerConfig) -> (Server, Client) {
+    let server = Server::start(config).expect("server starts");
+    let client = Client::new(&server.addr().to_string()).with_timeout(Duration::from_secs(120));
+    (server, client)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("levy-conform-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The seeded result bytes from a server with no faults scheduled.
+fn baseline_bytes() -> Vec<u8> {
+    let (server, client) = start(test_config());
+    let response = client.post("/v1/query", QUERY).expect("baseline ok");
+    assert_eq!(response.status, 200, "body: {}", response.body_string());
+    server.shutdown();
+    response.body
+}
+
+fn faulted_config(spec: &str) -> ServerConfig {
+    ServerConfig {
+        faults: Some(Arc::new(FaultPlan::parse(spec).expect("valid plan"))),
+        ..test_config()
+    }
+}
+
+/// Disk-tier config: no memory tier, so every lookup goes to disk.
+fn disk_config(spec: &str, dir: PathBuf) -> ServerConfig {
+    ServerConfig {
+        cache: CacheConfig {
+            mem_capacity: 0,
+            disk_capacity: 64,
+            dir: Some(dir),
+        },
+        ..faulted_config(spec)
+    }
+}
+
+/// Reads a cache counter out of the `/v1/stats` JSON body.
+fn cache_counter(client: &Client, name: &str) -> u64 {
+    let stats = client.get("/v1/stats").expect("stats ok");
+    Json::parse(&stats.body_string())
+        .expect("stats JSON")
+        .get("cache")
+        .and_then(|c| c.get(name).and_then(|v| v.as_u64()))
+        .unwrap_or_else(|| panic!("no cache counter {name}"))
+}
+
+#[test]
+fn socket_read_error_rejects_the_connection_and_spares_the_next() {
+    let baseline = baseline_bytes();
+    // Connection 0 loses its socket after 16 request bytes.
+    let (server, client) = start(faulted_config("socket_read_error@conn=0,after=16"));
+    let torn = client
+        .post("/v1/query", QUERY)
+        .expect("response still sent");
+    assert_eq!(torn.status, 400, "torn request is rejected as malformed");
+    assert_eq!(server.stats().io_read_errors.get(), 1);
+    // Connection 1 is untouched and must serve the seeded bytes.
+    let clean = client.post("/v1/query", QUERY).expect("clean ok");
+    assert_eq!(clean.status, 200);
+    assert_eq!(clean.body, baseline, "seeded bytes survive the fault");
+    server.shutdown();
+}
+
+#[test]
+fn socket_write_error_tears_the_response_but_caches_the_result() {
+    let baseline = baseline_bytes();
+    // Connection 0's response is torn after 10 bytes — mid status line.
+    let (server, client) = start(faulted_config("socket_write_error@conn=0,after=10"));
+    let torn = client.post("/v1/query", QUERY);
+    assert!(
+        torn.is_err() || torn.is_ok_and(|r| r.status != 200),
+        "a torn response must not parse as a 200"
+    );
+    assert_eq!(server.stats().io_write_errors.get(), 1);
+    // The simulation itself completed and was cached: connection 1
+    // replays the exact seeded bytes without re-simulating.
+    let replay = client.post("/v1/query", QUERY).expect("replay ok");
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.header("x-levy-cache"), Some("hit"));
+    assert_eq!(replay.body, baseline, "cached bytes equal the baseline");
+    assert_eq!(server.stats().simulations_started.get(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn worker_panic_returns_500_and_the_retry_succeeds() {
+    let baseline = baseline_bytes();
+    // Execution 0 panics inside the worker's unwind guard.
+    let (server, client) = start(faulted_config("worker_panic@exec=0"));
+    let failed = client.post("/v1/query", QUERY).expect("response ok");
+    assert_eq!(failed.status, 500, "body: {}", failed.body_string());
+    assert!(
+        failed.body_string().contains("injected worker panic"),
+        "the failure is reported, body: {}",
+        failed.body_string()
+    );
+    assert_eq!(server.stats().simulations_failed.get(), 1);
+    // The failed job is not cached; the retry re-executes (execution 1,
+    // unfaulted) and produces the seeded bytes.
+    let retry = client.post("/v1/query", QUERY).expect("retry ok");
+    assert_eq!(retry.status, 200);
+    assert_eq!(retry.header("x-levy-cache"), Some("miss"));
+    assert_eq!(retry.body, baseline, "retry reproduces the seeded bytes");
+    assert_eq!(
+        server.stats().simulations_failed.get(),
+        1,
+        "no second panic"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn truncated_disk_entry_is_dropped_and_recomputed() {
+    let baseline = baseline_bytes();
+    let dir = temp_dir("truncate");
+    // Disk read 0 is the cold lookup (no file yet); read 1 — the warm
+    // lookup — delivers only the first 40 bytes of the stored entry.
+    let (server, client) = start(disk_config(
+        "disk_read_truncate@read=1,keep=40",
+        dir.clone(),
+    ));
+    let cold = client.post("/v1/query", QUERY).expect("cold ok");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.body, baseline);
+    let warm = client.post("/v1/query", QUERY).expect("warm ok");
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.header("x-levy-cache"),
+        Some("miss"),
+        "a torn entry must be treated as a miss, never served"
+    );
+    assert_eq!(warm.body, baseline, "recompute reproduces the seeded bytes");
+    assert_eq!(cache_counter(&client, "corrupt_entries"), 1);
+    assert_eq!(server.stats().simulations_started.get(), 2);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_disk_entry_is_dropped_and_recomputed() {
+    let baseline = baseline_bytes();
+    let dir = temp_dir("corrupt");
+    // Read 1 delivers a deterministically scrambled body (bit rot).
+    let (server, client) = start(disk_config("disk_read_corrupt@read=1", dir.clone()));
+    let cold = client.post("/v1/query", QUERY).expect("cold ok");
+    assert_eq!(cold.status, 200);
+    let warm = client.post("/v1/query", QUERY).expect("warm ok");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-levy-cache"), Some("miss"));
+    assert_eq!(warm.body, baseline, "recompute reproduces the seeded bytes");
+    assert_eq!(cache_counter(&client, "corrupt_entries"), 1);
+    // The rotten file was removed: the next lookup misses cleanly (the
+    // recompute re-wrote it, so it replays from disk).
+    let third = client.post("/v1/query", QUERY).expect("third ok");
+    assert_eq!(third.header("x-levy-cache"), Some("hit"));
+    assert_eq!(third.body, baseline);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_read_error_degrades_to_a_miss() {
+    let baseline = baseline_bytes();
+    let dir = temp_dir("read-error");
+    let (server, client) = start(disk_config("disk_read_error@read=1", dir.clone()));
+    let cold = client.post("/v1/query", QUERY).expect("cold ok");
+    assert_eq!(cold.status, 200);
+    let warm = client.post("/v1/query", QUERY).expect("warm ok");
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.header("x-levy-cache"),
+        Some("miss"),
+        "an unreadable disk tier degrades to recomputation"
+    );
+    assert_eq!(warm.body, baseline);
+    assert_eq!(cache_counter(&client, "disk_errors"), 1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_write_error_loses_the_entry_but_not_the_response() {
+    let baseline = baseline_bytes();
+    let dir = temp_dir("write-error");
+    // Write 0 — persisting the cold result — fails; no file lands.
+    let (server, client) = start(disk_config("disk_write_error@write=0", dir.clone()));
+    let cold = client.post("/v1/query", QUERY).expect("cold ok");
+    assert_eq!(
+        cold.status, 200,
+        "a cache write failure must not fail the request"
+    );
+    assert_eq!(cold.body, baseline);
+    assert_eq!(cache_counter(&client, "disk_errors"), 1);
+    // Nothing was persisted, so the warm request recomputes (write 1
+    // succeeds and the third request finally replays from disk).
+    let warm = client.post("/v1/query", QUERY).expect("warm ok");
+    assert_eq!(warm.header("x-levy-cache"), Some("miss"));
+    assert_eq!(warm.body, baseline);
+    let third = client.post("/v1/query", QUERY).expect("third ok");
+    assert_eq!(third.header("x-levy-cache"), Some("hit"));
+    assert_eq!(third.body, baseline);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_client_is_timed_out_with_408_and_service_continues() {
+    let baseline = baseline_bytes();
+    let (server, client) = start(ServerConfig {
+        read_timeout_ms: 250,
+        ..test_config()
+    });
+    // A slow-loris client: opens the connection, dribbles half a request
+    // line, then stalls past the read deadline.
+    let mut loris = TcpStream::connect(server.addr()).expect("connect");
+    loris
+        .write_all(b"POST /v1/query HTTP/1.1\r\nContent-")
+        .expect("partial write");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout set");
+    let mut reply = String::new();
+    let _ = loris.read_to_string(&mut reply);
+    assert!(
+        reply.starts_with("HTTP/1.1 408"),
+        "stalled connection must be timed out with 408, got: {reply:?}"
+    );
+    assert_eq!(server.stats().slow_client_timeouts.get(), 1);
+    // The stalled connection never blocked real traffic.
+    let clean = client.post("/v1/query", QUERY).expect("clean ok");
+    assert_eq!(clean.status, 200);
+    assert_eq!(clean.body, baseline, "seeded bytes survive the slow client");
+    server.shutdown();
+}
+
+#[test]
+fn one_plan_replays_identically_across_fresh_servers() {
+    // The same plan string drives two fresh servers through the same
+    // request sequence and produces the same degradation both times —
+    // the property that makes a failure report replayable.
+    let spec = "worker_panic@exec=0;socket_read_error@conn=2,after=8";
+    let mut outcomes = Vec::new();
+    for _ in 0..2 {
+        let (server, client) = start(faulted_config(spec));
+        let first = client.post("/v1/query", QUERY).expect("first ok");
+        let second = client.post("/v1/query", QUERY).expect("second ok");
+        let third = client.post("/v1/query", QUERY).expect("third ok");
+        outcomes.push((
+            first.status,
+            second.status,
+            second.body,
+            third.status,
+            server.stats().simulations_failed.get(),
+            server.stats().io_read_errors.get(),
+        ));
+        server.shutdown();
+    }
+    assert_eq!(outcomes[0], outcomes[1], "replay must be deterministic");
+    assert_eq!(outcomes[0].0, 500, "exec 0 panics");
+    assert_eq!(outcomes[0].1, 200, "the retry succeeds");
+    assert_eq!(outcomes[0].3, 400, "conn 2 is torn mid-request");
+}

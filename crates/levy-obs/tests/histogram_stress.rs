@@ -1,0 +1,134 @@
+//! Concurrency stress for the lock-free histogram and snapshot merge.
+//!
+//! The metrics pipeline merges per-source `HistogramSnapshot`s (threads,
+//! processes, runs) by bucket-wise addition, and the conformance/fault
+//! suites rely on counter totals being exact under contention. These
+//! tests hammer one shared histogram and N private ones from scoped
+//! threads with a deterministic workload and assert the totals, sums,
+//! and merged buckets come out exactly equal.
+
+use levy_obs::metrics::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot};
+
+/// Deterministic per-thread workload: thread `t` records the values
+/// `t, t + stride, t + 2·stride, ...` — disjoint across threads, easy
+/// to total in closed form.
+fn workload(t: u64, threads: u64, per_thread: u64) -> impl Iterator<Item = u64> {
+    (0..per_thread).map(move |i| t + i * threads)
+}
+
+#[test]
+fn shared_histogram_totals_are_exact_under_contention() {
+    let threads = 8u64;
+    let per_thread = 50_000u64;
+    let shared = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let shared = shared.clone();
+            scope.spawn(move || {
+                for v in workload(t, threads, per_thread) {
+                    shared.record(v);
+                }
+            });
+        }
+    });
+    let n = threads * per_thread;
+    let snapshot = shared.snapshot();
+    assert_eq!(shared.count(), n, "no recorded value may be lost");
+    assert_eq!(snapshot.count, n);
+    assert_eq!(snapshot.buckets.iter().sum::<u64>(), n);
+    // Sum of 0..n is exact (well below the saturation point).
+    assert_eq!(snapshot.sum, n * (n - 1) / 2);
+}
+
+#[test]
+fn per_thread_snapshots_merge_to_the_shared_histogram() {
+    let threads = 8u64;
+    let per_thread = 20_000u64;
+    let shared = Histogram::new();
+    let merged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let private = Histogram::new();
+                    for v in workload(t, threads, per_thread) {
+                        shared.record(v);
+                        private.record(v);
+                    }
+                    private.snapshot()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .fold(HistogramSnapshot::empty(), |acc, s| acc.merge(&s))
+    });
+    // Merging the per-thread snapshots (in any order — fold order here)
+    // must reproduce the shared histogram bucket-for-bucket.
+    assert_eq!(merged, shared.snapshot());
+    assert_eq!(merged.count, threads * per_thread);
+}
+
+#[test]
+fn merge_is_associative_commutative_with_identity() {
+    let mk = |values: &[u64]| {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    };
+    let a = mk(&[0, 1, 5, 1_000_000]);
+    let b = mk(&[2, 2, 2]);
+    let c = mk(&[u64::MAX, 42]);
+    assert_eq!(a.merge(&b), b.merge(&a));
+    assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    assert_eq!(a.merge(&HistogramSnapshot::empty()), a);
+}
+
+#[test]
+fn quantiles_survive_merging() {
+    // Two disjoint halves of a range merged together must report the
+    // same quantile bracket as one histogram over the whole range.
+    let low = Histogram::new();
+    let high = Histogram::new();
+    let whole = Histogram::new();
+    for v in 0..1_000u64 {
+        if v < 500 {
+            low.record(v);
+        } else {
+            high.record(v);
+        }
+        whole.record(v);
+    }
+    let merged = low.snapshot().merge(&high.snapshot());
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(
+            merged.quantile_upper_bound(q),
+            whole.snapshot().quantile_upper_bound(q),
+            "q = {q}"
+        );
+    }
+    // Sanity: the median of 0..1000 falls in the 512 bucket.
+    assert_eq!(merged.quantile_upper_bound(0.5), Some(512));
+}
+
+#[test]
+fn bucket_index_is_monotone_at_boundaries() {
+    // The merge tests above depend on every value landing in exactly one
+    // bucket; check monotonicity and containment at powers of two, where
+    // off-by-ones live.
+    for exp in 0..63u32 {
+        let v = 1u64 << exp;
+        for probe in [v - 1, v, v + 1] {
+            assert!(
+                bucket_index(probe) <= bucket_index(probe + 1),
+                "bucket_index not monotone at {probe}"
+            );
+            if let Some(ub) = bucket_upper_bound(bucket_index(probe)) {
+                assert!(probe <= ub, "{probe} above its bucket bound {ub}");
+            }
+        }
+    }
+}

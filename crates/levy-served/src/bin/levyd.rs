@@ -3,8 +3,14 @@
 //! ```text
 //! levyd [--addr HOST:PORT] [--workers N] [--sim-threads N]
 //!       [--queue-capacity N] [--cache-dir DIR] [--mem-capacity N]
-//!       [--disk-capacity N] [--timeout-ms MS] [--quiet]
+//!       [--disk-capacity N] [--timeout-ms MS] [--read-timeout-ms MS]
+//!       [--fault-plan SPEC] [--quiet]
 //! ```
+//!
+//! `--fault-plan` replays a deterministic fault schedule (see
+//! `levy_served::fault` for the grammar) — a debugging aid for
+//! reproducing failure reports against a live daemon, never set in
+//! production.
 //!
 //! Prints `levyd listening on ADDR` on stdout once the socket is bound
 //! (scripts parse this line to learn an ephemeral port), then serves
@@ -20,7 +26,8 @@ use levy_served::signal;
 
 const USAGE: &str = "usage: levyd [--addr HOST:PORT] [--workers N] [--sim-threads N] \
                      [--queue-capacity N] [--cache-dir DIR] [--mem-capacity N] \
-                     [--disk-capacity N] [--timeout-ms MS] [--quiet]";
+                     [--disk-capacity N] [--timeout-ms MS] [--read-timeout-ms MS] \
+                     [--fault-plan SPEC] [--quiet]";
 
 fn parse_args() -> Result<ServerConfig, String> {
     let mut config = ServerConfig {
@@ -65,6 +72,16 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.default_timeout_ms = value("--timeout-ms")?
                     .parse()
                     .map_err(|_| "--timeout-ms must be an integer".to_owned())?;
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms must be an integer".to_owned())?;
+            }
+            "--fault-plan" => {
+                let plan = levy_served::FaultPlan::parse(&value("--fault-plan")?)
+                    .map_err(|e| format!("--fault-plan: {e}"))?;
+                config.faults = Some(std::sync::Arc::new(plan));
             }
             "--quiet" => config.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),

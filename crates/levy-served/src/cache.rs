@@ -13,12 +13,63 @@
 use std::collections::HashMap;
 use std::fs;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 use levy_obs::{Counter, Gauge, Registry};
 use levy_sim::Json;
+
+/// Filesystem seam for the disk tier.
+///
+/// The cache never touches `std::fs` directly; it goes through this
+/// trait so tests can interpose deterministic failures (see
+/// [`fault::FaultDisk`](crate::fault::FaultDisk)) without monkeying
+/// with a real filesystem. [`StdDisk`] is the production
+/// implementation.
+pub trait DiskStore: Send + Sync + std::fmt::Debug {
+    /// Reads a stored body.
+    fn read(&self, path: &Path) -> io::Result<String>;
+    /// Stores a body atomically (readers never observe a torn write).
+    fn write(&self, path: &Path, body: &str) -> io::Result<()>;
+    /// Removes a stored body.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Lists stored entries as `(modified, path)` pairs.
+    fn list(&self, dir: &Path) -> io::Result<Vec<(SystemTime, PathBuf)>>;
+}
+
+/// The real filesystem: `std::fs` with write-then-rename stores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdDisk;
+
+impl DiskStore for StdDisk {
+    fn read(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, body: &str) -> io::Result<()> {
+        // Write-then-rename so concurrent readers never observe a
+        // torn body.
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, body).and_then(|()| fs::rename(&tmp, path))
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<(SystemTime, PathBuf)>> {
+        Ok(fs::read_dir(dir)?
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let modified = e.metadata().and_then(|m| m.modified()).ok()?;
+                Some((modified, e.path()))
+            })
+            .collect())
+    }
+}
 
 /// Which tier served a cache hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +121,7 @@ struct MemEntry {
 /// mutex-protected so handler and worker threads share one instance.
 pub struct ResultCache {
     config: CacheConfig,
+    store: Arc<dyn DiskStore>,
     mem: Mutex<HashMap<String, MemEntry>>,
     clock: AtomicU64,
     mem_hits: Counter,
@@ -77,17 +129,27 @@ pub struct ResultCache {
     misses: Counter,
     insertions: Counter,
     evictions: Counter,
+    corrupt_entries: Counter,
+    disk_errors: Counter,
     mem_entries: Gauge,
 }
 
 impl ResultCache {
-    /// Creates the cache, creating the disk directory if configured.
+    /// Creates the cache over the real filesystem, creating the disk
+    /// directory if configured.
     pub fn new(config: CacheConfig) -> io::Result<ResultCache> {
+        ResultCache::with_store(config, Arc::new(StdDisk))
+    }
+
+    /// Creates the cache over an explicit [`DiskStore`] (fault
+    /// injection and tests).
+    pub fn with_store(config: CacheConfig, store: Arc<dyn DiskStore>) -> io::Result<ResultCache> {
         if let Some(dir) = &config.dir {
             fs::create_dir_all(dir)?;
         }
         Ok(ResultCache {
             config,
+            store,
             mem: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(0),
             mem_hits: Counter::new(),
@@ -95,6 +157,8 @@ impl ResultCache {
             misses: Counter::new(),
             insertions: Counter::new(),
             evictions: Counter::new(),
+            corrupt_entries: Counter::new(),
+            disk_errors: Counter::new(),
             mem_entries: Gauge::new(),
         })
     }
@@ -127,6 +191,16 @@ impl ResultCache {
             "Entries evicted from either tier to stay within capacity.",
             &self.evictions,
         );
+        registry.register_counter(
+            "levy_served_cache_corrupt_entries_total",
+            "Disk entries dropped because their body failed validation.",
+            &self.corrupt_entries,
+        );
+        registry.register_counter(
+            "levy_served_cache_disk_errors_total",
+            "Disk-tier reads or writes that failed with an I/O error.",
+            &self.disk_errors,
+        );
         registry.register_gauge(
             "levy_served_cache_mem_entries",
             "Entries currently in the memory tier.",
@@ -152,6 +226,12 @@ impl ResultCache {
     }
 
     /// Looks up a body; `None` on miss.
+    ///
+    /// Disk bodies are validated before they are replayed: an entry
+    /// that is not the intact result stored for `key` (truncated,
+    /// bit-rotted, or written under the wrong name) is dropped from
+    /// disk, counted in `corrupt_entries`, and reported as a miss so
+    /// the simulation reruns instead of serving garbage.
     pub fn get(&self, key: &str) -> Option<(String, CacheTier)> {
         if self.config.mem_capacity > 0 {
             let mut mem = self.mem.lock().expect("cache lock");
@@ -162,10 +242,36 @@ impl ResultCache {
             }
         }
         if let Some(path) = self.disk_path(key) {
-            if let Ok(body) = fs::read_to_string(&path) {
-                self.disk_hits.inc();
-                self.insert_mem(key, &body);
-                return Some((body, CacheTier::Disk));
+            match self.store.read(&path) {
+                Ok(body) if disk_body_is_valid(key, &body) => {
+                    self.disk_hits.inc();
+                    self.insert_mem(key, &body);
+                    return Some((body, CacheTier::Disk));
+                }
+                Ok(_) => {
+                    self.corrupt_entries.inc();
+                    let _ = self.store.remove(&path);
+                    levy_obs::log::warn(
+                        "levy-served",
+                        "corrupt disk cache entry dropped",
+                        &[
+                            ("key", key.to_owned()),
+                            ("path", path.display().to_string()),
+                        ],
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    self.disk_errors.inc();
+                    levy_obs::log::warn(
+                        "levy-served",
+                        "disk cache read failed",
+                        &[
+                            ("path", path.display().to_string()),
+                            ("error", e.to_string()),
+                        ],
+                    );
+                }
             }
         }
         self.misses.inc();
@@ -177,11 +283,8 @@ impl ResultCache {
         self.insertions.inc();
         self.insert_mem(key, body);
         if let Some(path) = self.disk_path(key) {
-            // Write-then-rename so concurrent readers never observe a
-            // torn body.
-            let tmp = path.with_extension("tmp");
-            let write = fs::write(&tmp, body).and_then(|()| fs::rename(&tmp, &path));
-            if let Err(e) = write {
+            if let Err(e) = self.store.write(&path, body) {
+                self.disk_errors.inc();
                 levy_obs::log::warn(
                     "levy-served",
                     "cache write failed",
@@ -224,24 +327,16 @@ impl ResultCache {
 
     fn enforce_disk_capacity(&self) {
         let Some(dir) = &self.config.dir else { return };
-        let Ok(entries) = fs::read_dir(dir) else {
+        let Ok(mut files) = self.store.list(dir) else {
             return;
         };
-        let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
-            .flatten()
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .filter_map(|e| {
-                let modified = e.metadata().and_then(|m| m.modified()).ok()?;
-                Some((modified, e.path()))
-            })
-            .collect();
         if files.len() <= self.config.disk_capacity {
             return;
         }
         files.sort();
         let excess = files.len() - self.config.disk_capacity;
         for (_, path) in files.into_iter().take(excess) {
-            if fs::remove_file(&path).is_ok() {
+            if self.store.remove(&path).is_ok() {
                 self.evictions.inc();
             }
         }
@@ -267,8 +362,23 @@ impl ResultCache {
             ("misses", Json::from(self.misses.get())),
             ("insertions", Json::from(self.insertions.get())),
             ("evictions", Json::from(self.evictions.get())),
+            ("corrupt_entries", Json::from(self.corrupt_entries.get())),
+            ("disk_errors", Json::from(self.disk_errors.get())),
         ])
     }
+}
+
+/// An intact disk body is the JSON object the engine stored for `key`:
+/// parseable, carrying the `result-v1` schema tag, and self-identifying
+/// with the key it is filed under. Anything else — truncated JSON,
+/// bit rot, a file renamed onto the wrong key — fails here and is
+/// treated as a miss rather than replayed.
+fn disk_body_is_valid(key: &str, body: &str) -> bool {
+    let Ok(parsed) = Json::parse(body) else {
+        return false;
+    };
+    parsed.get("schema").and_then(|s| s.as_str()) == Some("levy-served/result-v1")
+        && parsed.get("key").and_then(|k| k.as_str()) == Some(key)
 }
 
 #[cfg(test)]
@@ -277,6 +387,12 @@ mod tests {
 
     fn key(i: u64) -> String {
         crate::request::fnv1a_128_hex(&i.to_le_bytes())
+    }
+
+    /// A body that passes disk validation for `key` (the shape the
+    /// engine actually stores).
+    fn body_for(key: &str) -> String {
+        format!("{{\"schema\": \"levy-served/result-v1\", \"key\": \"{key}\", \"result\": {{}}}}")
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -332,17 +448,48 @@ mod tests {
             dir: Some(dir.clone()),
         };
         let cache = ResultCache::new(config.clone()).unwrap();
-        cache.put(&key(7), "persisted");
+        let body = body_for(&key(7));
+        cache.put(&key(7), &body);
         drop(cache);
         let reborn = ResultCache::new(config).unwrap();
-        assert_eq!(
-            reborn.get(&key(7)),
-            Some(("persisted".into(), CacheTier::Disk))
-        );
+        assert_eq!(reborn.get(&key(7)), Some((body.clone(), CacheTier::Disk)));
         // Promoted to memory: second read is a memory hit.
+        assert_eq!(reborn.get(&key(7)), Some((body, CacheTier::Memory)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_dropped_and_reported_as_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::new(CacheConfig {
+            mem_capacity: 0,
+            disk_capacity: 8,
+            dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let k = key(9);
+        let path = dir.join(format!("{k}.json"));
+        let good = body_for(&k);
+        let wrong_key = body_for(&key(10));
+        for bad in [
+            "not json at all",
+            "{\"schema\": \"levy-served/result-v1\"}", // no key
+            wrong_key.as_str(),
+            &good[..good.len() / 2], // truncated
+        ] {
+            fs::write(&path, bad).unwrap();
+            assert!(cache.get(&k).is_none(), "{bad:?} must not be replayed");
+            assert!(!path.exists(), "{bad:?} must be removed from disk");
+        }
+        let stats = cache.stats_json();
+        assert_eq!(stats.get("corrupt_entries").unwrap().as_u64(), Some(4));
+        assert_eq!(stats.get("misses").unwrap().as_u64(), Some(4));
+        // An intact body still round-trips.
+        cache.put(&k, &body_for(&k));
         assert_eq!(
-            reborn.get(&key(7)),
-            Some(("persisted".into(), CacheTier::Memory))
+            cache.get(&k),
+            Some((body_for(&k), CacheTier::Disk)),
+            "valid bodies must keep replaying after corrupt ones were dropped"
         );
         let _ = fs::remove_dir_all(&dir);
     }

@@ -146,7 +146,7 @@ fn read_headers_and_body<R: BufRead>(
     budget: &mut usize,
 ) -> io::Result<(Headers, Vec<u8>)> {
     let mut headers = Vec::new();
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     loop {
         let line = read_line(stream, budget)?;
         if line.is_empty() {
@@ -159,14 +159,31 @@ fn read_headers_and_body<R: BufRead>(
             ));
         };
         let name = name.trim().to_ascii_lowercase();
+        // Names must be visible ASCII (no embedded whitespace or
+        // control bytes), or the framing is ambiguous.
+        if name.is_empty() || !name.bytes().all(|b| (33..=126).contains(&b)) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "invalid header name",
+            ));
+        }
         let value = value.trim().to_owned();
         if name == "content-length" {
-            content_length = value.parse().map_err(|_| {
+            let length: usize = value.parse().map_err(|_| {
                 io::Error::new(io::ErrorKind::InvalidData, "invalid Content-Length")
             })?;
-            if content_length > MAX_BODY_BYTES {
+            if length > MAX_BODY_BYTES {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
             }
+            // Conflicting duplicates are a framing ambiguity (request
+            // smuggling); reject rather than pick one.
+            if content_length.is_some_and(|previous| previous != length) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "conflicting Content-Length headers",
+                ));
+            }
+            content_length = Some(length);
         }
         if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
             return Err(io::Error::new(
@@ -176,7 +193,7 @@ fn read_headers_and_body<R: BufRead>(
         }
         headers.push((name, value));
     }
-    let mut body = vec![0u8; content_length];
+    let mut body = vec![0u8; content_length.unwrap_or(0)];
     stream.read_exact(&mut body)?;
     Ok((headers, body))
 }
@@ -326,9 +343,13 @@ mod tests {
             &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
             &b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..],
             &b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n{}x"[..],
         ] {
             assert!(read_request(&mut BufReader::new(wire)).is_err());
         }
+        // A repeated but agreeing Content-Length is unambiguous.
+        let wire = &b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}"[..];
+        assert_eq!(read_request(&mut BufReader::new(wire)).unwrap().body, b"{}");
     }
 
     #[test]

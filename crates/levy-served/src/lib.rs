@@ -30,6 +30,7 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod request;
@@ -37,8 +38,9 @@ pub mod server;
 #[allow(unsafe_code)]
 pub mod signal;
 
-pub use cache::{CacheConfig, CacheTier, ResultCache};
+pub use cache::{CacheConfig, CacheTier, DiskStore, ResultCache, StdDisk};
 pub use client::Client;
+pub use fault::{Fault, FaultPlan};
 pub use http::{Request, Response};
 pub use metrics::Stats;
 pub use request::Query;

@@ -48,6 +48,15 @@ pub struct Stats {
     pub invalid_requests: Counter,
     /// Waits that hit their deadline (504).
     pub wait_timeouts: Counter,
+    /// Connections whose request could not be read (socket error or
+    /// malformed bytes; answered 400 when the socket still works).
+    pub io_read_errors: Counter,
+    /// Responses that could not be (fully) written back to the client.
+    pub io_write_errors: Counter,
+    /// Connections that idled past the read deadline (answered 408).
+    pub slow_client_timeouts: Counter,
+    /// Simulations that panicked inside a worker (answered 500).
+    pub simulations_failed: Counter,
     /// Jobs currently in the bounded queue.
     pub queue_depth: Gauge,
     /// Configured queue capacity (constant per server; exported so
@@ -104,6 +113,22 @@ impl Stats {
             "levy_served_wait_timeouts_total",
             "Waits that hit their deadline and were answered with 504.",
         );
+        let io_read_errors = registry.counter(
+            "levy_served_io_read_errors_total",
+            "Connections whose request could not be read.",
+        );
+        let io_write_errors = registry.counter(
+            "levy_served_io_write_errors_total",
+            "Responses that could not be fully written to the client.",
+        );
+        let slow_client_timeouts = registry.counter(
+            "levy_served_slow_client_timeouts_total",
+            "Connections that idled past the read deadline (408).",
+        );
+        let simulations_failed = registry.counter(
+            "levy_served_simulations_failed_total",
+            "Simulations that panicked inside a worker (500).",
+        );
         let queue_depth = registry.gauge(
             "levy_served_queue_depth",
             "Jobs currently in the bounded queue.",
@@ -128,6 +153,10 @@ impl Stats {
             rejected_queue_full,
             invalid_requests,
             wait_timeouts,
+            io_read_errors,
+            io_write_errors,
+            slow_client_timeouts,
+            simulations_failed,
             queue_depth,
             queue_capacity,
             workers_busy,
@@ -198,6 +227,16 @@ impl Stats {
             ),
             ("invalid_requests", Json::from(self.invalid_requests.get())),
             ("wait_timeouts", Json::from(self.wait_timeouts.get())),
+            ("io_read_errors", Json::from(self.io_read_errors.get())),
+            ("io_write_errors", Json::from(self.io_write_errors.get())),
+            (
+                "slow_client_timeouts",
+                Json::from(self.slow_client_timeouts.get()),
+            ),
+            (
+                "simulations_failed",
+                Json::from(self.simulations_failed.get()),
+            ),
         ])
     }
 }

@@ -21,8 +21,8 @@
 //! refused with 503.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -31,6 +31,7 @@ use levy_sim::{CancelToken, Json};
 
 use crate::cache::{CacheConfig, ResultCache};
 use crate::engine;
+use crate::fault::{FaultDisk, FaultPlan, FaultStream};
 use crate::http::{read_request, write_response, Request, Response};
 use crate::metrics::Stats;
 use crate::request::Query;
@@ -51,6 +52,13 @@ pub struct ServerConfig {
     /// Default per-request wait deadline (overridable per request via
     /// `timeout_ms`).
     pub default_timeout_ms: u64,
+    /// Socket read deadline: a client that has not delivered a full
+    /// request within this window is answered `408` and disconnected
+    /// (slow-loris defense).
+    pub read_timeout_ms: u64,
+    /// Deterministic fault schedule injected at the I/O seams; `None`
+    /// (production) leaves every seam transparent.
+    pub faults: Option<Arc<FaultPlan>>,
     /// Suppress structured request logs (tests, benchmarks).
     pub quiet: bool,
 }
@@ -64,6 +72,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache: CacheConfig::default(),
             default_timeout_ms: 30_000,
+            read_timeout_ms: 10_000,
+            faults: None,
             quiet: false,
         }
     }
@@ -149,7 +159,13 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let cache = ResultCache::new(config.cache.clone())?;
+        let cache = match &config.faults {
+            Some(plan) => ResultCache::with_store(
+                config.cache.clone(),
+                Arc::new(FaultDisk::new(Arc::clone(plan))),
+            )?,
+            None => ResultCache::new(config.cache.clone())?,
+        };
         let workers = config.workers.max(1);
         let stats = Stats::new();
         stats
@@ -247,13 +263,25 @@ fn accept_loop(listener: TcpListener, inner: &Arc<Inner>) {
     while !inner.shutting_down.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                let read_timeout = Duration::from_millis(inner.config.read_timeout_ms.max(1));
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                // Socket faults are claimed here, in accept order, so
+                // connection indices are deterministic even though
+                // handlers run on their own threads.
+                let conn_faults = inner.config.faults.as_ref().map(|plan| plan.next_conn());
                 inner.open_connections.fetch_add(1, Ordering::AcqRel);
                 let conn_inner = Arc::clone(inner);
                 let spawned =
                     std::thread::Builder::new()
                         .name("levyd-conn".into())
                         .spawn(move || {
-                            handle_connection(stream, &conn_inner);
+                            match conn_faults {
+                                Some(faults) => {
+                                    handle_connection(FaultStream::new(stream, faults), &conn_inner)
+                                }
+                                None => handle_connection(stream, &conn_inner),
+                            }
                             conn_inner.open_connections.fetch_sub(1, Ordering::AcqRel);
                         });
                 if spawned.is_err() {
@@ -269,27 +297,43 @@ fn accept_loop(listener: TcpListener, inner: &Arc<Inner>) {
 }
 
 /// Reads one request, routes it, writes one response, closes.
-fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
+///
+/// Generic over the stream so the fault harness can interpose
+/// byte-exact socket failures; production passes the bare `TcpStream`.
+fn handle_connection<S: Read + Write>(stream: S, inner: &Arc<Inner>) {
     let started = Instant::now();
+    let mut reader = BufReader::new(stream);
     let request = match read_request(&mut reader) {
         Ok(r) => r,
-        Err(_) => {
-            let mut stream = stream;
-            let _ = write_response(&mut stream, &Response::error(400, "malformed HTTP request"));
+        Err(e) => {
+            let timed_out = matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            );
+            let response = if timed_out {
+                inner.stats.slow_client_timeouts.inc();
+                Response::error(408, "request was not received before the read deadline")
+            } else {
+                inner.stats.io_read_errors.inc();
+                Response::error(400, "malformed HTTP request")
+            };
+            let mut stream = reader.into_inner();
+            if write_response(&mut stream, &response).is_err() {
+                inner.stats.io_write_errors.inc();
+            }
+            inner
+                .stats
+                .record_response("-", response.status, started.elapsed());
             return;
         }
     };
     inner.stats.http_requests.inc();
     let response = route(&request, inner);
     let cache_disposition = response.header("X-Levy-Cache").unwrap_or("-").to_owned();
-    let mut stream = stream;
-    let _ = write_response(&mut stream, &response);
+    let mut stream = reader.into_inner();
+    if write_response(&mut stream, &response).is_err() {
+        inner.stats.io_write_errors.inc();
+    }
     let elapsed = started.elapsed();
     inner
         .stats
@@ -531,7 +575,18 @@ fn worker_loop(inner: &Arc<Inner>) {
         inner.stats.simulations_started.inc();
         inner.stats.workers_busy.inc();
         let sim_threads = inner.config.sim_threads;
+        // Execution indices are claimed at start, inside the unwind
+        // guard's shadow, so an injected panic exercises exactly the
+        // path a real engine panic would take.
+        let inject_panic = inner
+            .config
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.next_exec_panics());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected worker panic");
+            }
             engine::execute(&job.query, sim_threads, &job.cancel)
         }));
         inner.stats.workers_busy.dec();
@@ -547,6 +602,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                 JobOutcome::Cancelled
             }
             Err(panic) => {
+                inner.stats.simulations_failed.inc();
                 let message = panic
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_owned())

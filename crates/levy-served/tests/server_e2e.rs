@@ -28,6 +28,7 @@ fn test_config() -> ServerConfig {
         },
         default_timeout_ms: 60_000,
         quiet: true,
+        ..ServerConfig::default()
     }
 }
 
