@@ -8,7 +8,7 @@
 
 use levy_analysis::log_log_fit;
 use levy_bench::{banner, emit, fmt_prob_ci, Scale, Stopwatch};
-use levy_sim::{measure_single_walk, MeasurementConfig, TextTable};
+use levy_sim::{measure_single_walk, MeasurementConfig, ProgressReporter, TextTable};
 use levy_walks::theory::{hit_probability_exponent, mu};
 
 fn main() {
@@ -23,6 +23,17 @@ fn main() {
         vec![16, 32, 64, 128, 256],
         vec![32, 64, 128, 256, 512, 1024],
     );
+    // More trials where the probability is smaller.
+    let trials_for = |alpha: f64, ell: u64| -> u64 {
+        let base: u64 = scale.pick(4_000, 40_000);
+        (base as f64 * (ell as f64).powf(3.0 - alpha) / 8.0)
+            .clamp(base as f64, scale.pick(30_000.0, 300_000.0)) as u64
+    };
+    let total_trials: u64 = alphas
+        .iter()
+        .map(|&alpha| ells.iter().map(|&ell| trials_for(alpha, ell)).sum::<u64>())
+        .sum();
+    let progress = ProgressReporter::start(total_trials);
     let watch = Stopwatch::start();
 
     let mut table = TextTable::new(vec!["alpha", "ell", "budget", "trials", "P(hit) [95% CI]"]);
@@ -31,11 +42,7 @@ fn main() {
         let mut points = Vec::new();
         for &ell in &ells {
             let budget = (2.0 * mu(alpha, ell) * (ell as f64).powf(alpha - 1.0)).ceil() as u64;
-            // More trials where the probability is smaller.
-            let base: u64 = scale.pick(4_000, 40_000);
-            let trials = (base as f64 * (ell as f64).powf(3.0 - alpha) / 8.0)
-                .clamp(base as f64, scale.pick(30_000.0, 300_000.0))
-                as u64;
+            let trials = trials_for(alpha, ell);
             let config = MeasurementConfig::new(ell, budget, trials, 0xE1 + ell);
             let summary = measure_single_walk(alpha, &config);
             let p = summary.hit_rate();
@@ -57,6 +64,7 @@ fn main() {
             ]);
         }
     }
+    progress.finish();
     emit(&table, "e1_hit_prob");
     emit(&fits, "e1_hit_prob_fits");
     println!("elapsed: {:.1}s", watch.seconds());

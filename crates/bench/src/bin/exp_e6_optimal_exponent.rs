@@ -10,7 +10,7 @@
 
 use levy_bench::{banner, emit, fmt_opt, Scale, Stopwatch};
 use levy_rng::ideal_exponent;
-use levy_sim::{linspace, measure_parallel_common, MeasurementConfig, TextTable};
+use levy_sim::{linspace, measure_parallel_common, MeasurementConfig, ProgressReporter, TextTable};
 
 fn main() {
     let scale = Scale::from_args();
@@ -27,11 +27,13 @@ fn main() {
         vec![(16, 128), (128, 128)],
         vec![(16, 128), (128, 128), (64, 256)],
     );
+    let sweep_points = scale.pick(13, 19);
+    let trials: u64 = scale.pick(250, 1_500);
+    let progress = ProgressReporter::start(cases.len() as u64 * sweep_points as u64 * trials);
     let mut argmaxes = Vec::new();
     for (k, ell) in cases {
         let alpha_star = ideal_exponent(k as u64, ell);
         let budget = (12.0 * (ell * ell) as f64 / k as f64).ceil() as u64;
-        let trials: u64 = scale.pick(250, 1_500);
         println!(
             "k = {k}, ℓ = {ell}: ideal α* = {alpha_star:.3}, budget = {budget}, trials = {trials}"
         );
@@ -44,7 +46,7 @@ fn main() {
         ]);
         let mut best_alpha = f64::NAN;
         let mut best_rate = -1.0;
-        for alpha in linspace(2.05, 2.95, scale.pick(13, 19)) {
+        for alpha in linspace(2.05, 2.95, sweep_points) {
             let config =
                 MeasurementConfig::new(ell, budget, trials, 0xE6 + (alpha * 1000.0) as u64);
             let summary = measure_parallel_common(alpha, k, &config);
@@ -70,6 +72,7 @@ fn main() {
         );
         argmaxes.push((k, ell, best_alpha));
     }
+    progress.finish();
     if argmaxes.len() >= 2 && argmaxes[0].1 == argmaxes[1].1 {
         let (k1, _, a1) = argmaxes[0];
         let (k2, _, a2) = argmaxes[1];

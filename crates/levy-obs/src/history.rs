@@ -1,0 +1,229 @@
+//! Periodic registry snapshots: a delta-encoded history ring and the
+//! snapshot differ.
+//!
+//! A [`Snapshot`] is a flat `series-key → value` sample of a registry at
+//! one instant (see `Registry::sample`). [`HistoryRing`] retains the last
+//! `capacity` snapshots in delta-encoded form: one full base plus, per
+//! retained snapshot, only the series that changed since the previous one.
+//! Counters move every tick but most gauge/histogram series are quiet, so
+//! deltas stay small; when the ring is full the oldest delta folds into
+//! the base, keeping memory fixed.
+//!
+//! [`diff`] is the shared differ: `levyd`'s `/metrics/history` endpoint,
+//! `levyc metrics --watch`, and the exp-binary progress reporter all
+//! consume the same `(key, previous, current)` change lists.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// One point-in-time sample of a registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Sample time as unix microseconds.
+    pub ts_us: u64,
+    /// `series-key → value`, sorted by key. Keys look like exposition
+    /// series names: `levy_served_queue_depth`,
+    /// `levy_sim_trial_steps_count`, `levy_served_http_responses_total{path="/v1/query",status="200"}`.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Looks up one series by key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.values[i].1)
+    }
+}
+
+/// Series that changed between two snapshots, as
+/// `(key, previous, current)`. Series new in `next` report a previous
+/// value of `0.0` (registries only ever grow). Sorted by key.
+pub fn diff(prev: &Snapshot, next: &Snapshot) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    let mut pi = 0;
+    for (key, value) in &next.values {
+        while pi < prev.values.len() && prev.values[pi].0.as_str() < key.as_str() {
+            pi += 1;
+        }
+        let before = if pi < prev.values.len() && prev.values[pi].0 == *key {
+            prev.values[pi].1
+        } else {
+            0.0
+        };
+        if before != *value {
+            out.push((key.clone(), before, *value));
+        }
+    }
+    out
+}
+
+struct Frame {
+    ts_us: u64,
+    changed: Vec<(String, f64)>,
+}
+
+/// Fixed-capacity, delta-encoded ring of registry snapshots.
+pub struct HistoryRing {
+    capacity: usize,
+    /// State just before the oldest retained frame.
+    base: HashMap<String, f64>,
+    frames: VecDeque<Frame>,
+    /// Current state (base + every frame applied), kept for delta taking.
+    last: Snapshot,
+}
+
+impl HistoryRing {
+    /// A ring retaining at most `capacity` snapshots.
+    pub fn new(capacity: usize) -> HistoryRing {
+        HistoryRing {
+            capacity: capacity.max(1),
+            base: HashMap::new(),
+            frames: VecDeque::new(),
+            last: Snapshot::default(),
+        }
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the ring holds no snapshots yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The most recent snapshot, if any.
+    pub fn latest(&self) -> Option<&Snapshot> {
+        if self.frames.is_empty() {
+            None
+        } else {
+            Some(&self.last)
+        }
+    }
+
+    /// Appends one snapshot, evicting the oldest when full.
+    pub fn push(&mut self, snapshot: Snapshot) {
+        let changed: Vec<(String, f64)> = diff(&self.last, &snapshot)
+            .into_iter()
+            .map(|(k, _, v)| (k, v))
+            .collect();
+        self.frames.push_back(Frame {
+            ts_us: snapshot.ts_us,
+            changed,
+        });
+        self.last = snapshot;
+        if self.frames.len() > self.capacity {
+            let oldest = self.frames.pop_front().expect("nonempty");
+            for (k, v) in oldest.changed {
+                self.base.insert(k, v);
+            }
+        }
+    }
+
+    /// Reconstructs every retained snapshot, oldest first.
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        let mut cur = self.base.clone();
+        let mut out = Vec::with_capacity(self.frames.len());
+        for frame in &self.frames {
+            for (k, v) in &frame.changed {
+                cur.insert(k.clone(), *v);
+            }
+            let mut values: Vec<(String, f64)> = cur.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            values.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+            out.push(Snapshot {
+                ts_us: frame.ts_us,
+                values,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(ts_us: u64, entries: &[(&str, f64)]) -> Snapshot {
+        let mut values: Vec<(String, f64)> =
+            entries.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect();
+        values.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        Snapshot { ts_us, values }
+    }
+
+    #[test]
+    fn diff_reports_changed_and_new_series() {
+        let a = snap(1, &[("queries", 3.0), ("depth", 2.0), ("hits", 1.0)]);
+        let b = snap(
+            2,
+            &[
+                ("queries", 5.0),
+                ("depth", 2.0),
+                ("hits", 1.0),
+                ("misses", 4.0),
+            ],
+        );
+        let d = diff(&a, &b);
+        assert_eq!(
+            d,
+            vec![
+                ("misses".to_owned(), 0.0, 4.0),
+                ("queries".to_owned(), 3.0, 5.0),
+            ]
+        );
+        assert!(diff(&a, &a).is_empty(), "self-diff is empty");
+    }
+
+    #[test]
+    fn ring_reconstructs_exact_snapshots() {
+        let mut ring = HistoryRing::new(10);
+        let snaps = [
+            snap(1, &[("a", 1.0)]),
+            snap(2, &[("a", 2.0), ("b", 7.0)]),
+            snap(3, &[("a", 2.0), ("b", 9.0)]),
+        ];
+        for s in &snaps {
+            ring.push(s.clone());
+        }
+        let got = ring.snapshots();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], snaps[0]);
+        assert_eq!(got[1], snaps[1]);
+        assert_eq!(got[2], snaps[2]);
+        assert_eq!(ring.latest(), Some(&snaps[2]));
+    }
+
+    #[test]
+    fn eviction_folds_into_base_without_losing_state() {
+        let mut ring = HistoryRing::new(2);
+        ring.push(snap(1, &[("a", 1.0), ("b", 1.0)]));
+        ring.push(snap(2, &[("a", 2.0), ("b", 1.0)]));
+        ring.push(snap(3, &[("a", 2.0), ("b", 5.0)]));
+        assert_eq!(ring.len(), 2);
+        let got = ring.snapshots();
+        // Oldest retained snapshot is ts=2; `b` was set at ts=1 (now in
+        // the base) and must still be visible.
+        assert_eq!(got[0], snap(2, &[("a", 2.0), ("b", 1.0)]));
+        assert_eq!(got[1], snap(3, &[("a", 2.0), ("b", 5.0)]));
+    }
+
+    #[test]
+    fn quiet_series_cost_no_delta_entries() {
+        let mut ring = HistoryRing::new(4);
+        ring.push(snap(1, &[("hot", 1.0), ("quiet", 3.0)]));
+        ring.push(snap(2, &[("hot", 2.0), ("quiet", 3.0)]));
+        ring.push(snap(3, &[("hot", 3.0), ("quiet", 3.0)]));
+        assert_eq!(ring.frames[1].changed, vec![("hot".to_owned(), 2.0)]);
+        assert_eq!(ring.frames[2].changed, vec![("hot".to_owned(), 3.0)]);
+    }
+
+    #[test]
+    fn snapshot_get_uses_binary_search() {
+        let s = snap(1, &[("b", 2.0), ("a", 1.0), ("c", 3.0)]);
+        assert_eq!(s.get("a"), Some(1.0));
+        assert_eq!(s.get("c"), Some(3.0));
+        assert_eq!(s.get("zz"), None);
+    }
+}

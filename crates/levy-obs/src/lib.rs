@@ -11,7 +11,17 @@
 //! - [`registry`]: a [`Registry`] interning families by name, plus a
 //!   Prometheus text-format encoder ([`Registry::encode`]).
 //! - [`trace`]: RAII [`Span`] guards recording wall time into histograms,
-//!   with optional JSONL events behind the `LEVY_TRACE` env var.
+//!   trace/span identity ([`trace::TraceId`], [`trace::SpanContext`]) with
+//!   `traceparent`-style propagation, and seq-numbered JSONL events behind
+//!   the `LEVY_TRACE` env var.
+//! - [`traces`]: a [`TraceStore`] collecting finished span trees into a
+//!   bounded ring with tail-sampling (errors and slowest-N protected).
+//! - [`sketch`]: the [`P2Quantile`] streaming quantile estimator.
+//! - [`observe`]: the `LEVY_OBSERVE` master switch for walk-level
+//!   observers ([`observers_enabled`]).
+//! - [`history`]: delta-encoded registry snapshot ring ([`HistoryRing`])
+//!   and the snapshot differ shared by `/metrics/history`,
+//!   `levyc metrics --watch`, and progress reporters.
 //! - [`log`]: one structured stderr format (`ts level target msg k=v`)
 //!   shared by every binary.
 //!
@@ -22,15 +32,23 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
 pub mod log;
 pub mod metrics;
+pub mod observe;
 pub mod registry;
+pub mod sketch;
 pub mod trace;
+pub mod traces;
 
+pub use history::{diff, HistoryRing, Snapshot};
 pub use log::Level;
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot,
     HISTOGRAM_BUCKETS,
 };
-pub use registry::Registry;
-pub use trace::{set_trace_enabled, trace_enabled, Span};
+pub use observe::{observers_enabled, set_observers_enabled};
+pub use registry::{register_process_metrics, Registry};
+pub use sketch::P2Quantile;
+pub use trace::{set_trace_enabled, trace_enabled, Span, SpanContext, SpanId, TraceId};
+pub use traces::{FinishedTrace, SpanRecord, TraceSpan, TraceStore};

@@ -1,0 +1,56 @@
+//! Master switch for walk-level observers.
+//!
+//! Walk telemetry (jump-length spectra, displacement checkpoints, per-α
+//! trial-step families) sits on hot paths that run millions of times per
+//! second, so it is gated behind one process-wide flag checked with a
+//! single relaxed atomic load. Disabled (the default), the observer seams
+//! compile down to a load-and-branch — effectively zero cost. Enabled,
+//! observers record into metrics only; they never touch RNG streams, so
+//! seeded results are byte-identical either way (pinned by e2e test).
+//!
+//! Enable with the `LEVY_OBSERVE` environment variable (any non-empty
+//! value other than `0`) or programmatically with
+//! [`set_observers_enabled`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const UNSET: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Whether walk-level observers are recording.
+#[inline]
+pub fn observers_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init(),
+    }
+}
+
+#[cold]
+fn init() -> bool {
+    let on = matches!(std::env::var("LEVY_OBSERVE"), Ok(v) if !v.is_empty() && v != "0");
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Overrides the `LEVY_OBSERVE` decision for this process.
+pub fn set_observers_enabled(enabled: bool) {
+    STATE.store(if enabled { ON } else { OFF }, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_toggles() {
+        set_observers_enabled(true);
+        assert!(observers_enabled());
+        set_observers_enabled(false);
+        assert!(!observers_enabled());
+    }
+}

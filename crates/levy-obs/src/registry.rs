@@ -66,10 +66,18 @@ impl Registry {
         Registry::default()
     }
 
-    /// The process-global registry.
+    /// The process-global registry. Process-identity families
+    /// (`process_start_time_seconds`, `levy_build_info`) are registered on
+    /// first access — see [`register_process_metrics`].
     pub fn global() -> &'static Registry {
         static GLOBAL: OnceLock<Registry> = OnceLock::new();
-        GLOBAL.get_or_init(Registry::new)
+        GLOBAL.get_or_init(|| {
+            let registry = Registry::new();
+            // Register directly on the fresh instance: calling
+            // `Registry::global()` here would deadlock the OnceLock.
+            register_process_metrics(&registry);
+            registry
+        })
     }
 
     /// Get-or-create an unlabeled counter.
@@ -231,6 +239,42 @@ impl Registry {
         }
     }
 
+    /// Samples every series as flat `(key, value)` pairs, sorted by key —
+    /// the raw material for [`crate::history::Snapshot`]s.
+    ///
+    /// Keys follow exposition series naming: `name` or `name{k="v",...}`
+    /// for counters and gauges; histograms contribute `name_sum` and
+    /// `name_count` series (buckets are omitted — history tracks rates and
+    /// totals, not shapes).
+    pub fn sample(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let families = self.families.lock().unwrap();
+        for family in families.iter() {
+            for series in &family.series {
+                let labels = label_block(&series.labels, None);
+                match &series.handle {
+                    Handle::Counter(c) => {
+                        out.push((format!("{}{}", family.name, labels), c.get() as f64));
+                    }
+                    Handle::Gauge(g) => {
+                        out.push((format!("{}{}", family.name, labels), g.get() as f64));
+                    }
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        out.push((format!("{}_sum{}", family.name, labels), snap.sum as f64));
+                        out.push((
+                            format!("{}_count{}", family.name, labels),
+                            snap.count as f64,
+                        ));
+                    }
+                }
+            }
+        }
+        drop(families);
+        out.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
     /// Encodes every family in Prometheus text exposition format.
     pub fn encode(&self) -> String {
         let mut out = String::new();
@@ -313,6 +357,47 @@ impl Registry {
             }
         }
     }
+}
+
+/// Registers the process-identity families on `registry`:
+/// `process_start_time_seconds` (unix seconds, fixed at first call) and
+/// `levy_build_info{version,profile}` (constant 1).
+///
+/// `Registry::global()` calls this on init, so these families appear
+/// exactly once in a concatenated per-server + global exposition —
+/// binaries that scrape only a per-instance registry can call it
+/// explicitly (it is idempotent per registry via interning).
+pub fn register_process_metrics(registry: &Registry) {
+    static START_SECONDS: OnceLock<i64> = OnceLock::new();
+    let start = *START_SECONDS.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0)
+    });
+    registry
+        .gauge(
+            "process_start_time_seconds",
+            "Unix time the process started, in seconds.",
+        )
+        .set(start);
+    registry
+        .gauge_with(
+            "levy_build_info",
+            "Constant 1, labeled with the workspace version and build profile.",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "profile",
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                ),
+            ],
+        )
+        .set(1);
 }
 
 /// Renders `{k="v",...}` (with the optional `le` bound appended), or an
@@ -443,6 +528,61 @@ mod tests {
         assert!(r
             .encode()
             .contains("levy_test_esc_total{q=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn sample_flattens_all_kinds_sorted() {
+        let r = Registry::new();
+        r.counter("levy_test_q_total", "Q.").add(3);
+        r.gauge("levy_test_depth", "D.").set(-2);
+        let h = r.histogram_with("levy_test_lat_us", "L.", &[("path", "/x")]);
+        h.record(5);
+        h.record(7);
+        let sample = r.sample();
+        let keys: Vec<&str> = sample.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted: {keys:?}");
+        let get = |k: &str| sample.iter().find(|(key, _)| key == k).map(|(_, v)| *v);
+        assert_eq!(get("levy_test_q_total"), Some(3.0));
+        assert_eq!(get("levy_test_depth"), Some(-2.0));
+        assert_eq!(get("levy_test_lat_us_sum{path=\"/x\"}"), Some(12.0));
+        assert_eq!(get("levy_test_lat_us_count{path=\"/x\"}"), Some(2.0));
+    }
+
+    #[test]
+    fn process_metrics_registered_once_in_concatenation() {
+        // The per-server registry does NOT register process metrics; only
+        // the global one does, so a concatenated exposition (the levy-served
+        // /metrics layout) carries each family exactly once.
+        let per_server = Registry::new();
+        per_server.counter("levy_test_local_total", "Local.").inc();
+        let mut text = per_server.encode();
+        Registry::global().encode_into(&mut text);
+        for family in ["process_start_time_seconds", "levy_build_info"] {
+            let count = text
+                .lines()
+                .filter(|l| *l == format!("# TYPE {family} gauge"))
+                .count();
+            assert_eq!(count, 1, "{family} must appear exactly once");
+        }
+        assert!(text.contains("levy_build_info{version=\""));
+        assert!(text.contains("profile=\""));
+        // Start time is a sane unix timestamp (after 2020, before 2100).
+        let start_line = text
+            .lines()
+            .find(|l| l.starts_with("process_start_time_seconds "))
+            .expect("start time sample");
+        let secs: i64 = start_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(secs > 1_577_836_800 && secs < 4_102_444_800, "{secs}");
+        // Idempotent: calling again must not duplicate series.
+        register_process_metrics(Registry::global());
+        let again = Registry::global().encode();
+        assert_eq!(
+            again
+                .lines()
+                .filter(|l| l.starts_with("process_start_time_seconds "))
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Online quantile sketches.
+//!
+//! [`P2Quantile`] implements the P² (piecewise-parabolic) algorithm of
+//! Jain & Chlamtac (1985): a single target quantile is tracked with five
+//! markers in O(1) memory and O(1) update time, no sample buffer. That is
+//! the right trade for walk telemetry — displacement checkpoints fire
+//! millions of times per run, and the observer seam must stay allocation-
+//! free and off the result path.
+//!
+//! **Error bounds.** P² is an approximation: marker heights track the
+//! empirical quantile with error that shrinks as `O(1/√n)` in practice for
+//! smooth distributions; for heavy-tailed data (our regime) the estimate
+//! is noisier in the extreme tail, which is why the serving stack pairs it
+//! with exact log₂-bucket histograms (`le`-quantile upper bounds are exact
+//! per bucket) and only uses P² for mid-quantiles (p50/p90/p99) of
+//! displacement, where its bias is small.
+//!
+//! **Merging.** Two sketches merge approximately: marker heights are
+//! combined by count-weighted averaging. This is not the exact sketch of
+//! the union stream (P² has no exact merge), but for same-distribution
+//! shards — per-thread observers over i.i.d. trials, the only way we use
+//! it — the count-weighted average of two consistent estimators is again
+//! consistent. Do not merge sketches over different distributions.
+
+/// Streaming estimator of a single quantile `q` using the P² algorithm.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values at the marker quantiles).
+    heights: [f64; 5],
+    /// Marker positions: 1-based ranks within the observed stream.
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// A sketch targeting quantile `q` (clamped to `(0, 1)`).
+    pub fn new(q: f64) -> P2Quantile {
+        let q = q.clamp(1e-9, 1.0 - 1e-9);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Which cell does x fall into? Adjust extreme markers if outside.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            let mut k = 0;
+            while k < 3 && x >= self.heights[k + 1] {
+                k += 1;
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let step = if d >= 1.0 { 1.0 } else { -1.0 };
+                let candidate = self.parabolic(i, step);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, step)
+                    };
+                self.positions[i] += step;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate, or `None` before any observation. With fewer than
+    /// five observations the estimate is the exact empirical quantile of
+    /// what was seen.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut seen: Vec<f64> = self.heights[..n as usize].to_vec();
+                seen.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize);
+                Some(seen[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+
+    /// Count-weighted approximate merge (see module docs for caveats).
+    /// Both sketches must target the same quantile.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        assert!(
+            (self.q - other.q).abs() < 1e-12,
+            "merging sketches for different quantiles"
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        // While a side has fewer than five observations its `heights`
+        // prefix still holds the raw values, so that side can be replayed
+        // exactly into the other.
+        if self.count < 5 || other.count < 5 {
+            let (mut big, small) = if self.count >= other.count {
+                (self.clone(), other)
+            } else {
+                (other.clone(), &*self)
+            };
+            for &v in &small.heights[..small.count as usize] {
+                big.observe(v);
+            }
+            *self = big;
+            return;
+        }
+        let w_self = self.count as f64;
+        let w_other = other.count as f64;
+        let total = w_self + w_other;
+        for i in 0..5 {
+            self.heights[i] = (self.heights[i] * w_self + other.heights[i] * w_other) / total;
+            self.positions[i] += other.positions[i];
+            self.desired[i] += other.desired[i];
+        }
+        self.heights
+            .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so tests need no RNG dependency.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let mut s = P2Quantile::new(0.5);
+        assert_eq!(s.estimate(), None);
+        s.observe(10.0);
+        assert_eq!(s.estimate(), Some(10.0));
+        s.observe(20.0);
+        s.observe(0.0);
+        // Exact empirical median of {0, 10, 20} at q=0.5 → rank 2 → 10.
+        assert_eq!(s.estimate(), Some(10.0));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let mut s = P2Quantile::new(0.5);
+        let mut rng = XorShift(0x9E3779B97F4A7C15);
+        for _ in 0..50_000 {
+            s.observe(rng.next_f64());
+        }
+        let est = s.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "p50 of U(0,1) ≈ 0.5, got {est}");
+    }
+
+    #[test]
+    fn p99_of_uniform_converges() {
+        let mut s = P2Quantile::new(0.99);
+        let mut rng = XorShift(0xDEADBEEFCAFE);
+        for _ in 0..50_000 {
+            s.observe(rng.next_f64());
+        }
+        let est = s.estimate().unwrap();
+        assert!((est - 0.99).abs() < 0.02, "p99 of U(0,1) ≈ 0.99, got {est}");
+    }
+
+    #[test]
+    fn heavy_tail_median_is_sane() {
+        // Pareto(α=1.2): median = 2^(1/1.2) ≈ 1.78.
+        let mut s = P2Quantile::new(0.5);
+        let mut rng = XorShift(42);
+        for _ in 0..100_000 {
+            let u = rng.next_f64().max(1e-12);
+            s.observe(u.powf(-1.0 / 1.2));
+        }
+        let est = s.estimate().unwrap();
+        let expected = 2f64.powf(1.0 / 1.2);
+        assert!(
+            (est - expected).abs() / expected < 0.1,
+            "Pareto median ≈ {expected:.3}, got {est:.3}"
+        );
+    }
+
+    #[test]
+    fn merge_of_same_distribution_shards_is_consistent() {
+        let mut shards: Vec<P2Quantile> = (0..4).map(|_| P2Quantile::new(0.5)).collect();
+        let mut rng = XorShift(7);
+        for i in 0..40_000 {
+            shards[i % 4].observe(rng.next_f64());
+        }
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.count(), 40_000);
+        let est = merged.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.05, "merged p50 ≈ 0.5, got {est}");
+    }
+
+    #[test]
+    fn merge_with_empty_and_tiny() {
+        let mut a = P2Quantile::new(0.9);
+        let b = P2Quantile::new(0.9);
+        a.observe(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut tiny = P2Quantile::new(0.9);
+        tiny.observe(5.0);
+        tiny.observe(6.0);
+        a.merge(&tiny);
+        assert_eq!(a.count(), 3);
+        assert!(a.estimate().is_some());
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut s = P2Quantile::new(0.5);
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        s.observe(3.0);
+        assert_eq!(s.estimate(), Some(3.0));
+    }
+}

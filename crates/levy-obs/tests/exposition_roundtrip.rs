@@ -1,0 +1,217 @@
+//! Encode → scrape-parse round-trips of the Prometheus text exposition.
+//!
+//! A registry is encoded and then re-parsed with a small scrape parser
+//! (the same grammar Prometheus applies), pinning two classes of edge
+//! case:
+//!
+//! - **label escaping** — values containing `\`, `"`, and newlines must
+//!   survive the encode/parse round-trip unchanged;
+//! - **histogram `le`-trimming** — trailing empty buckets are elided, but
+//!   the exposition must stay a valid cumulative histogram: an empty
+//!   histogram, and one whose only occupied bucket is the top finite or
+//!   `+Inf` bucket, still encode `+Inf`, `_sum`, and `_count` correctly.
+
+use levy_obs::{bucket_upper_bound, Registry, HISTOGRAM_BUCKETS};
+
+/// One parsed sample: series name, labels in order, value.
+#[derive(Debug, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses one exposition line (`name{k="v",...} value`), unescaping label
+/// values the way a Prometheus scraper does. Panics on malformed input —
+/// that *is* the assertion.
+fn parse_line(line: &str) -> Sample {
+    let (series, value) = line.rsplit_once(' ').expect("line has a value");
+    let value: f64 = value.parse().expect("numeric value");
+    let Some(brace) = series.find('{') else {
+        return Sample {
+            name: series.to_owned(),
+            labels: Vec::new(),
+            value,
+        };
+    };
+    let name = series[..brace].to_owned();
+    let mut labels = Vec::new();
+    let body = &series[brace + 1..series.len() - 1];
+    assert!(series.ends_with('}'), "label block closes: {series}");
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        assert_eq!(chars.next(), Some('='), "label has =");
+        assert_eq!(chars.next(), Some('"'), "label value quoted");
+        let mut value = String::new();
+        loop {
+            match chars.next().expect("unterminated label value") {
+                '\\' => match chars.next().expect("dangling escape") {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => panic!("unknown escape \\{other}"),
+                },
+                '"' => break,
+                c => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(other) => panic!("unexpected {other} after label"),
+        }
+    }
+    Sample {
+        name,
+        labels,
+        value,
+    }
+}
+
+/// Parses a full exposition: skips comments, requires every sample line
+/// to parse.
+fn scrape(text: &str) -> Vec<Sample> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(parse_line)
+        .collect()
+}
+
+fn find<'a>(samples: &'a [Sample], name: &str) -> Vec<&'a Sample> {
+    samples.iter().filter(|s| s.name == name).collect()
+}
+
+#[test]
+fn hostile_label_values_round_trip() {
+    let registry = Registry::new();
+    let hostile = [
+        ("backslash", r"C:\temp\x"),
+        ("quote", r#"say "hi""#),
+        ("newline", "line one\nline two"),
+        ("mixed", "a\\\"b\nc\","),
+    ];
+    for (key, value) in hostile {
+        registry
+            .counter_with("levy_test_hostile_total", "Escaping.", &[(key, value)])
+            .add(7);
+    }
+    let samples = scrape(&registry.encode());
+    let parsed = find(&samples, "levy_test_hostile_total");
+    assert_eq!(parsed.len(), hostile.len());
+    for (key, value) in hostile {
+        let sample = parsed
+            .iter()
+            .find(|s| s.labels.iter().any(|(k, _)| k == key))
+            .unwrap_or_else(|| panic!("series with label {key} missing"));
+        assert_eq!(
+            sample.labels,
+            vec![(key.to_owned(), value.to_owned())],
+            "label value survives the round-trip exactly"
+        );
+        assert_eq!(sample.value, 7.0);
+    }
+}
+
+#[test]
+fn empty_histogram_encodes_valid_cumulative_series() {
+    let registry = Registry::new();
+    let _ = registry.histogram("levy_test_empty_hist", "Never recorded.");
+    let samples = scrape(&registry.encode());
+    let buckets = find(&samples, "levy_test_empty_hist_bucket");
+    // Trimming keeps at most the first bucket plus the mandatory +Inf.
+    assert_eq!(buckets.len(), 2, "{buckets:?}");
+    assert_eq!(buckets[0].labels, vec![("le".to_owned(), "1".to_owned())]);
+    assert_eq!(buckets[0].value, 0.0);
+    assert_eq!(
+        buckets[1].labels,
+        vec![("le".to_owned(), "+Inf".to_owned())]
+    );
+    assert_eq!(buckets[1].value, 0.0);
+    assert_eq!(find(&samples, "levy_test_empty_hist_sum")[0].value, 0.0);
+    assert_eq!(find(&samples, "levy_test_empty_hist_count")[0].value, 0.0);
+}
+
+#[test]
+fn single_occupied_top_bucket_keeps_infinity_consistent() {
+    // Top *finite* bucket: le = 2^63.
+    let registry = Registry::new();
+    let top = bucket_upper_bound(HISTOGRAM_BUCKETS - 2).unwrap();
+    registry
+        .histogram("levy_test_top_hist", "One huge value.")
+        .record(top);
+    let samples = scrape(&registry.encode());
+    let buckets = find(&samples, "levy_test_top_hist_bucket");
+    assert_eq!(
+        buckets.len(),
+        HISTOGRAM_BUCKETS,
+        "every finite bucket plus +Inf"
+    );
+    let (finite, inf) = buckets.split_at(buckets.len() - 1);
+    for bucket in &finite[..finite.len() - 1] {
+        assert_eq!(bucket.value, 0.0, "{bucket:?}");
+    }
+    assert_eq!(finite.last().unwrap().labels[0].1, top.to_string());
+    assert_eq!(finite.last().unwrap().value, 1.0);
+    assert_eq!(inf[0].labels[0].1, "+Inf");
+    assert_eq!(inf[0].value, 1.0, "+Inf is cumulative over everything");
+
+    // Value beyond every finite bound: only +Inf is occupied, every
+    // emitted finite bucket must stay 0 while count reports 1.
+    let registry = Registry::new();
+    registry
+        .histogram("levy_test_inf_hist", "Overflow only.")
+        .record(u64::MAX);
+    let samples = scrape(&registry.encode());
+    let buckets = find(&samples, "levy_test_inf_hist_bucket");
+    let (finite, inf) = buckets.split_at(buckets.len() - 1);
+    assert!(finite.iter().all(|b| b.value == 0.0));
+    assert_eq!(inf[0].value, 1.0);
+    assert_eq!(find(&samples, "levy_test_inf_hist_count")[0].value, 1.0);
+}
+
+#[test]
+fn labeled_histogram_round_trips_le_and_labels_together() {
+    let registry = Registry::new();
+    let histogram = registry.histogram_with(
+        "levy_test_mix_hist",
+        "Labels and buckets together.",
+        &[("alpha", "1.5"), ("note", "a\"b")],
+    );
+    for v in [1, 2, 2, 5] {
+        histogram.record(v);
+    }
+    let samples = scrape(&registry.encode());
+    let buckets = find(&samples, "levy_test_mix_hist_bucket");
+    // le is always the last label, after the escaped user labels.
+    for bucket in &buckets {
+        assert_eq!(bucket.labels[0], ("alpha".to_owned(), "1.5".to_owned()));
+        assert_eq!(bucket.labels[1], ("note".to_owned(), "a\"b".to_owned()));
+        assert_eq!(bucket.labels[2].0, "le");
+    }
+    let le_values: Vec<(String, f64)> = buckets
+        .iter()
+        .map(|b| (b.labels[2].1.clone(), b.value))
+        .collect();
+    assert_eq!(
+        le_values,
+        vec![
+            ("1".to_owned(), 1.0),
+            ("2".to_owned(), 3.0),
+            ("4".to_owned(), 3.0),
+            ("8".to_owned(), 4.0),
+            ("+Inf".to_owned(), 4.0),
+        ],
+        "cumulative buckets trimmed after the last occupied bound"
+    );
+    assert_eq!(find(&samples, "levy_test_mix_hist_sum")[0].value, 10.0);
+    assert_eq!(find(&samples, "levy_test_mix_hist_count")[0].value, 4.0);
+}

@@ -127,6 +127,50 @@ pub fn flush_draw_stats() {
     let _ = LOCAL.try_with(Local::flush);
 }
 
+thread_local! {
+    /// Per-α histogram handles, cached so the hot path never touches the
+    /// registry mutex after the first draw at a given α on this thread.
+    static JUMP_SPECTRA: std::cell::RefCell<std::collections::HashMap<i64, levy_obs::Histogram>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Records one drawn jump length into the per-α log₂ spectrum,
+/// `levy_rng_jump_length{alpha="..."}`.
+///
+/// Gated behind [`levy_obs::observers_enabled`] (one relaxed load when
+/// off). The histogram's base-2 buckets *are* the log₂ spectrum: bucket
+/// `i` counts draws with `d in (2^(i-1), 2^i]`, so under the paper's law
+/// `P(d = i) = c_α / i^α` (Definition 3.3) consecutive bucket counts
+/// decay by `~2^{1-α}` — a straight line in log-log that makes truncation
+/// artifacts (à la Levernier et al.) visible at a glance.
+///
+/// α is bucketed to one decimal to bound label cardinality. Recording
+/// never consumes RNG words: seeded draw sequences are byte-identical
+/// with observers on or off.
+#[inline]
+pub(crate) fn record_jump_length(alpha: f64, d: u64) {
+    if !levy_obs::observers_enabled() {
+        return;
+    }
+    record_jump_length_slow(alpha, d);
+}
+
+#[cold]
+fn record_jump_length_slow(alpha: f64, d: u64) {
+    let key = (alpha * 10.0).round() as i64;
+    let _ = JUMP_SPECTRA.try_with(|spectra| {
+        let mut spectra = spectra.borrow_mut();
+        let histogram = spectra.entry(key).or_insert_with(|| {
+            Registry::global().histogram_with(
+                "levy_rng_jump_length",
+                "Drawn jump lengths; base-2 buckets form the per-alpha log2 spectrum.",
+                &[("alpha", &format!("{:.1}", key as f64 / 10.0))],
+            )
+        });
+        histogram.record(d);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +198,36 @@ mod tests {
         record_table_draw();
         flush_draw_stats();
         assert!(globals().table_draws.get() > before, "explicit flush");
+    }
+
+    #[test]
+    fn jump_spectrum_gated_and_draw_preserving() {
+        use crate::{JumpLengthDistribution, SeedStream};
+
+        let law = JumpLengthDistribution::new_untabled(1.7).unwrap();
+        let draw_n = |n: usize| {
+            let mut rng = SeedStream::new(99).child(0).rng();
+            (0..n).map(|_| law.sample(&mut rng)).collect::<Vec<u64>>()
+        };
+
+        levy_obs::set_observers_enabled(false);
+        let spectrum = levy_obs::Registry::global().histogram_with(
+            "levy_rng_jump_length",
+            "Drawn jump lengths; base-2 buckets form the per-alpha log2 spectrum.",
+            &[("alpha", "1.7")],
+        );
+        let off = draw_n(500);
+        let count_off = spectrum.count();
+
+        levy_obs::set_observers_enabled(true);
+        let on = draw_n(500);
+        levy_obs::set_observers_enabled(false);
+
+        assert_eq!(off, on, "observers must not perturb the draw sequence");
+        assert!(
+            spectrum.count() >= count_off + 500,
+            "enabled observers record every draw"
+        );
     }
 
     #[test]

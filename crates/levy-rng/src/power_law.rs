@@ -203,7 +203,7 @@ impl JumpLengthDistribution {
     /// constructors changes individual draws (not the distribution).
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        match &self.table {
+        let d = match &self.table {
             Some(table) => table.sample(rng),
             None => {
                 if rng.gen::<bool>() {
@@ -213,7 +213,9 @@ impl JumpLengthDistribution {
                     sample_zeta(self.alpha, rng)
                 }
             }
-        }
+        };
+        crate::obs::record_jump_length(self.alpha, d);
+        d
     }
 
     /// Draws a jump length conditioned on `d <= cap` (used for the

@@ -7,6 +7,11 @@
 //!   health                     GET /healthz
 //!   stats                      GET /v1/stats
 //!   metrics                    GET /metrics (Prometheus text format)
+//!   metrics --watch SECS [FAMILY]
+//!                              poll /metrics, print per-interval deltas
+//!                              (optionally only for one metric family)
+//!   traces                     GET /v1/traces (finished-trace summaries)
+//!   trace ID                   GET /v1/traces/ID, pretty-printed span tree
 //!   shutdown                   POST /v1/shutdown
 //!   query JSON                 POST /v1/query with the given body
 //!   query -                    POST /v1/query with the body from stdin
@@ -17,22 +22,54 @@
 //! disposition (`X-Levy-Cache` / `X-Levy-Cache-Tier`) go to stderr.
 //! Exit status is 0 for 2xx responses, 1 otherwise.
 //!
+//! Every `query` carries a freshly minted `traceparent` header, so the
+//! daemon's trace adopts a client-chosen trace id; the id is echoed on
+//! stderr (`trace: ...`) and can be fed straight to `levyc trace ID`.
+//!
 //! A `503` carrying a `Retry-After` header (backpressure from a full
 //! queue, or a cancelled job) is retried exactly once after honoring the
 //! advertised delay; `--no-retry` disables this.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
+use levy_obs::trace::{next_span_id, next_trace_id};
+use levy_obs::{diff, Snapshot, SpanContext};
 use levy_served::http::Response;
 use levy_served::Client;
+use levy_sim::Json;
 
 const USAGE: &str = "usage: levyc [--addr HOST:PORT] [--timeout-ms MS] [--no-retry] \
-                     health|stats|metrics|shutdown|query JSON|raw METHOD PATH [BODY]";
+                     health|stats|metrics [--watch SECS [FAMILY]]|traces|trace ID|\
+                     shutdown|query JSON|raw METHOD PATH [BODY]";
 
 /// Longest `Retry-After` delay we will actually sleep for.
 const MAX_RETRY_AFTER: Duration = Duration::from_secs(10);
+
+/// Writes to stdout, exiting 0 when the reader went away (`levyc ... |
+/// head` must not panic on the broken pipe).
+fn emit(text: std::fmt::Arguments<'_>) {
+    if std::io::stdout().write_fmt(text).is_err() {
+        std::process::exit(0);
+    }
+}
+
+/// How the response body should be presented.
+enum Render {
+    /// Raw body to stdout (everything except `trace`).
+    Body,
+    /// Parse the trace JSON and print an indented span tree.
+    TraceTree,
+}
+
+/// Result of one resolved command: the response, how to render it, and
+/// whether to announce the trace id on stderr (query commands).
+struct Outcome {
+    response: Response,
+    render: Render,
+    announce_trace: bool,
+}
 
 fn read_body_arg(arg: &str) -> Result<String, String> {
     if arg == "-" {
@@ -53,7 +90,14 @@ fn retry_after(response: &Response) -> Option<Duration> {
     Some(Duration::from_secs(secs).min(MAX_RETRY_AFTER))
 }
 
-fn run() -> Result<Response, String> {
+fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+fn run() -> Result<Outcome, String> {
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut timeout_ms: u64 = 120_000;
     let mut retry = true;
@@ -83,13 +127,46 @@ fn run() -> Result<Response, String> {
     let command = args.next().ok_or_else(|| USAGE.to_owned())?;
     // Resolve the command to (method, path, body) up front so the
     // request can be re-issued on a 503 (stdin is only read once).
+    let mut render = Render::Body;
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut announce_trace = false;
     let (method, path, body) = match command.as_str() {
         "health" => ("GET".to_owned(), "/healthz".to_owned(), String::new()),
         "stats" => ("GET".to_owned(), "/v1/stats".to_owned(), String::new()),
-        "metrics" => ("GET".to_owned(), "/metrics".to_owned(), String::new()),
+        "metrics" => {
+            if args.peek().map(String::as_str) == Some("--watch") {
+                args.next();
+                let secs: f64 = args
+                    .next()
+                    .ok_or_else(|| USAGE.to_owned())?
+                    .parse()
+                    .map_err(|_| "--watch requires an interval in seconds".to_owned())?;
+                let family = args.next();
+                return watch_metrics(
+                    &client,
+                    Duration::from_secs_f64(secs.max(0.1)),
+                    family.as_deref(),
+                );
+            }
+            ("GET".to_owned(), "/metrics".to_owned(), String::new())
+        }
+        "traces" => ("GET".to_owned(), "/v1/traces".to_owned(), String::new()),
+        "trace" => {
+            let id = args.next().ok_or_else(|| USAGE.to_owned())?;
+            render = Render::TraceTree;
+            ("GET".to_owned(), format!("/v1/traces/{id}"), String::new())
+        }
         "shutdown" => ("POST".to_owned(), "/v1/shutdown".to_owned(), String::new()),
         "query" => {
             let body = read_body_arg(&args.next().ok_or_else(|| USAGE.to_owned())?)?;
+            // Mint a client-side trace context so the daemon's trace
+            // adopts an id we can echo for `levyc trace ID`.
+            let ctx = SpanContext {
+                trace_id: next_trace_id(),
+                span_id: next_span_id(),
+            };
+            headers.push(("traceparent".to_owned(), ctx.to_traceparent()));
+            announce_trace = true;
             ("POST".to_owned(), "/v1/query".to_owned(), body)
         }
         "raw" => {
@@ -103,18 +180,29 @@ fn run() -> Result<Response, String> {
         }
         other => return Err(format!("unknown command {other}\n{USAGE}")),
     };
+    let header_refs: Vec<(&str, &str)> = headers
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
     let send = || {
         client
-            .request(&method, &path, body.as_bytes())
+            .request_with_headers(&method, &path, &header_refs, body.as_bytes())
             .map_err(|e| format!("request to {addr} failed: {e}"))
+    };
+    let done = |response| {
+        Ok(Outcome {
+            response,
+            render,
+            announce_trace,
+        })
     };
     let response = send()?;
     if response.status != 503 || !retry {
-        return Ok(response);
+        return done(response);
     }
     // One-shot retry on backpressure, honoring the server's delay hint.
     let Some(delay) = retry_after(&response) else {
-        return Ok(response);
+        return done(response);
     };
     eprintln!(
         "levyc: 503 ({}), retrying once in {:.1}s",
@@ -122,18 +210,201 @@ fn run() -> Result<Response, String> {
         delay.as_secs_f64()
     );
     std::thread::sleep(delay);
-    send()
+    done(send()?)
+}
+
+/// `metrics --watch`: scrape `/metrics` every `interval` and print the
+/// families whose values changed, as `name  before -> after  (+delta)`.
+/// Runs until interrupted or the daemon stops answering.
+fn watch_metrics(
+    client: &Client,
+    interval: Duration,
+    family: Option<&str>,
+) -> Result<Outcome, String> {
+    let mut prev: Option<Snapshot> = None;
+    loop {
+        let response = client
+            .get("/metrics")
+            .map_err(|e| format!("GET /metrics failed: {e}"))?;
+        if response.status != 200 {
+            return Err(format!("GET /metrics returned HTTP {}", response.status));
+        }
+        let snapshot = Snapshot {
+            ts_us: unix_us(),
+            values: parse_exposition(&response.body_string()),
+        };
+        match &prev {
+            None => eprintln!(
+                "levyc: watching {} series every {:.1}s{}",
+                snapshot.values.len(),
+                interval.as_secs_f64(),
+                family.map(|f| format!(" (family {f})")).unwrap_or_default()
+            ),
+            Some(p) => {
+                let lines = render_deltas(p, &snapshot, family);
+                if lines.is_empty() {
+                    emit(format_args!("(no changes)\n"));
+                } else {
+                    for line in lines {
+                        emit(format_args!("{line}\n"));
+                    }
+                }
+                emit(format_args!("\n"));
+            }
+        }
+        prev = Some(snapshot);
+        std::thread::sleep(interval);
+    }
+}
+
+/// Parses Prometheus text exposition into sorted `(series, value)` pairs
+/// — the same key shape `levy_obs::Registry::sample` produces, so the
+/// snapshots diff with the shared `levy_obs::diff`.
+fn parse_exposition(text: &str) -> Vec<(String, f64)> {
+    let mut values: Vec<(String, f64)> = text
+        .lines()
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .filter_map(|line| {
+            // Label values may contain spaces; the value never does.
+            let (key, value) = line.rsplit_once(' ')?;
+            Some((key.to_owned(), value.parse().ok()?))
+        })
+        .collect();
+    values.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+    values
+}
+
+/// Whether a series key belongs to `family` (exact name, labeled series,
+/// or a histogram's `_bucket`/`_sum`/`_count` expansion).
+fn family_matches(key: &str, family: &str) -> bool {
+    key == family
+        || key
+            .strip_prefix(family)
+            .is_some_and(|rest| rest.starts_with('{') || rest.starts_with('_'))
+}
+
+/// Renders the changed series between two snapshots, one line each.
+fn render_deltas(prev: &Snapshot, next: &Snapshot, family: Option<&str>) -> Vec<String> {
+    let elapsed_s = (next.ts_us.saturating_sub(prev.ts_us)) as f64 / 1e6;
+    diff(prev, next)
+        .into_iter()
+        .filter(|(key, _, _)| family.is_none_or(|f| family_matches(key, f)))
+        .map(|(key, before, after)| {
+            let delta = after - before;
+            let rate = if elapsed_s > 0.0 {
+                format!("  {:+.1}/s", delta / elapsed_s)
+            } else {
+                String::new()
+            };
+            format!("{key}  {before} -> {after}  ({delta:+}){rate}")
+        })
+        .collect()
+}
+
+/// Pretty-prints the JSON body of `GET /v1/traces/<id>` as an indented
+/// span tree, children sorted by start time.
+fn render_trace_tree(trace: &Json) -> Result<String, String> {
+    let spans = trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "trace body has no spans array".to_owned())?;
+    let trace_start = trace
+        .get("start_unix_us")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let mut out = format!(
+        "trace {}  {}  status={}  {}us\n",
+        trace.get("trace_id").and_then(Json::as_str).unwrap_or("?"),
+        trace.get("root").and_then(Json::as_str).unwrap_or("?"),
+        trace.get("status").and_then(Json::as_u64).unwrap_or(0),
+        trace.get("dur_us").and_then(Json::as_u64).unwrap_or(0),
+    );
+    let id_of = |span: &Json| {
+        span.get("span_id")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned()
+    };
+    let parent_of = |span: &Json| {
+        span.get("parent_id")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    };
+    let mut ordered: Vec<&Json> = spans.iter().collect();
+    ordered.sort_by_key(|s| s.get("start_unix_us").and_then(Json::as_u64).unwrap_or(0));
+    // Iterative pre-order walk over the parent links.
+    let mut stack: Vec<(String, usize)> = ordered
+        .iter()
+        .rev()
+        .filter(|s| parent_of(s).is_none())
+        .map(|s| (id_of(s), 0))
+        .collect();
+    while let Some((id, depth)) = stack.pop() {
+        let Some(span) = spans.iter().find(|s| id_of(s) == id) else {
+            continue;
+        };
+        let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
+        let dur = span.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+        let offset = span
+            .get("start_unix_us")
+            .and_then(Json::as_u64)
+            .unwrap_or(trace_start)
+            .saturating_sub(trace_start);
+        let tags = span
+            .get("tags")
+            .and_then(|t| t.as_object())
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .map(|(k, v)| format!("  {k}={}", v.as_str().unwrap_or("?")))
+                    .collect::<String>()
+            })
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{}{name}  +{offset}us  {dur}us{tags}\n",
+            "  ".repeat(depth + 1)
+        ));
+        for child in ordered
+            .iter()
+            .rev()
+            .filter(|s| parent_of(s) == Some(id.clone()))
+        {
+            stack.push((id_of(child), depth + 1));
+        }
+    }
+    Ok(out)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(response) => {
+        Ok(outcome) => {
+            let response = &outcome.response;
             eprintln!("HTTP {}", response.status);
             if let Some(cache) = response.header("x-levy-cache") {
                 let tier = response.header("x-levy-cache-tier").unwrap_or("-");
                 eprintln!("cache: {cache} (tier: {tier})");
             }
-            println!("{}", response.body_string().trim_end());
+            if outcome.announce_trace {
+                if let Some(id) = response.header("x-levy-trace-id") {
+                    eprintln!("trace: {id}");
+                }
+            }
+            let body = response.body_string();
+            match outcome.render {
+                Render::TraceTree if (200..300).contains(&response.status) => {
+                    match Json::parse(&body)
+                        .map_err(|e| e.to_string())
+                        .and_then(|j| render_trace_tree(&j))
+                    {
+                        Ok(tree) => emit(format_args!("{tree}")),
+                        Err(message) => {
+                            eprintln!("levyc: could not render trace tree: {message}");
+                            emit(format_args!("{}\n", body.trim_end()));
+                        }
+                    }
+                }
+                _ => emit(format_args!("{}\n", body.trim_end())),
+            }
             if (200..300).contains(&response.status) {
                 ExitCode::SUCCESS
             } else {
@@ -144,5 +415,92 @@ fn main() -> ExitCode {
             eprintln!("levyc: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_parses_into_sorted_series() {
+        let text = "# HELP levy_a Something.\n# TYPE levy_a counter\nlevy_a 3\n\
+                    levy_b{path=\"/x y\",status=\"200\"} 7\nlevy_a_sum 1.5\n";
+        let values = parse_exposition(text);
+        assert_eq!(
+            values,
+            vec![
+                ("levy_a".to_owned(), 3.0),
+                ("levy_a_sum".to_owned(), 1.5),
+                ("levy_b{path=\"/x y\",status=\"200\"}".to_owned(), 7.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn deltas_filter_by_family_and_report_rates() {
+        let prev = Snapshot {
+            ts_us: 0,
+            values: vec![
+                ("levy_served_queries_total".to_owned(), 10.0),
+                ("levy_sim_trials_completed_total".to_owned(), 100.0),
+            ],
+        };
+        let next = Snapshot {
+            ts_us: 2_000_000,
+            values: vec![
+                ("levy_served_queries_total".to_owned(), 14.0),
+                ("levy_sim_trials_completed_total".to_owned(), 100.0),
+            ],
+        };
+        let all = render_deltas(&prev, &next, None);
+        assert_eq!(
+            all,
+            vec!["levy_served_queries_total  10 -> 14  (+4)  +2.0/s".to_owned()],
+            "unchanged series are omitted"
+        );
+        let filtered = render_deltas(&prev, &next, Some("levy_sim_trials_completed_total"));
+        assert!(filtered.is_empty(), "family filter applies");
+        // Labeled and suffixed series count as part of the family.
+        assert!(family_matches("levy_a{alpha=\"1.5\"}", "levy_a"));
+        assert!(family_matches("levy_a_count", "levy_a"));
+        assert!(!family_matches("levy_ab", "levy_a"));
+    }
+
+    #[test]
+    fn trace_tree_renders_nested_spans_in_start_order() {
+        let body = r#"{
+            "trace_id": "00000000000000000000000000000abc",
+            "root": "request", "start_unix_us": 1000, "dur_us": 500, "status": 200,
+            "spans": [
+                {"span_id": "0000000000000002", "parent_id": "0000000000000001",
+                 "name": "cache_probe", "start_unix_us": 1010, "dur_us": 5,
+                 "tags": {"outcome": "miss"}},
+                {"span_id": "0000000000000003", "parent_id": "0000000000000001",
+                 "name": "worker_exec", "start_unix_us": 1020, "dur_us": 400},
+                {"span_id": "0000000000000004", "parent_id": "0000000000000003",
+                 "name": "simulate", "start_unix_us": 1030, "dur_us": 390},
+                {"span_id": "0000000000000001",
+                 "name": "request", "start_unix_us": 1000, "dur_us": 500}
+            ]
+        }"#;
+        let tree = render_trace_tree(&Json::parse(body).unwrap()).unwrap();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].contains("status=200"));
+        assert!(lines[1].contains("request"));
+        assert!(lines[2].contains("cache_probe") && lines[2].contains("outcome=miss"));
+        assert!(lines[3].contains("worker_exec"));
+        assert!(
+            lines[4].contains("simulate") && lines[4].starts_with("      "),
+            "simulate nests under worker_exec: {:?}",
+            lines[4]
+        );
+        assert!(lines[2].contains("+10us") && lines[2].contains("5us"));
+    }
+
+    #[test]
+    fn trace_tree_rejects_bodies_without_spans() {
+        let err = render_trace_tree(&Json::parse(r#"{"error":"no such trace"}"#).unwrap());
+        assert!(err.is_err());
     }
 }

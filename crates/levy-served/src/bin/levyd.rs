@@ -4,8 +4,16 @@
 //! levyd [--addr HOST:PORT] [--workers N] [--sim-threads N]
 //!       [--queue-capacity N] [--cache-dir DIR] [--mem-capacity N]
 //!       [--disk-capacity N] [--timeout-ms MS] [--read-timeout-ms MS]
+//!       [--trace-capacity N] [--history-interval-ms MS] [--observe]
 //!       [--fault-plan SPEC] [--quiet]
 //! ```
+//!
+//! `--trace-capacity` sizes the tail-sampling ring behind
+//! `GET /v1/traces`; `--history-interval-ms` paces the registry
+//! snapshots behind `GET /metrics/history` (0 disables the ticker);
+//! `--observe` turns on the walk-level telemetry observers (per-α jump
+//! spectra, displacement quantiles, hitting-time histograms) that are
+//! off by default because they multiply registry cardinality.
 //!
 //! `--fault-plan` replays a deterministic fault schedule (see
 //! `levy_served::fault` for the grammar) — a debugging aid for
@@ -27,6 +35,7 @@ use levy_served::signal;
 const USAGE: &str = "usage: levyd [--addr HOST:PORT] [--workers N] [--sim-threads N] \
                      [--queue-capacity N] [--cache-dir DIR] [--mem-capacity N] \
                      [--disk-capacity N] [--timeout-ms MS] [--read-timeout-ms MS] \
+                     [--trace-capacity N] [--history-interval-ms MS] [--observe] \
                      [--fault-plan SPEC] [--quiet]";
 
 fn parse_args() -> Result<ServerConfig, String> {
@@ -78,6 +87,17 @@ fn parse_args() -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|_| "--read-timeout-ms must be an integer".to_owned())?;
             }
+            "--trace-capacity" => {
+                config.trace_capacity = value("--trace-capacity")?
+                    .parse()
+                    .map_err(|_| "--trace-capacity must be an integer".to_owned())?;
+            }
+            "--history-interval-ms" => {
+                config.history_interval_ms = value("--history-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--history-interval-ms must be an integer".to_owned())?;
+            }
+            "--observe" => levy_obs::set_observers_enabled(true),
             "--fault-plan" => {
                 let plan = levy_served::FaultPlan::parse(&value("--fault-plan")?)
                     .map_err(|e| format!("--fault-plan: {e}"))?;

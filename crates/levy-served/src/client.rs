@@ -5,7 +5,7 @@ use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::http::{read_response, write_request, Response};
+use crate::http::{read_response, write_request_with_headers, Response};
 
 /// A client bound to one `host:port` with a per-request timeout.
 #[derive(Debug, Clone)]
@@ -31,6 +31,18 @@ impl Client {
 
     /// One request/response exchange on a fresh connection.
     pub fn request(&self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`request`](Client::request) with extra headers (e.g. a
+    /// `traceparent` joining the server's trace to the caller's).
+    pub fn request_with_headers(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
         let mut addrs = std::net::ToSocketAddrs::to_socket_addrs(&self.addr.as_str())?;
         let addr = addrs.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
@@ -38,7 +50,7 @@ impl Client {
         let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
-        write_request(&mut stream, method, path, &self.addr, body)?;
+        write_request_with_headers(&mut stream, method, path, &self.addr, headers, body)?;
         let mut reader = BufReader::new(stream);
         read_response(&mut reader)
     }

@@ -8,6 +8,7 @@
 //! HTTP headers and logs, never in the body.
 
 use levy_grid::Point;
+use levy_obs::{SpanContext, TraceStore};
 use levy_rng::{JumpLengthDistribution, SeedStream};
 use levy_search::{
     BallisticSearch, LevySearch, MixtureSearch, RandomWalkSearch, SearchProblem, SearchStrategy,
@@ -28,14 +29,43 @@ use crate::request::{Estimator, ExponentSpec, Query, QueryKind, SearchSpec};
 /// job was abandoned by every waiter); otherwise the deterministic
 /// response body.
 pub fn execute(query: &Query, sim_threads: usize, cancel: &CancelToken) -> Option<Json> {
+    execute_traced(query, sim_threads, cancel, None)
+}
+
+/// [`execute`] joined to a distributed trace: a `simulate` span covering
+/// the estimator run is recorded into `trace`'s store, parented to the
+/// given context (the worker's `worker_exec` span in `levyd`).
+///
+/// Tracing observes wall time only — the returned body is byte-identical
+/// with `trace` present or `None`.
+pub fn execute_traced(
+    query: &Query,
+    sim_threads: usize,
+    cancel: &CancelToken,
+    trace: Option<(&TraceStore, SpanContext)>,
+) -> Option<Json> {
     // Timing guard only: records wall time into the global-registry
     // histogram `levy_served_engine_execute_duration_us` (and a JSONL
     // event under LEVY_TRACE) without touching any RNG stream.
     let _span = levy_obs::Span::enter("levy_served_engine_execute");
+    let simulate_span = trace.map(|(store, parent)| {
+        let mut span = store.span(parent, "simulate");
+        span.tag(
+            "mode",
+            match &query.estimator {
+                Estimator::Trials(_) => "summary",
+                Estimator::Adaptive(_) => "adaptive",
+            },
+        );
+        span
+    });
     let result = match &query.estimator {
         Estimator::Trials(_) => summary_result(query, sim_threads, cancel)?,
         Estimator::Adaptive(precision) => adaptive_result(query, *precision, sim_threads, cancel)?,
     };
+    if let Some(span) = simulate_span {
+        span.finish();
+    }
     Some(Json::obj([
         ("schema", Json::from("levy-served/result-v1")),
         ("key", Json::from(query.cache_key())),

@@ -252,11 +252,28 @@ pub fn write_request<W: Write>(
     host: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+    write_request_with_headers(stream, method, path, host, &[], body)
+}
+
+/// [`write_request`] with extra headers (e.g. `traceparent`) between the
+/// standard block and the blank line.
+pub fn write_request_with_headers<W: Write>(
+    stream: &mut W,
+    method: &str,
+    path: &str,
+    host: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
-    );
+    ));
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()

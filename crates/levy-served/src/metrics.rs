@@ -18,9 +18,11 @@ use levy_sim::Json;
 const KNOWN_PATHS: &[&str] = &[
     "/healthz",
     "/metrics",
+    "/metrics/history",
     "/v1/query",
     "/v1/stats",
     "/v1/shutdown",
+    "/v1/traces",
 ];
 
 /// Monotonic counters and gauges exposed at `/v1/stats` and `/metrics`

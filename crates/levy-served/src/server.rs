@@ -25,8 +25,11 @@ use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use levy_obs::{
+    FinishedTrace, HistoryRing, Snapshot, SpanContext, SpanRecord, TraceId, TraceSpan, TraceStore,
+};
 use levy_sim::{CancelToken, Json};
 
 use crate::cache::{CacheConfig, ResultCache};
@@ -61,6 +64,15 @@ pub struct ServerConfig {
     pub faults: Option<Arc<FaultPlan>>,
     /// Suppress structured request logs (tests, benchmarks).
     pub quiet: bool,
+    /// Finished traces retained by the tail-sampling ring served at
+    /// `GET /v1/traces` (errors and the slowest traces are protected
+    /// from eviction; see `levy_obs::TraceStore`).
+    pub trace_capacity: usize,
+    /// Registry snapshots retained by the `GET /metrics/history` ring.
+    pub history_capacity: usize,
+    /// Interval between registry snapshots; `0` disables the history
+    /// ticker thread.
+    pub history_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +87,9 @@ impl Default for ServerConfig {
             read_timeout_ms: 10_000,
             faults: None,
             quiet: false,
+            trace_capacity: 256,
+            history_capacity: 64,
+            history_interval_ms: 1_000,
         }
     }
 }
@@ -101,10 +116,17 @@ struct Job {
     /// Waiters currently blocked on this job; the last to detach on
     /// timeout cancels it.
     waiters: AtomicUsize,
+    /// Root span context of the request that admitted the job; workers
+    /// parent their `worker_exec` span to it across the queue boundary.
+    trace_ctx: SpanContext,
+    /// Open `queue_wait` span, finished by the worker that pops the job.
+    /// If the owner's trace finalizes first (504), the late span is
+    /// dropped by the store — that is the documented policy.
+    queue_wait: Mutex<Option<TraceSpan>>,
 }
 
 impl Job {
-    fn new(key: String, query: Query) -> Arc<Job> {
+    fn new(key: String, query: Query, trace_ctx: SpanContext, queue_wait: TraceSpan) -> Arc<Job> {
         Arc::new(Job {
             key,
             query,
@@ -112,6 +134,8 @@ impl Job {
             outcome: Mutex::new(JobOutcome::Pending),
             done: Condvar::new(),
             waiters: AtomicUsize::new(0),
+            trace_ctx,
+            queue_wait: Mutex::new(Some(queue_wait)),
         })
     }
 }
@@ -121,6 +145,8 @@ struct Inner {
     config: ServerConfig,
     cache: ResultCache,
     stats: Stats,
+    traces: TraceStore,
+    history: Mutex<HistoryRing>,
     queue: Mutex<VecDeque<Arc<Job>>>,
     queue_changed: Condvar,
     inflight: Mutex<HashMap<String, Arc<Job>>>,
@@ -142,6 +168,25 @@ impl Inner {
         }
         levy_obs::log::info("levyd", msg, fields);
     }
+
+    /// One timestamped snapshot of this server's registry concatenated
+    /// with the process-global one — the unit the history ring stores.
+    fn sample_metrics(&self) -> Snapshot {
+        let mut values = self.stats.registry().sample();
+        values.extend(levy_obs::Registry::global().sample());
+        values.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        Snapshot {
+            ts_us: unix_us(),
+            values,
+        }
+    }
+}
+
+fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
 }
 
 /// A running server; dropping it does *not* stop the daemon — call
@@ -151,6 +196,7 @@ pub struct Server {
     addr: SocketAddr,
     accept_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
+    history_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -172,10 +218,14 @@ impl Server {
             .queue_capacity
             .set(i64::try_from(config.queue_capacity).unwrap_or(i64::MAX));
         cache.register_metrics(stats.registry());
+        let traces = TraceStore::new(config.trace_capacity);
+        let history = HistoryRing::new(config.history_capacity);
         let inner = Arc::new(Inner {
             config,
             cache,
             stats,
+            traces,
+            history: Mutex::new(history),
             queue: Mutex::new(VecDeque::new()),
             queue_changed: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
@@ -184,6 +234,25 @@ impl Server {
             open_connections: AtomicUsize::new(0),
             started: Instant::now(),
         });
+        // Baseline snapshot so `/metrics/history` is non-empty from the
+        // first scrape; the ticker thread appends deltas from here.
+        {
+            let baseline = inner.sample_metrics();
+            inner.history.lock().expect("history lock").push(baseline);
+        }
+        let history_handle = match inner.config.history_interval_ms {
+            0 => None,
+            ms => {
+                let interval = Duration::from_millis(ms);
+                let tick_inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("levyd-history".into())
+                        .spawn(move || history_loop(&tick_inner, interval))
+                        .expect("spawn history ticker"),
+                )
+            }
+        };
 
         let mut worker_handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -206,6 +275,7 @@ impl Server {
             addr,
             accept_handle: Some(accept_handle),
             worker_handles,
+            history_handle,
         })
     }
 
@@ -224,6 +294,11 @@ impl Server {
         self.inner.cache.stats_json()
     }
 
+    /// The finished-trace store backing `GET /v1/traces` (tests).
+    pub fn traces(&self) -> &TraceStore {
+        &self.inner.traces
+    }
+
     /// Whether a client asked the daemon to stop (`POST /v1/shutdown`).
     pub fn shutdown_requested(&self) -> bool {
         self.inner.shutdown_requested.load(Ordering::Acquire)
@@ -240,6 +315,9 @@ impl Server {
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
+        if let Some(handle) = self.history_handle.take() {
+            let _ = handle.join();
+        }
         // Connection handlers only write out already-computed responses
         // at this point; give them a bounded grace period.
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -253,6 +331,25 @@ impl Server {
                 self.inner.stats.simulations_completed.get().to_string(),
             )],
         );
+    }
+}
+
+/// History ticker: pushes one registry snapshot per interval into the
+/// delta-encoded ring behind `GET /metrics/history`. Sleeps in short
+/// slices so shutdown is prompt.
+fn history_loop(inner: &Arc<Inner>, interval: Duration) {
+    while !inner.shutting_down.load(Ordering::Acquire) {
+        let mut slept = Duration::ZERO;
+        while slept < interval && !inner.shutting_down.load(Ordering::Acquire) {
+            let slice = Duration::from_millis(50).min(interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if inner.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        let snapshot = inner.sample_metrics();
+        inner.history.lock().expect("history lock").push(snapshot);
     }
 }
 
@@ -328,12 +425,27 @@ fn handle_connection<S: Read + Write>(stream: S, inner: &Arc<Inner>) {
         }
     };
     inner.stats.http_requests.inc();
-    let response = route(&request, inner);
+    // Every request opens a trace; a client-supplied `traceparent`
+    // header joins this trace to the caller's (levyc mints one per
+    // query). Trace identity travels in headers only — bodies stay a
+    // pure function of the query.
+    let parent = request
+        .header("traceparent")
+        .and_then(SpanContext::parse_traceparent);
+    let mut root = inner.traces.start_root("request", parent);
+    root.tag("method", &request.method);
+    root.tag("path", &request.path);
+    let response = route(&request, inner, &root)
+        .with_header("X-Levy-Trace-Id", &root.ctx().trace_id.to_string());
+    root.set_status(response.status);
     let cache_disposition = response.header("X-Levy-Cache").unwrap_or("-").to_owned();
     let mut stream = reader.into_inner();
+    let encode_span = root.child("response_encode");
     if write_response(&mut stream, &response).is_err() {
         inner.stats.io_write_errors.inc();
     }
+    encode_span.finish();
+    root.finish();
     let elapsed = started.elapsed();
     inner
         .stats
@@ -351,7 +463,7 @@ fn handle_connection<S: Read + Write>(stream: S, inner: &Arc<Inner>) {
     );
 }
 
-fn route(request: &Request, inner: &Arc<Inner>) -> Response {
+fn route(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(
             200,
@@ -400,14 +512,120 @@ fn route(request: &Request, inner: &Arc<Inner>) -> Response {
                 ]),
             )
         }
+        ("GET", "/v1/traces") => {
+            let traces = inner.traces.finished();
+            Response::json(
+                200,
+                &Json::obj([
+                    ("schema", Json::from("levy-served/traces-v1")),
+                    ("count", Json::from(traces.len())),
+                    (
+                        "traces",
+                        // Newest first: the trace a client just finished is
+                        // the one it is about to look up.
+                        Json::arr(traces.iter().rev().map(trace_summary_json)),
+                    ),
+                ]),
+            )
+        }
+        ("GET", "/metrics/history") => {
+            let snapshots = inner.history.lock().expect("history lock").snapshots();
+            Response::json(
+                200,
+                &Json::obj([
+                    ("schema", Json::from("levy-served/metrics-history-v1")),
+                    ("interval_ms", Json::from(inner.config.history_interval_ms)),
+                    ("snapshots", Json::arr(snapshots.iter().map(snapshot_json))),
+                ]),
+            )
+        }
+        ("GET", path) if path.starts_with("/v1/traces/") => {
+            let id = &path["/v1/traces/".len()..];
+            match TraceId::from_hex(id).and_then(|id| inner.traces.get(id)) {
+                Some(trace) => Response::json(200, &trace_json(&trace)),
+                None => Response::error(
+                    404,
+                    "no finished trace with that id (still running, evicted, or never seen)",
+                ),
+            }
+        }
         ("POST", "/v1/shutdown") => {
             inner.shutdown_requested.store(true, Ordering::Release);
             Response::json(202, &Json::obj([("status", Json::from("shutting down"))]))
         }
-        ("POST", "/v1/query") => handle_query(request, inner),
+        ("POST", "/v1/query") => handle_query(request, inner, root),
         ("POST" | "GET", _) => Response::error(404, "no such route"),
         _ => Response::error(405, "method not allowed"),
     }
+}
+
+/// One span of a finished trace as JSON (`parent_id` omitted for roots).
+fn span_json(span: &SpanRecord) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("span_id".into(), Json::from(span.span_id.to_string())),
+        ("name".into(), Json::from(span.name.clone())),
+        ("start_unix_us".into(), Json::from(span.start_unix_us)),
+        ("dur_us".into(), Json::from(span.dur_us)),
+    ];
+    if let Some(parent) = span.parent_id {
+        fields.insert(1, ("parent_id".into(), Json::from(parent.to_string())));
+    }
+    if !span.tags.is_empty() {
+        fields.push((
+            "tags".into(),
+            Json::obj(
+                span.tags
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(v.clone()))),
+            ),
+        ));
+    }
+    Json::obj(fields)
+}
+
+/// Full trace body for `GET /v1/traces/<id>`.
+fn trace_json(trace: &FinishedTrace) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("schema".into(), Json::from("levy-served/trace-v1")),
+        ("trace_id".into(), Json::from(trace.trace_id.to_string())),
+        ("root".into(), Json::from(trace.root_name.clone())),
+        ("start_unix_us".into(), Json::from(trace.start_unix_us)),
+        ("dur_us".into(), Json::from(trace.dur_us)),
+        ("status".into(), Json::from(u64::from(trace.status))),
+    ];
+    if let Some(remote) = trace.remote_parent {
+        fields.push(("remote_parent".into(), Json::from(remote.to_string())));
+    }
+    fields.push(("spans".into(), Json::arr(trace.spans.iter().map(span_json))));
+    Json::obj(fields)
+}
+
+/// One-line trace summary for the `GET /v1/traces` listing.
+fn trace_summary_json(trace: &FinishedTrace) -> Json {
+    Json::obj([
+        ("trace_id", Json::from(trace.trace_id.to_string())),
+        ("root", Json::from(trace.root_name.clone())),
+        ("start_unix_us", Json::from(trace.start_unix_us)),
+        ("dur_us", Json::from(trace.dur_us)),
+        ("status", Json::from(u64::from(trace.status))),
+        ("spans", Json::from(trace.spans.len())),
+    ])
+}
+
+/// One history snapshot as JSON.
+fn snapshot_json(snapshot: &Snapshot) -> Json {
+    Json::obj([
+        ("ts_us", Json::from(snapshot.ts_us)),
+        (
+            "values",
+            Json::obj(
+                snapshot
+                    .values
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(*v))),
+            ),
+        ),
+    ])
 }
 
 /// The role this request played for its job.
@@ -418,7 +636,7 @@ enum QueryRole {
     Coalesced,
 }
 
-fn handle_query(request: &Request, inner: &Arc<Inner>) -> Response {
+fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
     inner.stats.queries.inc();
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
@@ -444,7 +662,12 @@ fn handle_query(request: &Request, inner: &Arc<Inner>) -> Response {
     let key = query.cache_key();
 
     // Tier 1: completed results.
-    if let Some((cached, tier)) = inner.cache.get(&key) {
+    let mut probe_span = root.child("cache_probe");
+    probe_span.tag("key", &key);
+    let probed = inner.cache.get(&key);
+    probe_span.tag("outcome", if probed.is_some() { "hit" } else { "miss" });
+    probe_span.finish();
+    if let Some((cached, tier)) = probed {
         inner.stats.cache_hits.inc();
         return Response {
             status: 200,
@@ -480,7 +703,9 @@ fn handle_query(request: &Request, inner: &Arc<Inner>) -> Response {
                     .with_header("Retry-After", "1")
                     .with_header("X-Levy-Queue-Depth", &queue.len().to_string());
             }
-            let job = Job::new(key.clone(), query);
+            let mut queue_wait = root.child("queue_wait");
+            queue_wait.tag("key", &key);
+            let job = Job::new(key.clone(), query, root.ctx(), queue_wait);
             queue.push_back(Arc::clone(&job));
             inner.stats.queue_depth.inc();
             inner.queue_changed.notify_one();
@@ -567,6 +792,9 @@ fn worker_loop(inner: &Arc<Inner>) {
                     .0;
             }
         };
+        // The queue_wait span opened at admission ends now, on pop; its
+        // duration *is* the time the job sat in the queue.
+        drop(job.queue_wait.lock().expect("trace lock").take());
         if job.cancel.is_cancelled() {
             inner.stats.simulations_cancelled.inc();
             finish(inner, &job, JobOutcome::Cancelled);
@@ -575,6 +803,8 @@ fn worker_loop(inner: &Arc<Inner>) {
         inner.stats.simulations_started.inc();
         inner.stats.workers_busy.inc();
         let sim_threads = inner.config.sim_threads;
+        let mut exec_span = inner.traces.span(job.trace_ctx, "worker_exec");
+        exec_span.tag("key", &job.key);
         // Execution indices are claimed at start, inside the unwind
         // guard's shadow, so an injected panic exercises exactly the
         // path a real engine panic would take.
@@ -583,25 +813,34 @@ fn worker_loop(inner: &Arc<Inner>) {
             .faults
             .as_ref()
             .is_some_and(|plan| plan.next_exec_panics());
+        let exec_ctx = exec_span.ctx();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("injected worker panic");
             }
-            engine::execute(&job.query, sim_threads, &job.cancel)
+            engine::execute_traced(
+                &job.query,
+                sim_threads,
+                &job.cancel,
+                Some((&inner.traces, exec_ctx)),
+            )
         }));
         inner.stats.workers_busy.dec();
         let outcome = match outcome {
             Ok(Some(body)) => {
+                exec_span.tag("outcome", "completed");
                 let text = body.to_string_pretty();
                 inner.cache.put(&job.key, &text);
                 inner.stats.simulations_completed.inc();
                 JobOutcome::Done(Arc::new(text))
             }
             Ok(None) => {
+                exec_span.tag("outcome", "cancelled");
                 inner.stats.simulations_cancelled.inc();
                 JobOutcome::Cancelled
             }
             Err(panic) => {
+                exec_span.tag("outcome", "panicked");
                 inner.stats.simulations_failed.inc();
                 let message = panic
                     .downcast_ref::<&str>()
@@ -611,6 +850,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                 JobOutcome::Failed(format!("simulation failed: {message}"))
             }
         };
+        exec_span.finish();
         finish(inner, &job, outcome);
     }
 }

@@ -113,7 +113,7 @@ pub fn measure_single_walk_cancellable(
             levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, rng)
         },
     )?;
-    crate::obs::record_trial_outcomes(&outcomes);
+    crate::obs::record_trial_outcomes_for(Some(alpha), &outcomes);
     Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
@@ -143,7 +143,7 @@ pub fn measure_single_flight_cancellable(
             levy_flight_hitting_time(&jumps, Point::ORIGIN, target, budget, rng)
         },
     )?;
-    crate::obs::record_trial_outcomes(&outcomes);
+    crate::obs::record_trial_outcomes_for(Some(alpha), &outcomes);
     Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 
@@ -177,7 +177,7 @@ pub fn measure_parallel_common_cancellable(
             parallel_hitting_time_common(k, &jumps, Point::ORIGIN, target, budget, rng)
         },
     )?;
-    crate::obs::record_trial_outcomes(&outcomes);
+    crate::obs::record_trial_outcomes_for(Some(alpha), &outcomes);
     Some(CensoredSummary::from_outcomes(&outcomes, budget))
 }
 

@@ -29,6 +29,7 @@ mod experiment;
 mod json;
 pub mod obs;
 mod plot;
+pub mod progress;
 mod report;
 mod runner;
 mod sweep;
@@ -44,6 +45,7 @@ pub use experiment::{
 };
 pub use json::{Json, JsonParseError};
 pub use plot::AsciiPlot;
+pub use progress::ProgressReporter;
 pub use report::{write_json, TextTable};
 pub use runner::{
     chunked, count_trials, count_trials_offset, count_trials_offset_cancellable, default_threads,

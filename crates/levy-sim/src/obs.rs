@@ -68,11 +68,37 @@ pub(crate) fn runner_metrics() -> &'static RunnerMetrics {
 /// the step-count distributions EXPERIMENTS.md studies and the serving
 /// histograms share one implementation (see DESIGN.md §8).
 pub fn record_trial_outcomes(outcomes: &[Option<u64>]) {
+    record_trial_outcomes_for(None, outcomes);
+}
+
+/// [`record_trial_outcomes`] with the measurement's exponent, when it has
+/// a single well-defined one.
+///
+/// In addition to the aggregate instruments, hit times land in the per-α
+/// family `levy_sim_trial_steps_by_alpha{alpha}` — but only while
+/// [`levy_obs::observers_enabled`], since per-α series multiply registry
+/// cardinality by the sweep width. α is bucketed to one decimal.
+/// Mixed-exponent measurements (strategy draws, search shoot-outs) pass
+/// `None` and contribute to the aggregate family only.
+pub fn record_trial_outcomes_for(alpha: Option<f64>, outcomes: &[Option<u64>]) {
     let metrics = runner_metrics();
+    let by_alpha = match alpha {
+        Some(alpha) if levy_obs::observers_enabled() => Some(Registry::global().histogram_with(
+            "levy_sim_trial_steps_by_alpha",
+            "Steps until the target was hit, per successful trial, split by exponent.",
+            &[("alpha", &format!("{:.1}", (alpha * 10.0).round() / 10.0))],
+        )),
+        _ => None,
+    };
     let mut censored = 0u64;
     for outcome in outcomes {
         match outcome {
-            Some(steps) => metrics.trial_steps.record(*steps),
+            Some(steps) => {
+                metrics.trial_steps.record(*steps);
+                if let Some(by_alpha) = &by_alpha {
+                    by_alpha.record(*steps);
+                }
+            }
             None => censored += 1,
         }
     }
@@ -91,5 +117,24 @@ mod tests {
         record_trial_outcomes(&[Some(3), None, Some(1024), None, None]);
         assert_eq!(metrics.trial_steps.count(), steps_before + 2);
         assert_eq!(metrics.trials_censored.get(), censored_before + 3);
+    }
+
+    #[test]
+    fn per_alpha_family_gated_behind_observers() {
+        // Use an α no real measurement reaches so concurrent tests cannot
+        // interfere with the counts.
+        let by_alpha = Registry::global().histogram_with(
+            "levy_sim_trial_steps_by_alpha",
+            "Steps until the target was hit, per successful trial, split by exponent.",
+            &[("alpha", "8.5")],
+        );
+        levy_obs::set_observers_enabled(false);
+        record_trial_outcomes_for(Some(8.5), &[Some(10), Some(20)]);
+        assert_eq!(by_alpha.count(), 0, "disabled observers record nothing");
+        levy_obs::set_observers_enabled(true);
+        record_trial_outcomes_for(Some(8.49), &[Some(10), None, Some(30)]);
+        levy_obs::set_observers_enabled(false);
+        assert_eq!(by_alpha.count(), 2, "α buckets to one decimal (8.49 → 8.5)");
+        assert_eq!(by_alpha.snapshot().sum, 40);
     }
 }

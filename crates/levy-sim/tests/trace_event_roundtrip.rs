@@ -1,0 +1,78 @@
+//! Round-trip of `LEVY_TRACE` JSONL events through `levy-sim::json`.
+//!
+//! The JSONL events `levy-obs` emits on stderr must be machine-parseable
+//! so interleaved multi-thread output can be reassembled: every event
+//! carries a monotonic `seq` plus, for distributed spans, `trace_id` /
+//! `span_id` / `parent_id`. These tests build event lines with the same
+//! formatter the emitter uses and parse them back with the workspace JSON
+//! parser.
+
+use levy_obs::trace::{format_trace_event, EventIds};
+use levy_obs::{SpanId, TraceId};
+use levy_sim::Json;
+
+#[test]
+fn bare_event_round_trips() {
+    let line = format_trace_event(17, 1_754_480_000_123_456, "simulate", 8_123, None);
+    let json = Json::parse(&line).expect("event line is valid JSON");
+    assert_eq!(json.get("seq").and_then(Json::as_u64), Some(17));
+    assert_eq!(
+        json.get("ts_us").and_then(Json::as_u64),
+        Some(1_754_480_000_123_456)
+    );
+    assert_eq!(json.get("span").and_then(Json::as_str), Some("simulate"));
+    assert_eq!(json.get("dur_us").and_then(Json::as_u64), Some(8_123));
+    assert!(json.get("trace_id").is_none(), "bare events carry no ids");
+}
+
+#[test]
+fn distributed_event_round_trips_ids() {
+    let ids = EventIds {
+        trace_id: TraceId(0x0123_4567_89AB_CDEF_0011_2233_4455_6677),
+        span_id: SpanId(0xDEAD_BEEF_0000_0001),
+        parent_id: Some(SpanId(0xCAFE_F00D_0000_0002)),
+    };
+    let line = format_trace_event(42, 99, "worker_exec", 1_000_000, Some(&ids));
+    let json = Json::parse(&line).expect("valid JSON");
+    let trace_hex = json.get("trace_id").and_then(Json::as_str).unwrap();
+    let span_hex = json.get("span_id").and_then(Json::as_str).unwrap();
+    let parent_hex = json.get("parent_id").and_then(Json::as_str).unwrap();
+    // Hex strings parse back to the exact ids (32 and 16 digits).
+    assert_eq!(TraceId::from_hex(trace_hex), Some(ids.trace_id));
+    assert_eq!(SpanId::from_hex(span_hex), Some(ids.span_id));
+    assert_eq!(SpanId::from_hex(parent_hex), ids.parent_id);
+}
+
+#[test]
+fn root_event_omits_parent_id() {
+    let ids = EventIds {
+        trace_id: TraceId(7),
+        span_id: SpanId(9),
+        parent_id: None,
+    };
+    let line = format_trace_event(0, 0, "request", 5, Some(&ids));
+    let json = Json::parse(&line).expect("valid JSON");
+    assert!(json.get("span_id").is_some());
+    assert!(json.get("parent_id").is_none());
+}
+
+#[test]
+fn interleaved_lines_reassemble_by_seq() {
+    // Simulate two threads whose stderr lines interleaved arbitrarily:
+    // sorting on seq restores one deterministic order.
+    let mut lines: Vec<String> = (0..10u64)
+        .map(|seq| format_trace_event(seq, 1000 + seq, "span", seq, None))
+        .collect();
+    lines.reverse();
+    lines.swap(1, 7);
+    let mut parsed: Vec<Json> = lines
+        .iter()
+        .map(|l| Json::parse(l).expect("valid JSON"))
+        .collect();
+    parsed.sort_by_key(|j| j.get("seq").and_then(Json::as_u64).unwrap());
+    let seqs: Vec<u64> = parsed
+        .iter()
+        .map(|j| j.get("seq").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+}

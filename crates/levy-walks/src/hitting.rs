@@ -54,6 +54,7 @@ pub fn levy_walk_hitting_time<R: Rng + ?Sized>(
     if start == target {
         return Some(0);
     }
+    let mut observer = crate::observe::TrialObserver::begin(jumps.alpha(), start);
     let mut pos = start;
     let mut t: u64 = 0;
     while t < budget {
@@ -67,10 +68,16 @@ pub fn levy_walk_hitting_time<R: Rng + ?Sized>(
         // can only be met at path position i = ||pos - target||_1.
         let i = pos.l1_distance(target);
         if i <= d && t + i <= budget && direct_path_node_at(pos, v, i, rng) == target {
+            if let Some(observer) = &observer {
+                observer.on_hit(t + i);
+            }
             return Some(t + i);
         }
         t = t.saturating_add(d);
         pos = v;
+        if let Some(observer) = &mut observer {
+            observer.on_phase_end(t, pos);
+        }
     }
     None
 }
@@ -144,13 +151,22 @@ pub fn levy_flight_hitting_time<R: Rng + ?Sized>(
     if start == target {
         return Some(0);
     }
+    // The flight's time axis is jumps, not steps; checkpoints and hit
+    // times are recorded in jumps accordingly.
+    let mut observer = crate::observe::TrialObserver::begin(jumps.alpha(), start);
     let mut pos = start;
     for jump in 1..=max_jumps {
         let (_, v) = sample_jump(jumps, pos, rng);
         if v == target {
+            if let Some(observer) = &observer {
+                observer.on_hit(jump);
+            }
             return Some(jump);
         }
         pos = v;
+        if let Some(observer) = &mut observer {
+            observer.on_phase_end(jump, pos);
+        }
     }
     None
 }
@@ -531,6 +547,24 @@ mod tests {
             uncapped as f64 / trials as f64,
         );
         assert!((pc - pu).abs() < 0.05, "capped {pc} vs uncapped {pu}");
+    }
+
+    #[test]
+    fn observers_do_not_perturb_seeded_trajectories() {
+        let jumps = JumpLengthDistribution::new(2.2).unwrap();
+        let target = Point::new(9, 4);
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(2021);
+            (0..300)
+                .map(|_| levy_walk_hitting_time(&jumps, Point::ORIGIN, target, 5_000, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        levy_obs::set_observers_enabled(false);
+        let off = run();
+        levy_obs::set_observers_enabled(true);
+        let on = run();
+        levy_obs::set_observers_enabled(false);
+        assert_eq!(off, on, "observer seam must never touch the RNG stream");
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 mod flight;
 mod hitting;
+pub mod observe;
 mod parallel;
 mod process;
 mod statistics;
@@ -55,6 +56,7 @@ pub use hitting::{
     levy_walk_hitting_time, levy_walk_hitting_time_ball, levy_walk_hitting_time_capped,
     levy_walk_hitting_time_exact,
 };
+pub use observe::{flush_walk_stats, TrialObserver};
 pub use parallel::{parallel_hitting_time, parallel_hitting_time_common, ParallelHit};
 pub use process::JumpProcess;
 pub use statistics::{

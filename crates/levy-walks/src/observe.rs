@@ -1,0 +1,317 @@
+//! Walk-level telemetry: the [`TrialObserver`] seam.
+//!
+//! A [`TrialObserver`] watches one trial (one walk or flight) and feeds
+//! two kinds of instruments, both strictly off the result path:
+//!
+//! - **Displacement-at-checkpoint quantiles.** At each power-of-two time
+//!   checkpoint `2^j` the L1 displacement from the start is fed into
+//!   per-`(α, checkpoint)` [`levy_obs::P2Quantile`] sketches (p50/p90/p99),
+//!   exported as the gauges `levy_walks_displacement_p{50,90,99}{alpha,checkpoint}`.
+//!   This is the empirical side of the paper's displacement regimes
+//!   (Lemma 4.11): for `α in (2,3)` the p50 at checkpoint `t` should track
+//!   `t^{1/(α-1)}` up to polylog factors.
+//! - **Hitting-time histograms.** Successful trials record their hit time
+//!   into `levy_walks_hitting_time{alpha}` (base-2 buckets).
+//!
+//! Sketches are thread-local (no contention on the phase loop) and merge
+//! into global per-key sketches — P²'s count-weighted approximate merge is
+//! valid here because every shard observes the same per-`(α, checkpoint)`
+//! distribution — every [`SKETCH_FLUSH_EVERY`] observations, on thread
+//! exit, and on an explicit [`flush_walk_stats`]. Gauges are updated from
+//! the merged sketch at flush time.
+//!
+//! **Checkpoint semantics.** Displacement is sampled at the first phase
+//! boundary at or after `2^j`, not mid-flight at exactly `2^j`. For
+//! heavy-tailed phases the overshoot is occasionally large, so the sketch
+//! measures "displacement when the walk first *could* report at `2^j`" —
+//! a deliberate approximation that keeps the phase loop O(1) (interpolating
+//! inside a phase would need per-step work the O(1)-per-phase algorithm
+//! exists to avoid). Comparisons across α at the same checkpoint remain
+//! apples-to-apples since all α use the same rule.
+//!
+//! **Cost & determinism.** [`TrialObserver::begin`] returns `None` unless
+//! [`levy_obs::observers_enabled`] (one relaxed load); all recording uses
+//! positions and times already computed by the walk and never touches an
+//! RNG stream, so seeded trajectories are byte-identical with observers on
+//! or off (pinned by test).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use levy_grid::Point;
+use levy_obs::{Gauge, P2Quantile, Registry};
+
+/// Time checkpoints at which displacement is sampled: `2^4 .. 2^20`,
+/// every other power of two.
+pub const CHECKPOINTS: [u64; 9] = [
+    1 << 4,
+    1 << 6,
+    1 << 8,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+];
+
+/// Thread-local observations accumulated per key before a merge into the
+/// global sketches.
+const SKETCH_FLUSH_EVERY: u64 = 256;
+
+const QS: [f64; 3] = [0.5, 0.9, 0.99];
+const Q_NAMES: [&str; 3] = ["p50", "p90", "p99"];
+
+/// Key: (α bucketed to one decimal ×10, checkpoint index).
+type Key = (i64, usize);
+
+fn alpha_key(alpha: f64) -> i64 {
+    (alpha * 10.0).round() as i64
+}
+
+fn alpha_label(key: i64) -> String {
+    format!("{:.1}", key as f64 / 10.0)
+}
+
+struct GlobalSketch {
+    sketches: [P2Quantile; 3],
+    gauges: [Gauge; 3],
+}
+
+fn global_sketches() -> &'static Mutex<HashMap<Key, GlobalSketch>> {
+    static GLOBAL: OnceLock<Mutex<HashMap<Key, GlobalSketch>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+struct LocalSketch {
+    sketches: [P2Quantile; 3],
+    pending: u64,
+}
+
+#[derive(Default)]
+struct Local {
+    displacement: HashMap<Key, LocalSketch>,
+}
+
+impl Local {
+    fn observe(&mut self, key: Key, displacement: f64) {
+        let entry = self.displacement.entry(key).or_insert_with(|| LocalSketch {
+            sketches: [
+                P2Quantile::new(QS[0]),
+                P2Quantile::new(QS[1]),
+                P2Quantile::new(QS[2]),
+            ],
+            pending: 0,
+        });
+        for sketch in &mut entry.sketches {
+            sketch.observe(displacement);
+        }
+        entry.pending += 1;
+        if entry.pending >= SKETCH_FLUSH_EVERY {
+            let taken = std::mem::replace(
+                entry,
+                LocalSketch {
+                    sketches: [
+                        P2Quantile::new(QS[0]),
+                        P2Quantile::new(QS[1]),
+                        P2Quantile::new(QS[2]),
+                    ],
+                    pending: 0,
+                },
+            );
+            merge_into_global(key, &taken.sketches);
+        }
+    }
+
+    fn flush(&mut self) {
+        for (key, local) in self.displacement.drain() {
+            if local.sketches[0].count() > 0 {
+                merge_into_global(key, &local.sketches);
+            }
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::default());
+}
+
+fn merge_into_global(key: Key, shard: &[P2Quantile; 3]) {
+    let mut global = global_sketches().lock().unwrap();
+    let entry = global.entry(key).or_insert_with(|| {
+        let alpha = alpha_label(key.0);
+        let checkpoint = format!("2^{}", CHECKPOINTS[key.1].trailing_zeros());
+        let gauges =
+            std::array::from_fn(|i| {
+                Registry::global().gauge_with(
+                &format!("levy_walks_displacement_{}", Q_NAMES[i]),
+                "L1 displacement quantile at a power-of-two time checkpoint (P2 sketch estimate).",
+                &[("alpha", alpha.as_str()), ("checkpoint", checkpoint.as_str())],
+            )
+            });
+        GlobalSketch {
+            sketches: std::array::from_fn(|i| P2Quantile::new(QS[i])),
+            gauges,
+        }
+    });
+    for (merged, part) in entry.sketches.iter_mut().zip(shard.iter()) {
+        merged.merge(part);
+    }
+    for (gauge, sketch) in entry.gauges.iter().zip(entry.sketches.iter()) {
+        if let Some(estimate) = sketch.estimate() {
+            gauge.set(estimate.round() as i64);
+        }
+    }
+}
+
+/// Merges this thread's pending displacement sketches into the global
+/// ones and refreshes the exported gauges. Worker threads flush on exit;
+/// long-lived threads call this before a scrape.
+pub fn flush_walk_stats() {
+    let _ = LOCAL.try_with(|local| local.borrow_mut().flush());
+}
+
+thread_local! {
+    /// Per-α hitting-time histogram handles.
+    static HIT_HISTOGRAMS: RefCell<HashMap<i64, levy_obs::Histogram>> =
+        RefCell::new(HashMap::new());
+}
+
+fn record_hit_time(key: i64, t: u64) {
+    let _ = HIT_HISTOGRAMS.try_with(|map| {
+        let mut map = map.borrow_mut();
+        let histogram = map.entry(key).or_insert_with(|| {
+            Registry::global().histogram_with(
+                "levy_walks_hitting_time",
+                "Hitting times of successful trials, in lattice steps (jumps for flights).",
+                &[("alpha", &alpha_label(key))],
+            )
+        });
+        histogram.record(t);
+    });
+}
+
+/// Observer for one trial. `None` (free to carry) when observers are off.
+pub struct TrialObserver {
+    alpha_key: i64,
+    start: Point,
+    next_checkpoint: usize,
+}
+
+impl TrialObserver {
+    /// Starts observing a trial at exponent `alpha` from `start`, or
+    /// returns `None` when [`levy_obs::observers_enabled`] is false.
+    #[inline]
+    pub fn begin(alpha: f64, start: Point) -> Option<TrialObserver> {
+        if !levy_obs::observers_enabled() {
+            return None;
+        }
+        Some(TrialObserver {
+            alpha_key: alpha_key(alpha),
+            start,
+            next_checkpoint: 0,
+        })
+    }
+
+    /// Reports a phase boundary: the trial is at `pos` after `t` total
+    /// steps (or jumps). Records displacement for every checkpoint crossed
+    /// since the previous boundary.
+    #[inline]
+    pub fn on_phase_end(&mut self, t: u64, pos: Point) {
+        if self.next_checkpoint < CHECKPOINTS.len() && t >= CHECKPOINTS[self.next_checkpoint] {
+            self.record_checkpoints(t, pos);
+        }
+    }
+
+    #[cold]
+    fn record_checkpoints(&mut self, t: u64, pos: Point) {
+        let displacement = pos.l1_distance(self.start) as f64;
+        let _ = LOCAL.try_with(|local| {
+            let mut local = local.borrow_mut();
+            while self.next_checkpoint < CHECKPOINTS.len() && t >= CHECKPOINTS[self.next_checkpoint]
+            {
+                local.observe((self.alpha_key, self.next_checkpoint), displacement);
+                self.next_checkpoint += 1;
+            }
+        });
+    }
+
+    /// Reports a successful trial: target hit after `t` steps.
+    pub fn on_hit(&self, t: u64) {
+        record_hit_time(self.alpha_key, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn displacement_gauge(q: &str, alpha: &str, checkpoint: &str) -> Gauge {
+        Registry::global().gauge_with(
+            &format!("levy_walks_displacement_{q}"),
+            "L1 displacement quantile at a power-of-two time checkpoint (P2 sketch estimate).",
+            &[("alpha", alpha), ("checkpoint", checkpoint)],
+        )
+    }
+
+    #[test]
+    fn disabled_observer_is_none() {
+        levy_obs::set_observers_enabled(false);
+        assert!(TrialObserver::begin(2.0, Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn checkpoints_record_displacement_quantiles() {
+        levy_obs::set_observers_enabled(true);
+        // Synthetic trial: straight-line motion, so displacement == t and
+        // the quantiles at checkpoint 2^4 must be near the recorded values.
+        for trial in 0..600i64 {
+            let mut obs = TrialObserver::begin(9.9, Point::ORIGIN).expect("enabled");
+            // Phase boundary just past the 2^4 = 16 checkpoint.
+            obs.on_phase_end(17 + (trial % 3) as u64, Point::new(17 + trial % 3, 0));
+        }
+        levy_obs::set_observers_enabled(false);
+        flush_walk_stats();
+        let p50 = displacement_gauge("p50", "9.9", "2^4").get();
+        assert!((17..=19).contains(&p50), "p50 displacement ≈ 18, got {p50}");
+        let p99 = displacement_gauge("p99", "9.9", "2^4").get();
+        assert!((17..=19).contains(&p99), "p99 displacement ≈ 19, got {p99}");
+    }
+
+    #[test]
+    fn one_boundary_can_cross_many_checkpoints() {
+        levy_obs::set_observers_enabled(true);
+        let mut obs = TrialObserver::begin(9.8, Point::ORIGIN).expect("enabled");
+        // A single huge phase crosses every checkpoint at once.
+        obs.on_phase_end(2_000_000, Point::new(1_000, 0));
+        levy_obs::set_observers_enabled(false);
+        flush_walk_stats();
+        for checkpoint in ["2^4", "2^12", "2^20"] {
+            let g = displacement_gauge("p50", "9.8", checkpoint).get();
+            assert_eq!(g, 1_000, "checkpoint {checkpoint}");
+        }
+    }
+
+    #[test]
+    fn hit_times_land_in_per_alpha_histogram() {
+        levy_obs::set_observers_enabled(true);
+        let obs = TrialObserver::begin(9.7, Point::ORIGIN).expect("enabled");
+        obs.on_hit(123);
+        obs.on_hit(456);
+        levy_obs::set_observers_enabled(false);
+        let h = Registry::global().histogram_with(
+            "levy_walks_hitting_time",
+            "Hitting times of successful trials, in lattice steps (jumps for flights).",
+            &[("alpha", "9.7")],
+        );
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.snapshot().sum, 579);
+    }
+}

@@ -7,7 +7,10 @@
 #      second a cache hit with a byte-identical body;
 #   4. scrape GET /metrics and require the cache hit to be visible in the
 #      Prometheus exposition;
-#   5. SIGTERM the daemon and require a clean (0) exit.
+#   5. fetch the cold query's trace by id (levyc prints `trace: <id>` on
+#      stderr) and require a span tree with cache_probe and worker_exec,
+#      plus the trace listing at GET /v1/traces;
+#   6. SIGTERM the daemon and require a clean (0) exit.
 #
 # Usage: scripts/server_smoke.sh [path-to-target-dir]
 #   Binaries are taken from $1/release (default: target/release); build
@@ -77,7 +80,34 @@ CACHE_HITS="$(awk '$1 == "levy_served_cache_hits_total" { print $2 }' "$WORKDIR/
 }
 echo "metrics: levy_served_cache_hits_total=$CACHE_HITS"
 
-# 5. Graceful SIGTERM shutdown with a clean exit status.
+# 5. The cold query's trace must be queryable by id and form a span tree
+#    that reached a worker. The root span finalizes just after the
+#    response bytes hit the wire, so poll briefly.
+TRACE_ID="$(sed -n 's/^trace: //p' "$WORKDIR/cold.hdr")"
+[ -n "$TRACE_ID" ] || {
+  echo "levyc query did not announce a trace id:" >&2; cat "$WORKDIR/cold.hdr" >&2; exit 1
+}
+TRACE_OK=""
+for _ in $(seq 1 50); do
+  if "$LEVYC" --addr "$ADDR" trace "$TRACE_ID" >"$WORKDIR/trace.txt" 2>/dev/null; then
+    TRACE_OK=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$TRACE_OK" ] || { echo "trace $TRACE_ID never appeared at /v1/traces/$TRACE_ID" >&2; exit 1; }
+for SPAN in cache_probe queue_wait worker_exec simulate response_encode; do
+  grep -q "$SPAN" "$WORKDIR/trace.txt" || {
+    echo "trace $TRACE_ID is missing the $SPAN span:" >&2; cat "$WORKDIR/trace.txt" >&2; exit 1
+  }
+done
+"$LEVYC" --addr "$ADDR" traces >"$WORKDIR/traces.json" 2>/dev/null
+grep -q "$TRACE_ID" "$WORKDIR/traces.json" || {
+  echo "trace $TRACE_ID missing from the /v1/traces listing" >&2; exit 1
+}
+echo "trace: $TRACE_ID has a full span tree and appears in the listing"
+
+# 6. Graceful SIGTERM shutdown with a clean exit status.
 kill -TERM "$LEVYD_PID"
 STATUS=0
 wait "$LEVYD_PID" || STATUS=$?
