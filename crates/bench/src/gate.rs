@@ -2,9 +2,11 @@
 //! committed `BENCH_*.json` files and reports per-check verdicts.
 //!
 //! The gate only compares quantities that are *host- and
-//! scale-independent ratios* (scheduler speedup, sampler speedup, cache
-//! speedup, dedup efficiency normalized by client count) plus two hard
-//! invariants (cross-thread determinism, byte-identical cache replay).
+//! scale-independent ratios* (scheduler speedup, batched-vs-scalar trial
+//! throughput, sampler speedup, cache speedup, dedup efficiency
+//! normalized by client count) plus three hard invariants (cross-thread
+//! determinism, engine results invariant under the batch toggle,
+//! byte-identical cache replay).
 //! Absolute throughputs (trials/sec, req/sec) vary with the CI host and
 //! are recorded in the snapshots but never gated on.
 //!
@@ -210,12 +212,29 @@ pub fn gate_snapshots(committed: &Snapshots, fresh: &Snapshots, tolerance: f64) 
         report.invariant("cache replays byte-identical bodies", identical);
     }
 
+    if let Some(identical) = boolean(
+        &fresh.runner,
+        "trial_throughput.batch_toggle_identical",
+        &mut errors,
+    ) {
+        report.invariant("engine results invariant under batch toggle", identical);
+    }
+
     // Scheduler: work-stealing vs contiguous-chunk makespan ratio.
     if let (Some(c), Some(f)) = (
         num(&committed.runner, "scheduler.speedup", &mut errors),
         num(&fresh.runner, "scheduler.speedup", &mut errors),
     ) {
         report.ratio_check("runner scheduler speedup", c, f, tolerance);
+    }
+
+    // Trial throughput: phase-engine-vs-step-exact speedup on the E1
+    // α-sweep — a same-host ratio, so comparable across profiles.
+    if let (Some(c), Some(f)) = (
+        num(&committed.runner, "trial_throughput.speedup", &mut errors),
+        num(&fresh.runner, "trial_throughput.speedup", &mut errors),
+    ) {
+        report.ratio_check("runner trial throughput speedup", c, f, tolerance);
     }
 
     // Sampler: hybrid-vs-Devroye speedup per α.
@@ -279,6 +298,7 @@ mod tests {
     fn snapshots(scheduler_speedup: f64, sampler_speedup: f64, cache_speedup: f64) -> Snapshots {
         let runner = Json::parse(&format!(
             r#"{{"deterministic_across_threads_and_schedulers": true,
+                 "trial_throughput": {{"speedup": 2.0, "batch_toggle_identical": true}},
                  "scheduler": {{"speedup": {scheduler_speedup}}}}}"#
         ))
         .unwrap();
@@ -352,6 +372,40 @@ mod tests {
         let report = gate_snapshots(&committed, &fresh, DEFAULT_TOLERANCE);
         assert!(!report.passed());
         assert!(report.render().contains("FAIL  runner determinism"));
+    }
+
+    #[test]
+    fn trial_throughput_regression_fails() {
+        let committed = snapshots(2.5, 9.0, 60.0);
+        let mut fresh = snapshots(2.5, 9.0, 60.0);
+        fresh.runner = Json::parse(
+            r#"{"deterministic_across_threads_and_schedulers": true,
+                "trial_throughput": {"speedup": 0.5, "batch_toggle_identical": true},
+                "scheduler": {"speedup": 2.5}}"#,
+        )
+        .unwrap();
+        let report = gate_snapshots(&committed, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .render()
+            .contains("FAIL  runner trial throughput speedup"));
+    }
+
+    #[test]
+    fn batch_toggle_mismatch_is_a_hard_failure() {
+        let committed = snapshots(2.5, 9.0, 60.0);
+        let mut fresh = snapshots(2.5, 9.0, 60.0);
+        fresh.runner = Json::parse(
+            r#"{"deterministic_across_threads_and_schedulers": true,
+                "trial_throughput": {"speedup": 99.0, "batch_toggle_identical": false},
+                "scheduler": {"speedup": 2.5}}"#,
+        )
+        .unwrap();
+        let report = gate_snapshots(&committed, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .render()
+            .contains("FAIL  engine results invariant under batch toggle"));
     }
 
     #[test]

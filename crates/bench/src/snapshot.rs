@@ -2,11 +2,13 @@
 //! regenerates the committed `BENCH_*.json` files) and `bench_gate`
 //! (which diffs a fresh measurement against them).
 //!
-//! Three hot paths are timed at fixed seeds:
+//! Four hot paths are timed at fixed seeds:
 //!
 //! * **single-walk hitting** — the E1-style workload (α = 2.5, targets up
 //!   to ℓ = 192, budget 4·ℓ^{α−1});
 //! * **k-parallel hitting** — k = 8 common-exponent walks at ℓ = 192;
+//! * **trial throughput** — the phase engine vs the step-level exact walk
+//!   on an E1 α-sweep (α ∈ {2.2, 2.5, 2.8}, E1 per-cell trial weights);
 //! * **raw sampling** — jump-length draws, hybrid table vs pure Devroye.
 //!
 //! The runner comparison (work-stealing vs the seed contiguous-chunk
@@ -34,7 +36,11 @@ use std::time::Instant;
 use levy_grid::Point;
 use levy_rng::{JumpLengthDistribution, SeedStream};
 use levy_sim::{chunked, run_trials, Json};
-use levy_walks::{levy_walk_hitting_time, parallel_hitting_time_common};
+use levy_walks::{
+    batch_enabled, levy_walk_hitting_time, levy_walk_hitting_time_exact,
+    parallel_hitting_time_common, set_batch_enabled,
+};
+use rand::rngs::SmallRng;
 
 /// Worker count the schedule replay models (the acceptance workload).
 const THREADS: usize = 8;
@@ -52,6 +58,9 @@ pub struct Profile {
     pub runner_per_ell: u64,
     /// k-parallel trials in the runner workload.
     pub runner_par_trials: u64,
+    /// Base trials per (α, ℓ) cell in the trial-throughput sweep (cells
+    /// are weighted `∝ ℓ^{3−α}` on top of this, as E1 weights them).
+    pub throughput_base: u64,
     /// Jump-length draws per (α, law) cell.
     pub sampler_draws: u64,
     /// Best-of reps for sampler timings.
@@ -72,6 +81,7 @@ impl Profile {
             name: "full",
             runner_per_ell: 192,
             runner_par_trials: 96,
+            throughput_base: 48,
             sampler_draws: 8_000_000,
             sampler_reps: 3,
             server_distinct: 16,
@@ -87,6 +97,7 @@ impl Profile {
             name: "gate",
             runner_per_ell: 96,
             runner_par_trials: 48,
+            throughput_base: 24,
             sampler_draws: 2_000_000,
             sampler_reps: 3,
             server_distinct: 6,
@@ -102,6 +113,7 @@ impl Profile {
             name: "smoke",
             runner_per_ell: 16,
             runner_par_trials: 8,
+            throughput_base: 4,
             sampler_draws: 200_000,
             sampler_reps: 1,
             server_distinct: 4,
@@ -215,6 +227,63 @@ pub fn runner_snapshot(profile: &Profile) -> Json {
         outcomes.iter().filter(|o| o.is_some()).count() as u64
     });
 
+    // Batched-vs-scalar trial throughput on the E1 α-sweep (α ∈ {2.2,
+    // 2.5, 2.8}, per-cell trials weighted ∝ ℓ^{3−α} as E1 weights them).
+    // `scalar` is `levy_walk_hitting_time_exact`, the step-level walk the
+    // phase engine is validated against for distribution equality;
+    // `batched` is the phase engine in its default configuration (one
+    // block-sampled draw plus an O(1) corridor check per phase). A third
+    // pass re-runs the engine with the prefetch toggle flipped and pins
+    // byte-identical results — the invariant the gate enforces alongside
+    // the throughput ratio.
+    let tp_alphas = [2.2f64, 2.5, 2.8];
+    let tp_ells: [u64; 5] = [16, 32, 64, 128, 256];
+    let tp_base = profile.throughput_base;
+    let tp_laws: Vec<JumpLengthDistribution> = tp_alphas
+        .iter()
+        .map(|&a| JumpLengthDistribution::new(a).expect("valid alpha"))
+        .collect();
+    let tp_budget = |ell: u64| (4.0 * (ell as f64).powf(1.5)).ceil() as u64;
+    let tp_trials_for = |alpha: f64, ell: u64| -> u64 {
+        ((tp_base as f64 * (ell as f64).powf(3.0 - alpha) / 8.0).max(tp_base as f64)) as u64
+    };
+    let tp_seeds = SeedStream::new(0xBA7C_2021);
+    type WalkFn = fn(&JumpLengthDistribution, Point, Point, u64, &mut SmallRng) -> Option<u64>;
+    let sweep = |walk: WalkFn, out: &mut Vec<Option<u64>>| {
+        out.clear();
+        for (c, law) in tp_laws.iter().enumerate() {
+            for (e, &ell) in tp_ells.iter().enumerate() {
+                let cell_seeds = tp_seeds.child((c * tp_ells.len() + e) as u64);
+                let target = Point::new(ell as i64, 0);
+                let cell_budget = tp_budget(ell);
+                for i in 0..tp_trials_for(law.alpha(), ell) {
+                    let mut rng = cell_seeds.child(i).rng();
+                    out.push(walk(law, Point::ORIGIN, target, cell_budget, &mut rng));
+                }
+            }
+        }
+    };
+    let time_sweep = |walk: WalkFn, out: &mut Vec<Option<u64>>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..profile.sampler_reps.max(1) {
+            let start = Instant::now();
+            sweep(walk, out);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let (mut scalar_hits, mut batched_hits) = (Vec::new(), Vec::new());
+    let scalar_secs = time_sweep(levy_walk_hitting_time_exact, &mut scalar_hits);
+    let batched_secs = time_sweep(levy_walk_hitting_time, &mut batched_hits);
+    let mut toggled_hits = Vec::new();
+    let was_batched = batch_enabled();
+    set_batch_enabled(!was_batched);
+    sweep(levy_walk_hitting_time, &mut toggled_hits);
+    set_batch_enabled(was_batched);
+    let batch_toggle_identical = toggled_hits == batched_hits;
+    let tp_trials = batched_hits.len() as u64;
+    let batch_speedup = scalar_secs / batched_secs.max(1e-12);
+
     // Determinism: identical results for 1/3/16 threads and for the seed
     // chunked scheduler (timing differs; bits must not).
     let run_with = |threads: usize| {
@@ -253,6 +322,11 @@ pub fn runner_snapshot(profile: &Profile) -> Json {
         "runner: chunked makespan {chunked_span:.4}s vs stealing {stealing_span:.4}s on {THREADS} modeled workers -> {speedup:.2}x"
     );
     println!("runner: deterministic across threads/schedulers = {deterministic}");
+    println!(
+        "runner: trial throughput scalar {:.0}/s vs batched {:.0}/s over {tp_trials} trials -> {batch_speedup:.2}x, toggle-invariant = {batch_toggle_identical}",
+        tp_trials as f64 / scalar_secs.max(1e-12),
+        tp_trials as f64 / batched_secs.max(1e-12),
+    );
 
     Json::obj([
         ("schema", Json::from("levy-bench/runner-v1")),
@@ -282,6 +356,24 @@ pub fn runner_snapshot(profile: &Profile) -> Json {
             ("trials", Json::from(par_trials)),
             ("secs_single_thread", Json::from(par_secs)),
             ("trials_per_sec", Json::from(par_trials as f64 / par_secs)),
+        ])),
+        ("trial_throughput", Json::obj([
+            ("workload", Json::from("E1 alpha-sweep, single thread: per-cell trials = max(base*ell^(3-alpha)/8, base)")),
+            ("scalar", Json::from("levy_walk_hitting_time_exact (step-level walk)")),
+            ("batched", Json::from("phase engine: block-sampled draws, corridor early-rejection")),
+            ("alphas", Json::arr(tp_alphas.iter().map(|&a| Json::from(a)))),
+            ("ells", Json::arr(tp_ells.iter().map(|&e| Json::from(e)))),
+            ("budget_rule", Json::from("ceil(4 * ell^1.5)")),
+            ("base_trials_per_cell", Json::from(tp_base)),
+            ("trials", Json::from(tp_trials)),
+            ("reps_best_of", Json::from(profile.sampler_reps.max(1) as u64)),
+            ("seed", Json::from("SeedStream::new(0xBA7C2021)")),
+            ("scalar_secs", Json::from(scalar_secs)),
+            ("batched_secs", Json::from(batched_secs)),
+            ("scalar_trials_per_sec", Json::from(tp_trials as f64 / scalar_secs.max(1e-12))),
+            ("batched_trials_per_sec", Json::from(tp_trials as f64 / batched_secs.max(1e-12))),
+            ("speedup", Json::from(batch_speedup)),
+            ("batch_toggle_identical", Json::from(batch_toggle_identical)),
         ])),
         ("scheduler", Json::obj([
             ("chunked_makespan_secs", Json::from(chunked_span)),
@@ -532,6 +624,8 @@ mod tests {
         assert!(gate.runner_per_ell <= full.runner_per_ell);
         assert!(smoke.sampler_draws < gate.sampler_draws);
         assert!(gate.sampler_draws <= full.sampler_draws);
+        assert!(smoke.throughput_base < gate.throughput_base);
+        assert!(gate.throughput_base <= full.throughput_base);
         // Scale-sensitive server quantities stay at committed scale in
         // the gate profile so ratios are comparable.
         assert_eq!(gate.server_trials, full.server_trials);

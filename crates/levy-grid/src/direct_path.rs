@@ -209,6 +209,84 @@ pub fn direct_path_node_at<R: Rng + ?Sized>(
     start + normalized.mul_sign(sign)
 }
 
+/// Corridor precheck for the phase-level hit test: whether the node at
+/// position `i` of *some* direct path from `start` to `end` can equal
+/// `target` — i.e. whether `target` lies in the support of the marginal
+/// sampled by [`direct_path_node_at`]. Consumes no randomness.
+///
+/// Lemma 3.1 of the paper bounds every direct-path node within L2
+/// distance `1/√2` of the segment point `w_i`; the bound is tight exactly
+/// at tie positions. The support of `u_i` is the set of ring nodes
+/// minimizing the L2 distance to `w_i`, and (see the derivation in the
+/// module tests) a node of `R_i(start)` is in that set **iff**
+/// `‖w_i − node‖₂² ≤ 1/2` — so one exact rational comparison,
+/// `2·‖w_i − node‖²·d² ≤ d²` in numerator form, decides membership with
+/// no false negatives and no false positives.
+///
+/// # Panics
+///
+/// Panics if `i` is zero or exceeds the segment length.
+pub fn direct_path_can_visit(start: Point, end: Point, i: u64, target: Point) -> bool {
+    let length = start.l1_distance(end);
+    assert!(
+        i >= 1 && i <= length,
+        "path position {i} not in 1..={length}"
+    );
+    let w = crate::segment::SegmentPoints::new(start, end).point_at(i);
+    let d = w.den;
+    let dx = w.num_x - i128::from(target.x) * d;
+    let dy = w.num_y - i128::from(target.y) * d;
+    // A supported node is within L2 distance 1/√2 < 1 of w_i, so each
+    // coordinate offset is below one lattice unit; rejecting farther nodes
+    // before squaring keeps every product within the same i128 envelope
+    // as the rounding arithmetic above.
+    if dx.abs() > d || dy.abs() > d {
+        return false;
+    }
+    2 * (dx * dx + dy * dy) <= d * d
+}
+
+/// Corridor precheck for the extended-target hit test: whether the node at
+/// position `i` of some direct path from `start` to `end` can lie inside
+/// the L1 ball `B_radius(center)`. Consumes no randomness; false only when
+/// entry is provably impossible (never a false negative).
+///
+/// Since `‖u_i − w_i‖₁ ≤ √2·‖u_i − w_i‖₂ ≤ √2·(1/√2) = 1` (Lemma 3.1's
+/// corridor), every reachable node satisfies
+/// `‖u_i − center‖₁ ≥ ‖w_i − center‖₁ − 1`; position `i` is therefore
+/// excluded whenever `‖w_i − center‖₁ > radius + 1`, compared exactly in
+/// numerator form.
+///
+/// # Panics
+///
+/// Panics if `i` is zero or exceeds the segment length.
+pub fn direct_path_can_enter_ball(
+    start: Point,
+    end: Point,
+    i: u64,
+    center: Point,
+    radius: u64,
+) -> bool {
+    let length = start.l1_distance(end);
+    assert!(
+        i >= 1 && i <= length,
+        "path position {i} not in 1..={length}"
+    );
+    let w = crate::segment::SegmentPoints::new(start, end).point_at(i);
+    let d = w.den;
+    let dx = (w.num_x - i128::from(center.x) * d).abs();
+    let dy = (w.num_y - i128::from(center.y) * d).abs();
+    let bound = i128::from(radius)
+        .checked_add(1)
+        .and_then(|r| r.checked_mul(d));
+    match (dx.checked_add(dy), bound) {
+        (Some(l1), Some(bound)) => l1 <= bound,
+        // Coordinates this large cannot arise from admissible jump
+        // geometry; stay conservative (never skip a position) if they do.
+        _ => true,
+    }
+}
+
 /// Number of distinct direct paths from `start` to `end`.
 ///
 /// Equals `2^t` where `t` is the number of tie positions of Definition 3.1;
@@ -457,6 +535,132 @@ mod tests {
     fn marginal_node_rejects_zero_position() {
         let mut rng = SmallRng::seed_from_u64(0);
         direct_path_node_at(Point::ORIGIN, Point::new(2, 2), 0, &mut rng);
+    }
+
+    #[test]
+    fn corridor_predicate_admits_every_sampled_node() {
+        // Soundness: any node `direct_path_node_at` can return must pass
+        // the corridor precheck (a false negative would make the engine
+        // skip real hits).
+        let mut rng = SmallRng::seed_from_u64(31);
+        let starts = [Point::ORIGIN, Point::new(3, -5), Point::new(-40, 17)];
+        let deltas = [
+            Point::new(9, 4),
+            Point::new(-9, 4),
+            Point::new(5, -13),
+            Point::new(-2, -2),
+            Point::new(17, 0),
+            Point::new(0, -8),
+            Point::new(1, 1),
+        ];
+        for &start in &starts {
+            for &delta in &deltas {
+                let end = start + delta;
+                let d = start.l1_distance(end);
+                for i in 1..=d {
+                    for _ in 0..4 {
+                        let node = direct_path_node_at(start, end, i, &mut rng);
+                        assert!(
+                            direct_path_can_visit(start, end, i, node),
+                            "corridor rejects sampled node {node} \
+                             (start {start}, end {end}, i {i})"
+                        );
+                        assert!(
+                            direct_path_can_enter_ball(start, end, i, node, 0),
+                            "ball corridor rejects its own center at \
+                             (start {start}, end {end}, i {i})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corridor_predicate_equals_l2_argmin_membership() {
+        // Exactness: over full rings of small segments, the predicate holds
+        // iff the node minimizes the L2 distance to w_i (the support of the
+        // marginal). No false positives means the precheck is not merely a
+        // bound but the exact support test.
+        let start = Point::new(-1, 2);
+        for delta in [
+            Point::new(6, 4),
+            Point::new(-5, 7),
+            Point::new(4, -4),
+            Point::new(9, 0),
+            Point::new(-3, -8),
+        ] {
+            let end = start + delta;
+            let d = start.l1_distance(end);
+            let seg = SegmentPoints::new(start, end);
+            for i in 1..=d {
+                let w = seg.point_at(i);
+                let ring = crate::ring::Ring::new(start, i);
+                let min_dist = ring.iter().map(|p| w.l2_distance_sq_num(p)).min().unwrap();
+                for node in ring.iter() {
+                    let in_support = w.l2_distance_sq_num(node) == min_dist;
+                    assert_eq!(
+                        direct_path_can_visit(start, end, i, node),
+                        in_support,
+                        "start {start}, end {end}, i {i}, node {node}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ball_corridor_never_excludes_reachable_positions() {
+        // For every sampled path node within the ball, the precheck at that
+        // position must have said "possible".
+        let mut rng = SmallRng::seed_from_u64(77);
+        let start = Point::ORIGIN;
+        let end = Point::new(14, -9);
+        let center = Point::new(7, -4);
+        let d = start.l1_distance(end);
+        for radius in [0u64, 1, 3] {
+            for _ in 0..50 {
+                let path = DirectPathWalker::new(start, end).collect_path(&mut rng);
+                for (idx, node) in path.iter().enumerate() {
+                    let i = idx as u64 + 1;
+                    if node.l1_distance(center) <= radius && i < d {
+                        assert!(
+                            direct_path_can_enter_ball(start, end, i, center, radius),
+                            "radius {radius}, i {i}: reachable node {node} excluded"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn far_targets_are_rejected_without_overflow() {
+        // Targets far outside the corridor (including coordinates whose
+        // naive squared distance would overflow narrower arithmetic) are
+        // rejected by the pre-guard.
+        let start = Point::ORIGIN;
+        let end = Point::new(1 << 30, 1 << 20);
+        let i = 1 << 25;
+        assert!(!direct_path_can_visit(
+            start,
+            end,
+            i,
+            Point::new(-(1 << 40), 1 << 40)
+        ));
+        assert!(!direct_path_can_enter_ball(
+            start,
+            end,
+            i,
+            Point::new(1 << 60, -(1 << 60)),
+            1 << 10
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "path position")]
+    fn corridor_predicate_rejects_zero_position() {
+        direct_path_can_visit(Point::ORIGIN, Point::new(2, 2), 0, Point::ORIGIN);
     }
 
     #[test]

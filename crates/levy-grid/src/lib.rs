@@ -44,7 +44,8 @@ mod visited;
 
 pub use ball::{Ball, BallIter, Square};
 pub use direct_path::{
-    count_direct_paths, count_tie_positions, direct_path_node_at, DirectPathWalker,
+    count_direct_paths, count_tie_positions, direct_path_can_enter_ball, direct_path_can_visit,
+    direct_path_node_at, DirectPathWalker,
 };
 pub use point::{Point, UNIT_STEPS};
 pub use ring::{Ring, RingIter};

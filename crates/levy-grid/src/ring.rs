@@ -78,6 +78,7 @@ impl Ring {
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
+    #[inline]
     pub fn node_at(&self, index: u64) -> Point {
         assert!(
             index < self.len(),
@@ -87,15 +88,28 @@ impl Ring {
         if self.radius == 0 {
             return self.center;
         }
+        // Quadrant by comparison, not by `index / radius`: a 64-bit divide
+        // is the single most expensive instruction in the walk inner loop,
+        // and the quotient can only be 0..=3.
         let d = self.radius as i64;
-        let quadrant = index / self.radius;
-        let j = (index % self.radius) as i64;
+        let r = self.radius;
+        let (quadrant, j) = if index < 2 * r {
+            if index < r {
+                (0, index)
+            } else {
+                (1, index - r)
+            }
+        } else if index < 3 * r {
+            (2, index - 2 * r)
+        } else {
+            (3, index - 3 * r)
+        };
+        let j = j as i64;
         let offset = match quadrant {
             0 => Point::new(d - j, j),
             1 => Point::new(-j, d - j),
             2 => Point::new(-(d - j), -j),
-            3 => Point::new(j, -(d - j)),
-            _ => unreachable!("quadrant computed from index < 4d"),
+            _ => Point::new(j, -(d - j)),
         };
         self.center + offset
     }

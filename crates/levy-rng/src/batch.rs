@@ -1,0 +1,392 @@
+//! Block-sampled jump geometry: the RNG front end of the batched phase
+//! engine.
+//!
+//! A [`JumpBatch`] prefetches jump lengths *and* destination ring indices
+//! in blocks from one concrete RNG (monomorphized `SmallRng`, no `dyn`
+//! dispatch), amortizing the per-draw overhead that per-phase sampling
+//! pays in the hitting-time inner loop: bounds checks, the alias-table
+//! load latency (independent slots in one block overlap in the memory
+//! pipeline), and one draw-tally TLS access per draw (a refill tallies the
+//! whole block with two shared atomic adds).
+//!
+//! **Word-stream equivalence.** The refill interleaves draws *per slot* in
+//! exactly the scalar order — truncated-length rejection loop, then one
+//! bounded-uniform destination index for positive lengths — so the words a
+//! batch consumes from its RNG are identical to per-phase scalar sampling
+//! regardless of the batch capacity. Consumers that dedicate an RNG stream
+//! to geometry can therefore toggle batching without changing any seeded
+//! outcome (the levy-walks engine relies on this, and the capacity
+//! invariance is pinned by tests below).
+
+use rand::Rng;
+
+use crate::power_law::{DrawPath, JumpLengthDistribution};
+
+/// Internal encoding of "no cap": `sample_truncated` with `cap = u64::MAX`
+/// accepts every draw on the first attempt, so the word stream matches the
+/// uncapped scalar path exactly.
+const NO_CAP: u64 = u64::MAX;
+
+/// A reusable block buffer of `(jump length, destination index)` pairs.
+///
+/// The buffer refills lazily from the RNG passed to
+/// [`JumpBatch::next_phase`], and it revalidates its fill context — the
+/// law's exponent and the truncation cap — on every call, so one buffer
+/// can be reused across trials and laws (cleared between trials, refilled
+/// on context change).
+///
+/// # Examples
+///
+/// ```
+/// use levy_rng::{JumpBatch, JumpLengthDistribution, SeedStream};
+///
+/// let law = JumpLengthDistribution::new(2.5).unwrap();
+/// let mut batch = JumpBatch::with_capacity(64);
+/// let mut rng = SeedStream::new(7).child(0).rng();
+/// let (d, dir) = batch.next_phase(&law, None, &mut rng);
+/// if d > 0 {
+///     assert!(dir < 4 * d, "destination index lies on the ring R_d");
+/// }
+/// ```
+#[derive(Debug)]
+pub struct JumpBatch {
+    /// `(length, destination index)` pairs, fused so the hot-path read is
+    /// one bounds check and one cache line.
+    phases: Vec<(u64, u64)>,
+    next: usize,
+    capacity: usize,
+    /// Bit pattern of the exponent the buffer was filled for.
+    alpha_bits: u64,
+    /// Truncation cap the buffer was filled for ([`NO_CAP`] = none).
+    cap: u64,
+}
+
+impl JumpBatch {
+    /// Creates an empty batch that refills `capacity` phases at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "batch capacity must be at least 1");
+        JumpBatch {
+            phases: Vec::with_capacity(capacity),
+            next: 0,
+            capacity,
+            alpha_bits: 0,
+            cap: 0,
+        }
+    }
+
+    /// The refill block size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all buffered draws. Call at the start of a trial when the
+    /// buffer may hold words prefetched from a previous trial's stream.
+    pub fn clear(&mut self) {
+        self.phases.clear();
+        self.next = 0;
+    }
+
+    /// Returns the next phase's jump length and destination ring index
+    /// (`0` for a zero-length jump), refilling from `rng` when the buffer
+    /// is exhausted or was filled for a different `(law, cap)` context.
+    ///
+    /// The destination index addresses [`Ring::node_at`] of the ring
+    /// `R_d(pos)` — the same single bounded-uniform word
+    /// `Ring::sample_uniform` draws (`4·d` nodes for `d >= 1`).
+    ///
+    /// [`Ring::node_at`]: https://docs.rs/levy-grid
+    #[inline]
+    pub fn next_phase<R: Rng + ?Sized>(
+        &mut self,
+        law: &JumpLengthDistribution,
+        cap: Option<u64>,
+        rng: &mut R,
+    ) -> (u64, u64) {
+        self.next_phase_bounded(law, cap, rng, u64::MAX)
+    }
+
+    /// [`Self::next_phase`] with an upper bound on how many more phases the
+    /// caller can possibly consume before its next [`Self::clear`].
+    ///
+    /// A refill fills `min(capacity, remaining_hint)` slots, so a consumer
+    /// that knows its trial ends within `remaining_hint` phases (every
+    /// phase advances the walk clock by at least one step, so
+    /// `budget − t` always works) never leaves prefetched draws unused at
+    /// the end of a trial. The hint changes *when* words are drawn, never
+    /// which words: the phase stream stays identical for every hint
+    /// sequence.
+    #[inline]
+    pub fn next_phase_bounded<R: Rng + ?Sized>(
+        &mut self,
+        law: &JumpLengthDistribution,
+        cap: Option<u64>,
+        rng: &mut R,
+        remaining_hint: u64,
+    ) -> (u64, u64) {
+        let cap = cap.unwrap_or(NO_CAP);
+        if self.next >= self.phases.len()
+            || self.alpha_bits != law.alpha().to_bits()
+            || self.cap != cap
+        {
+            let want = (self.capacity as u64).min(remaining_hint.max(1)) as usize;
+            self.refill(law, cap, rng, want);
+        }
+        let slot = self.next;
+        self.next = slot + 1;
+        self.phases[slot]
+    }
+
+    /// Fills the buffer with `want` phases, consuming per slot exactly the
+    /// words the scalar path would: the truncated-length rejection loop of
+    /// `sample_truncated` (a bare `sample` when uncapped), then one
+    /// `gen_range(0..4*d)` destination index for `d > 0`.
+    ///
+    /// Deliberately *not* `#[cold]`: this loop is where all batched
+    /// sampling happens, so it must compile at full optimization;
+    /// `inline(never)` alone keeps it out of the hot caller.
+    #[inline(never)]
+    fn refill<R: Rng + ?Sized>(
+        &mut self,
+        law: &JumpLengthDistribution,
+        cap: u64,
+        rng: &mut R,
+        want: usize,
+    ) {
+        self.phases.clear();
+        self.next = 0;
+        self.alpha_bits = law.alpha().to_bits();
+        self.cap = cap;
+        // Hoisted spectrum gate: one relaxed load per block instead of one
+        // per attempt (recording never consumes RNG words, so skipping it
+        // cannot shift the stream).
+        let spectrum_on = levy_obs::observers_enabled();
+        let mut table_draws = 0u64;
+        let mut devroye_draws = 0u64;
+        for _ in 0..want {
+            let d = loop {
+                let (d, path) = law.sample_raw(rng);
+                match path {
+                    DrawPath::Table => table_draws += 1,
+                    DrawPath::Devroye => devroye_draws += 1,
+                    DrawPath::ZeroCoin => {}
+                }
+                // The per-α spectrum records every attempt, rejected or
+                // not, matching the scalar `sample_truncated` loop.
+                if spectrum_on {
+                    crate::obs::record_jump_length(law.alpha(), d);
+                }
+                if d <= cap {
+                    break d;
+                }
+            };
+            let dir = if d > 0 { rng.gen_range(0..4 * d) } else { 0 };
+            self.phases.push((d, dir));
+        }
+        crate::obs::record_table_draws(table_draws);
+        crate::obs::record_devroye_draws(devroye_draws);
+        crate::obs::record_batch_refill();
+    }
+}
+
+/// Unbuffered per-phase sampling with the same bulk tallying as a batch
+/// refill: draw-path counts accumulate locally and flush to the shared
+/// counters when the source is dropped (once per trial instead of once per
+/// draw).
+///
+/// Word-for-word identical to [`JumpBatch`] on a fixed RNG stream — this is
+/// the scalar half of the engine's batching toggle, kept honest by the
+/// byte-identity tests in `levy-walks`.
+#[derive(Debug)]
+pub struct ScalarPhases {
+    /// Per-α spectrum gate, hoisted to construction (recording never
+    /// consumes RNG words, so the hoist cannot shift the stream).
+    spectrum_on: bool,
+    table_draws: u64,
+    devroye_draws: u64,
+}
+
+impl ScalarPhases {
+    /// Creates a phase source for one trial.
+    #[allow(clippy::new_without_default)] // a trial-scoped source, not a value type
+    pub fn new() -> Self {
+        ScalarPhases {
+            spectrum_on: levy_obs::observers_enabled(),
+            table_draws: 0,
+            devroye_draws: 0,
+        }
+    }
+
+    /// Draws the next phase's `(length, destination index)` exactly as
+    /// [`JumpBatch::next_phase`] would: the truncated-length rejection loop,
+    /// then one bounded-uniform destination index for positive lengths.
+    #[inline]
+    pub fn next_phase<R: Rng + ?Sized>(
+        &mut self,
+        law: &JumpLengthDistribution,
+        cap: Option<u64>,
+        rng: &mut R,
+    ) -> (u64, u64) {
+        let cap = cap.unwrap_or(NO_CAP);
+        let d = loop {
+            let (d, path) = law.sample_raw(rng);
+            match path {
+                DrawPath::Table => self.table_draws += 1,
+                DrawPath::Devroye => self.devroye_draws += 1,
+                DrawPath::ZeroCoin => {}
+            }
+            if self.spectrum_on {
+                crate::obs::record_jump_length(law.alpha(), d);
+            }
+            if d <= cap {
+                break d;
+            }
+        };
+        let dir = if d > 0 { rng.gen_range(0..4 * d) } else { 0 };
+        (d, dir)
+    }
+}
+
+impl Drop for ScalarPhases {
+    fn drop(&mut self) {
+        crate::obs::record_table_draws(self.table_draws);
+        crate::obs::record_devroye_draws(self.devroye_draws);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedStream;
+    use rand::rngs::SmallRng;
+
+    /// The scalar per-phase reference the batch must reproduce word for
+    /// word: truncated length draw, then the destination index.
+    fn scalar_phases(
+        law: &JumpLengthDistribution,
+        cap: Option<u64>,
+        seed: u64,
+        n: usize,
+    ) -> Vec<(u64, u64)> {
+        let mut rng = SeedStream::new(seed).child(0).rng();
+        (0..n)
+            .map(|_| {
+                let d = match cap {
+                    Some(cap) => law.sample_truncated(&mut rng, cap),
+                    None => law.sample(&mut rng),
+                };
+                let dir = if d > 0 { rng.gen_range(0..4 * d) } else { 0 };
+                (d, dir)
+            })
+            .collect()
+    }
+
+    fn batched_phases(
+        law: &JumpLengthDistribution,
+        cap: Option<u64>,
+        seed: u64,
+        n: usize,
+        capacity: usize,
+    ) -> Vec<(u64, u64)> {
+        let mut rng: SmallRng = SeedStream::new(seed).child(0).rng();
+        let mut batch = JumpBatch::with_capacity(capacity);
+        (0..n)
+            .map(|_| batch.next_phase(law, cap, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn batch_reproduces_scalar_words_at_every_capacity() {
+        let tabled = JumpLengthDistribution::new(2.5).unwrap();
+        let untabled = JumpLengthDistribution::new_untabled(2.2).unwrap();
+        for (law, cap) in [
+            (&tabled, None),
+            (&tabled, Some(20)),
+            (&tabled, Some(u64::MAX)),
+            (&untabled, None),
+            (&untabled, Some(5)),
+        ] {
+            let reference = scalar_phases(law, cap, 42, 500);
+            for capacity in [1usize, 7, 256] {
+                let batched = batched_phases(law, cap, 42, 500, capacity);
+                assert_eq!(
+                    batched,
+                    reference,
+                    "capacity {capacity}, cap {cap:?}, alpha {}",
+                    law.alpha()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncapped_and_max_cap_streams_agree() {
+        // `None` is encoded as u64::MAX internally; the two spellings must
+        // be indistinguishable word for word.
+        let law = JumpLengthDistribution::new(2.0).unwrap();
+        assert_eq!(
+            batched_phases(&law, None, 9, 200, 32),
+            batched_phases(&law, Some(u64::MAX), 9, 200, 32),
+        );
+    }
+
+    #[test]
+    fn context_change_triggers_refill() {
+        let a = JumpLengthDistribution::new(2.5).unwrap();
+        let b = JumpLengthDistribution::new(3.0).unwrap();
+        let mut rng = SeedStream::new(3).child(0).rng();
+        let mut batch = JumpBatch::with_capacity(64);
+        let _ = batch.next_phase(&a, None, &mut rng);
+        // Switching the law mid-buffer must not serve stale draws: the next
+        // pair comes from a fresh block drawn for `b`.
+        let mut reference_rng = rng.clone();
+        let d_ref = b.sample(&mut reference_rng);
+        let dir_ref = if d_ref > 0 {
+            use rand::Rng;
+            reference_rng.gen_range(0..4 * d_ref)
+        } else {
+            0
+        };
+        assert_eq!(batch.next_phase(&b, None, &mut rng), (d_ref, dir_ref));
+    }
+
+    #[test]
+    fn clear_discards_buffered_draws() {
+        let law = JumpLengthDistribution::new(2.5).unwrap();
+        let mut rng = SeedStream::new(4).child(0).rng();
+        let mut batch = JumpBatch::with_capacity(16);
+        let _ = batch.next_phase(&law, None, &mut rng);
+        batch.clear();
+        // After a clear the next call must refill (fresh words), exactly as
+        // a brand-new batch would from the same RNG state.
+        let mut fresh = JumpBatch::with_capacity(16);
+        let mut rng2 = rng.clone();
+        assert_eq!(
+            batch.next_phase(&law, None, &mut rng),
+            fresh.next_phase(&law, None, &mut rng2)
+        );
+    }
+
+    #[test]
+    fn capped_batches_respect_the_cap() {
+        let law = JumpLengthDistribution::new(1.5).unwrap();
+        let mut rng = SeedStream::new(5).child(0).rng();
+        let mut batch = JumpBatch::with_capacity(32);
+        for _ in 0..1_000 {
+            let (d, dir) = batch.next_phase(&law, Some(13), &mut rng);
+            assert!(d <= 13);
+            if d > 0 {
+                assert!(dir < 4 * d);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = JumpBatch::with_capacity(0);
+    }
+}

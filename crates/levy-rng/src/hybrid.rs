@@ -6,10 +6,12 @@
 //! the transcendental ops from ~all draws without giving up exactness:
 //!
 //! * [`JumpTable`] — a Walker/Vose **alias table** over the full jump law
-//!   `{0} ∪ {1, …, cutoff} ∪ {tail}`: one uniform index + one uniform
-//!   fraction decide almost every draw in O(1) with no `powf`;
-//! * the `tail` outcome (mass `P(d > cutoff)`, typically `≲ 2⁻³²` and
-//!   always tiny) falls back to [`sample_zeta_above`], an exact
+//!   `{0} ∪ {1, …, cutoff} ∪ {tail}`: a single uniform 64-bit word (high
+//!   bits = slot, low bits = acceptance fraction) decides almost every
+//!   draw in O(1) with no `powf`;
+//! * the `tail` outcome (mass `P(d > cutoff)`, below `10⁻⁶` across the
+//!   experimental `α` range and `≲ 3%` even at `α = 1.5`) falls back to
+//!   [`sample_zeta_above`], an exact
 //!   Devroye-style rejection sampler *conditioned on* `d > cutoff` — so
 //!   the hybrid law is the jump law of Eq. (3) exactly (up to the same
 //!   f64 rounding any sampler has);
@@ -27,22 +29,54 @@ use rand::Rng;
 use crate::power_law::MAX_JUMP;
 use crate::zeta::{riemann_zeta, zeta_tail};
 
-/// Hard cap on the number of tabled jump lengths (64 Ki entries ≈ 0.75 MiB
-/// per table): beyond this, shaving the residual tail mass further does
-/// not measurably change the hit rate of the table path.
-pub const MAX_TABLE_CUTOFF: u64 = 1 << 16;
+/// Hard cap on the number of tabled jump lengths, chosen so the slot count
+/// (`cutoff` head slots + the zero slot + the tail sentinel, padded to a
+/// power of two) never exceeds 4 Ki entries ≈ 64 KiB per table.
+/// Deliberately cache-sized, not coverage-sized: alias draws address
+/// uniformly random slots, so a table that spills out of L2 pays a cache
+/// miss (tens of ns) on *every* draw, while routing the residual tail to
+/// the exact Devroye fallback costs `tail_mass × ~60 ns` — below
+/// 1.5 ns/draw even at `α = 1.5` and vanishing for `α ≥ 2`. A 16× larger
+/// table was measured strictly slower on the trial hot path for exactly
+/// this reason. The power-of-two slot count is load-bearing: it lets one
+/// uniform 64-bit word drive the whole draw (high bits pick the slot, the
+/// low 52 bits are the acceptance fraction) with no Lemire rejection step.
+pub const MAX_TABLE_CUTOFF: u64 = (1 << 12) - 2;
 
 /// Target residual tail mass: the cutoff is chosen so the table covers at
 /// least `1 − 2⁻³²` of the jump law when that is achievable within
-/// [`MAX_TABLE_CUTOFF`] entries (it is for `α ≳ 2.7`; for heavier tails
+/// [`MAX_TABLE_CUTOFF`] entries (it is for `α ≳ 3.6`; for heavier tails
 /// the cutoff caps out and the Devroye fallback absorbs the difference).
 pub const TARGET_TAIL_MASS: f64 = 1.0 / (1u64 << 32) as f64;
+
+/// Number of low bits of the draw word used as the acceptance fraction;
+/// the bits above them select the slot. 52 fraction bits leave 12 slot
+/// bits, matching the 4 Ki slot cap, and quantize each Vose acceptance
+/// probability at 2⁻⁵² — finer than the f64 arithmetic that produced it.
+const FRAC_BITS: u32 = 52;
+
+/// Mask extracting the acceptance fraction from a draw word.
+const FRAC_MASK: u64 = (1 << FRAC_BITS) - 1;
+
+/// One Vose slot: acceptance threshold and alias index interleaved so a
+/// draw touches exactly one random cache line, not one per array.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Vose acceptance probability, fixed-point in units of 2⁻⁵² (so the
+    /// accept test is an integer compare against the draw word's low bits;
+    /// probability 1 is `1 << 52`, above every possible fraction).
+    thresh: u64,
+    /// Vose alias (slot index taken when the fraction meets the threshold).
+    alias: u32,
+}
 
 /// Alias table over the full jump-length law of Eq. (3).
 ///
 /// Outcome encoding: slot `0` is the zero-length jump (mass 1/2), slots
-/// `1..=cutoff` are the tabled zeta head, and the last slot is the tail
-/// sentinel resolved by [`sample_zeta_above`].
+/// `1..=cutoff` are the tabled zeta head, slot `cutoff + 1` is the tail
+/// sentinel resolved by [`sample_zeta_above`], and any remaining slots up
+/// to the power-of-two count are zero-mass padding that always aliases
+/// into the real outcomes.
 ///
 /// # Examples
 ///
@@ -62,10 +96,12 @@ pub struct JumpTable {
     cutoff: u64,
     /// Residual tail mass `P(d > cutoff)` routed to the Devroye fallback.
     tail_mass: f64,
-    /// Vose acceptance probability per slot.
-    prob: Vec<f64>,
-    /// Vose alias per slot.
-    alias: Vec<u32>,
+    /// Interleaved Vose slots (see [`Slot`]); the length is a power of two
+    /// so one 64-bit word addresses a slot by shift-and-mask.
+    slots: Vec<Slot>,
+    /// `64 − log2(slots.len())`: right-shift distance taking a draw word
+    /// to its slot index.
+    slot_shift: u32,
 }
 
 impl JumpTable {
@@ -84,7 +120,13 @@ impl JumpTable {
         );
         let zeta_alpha = riemann_zeta(alpha);
         let norm = 1.0 / (2.0 * zeta_alpha);
-        let n = cutoff as usize + 2;
+        // Outcomes: zero slot, the tabled head, the tail sentinel — then
+        // zero-mass padding up to a power of two so a draw word addresses
+        // a slot by shift alone. Padded slots always alias (threshold 0)
+        // and are consumed first by the Vose pairing below, so they can
+        // never surface as an outcome.
+        let occupied = cutoff as usize + 2;
+        let n = occupied.next_power_of_two();
         let mut masses = Vec::with_capacity(n);
         masses.push(0.5);
         for i in 1..=cutoff {
@@ -92,8 +134,13 @@ impl JumpTable {
         }
         let tail_mass = norm * zeta_tail(alpha, cutoff + 1);
         masses.push(tail_mass);
+        masses.resize(n, 0.0);
 
         // Walker/Vose alias construction over the (re-normalized) masses.
+        // Each padded slot drains exactly one unit of large capacity; the
+        // zero slot alone holds `n/2` units and the padding is at most
+        // `n − occupied < n/2`, so the large pile outlives every zero-mass
+        // slot and no padded slot is ever left aliasing itself.
         let total: f64 = masses.iter().sum();
         let scale = n as f64 / total;
         let mut scaled: Vec<f64> = masses.iter().map(|&m| m * scale).collect();
@@ -122,12 +169,20 @@ impl JumpTable {
         // themselves, which is exactly right at machine precision.
 
         crate::obs::record_table_build();
+        let slots = prob
+            .into_iter()
+            .zip(alias)
+            .map(|(prob, alias)| Slot {
+                thresh: (prob * (1u64 << FRAC_BITS) as f64).round() as u64,
+                alias,
+            })
+            .collect();
         JumpTable {
             alpha,
             cutoff,
             tail_mass,
-            prob,
-            alias,
+            slots,
+            slot_shift: 64 - n.trailing_zeros(),
         }
     }
 
@@ -156,26 +211,46 @@ impl JumpTable {
 
     /// Draws one jump length from the full law of Eq. (3).
     ///
-    /// Cost: one bounded-uniform index, one unit-interval fraction, one
-    /// table lookup — plus, with probability [`Self::tail_mass`], an exact
-    /// conditioned Devroye draw.
+    /// Cost: one uniform 64-bit word, one table lookup — plus, with
+    /// probability [`Self::tail_mass`], an exact conditioned Devroye draw.
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let n = self.prob.len();
-        let slot = rng.gen_range(0..n as u64) as usize;
-        let frac: f64 = rng.gen();
-        let outcome = if frac < self.prob[slot] {
+        let (d, via_table) = self.sample_raw(rng);
+        if via_table {
+            crate::obs::record_table_draw();
+        } else {
+            crate::obs::record_devroye_draw();
+        }
+        d
+    }
+
+    /// Draws one jump length without recording draw-path tallies; the flag
+    /// says whether the alias table resolved it (`false` = the Devroye tail
+    /// fallback did). Batch refills use this and tally in bulk afterwards;
+    /// the RNG words consumed are identical to [`Self::sample`].
+    #[inline]
+    pub(crate) fn sample_raw<R: Rng + ?Sized>(&self, rng: &mut R) -> (u64, bool) {
+        // One word does the whole draw: the top `log2(slots.len())` bits
+        // select a slot (exact because the slot count is a power of two),
+        // the low 52 bits are the Vose acceptance fraction compared as an
+        // integer against the slot's fixed-point threshold. The bit ranges
+        // never overlap: the slot field sits at bit `slot_shift ≥ 52`.
+        let w = rng.gen::<u64>();
+        let slot = (w >> self.slot_shift) as usize;
+        let entry = self.slots[slot];
+        let outcome = if (w & FRAC_MASK) < entry.thresh {
             slot
         } else {
-            self.alias[slot] as usize
+            entry.alias as usize
         };
         if outcome as u64 <= self.cutoff {
             // Slot 0 is the zero jump; slots 1..=cutoff are literal lengths.
-            crate::obs::record_table_draw();
-            outcome as u64
+            (outcome as u64, true)
         } else {
-            crate::obs::record_devroye_draw();
-            sample_zeta_above(self.alpha, self.cutoff, rng)
+            // Tail sentinel (index `cutoff + 1`; padded slots have
+            // threshold 0 and never surface as outcomes).
+            debug_assert_eq!(outcome as u64, self.cutoff + 1);
+            (sample_zeta_above(self.alpha, self.cutoff, rng), false)
         }
     }
 }
@@ -237,8 +312,8 @@ pub fn sample_zeta_above<R: Rng + ?Sized>(alpha: f64, m: u64, rng: &mut R) -> u6
     }
 }
 
-/// Bound on interned tables: at ~0.75 MiB each this caps cache memory at
-/// ~48 MiB, far beyond what any experiment sweep reaches in practice.
+/// Bound on interned tables: at ~64 KiB each this caps cache memory at
+/// ~4 MiB, far beyond what any experiment sweep reaches in practice.
 const CACHE_CAP: usize = 64;
 
 type TableCache = RwLock<Vec<(u64, Arc<JumpTable>)>>;
@@ -425,15 +500,53 @@ mod tests {
     }
 
     #[test]
+    fn padded_slots_never_surface() {
+        // cutoff 130 → 132 occupied outcomes padded to 256 slots: nearly
+        // half the table is zero-mass padding. Every padded slot must have
+        // threshold 0 (so strict `<` never accepts it) and alias into a
+        // real outcome, and the high-bit slot addressing must be exact.
+        let cutoff = 130u64;
+        let table = JumpTable::new(2.0, cutoff);
+        let n = table.slots.len();
+        assert!(n.is_power_of_two());
+        assert_eq!(n, 256);
+        assert_eq!(u64::from(table.slot_shift), 64 - n.trailing_zeros() as u64);
+        let occupied = cutoff as usize + 2;
+        for (i, slot) in table.slots.iter().enumerate().skip(occupied) {
+            assert_eq!(slot.thresh, 0, "padded slot {i} can self-select");
+            assert!(
+                (slot.alias as usize) < occupied,
+                "padded slot {i} aliases to padding ({})",
+                slot.alias
+            );
+        }
+        // Empirically: no draw resolved by the table may exceed the cutoff.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..200_000 {
+            let (d, via_table) = table.sample_raw(&mut rng);
+            if via_table {
+                assert!(d <= cutoff, "table produced out-of-range outcome {d}");
+            } else {
+                assert!(d > cutoff);
+            }
+        }
+    }
+
+    #[test]
     fn cutoff_for_meets_target_or_caps() {
         // Light tails reach the 2^-32 target well below the cap.
-        let c35 = cutoff_for(3.5);
-        assert!(c35 < MAX_TABLE_CUTOFF, "alpha=3.5 cutoff {c35}");
-        let zeta = riemann_zeta(3.5);
-        assert!(zeta_tail(3.5, c35 + 1) / (2.0 * zeta) <= TARGET_TAIL_MASS);
-        // Heavy tails cap out.
+        let c5 = cutoff_for(5.0);
+        assert!(c5 < MAX_TABLE_CUTOFF, "alpha=5.0 cutoff {c5}");
+        let zeta = riemann_zeta(5.0);
+        assert!(zeta_tail(5.0, c5 + 1) / (2.0 * zeta) <= TARGET_TAIL_MASS);
+        // Heavy tails cap out at the cache-sized limit; the Devroye
+        // fallback absorbs the (still small) residual mass exactly.
         assert_eq!(cutoff_for(1.5), MAX_TABLE_CUTOFF);
         assert_eq!(cutoff_for(2.5), MAX_TABLE_CUTOFF);
+        assert!(
+            JumpTable::with_target_tail(1.5).tail_mass() < 0.03,
+            "even the heaviest experimental tail stays cheap to route"
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   Devroye scheme ([`JumpTable`] head, [`sample_zeta_above`] tail) with
 //!   the pure rejection sampler ([`sample_zeta`]) and a table-inversion
 //!   cross-check ([`ZetaTable`]) retained as baselines;
+//! * [`JumpBatch`] — block-prefetched jump geometry (lengths plus
+//!   destination ring indices) with a per-slot word order identical to
+//!   scalar sampling, the RNG front end of the batched phase engine;
 //! * [`ExponentStrategy`] — the exponent-selection rules the paper studies,
 //!   including the headline `α ~ Uniform(2,3)` strategy of Theorem 1.6 and
 //!   the scale-aware optimum of Theorem 1.5 ([`optimal_exponent`]);
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod exponent;
 mod hybrid;
 pub mod obs;
@@ -37,6 +41,7 @@ mod power_law;
 mod seeds;
 mod zeta;
 
+pub use batch::{JumpBatch, ScalarPhases};
 pub use exponent::{ideal_exponent, optimal_exponent, ExponentStrategy};
 pub use hybrid::{cutoff_for, sample_zeta_above, JumpTable, MAX_TABLE_CUTOFF, TARGET_TAIL_MASS};
 pub use obs::flush_draw_stats;

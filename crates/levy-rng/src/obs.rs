@@ -26,6 +26,7 @@ struct Globals {
     devroye_draws: Counter,
     table_builds: Counter,
     cache_evictions: Counter,
+    batch_refills: Counter,
 }
 
 fn globals() -> &'static Globals {
@@ -48,6 +49,10 @@ fn globals() -> &'static Globals {
             cache_evictions: registry.counter(
                 "levy_rng_table_cache_evictions_total",
                 "Interned jump tables evicted from the bounded cache.",
+            ),
+            batch_refills: registry.counter(
+                "levy_rng_batch_refills_total",
+                "Block refills of batched jump-geometry buffers.",
             ),
         }
     })
@@ -106,6 +111,27 @@ pub(crate) fn record_devroye_draw() {
         local.devroye.set(local.devroye.get() + 1);
         local.bump_pending();
     });
+}
+
+/// Tallies `n` alias-table draws at once. Batch refills use this instead
+/// of `n` thread-local bumps: one shared atomic add per block is cheaper
+/// than the per-draw TLS path it replaces.
+pub(crate) fn record_table_draws(n: u64) {
+    if n > 0 {
+        globals().table_draws.add(n);
+    }
+}
+
+/// Tallies `n` Devroye-resolved draws at once (batched refills).
+pub(crate) fn record_devroye_draws(n: u64) {
+    if n > 0 {
+        globals().devroye_draws.add(n);
+    }
+}
+
+/// Tallies one block refill of a [`crate::JumpBatch`].
+pub(crate) fn record_batch_refill() {
+    globals().batch_refills.inc();
 }
 
 /// Tallies one alias-table construction.

@@ -65,6 +65,20 @@ impl PartialEq for JumpLengthDistribution {
     }
 }
 
+/// Which sampler resolved a raw draw (for bulk tallying in batch refills).
+///
+/// Mirrors the tallying of [`JumpLengthDistribution::sample`]: table and
+/// Devroye draws are counted, the untabled zero-coin outcome is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DrawPath {
+    /// The alias table resolved the draw (tabled laws, head or zero slot).
+    Table,
+    /// A Devroye rejection sampler resolved the draw.
+    Devroye,
+    /// The untabled coin yielded a zero-length jump (never tallied).
+    ZeroCoin,
+}
+
 /// Error returned when a distribution is given an out-of-range exponent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvalidExponentError {
@@ -203,19 +217,40 @@ impl JumpLengthDistribution {
     /// constructors changes individual draws (not the distribution).
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let d = match &self.table {
-            Some(table) => table.sample(rng),
-            None => {
-                if rng.gen::<bool>() {
-                    0
-                } else {
-                    crate::obs::record_devroye_draw();
-                    sample_zeta(self.alpha, rng)
-                }
-            }
-        };
+        let (d, path) = self.sample_raw(rng);
+        match path {
+            DrawPath::Table => crate::obs::record_table_draw(),
+            DrawPath::Devroye => crate::obs::record_devroye_draw(),
+            DrawPath::ZeroCoin => {}
+        }
         crate::obs::record_jump_length(self.alpha, d);
         d
+    }
+
+    /// Draws one jump length without recording any observability tallies,
+    /// reporting which sampler resolved it. Consumes exactly the RNG words
+    /// [`Self::sample`] would; block refills ([`crate::JumpBatch`]) use it
+    /// and tally in bulk.
+    #[inline]
+    pub(crate) fn sample_raw<R: Rng + ?Sized>(&self, rng: &mut R) -> (u64, DrawPath) {
+        match &self.table {
+            Some(table) => {
+                let (d, via_table) = table.sample_raw(rng);
+                let path = if via_table {
+                    DrawPath::Table
+                } else {
+                    DrawPath::Devroye
+                };
+                (d, path)
+            }
+            None => {
+                if rng.gen::<bool>() {
+                    (0, DrawPath::ZeroCoin)
+                } else {
+                    (sample_zeta(self.alpha, rng), DrawPath::Devroye)
+                }
+            }
+        }
     }
 
     /// Draws a jump length conditioned on `d <= cap` (used for the

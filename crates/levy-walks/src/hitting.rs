@@ -11,11 +11,18 @@
 //! ([`levy_grid::direct_path_node_at`]), so one draw decides the phase. The
 //! step-level reference implementation is kept for cross-validation (see
 //! [`levy_walk_hitting_time_exact`] and the distribution-equality test).
+//!
+//! All walk variants run on the batched phase engine ([`crate::engine`]):
+//! each trial draws one word from the caller's RNG, splits it into a
+//! geometry and an auxiliary stream, block-prefetches jump geometry, and
+//! skips marginal draws for phases the Lemma 3.1 corridor proves cannot
+//! hit. Seeded results are identical with batching on or off.
 
-use levy_grid::{direct_path_node_at, Point};
+use levy_grid::Point;
 use levy_rng::JumpLengthDistribution;
 use rand::Rng;
 
+use crate::engine::{hitting_time_engine, BallTarget, PointTarget};
 use crate::flight::sample_jump;
 use crate::process::JumpProcess;
 use crate::walk::LevyWalk;
@@ -51,35 +58,7 @@ pub fn levy_walk_hitting_time<R: Rng + ?Sized>(
     budget: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    if start == target {
-        return Some(0);
-    }
-    let mut observer = crate::observe::TrialObserver::begin(jumps.alpha(), start);
-    let mut pos = start;
-    let mut t: u64 = 0;
-    while t < budget {
-        let (d, v) = sample_jump(jumps, pos, rng);
-        if d == 0 {
-            // Zero-length phase: one step standing still, cannot hit.
-            t += 1;
-            continue;
-        }
-        // The phase's path crosses ring R_i(pos) exactly once; the target
-        // can only be met at path position i = ||pos - target||_1.
-        let i = pos.l1_distance(target);
-        if i <= d && t + i <= budget && direct_path_node_at(pos, v, i, rng) == target {
-            if let Some(observer) = &observer {
-                observer.on_hit(t + i);
-            }
-            return Some(t + i);
-        }
-        t = t.saturating_add(d);
-        pos = v;
-        if let Some(observer) = &mut observer {
-            observer.on_phase_end(t, pos);
-        }
-    }
-    None
+    hitting_time_engine(jumps, None, PointTarget { target }, start, budget, rng)
 }
 
 /// Hitting time of a Lévy walk whose jump lengths are *capped* at `cap`
@@ -90,6 +69,9 @@ pub fn levy_walk_hitting_time<R: Rng + ?Sized>(
 /// derives its flight hitting-time lower bounds. The truncation ablation
 /// (experiment A1) uses it to show the cap barely affects the hitting
 /// probability at the relevant time scales.
+///
+/// Feeds the same [`crate::observe::TrialObserver`] telemetry as the
+/// uncapped walk (displacement checkpoints and hitting-time histograms).
 pub fn levy_walk_hitting_time_capped<R: Rng + ?Sized>(
     jumps: &JumpLengthDistribution,
     cap: u64,
@@ -98,26 +80,7 @@ pub fn levy_walk_hitting_time_capped<R: Rng + ?Sized>(
     budget: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    if start == target {
-        return Some(0);
-    }
-    let mut pos = start;
-    let mut t: u64 = 0;
-    while t < budget {
-        let d = jumps.sample_truncated(rng, cap);
-        if d == 0 {
-            t += 1;
-            continue;
-        }
-        let v = levy_grid::Ring::new(pos, d).sample_uniform(rng);
-        let i = pos.l1_distance(target);
-        if i <= d && t + i <= budget && direct_path_node_at(pos, v, i, rng) == target {
-            return Some(t + i);
-        }
-        t = t.saturating_add(d);
-        pos = v;
-    }
-    None
+    hitting_time_engine(jumps, Some(cap), PointTarget { target }, start, budget, rng)
 }
 
 /// Step-level reference implementation of the walk hitting time.
@@ -180,7 +143,12 @@ pub fn levy_flight_hitting_time<R: Rng + ?Sized>(
 /// length `d` starting at `u` can first enter `B_r(center)` only at path
 /// positions `i ∈ [dist − r, min(d, dist + r)]` with `dist = ‖u−center‖₁`,
 /// so at most `2r + 1` marginal draws decide the phase (consecutive
-/// non-tie positions are deterministic, so the joint check is exact).
+/// non-tie positions are deterministic, so the joint check is exact), and
+/// the Lemma 3.1 corridor skips positions whose entire marginal support
+/// lies outside the ball without drawing at all.
+///
+/// Feeds the same [`crate::observe::TrialObserver`] telemetry as the
+/// point-target walk.
 pub fn levy_walk_hitting_time_ball<R: Rng + ?Sized>(
     jumps: &JumpLengthDistribution,
     start: Point,
@@ -189,35 +157,14 @@ pub fn levy_walk_hitting_time_ball<R: Rng + ?Sized>(
     budget: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    if start.l1_distance(center) <= radius {
-        return Some(0);
-    }
-    let mut pos = start;
-    let mut t: u64 = 0;
-    while t < budget {
-        let (d, v) = sample_jump(jumps, pos, rng);
-        if d == 0 {
-            t += 1;
-            continue;
-        }
-        let dist = pos.l1_distance(center);
-        let first = dist.saturating_sub(radius).max(1);
-        let last = (dist + radius).min(d);
-        // Positions must be checked in order: the hit time is the FIRST
-        // entry into the ball.
-        for i in first..=last {
-            if t + i > budget {
-                break;
-            }
-            let node = direct_path_node_at(pos, v, i, rng);
-            if node.l1_distance(center) <= radius {
-                return Some(t + i);
-            }
-        }
-        t = t.saturating_add(d);
-        pos = v;
-    }
-    None
+    hitting_time_engine(
+        jumps,
+        None,
+        BallTarget { center, radius },
+        start,
+        budget,
+        rng,
+    )
 }
 
 /// Hitting time of a Lévy *flight* for the extended target `B_radius(center)`

@@ -16,6 +16,11 @@
 //!   [`ExponentStrategy`](levy_rng::ExponentStrategy), including the
 //!   paper's randomized `α ~ Uniform(2,3)` strategy (Theorem 1.6).
 //!
+//! Every walk simulation runs on a batched phase engine (block-prefetched
+//! jump geometry, Lemma 3.1 corridor early-rejection, lockstep `k`-walk
+//! advancement) whose seeded results are identical with batching on or off
+//! ([`set_batch_enabled`]).
+//!
 //! # Quick example: the paper's randomized strategy
 //!
 //! ```
@@ -41,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod flight;
 mod hitting;
 pub mod observe;
@@ -50,6 +56,7 @@ mod statistics;
 pub mod theory;
 mod walk;
 
+pub use engine::{batch_enabled, set_batch_enabled};
 pub use flight::{sample_jump, LevyFlight};
 pub use hitting::{
     hitting_time_from_origin, levy_flight_hitting_time, levy_flight_hitting_time_ball,

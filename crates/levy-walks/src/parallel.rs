@@ -3,16 +3,19 @@
 //! All `k` walks start simultaneously at the same source; the parallel
 //! hitting time for a target is the first step at which *some* walk visits
 //! it — equivalently the minimum of the `k` individual hitting times, since
-//! the walks are independent. The simulator exploits that equivalence and
-//! shrinks the step budget as better hits are found, so the total work is
-//! bounded by `k` times the best hitting time rather than `k` times the
-//! full budget.
+//! the walks are independent. The simulator advances all `k` walks in
+//! lockstep time slices ([`crate::engine::lockstep_parallel`]): as soon as
+//! some walk hits, every other walk is stopped within one slice of that
+//! hit time, so the total work is bounded by `k` times the best hitting
+//! time rather than `k` times the full budget — without the sequential
+//! simulator's worst case of spending the full budget on early walks
+//! before a later walk reveals a fast hit.
 
 use levy_grid::Point;
 use levy_rng::{ExponentStrategy, JumpLengthDistribution};
 use rand::Rng;
 
-use crate::hitting::levy_walk_hitting_time;
+use crate::engine::lockstep_parallel;
 
 /// Outcome of a parallel hitting-time simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +48,10 @@ impl ParallelHit {
 /// and the RNG state: strategy-drawn continuous exponents always sample via
 /// the exact Devroye path and fixed exponents always sample via the alias
 /// table, so no global cache state or thread scheduling can perturb the
-/// stream of a seeded run.
+/// stream of a seeded run. The `k` exponents are drawn from `rng` up front,
+/// then one master word seeds per-walk geometry/auxiliary streams
+/// (`master.child(j)`), so the outcome is also independent of the order in
+/// which the lockstep engine interleaves the walks.
 ///
 /// # Examples
 ///
@@ -89,28 +95,22 @@ pub fn parallel_hitting_time<R: Rng + ?Sized>(
         JumpLengthDistribution::new(alpha).expect("exponent strategies yield valid exponents")
     });
     let mut exponents = Vec::with_capacity(k);
-    let mut best: Option<(u64, usize)> = None;
-    let mut remaining = budget;
-    for walk_index in 0..k {
+    let mut drawn: Vec<JumpLengthDistribution> = Vec::new();
+    for _ in 0..k {
         let alpha = strategy.draw(rng);
         exponents.push(alpha);
-        let fresh;
-        let jumps = match &shared {
-            Some(jumps) => jumps,
-            None => {
-                fresh = JumpLengthDistribution::new_untabled(alpha)
-                    .expect("exponent strategies yield valid exponents");
-                &fresh
-            }
-        };
-        if let Some(t) = levy_walk_hitting_time(jumps, start, target, remaining, rng) {
-            // Min over walks; `remaining` guarantees t <= current best.
-            if best.is_none_or(|(bt, _)| t < bt) {
-                best = Some((t, walk_index));
-                remaining = t;
-            }
+        if shared.is_none() {
+            drawn.push(
+                JumpLengthDistribution::new_untabled(alpha)
+                    .expect("exponent strategies yield valid exponents"),
+            );
         }
     }
+    let laws: Vec<&JumpLengthDistribution> = match &shared {
+        Some(jumps) => vec![jumps; k],
+        None => drawn.iter().collect(),
+    };
+    let best = lockstep_parallel(&laws, start, target, budget, rng);
     ParallelHit {
         time: best.map(|(t, _)| t),
         winner: best.map(|(_, w)| w),
@@ -129,17 +129,8 @@ pub fn parallel_hitting_time_common<R: Rng + ?Sized>(
     budget: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    let mut best: Option<u64> = None;
-    let mut remaining = budget;
-    for _ in 0..k {
-        if let Some(t) = levy_walk_hitting_time(jumps, start, target, remaining, rng) {
-            if best.is_none_or(|bt| t < bt) {
-                best = Some(t);
-                remaining = t;
-            }
-        }
-    }
-    best
+    let laws: Vec<&JumpLengthDistribution> = vec![jumps; k];
+    lockstep_parallel(&laws, start, target, budget, rng).map(|(t, _)| t)
 }
 
 #[cfg(test)]

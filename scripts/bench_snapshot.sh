@@ -6,8 +6,9 @@
 #   scripts/bench_snapshot.sh           # full run (minutes), writes repo root
 #   scripts/bench_snapshot.sh --smoke   # seconds-scale CI check, writes results/
 #
-# The snapshot times the three hot paths (single-walk hitting, k-parallel
-# hitting, raw jump sampling) at fixed seeds and replays the measured
+# The snapshot times the four hot paths (single-walk hitting, k-parallel
+# hitting, phase-engine trial throughput, raw jump sampling) at fixed
+# seeds and replays the measured
 # per-trial costs through the work-stealing and contiguous-chunk schedules;
 # see crates/bench/src/bin/bench_snapshot.rs for the methodology.
 

@@ -174,10 +174,35 @@ impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
 }
 
 /// Unbiased uniform draw from `[0, bound)` via Lemire's multiply-shift.
+///
+/// Power-of-two bounds skip the threshold's 64-bit modulo entirely:
+/// `(2^64 − 2^k) mod 2^k = 0`, so the rejection test never fires and the
+/// draw is a single multiply-shift (word-for-word identical either way).
 #[inline]
 fn uniform_u64_below<R: RngCore + ?Sized>(bound: u64, rng: &mut R) -> u64 {
     debug_assert!(bound > 0);
-    let threshold = bound.wrapping_neg() % bound;
+    let threshold = if bound.is_power_of_two() {
+        0
+    } else {
+        bound.wrapping_neg() % bound
+    };
+    uniform_u64_below_cached(bound, threshold, rng)
+}
+
+/// [`uniform_u64_below`] with the Lemire rejection threshold
+/// (`bound.wrapping_neg() % bound`) precomputed by the caller.
+///
+/// Consumes exactly the words `gen_range(0..bound)` would and returns the
+/// same values; callers drawing many times from one fixed bound cache the
+/// threshold to hoist its 64-bit modulo out of their loop.
+#[inline]
+pub fn uniform_u64_below_cached<R: RngCore + ?Sized>(
+    bound: u64,
+    threshold: u64,
+    rng: &mut R,
+) -> u64 {
+    debug_assert!(bound > 0);
+    debug_assert_eq!(threshold, bound.wrapping_neg() % bound);
     loop {
         let x = rng.next_u64();
         let m = (x as u128) * (bound as u128);
