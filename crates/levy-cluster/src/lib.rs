@@ -1,0 +1,83 @@
+//! `levy-cluster`: consistent-hash sharding primitives for the `levyd`
+//! service.
+//!
+//! The paper's central object is `k` *independent parallel* Lévy walkers
+//! whose union covers Z² far faster than any single walker; the serving
+//! stack mirrors that shape as N independent `levyd` peers whose union
+//! covers the query keyspace. This crate holds the pure, dependency-free
+//! pieces of that cluster mode:
+//!
+//! - [`fnv1a_128`] — the canonical content-address hash. Query cache
+//!   keys (`levy-served::request`) and ring placement both derive from
+//!   this one function, so "the key's home node" is a deterministic fact
+//!   every member (and `levyc`) computes identically.
+//! - [`HashRing`] — a consistent-hash ring with virtual nodes.
+//!   Placement depends only on the sorted member list and the vnode
+//!   count; removing a member rehomes *only* the keys it owned
+//!   (minimal-remap, unit-tested), so a dead peer invalidates 1/N of
+//!   the keyspace instead of reshuffling everything.
+//! - [`PeerTable`] — shared health state (up/down, probe latency,
+//!   consecutive failures) written by the prober thread and the request
+//!   path, read by routing decisions and `GET /v1/peers`.
+//!
+//! Everything here is `std`-only and does no I/O: `levy-served` owns
+//! the sockets, this crate owns the decisions.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod peers;
+pub mod ring;
+
+pub use peers::{PeerHealth, PeerTable};
+pub use ring::HashRing;
+
+/// FNV-1a over 128 bits — the hash behind content-addressed query keys
+/// and ring placement.
+///
+/// Pinned by test vectors here and in `levy-served::request` (which
+/// renders it as 32 hex digits): changing it silently invalidates every
+/// on-disk cache *and* reshuffles cluster placement.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u128;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Parses a 32-hex-digit cache key (the wire form of [`fnv1a_128`])
+/// back into its ring coordinate.
+pub fn key_from_hex(key: &str) -> Option<u128> {
+    if key.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(key, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        assert_eq!(fnv1a_128(b""), 0x6c62272e07bb014262b821756295c58d);
+        assert_eq!(
+            format!("{:032x}", fnv1a_128(b"")),
+            "6c62272e07bb014262b821756295c58d"
+        );
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+    }
+
+    #[test]
+    fn hex_keys_round_trip() {
+        let h = fnv1a_128(b"levy");
+        let hex = format!("{h:032x}");
+        assert_eq!(key_from_hex(&hex), Some(h));
+        assert_eq!(key_from_hex("xyz"), None);
+        assert_eq!(key_from_hex(&hex[..31]), None, "short keys rejected");
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared peer health state: who is up, how fast, since when.
+//!
+//! A [`PeerTable`] is written from two places — the periodic prober
+//! thread (`GET /healthz` per peer) and the request path (a failed peek
+//! or forward is evidence too) — and read by routing decisions and the
+//! `GET /v1/peers` status endpoint. Peers are addressed by their index
+//! in the *configured* peer list (order preserved, self excluded);
+//! that same index addresses them in the fault-plan grammar
+//! (`peer_partition@peer=N`), so a test's plan and its assertions name
+//! peers the same way.
+//!
+//! A peer starts **up** (optimistic): the first query may race the first
+//! probe, and trying a possibly-dead peer once costs one short timeout,
+//! while treating a live peer as dead costs a local re-simulation.
+
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// How many consecutive failures flip a peer to down. One flake (a
+/// dropped probe under load) should not trigger a remap storm.
+pub const DOWN_AFTER_FAILURES: u32 = 2;
+
+/// One peer's health, as reported by [`PeerTable::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerHealth {
+    /// The peer's address, exactly as configured.
+    pub addr: String,
+    /// Index in the configured peer list (fault plans use this).
+    pub index: usize,
+    /// Whether the peer is currently considered reachable.
+    pub up: bool,
+    /// Latency of the last successful probe or call, in microseconds.
+    pub latency_us: u64,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Total successful probes/calls observed.
+    pub successes: u64,
+    /// Total failed probes/calls observed.
+    pub failures: u64,
+    /// Unix µs of the last observation (0 = never observed).
+    pub last_seen_unix_us: u64,
+}
+
+/// Interior state per peer.
+#[derive(Debug, Clone)]
+struct PeerState {
+    addr: String,
+    up: bool,
+    latency_us: u64,
+    consecutive_failures: u32,
+    successes: u64,
+    failures: u64,
+    last_seen_unix_us: u64,
+}
+
+/// Thread-safe health table over the configured peer list.
+#[derive(Debug)]
+pub struct PeerTable {
+    peers: Mutex<Vec<PeerState>>,
+}
+
+fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+impl PeerTable {
+    /// A table over `addrs` in configured order, everyone starting up.
+    pub fn new<S: AsRef<str>>(addrs: &[S]) -> PeerTable {
+        PeerTable {
+            peers: Mutex::new(
+                addrs
+                    .iter()
+                    .map(|a| PeerState {
+                        addr: a.as_ref().to_owned(),
+                        up: true,
+                        latency_us: 0,
+                        consecutive_failures: 0,
+                        successes: 0,
+                        failures: 0,
+                        last_seen_unix_us: 0,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of peers tracked.
+    pub fn len(&self) -> usize {
+        self.peers.lock().expect("peer table lock").len()
+    }
+
+    /// Whether the table tracks no peers (a single-node "cluster").
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured index of `addr`, if tracked.
+    pub fn index_of(&self, addr: &str) -> Option<usize> {
+        self.peers
+            .lock()
+            .expect("peer table lock")
+            .iter()
+            .position(|p| p.addr == addr)
+    }
+
+    /// Whether peer `index` is currently considered up. Unknown indices
+    /// read as down.
+    pub fn is_up(&self, index: usize) -> bool {
+        self.peers
+            .lock()
+            .expect("peer table lock")
+            .get(index)
+            .is_some_and(|p| p.up)
+    }
+
+    /// Records a successful probe or call to peer `index`.
+    pub fn record_success(&self, index: usize, latency_us: u64) {
+        let mut peers = self.peers.lock().expect("peer table lock");
+        if let Some(peer) = peers.get_mut(index) {
+            peer.up = true;
+            peer.latency_us = latency_us;
+            peer.consecutive_failures = 0;
+            peer.successes += 1;
+            peer.last_seen_unix_us = unix_us();
+        }
+    }
+
+    /// Records a failed probe or call; the peer flips down after
+    /// [`DOWN_AFTER_FAILURES`] consecutive failures. Returns the new
+    /// up/down state.
+    pub fn record_failure(&self, index: usize) -> bool {
+        let mut peers = self.peers.lock().expect("peer table lock");
+        match peers.get_mut(index) {
+            Some(peer) => {
+                peer.consecutive_failures += 1;
+                peer.failures += 1;
+                peer.last_seen_unix_us = unix_us();
+                if peer.consecutive_failures >= DOWN_AFTER_FAILURES {
+                    peer.up = false;
+                }
+                peer.up
+            }
+            None => false,
+        }
+    }
+
+    /// A snapshot of every peer's health, in configured order.
+    pub fn snapshot(&self) -> Vec<PeerHealth> {
+        self.peers
+            .lock()
+            .expect("peer table lock")
+            .iter()
+            .enumerate()
+            .map(|(index, p)| PeerHealth {
+                addr: p.addr.clone(),
+                index,
+                up: p.up,
+                latency_us: p.latency_us,
+                consecutive_failures: p.consecutive_failures,
+                successes: p.successes,
+                failures: p.failures,
+                last_seen_unix_us: p.last_seen_unix_us,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peers_start_up_and_flip_after_consecutive_failures() {
+        let table = PeerTable::new(&["a:1", "b:1"]);
+        assert!(table.is_up(0));
+        assert!(
+            table.record_failure(0),
+            "one failure is a flake, not a death"
+        );
+        assert!(table.is_up(0));
+        assert!(!table.record_failure(0));
+        assert!(!table.is_up(0), "down after {DOWN_AFTER_FAILURES} failures");
+        assert!(table.is_up(1), "other peers unaffected");
+        table.record_success(0, 120);
+        assert!(table.is_up(0), "a success resurrects the peer");
+        let health = &table.snapshot()[0];
+        assert_eq!(health.latency_us, 120);
+        assert_eq!(health.consecutive_failures, 0);
+        assert_eq!(health.failures, 2);
+        assert_eq!(health.successes, 1);
+    }
+
+    #[test]
+    fn indices_follow_configured_order() {
+        let table = PeerTable::new(&["z:1", "a:1"]);
+        assert_eq!(table.index_of("z:1"), Some(0));
+        assert_eq!(table.index_of("a:1"), Some(1));
+        assert_eq!(table.index_of("missing:1"), None);
+        assert!(!table.is_up(7), "unknown indices read as down");
+        assert_eq!(table.snapshot()[1].index, 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! The consistent-hash ring: deterministic key → member placement with
+//! virtual nodes.
+//!
+//! Every member contributes `vnodes` points to a ring over the full
+//! `u128` space, at `fnv1a_128("<member>#<v>")`. A key lives on the
+//! member owning the first point clockwise from the key's hash. Two
+//! properties matter for the cluster:
+//!
+//! - **Determinism.** Placement is a pure function of the *sorted,
+//!   deduplicated* member list and the vnode count. Every node (and the
+//!   `levyc` client) configured with the same membership computes the
+//!   same home for every key — no coordination, no gossip.
+//! - **Minimal remap.** Removing a member deletes only its points;
+//!   every key it did not own keeps its home. A dead peer therefore
+//!   invalidates ~1/N of the keyspace, which is exactly the fraction of
+//!   cached results that must be re-simulated elsewhere.
+//!
+//! Addresses are compared *textually*: `127.0.0.1:7001` and
+//! `localhost:7001` are different members. Configure every node with
+//! the same spellings.
+
+use crate::fnv1a_128;
+
+/// Finalizer mixing a raw FNV-1a-128 value into a ring coordinate.
+///
+/// FNV-1a avalanches *forward* only: inputs differing in their last few
+/// bytes produce hashes differing by small multiples of the FNV prime
+/// (~2^88), which on a 2^128 ring is a narrow band — exactly the shape
+/// of vnode labels (`member#0` … `member#63`) and of canonical queries
+/// that differ only in a trailing field. Two murmur3-style fmix64
+/// rounds with a cross-fold spread those low-bit differences over the
+/// whole ring. Cache keys on the wire stay raw FNV (pinned elsewhere);
+/// only ring *coordinates* are mixed, identically on every node.
+fn mix(h: u128) -> u128 {
+    fn fmix64(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ceb9fe1a85ec53);
+        x ^= x >> 33;
+        x
+    }
+    let lo = fmix64(h as u64);
+    let hi = fmix64((h >> 64) as u64 ^ lo);
+    ((hi as u128) << 64) | fmix64(lo ^ hi) as u128
+}
+
+/// A consistent-hash ring over textual member addresses.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted, deduplicated member addresses.
+    members: Vec<String>,
+    /// Ring points as `(position, member index)`, sorted by position.
+    points: Vec<(u128, u32)>,
+    /// Virtual nodes per member.
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Builds a ring over `members` with `vnodes` points per member.
+    ///
+    /// Members are sorted and deduplicated, so every node that knows
+    /// the same membership set builds the identical ring regardless of
+    /// the order its `--peers` flag listed them in.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty member list and a zero vnode count.
+    pub fn new<S: AsRef<str>>(members: &[S], vnodes: usize) -> Result<HashRing, String> {
+        if vnodes == 0 {
+            return Err("vnodes must be at least 1".into());
+        }
+        let mut sorted: Vec<String> = members
+            .iter()
+            .map(|m| m.as_ref().trim().to_owned())
+            .filter(|m| !m.is_empty())
+            .collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.is_empty() {
+            return Err("a hash ring needs at least one member".into());
+        }
+        if sorted.len() > u32::MAX as usize {
+            return Err("too many members".into());
+        }
+        let mut points = Vec::with_capacity(sorted.len() * vnodes);
+        for (index, member) in sorted.iter().enumerate() {
+            for v in 0..vnodes {
+                let position = mix(fnv1a_128(format!("{member}#{v}").as_bytes()));
+                points.push((position, index as u32));
+            }
+        }
+        // Position collisions across members are possible in principle
+        // (128-bit hashes make them astronomically unlikely); the sort
+        // tie-breaks by member index so placement stays deterministic.
+        points.sort_unstable();
+        Ok(HashRing {
+            members: sorted,
+            points,
+            vnodes,
+        })
+    }
+
+    /// The sorted member list the ring was built over.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Index into [`points`](Self::points) of the first point clockwise
+    /// from `key`'s mixed coordinate (wrapping).
+    fn successor(&self, key: u128) -> usize {
+        match self.points.binary_search(&(mix(key), 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The member that owns `key`.
+    pub fn home(&self, key: u128) -> &str {
+        let (_, index) = self.points[self.successor(key)];
+        &self.members[index as usize]
+    }
+
+    /// The member owning a 32-hex-digit cache key, or `None` if the key
+    /// does not parse.
+    pub fn home_for_hex(&self, key: &str) -> Option<&str> {
+        crate::key_from_hex(key).map(|k| self.home(k))
+    }
+
+    /// Distinct members in ring order starting at `key`'s owner: the
+    /// failover preference list. The first entry is [`home`](Self::home);
+    /// later entries are the members whose points come next clockwise —
+    /// the natural places to try when earlier ones are unreachable.
+    pub fn preference(&self, key: u128) -> Vec<&str> {
+        let mut seen = vec![false; self.members.len()];
+        let mut out = Vec::with_capacity(self.members.len());
+        let start = self.successor(key);
+        for offset in 0..self.points.len() {
+            let (_, index) = self.points[(start + offset) % self.points.len()];
+            if !seen[index as usize] {
+                seen[index as usize] = true;
+                out.push(self.members[index as usize].as_str());
+                if out.len() == self.members.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> u128 {
+        fnv1a_128(format!("key-{i}").as_bytes())
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        let a = HashRing::new(&["n2:1", "n0:1", "n1:1"], 64).unwrap();
+        let b = HashRing::new(&["n0:1", "n1:1", "n2:1", "n1:1"], 64).unwrap();
+        assert_eq!(a.members(), b.members());
+        for i in 0..1000 {
+            assert_eq!(a.home(key(i)), b.home(key(i)));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let members: Vec<String> = (0..6).map(|i| format!("10.0.0.{i}:7878")).collect();
+        let ring = HashRing::new(&members, 64).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        let trials = 20_000u64;
+        for i in 0..trials {
+            *counts.entry(ring.home(key(i)).to_owned()).or_insert(0u64) += 1;
+        }
+        let expected = trials as f64 / members.len() as f64;
+        for member in &members {
+            let share = *counts.get(member).unwrap_or(&0) as f64;
+            assert!(
+                share > 0.45 * expected && share < 1.8 * expected,
+                "member {member} owns {share} of {trials} keys (expected ~{expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_member_rehomes_only_its_keys() {
+        let members: Vec<String> = (0..5).map(|i| format!("node-{i}:7878")).collect();
+        let full = HashRing::new(&members, 64).unwrap();
+        let removed = "node-2:7878";
+        let survivors: Vec<String> = members.iter().filter(|m| *m != removed).cloned().collect();
+        let shrunk = HashRing::new(&survivors, 64).unwrap();
+        let mut rehomed = 0u64;
+        let mut owned_by_removed = 0u64;
+        let trials = 10_000u64;
+        for i in 0..trials {
+            let before = full.home(key(i));
+            let after = shrunk.home(key(i));
+            if before == removed {
+                owned_by_removed += 1;
+                assert_ne!(after, removed);
+            } else {
+                assert_eq!(
+                    before, after,
+                    "key {i} moved despite its home surviving (consistent hashing broken)"
+                );
+            }
+            if before != after {
+                rehomed += 1;
+            }
+        }
+        assert_eq!(
+            rehomed, owned_by_removed,
+            "exactly the dead member's keys remap"
+        );
+        // And the dead member owned a nontrivial, bounded share.
+        assert!(owned_by_removed > trials / 20, "got {owned_by_removed}");
+        assert!(owned_by_removed < trials / 2, "got {owned_by_removed}");
+    }
+
+    #[test]
+    fn preference_starts_at_home_and_covers_all_members() {
+        let members = ["a:1", "b:1", "c:1", "d:1"];
+        let ring = HashRing::new(&members, 32).unwrap();
+        for i in 0..200 {
+            let pref = ring.preference(key(i));
+            assert_eq!(pref[0], ring.home(key(i)));
+            assert_eq!(pref.len(), members.len());
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), members.len(), "preference has duplicates");
+        }
+    }
+
+    #[test]
+    fn hex_keys_place_like_raw_hashes() {
+        let ring = HashRing::new(&["a:1", "b:1"], 16).unwrap();
+        let raw = fnv1a_128(b"payload");
+        let hex = format!("{raw:032x}");
+        assert_eq!(ring.home_for_hex(&hex), Some(ring.home(raw)));
+        assert_eq!(ring.home_for_hex("not-a-key"), None);
+    }
+
+    #[test]
+    fn degenerate_rings_are_rejected() {
+        assert!(HashRing::new::<&str>(&[], 64).is_err());
+        assert!(HashRing::new(&["a:1"], 0).is_err());
+        assert!(HashRing::new(&["  ", ""], 64).is_err());
+        let single = HashRing::new(&["only:1"], 4).unwrap();
+        assert_eq!(single.home(12345), "only:1");
+        assert_eq!(single.preference(9).len(), 1);
+    }
+}

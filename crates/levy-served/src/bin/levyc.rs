@@ -1,7 +1,8 @@
 //! `levyc` — command-line client for `levyd`.
 //!
 //! ```text
-//! levyc [--addr HOST:PORT] [--timeout-ms MS] [--no-retry] COMMAND [ARGS]
+//! levyc [--addr HOST:PORT | --endpoints H:P,H:P,...] [--vnodes N]
+//!       [--timeout-ms MS] [--no-retry] COMMAND [ARGS]
 //!
 //! commands:
 //!   health                     GET /healthz
@@ -12,6 +13,7 @@
 //!                              (optionally only for one metric family)
 //!   traces                     GET /v1/traces (finished-trace summaries)
 //!   trace ID                   GET /v1/traces/ID, pretty-printed span tree
+//!   peers                      GET /v1/peers (cluster membership + health)
 //!   shutdown                   POST /v1/shutdown
 //!   query JSON                 POST /v1/query with the given body
 //!   query -                    POST /v1/query with the body from stdin
@@ -26,9 +28,18 @@
 //! daemon's trace adopts a client-chosen trace id; the id is echoed on
 //! stderr (`trace: ...`) and can be fed straight to `levyc trace ID`.
 //!
-//! A `503` carrying a `Retry-After` header (backpressure from a full
-//! queue, or a cancelled job) is retried exactly once after honoring the
-//! advertised delay; `--no-retry` disables this.
+//! **Cluster routing.** With `--endpoints`, `query` canonicalizes the
+//! body client-side, computes the cache key, and builds the same
+//! consistent-hash ring the daemons use (the endpoint spellings and
+//! `--vnodes` must match the cluster's), so the first endpoint tried is
+//! the key's *home* node — the one whose cache can answer without any
+//! cross-node hop. Keyless commands rotate across endpoints. Connect
+//! errors always fail over to the next endpoint; with retries enabled a
+//! `503` does too (another peer may have queue space right now), and
+//! only when *every* endpoint is saturated does `levyc` sleep the
+//! smallest advertised `Retry-After` (capped at 10 s) and make exactly
+//! one more pass. `--no-retry` keeps connect-error failover but returns
+//! the first definitive HTTP response, 503 included.
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -40,8 +51,9 @@ use levy_served::http::Response;
 use levy_served::Client;
 use levy_sim::Json;
 
-const USAGE: &str = "usage: levyc [--addr HOST:PORT] [--timeout-ms MS] [--no-retry] \
-                     health|stats|metrics [--watch SECS [FAMILY]]|traces|trace ID|\
+const USAGE: &str = "usage: levyc [--addr HOST:PORT | --endpoints H:P,H:P,...] [--vnodes N] \
+                     [--timeout-ms MS] [--no-retry] \
+                     health|stats|metrics [--watch SECS [FAMILY]]|traces|trace ID|peers|\
                      shutdown|query JSON|raw METHOD PATH [BODY]";
 
 /// Longest `Retry-After` delay we will actually sleep for.
@@ -99,6 +111,8 @@ fn unix_us() -> u64 {
 
 fn run() -> Result<Outcome, String> {
     let mut addr = "127.0.0.1:7878".to_owned();
+    let mut endpoints: Vec<String> = Vec::new();
+    let mut vnodes: usize = 64;
     let mut timeout_ms: u64 = 120_000;
     let mut retry = true;
     let mut args = std::env::args().skip(1).peekable();
@@ -107,6 +121,27 @@ fn run() -> Result<Outcome, String> {
             Some("--addr") => {
                 args.next();
                 addr = args.next().ok_or_else(|| USAGE.to_owned())?;
+            }
+            Some("--endpoints") => {
+                args.next();
+                endpoints = args
+                    .next()
+                    .ok_or_else(|| USAGE.to_owned())?
+                    .split(',')
+                    .map(|e| e.trim().to_owned())
+                    .filter(|e| !e.is_empty())
+                    .collect();
+                if endpoints.is_empty() {
+                    return Err("--endpoints needs at least one HOST:PORT".to_owned());
+                }
+            }
+            Some("--vnodes") => {
+                args.next();
+                vnodes = args
+                    .next()
+                    .ok_or_else(|| USAGE.to_owned())?
+                    .parse()
+                    .map_err(|_| "--vnodes must be an integer".to_owned())?;
             }
             Some("--timeout-ms") => {
                 args.next();
@@ -123,13 +158,21 @@ fn run() -> Result<Outcome, String> {
             _ => break,
         }
     }
-    let client = Client::new(&addr).with_timeout(Duration::from_millis(timeout_ms.max(1)));
+    if endpoints.is_empty() {
+        endpoints.push(addr);
+    }
+    let timeout = Duration::from_millis(timeout_ms.max(1));
+    let client = Client::new(&endpoints[0]).with_timeout(timeout);
     let command = args.next().ok_or_else(|| USAGE.to_owned())?;
     // Resolve the command to (method, path, body) up front so the
     // request can be re-issued on a 503 (stdin is only read once).
     let mut render = Render::Body;
     let mut headers: Vec<(String, String)> = Vec::new();
     let mut announce_trace = false;
+    // Cache key of a query body — the hash-routing coordinate. `None`
+    // for keyless commands and for bodies the client cannot
+    // canonicalize (the server will reject those anyway).
+    let mut routing_key: Option<String> = None;
     let (method, path, body) = match command.as_str() {
         "health" => ("GET".to_owned(), "/healthz".to_owned(), String::new()),
         "stats" => ("GET".to_owned(), "/v1/stats".to_owned(), String::new()),
@@ -156,9 +199,16 @@ fn run() -> Result<Outcome, String> {
             render = Render::TraceTree;
             ("GET".to_owned(), format!("/v1/traces/{id}"), String::new())
         }
+        "peers" => ("GET".to_owned(), "/v1/peers".to_owned(), String::new()),
         "shutdown" => ("POST".to_owned(), "/v1/shutdown".to_owned(), String::new()),
         "query" => {
             let body = read_body_arg(&args.next().ok_or_else(|| USAGE.to_owned())?)?;
+            // Canonicalize client-side so the ring walk below can start
+            // at the key's home node.
+            routing_key = Json::parse(&body)
+                .ok()
+                .and_then(|parsed| levy_served::Query::from_json(&parsed).ok())
+                .map(|query| query.cache_key());
             // Mint a client-side trace context so the daemon's trace
             // adopts an id we can echo for `levyc trace ID`.
             let ctx = SpanContext {
@@ -184,10 +234,17 @@ fn run() -> Result<Outcome, String> {
         .iter()
         .map(|(k, v)| (k.as_str(), v.as_str()))
         .collect();
-    let send = || {
-        client
+
+    // Order the endpoints for this command: queries walk the cluster's
+    // ring preference (home node first, then the members next clockwise
+    // — the same order a failing home's keys rehome in), keyless
+    // commands rotate so repeated invocations spread across the fleet.
+    let ordered = order_endpoints(&endpoints, routing_key.as_deref(), vnodes);
+
+    let send_to = |endpoint: &str| {
+        Client::new(endpoint)
+            .with_timeout(timeout)
             .request_with_headers(&method, &path, &header_refs, body.as_bytes())
-            .map_err(|e| format!("request to {addr} failed: {e}"))
     };
     let done = |response| {
         Ok(Outcome {
@@ -196,21 +253,74 @@ fn run() -> Result<Outcome, String> {
             announce_trace,
         })
     };
-    let response = send()?;
-    if response.status != 503 || !retry {
-        return done(response);
+
+    // Failover walk. Connect/read errors always advance to the next
+    // endpoint; with retries on, a 503 advances too — the next peer may
+    // have queue space *right now*, so sleeping a full Retry-After
+    // before even trying it would waste the fleet. Only after a whole
+    // pass of saturated endpoints do we honor the (smallest, capped)
+    // advertised delay, once.
+    let mut last_error: Option<String> = None;
+    for pass in 0..2 {
+        let mut saturated: Option<Response> = None;
+        let mut delay_hint: Option<Duration> = None;
+        for endpoint in &ordered {
+            match send_to(endpoint) {
+                Err(e) => {
+                    if ordered.len() > 1 {
+                        eprintln!("levyc: {endpoint}: {e}, failing over");
+                    }
+                    last_error = Some(format!("request to {endpoint} failed: {e}"));
+                }
+                Ok(response) if response.status == 503 && retry => {
+                    if ordered.len() > 1 {
+                        eprintln!("levyc: {endpoint}: 503, failing over");
+                    }
+                    if let Some(delay) = retry_after(&response) {
+                        delay_hint = Some(delay_hint.map_or(delay, |d: Duration| d.min(delay)));
+                    }
+                    saturated = Some(response);
+                }
+                Ok(response) => return done(response),
+            }
+        }
+        match (saturated, delay_hint, pass) {
+            (Some(_), Some(delay), 0) => {
+                eprintln!(
+                    "levyc: every endpoint answered 503, retrying once in {:.1}s",
+                    delay.as_secs_f64()
+                );
+                std::thread::sleep(delay);
+            }
+            (Some(response), _, _) => return done(response),
+            (None, _, _) => break,
+        }
     }
-    // One-shot retry on backpressure, honoring the server's delay hint.
-    let Some(delay) = retry_after(&response) else {
-        return done(response);
-    };
-    eprintln!(
-        "levyc: 503 ({}), retrying once in {:.1}s",
-        response.body_string().trim_end(),
-        delay.as_secs_f64()
-    );
-    std::thread::sleep(delay);
-    done(send()?)
+    Err(last_error.unwrap_or_else(|| "every endpoint is saturated (503)".to_owned()))
+}
+
+/// The endpoint order for one command: ring preference for a keyed
+/// query, a time-rotated list otherwise. Falls back to the given order
+/// if the ring cannot be built (duplicate-only or degenerate lists).
+fn order_endpoints(endpoints: &[String], routing_key: Option<&str>, vnodes: usize) -> Vec<String> {
+    if endpoints.len() > 1 {
+        if let Some(key) = routing_key {
+            if let Ok(ring) = levy_cluster::HashRing::new(endpoints, vnodes.max(1)) {
+                if let Some(raw) = levy_cluster::key_from_hex(key) {
+                    return ring
+                        .preference(raw)
+                        .into_iter()
+                        .map(str::to_owned)
+                        .collect();
+                }
+            }
+        }
+        let start = unix_us() as usize % endpoints.len();
+        return (0..endpoints.len())
+            .map(|i| endpoints[(start + i) % endpoints.len()].clone())
+            .collect();
+    }
+    endpoints.to_vec()
 }
 
 /// `metrics --watch`: scrape `/metrics` every `interval` and print the

@@ -6,6 +6,8 @@
 //!       [--disk-capacity N] [--timeout-ms MS] [--read-timeout-ms MS]
 //!       [--trace-capacity N] [--history-interval-ms MS] [--observe]
 //!       [--fault-plan SPEC] [--quiet]
+//!       [--cluster --peers HOST:PORT,... [--self-addr HOST:PORT]
+//!        [--vnodes N] [--probe-interval-ms MS] [--peek-timeout-ms MS]]
 //! ```
 //!
 //! `--trace-capacity` sizes the tail-sampling ring behind
@@ -20,6 +22,14 @@
 //! reproducing failure reports against a live daemon, never set in
 //! production.
 //!
+//! `--cluster` shards the query keyspace across this node and the
+//! `--peers` list with a consistent-hash ring: cold queries homed on a
+//! peer are answered by that peer (cache peek, then forward), and every
+//! node probes its peers' `/healthz` to drive `GET /v1/peers` and the
+//! per-peer gauges. `--self-addr` is this node's spelling in the other
+//! nodes' peer lists (defaults to `--addr`, with an ephemeral `:0` port
+//! resolved after bind). All nodes must agree on `--vnodes`.
+//!
 //! Prints `levyd listening on ADDR` on stdout once the socket is bound
 //! (scripts parse this line to learn an ephemeral port), then serves
 //! until SIGTERM/SIGINT or `POST /v1/shutdown`, draining in-flight work
@@ -29,6 +39,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use levy_served::cluster::ClusterConfig;
 use levy_served::server::{Server, ServerConfig};
 use levy_served::signal;
 
@@ -36,13 +47,17 @@ const USAGE: &str = "usage: levyd [--addr HOST:PORT] [--workers N] [--sim-thread
                      [--queue-capacity N] [--cache-dir DIR] [--mem-capacity N] \
                      [--disk-capacity N] [--timeout-ms MS] [--read-timeout-ms MS] \
                      [--trace-capacity N] [--history-interval-ms MS] [--observe] \
-                     [--fault-plan SPEC] [--quiet]";
+                     [--fault-plan SPEC] [--quiet] \
+                     [--cluster --peers HOST:PORT,... [--self-addr HOST:PORT] \
+                     [--vnodes N] [--probe-interval-ms MS] [--peek-timeout-ms MS]]";
 
 fn parse_args() -> Result<ServerConfig, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7878".into(),
         ..ServerConfig::default()
     };
+    let mut cluster = false;
+    let mut cluster_config = ClusterConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -104,9 +119,45 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.faults = Some(std::sync::Arc::new(plan));
             }
             "--quiet" => config.quiet = true,
+            "--cluster" => cluster = true,
+            "--peers" => {
+                cluster_config.peers = value("--peers")?
+                    .split(',')
+                    .map(|p| p.trim().to_owned())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+            }
+            "--self-addr" => cluster_config.self_addr = value("--self-addr")?,
+            "--vnodes" => {
+                cluster_config.vnodes = value("--vnodes")?
+                    .parse()
+                    .map_err(|_| "--vnodes must be an integer".to_owned())?;
+            }
+            "--probe-interval-ms" => {
+                cluster_config.probe_interval_ms = value("--probe-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--probe-interval-ms must be an integer".to_owned())?;
+            }
+            "--peek-timeout-ms" => {
+                cluster_config.peek_timeout_ms = value("--peek-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--peek-timeout-ms must be an integer".to_owned())?;
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
+    }
+    if cluster {
+        if cluster_config.peers.is_empty() {
+            return Err(format!("--cluster requires --peers\n{USAGE}"));
+        }
+        if cluster_config.self_addr.is_empty() {
+            // Server::start resolves an ephemeral `:0` after bind.
+            cluster_config.self_addr = config.addr.clone();
+        }
+        config.cluster = Some(cluster_config);
+    } else if !cluster_config.peers.is_empty() {
+        return Err(format!("--peers requires --cluster\n{USAGE}"));
     }
     Ok(config)
 }

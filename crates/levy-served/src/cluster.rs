@@ -1,0 +1,441 @@
+//! Cluster mode: consistent-hash sharding of the query keyspace across
+//! N independent `levyd` peers.
+//!
+//! The paper's thesis — `k` *independent* Lévy walkers cover Z² faster
+//! than any single one — is also the service's scaling shape: every
+//! node runs the full single-node stack (queue, dedup, two-tier cache,
+//! backpressure), and a [`HashRing`] over the canonical FNV-1a-128
+//! query keys assigns each key one **home node**. The per-key dedup,
+//! coalescing, and cache built in earlier PRs become *per-shard* for
+//! free: N identical cold queries entering through N different nodes
+//! all converge on the key's home, where they coalesce into exactly one
+//! simulation.
+//!
+//! Request flow for `POST /v1/query` on an entry node:
+//!
+//! 1. local cache probe (always — a hit needs no network);
+//! 2. if the key's home is this node (or the request carries the
+//!    `X-Levy-Forwarded-By` marker): the normal local pipeline;
+//! 3. otherwise **peek** the home node's cache (`GET /v1/cache/<key>`,
+//!    short timeout): a hit relays the home's bytes without consuming a
+//!    queue slot anywhere;
+//! 4. on a peek miss, **forward** the full query (`POST /v1/query` with
+//!    the forwarded marker) so the home simulates, caches, and
+//!    coalesces concurrent arrivals; the forward carries a
+//!    `traceparent` from this request's span, so one trace id spans
+//!    client → entry node → home node → engine;
+//! 5. on *any* network failure — or when the home is already marked
+//!    down — the entry node falls back to **local simulation**
+//!    (counted by `levy_served_cluster_local_fallbacks_total`, tagged
+//!    in the trace). A partitioned peer can never wedge an entry node;
+//!    the price of degraded mode is a duplicated simulation, never an
+//!    error.
+//!
+//! Peer health is tracked by a [`PeerTable`] fed from a prober thread
+//! (`GET /healthz` per peer per interval) *and* from request-path
+//! outcomes, exported as per-peer `levy_served_peer_up` /
+//! `levy_served_peer_latency_us` gauges and served at `GET /v1/peers`.
+//! The deterministic `peer_partition` / `peer_slow` faults (see
+//! [`crate::fault`]) gate every cluster call by configured peer index,
+//! so conformance tests replay degraded mode exactly.
+
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use levy_cluster::{HashRing, PeerTable};
+use levy_sim::Json;
+
+use crate::client::Client;
+use crate::fault::FaultPlan;
+use crate::http::Response;
+use crate::metrics::Stats;
+
+/// Header marking a forwarded query; its value is the forwarding node's
+/// advertised address. A node receiving it always answers locally —
+/// one hop, never a loop.
+pub const FORWARDED_HEADER: &str = "X-Levy-Forwarded-By";
+
+/// Cluster membership and tuning (set by `levyd --cluster`).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's advertised address — the spelling other members use
+    /// in *their* peer lists. Port 0 is resolved after bind.
+    pub self_addr: String,
+    /// The other members, in configured order (fault-plan peer indices
+    /// and `GET /v1/peers` both use this order). Must not include
+    /// `self_addr`; it is dropped if present.
+    pub peers: Vec<String>,
+    /// Virtual nodes per member on the hash ring.
+    pub vnodes: usize,
+    /// Health-probe period; 0 disables the prober thread.
+    pub probe_interval_ms: u64,
+    /// Timeout for cache peeks and health probes (short: these are
+    /// metadata calls, and a slow peer must not stall the entry node).
+    pub peek_timeout_ms: u64,
+    /// Extra allowance on top of the query's own timeout when waiting
+    /// on a forwarded simulation.
+    pub forward_margin_ms: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            self_addr: String::new(),
+            peers: Vec::new(),
+            vnodes: 64,
+            probe_interval_ms: 1_000,
+            peek_timeout_ms: 2_000,
+            forward_margin_ms: 2_000,
+        }
+    }
+}
+
+/// Runtime cluster state owned by a `Server` in cluster mode.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    ring: HashRing,
+    table: PeerTable,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// The outcome of one remote call, for health accounting.
+#[derive(Debug)]
+pub struct PeerCall {
+    /// Configured peer index the call addressed.
+    pub index: usize,
+    /// Round-trip latency when the call completed.
+    pub latency: Duration,
+}
+
+impl Cluster {
+    /// Validates membership and builds the ring and health table.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty peer list (a one-node cluster is just the
+    /// single-node daemon) and an unset `self_addr`.
+    pub fn new(config: ClusterConfig, faults: Option<Arc<FaultPlan>>) -> Result<Cluster, String> {
+        if config.self_addr.trim().is_empty() {
+            return Err("cluster mode needs the node's own address".into());
+        }
+        let peers: Vec<String> = config
+            .peers
+            .iter()
+            .map(|p| p.trim().to_owned())
+            .filter(|p| !p.is_empty() && *p != config.self_addr)
+            .collect();
+        if peers.is_empty() {
+            return Err("cluster mode needs at least one peer (--peers host:port,...)".into());
+        }
+        let mut members = peers.clone();
+        members.push(config.self_addr.clone());
+        let ring = HashRing::new(&members, config.vnodes.max(1))?;
+        let table = PeerTable::new(&peers);
+        let config = ClusterConfig { peers, ..config };
+        Ok(Cluster {
+            config,
+            ring,
+            table,
+            faults,
+        })
+    }
+
+    /// The cluster configuration (post-normalization).
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The placement ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shared peer-health table.
+    pub fn table(&self) -> &PeerTable {
+        &self.table
+    }
+
+    /// Where `key` lives, if that is a *peer* (returns `None` when this
+    /// node is the home, so `None` means "serve locally").
+    pub fn route_target(&self, key: &str) -> Option<(usize, String)> {
+        let home = self.ring.home_for_hex(key)?;
+        if home == self.config.self_addr {
+            return None;
+        }
+        let index = self.table.index_of(home)?;
+        Some((index, home.to_owned()))
+    }
+
+    /// Applies any standing peer fault for `index`: an injected delay
+    /// first, then a synthetic connection error for a partition — the
+    /// call never reaches a socket.
+    fn gate(&self, index: usize) -> io::Result<()> {
+        if let Some(plan) = &self.faults {
+            let peer = index as u64;
+            if let Some(ms) = plan.peer_slow_ms(peer) {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            if plan.peer_partitioned(peer) {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "injected peer partition",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// One gated request to peer `index`; reports latency on success.
+    fn call(
+        &self,
+        index: usize,
+        addr: &str,
+        timeout: Duration,
+        request: impl FnOnce(&Client) -> io::Result<Response>,
+    ) -> io::Result<(Response, PeerCall)> {
+        self.gate(index)?;
+        let started = Instant::now();
+        let client = Client::new(addr).with_timeout(timeout);
+        let response = request(&client)?;
+        Ok((
+            response,
+            PeerCall {
+                index,
+                latency: started.elapsed(),
+            },
+        ))
+    }
+
+    /// Cache peek: asks the home node whether it already has `key`,
+    /// without triggering any simulation. 200 = hit (body relayed),
+    /// 404 = miss.
+    pub fn peek(
+        &self,
+        index: usize,
+        addr: &str,
+        key: &str,
+        traceparent: &str,
+    ) -> io::Result<(Response, PeerCall)> {
+        self.call(
+            index,
+            addr,
+            Duration::from_millis(self.config.peek_timeout_ms.max(1)),
+            |client| {
+                client.request_with_headers(
+                    "GET",
+                    &format!("/v1/cache/{key}"),
+                    &[("traceparent", traceparent)],
+                    b"",
+                )
+            },
+        )
+    }
+
+    /// Full forward: the home node runs (or coalesces, or cache-hits)
+    /// the query. `query_timeout` is the client-visible deadline; the
+    /// wire timeout adds the configured margin on top.
+    pub fn forward(
+        &self,
+        index: usize,
+        addr: &str,
+        canonical_body: &str,
+        query_timeout: Duration,
+        traceparent: &str,
+    ) -> io::Result<(Response, PeerCall)> {
+        let timeout = query_timeout + Duration::from_millis(self.config.forward_margin_ms);
+        self.call(index, addr, timeout, |client| {
+            client.request_with_headers(
+                "POST",
+                "/v1/query",
+                &[
+                    ("traceparent", traceparent),
+                    (FORWARDED_HEADER, &self.config.self_addr),
+                ],
+                canonical_body.as_bytes(),
+            )
+        })
+    }
+
+    /// One health probe (`GET /healthz`) to peer `index`, recording the
+    /// outcome in the table and the per-peer gauges.
+    pub fn probe(&self, index: usize, stats: &Stats) {
+        let addr = match self.table.snapshot().get(index) {
+            Some(health) => health.addr.clone(),
+            None => return,
+        };
+        let timeout = Duration::from_millis(self.config.peek_timeout_ms.max(1));
+        let result = self
+            .gate(index)
+            .and_then(|()| {
+                let started = Instant::now();
+                Client::new(&addr)
+                    .with_timeout(timeout)
+                    .get("/healthz")
+                    .map(|r| (r, started.elapsed()))
+            })
+            .and_then(|(response, latency)| {
+                if response.status == 200 {
+                    Ok(latency)
+                } else {
+                    Err(io::Error::other(format!(
+                        "healthz HTTP {}",
+                        response.status
+                    )))
+                }
+            });
+        match result {
+            Ok(latency) => self.record_success(&PeerCall { index, latency }, stats),
+            Err(_) => self.record_failure(index, stats),
+        }
+    }
+
+    /// Records a successful call: resurrects the peer and refreshes the
+    /// `levy_served_peer_up` / `levy_served_peer_latency_us` gauges.
+    pub fn record_success(&self, call: &PeerCall, stats: &Stats) {
+        let latency_us = u64::try_from(call.latency.as_micros()).unwrap_or(u64::MAX);
+        self.table.record_success(call.index, latency_us);
+        self.export_peer_gauges(call.index, stats);
+    }
+
+    /// Records a failed call (the peer flips down after consecutive
+    /// failures) and refreshes the gauges.
+    pub fn record_failure(&self, index: usize, stats: &Stats) {
+        self.table.record_failure(index);
+        self.export_peer_gauges(index, stats);
+    }
+
+    fn export_peer_gauges(&self, index: usize, stats: &Stats) {
+        if let Some(health) = self.table.snapshot().get(index) {
+            stats
+                .registry()
+                .gauge_with(
+                    "levy_served_peer_up",
+                    "Whether the peer answered its last probes (1 = up).",
+                    &[("peer", &health.addr)],
+                )
+                .set(i64::from(health.up));
+            stats
+                .registry()
+                .gauge_with(
+                    "levy_served_peer_latency_us",
+                    "Latency of the last successful call to the peer, in microseconds.",
+                    &[("peer", &health.addr)],
+                )
+                .set(i64::try_from(health.latency_us).unwrap_or(i64::MAX));
+        }
+    }
+
+    /// The `GET /v1/peers` body: membership, placement parameters, and
+    /// live per-peer health.
+    pub fn peers_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from("levy-served/peers-v1")),
+            ("self", Json::from(self.config.self_addr.clone())),
+            ("vnodes", Json::from(self.ring.vnodes())),
+            (
+                "members",
+                Json::arr(self.ring.members().iter().map(|m| Json::from(m.clone()))),
+            ),
+            (
+                "peers",
+                Json::arr(self.table.snapshot().into_iter().map(|p| {
+                    Json::obj([
+                        ("addr", Json::from(p.addr)),
+                        ("index", Json::from(p.index)),
+                        ("up", Json::from(p.up)),
+                        ("latency_us", Json::from(p.latency_us)),
+                        (
+                            "consecutive_failures",
+                            Json::from(u64::from(p.consecutive_failures)),
+                        ),
+                        ("successes", Json::from(p.successes)),
+                        ("failures", Json::from(p.failures)),
+                        ("last_seen_unix_us", Json::from(p.last_seen_unix_us)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+
+    fn cluster(self_addr: &str, peers: &[&str]) -> Cluster {
+        Cluster::new(
+            ClusterConfig {
+                self_addr: self_addr.into(),
+                peers: peers.iter().map(|s| (*s).to_owned()).collect(),
+                ..ClusterConfig::default()
+            },
+            None,
+        )
+        .expect("valid cluster")
+    }
+
+    #[test]
+    fn membership_is_validated_and_self_deduped() {
+        assert!(Cluster::new(ClusterConfig::default(), None).is_err());
+        assert!(Cluster::new(
+            ClusterConfig {
+                self_addr: "a:1".into(),
+                peers: vec!["a:1".into()],
+                ..ClusterConfig::default()
+            },
+            None,
+        )
+        .is_err());
+        let c = cluster("a:1", &["b:1", "a:1", "c:1", " "]);
+        assert_eq!(c.config().peers, vec!["b:1".to_owned(), "c:1".to_owned()]);
+        assert_eq!(c.ring().members().len(), 3, "ring includes self");
+    }
+
+    #[test]
+    fn route_target_names_peers_but_never_self() {
+        let c = cluster("a:1", &["b:1", "c:1"]);
+        let mut seen_self = false;
+        let mut seen_peers = std::collections::HashSet::new();
+        for i in 0..200u64 {
+            let key = format!(
+                "{:032x}",
+                levy_cluster::fnv1a_128(format!("k{i}").as_bytes())
+            );
+            match c.route_target(&key) {
+                None => seen_self = true,
+                Some((index, addr)) => {
+                    assert_ne!(addr, "a:1");
+                    assert_eq!(c.table().index_of(&addr), Some(index));
+                    seen_peers.insert(addr);
+                }
+            }
+        }
+        assert!(seen_self, "some keys must be homed here");
+        assert_eq!(seen_peers.len(), 2, "both peers own keys");
+        assert_eq!(c.route_target("not-a-key"), None, "bad keys stay local");
+    }
+
+    #[test]
+    fn partition_fault_gates_calls_before_any_socket() {
+        let plan = Arc::new(FaultPlan::new().with(Fault::PeerPartition { peer: 0 }));
+        let c = Cluster::new(
+            ClusterConfig {
+                self_addr: "a:1".into(),
+                // An unroutable peer address: if the gate failed to fire
+                // first, the call would hang or fail differently.
+                peers: vec!["203.0.113.1:9".into(), "b:1".into()],
+                ..ClusterConfig::default()
+            },
+            Some(plan),
+        )
+        .unwrap();
+        let err = c
+            .peek(0, "203.0.113.1:9", &"0".repeat(32), "-")
+            .expect_err("partitioned");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(err.to_string(), "injected peer partition");
+    }
+}

@@ -34,7 +34,18 @@
 //!        | 'disk_read_corrupt@read=N'
 //!        | 'disk_write_error@write=N'
 //!        | 'worker_panic@exec=N'
+//!        | 'peer_partition@peer=N'
+//!        | 'peer_slow@peer=N,ms=M'
 //! ```
+//!
+//! The two `peer_*` faults drive the **cluster seams** and differ from
+//! the rest: they are *persistent conditions*, not indexed one-shot
+//! events. `peer_partition@peer=N` makes every cluster call (health
+//! probe, cache peek, forward) to peer `N` fail with a connection
+//! error before any socket is dialed; `peer_slow@peer=N,ms=M` delays
+//! each such call by `M` milliseconds first. Peers are numbered by
+//! their position in the configured `--peers` list (order preserved,
+//! self excluded) — the same index `GET /v1/peers` reports.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -93,6 +104,20 @@ pub enum Fault {
         /// Start-order execution index.
         exec: u64,
     },
+    /// Every cluster call to peer `peer` fails with a connection error
+    /// (a network partition, as seen from this node).
+    PeerPartition {
+        /// Configured-order peer index.
+        peer: u64,
+    },
+    /// Every cluster call to peer `peer` is delayed by `ms` milliseconds
+    /// before dialing (a congested or GC-pausing peer).
+    PeerSlow {
+        /// Configured-order peer index.
+        peer: u64,
+        /// Injected delay, in milliseconds.
+        ms: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -111,6 +136,8 @@ impl fmt::Display for Fault {
             Fault::DiskReadCorrupt { read } => write!(f, "disk_read_corrupt@read={read}"),
             Fault::DiskWriteError { write } => write!(f, "disk_write_error@write={write}"),
             Fault::WorkerPanic { exec } => write!(f, "worker_panic@exec={exec}"),
+            Fault::PeerPartition { peer } => write!(f, "peer_partition@peer={peer}"),
+            Fault::PeerSlow { peer, ms } => write!(f, "peer_slow@peer={peer},ms={ms}"),
         }
     }
 }
@@ -220,6 +247,13 @@ impl FaultPlan {
                 "worker_panic" => Fault::WorkerPanic {
                     exec: field("exec")?,
                 },
+                "peer_partition" => Fault::PeerPartition {
+                    peer: field("peer")?,
+                },
+                "peer_slow" => Fault::PeerSlow {
+                    peer: field("peer")?,
+                    ms: field("ms")?,
+                },
                 other => return Err(format!("unknown fault kind `{other}`")),
             };
             plan.faults.push(fault);
@@ -273,6 +307,23 @@ impl FaultPlan {
         self.faults
             .iter()
             .any(|f| matches!(*f, Fault::WorkerPanic { exec: e } if e == exec))
+    }
+
+    /// Whether peer `peer` is partitioned away from this node. Unlike
+    /// the indexed seams this is a standing condition: it consumes no
+    /// counter and applies to every call for the plan's lifetime.
+    pub fn peer_partitioned(&self, peer: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(*f, Fault::PeerPartition { peer: p } if p == peer))
+    }
+
+    /// The standing injected delay before each call to peer `peer`.
+    pub fn peer_slow_ms(&self, peer: u64) -> Option<u64> {
+        self.faults.iter().find_map(|f| match *f {
+            Fault::PeerSlow { peer: p, ms } if p == peer => Some(ms),
+            _ => None,
+        })
     }
 }
 
@@ -434,13 +485,16 @@ mod tests {
             .with(Fault::DiskReadTruncate { read: 3, keep: 40 })
             .with(Fault::DiskReadCorrupt { read: 4 })
             .with(Fault::DiskWriteError { write: 0 })
-            .with(Fault::WorkerPanic { exec: 5 });
+            .with(Fault::WorkerPanic { exec: 5 })
+            .with(Fault::PeerPartition { peer: 1 })
+            .with(Fault::PeerSlow { peer: 0, ms: 250 });
         let spec = plan.to_string();
         assert_eq!(
             spec,
             "socket_read_error@conn=0,after=16;socket_write_error@conn=2,after=64;\
              disk_read_error@read=1;disk_read_truncate@read=3,keep=40;\
-             disk_read_corrupt@read=4;disk_write_error@write=0;worker_panic@exec=5"
+             disk_read_corrupt@read=4;disk_write_error@write=0;worker_panic@exec=5;\
+             peer_partition@peer=1;peer_slow@peer=0,ms=250"
         );
         let reparsed = FaultPlan::parse(&spec).unwrap();
         assert_eq!(reparsed.faults(), plan.faults());
@@ -454,6 +508,10 @@ mod tests {
             "socket_read_error@conn=0",
             "socket_read_error@conn=x,after=1",
             "launch_missiles@now=1",
+            "peer_partition",
+            "peer_partition@conn=0",
+            "peer_slow@peer=0",
+            "peer_slow@peer=0,ms=x",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad} should be rejected");
         }
@@ -469,6 +527,19 @@ mod tests {
         plan.reset();
         assert!(!plan.next_exec_panics());
         assert!(plan.next_exec_panics());
+    }
+
+    #[test]
+    fn peer_faults_are_standing_conditions_not_indexed_events() {
+        let plan = FaultPlan::parse("peer_partition@peer=1;peer_slow@peer=2,ms=40").unwrap();
+        for _ in 0..3 {
+            assert!(!plan.peer_partitioned(0));
+            assert!(plan.peer_partitioned(1), "repeated queries keep failing");
+            assert_eq!(plan.peer_slow_ms(2), Some(40));
+            assert_eq!(plan.peer_slow_ms(1), None);
+        }
+        plan.reset();
+        assert!(plan.peer_partitioned(1), "reset does not heal a partition");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod engine;
 pub mod fault;
 pub mod http;
@@ -40,6 +41,7 @@ pub mod signal;
 
 pub use cache::{CacheConfig, CacheTier, DiskStore, ResultCache, StdDisk};
 pub use client::Client;
+pub use cluster::{Cluster, ClusterConfig};
 pub use fault::{Fault, FaultPlan};
 pub use http::{Request, Response};
 pub use metrics::Stats;

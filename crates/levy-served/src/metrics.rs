@@ -23,6 +23,7 @@ const KNOWN_PATHS: &[&str] = &[
     "/v1/stats",
     "/v1/shutdown",
     "/v1/traces",
+    "/v1/peers",
 ];
 
 /// Monotonic counters and gauges exposed at `/v1/stats` and `/metrics`
@@ -59,6 +60,20 @@ pub struct Stats {
     pub slow_client_timeouts: Counter,
     /// Simulations that panicked inside a worker (answered 500).
     pub simulations_failed: Counter,
+    /// Cross-node cache peeks answered 200 by the key's home node.
+    pub cluster_peek_hits: Counter,
+    /// Cross-node cache peeks answered 404 (home had no cached result).
+    pub cluster_peek_misses: Counter,
+    /// Queries forwarded to their home node after a peek miss.
+    pub cluster_forwards: Counter,
+    /// Forwards that failed on the wire or came back 5xx.
+    pub cluster_forward_errors: Counter,
+    /// Non-home queries simulated locally because the home node was
+    /// down, partitioned, or erroring (degraded mode).
+    pub cluster_local_fallbacks: Counter,
+    /// Queries this node received with the forwarded marker (it is the
+    /// key's home from some entry node's point of view).
+    pub cluster_received_forwards: Counter,
     /// Jobs currently in the bounded queue.
     pub queue_depth: Gauge,
     /// Configured queue capacity (constant per server; exported so
@@ -131,6 +146,30 @@ impl Stats {
             "levy_served_simulations_failed_total",
             "Simulations that panicked inside a worker (500).",
         );
+        let cluster_peek_hits = registry.counter(
+            "levy_served_cluster_peek_hits_total",
+            "Cross-node cache peeks answered from the home node's cache.",
+        );
+        let cluster_peek_misses = registry.counter(
+            "levy_served_cluster_peek_misses_total",
+            "Cross-node cache peeks the home node answered 404.",
+        );
+        let cluster_forwards = registry.counter(
+            "levy_served_cluster_forwards_total",
+            "Queries forwarded to their home node after a peek miss.",
+        );
+        let cluster_forward_errors = registry.counter(
+            "levy_served_cluster_forward_errors_total",
+            "Forwards that failed on the wire or returned a server error.",
+        );
+        let cluster_local_fallbacks = registry.counter(
+            "levy_served_cluster_local_fallbacks_total",
+            "Non-home queries simulated locally because the home node was unreachable.",
+        );
+        let cluster_received_forwards = registry.counter(
+            "levy_served_cluster_received_forwards_total",
+            "Queries received with the forwarded marker from a cluster peer.",
+        );
         let queue_depth = registry.gauge(
             "levy_served_queue_depth",
             "Jobs currently in the bounded queue.",
@@ -159,6 +198,12 @@ impl Stats {
             io_write_errors,
             slow_client_timeouts,
             simulations_failed,
+            cluster_peek_hits,
+            cluster_peek_misses,
+            cluster_forwards,
+            cluster_forward_errors,
+            cluster_local_fallbacks,
+            cluster_received_forwards,
             queue_depth,
             queue_capacity,
             workers_busy,
@@ -238,6 +283,27 @@ impl Stats {
             (
                 "simulations_failed",
                 Json::from(self.simulations_failed.get()),
+            ),
+            (
+                "cluster_peek_hits",
+                Json::from(self.cluster_peek_hits.get()),
+            ),
+            (
+                "cluster_peek_misses",
+                Json::from(self.cluster_peek_misses.get()),
+            ),
+            ("cluster_forwards", Json::from(self.cluster_forwards.get())),
+            (
+                "cluster_forward_errors",
+                Json::from(self.cluster_forward_errors.get()),
+            ),
+            (
+                "cluster_local_fallbacks",
+                Json::from(self.cluster_local_fallbacks.get()),
+            ),
+            (
+                "cluster_received_forwards",
+                Json::from(self.cluster_received_forwards.get()),
             ),
         ])
     }

@@ -504,15 +504,12 @@ impl Query {
 }
 
 /// FNV-1a over 128 bits, rendered as 32 hex digits.
+///
+/// Delegates to [`levy_cluster::fnv1a_128`] — the same function the
+/// cluster's hash ring and `levyc`'s client-side routing use, so a key
+/// computed anywhere in the stack places identically everywhere.
 pub fn fnv1a_128_hex(bytes: &[u8]) -> String {
-    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
-    const PRIME: u128 = 0x0000000001000000000000000000013b;
-    let mut hash = OFFSET;
-    for &b in bytes {
-        hash ^= b as u128;
-        hash = hash.wrapping_mul(PRIME);
-    }
-    format!("{hash:032x}")
+    format!("{:032x}", levy_cluster::fnv1a_128(bytes))
 }
 
 #[cfg(test)]

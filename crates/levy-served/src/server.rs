@@ -33,6 +33,7 @@ use levy_obs::{
 use levy_sim::{CancelToken, Json};
 
 use crate::cache::{CacheConfig, ResultCache};
+use crate::cluster::{Cluster, ClusterConfig, FORWARDED_HEADER};
 use crate::engine;
 use crate::fault::{FaultDisk, FaultPlan, FaultStream};
 use crate::http::{read_request, write_response, Request, Response};
@@ -73,6 +74,9 @@ pub struct ServerConfig {
     /// Interval between registry snapshots; `0` disables the history
     /// ticker thread.
     pub history_interval_ms: u64,
+    /// Cluster membership (`levyd --cluster --peers ...`); `None` runs
+    /// the classic single-node daemon.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +94,7 @@ impl Default for ServerConfig {
             trace_capacity: 256,
             history_capacity: 64,
             history_interval_ms: 1_000,
+            cluster: None,
         }
     }
 }
@@ -144,6 +149,8 @@ impl Job {
 struct Inner {
     config: ServerConfig,
     cache: ResultCache,
+    /// Cluster routing state (ring + peer health); `None` single-node.
+    cluster: Option<Cluster>,
     stats: Stats,
     traces: TraceStore,
     history: Mutex<HistoryRing>,
@@ -197,6 +204,7 @@ pub struct Server {
     accept_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     history_handle: Option<std::thread::JoinHandle<()>>,
+    prober_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -220,9 +228,25 @@ impl Server {
         cache.register_metrics(stats.registry());
         let traces = TraceStore::new(config.trace_capacity);
         let history = HistoryRing::new(config.history_capacity);
+        let cluster = match config.cluster.clone() {
+            Some(mut cluster_config) => {
+                // An ephemeral bind (`:0`) resolves to the real port now;
+                // peers must be configured with this node's advertised
+                // spelling for the ring to agree across the cluster.
+                if cluster_config.self_addr.is_empty() || cluster_config.self_addr.ends_with(":0") {
+                    cluster_config.self_addr = addr.to_string();
+                }
+                Some(
+                    Cluster::new(cluster_config, config.faults.clone())
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+                )
+            }
+            None => None,
+        };
         let inner = Arc::new(Inner {
             config,
             cache,
+            cluster,
             stats,
             traces,
             history: Mutex::new(history),
@@ -254,6 +278,20 @@ impl Server {
             }
         };
 
+        let prober_handle = match inner.cluster.as_ref().map(|c| c.config().probe_interval_ms) {
+            Some(ms) if ms > 0 => {
+                let interval = Duration::from_millis(ms);
+                let probe_inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("levyd-prober".into())
+                        .spawn(move || prober_loop(&probe_inner, interval))
+                        .expect("spawn peer prober"),
+                )
+            }
+            _ => None,
+        };
+
         let mut worker_handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let inner = Arc::clone(&inner);
@@ -276,6 +314,7 @@ impl Server {
             accept_handle: Some(accept_handle),
             worker_handles,
             history_handle,
+            prober_handle,
         })
     }
 
@@ -318,6 +357,9 @@ impl Server {
         if let Some(handle) = self.history_handle.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.prober_handle.take() {
+            let _ = handle.join();
+        }
         // Connection handlers only write out already-computed responses
         // at this point; give them a bounded grace period.
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -350,6 +392,34 @@ fn history_loop(inner: &Arc<Inner>, interval: Duration) {
         }
         let snapshot = inner.sample_metrics();
         inner.history.lock().expect("history lock").push(snapshot);
+    }
+}
+
+/// Peer prober: one `GET /healthz` round per interval, feeding the
+/// peer table and the per-peer `levy_served_peer_*` gauges. The first
+/// round runs immediately so `/v1/peers` and the gauges are live from
+/// the first scrape; sleeps happen in short slices so shutdown stays
+/// prompt.
+fn prober_loop(inner: &Arc<Inner>, interval: Duration) {
+    let Some(cluster) = &inner.cluster else {
+        return;
+    };
+    loop {
+        for index in 0..cluster.table().len() {
+            if inner.shutting_down.load(Ordering::Acquire) {
+                return;
+            }
+            cluster.probe(index, &inner.stats);
+        }
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if inner.shutting_down.load(Ordering::Acquire) {
+                return;
+            }
+            let slice = Duration::from_millis(50).min(interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
     }
 }
 
@@ -539,6 +609,30 @@ fn route(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
                 ]),
             )
         }
+        ("GET", "/v1/peers") => match &inner.cluster {
+            Some(cluster) => Response::json(200, &cluster.peers_json()),
+            None => Response::error(404, "not in cluster mode (start levyd with --cluster)"),
+        },
+        ("GET", path) if path.starts_with("/v1/cache/") => {
+            // Cache peek: do we already hold this key? Never simulates.
+            // Peers use it before forwarding; it also works as a debug
+            // probe in single-node mode.
+            let key = &path["/v1/cache/".len()..];
+            if levy_cluster::key_from_hex(key).is_none() {
+                return Response::error(400, "cache keys are 32 hex digits");
+            }
+            match inner.cache.get(key) {
+                Some((cached, tier)) => Response {
+                    status: 200,
+                    headers: vec![("Content-Type".into(), "application/json".into())],
+                    body: cached.into_bytes(),
+                }
+                .with_header("X-Levy-Cache", "hit")
+                .with_header("X-Levy-Cache-Tier", tier.as_str())
+                .with_header("X-Levy-Key", key),
+                None => Response::error(404, "no cached result for that key"),
+            }
+        }
         ("GET", path) if path.starts_with("/v1/traces/") => {
             let id = &path["/v1/traces/".len()..];
             match TraceId::from_hex(id).and_then(|id| inner.traces.get(id)) {
@@ -679,13 +773,29 @@ fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Resp
         .with_header("X-Levy-Key", &key);
     }
 
-    // Tier 2: coalesce onto in-flight work, or admit a new job.
     let timeout = Duration::from_millis(
         query
             .timeout_ms
             .unwrap_or(inner.config.default_timeout_ms)
             .max(1),
     );
+
+    // Cluster hop: a cold key homed on a peer is answered by that peer
+    // (cache peek, then full forward) when possible. Forwarded-in
+    // requests always run locally — one hop, never a loop — and any
+    // failure to reach the home degrades to local simulation below.
+    if let Some(cluster) = &inner.cluster {
+        if request.header(FORWARDED_HEADER).is_some() {
+            inner.stats.cluster_received_forwards.inc();
+        } else if let Some((index, home)) = cluster.route_target(&key) {
+            match remote_answer(inner, cluster, index, &home, &key, body, timeout, root) {
+                Some(response) => return response,
+                None => inner.stats.cluster_local_fallbacks.inc(),
+            }
+        }
+    }
+
+    // Tier 2: coalesce onto in-flight work, or admit a new job.
     let (job, role) = {
         let mut inflight = inner.inflight.lock().expect("inflight lock");
         if let Some(job) = inflight.get(&key) {
@@ -716,6 +826,139 @@ fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Resp
     };
 
     wait_for_job(&job, role, timeout, inner)
+}
+
+/// Tries to answer a non-home query from its home node: cache peek
+/// first (`GET /v1/cache/<key>` — a hit costs no queue slot anywhere),
+/// then a full forward (`POST /v1/query` with the forwarded marker).
+/// Both calls carry a `traceparent` minted from this request's trace,
+/// so the home node's spans join the entry node's tree.
+///
+/// `None` means "simulate locally": the home is marked down, the wire
+/// failed, or the home answered 5xx. The caller counts the fallback —
+/// degraded mode costs a duplicated simulation, never an error.
+#[allow(clippy::too_many_arguments)]
+fn remote_answer(
+    inner: &Arc<Inner>,
+    cluster: &Cluster,
+    index: usize,
+    home: &str,
+    key: &str,
+    query_body: &str,
+    timeout: Duration,
+    root: &TraceSpan,
+) -> Option<Response> {
+    let mut route_span = root.child("cluster_route");
+    route_span.tag("key", key);
+    route_span.tag("home", home);
+    if !cluster.table().is_up(index) {
+        route_span.tag("outcome", "peer_down");
+        route_span.finish();
+        return None;
+    }
+
+    let mut peek_span = route_span.child("peer_peek");
+    peek_span.tag("peer", home);
+    let peek = cluster.peek(index, home, key, &peek_span.ctx().to_traceparent());
+    match peek {
+        Ok((response, call)) if response.status == 200 => {
+            cluster.record_success(&call, &inner.stats);
+            inner.stats.cluster_peek_hits.inc();
+            peek_span.tag("outcome", "hit");
+            peek_span.finish();
+            route_span.tag("outcome", "remote_cache_hit");
+            route_span.finish();
+            return Some(relay(&response, key, home, "remote"));
+        }
+        Ok((response, call)) => {
+            // 404 is the expected miss; anything else is the home being
+            // alive but unhelpful — either way, fall through to the
+            // forward, which is authoritative.
+            cluster.record_success(&call, &inner.stats);
+            inner.stats.cluster_peek_misses.inc();
+            peek_span.tag(
+                "outcome",
+                if response.status == 404 {
+                    "miss".into()
+                } else {
+                    format!("http_{}", response.status)
+                }
+                .as_str(),
+            );
+            peek_span.finish();
+        }
+        Err(e) => {
+            cluster.record_failure(index, &inner.stats);
+            peek_span.tag("outcome", "io_error");
+            peek_span.tag("error", &e.to_string());
+            peek_span.finish();
+            route_span.tag("outcome", "peek_failed");
+            route_span.finish();
+            return None;
+        }
+    }
+
+    inner.stats.cluster_forwards.inc();
+    let mut forward_span = route_span.child("peer_forward");
+    forward_span.tag("peer", home);
+    let forwarded = cluster.forward(
+        index,
+        home,
+        query_body,
+        timeout,
+        &forward_span.ctx().to_traceparent(),
+    );
+    match forwarded {
+        Ok((response, call)) => {
+            cluster.record_success(&call, &inner.stats);
+            if response.status >= 500 {
+                // The home is overloaded (503) or timed out (504):
+                // simulating here spreads the load instead of bouncing
+                // the client.
+                inner.stats.cluster_forward_errors.inc();
+                forward_span.tag("outcome", &format!("http_{}", response.status));
+                forward_span.finish();
+                route_span.tag("outcome", "forward_5xx");
+                route_span.finish();
+                return None;
+            }
+            forward_span.tag("outcome", "ok");
+            forward_span.finish();
+            route_span.tag("outcome", "forwarded");
+            route_span.finish();
+            Some(relay(&response, key, home, "forwarded"))
+        }
+        Err(e) => {
+            cluster.record_failure(index, &inner.stats);
+            inner.stats.cluster_forward_errors.inc();
+            forward_span.tag("outcome", "io_error");
+            forward_span.tag("error", &e.to_string());
+            forward_span.finish();
+            route_span.tag("outcome", "forward_failed");
+            route_span.finish();
+            None
+        }
+    }
+}
+
+/// Re-wraps a home node's response for the entry node's client: same
+/// body bytes (responses are a pure function of the query, so relayed
+/// and local bodies are byte-identical), fresh headers naming the home
+/// and how the answer was obtained. The home's own cache disposition is
+/// preserved as `X-Levy-Home-Cache`.
+fn relay(upstream: &Response, key: &str, home: &str, disposition: &str) -> Response {
+    let mut response = Response {
+        status: upstream.status,
+        headers: vec![("Content-Type".into(), "application/json".into())],
+        body: upstream.body.clone(),
+    };
+    if let Some(home_cache) = upstream.header("X-Levy-Cache") {
+        response = response.with_header("X-Levy-Home-Cache", home_cache);
+    }
+    response
+        .with_header("X-Levy-Cache", disposition)
+        .with_header("X-Levy-Key", key)
+        .with_header("X-Levy-Home", home)
 }
 
 /// Blocks on a job until it resolves or `timeout` elapses.

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of levyd cluster mode as three real OS processes:
+#
+#   1. bring up a 3-node cluster on local ports (retrying the port pick
+#      if something else grabbed one);
+#   2. check every node's health and the /v1/peers membership view;
+#   3. run the same query through each node in turn: exactly ONE
+#      simulation must happen cluster-wide, the bodies must be
+#      byte-identical, and at least one answer must come from a
+#      cross-node cache peek — asserted from a live /metrics scrape
+#      (whichever node is the key's home, the two non-home entries both
+#      cross the network, and the later one always finds the home's
+#      cache warm);
+#   4. SIGTERM one node and require the survivors to keep answering —
+#      including a levyc --endpoints failover through the dead node and
+#      a cold query that degrades to local simulation;
+#   5. SIGTERM the survivors and require clean (0) exits all round.
+#
+# Usage: scripts/cluster_smoke.sh [path-to-target-dir]
+#   Binaries are taken from $1/release (default: target/release); build
+#   them first with `cargo build --release -p levy-served`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET="${1:-target}/release"
+LEVYD="$TARGET/levyd"
+LEVYC="$TARGET/levyc"
+[ -x "$LEVYD" ] && [ -x "$LEVYC" ] || {
+  echo "error: $LEVYD / $LEVYC not built (run: cargo build --release -p levy-served)" >&2
+  exit 2
+}
+
+WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/levy-cluster-smoke.XXXXXX")"
+PIDS=()
+cleanup() {
+  for PID in "${PIDS[@]:-}"; do
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# 1. Bring-up. Ports must be known before any node starts (each node's
+#    --peers names the other two), so pick a random block and retry the
+#    whole bring-up if any bind loses a race.
+started=""
+for ATTEMPT in 1 2 3 4 5; do
+  BASE=$((20000 + RANDOM % 40000))
+  ADDRS=("127.0.0.1:$BASE" "127.0.0.1:$((BASE + 1))" "127.0.0.1:$((BASE + 2))")
+  PIDS=()
+  for I in 0 1 2; do
+    PEERS=""
+    for J in 0 1 2; do
+      [ "$J" = "$I" ] && continue
+      PEERS="${PEERS:+$PEERS,}${ADDRS[$J]}"
+    done
+    "$LEVYD" --addr "${ADDRS[$I]}" --workers 2 --cache-dir "$WORKDIR/cache$I" \
+      --cluster --peers "$PEERS" --probe-interval-ms 200 --peek-timeout-ms 1000 \
+      >"$WORKDIR/node$I.out" 2>"$WORKDIR/node$I.log" &
+    PIDS+=($!)
+  done
+  ALIVE=1
+  for I in 0 1 2; do
+    UP=""
+    for _ in $(seq 1 100); do
+      grep -q "^levyd listening on " "$WORKDIR/node$I.out" 2>/dev/null && { UP=1; break; }
+      kill -0 "${PIDS[$I]}" 2>/dev/null || break
+      sleep 0.1
+    done
+    [ -n "$UP" ] || { ALIVE=""; break; }
+  done
+  if [ -n "$ALIVE" ]; then
+    started=1
+    break
+  fi
+  echo "bring-up attempt $ATTEMPT failed (port race?), retrying" >&2
+  for PID in "${PIDS[@]}"; do kill "$PID" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  PIDS=()
+done
+[ -n "$started" ] || { echo "could not bring up a 3-node cluster" >&2; exit 1; }
+echo "cluster up: ${ADDRS[*]} (pids ${PIDS[*]})"
+
+# 2. Health + membership: every node answers, and each sees 3 members
+#    and its 2 peers.
+for I in 0 1 2; do
+  "$LEVYC" --addr "${ADDRS[$I]}" health >/dev/null
+  "$LEVYC" --addr "${ADDRS[$I]}" peers >"$WORKDIR/peers$I.json" 2>/dev/null
+  grep -q 'levy-served/peers-v1' "$WORKDIR/peers$I.json" || {
+    echo "node $I /v1/peers is not the peers schema:" >&2; cat "$WORKDIR/peers$I.json" >&2; exit 1
+  }
+done
+echo "health + peers: all 3 nodes answering"
+
+# Sums a counter family across every node's /metrics.
+scrape_sum() {
+  local FAMILY="$1" TOTAL=0 VALUE
+  for A in "${ADDRS[@]}"; do
+    VALUE="$("$LEVYC" --addr "$A" metrics 2>/dev/null | awk -v f="$FAMILY" '$1 == f { print $2 }')"
+    TOTAL=$((TOTAL + ${VALUE:-0}))
+  done
+  echo "$TOTAL"
+}
+
+QUERY='{"kind":"parallel","strategy":"optimal","k":8,"ell":16,"budget":4000,"trials":200,"seed":42}'
+
+# 3. The same query through every node: one simulation, identical bytes,
+#    and a cross-node cache hit visible in the metrics.
+for I in 0 1 2; do
+  "$LEVYC" --endpoints "${ADDRS[$I]}" query "$QUERY" >"$WORKDIR/answer$I.json" 2>"$WORKDIR/answer$I.hdr"
+done
+for I in 1 2; do
+  cmp -s "$WORKDIR/answer0.json" "$WORKDIR/answer$I.json" || {
+    echo "bodies differ between entry nodes 0 and $I" >&2
+    diff "$WORKDIR/answer0.json" "$WORKDIR/answer$I.json" >&2 || true
+    exit 1
+  }
+done
+SIMS="$(scrape_sum levy_served_simulations_started_total)"
+[ "$SIMS" -eq 1 ] || {
+  echo "expected exactly 1 simulation cluster-wide, /metrics says $SIMS" >&2; exit 1
+}
+PEEK_HITS="$(scrape_sum levy_served_cluster_peek_hits_total)"
+[ "$PEEK_HITS" -ge 1 ] || {
+  echo "expected >=1 cross-node cache peek hit, /metrics says $PEEK_HITS" >&2
+  for I in 0 1 2; do cat "$WORKDIR/answer$I.hdr" >&2; done
+  exit 1
+}
+echo "query via 3 entries: 1 simulation, byte-identical bodies, $PEEK_HITS cross-node cache hit(s)"
+
+# 4. Kill one node; the survivors must keep serving. levyc --endpoints
+#    listing the dead node first must fail over, and a cold query homed
+#    anywhere must still answer (local fallback at worst).
+kill -TERM "${PIDS[1]}"
+STATUS=0
+wait "${PIDS[1]}" || STATUS=$?
+[ "$STATUS" -eq 0 ] || {
+  echo "node 1 exited with status $STATUS on SIGTERM:" >&2; cat "$WORKDIR/node1.log" >&2; exit 1
+}
+PIDS[1]=""
+"$LEVYC" --endpoints "${ADDRS[1]},${ADDRS[0]},${ADDRS[2]}" health >/dev/null 2>"$WORKDIR/failover.hdr" || {
+  echo "levyc did not fail over past the dead endpoint:" >&2; cat "$WORKDIR/failover.hdr" >&2; exit 1
+}
+COLD='{"kind":"parallel","strategy":"optimal","k":8,"ell":16,"budget":4000,"trials":200,"seed":1729}'
+"$LEVYC" --endpoints "${ADDRS[0]},${ADDRS[2]}" query "$COLD" >"$WORKDIR/degraded.json" 2>/dev/null
+grep -q '"schema"' "$WORKDIR/degraded.json" || {
+  echo "degraded-mode query did not return a result body" >&2; exit 1
+}
+echo "degraded mode: survivors answer after SIGTERM of one node"
+
+# 5. Clean drain of the survivors.
+for I in 0 2; do
+  kill -TERM "${PIDS[$I]}"
+  STATUS=0
+  wait "${PIDS[$I]}" || STATUS=$?
+  PIDS[$I]=""
+  [ "$STATUS" -eq 0 ] || {
+    echo "node $I exited with status $STATUS on SIGTERM:" >&2; cat "$WORKDIR/node$I.log" >&2; exit 1
+  }
+done
+PIDS=()
+echo "shutdown: clean exits on SIGTERM"
+echo "cluster smoke: PASS"

@@ -7,11 +7,17 @@
 //! levy hit    --alpha 2.5 --ell 64 --budget 100000 --trials 2000 [--seed 0]
 //! levy search --strategy random --k 32 --ell 64 --budget 100000 --trials 200
 //! levy sweep  --k 16 --ell 128 [--trials 200]
+//! levy ring   --members a:1,b:1,c:1 [--vnodes 64] [--key HEX32 | --keys 10000]
 //! ```
 //!
 //! Strategies for `search`: `random` (the paper's U(2,3)), `alpha=X`
 //! (fixed exponent), `grid=N` (deterministic N-point mixture), `rw`,
 //! `ballistic`, `ants`.
+//!
+//! `ring` inspects the cluster's consistent-hash placement offline:
+//! with `--key` it prints one key's home node and failover preference
+//! order; without, it samples synthetic keys and prints each member's
+//! ownership share (the balance `levyd --cluster` will exhibit).
 
 use std::process::ExitCode;
 
@@ -150,13 +156,61 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_ring(opts: &Options) -> Result<(), String> {
+    let members_spec = opts.get_str("members", "");
+    let members: Vec<String> = members_spec
+        .split(',')
+        .map(|m| m.trim().to_owned())
+        .filter(|m| !m.is_empty())
+        .collect();
+    if members.is_empty() {
+        return Err("--members a:1,b:1,c:1 is required".to_owned());
+    }
+    let vnodes: usize = opts.get("vnodes", 64)?;
+    let ring = levy_cluster::HashRing::new(&members, vnodes)?;
+    let key_spec = opts.get_str("key", "");
+    if !key_spec.is_empty() {
+        let key = levy_cluster::key_from_hex(&key_spec)
+            .ok_or_else(|| format!("'{key_spec}' is not a 32-hex-digit cache key"))?;
+        println!("key        = {key_spec}");
+        println!("home       = {}", ring.home(key));
+        println!("preference = {}", ring.preference(key).join(" -> "));
+        return Ok(());
+    }
+    let keys: u64 = opts.get("keys", 10_000)?;
+    let mut counts = vec![0u64; ring.members().len()];
+    for i in 0..keys {
+        let home = ring.home(levy_cluster::fnv1a_128(format!("sample-{i}").as_bytes()));
+        let index = ring.members().iter().position(|m| m == home).unwrap_or(0);
+        counts[index] += 1;
+    }
+    println!(
+        "{} members, {vnodes} vnodes, {keys} sampled keys (ideal share {:.1}%)",
+        ring.members().len(),
+        100.0 / ring.members().len() as f64
+    );
+    let mut table = TextTable::new(vec!["member", "keys", "share", "bar"]);
+    for (member, &owned) in ring.members().iter().zip(&counts) {
+        let share = owned as f64 / keys.max(1) as f64;
+        table.row(vec![
+            member.clone(),
+            owned.to_string(),
+            format!("{:.1}%", share * 100.0),
+            "#".repeat((share * 100.0).round() as usize),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: levy <walk|hit|search|sweep> [--option value]...\n\
+    "usage: levy <walk|hit|search|sweep|ring> [--option value]...\n\
      \n\
      levy walk   --alpha 2.5 --steps 10000 [--seed 0]\n\
      levy hit    --alpha 2.5 --ell 64 --budget 100000 --trials 2000\n\
      levy search --strategy random|alpha=X|grid=N|rw|ballistic|ants --k 32 --ell 64\n\
-     levy sweep  --k 16 --ell 128 [--trials 200]"
+     levy sweep  --k 16 --ell 128 [--trials 200]\n\
+     levy ring   --members a:1,b:1,c:1 [--vnodes 64] [--key HEX32 | --keys 10000]"
         .to_owned()
 }
 
@@ -171,6 +225,7 @@ fn main() -> ExitCode {
         "hit" => cmd_hit(&opts),
         "search" => cmd_search(&opts),
         "sweep" => cmd_sweep(&opts),
+        "ring" => cmd_ring(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     });
     match result {
