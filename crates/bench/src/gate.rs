@@ -3,10 +3,11 @@
 //!
 //! The gate only compares quantities that are *host- and
 //! scale-independent ratios* (scheduler speedup, batched-vs-scalar trial
-//! throughput, sampler speedup, cache speedup, dedup efficiency
-//! normalized by client count) plus three hard invariants (cross-thread
-//! determinism, engine results invariant under the batch toggle,
-//! byte-identical cache replay).
+//! throughput, sampler speedup, cache speedup, wire-vs-JSON replay
+//! speedup and compression, dedup efficiency normalized by client
+//! count) plus four hard invariants (cross-thread determinism, engine
+//! results invariant under the batch toggle, byte-identical cache
+//! replay, exact wire-to-JSON transcode).
 //! Absolute throughputs (trials/sec, req/sec) vary with the CI host and
 //! are recorded in the snapshots but never gated on.
 //!
@@ -249,9 +250,11 @@ pub fn gate_snapshots(committed: &Snapshots, fresh: &Snapshots, tolerance: f64) 
         }
     }
 
-    // Server: cached-vs-cold throughput ratio. Only comparable when the
-    // per-query workload matches the committed one (the gate profile
-    // keeps trials_per_query at committed scale for exactly this).
+    // Server: cached-vs-cold throughput ratio, plus the wire-vs-JSON
+    // representation ratios on the same cached path. Only comparable
+    // when the per-query workload matches the committed one (the gate
+    // profile keeps trials_per_query at committed scale for exactly
+    // this — the encoded body sizes depend on it too).
     match (
         num(&committed.server, "workload.trials_per_query", &mut errors),
         num(&fresh.server, "workload.trials_per_query", &mut errors),
@@ -268,7 +271,25 @@ pub fn gate_snapshots(committed: &Snapshots, fresh: &Snapshots, tolerance: f64) 
             ) {
                 report.ratio_check("server cache speedup", c, f, tolerance);
             }
+            if let (Some(c), Some(f)) = (
+                num(&committed.server, "wire.speedup", &mut errors),
+                num(&fresh.server, "wire.speedup", &mut errors),
+            ) {
+                report.ratio_check("server wire speedup", c, f, tolerance);
+            }
+            if let (Some(c), Some(f)) = (
+                num(&committed.server, "wire.compression", &mut errors),
+                num(&fresh.server, "wire.compression", &mut errors),
+            ) {
+                report.ratio_check("server wire compression", c, f, tolerance);
+            }
         }
+    }
+
+    // The binary representation must transcode back to the JSON bytes
+    // exactly — the wire form is a re-encoding, not an approximation.
+    if let Some(identical) = boolean(&fresh.server, "wire.transcode_identical", &mut errors) {
+        report.invariant("wire transcode reproduces JSON bytes", identical);
     }
 
     // Dedup efficiency, normalized by each run's own client count so a
@@ -313,6 +334,7 @@ mod tests {
             r#"{{"workload": {{"trials_per_query": 300}},
                  "cached": {{"bodies_byte_identical_to_cold": true}},
                  "cache_speedup": {cache_speedup},
+                 "wire": {{"speedup": 1.4, "compression": 3.0, "transcode_identical": true}},
                  "dedup": {{"concurrent_clients": 8, "simulations": 1, "factor": 8.0}}}}"#
         ))
         .unwrap();
@@ -417,6 +439,40 @@ mod tests {
         assert!(!report.passed());
         assert!(!report.errors.is_empty());
         assert!(report.render().contains("ERROR"));
+    }
+
+    #[test]
+    fn wire_regression_and_transcode_mismatch_fail() {
+        let committed = snapshots(2.5, 9.0, 60.0);
+        // Wire replay speedup halved: a >30% ratio regression.
+        let mut fresh = snapshots(2.5, 9.0, 60.0);
+        fresh.server = Json::parse(
+            r#"{"workload": {"trials_per_query": 300},
+                "cached": {"bodies_byte_identical_to_cold": true},
+                "cache_speedup": 60.0,
+                "wire": {"speedup": 0.6, "compression": 3.0, "transcode_identical": true},
+                "dedup": {"concurrent_clients": 8, "simulations": 1, "factor": 8.0}}"#,
+        )
+        .unwrap();
+        let report = gate_snapshots(&committed, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.render().contains("FAIL  server wire speedup"));
+
+        // A lossy transcode is a hard failure regardless of ratios.
+        let mut fresh = snapshots(2.5, 9.0, 60.0);
+        fresh.server = Json::parse(
+            r#"{"workload": {"trials_per_query": 300},
+                "cached": {"bodies_byte_identical_to_cold": true},
+                "cache_speedup": 60.0,
+                "wire": {"speedup": 9.9, "compression": 9.9, "transcode_identical": false},
+                "dedup": {"concurrent_clients": 8, "simulations": 1, "factor": 8.0}}"#,
+        )
+        .unwrap();
+        let report = gate_snapshots(&committed, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .render()
+            .contains("FAIL  wire transcode reproduces JSON bytes"));
     }
 
     #[test]

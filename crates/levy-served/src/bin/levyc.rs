@@ -15,8 +15,10 @@
 //!   trace ID                   GET /v1/traces/ID, pretty-printed span tree
 //!   peers                      GET /v1/peers (cluster membership + health)
 //!   shutdown                   POST /v1/shutdown
-//!   query JSON                 POST /v1/query with the given body
-//!   query -                    POST /v1/query with the body from stdin
+//!   query [--wire] [--stream] JSON
+//!                              POST /v1/query with the given body
+//!   query [--wire] [--stream] -
+//!                              POST /v1/query with the body from stdin
 //!   raw METHOD PATH [BODY]     arbitrary request (debugging)
 //! ```
 //!
@@ -39,7 +41,18 @@
 //! only when *every* endpoint is saturated does `levyc` sleep the
 //! smallest advertised `Retry-After` (capped at 10 s) and make exactly
 //! one more pass. `--no-retry` keeps connect-error failover but returns
-//! the first definitive HTTP response, 503 included.
+//! the first definitive HTTP response, 503 included. Negotiation is
+//! sticky: the failover walk re-sends the *original* request headers —
+//! `Accept` included — on every endpoint of both passes, so a `--wire`
+//! query stays binary wherever it lands.
+//!
+//! **Binary results.** `query --wire` negotiates the compact levy-wire
+//! representation (`Accept: application/x-levy-wire`); the response
+//! frame is decoded back to JSON for stdout and the encoded size is
+//! noted on stderr. `query --stream` asks for chunked partial results:
+//! each trial batch prints a live `estimate p ± ci (n trials)` line on
+//! stderr as the adaptive estimator converges, and the terminal chunk
+//! carries the final body — byte-identical to a non-streaming run.
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -48,13 +61,14 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use levy_obs::trace::{next_span_id, next_trace_id};
 use levy_obs::{diff, Snapshot, SpanContext};
 use levy_served::http::Response;
-use levy_served::Client;
+use levy_served::{wirecodec, Client};
 use levy_sim::Json;
+use levy_wire::Frame;
 
 const USAGE: &str = "usage: levyc [--addr HOST:PORT | --endpoints H:P,H:P,...] [--vnodes N] \
                      [--timeout-ms MS] [--no-retry] \
                      health|stats|metrics [--watch SECS [FAMILY]]|traces|trace ID|peers|\
-                     shutdown|query JSON|raw METHOD PATH [BODY]";
+                     shutdown|query [--wire] [--stream] JSON|raw METHOD PATH [BODY]";
 
 /// Longest `Retry-After` delay we will actually sleep for.
 const MAX_RETRY_AFTER: Duration = Duration::from_secs(10);
@@ -73,6 +87,8 @@ enum Render {
     Body,
     /// Parse the trace JSON and print an indented span tree.
     TraceTree,
+    /// Decode a levy-wire result frame back to JSON (`query --wire`).
+    WireResult,
 }
 
 /// Result of one resolved command: the response, how to render it, and
@@ -169,6 +185,8 @@ fn run() -> Result<Outcome, String> {
     let mut render = Render::Body;
     let mut headers: Vec<(String, String)> = Vec::new();
     let mut announce_trace = false;
+    let mut wire = false;
+    let mut stream = false;
     // Cache key of a query body — the hash-routing coordinate. `None`
     // for keyless commands and for bodies the client cannot
     // canonicalize (the server will reject those anyway).
@@ -202,6 +220,19 @@ fn run() -> Result<Outcome, String> {
         "peers" => ("GET".to_owned(), "/v1/peers".to_owned(), String::new()),
         "shutdown" => ("POST".to_owned(), "/v1/shutdown".to_owned(), String::new()),
         "query" => {
+            while let Some(flag) = args.peek().map(String::as_str) {
+                match flag {
+                    "--wire" => {
+                        args.next();
+                        wire = true;
+                    }
+                    "--stream" => {
+                        args.next();
+                        stream = true;
+                    }
+                    _ => break,
+                }
+            }
             let body = read_body_arg(&args.next().ok_or_else(|| USAGE.to_owned())?)?;
             // Canonicalize client-side so the ring walk below can start
             // at the key's home node.
@@ -216,6 +247,14 @@ fn run() -> Result<Outcome, String> {
                 span_id: next_span_id(),
             };
             headers.push(("traceparent".to_owned(), ctx.to_traceparent()));
+            if wire {
+                // One headers list, built once: the failover walk below
+                // (and its post-Retry-After second pass) re-sends it
+                // verbatim, so the negotiated representation is sticky
+                // across endpoints.
+                headers.push(("accept".to_owned(), levy_wire::MEDIA_TYPE.to_owned()));
+                render = Render::WireResult;
+            }
             announce_trace = true;
             ("POST".to_owned(), "/v1/query".to_owned(), body)
         }
@@ -240,6 +279,17 @@ fn run() -> Result<Outcome, String> {
     // — the same order a failing home's keys rehome in), keyless
     // commands rotate so repeated invocations spread across the fleet.
     let ordered = order_endpoints(&endpoints, routing_key.as_deref(), vnodes);
+
+    if stream {
+        return run_stream(
+            &ordered,
+            timeout,
+            &header_refs,
+            &body,
+            render,
+            announce_trace,
+        );
+    }
 
     let send_to = |endpoint: &str| {
         Client::new(endpoint)
@@ -297,6 +347,93 @@ fn run() -> Result<Outcome, String> {
         }
     }
     Err(last_error.unwrap_or_else(|| "every endpoint is saturated (503)".to_owned()))
+}
+
+/// `query --stream`: opens a chunked response and renders trial batches
+/// live. Batch frames print `estimate p ± ci (n trials)` on stderr as
+/// they arrive (deltas are re-accumulated client-side); the terminal
+/// Final/Error frame becomes the outcome's response — byte-identical to
+/// what the non-streaming path would have returned. Connect errors fail
+/// over to the next endpoint; the first endpoint that answers (any
+/// status) is definitive, since a stream cannot be replayed elsewhere
+/// once partial results were consumed.
+fn run_stream(
+    ordered: &[String],
+    timeout: Duration,
+    headers: &[(&str, &str)],
+    body: &str,
+    render: Render,
+    announce_trace: bool,
+) -> Result<Outcome, String> {
+    let mut last_error: Option<String> = None;
+    for endpoint in ordered {
+        let client = Client::new(endpoint).with_timeout(timeout);
+        let opened = client.open_stream("/v1/query", "application/json", headers, body.as_bytes());
+        let (head, mut reader) = match opened {
+            Ok(pair) => pair,
+            Err(e) => {
+                if ordered.len() > 1 {
+                    eprintln!("levyc: {endpoint}: {e}, failing over");
+                }
+                last_error = Some(format!("request to {endpoint} failed: {e}"));
+                continue;
+            }
+        };
+        if !head.chunked {
+            // Pre-stream rejection (400/406/503): an ordinary buffered
+            // body arrived instead of a chunked stream.
+            let body = reader
+                .read_plain_body()
+                .map_err(|e| format!("reading response from {endpoint}: {e}"))?;
+            return Ok(Outcome {
+                response: Response {
+                    status: head.status,
+                    headers: head.headers.clone(),
+                    body,
+                },
+                render,
+                announce_trace,
+            });
+        }
+        let mut status = head.status;
+        let mut final_body: Vec<u8> = Vec::new();
+        let mut trials: u64 = 0;
+        while let Some(chunk) = reader
+            .next_chunk()
+            .map_err(|e| format!("reading stream from {endpoint}: {e}"))?
+        {
+            match Frame::decode(&chunk) {
+                Ok(Frame::Batch(batch)) => {
+                    trials += batch.trials_delta;
+                    let half_width = (batch.ci.1 - batch.ci.0) / 2.0;
+                    eprintln!(
+                        "estimate {:.6} \u{00b1} {half_width:.6} ({trials} trials)",
+                        batch.p
+                    );
+                }
+                Ok(Frame::Final(frame)) => {
+                    status = 200;
+                    final_body = frame.body;
+                }
+                Ok(Frame::Error(frame)) => {
+                    status = frame.status;
+                    final_body = frame.message.into_bytes();
+                }
+                Ok(_) => return Err("unexpected frame kind in stream".to_owned()),
+                Err(e) => return Err(format!("undecodable stream chunk: {e}")),
+            }
+        }
+        return Ok(Outcome {
+            response: Response {
+                status,
+                headers: head.headers.clone(),
+                body: final_body,
+            },
+            render,
+            announce_trace,
+        });
+    }
+    Err(last_error.unwrap_or_else(|| "no endpoints".to_owned()))
 }
 
 /// The endpoint order for one command: ring preference for a keyed
@@ -501,6 +638,18 @@ fn main() -> ExitCode {
             }
             let body = response.body_string();
             match outcome.render {
+                Render::WireResult if (200..300).contains(&response.status) => {
+                    match wirecodec::decode_result_to_json(&response.body) {
+                        Ok(json) => {
+                            eprintln!("wire: {} bytes", response.body.len());
+                            emit(format_args!("{}\n", json.to_string_pretty().trim_end()));
+                        }
+                        Err(message) => {
+                            eprintln!("levyc: could not decode wire result: {message}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
                 Render::TraceTree if (200..300).contains(&response.status) => {
                     match Json::parse(&body)
                         .map_err(|e| e.to_string())

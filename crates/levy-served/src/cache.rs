@@ -9,6 +9,15 @@
 //! bounded by file count with oldest-written-first eviction (tie-broken
 //! by name). Disk entries survive daemon restarts; a disk hit promotes
 //! the body back into memory.
+//!
+//! Each entry carries **two representations** of the same result: the
+//! pretty-printed JSON envelope (authoritative, validated on every disk
+//! read) and its `levy-wire` binary encoding stored alongside as
+//! `<dir>/<key>.lw`. Wire-negotiated replays serve the `.lw` bytes
+//! exactly as stored — no re-encode on the hit path. A missing or
+//! structurally invalid `.lw` is repaired by deterministically
+//! re-encoding from the JSON body, so the binary tier can never make a
+//! valid entry unservable.
 
 use std::collections::HashMap;
 use std::fs;
@@ -33,6 +42,10 @@ pub trait DiskStore: Send + Sync + std::fmt::Debug {
     fn read(&self, path: &Path) -> io::Result<String>;
     /// Stores a body atomically (readers never observe a torn write).
     fn write(&self, path: &Path, body: &str) -> io::Result<()>;
+    /// Reads a stored binary sidecar (`.lw` wire encoding).
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Stores a binary sidecar atomically.
+    fn write_bytes(&self, path: &Path, body: &[u8]) -> io::Result<()>;
     /// Removes a stored body.
     fn remove(&self, path: &Path) -> io::Result<()>;
     /// Lists stored entries as `(modified, path)` pairs.
@@ -52,6 +65,17 @@ impl DiskStore for StdDisk {
         // Write-then-rename so concurrent readers never observe a
         // torn body.
         let tmp = path.with_extension("tmp");
+        fs::write(&tmp, body).and_then(|()| fs::rename(&tmp, path))
+    }
+
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write_bytes(&self, path: &Path, body: &[u8]) -> io::Result<()> {
+        // Distinct temp extension: `<key>.json` and `<key>.lw` would
+        // otherwise collide on the same `<key>.tmp` staging file.
+        let tmp = path.with_extension("lw.tmp");
         fs::write(&tmp, body).and_then(|()| fs::rename(&tmp, path))
     }
 
@@ -111,9 +135,34 @@ impl Default for CacheConfig {
     }
 }
 
+/// A cached result in both of its representations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedBody {
+    /// The pretty-printed JSON envelope (authoritative representation).
+    pub json: String,
+    /// The `levy-wire` binary encoding of the same envelope; `None`
+    /// when the body is not an encodable `result-v1` envelope.
+    pub wire: Option<Vec<u8>>,
+}
+
+impl CachedBody {
+    /// Builds both representations from a JSON body. Encoding failure
+    /// (non-envelope bodies, as some tests store) just drops the wire
+    /// side; JSON replay is never affected.
+    pub fn from_json(json: &str) -> CachedBody {
+        let wire = Json::parse(json)
+            .ok()
+            .and_then(|parsed| crate::wirecodec::encode_result(&parsed).ok());
+        CachedBody {
+            json: json.to_owned(),
+            wire,
+        }
+    }
+}
+
 /// LRU entries: body plus a recency tick.
 struct MemEntry {
-    body: String,
+    body: CachedBody,
     tick: u64,
 }
 
@@ -225,6 +274,36 @@ impl ResultCache {
             .map(|dir| dir.join(format!("{key}.json")))
     }
 
+    /// `.lw` sidecar path for a `.json` entry path.
+    fn wire_sibling(path: &Path) -> PathBuf {
+        path.with_extension("lw")
+    }
+
+    /// Loads the wire representation for a disk hit: the stored `.lw`
+    /// bytes when they are structurally intact and self-identify with
+    /// `key`, else a deterministic re-encode from the validated JSON
+    /// body (repairing the sidecar on the way).
+    fn disk_wire(&self, key: &str, json_path: &Path, json_body: &str) -> Option<Vec<u8>> {
+        let lw = Self::wire_sibling(json_path);
+        if let Ok(bytes) = self.store.read_bytes(&lw) {
+            if wire_body_is_valid(key, &bytes) {
+                return Some(bytes);
+            }
+            self.corrupt_entries.inc();
+            let _ = self.store.remove(&lw);
+            levy_obs::log::warn(
+                "levy-served",
+                "corrupt wire sidecar dropped, re-encoding",
+                &[("key", key.to_owned()), ("path", lw.display().to_string())],
+            );
+        }
+        let wire = CachedBody::from_json(json_body).wire;
+        if let Some(bytes) = &wire {
+            let _ = self.store.write_bytes(&lw, bytes);
+        }
+        wire
+    }
+
     /// Looks up a body; `None` on miss.
     ///
     /// Disk bodies are validated before they are replayed: an entry
@@ -232,7 +311,7 @@ impl ResultCache {
     /// bit-rotted, or written under the wrong name) is dropped from
     /// disk, counted in `corrupt_entries`, and reported as a miss so
     /// the simulation reruns instead of serving garbage.
-    pub fn get(&self, key: &str) -> Option<(String, CacheTier)> {
+    pub fn get(&self, key: &str) -> Option<(CachedBody, CacheTier)> {
         if self.config.mem_capacity > 0 {
             let mut mem = self.mem.lock().expect("cache lock");
             if let Some(entry) = mem.get_mut(key) {
@@ -245,12 +324,17 @@ impl ResultCache {
             match self.store.read(&path) {
                 Ok(body) if disk_body_is_valid(key, &body) => {
                     self.disk_hits.inc();
-                    self.insert_mem(key, &body);
-                    return Some((body, CacheTier::Disk));
+                    let cached = CachedBody {
+                        wire: self.disk_wire(key, &path, &body),
+                        json: body,
+                    };
+                    self.insert_mem(key, &cached);
+                    return Some((cached, CacheTier::Disk));
                 }
                 Ok(_) => {
                     self.corrupt_entries.inc();
                     let _ = self.store.remove(&path);
+                    let _ = self.store.remove(&Self::wire_sibling(&path));
                     levy_obs::log::warn(
                         "levy-served",
                         "corrupt disk cache entry dropped",
@@ -278,12 +362,19 @@ impl ResultCache {
         None
     }
 
-    /// Stores a body under `key` in both tiers.
+    /// Stores a body under `key` in both tiers, deriving and persisting
+    /// the wire encoding alongside the JSON.
     pub fn put(&self, key: &str, body: &str) {
+        self.put_body(key, &CachedBody::from_json(body));
+    }
+
+    /// [`put`](ResultCache::put) with both representations already built
+    /// (workers encode once and share the result with their waiters).
+    pub fn put_body(&self, key: &str, cached: &CachedBody) {
         self.insertions.inc();
-        self.insert_mem(key, body);
+        self.insert_mem(key, cached);
         if let Some(path) = self.disk_path(key) {
-            if let Err(e) = self.store.write(&path, body) {
+            if let Err(e) = self.store.write(&path, &cached.json) {
                 self.disk_errors.inc();
                 levy_obs::log::warn(
                     "levy-served",
@@ -295,11 +386,26 @@ impl ResultCache {
                 );
                 return;
             }
+            if let Some(wire) = &cached.wire {
+                if let Err(e) = self.store.write_bytes(&Self::wire_sibling(&path), wire) {
+                    // The JSON tier is authoritative; a failed sidecar
+                    // write only costs a re-encode on later hits.
+                    self.disk_errors.inc();
+                    levy_obs::log::warn(
+                        "levy-served",
+                        "wire sidecar write failed",
+                        &[
+                            ("path", path.display().to_string()),
+                            ("error", e.to_string()),
+                        ],
+                    );
+                }
+            }
             self.enforce_disk_capacity();
         }
     }
 
-    fn insert_mem(&self, key: &str, body: &str) {
+    fn insert_mem(&self, key: &str, body: &CachedBody) {
         if self.config.mem_capacity == 0 {
             return;
         }
@@ -308,7 +414,7 @@ impl ResultCache {
         mem.insert(
             key.to_owned(),
             MemEntry {
-                body: body.to_owned(),
+                body: body.clone(),
                 tick,
             },
         );
@@ -339,6 +445,8 @@ impl ResultCache {
             if self.store.remove(&path).is_ok() {
                 self.evictions.inc();
             }
+            // Evict the wire sidecar with its JSON entry.
+            let _ = self.store.remove(&Self::wire_sibling(&path));
         }
     }
 
@@ -381,6 +489,17 @@ fn disk_body_is_valid(key: &str, body: &str) -> bool {
         && parsed.get("key").and_then(|k| k.as_str()) == Some(key)
 }
 
+/// An intact `.lw` sidecar decodes as a wire `Result` frame whose
+/// embedded query key matches the key it is filed under. Structural
+/// damage (truncation, bit flips in the framing, a sidecar renamed onto
+/// the wrong key) fails here and triggers a re-encode from JSON.
+fn wire_body_is_valid(key: &str, bytes: &[u8]) -> bool {
+    match levy_wire::Frame::decode(bytes) {
+        Ok(levy_wire::Frame::Result(frame)) => levy_wire::key_to_hex(&frame.query.key) == key,
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,10 +533,10 @@ mod tests {
         .unwrap();
         assert!(cache.get(&key(1)).is_none());
         cache.put(&key(1), "body-1");
-        assert_eq!(
-            cache.get(&key(1)),
-            Some(("body-1".into(), CacheTier::Memory))
-        );
+        let (body, tier) = cache.get(&key(1)).unwrap();
+        assert_eq!(body.json, "body-1");
+        assert_eq!(body.wire, None, "non-envelope bodies have no wire form");
+        assert_eq!(tier, CacheTier::Memory);
     }
 
     #[test]
@@ -452,9 +571,11 @@ mod tests {
         cache.put(&key(7), &body);
         drop(cache);
         let reborn = ResultCache::new(config).unwrap();
-        assert_eq!(reborn.get(&key(7)), Some((body.clone(), CacheTier::Disk)));
+        let (got, tier) = reborn.get(&key(7)).unwrap();
+        assert_eq!((got.json, tier), (body.clone(), CacheTier::Disk));
         // Promoted to memory: second read is a memory hit.
-        assert_eq!(reborn.get(&key(7)), Some((body, CacheTier::Memory)));
+        let (got, tier) = reborn.get(&key(7)).unwrap();
+        assert_eq!((got.json, tier), (body, CacheTier::Memory));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -486,9 +607,10 @@ mod tests {
         assert_eq!(stats.get("misses").unwrap().as_u64(), Some(4));
         // An intact body still round-trips.
         cache.put(&k, &body_for(&k));
+        let (got, tier) = cache.get(&k).unwrap();
         assert_eq!(
-            cache.get(&k),
-            Some((body_for(&k), CacheTier::Disk)),
+            (got.json, tier),
+            (body_for(&k), CacheTier::Disk),
             "valid bodies must keep replaying after corrupt ones were dropped"
         );
         let _ = fs::remove_dir_all(&dir);
@@ -539,6 +661,102 @@ mod tests {
         cache.put("../../etc/passwd", "nope");
         cache.put("short", "nope");
         assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A real `result-v1` envelope (and its key) as the engine stores
+    /// them, for wire-sidecar tests.
+    fn real_envelope() -> (String, String) {
+        let query = crate::request::Query::from_json(
+            &Json::parse(
+                r#"{"kind":"single_walk","alpha":2.0,"ell":8,"budget":64,"trials":4,"seed":1}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let cancel = levy_sim::CancelToken::new();
+        let body = crate::engine::execute(&query, 1, &cancel)
+            .unwrap()
+            .to_string_pretty();
+        (query.cache_key(), body)
+    }
+
+    #[test]
+    fn wire_sidecar_is_stored_and_replayed_byte_exactly() {
+        let dir = temp_dir("wire");
+        let config = CacheConfig {
+            mem_capacity: 4,
+            disk_capacity: 16,
+            dir: Some(dir.clone()),
+        };
+        let (k, body) = real_envelope();
+        let cache = ResultCache::new(config.clone()).unwrap();
+        cache.put(&k, &body);
+        let lw = dir.join(format!("{k}.lw"));
+        let on_disk = fs::read(&lw).expect("wire sidecar written");
+        assert!(levy_wire::Frame::decode(&on_disk).is_ok());
+        // A fresh instance replays the exact on-disk bytes.
+        drop(cache);
+        let reborn = ResultCache::new(config).unwrap();
+        let (got, tier) = reborn.get(&k).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(got.json, body);
+        assert_eq!(got.wire.as_deref(), Some(&on_disk[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_wire_sidecar_is_repaired_from_json() {
+        let dir = temp_dir("wire-repair");
+        let config = CacheConfig {
+            mem_capacity: 0,
+            disk_capacity: 16,
+            dir: Some(dir.clone()),
+        };
+        let (k, body) = real_envelope();
+        let cache = ResultCache::new(config).unwrap();
+        cache.put(&k, &body);
+        let lw = dir.join(format!("{k}.lw"));
+        let good = fs::read(&lw).unwrap();
+        for bad in [&b"garbage"[..], &good[..good.len() / 2]] {
+            fs::write(&lw, bad).unwrap();
+            let (got, _) = cache.get(&k).expect("JSON tier still authoritative");
+            assert_eq!(
+                got.wire.as_deref(),
+                Some(&good[..]),
+                "wire must be re-encoded deterministically from JSON"
+            );
+            assert_eq!(fs::read(&lw).unwrap(), good, "sidecar must be repaired");
+        }
+        // Deleting the sidecar entirely also repairs it.
+        fs::remove_file(&lw).unwrap();
+        let (got, _) = cache.get(&k).unwrap();
+        assert_eq!(got.wire.as_deref(), Some(&good[..]));
+        assert!(lw.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_eviction_removes_wire_siblings() {
+        let dir = temp_dir("wire-evict");
+        let cache = ResultCache::new(CacheConfig {
+            mem_capacity: 1,
+            disk_capacity: 2,
+            dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let (k, body) = real_envelope();
+        cache.put(&k, &body);
+        assert!(dir.join(format!("{k}.lw")).exists());
+        for i in 0..4 {
+            cache.put(&key(i), &body_for(&key(i)));
+            // Distinct mtimes so eviction order is deterministic.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(
+            !dir.join(format!("{k}.lw")).exists(),
+            "evicting a JSON entry must take its wire sidecar with it"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

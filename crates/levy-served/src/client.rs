@@ -5,7 +5,9 @@ use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::http::{read_response, write_request_with_headers, Response};
+use crate::http::{
+    read_chunk, read_response, read_stream_head, write_request_full, Response, StreamHead,
+};
 
 /// A client bound to one `host:port` with a per-request timeout.
 #[derive(Debug, Clone)]
@@ -43,16 +45,74 @@ impl Client {
         headers: &[(&str, &str)],
         body: &[u8],
     ) -> io::Result<Response> {
+        self.request_full(method, path, "application/json", headers, body)
+    }
+
+    /// [`request_with_headers`](Client::request_with_headers) with an
+    /// explicit request `Content-Type` (`application/x-levy-wire` for
+    /// binary query bodies).
+    pub fn request_full(
+        &self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let mut stream = self.connect()?;
+        write_request_full(
+            &mut stream,
+            method,
+            path,
+            &self.addr,
+            content_type,
+            headers,
+            body,
+        )?;
+        let mut reader = BufReader::new(stream);
+        read_response(&mut reader)
+    }
+
+    /// Opens a streaming query: sends the request with `X-Levy-Stream: 1`
+    /// and returns the response head plus a [`StreamReader`] for pulling
+    /// chunks (wire frames). Non-chunked heads (pre-stream errors) carry
+    /// a normal body, which the reader exposes via
+    /// [`StreamReader::read_plain_body`].
+    pub fn open_stream(
+        &self,
+        path: &str,
+        content_type: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<(StreamHead, StreamReader)> {
+        let mut stream = self.connect()?;
+        let mut all_headers: Vec<(&str, &str)> = vec![("X-Levy-Stream", "1")];
+        all_headers.extend_from_slice(headers);
+        write_request_full(
+            &mut stream,
+            "POST",
+            path,
+            &self.addr,
+            content_type,
+            &all_headers,
+            body,
+        )?;
+        let mut reader = BufReader::new(stream);
+        let head = read_stream_head(&mut reader)?;
+        Ok((head.clone(), StreamReader { reader, head }))
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
         let mut addrs = std::net::ToSocketAddrs::to_socket_addrs(&self.addr.as_str())?;
         let addr = addrs.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
         })?;
-        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        let stream = TcpStream::connect_timeout(&addr, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
-        write_request_with_headers(&mut stream, method, path, &self.addr, headers, body)?;
-        let mut reader = BufReader::new(stream);
-        read_response(&mut reader)
+        // Requests go out as one coalesced write; Nagle only delays it.
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
     }
 
     /// `GET path`.
@@ -63,5 +123,34 @@ impl Client {
     /// `POST path` with a JSON body.
     pub fn post(&self, path: &str, body: &str) -> io::Result<Response> {
         self.request("POST", path, body.as_bytes())
+    }
+}
+
+/// The body side of an open streaming response.
+pub struct StreamReader {
+    reader: BufReader<TcpStream>,
+    head: StreamHead,
+}
+
+impl StreamReader {
+    /// Next chunk of a chunked body; `Ok(None)` after the terminal
+    /// chunk. Each chunk is one encoded wire frame.
+    pub fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if !self.head.chunked {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "response is not chunked; use read_plain_body",
+            ));
+        }
+        read_chunk(&mut self.reader)
+    }
+
+    /// Reads the `Content-Length` body of a non-chunked response (the
+    /// buffered error path before a stream starts).
+    pub fn read_plain_body(&mut self) -> io::Result<Vec<u8>> {
+        use std::io::Read;
+        let mut body = vec![0u8; self.head.content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(body)
     }
 }

@@ -210,7 +210,8 @@ impl Cluster {
 
     /// Cache peek: asks the home node whether it already has `key`,
     /// without triggering any simulation. 200 = hit (body relayed),
-    /// 404 = miss.
+    /// 404 = miss. Peeks accept the binary wire format so a hit relays
+    /// the home's on-disk `.lw` bytes with no re-encode anywhere.
     pub fn peek(
         &self,
         index: usize,
@@ -226,7 +227,10 @@ impl Cluster {
                 client.request_with_headers(
                     "GET",
                     &format!("/v1/cache/{key}"),
-                    &[("traceparent", traceparent)],
+                    &[
+                        ("traceparent", traceparent),
+                        ("Accept", levy_wire::MEDIA_TYPE),
+                    ],
                     b"",
                 )
             },
@@ -235,25 +239,30 @@ impl Cluster {
 
     /// Full forward: the home node runs (or coalesces, or cache-hits)
     /// the query. `query_timeout` is the client-visible deadline; the
-    /// wire timeout adds the configured margin on top.
+    /// wire timeout adds the configured margin on top. The query travels
+    /// as a binary wire frame and the answer is requested in wire form —
+    /// node-to-node traffic is binary by default; the entry node
+    /// transcodes for JSON clients.
     pub fn forward(
         &self,
         index: usize,
         addr: &str,
-        canonical_body: &str,
+        query_wire: &[u8],
         query_timeout: Duration,
         traceparent: &str,
     ) -> io::Result<(Response, PeerCall)> {
         let timeout = query_timeout + Duration::from_millis(self.config.forward_margin_ms);
         self.call(index, addr, timeout, |client| {
-            client.request_with_headers(
+            client.request_full(
                 "POST",
                 "/v1/query",
+                levy_wire::MEDIA_TYPE,
                 &[
                     ("traceparent", traceparent),
                     (FORWARDED_HEADER, &self.config.self_addr),
+                    ("Accept", levy_wire::MEDIA_TYPE),
                 ],
-                canonical_body.as_bytes(),
+                query_wire,
             )
         })
     }

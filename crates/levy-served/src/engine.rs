@@ -14,10 +14,10 @@ use levy_search::{
     BallisticSearch, LevySearch, MixtureSearch, RandomWalkSearch, SearchProblem, SearchStrategy,
 };
 use levy_sim::{
-    estimate_probability_cancellable, measure_parallel_common_cancellable,
+    estimate_probability_observed, measure_parallel_common_cancellable,
     measure_parallel_strategy_cancellable, measure_search_strategy_cancellable,
     measure_single_flight_cancellable, measure_single_walk_cancellable, AdaptiveEstimate,
-    CancelToken, Json, Precision,
+    BatchProgress, CancelToken, Json, Precision,
 };
 use levy_walks::{levy_flight_hitting_time, levy_walk_hitting_time, parallel_hitting_time};
 
@@ -44,6 +44,23 @@ pub fn execute_traced(
     cancel: &CancelToken,
     trace: Option<(&TraceStore, SpanContext)>,
 ) -> Option<Json> {
+    execute_observed(query, sim_threads, cancel, trace, &mut |_| {})
+}
+
+/// [`execute_traced`] with a per-batch observer: adaptive-estimator
+/// queries report each completed batch via `observer` (the seam the
+/// streaming response path taps). Fixed-trials queries never call it.
+///
+/// The observer sees running totals only and never touches an RNG
+/// stream, so the returned body is byte-identical with or without one —
+/// the invariant behind "streaming and non-streaming final bodies match".
+pub fn execute_observed(
+    query: &Query,
+    sim_threads: usize,
+    cancel: &CancelToken,
+    trace: Option<(&TraceStore, SpanContext)>,
+    observer: &mut dyn FnMut(BatchProgress),
+) -> Option<Json> {
     // Timing guard only: records wall time into the global-registry
     // histogram `levy_served_engine_execute_duration_us` (and a JSONL
     // event under LEVY_TRACE) without touching any RNG stream.
@@ -61,7 +78,9 @@ pub fn execute_traced(
     });
     let result = match &query.estimator {
         Estimator::Trials(_) => summary_result(query, sim_threads, cancel)?,
-        Estimator::Adaptive(precision) => adaptive_result(query, *precision, sim_threads, cancel)?,
+        Estimator::Adaptive(precision) => {
+            adaptive_result(query, *precision, sim_threads, cancel, observer)?
+        }
     };
     if let Some(span) = simulate_span {
         span.finish();
@@ -152,8 +171,9 @@ fn adaptive_result(
     precision: Precision,
     sim_threads: usize,
     cancel: &CancelToken,
+    observer: &mut dyn FnMut(BatchProgress),
 ) -> Option<Json> {
-    let est = run_adaptive(query, precision, sim_threads, cancel)?;
+    let est = run_adaptive(query, precision, sim_threads, cancel, observer)?;
     Some(Json::obj([
         ("mode", Json::from("adaptive")),
         ("p", Json::from(est.p)),
@@ -171,6 +191,7 @@ fn run_adaptive(
     precision: Precision,
     sim_threads: usize,
     cancel: &CancelToken,
+    observer: &mut dyn FnMut(BatchProgress),
 ) -> Option<AdaptiveEstimate> {
     let seeds = SeedStream::new(query.seed);
     let threads = sim_threads.max(1);
@@ -182,29 +203,44 @@ fn run_adaptive(
             };
             let jumps = JumpLengthDistribution::new(alpha).expect("validated exponent");
             let flight = query.kind == QueryKind::SingleFlight;
-            estimate_probability_cancellable(seeds, threads, precision, cancel, move |_i, rng| {
-                let target = placement.place(ell, rng);
-                if flight {
-                    levy_flight_hitting_time(&jumps, Point::ORIGIN, target, budget, rng).is_some()
-                } else {
-                    levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, rng).is_some()
-                }
-            })
+            estimate_probability_observed(
+                seeds,
+                threads,
+                precision,
+                cancel,
+                observer,
+                move |_i, rng| {
+                    let target = placement.place(ell, rng);
+                    if flight {
+                        levy_flight_hitting_time(&jumps, Point::ORIGIN, target, budget, rng)
+                            .is_some()
+                    } else {
+                        levy_walk_hitting_time(&jumps, Point::ORIGIN, target, budget, rng).is_some()
+                    }
+                },
+            )
         }
         (QueryKind::Parallel, _) => {
             let strategy = query.exponent.strategy(k, ell);
-            estimate_probability_cancellable(seeds, threads, precision, cancel, move |_i, rng| {
-                parallel_hitting_time(
-                    k as usize,
-                    &strategy,
-                    Point::ORIGIN,
-                    placement.place(ell, rng),
-                    budget,
-                    rng,
-                )
-                .time
-                .is_some()
-            })
+            estimate_probability_observed(
+                seeds,
+                threads,
+                precision,
+                cancel,
+                observer,
+                move |_i, rng| {
+                    parallel_hitting_time(
+                        k as usize,
+                        &strategy,
+                        Point::ORIGIN,
+                        placement.place(ell, rng),
+                        budget,
+                        rng,
+                    )
+                    .time
+                    .is_some()
+                },
+            )
         }
         (QueryKind::Search, Some(spec)) => {
             let strategy: Box<dyn SearchStrategy + Sync> = match spec {
@@ -213,11 +249,18 @@ fn run_adaptive(
                 SearchSpec::RandomWalk => Box::new(RandomWalkSearch::new()),
                 SearchSpec::Mixture(n) => Box::new(MixtureSearch::grid(*n as usize)),
             };
-            estimate_probability_cancellable(seeds, threads, precision, cancel, move |_i, rng| {
-                let mut problem = SearchProblem::at_distance(ell, k as usize, budget);
-                problem.target = placement.place(ell, rng);
-                strategy.run(&problem, rng).is_some()
-            })
+            estimate_probability_observed(
+                seeds,
+                threads,
+                precision,
+                cancel,
+                observer,
+                move |_i, rng| {
+                    let mut problem = SearchProblem::at_distance(ell, k as usize, budget);
+                    problem.target = placement.place(ell, rng);
+                    strategy.run(&problem, rng).is_some()
+                },
+            )
         }
         (QueryKind::Search, None) => unreachable!("validation attaches a search spec"),
     }

@@ -463,6 +463,18 @@ impl DiskStore for FaultDisk {
         self.real.write(path, body)
     }
 
+    // Binary sidecar I/O passes through untouched: fault indices
+    // (`disk_read_*@read=N`, `disk_write_error@write=N`) address only
+    // the authoritative `.json` tier, so adding the `.lw` tier cannot
+    // renumber existing fault plans.
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.real.read_bytes(path)
+    }
+
+    fn write_bytes(&self, path: &Path, body: &[u8]) -> io::Result<()> {
+        self.real.write_bytes(path, body)
+    }
+
     fn remove(&self, path: &Path) -> io::Result<()> {
         self.real.remove(path)
     }

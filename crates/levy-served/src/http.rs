@@ -63,6 +63,16 @@ impl Response {
         }
     }
 
+    /// A raw-bytes response with an explicit content type (used for
+    /// `application/x-levy-wire` bodies).
+    pub fn bytes(status: u16, content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body,
+        }
+    }
+
     /// A JSON error response `{"error": message}`.
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(status, &Json::obj([("error", Json::from(message))]))
@@ -97,6 +107,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        406 => "Not Acceptable",
         408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
@@ -239,8 +250,11 @@ pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Resu
         "Content-Length: {}\r\nConnection: close\r\n\r\n",
         response.body.len()
     ));
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    // One buffer, one write: head + body as a single segment keeps the
+    // exchange to one syscall and sidesteps Nagle delaying a split tail.
+    let mut frame = head.into_bytes();
+    frame.extend_from_slice(&response.body);
+    stream.write_all(&frame)?;
     stream.flush()
 }
 
@@ -265,8 +279,30 @@ pub fn write_request_with_headers<W: Write>(
     headers: &[(&str, &str)],
     body: &[u8],
 ) -> io::Result<()> {
+    write_request_full(
+        stream,
+        method,
+        path,
+        host,
+        "application/json",
+        headers,
+        body,
+    )
+}
+
+/// [`write_request_with_headers`] with an explicit request `Content-Type`
+/// (wire-format POSTs send `application/x-levy-wire`).
+pub fn write_request_full<W: Write>(
+    stream: &mut W,
+    method: &str,
+    path: &str,
+    host: &str,
+    content_type: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
     let mut head =
-        format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n");
+        format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: {content_type}\r\n");
     for (name, value) in headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
@@ -274,9 +310,175 @@ pub fn write_request_with_headers<W: Write>(
         "Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     ));
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    // Single coalesced write, mirroring `write_response`.
+    let mut frame = head.into_bytes();
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)?;
     stream.flush()
+}
+
+/// Writes the head of a chunked streaming response.
+///
+/// The body that follows is framed by [`write_chunk`] /
+/// [`finish_chunked`] instead of `Content-Length`. Streaming is the one
+/// place the service emits `Transfer-Encoding: chunked`; its own request
+/// parser still rejects chunked *requests* (framing stays auditable).
+pub fn write_chunked_head<W: Write>(
+    stream: &mut W,
+    status: u16,
+    headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", status, reason(status));
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one chunk (hex length, CRLF, payload, CRLF) and flushes so the
+/// client observes progress immediately. Empty payloads are skipped: a
+/// zero-length chunk would terminate the stream.
+pub fn write_chunk<W: Write>(stream: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", payload.len())?;
+    stream.write_all(payload)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Writes the terminal zero-length chunk ending a chunked response.
+pub fn finish_chunked<W: Write>(stream: &mut W) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// The head of a streaming response: status plus headers, body not yet
+/// consumed. Pull chunks with [`read_chunk`].
+#[derive(Debug, Clone)]
+pub struct StreamHead {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Headers,
+    /// Whether the body is chunked (`Transfer-Encoding: chunked`). When
+    /// false the server answered with an ordinary `Content-Length` body
+    /// of `content_length` bytes.
+    pub chunked: bool,
+    /// Declared body length for non-chunked responses.
+    pub content_length: usize,
+}
+
+impl StreamHead {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads a response head without consuming the body, tolerating
+/// `Transfer-Encoding: chunked` (client side of a streaming query).
+pub fn read_stream_head<R: BufRead>(stream: &mut R) -> io::Result<StreamHead> {
+    let mut budget = MAX_HEADER_BYTES;
+    let status_line = read_line(stream, &mut budget)?;
+    let mut parts = status_line.split_whitespace();
+    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed status line",
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported HTTP version",
+        ));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid status code"))?;
+    let mut headers = Vec::new();
+    let mut chunked = false;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(stream, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed header line",
+            ));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+            chunked = true;
+        }
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "invalid Content-Length")
+            })?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+            }
+        }
+        headers.push((name, value));
+    }
+    Ok(StreamHead {
+        status,
+        headers,
+        chunked,
+        content_length,
+    })
+}
+
+/// Reads one chunk of a chunked body; `Ok(None)` on the terminal
+/// zero-length chunk.
+pub fn read_chunk<R: BufRead>(stream: &mut R) -> io::Result<Option<Vec<u8>>> {
+    // A fresh budget per chunk line: chunk size lines are tiny.
+    let mut budget = 128usize;
+    let size_line = read_line(stream, &mut budget)?;
+    // Ignore chunk extensions (`;` and beyond), per RFC 9112.
+    let size_hex = size_line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_hex, 16)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid chunk size"))?;
+    if size > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "chunk too large",
+        ));
+    }
+    if size == 0 {
+        // Terminal chunk; consume the trailing blank line (no trailers).
+        let mut tail_budget = MAX_HEADER_BYTES;
+        loop {
+            let line = read_line(stream, &mut tail_budget)?;
+            if line.is_empty() {
+                break;
+            }
+        }
+        return Ok(None);
+    }
+    let mut payload = vec![0u8; size];
+    stream.read_exact(&mut payload)?;
+    let mut crlf = [0u8; 2];
+    stream.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "chunk not CRLF-terminated",
+        ));
+    }
+    Ok(Some(payload))
 }
 
 /// Reads and parses one HTTP response (client side).
@@ -310,7 +512,7 @@ pub fn read_response<R: BufRead>(stream: &mut R) -> io::Result<Response> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
+    use std::io::{BufReader, Read};
 
     #[test]
     fn request_round_trip() {
@@ -387,8 +589,83 @@ mod tests {
 
     #[test]
     fn reasons_cover_service_codes() {
-        for code in [200, 400, 404, 429, 500, 503, 504] {
+        for code in [200, 400, 404, 406, 429, 500, 503, 504] {
             assert_ne!(reason(code), "Unknown");
         }
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut wire = Vec::new();
+        write_chunked_head(
+            &mut wire,
+            200,
+            &[("Content-Type", "application/x-levy-stream")],
+        )
+        .unwrap();
+        write_chunk(&mut wire, b"first").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, not terminal
+        write_chunk(&mut wire, &[0u8, 255, 13, 10]).unwrap();
+        finish_chunked(&mut wire).unwrap();
+
+        let mut reader = BufReader::new(&wire[..]);
+        let head = read_stream_head(&mut reader).unwrap();
+        assert_eq!(head.status, 200);
+        assert!(head.chunked);
+        assert_eq!(
+            head.header("content-type"),
+            Some("application/x-levy-stream")
+        );
+        assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), b"first");
+        assert_eq!(
+            read_chunk(&mut reader).unwrap().unwrap(),
+            [0u8, 255, 13, 10]
+        );
+        assert!(read_chunk(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_head_handles_plain_responses() {
+        let resp = Response::json(400, &Json::obj([("error", Json::from("nope"))]));
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        let head = read_stream_head(&mut reader).unwrap();
+        assert_eq!(head.status, 400);
+        assert!(!head.chunked);
+        assert_eq!(head.content_length, resp.body.len());
+        let mut body = vec![0u8; head.content_length];
+        reader.read_exact(&mut body).unwrap();
+        assert_eq!(body, resp.body);
+    }
+
+    #[test]
+    fn malformed_chunks_rejected() {
+        for wire in [
+            &b"zz\r\nhi\r\n"[..],
+            &b"5\r\nhelloXX"[..],
+            &b"fffffff\r\n"[..],
+        ] {
+            assert!(read_chunk(&mut BufReader::new(wire)).is_err());
+        }
+    }
+
+    #[test]
+    fn request_full_sets_content_type() {
+        let mut wire = Vec::new();
+        write_request_full(
+            &mut wire,
+            "POST",
+            "/v1/query",
+            "h",
+            "application/x-levy-wire",
+            &[("Accept", "application/x-levy-wire")],
+            b"\x00\x01",
+        )
+        .unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.header("content-type"), Some("application/x-levy-wire"));
+        assert_eq!(req.header("accept"), Some("application/x-levy-wire"));
+        assert_eq!(req.body, b"\x00\x01");
     }
 }

@@ -38,9 +38,10 @@ pub mod request;
 pub mod server;
 #[allow(unsafe_code)]
 pub mod signal;
+pub mod wirecodec;
 
-pub use cache::{CacheConfig, CacheTier, DiskStore, ResultCache, StdDisk};
-pub use client::Client;
+pub use cache::{CacheConfig, CacheTier, CachedBody, DiskStore, ResultCache, StdDisk};
+pub use client::{Client, StreamReader};
 pub use cluster::{Cluster, ClusterConfig};
 pub use fault::{Fault, FaultPlan};
 pub use http::{Request, Response};

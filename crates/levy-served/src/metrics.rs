@@ -74,6 +74,15 @@ pub struct Stats {
     /// Queries this node received with the forwarded marker (it is the
     /// key's home from some entry node's point of view).
     pub cluster_received_forwards: Counter,
+    /// Requests negotiated onto the binary wire format (a wire-encoded
+    /// body, a wire `Accept`, or both).
+    pub wire_requests: Counter,
+    /// Streaming query responses started (chunked head written).
+    pub streams_started: Counter,
+    /// Streams abandoned mid-flight: the client disconnected before the
+    /// terminal frame, detaching its waiter (the last one out cancels
+    /// the job).
+    pub streams_cancelled: Counter,
     /// Jobs currently in the bounded queue.
     pub queue_depth: Gauge,
     /// Configured queue capacity (constant per server; exported so
@@ -170,6 +179,18 @@ impl Stats {
             "levy_served_cluster_received_forwards_total",
             "Queries received with the forwarded marker from a cluster peer.",
         );
+        let wire_requests = registry.counter(
+            "levy_served_wire_requests_total",
+            "Requests negotiated onto the binary wire format.",
+        );
+        let streams_started = registry.counter(
+            "levy_served_streams_started_total",
+            "Streaming query responses started (chunked head written).",
+        );
+        let streams_cancelled = registry.counter(
+            "levy_served_streams_cancelled_total",
+            "Streams abandoned by a client disconnect before the terminal frame.",
+        );
         let queue_depth = registry.gauge(
             "levy_served_queue_depth",
             "Jobs currently in the bounded queue.",
@@ -204,6 +225,9 @@ impl Stats {
             cluster_forward_errors,
             cluster_local_fallbacks,
             cluster_received_forwards,
+            wire_requests,
+            streams_started,
+            streams_cancelled,
             queue_depth,
             queue_capacity,
             workers_busy,
@@ -304,6 +328,12 @@ impl Stats {
             (
                 "cluster_received_forwards",
                 Json::from(self.cluster_received_forwards.get()),
+            ),
+            ("wire_requests", Json::from(self.wire_requests.get())),
+            ("streams_started", Json::from(self.streams_started.get())),
+            (
+                "streams_cancelled",
+                Json::from(self.streams_cancelled.get()),
             ),
         ])
     }

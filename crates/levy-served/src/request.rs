@@ -444,6 +444,91 @@ impl Query {
         })
     }
 
+    /// Semantic validation of an already-constructed query — the same
+    /// limits [`from_json`](Query::from_json) enforces while parsing,
+    /// for decoders (the binary wire path) that build the struct
+    /// directly without a JSON intermediate. Keep the two in sync.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        fn check_spec(spec: &ExponentSpec) -> Result<(), QueryError> {
+            match spec {
+                ExponentSpec::Fixed(alpha) => validate_alpha(*alpha),
+                ExponentSpec::UniformRange { lo, hi } => {
+                    if !(lo.is_finite() && hi.is_finite() && 1.0 < *lo && lo < hi) {
+                        return Err(err("uniform range must satisfy 1 < lo < hi"));
+                    }
+                    Ok(())
+                }
+                ExponentSpec::Uniform | ExponentSpec::Optimal => Ok(()),
+            }
+        }
+        if !(1..=MAX_ELL).contains(&self.ell) {
+            return Err(err(format!("ell must lie in [1, {MAX_ELL}]")));
+        }
+        if !(1..=MAX_BUDGET).contains(&self.budget) {
+            return Err(err(format!("budget must lie in [1, {MAX_BUDGET}]")));
+        }
+        if !(1..=MAX_K).contains(&self.k) {
+            return Err(err(format!("k must lie in [1, {MAX_K}]")));
+        }
+        check_spec(&self.exponent)?;
+        match self.kind {
+            QueryKind::SingleWalk | QueryKind::SingleFlight => {
+                if self.k != 1 {
+                    return Err(err("single_walk/single_flight require k = 1"));
+                }
+                if !matches!(self.exponent, ExponentSpec::Fixed(_)) {
+                    return Err(err("single_walk/single_flight require a fixed alpha"));
+                }
+                if self.search.is_some() {
+                    return Err(err("single_walk/single_flight take no search strategy"));
+                }
+            }
+            QueryKind::Parallel => {
+                if self.search.is_some() {
+                    return Err(err("parallel queries take no search strategy"));
+                }
+            }
+            QueryKind::Search => match &self.search {
+                None => return Err(err("search queries need a search strategy")),
+                Some(SearchSpec::Levy(spec)) => check_spec(spec)?,
+                Some(SearchSpec::Mixture(n)) => {
+                    if !(1..=64).contains(n) {
+                        return Err(err("mixture palette size must lie in [1, 64]"));
+                    }
+                }
+                Some(SearchSpec::Ballistic | SearchSpec::RandomWalk) => {}
+            },
+        }
+        let spend = match &self.estimator {
+            Estimator::Trials(t) => {
+                if *t == 0 {
+                    return Err(err("trials must be at least 1"));
+                }
+                *t
+            }
+            Estimator::Adaptive(p) => {
+                if !(p.absolute.is_finite()
+                    && p.absolute > 0.0
+                    && p.relative.is_finite()
+                    && p.relative >= 0.0
+                    && p.max_trials >= 1)
+                {
+                    return Err(err(
+                        "precision needs absolute > 0, relative >= 0, max_trials >= 1",
+                    ));
+                }
+                p.max_trials
+            }
+        };
+        let cost = spend as u128 * self.budget as u128 * self.k as u128;
+        if cost > MAX_REQUEST_COST {
+            return Err(err(format!(
+                "request too large: trials*budget*k = {cost} exceeds {MAX_REQUEST_COST}"
+            )));
+        }
+        Ok(())
+    }
+
     /// The canonical JSON form: all defaults materialized, fixed key
     /// order, result-irrelevant fields (`timeout_ms`) excluded. This is
     /// what gets hashed and what the response echoes back.

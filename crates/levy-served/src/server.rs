@@ -22,23 +22,28 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use levy_obs::{
     FinishedTrace, HistoryRing, Snapshot, SpanContext, SpanRecord, TraceId, TraceSpan, TraceStore,
 };
-use levy_sim::{CancelToken, Json};
+use levy_sim::{BatchProgress, CancelToken, Json};
+use levy_wire::{ErrorFrame, FinalFrame, Frame};
 
-use crate::cache::{CacheConfig, ResultCache};
+use crate::cache::{CacheConfig, CachedBody, ResultCache};
 use crate::cluster::{Cluster, ClusterConfig, FORWARDED_HEADER};
 use crate::engine;
-use crate::fault::{FaultDisk, FaultPlan, FaultStream};
-use crate::http::{read_request, write_response, Request, Response};
+use crate::fault::{ConnFaults, FaultDisk, FaultPlan, FaultStream};
+use crate::http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, Request,
+    Response,
+};
 use crate::metrics::Stats;
 use crate::request::Query;
+use crate::wirecodec;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -103,8 +108,9 @@ impl Default for ServerConfig {
 enum JobOutcome {
     /// Still queued or running.
     Pending,
-    /// Completed; the cached body (shared, not copied per waiter).
-    Done(Arc<String>),
+    /// Completed; the cached body in both representations (shared, not
+    /// copied per waiter).
+    Done(Arc<CachedBody>),
     /// The engine panicked or failed.
     Failed(String),
     /// Cancelled after all waiters abandoned it (or at shutdown).
@@ -121,6 +127,11 @@ struct Job {
     /// Waiters currently blocked on this job; the last to detach on
     /// timeout cancels it.
     waiters: AtomicUsize,
+    /// Adaptive-estimator batch progress published by the worker as the
+    /// simulation runs; streaming waiters drain it into `Batch` frames.
+    /// Appended monotonically, never truncated, so each waiter tracks
+    /// its own cursor.
+    progress: Mutex<Vec<BatchProgress>>,
     /// Root span context of the request that admitted the job; workers
     /// parent their `worker_exec` span to it across the queue boundary.
     trace_ctx: SpanContext,
@@ -139,6 +150,7 @@ impl Job {
             outcome: Mutex::new(JobOutcome::Pending),
             done: Condvar::new(),
             waiters: AtomicUsize::new(0),
+            progress: Mutex::new(Vec::new()),
             trace_ctx,
             queue_wait: Mutex::new(Some(queue_wait)),
         })
@@ -423,40 +435,113 @@ fn prober_loop(inner: &Arc<Inner>, interval: Duration) {
     }
 }
 
-/// Polling accept loop: nonblocking accepts + shutdown checks, one
-/// handler thread per connection (connections are short-lived:
+/// Accept-loop idle policy. After any accepted connection the loop
+/// stays hot for `ACCEPT_SPIN_POLLS` rounds of `yield_now` polling —
+/// back-to-back clients see microsecond accept latency instead of a
+/// fixed poll interval. Once the spin budget is spent, the loop falls
+/// back to sleeping, doubling from `MIN` toward `MAX` so a quiet
+/// daemon still costs only the old 2 ms poll.
+const ACCEPT_SPIN_POLLS: u32 = 256;
+const ACCEPT_IDLE_MIN: Duration = Duration::from_micros(50);
+const ACCEPT_IDLE_MAX: Duration = Duration::from_millis(2);
+
+/// Persistent connection-handler threads fed by a rendezvous channel.
+/// A `try_send` succeeds only when a pool thread is parked in `recv`,
+/// so a busy pool (e.g. every thread tied up in a long-lived stream)
+/// cleanly overflows to a freshly spawned thread — the pool is a spawn
+/// cost optimisation, never a concurrency limit. Threads exit when the
+/// accept loop drops the sender.
+const CONN_POOL_THREADS: usize = 4;
+
+/// One accepted connection plus its pre-claimed fault script, as handed
+/// from the accept loop to whichever thread runs the handler.
+struct ConnWork {
+    stream: TcpStream,
+    faults: Option<ConnFaults>,
+}
+
+fn run_conn_work(work: ConnWork, inner: &Arc<Inner>) {
+    match work.faults {
+        Some(faults) => handle_connection(FaultStream::new(work.stream, faults), inner),
+        None => handle_connection(work.stream, inner),
+    }
+    inner.open_connections.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn spawn_conn_pool(inner: &Arc<Inner>) -> mpsc::SyncSender<ConnWork> {
+    let (tx, rx) = mpsc::sync_channel::<ConnWork>(0);
+    let rx = Arc::new(Mutex::new(rx));
+    for _ in 0..CONN_POOL_THREADS {
+        let rx = Arc::clone(&rx);
+        let inner = Arc::clone(inner);
+        let _ = std::thread::Builder::new()
+            .name("levyd-conn-pool".into())
+            .spawn(move || loop {
+                // Hold the lock only for the recv itself: a pool thread
+                // handling a slow connection must not block its idle
+                // peers from picking up new work.
+                let work = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => return,
+                };
+                match work {
+                    Ok(work) => run_conn_work(work, &inner),
+                    Err(_) => return,
+                }
+            });
+    }
+    tx
+}
+
+/// Polling accept loop: nonblocking accepts + shutdown checks. Each
+/// connection is handed to an idle pool thread when one is parked, or
+/// to a freshly spawned thread otherwise (connections are short-lived:
 /// `Connection: close`).
 fn accept_loop(listener: TcpListener, inner: &Arc<Inner>) {
+    let pool = spawn_conn_pool(inner);
+    let mut spin = 0u32;
+    let mut idle = ACCEPT_IDLE_MIN;
     while !inner.shutting_down.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                spin = ACCEPT_SPIN_POLLS;
+                idle = ACCEPT_IDLE_MIN;
                 let read_timeout = Duration::from_millis(inner.config.read_timeout_ms.max(1));
                 let _ = stream.set_read_timeout(Some(read_timeout));
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                // Request/response exchanges are single coalesced
+                // writes; Nagle only adds latency here.
+                let _ = stream.set_nodelay(true);
                 // Socket faults are claimed here, in accept order, so
                 // connection indices are deterministic even though
                 // handlers run on their own threads.
                 let conn_faults = inner.config.faults.as_ref().map(|plan| plan.next_conn());
                 inner.open_connections.fetch_add(1, Ordering::AcqRel);
+                let work = ConnWork {
+                    stream,
+                    faults: conn_faults,
+                };
+                let work = match pool.try_send(work) {
+                    Ok(()) => continue,
+                    Err(mpsc::TrySendError::Full(work))
+                    | Err(mpsc::TrySendError::Disconnected(work)) => work,
+                };
                 let conn_inner = Arc::clone(inner);
-                let spawned =
-                    std::thread::Builder::new()
-                        .name("levyd-conn".into())
-                        .spawn(move || {
-                            match conn_faults {
-                                Some(faults) => {
-                                    handle_connection(FaultStream::new(stream, faults), &conn_inner)
-                                }
-                                None => handle_connection(stream, &conn_inner),
-                            }
-                            conn_inner.open_connections.fetch_sub(1, Ordering::AcqRel);
-                        });
+                let spawned = std::thread::Builder::new()
+                    .name("levyd-conn".into())
+                    .spawn(move || run_conn_work(work, &conn_inner));
                 if spawned.is_err() {
                     inner.open_connections.fetch_sub(1, Ordering::AcqRel);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                if spin > 0 {
+                    spin -= 1;
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(idle);
+                    idle = (idle * 2).min(ACCEPT_IDLE_MAX);
+                }
             }
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
@@ -505,6 +590,32 @@ fn handle_connection<S: Read + Write>(stream: S, inner: &Arc<Inner>) {
     let mut root = inner.traces.start_root("request", parent);
     root.tag("method", &request.method);
     root.tag("path", &request.path);
+    // Streaming queries write their own chunked response; everything
+    // else goes through the buffered `route` → `write_response` path.
+    if request.method == "POST"
+        && request.path == "/v1/query"
+        && request.header("x-levy-stream").is_some_and(|v| v != "0")
+    {
+        root.tag("stream", "1");
+        let mut stream = reader.into_inner();
+        let status = handle_query_streaming(&request, inner, &root, &mut stream);
+        root.set_status(status);
+        root.finish();
+        let elapsed = started.elapsed();
+        inner.stats.record_response(&request.path, status, elapsed);
+        inner.log(
+            "request",
+            &[
+                ("method", request.method.clone()),
+                ("path", request.path.clone()),
+                ("status", status.to_string()),
+                ("stream", "1".into()),
+                ("dur_ms", format!("{:.3}", elapsed.as_secs_f64() * 1e3)),
+                ("queue_depth", inner.stats.queue_depth.get().to_string()),
+            ],
+        );
+        return;
+    }
     let response = route(&request, inner, &root)
         .with_header("X-Levy-Trace-Id", &root.ctx().trace_id.to_string());
     root.set_status(response.status);
@@ -621,15 +732,18 @@ fn route(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
             if levy_cluster::key_from_hex(key).is_none() {
                 return Response::error(400, "cache keys are 32 hex digits");
             }
+            let wire = match wants_wire(request) {
+                Ok(wire) => wire,
+                Err(response) => return response,
+            };
+            if wire {
+                inner.stats.wire_requests.inc();
+            }
             match inner.cache.get(key) {
-                Some((cached, tier)) => Response {
-                    status: 200,
-                    headers: vec![("Content-Type".into(), "application/json".into())],
-                    body: cached.into_bytes(),
-                }
-                .with_header("X-Levy-Cache", "hit")
-                .with_header("X-Levy-Cache-Tier", tier.as_str())
-                .with_header("X-Levy-Key", key),
+                Some((cached, tier)) => body_response(&cached, wire)
+                    .with_header("X-Levy-Cache", "hit")
+                    .with_header("X-Levy-Cache-Tier", tier.as_str())
+                    .with_header("X-Levy-Key", key),
                 None => Response::error(404, "no cached result for that key"),
             }
         }
@@ -730,30 +844,161 @@ enum QueryRole {
     Coalesced,
 }
 
-fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
-    inner.stats.queries.inc();
+/// Whether the request's `Accept` header asks for the binary wire
+/// format. `Err` is the `406` for a wire version this node does not
+/// speak (`application/x-levy-wire;v=N`, N ≠ 1).
+fn wants_wire(request: &Request) -> Result<bool, Response> {
+    let Some(accept) = request.header("accept") else {
+        return Ok(false);
+    };
+    for entry in accept.split(',') {
+        let mut parts = entry.trim().split(';');
+        let media = parts.next().unwrap_or("").trim();
+        if !media.eq_ignore_ascii_case(levy_wire::MEDIA_TYPE) {
+            continue;
+        }
+        for param in parts {
+            if let Some(version) = param.trim().strip_prefix("v=") {
+                if version.trim() != "1" {
+                    return Err(Response::error(
+                        406,
+                        &format!(
+                            "unsupported wire version {}; this node speaks {};v=1",
+                            version.trim(),
+                            levy_wire::MEDIA_TYPE
+                        ),
+                    ));
+                }
+            }
+        }
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// Whether a `Content-Type` names the binary wire format (parameters
+/// ignored; the version travels in the frame header itself).
+fn is_wire_media(content_type: &str) -> bool {
+    content_type
+        .split(';')
+        .next()
+        .unwrap_or("")
+        .trim()
+        .eq_ignore_ascii_case(levy_wire::MEDIA_TYPE)
+}
+
+/// Parses and validates the query body — JSON by default, binary wire
+/// when `Content-Type: application/x-levy-wire`. Returns the query and,
+/// for wire bodies, the already-verified canonical key (saving the
+/// caller a second canonicalise-and-hash); `Err` is the ready-made
+/// `400`.
+fn parse_query(request: &Request, inner: &Arc<Inner>) -> Result<(Query, Option<String>), Response> {
+    let content_type = request.header("content-type").unwrap_or("");
+    if is_wire_media(content_type) {
+        return match wirecodec::decode_query_with_key(&request.body) {
+            Ok((query, key)) => Ok((query, Some(key))),
+            Err(e) => {
+                inner.stats.invalid_requests.inc();
+                Err(Response::error(400, &e))
+            }
+        };
+    }
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => {
             inner.stats.invalid_requests.inc();
-            return Response::error(400, "request body must be UTF-8 JSON");
+            return Err(Response::error(400, "request body must be UTF-8 JSON"));
         }
     };
     let parsed = match Json::parse(body) {
         Ok(v) => v,
         Err(e) => {
             inner.stats.invalid_requests.inc();
-            return Response::error(400, &format!("invalid JSON: {e}"));
+            return Err(Response::error(400, &format!("invalid JSON: {e}")));
         }
     };
-    let query = match Query::from_json(&parsed) {
-        Ok(q) => q,
+    match Query::from_json(&parsed) {
+        Ok(query) => Ok((query, None)),
         Err(e) => {
             inner.stats.invalid_requests.inc();
-            return Response::error(400, &e.0);
+            Err(Response::error(400, &e.0))
         }
+    }
+}
+
+/// A 200 carrying the requested representation of a cached result. Wire
+/// replays serve the stored encoding byte-for-byte; a body with no wire
+/// form (never the case for engine-produced envelopes) falls back to
+/// JSON rather than failing.
+fn body_response(cached: &CachedBody, wire: bool) -> Response {
+    match (&cached.wire, wire) {
+        (Some(bytes), true) => Response::bytes(200, levy_wire::MEDIA_TYPE, bytes.clone()),
+        _ => Response {
+            status: 200,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: cached.json.clone().into_bytes(),
+        },
+    }
+}
+
+/// The terminal body a streaming response embeds in its `Final` frame:
+/// exactly the bytes the non-streaming path would have returned for the
+/// same `Accept`.
+fn final_body(cached: &CachedBody, wire: bool) -> Vec<u8> {
+    match (&cached.wire, wire) {
+        (Some(bytes), true) => bytes.clone(),
+        _ => cached.json.clone().into_bytes(),
+    }
+}
+
+/// Coalesces onto an in-flight job for `key` or admits a new one into
+/// the bounded queue. `Err` is the ready-made backpressure/shutdown 503.
+fn admit_job(
+    inner: &Arc<Inner>,
+    key: &str,
+    query: Query,
+    root: &TraceSpan,
+) -> Result<(Arc<Job>, QueryRole), Response> {
+    let mut inflight = inner.inflight.lock().expect("inflight lock");
+    if let Some(job) = inflight.get(key) {
+        inner.stats.coalesced.inc();
+        return Ok((Arc::clone(job), QueryRole::Coalesced));
+    }
+    if inner.shutting_down.load(Ordering::Acquire) {
+        return Err(Response::error(503, "daemon is shutting down").with_header("Retry-After", "1"));
+    }
+    let mut queue = inner.queue.lock().expect("queue lock");
+    if queue.len() >= inner.config.queue_capacity {
+        inner.stats.rejected_queue_full.inc();
+        return Err(Response::error(503, "job queue is full, retry shortly")
+            .with_header("Retry-After", "1")
+            .with_header("X-Levy-Queue-Depth", &queue.len().to_string()));
+    }
+    let mut queue_wait = root.child("queue_wait");
+    queue_wait.tag("key", key);
+    let job = Job::new(key.to_owned(), query, root.ctx(), queue_wait);
+    queue.push_back(Arc::clone(&job));
+    inner.stats.queue_depth.inc();
+    inner.queue_changed.notify_one();
+    drop(queue);
+    inflight.insert(key.to_owned(), Arc::clone(&job));
+    Ok((job, QueryRole::Owner))
+}
+
+fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
+    inner.stats.queries.inc();
+    let wire = match wants_wire(request) {
+        Ok(wire) => wire,
+        Err(response) => return response,
     };
-    let key = query.cache_key();
+    let (query, wire_key) = match parse_query(request, inner) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    if wire || wire_key.is_some() {
+        inner.stats.wire_requests.inc();
+    }
+    let key = wire_key.unwrap_or_else(|| query.cache_key());
 
     // Tier 1: completed results.
     let mut probe_span = root.child("cache_probe");
@@ -763,14 +1008,10 @@ fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Resp
     probe_span.finish();
     if let Some((cached, tier)) = probed {
         inner.stats.cache_hits.inc();
-        return Response {
-            status: 200,
-            headers: vec![("Content-Type".into(), "application/json".into())],
-            body: cached.into_bytes(),
-        }
-        .with_header("X-Levy-Cache", "hit")
-        .with_header("X-Levy-Cache-Tier", tier.as_str())
-        .with_header("X-Levy-Key", &key);
+        return body_response(&cached, wire)
+            .with_header("X-Levy-Cache", "hit")
+            .with_header("X-Levy-Cache-Tier", tier.as_str())
+            .with_header("X-Levy-Key", &key);
     }
 
     let timeout = Duration::from_millis(
@@ -784,11 +1025,15 @@ fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Resp
     // (cache peek, then full forward) when possible. Forwarded-in
     // requests always run locally — one hop, never a loop — and any
     // failure to reach the home degrades to local simulation below.
+    // Node-to-node traffic is binary regardless of what the client
+    // negotiated; `relay` transcodes for JSON clients.
     if let Some(cluster) = &inner.cluster {
         if request.header(FORWARDED_HEADER).is_some() {
             inner.stats.cluster_received_forwards.inc();
         } else if let Some((index, home)) = cluster.route_target(&key) {
-            match remote_answer(inner, cluster, index, &home, &key, body, timeout, root) {
+            match remote_answer(
+                inner, cluster, index, &home, &key, &query, timeout, root, wire,
+            ) {
                 Some(response) => return response,
                 None => inner.stats.cluster_local_fallbacks.inc(),
             }
@@ -796,36 +1041,12 @@ fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Resp
     }
 
     // Tier 2: coalesce onto in-flight work, or admit a new job.
-    let (job, role) = {
-        let mut inflight = inner.inflight.lock().expect("inflight lock");
-        if let Some(job) = inflight.get(&key) {
-            inner.stats.coalesced.inc();
-            (Arc::clone(job), QueryRole::Coalesced)
-        } else {
-            if inner.shutting_down.load(Ordering::Acquire) {
-                return Response::error(503, "daemon is shutting down")
-                    .with_header("Retry-After", "1");
-            }
-            let mut queue = inner.queue.lock().expect("queue lock");
-            if queue.len() >= inner.config.queue_capacity {
-                inner.stats.rejected_queue_full.inc();
-                return Response::error(503, "job queue is full, retry shortly")
-                    .with_header("Retry-After", "1")
-                    .with_header("X-Levy-Queue-Depth", &queue.len().to_string());
-            }
-            let mut queue_wait = root.child("queue_wait");
-            queue_wait.tag("key", &key);
-            let job = Job::new(key.clone(), query, root.ctx(), queue_wait);
-            queue.push_back(Arc::clone(&job));
-            inner.stats.queue_depth.inc();
-            inner.queue_changed.notify_one();
-            drop(queue);
-            inflight.insert(key.clone(), Arc::clone(&job));
-            (job, QueryRole::Owner)
-        }
+    let (job, role) = match admit_job(inner, &key, query, root) {
+        Ok(admitted) => admitted,
+        Err(response) => return response,
     };
 
-    wait_for_job(&job, role, timeout, inner)
+    wait_for_job(&job, role, timeout, inner, wire)
 }
 
 /// Tries to answer a non-home query from its home node: cache peek
@@ -844,9 +1065,10 @@ fn remote_answer(
     index: usize,
     home: &str,
     key: &str,
-    query_body: &str,
+    query: &Query,
     timeout: Duration,
     root: &TraceSpan,
+    client_wire: bool,
 ) -> Option<Response> {
     let mut route_span = root.child("cluster_route");
     route_span.tag("key", key);
@@ -868,7 +1090,7 @@ fn remote_answer(
             peek_span.finish();
             route_span.tag("outcome", "remote_cache_hit");
             route_span.finish();
-            return Some(relay(&response, key, home, "remote"));
+            return relay(&response, key, home, "remote", client_wire);
         }
         Ok((response, call)) => {
             // 404 is the expected miss; anything else is the home being
@@ -904,7 +1126,7 @@ fn remote_answer(
     let forwarded = cluster.forward(
         index,
         home,
-        query_body,
+        &wirecodec::encode_query(query),
         timeout,
         &forward_span.ctx().to_traceparent(),
     );
@@ -926,7 +1148,7 @@ fn remote_answer(
             forward_span.finish();
             route_span.tag("outcome", "forwarded");
             route_span.finish();
-            Some(relay(&response, key, home, "forwarded"))
+            relay(&response, key, home, "forwarded", client_wire)
         }
         Err(e) => {
             cluster.record_failure(index, &inner.stats);
@@ -942,23 +1164,70 @@ fn remote_answer(
 }
 
 /// Re-wraps a home node's response for the entry node's client: same
-/// body bytes (responses are a pure function of the query, so relayed
-/// and local bodies are byte-identical), fresh headers naming the home
-/// and how the answer was obtained. The home's own cache disposition is
+/// result (responses are a pure function of the query, so relayed and
+/// local bodies are byte-identical), fresh headers naming the home and
+/// how the answer was obtained. The home's own cache disposition is
 /// preserved as `X-Levy-Home-Cache`.
-fn relay(upstream: &Response, key: &str, home: &str, disposition: &str) -> Response {
-    let mut response = Response {
-        status: upstream.status,
-        headers: vec![("Content-Type".into(), "application/json".into())],
-        body: upstream.body.clone(),
+///
+/// Node-to-node hops carry the binary wire format; when the entry
+/// client negotiated JSON, the wire body is transcoded back (the codec
+/// reconstructs the engine's exact pretty-printed envelope, so the
+/// relayed JSON matches a local answer byte-for-byte). `None` means the
+/// upstream body could not be represented as asked — the caller falls
+/// back to local simulation, never relays garbage.
+fn relay(
+    upstream: &Response,
+    key: &str,
+    home: &str,
+    disposition: &str,
+    client_wire: bool,
+) -> Option<Response> {
+    let upstream_wire = upstream.header("content-type").is_some_and(is_wire_media);
+    let mut response = match (upstream_wire, client_wire) {
+        (true, true) => Response::bytes(
+            upstream.status,
+            levy_wire::MEDIA_TYPE,
+            upstream.body.clone(),
+        ),
+        (true, false) => {
+            let json = wirecodec::decode_result_to_json(&upstream.body).ok()?;
+            Response {
+                status: upstream.status,
+                headers: vec![("Content-Type".into(), "application/json".into())],
+                body: json.to_string_pretty().into_bytes(),
+            }
+        }
+        (false, client_wire) => {
+            // A JSON upstream body (error responses stay JSON even on
+            // binary hops). Result envelopes are re-encoded for wire
+            // clients; anything else is relayed as the JSON it is.
+            let encoded = client_wire
+                .then(|| {
+                    std::str::from_utf8(&upstream.body)
+                        .ok()
+                        .and_then(|s| Json::parse(s).ok())
+                        .and_then(|j| wirecodec::encode_result(&j).ok())
+                })
+                .flatten();
+            match encoded {
+                Some(bytes) => Response::bytes(upstream.status, levy_wire::MEDIA_TYPE, bytes),
+                None => Response {
+                    status: upstream.status,
+                    headers: vec![("Content-Type".into(), "application/json".into())],
+                    body: upstream.body.clone(),
+                },
+            }
+        }
     };
     if let Some(home_cache) = upstream.header("X-Levy-Cache") {
         response = response.with_header("X-Levy-Home-Cache", home_cache);
     }
-    response
-        .with_header("X-Levy-Cache", disposition)
-        .with_header("X-Levy-Key", key)
-        .with_header("X-Levy-Home", home)
+    Some(
+        response
+            .with_header("X-Levy-Cache", disposition)
+            .with_header("X-Levy-Key", key)
+            .with_header("X-Levy-Home", home),
+    )
 }
 
 /// Blocks on a job until it resolves or `timeout` elapses.
@@ -967,6 +1236,7 @@ fn wait_for_job(
     role: QueryRole,
     timeout: Duration,
     inner: &Arc<Inner>,
+    wire: bool,
 ) -> Response {
     job.waiters.fetch_add(1, Ordering::AcqRel);
     let deadline = Instant::now() + timeout;
@@ -985,13 +1255,9 @@ fn wait_for_job(
                 QueryRole::Owner => "miss",
                 QueryRole::Coalesced => "coalesced",
             };
-            Response {
-                status: 200,
-                headers: vec![("Content-Type".into(), "application/json".into())],
-                body: body.as_bytes().to_vec(),
-            }
-            .with_header("X-Levy-Cache", disposition)
-            .with_header("X-Levy-Key", &job.key)
+            body_response(body, wire)
+                .with_header("X-Levy-Cache", disposition)
+                .with_header("X-Levy-Key", &job.key)
         }
         JobOutcome::Failed(message) => Response::error(500, message),
         JobOutcome::Cancelled => {
@@ -1012,6 +1278,225 @@ fn wait_for_job(
     };
     job.waiters.fetch_sub(1, Ordering::AcqRel);
     response
+}
+
+/// Detaches one waiter from `job`; the last one out of a still-pending
+/// job cancels it so abandoned work stops burning cores.
+fn detach_waiter(job: &Arc<Job>, inner: &Arc<Inner>) {
+    if job.waiters.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let outcome = job.outcome.lock().expect("job lock");
+        if matches!(*outcome, JobOutcome::Pending) {
+            job.cancel.cancel();
+            // Wake the queue in case the job is still unstarted: a
+            // worker will observe the cancelled token and retire it.
+            inner.queue_changed.notify_all();
+        }
+    }
+}
+
+/// Writes a buffered (non-chunked) response on the streaming path —
+/// used for every failure that happens before the chunked head goes
+/// out. Returns the status for request logging.
+fn write_buffered<S: Write>(stream: &mut S, inner: &Arc<Inner>, response: &Response) -> u16 {
+    if write_response(stream, response).is_err() {
+        inner.stats.io_write_errors.inc();
+    }
+    response.status
+}
+
+/// `POST /v1/query` with `X-Levy-Stream: 1`: a chunked response whose
+/// chunks are wire frames — `Batch` frames as the adaptive estimator
+/// completes batches, then one terminal frame:
+///
+/// - `Final`, carrying byte-for-byte the body the non-streaming path
+///   would have returned for the same `Accept`;
+/// - or `Error` (500/503/504) when the job fails, is cancelled, or the
+///   deadline passes mid-stream.
+///
+/// Failures *before* the head is written (bad query, 406, queue full)
+/// are ordinary buffered responses. A chunk-write failure means the
+/// client is gone: the waiter detaches, and — as on the buffered
+/// timeout path — the last waiter out cancels the job. Streaming always
+/// answers locally (no cluster hop): partial results need the simulation
+/// on this node.
+fn handle_query_streaming<S: Read + Write>(
+    request: &Request,
+    inner: &Arc<Inner>,
+    root: &TraceSpan,
+    stream: &mut S,
+) -> u16 {
+    inner.stats.queries.inc();
+    let wire = match wants_wire(request) {
+        Ok(wire) => wire,
+        Err(response) => return write_buffered(stream, inner, &response),
+    };
+    let (query, wire_key) = match parse_query(request, inner) {
+        Ok(parsed) => parsed,
+        Err(response) => return write_buffered(stream, inner, &response),
+    };
+    if wire || wire_key.is_some() {
+        inner.stats.wire_requests.inc();
+    }
+    let key = wire_key.unwrap_or_else(|| query.cache_key());
+    let trace_id = root.ctx().trace_id.to_string();
+
+    // Cache hit: the whole stream is one terminal Final frame.
+    let mut probe_span = root.child("cache_probe");
+    probe_span.tag("key", &key);
+    let probed = inner.cache.get(&key);
+    probe_span.tag("outcome", if probed.is_some() { "hit" } else { "miss" });
+    probe_span.finish();
+    if let Some((cached, tier)) = probed {
+        inner.stats.cache_hits.inc();
+        inner.stats.streams_started.inc();
+        let frame = Frame::Final(FinalFrame {
+            body: final_body(&cached, wire),
+        });
+        let written = write_chunked_head(
+            stream,
+            200,
+            &[
+                ("Content-Type", levy_wire::STREAM_MEDIA_TYPE),
+                ("X-Levy-Cache", "hit"),
+                ("X-Levy-Cache-Tier", tier.as_str()),
+                ("X-Levy-Key", &key),
+                ("X-Levy-Trace-Id", &trace_id),
+            ],
+        )
+        .and_then(|()| write_chunk(stream, &frame.encode()))
+        .and_then(|()| finish_chunked(stream));
+        if written.is_err() {
+            inner.stats.io_write_errors.inc();
+        }
+        return 200;
+    }
+
+    let timeout = Duration::from_millis(
+        query
+            .timeout_ms
+            .unwrap_or(inner.config.default_timeout_ms)
+            .max(1),
+    );
+    let (job, role) = match admit_job(inner, &key, query, root) {
+        Ok(admitted) => admitted,
+        Err(response) => return write_buffered(stream, inner, &response),
+    };
+
+    job.waiters.fetch_add(1, Ordering::AcqRel);
+    inner.stats.streams_started.inc();
+    let disposition = match role {
+        QueryRole::Owner => "miss",
+        QueryRole::Coalesced => "coalesced",
+    };
+    if write_chunked_head(
+        stream,
+        200,
+        &[
+            ("Content-Type", levy_wire::STREAM_MEDIA_TYPE),
+            ("X-Levy-Cache", disposition),
+            ("X-Levy-Key", &key),
+            ("X-Levy-Trace-Id", &trace_id),
+        ],
+    )
+    .is_err()
+    {
+        inner.stats.io_write_errors.inc();
+        inner.stats.streams_cancelled.inc();
+        detach_waiter(&job, inner);
+        return 200;
+    }
+
+    let deadline = Instant::now() + timeout;
+    let mut sent = 0usize;
+    let mut last: Option<BatchProgress> = None;
+    let mut outcome = job.outcome.lock().expect("job lock");
+    loop {
+        // Drain progress published since the last pass. Chunks are
+        // written with the outcome lock released so a slow client never
+        // blocks the worker publishing this job's completion.
+        let fresh: Vec<BatchProgress> = {
+            let progress = job.progress.lock().expect("progress lock");
+            progress[sent..].to_vec()
+        };
+        if !fresh.is_empty() {
+            drop(outcome);
+            for event in &fresh {
+                let frame = wirecodec::batch_frame(event, last.as_ref());
+                sent += 1;
+                last = Some(*event);
+                if write_chunk(stream, &frame.encode()).is_err() {
+                    // Client disconnected mid-stream.
+                    inner.stats.io_write_errors.inc();
+                    inner.stats.streams_cancelled.inc();
+                    detach_waiter(&job, inner);
+                    return 200;
+                }
+            }
+            outcome = job.outcome.lock().expect("job lock");
+            continue;
+        }
+        let terminal: Option<(u16, Frame)> = match &*outcome {
+            JobOutcome::Pending => None,
+            JobOutcome::Done(body) => Some((
+                200,
+                Frame::Final(FinalFrame {
+                    body: final_body(body, wire),
+                }),
+            )),
+            JobOutcome::Failed(message) => Some((
+                500,
+                Frame::Error(ErrorFrame {
+                    status: 500,
+                    message: message.clone(),
+                }),
+            )),
+            JobOutcome::Cancelled => Some((
+                503,
+                Frame::Error(ErrorFrame {
+                    status: 503,
+                    message: "job was cancelled, retry".into(),
+                }),
+            )),
+        };
+        if let Some((status, frame)) = terminal {
+            drop(outcome);
+            job.waiters.fetch_sub(1, Ordering::AcqRel);
+            if write_chunk(stream, &frame.encode())
+                .and_then(|()| finish_chunked(stream))
+                .is_err()
+            {
+                inner.stats.io_write_errors.inc();
+            }
+            return status;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            // Deadline mid-stream: a terminal Error frame, not a dead
+            // socket. Detaching may cancel the job (last waiter out).
+            drop(outcome);
+            inner.stats.wait_timeouts.inc();
+            detach_waiter(&job, inner);
+            let frame = Frame::Error(ErrorFrame {
+                status: 504,
+                message: "simulation did not finish within the deadline".into(),
+            });
+            if write_chunk(stream, &frame.encode())
+                .and_then(|()| finish_chunked(stream))
+                .is_err()
+            {
+                inner.stats.io_write_errors.inc();
+            }
+            return 504;
+        }
+        // A bounded slice, not `remaining`: progress notifications can
+        // race the wait, and the cap turns a missed wakeup into at most
+        // 100 ms of added latency on one batch frame.
+        let (next, _timed_out) = job
+            .done
+            .wait_timeout(outcome, remaining.min(Duration::from_millis(100)))
+            .expect("job lock");
+        outcome = next;
+    }
 }
 
 /// Worker: pop a job, run the engine, publish the outcome, repeat.
@@ -1061,21 +1546,35 @@ fn worker_loop(inner: &Arc<Inner>) {
             if inject_panic {
                 panic!("injected worker panic");
             }
-            engine::execute_traced(
+            // Adaptive batch progress is published as it happens so
+            // streaming waiters can emit partial results; the observer
+            // never touches the RNG, so the body stays bit-identical to
+            // an unobserved run.
+            let progress_job = Arc::clone(&job);
+            let mut observer = move |progress: BatchProgress| {
+                progress_job
+                    .progress
+                    .lock()
+                    .expect("progress lock")
+                    .push(progress);
+                progress_job.done.notify_all();
+            };
+            engine::execute_observed(
                 &job.query,
                 sim_threads,
                 &job.cancel,
                 Some((&inner.traces, exec_ctx)),
+                &mut observer,
             )
         }));
         inner.stats.workers_busy.dec();
         let outcome = match outcome {
             Ok(Some(body)) => {
                 exec_span.tag("outcome", "completed");
-                let text = body.to_string_pretty();
-                inner.cache.put(&job.key, &text);
+                let cached = Arc::new(CachedBody::from_json(&body.to_string_pretty()));
+                inner.cache.put_body(&job.key, &cached);
                 inner.stats.simulations_completed.inc();
-                JobOutcome::Done(Arc::new(text))
+                JobOutcome::Done(cached)
             }
             Ok(None) => {
                 exec_span.tag("outcome", "cancelled");

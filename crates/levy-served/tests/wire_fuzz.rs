@@ -1,0 +1,213 @@
+//! Seeded fuzz test for the levy-wire binary decoder.
+//!
+//! The same discipline as `http_fuzz`, pointed at `Frame::decode` and
+//! the server's binary request path: ten thousand mutated frame images
+//! — valid templates with seeded bit flips, truncations, version and
+//! kind skews, length-field lies, splices, and outright noise — must
+//! never panic, never over-read (accepted payloads stay under
+//! `MAX_PAYLOAD`), and decode to frames whose re-encoding is
+//! byte-stable. A live-server pass then pins the HTTP contract: damaged
+//! binary bodies come back as clean 400s, never a 5xx, and the daemon
+//! keeps serving afterwards.
+
+use std::time::Duration;
+
+use levy_served::server::{Server, ServerConfig};
+use levy_served::{wirecodec, CacheConfig, Client, Query};
+use levy_sim::{CancelToken, Json};
+use levy_wire::{Frame, MAX_PAYLOAD, MEDIA_TYPE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tiny query: cheap enough that a mutation surviving decode+validation
+/// costs microseconds of simulation, not minutes.
+const TINY_QUERY: &str =
+    r#"{"kind":"single_walk","alpha":2.0,"ell":8,"budget":64,"trials":4,"seed":1}"#;
+
+fn tiny_query() -> Query {
+    Query::from_json(&Json::parse(TINY_QUERY).unwrap()).unwrap()
+}
+
+/// Valid encoded frames of every kind, used as mutation templates.
+fn templates() -> Vec<Vec<u8>> {
+    let query = tiny_query();
+    let envelope = levy_served::engine::execute(&query, 1, &CancelToken::new()).unwrap();
+    vec![
+        wirecodec::encode_query(&query),
+        wirecodec::encode_result(&envelope).unwrap(),
+        Frame::Batch(levy_wire::BatchFrame {
+            batch: 3,
+            trials_delta: 256,
+            successes_delta: 19,
+            p: 0.0742,
+            ci: (0.051, 0.103),
+        })
+        .encode(),
+        Frame::Error(levy_wire::ErrorFrame {
+            status: 503,
+            message: "queue full".to_owned(),
+        })
+        .encode(),
+        Frame::Final(levy_wire::FinalFrame {
+            body: b"{\"schema\":\"levy-served/result-v1\"}".to_vec(),
+        })
+        .encode(),
+    ]
+}
+
+/// One seeded mutation of a template (or pure noise). `header_only`
+/// restricts damage to the 8-byte frame header plus truncation, so a
+/// mutant that still decodes carries the template's original (cheap)
+/// payload — the shape the live-server pass needs.
+fn mutate(rng: &mut SmallRng, templates: &[Vec<u8>], header_only: bool) -> Vec<u8> {
+    let mut wire = templates[rng.gen_range(0..templates.len())].clone();
+    let arms = if header_only { 5 } else { 8 };
+    for _ in 0..rng.gen_range(0..4) {
+        match rng.gen_range(0..arms) {
+            // Skew the version byte.
+            0 if wire.len() > 2 => wire[2] = rng.gen(),
+            // Skew the kind byte.
+            1 if wire.len() > 3 => wire[3] = rng.gen(),
+            // Lie about the payload length.
+            2 if wire.len() >= 8 => {
+                let lie: u32 = if rng.gen_bool(0.5) {
+                    rng.gen_range(0..=2 * MAX_PAYLOAD)
+                } else {
+                    rng.gen()
+                };
+                wire[4..8].copy_from_slice(&lie.to_le_bytes());
+            }
+            // Truncate mid-frame.
+            3 if !wire.is_empty() => {
+                let i = rng.gen_range(0..wire.len());
+                wire.truncate(i);
+            }
+            // Flip a bit in the header.
+            4 if !wire.is_empty() => {
+                let i = rng.gen_range(0..wire.len().min(8));
+                wire[i] ^= 1 << rng.gen_range(0..8);
+            }
+            // Flip a byte anywhere in the payload.
+            5 if !wire.is_empty() => {
+                let i = rng.gen_range(0..wire.len());
+                wire[i] = rng.gen();
+            }
+            // Splice random bytes in.
+            6 => {
+                let i = rng.gen_range(0..=wire.len());
+                let n = rng.gen_range(1..32);
+                let noise: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+                wire.splice(i..i, noise);
+            }
+            // Replace wholesale with noise.
+            _ => {
+                let n = rng.gen_range(0..256);
+                wire = (0..n).map(|_| rng.gen()).collect();
+            }
+        }
+    }
+    wire
+}
+
+#[test]
+fn ten_thousand_mutated_frames_never_panic_the_decoder() {
+    let templates = templates();
+    let mut rng = SmallRng::seed_from_u64(0x31BE);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for case in 0..10_000u32 {
+        let wire = mutate(&mut rng, &templates, false);
+        match Frame::decode(&wire) {
+            Ok(frame) => {
+                accepted += 1;
+                // Accepted frames never over-read: the declared payload
+                // fits both the cap and the bytes actually present.
+                assert!(
+                    wire.len() >= 8 && wire.len() - 8 <= MAX_PAYLOAD as usize,
+                    "case {case}: accepted a frame over the payload cap"
+                );
+                // Re-encoding is byte-stable (the encoding is canonical).
+                let bytes = frame.encode();
+                let again = Frame::decode(&bytes).expect("re-decode of a re-encode");
+                assert_eq!(
+                    bytes,
+                    again.encode(),
+                    "case {case}: encode/decode/encode must be a fixed point"
+                );
+            }
+            Err(_) => rejected += 1,
+        }
+        // The server's actual 400 path: decode + canonical validation.
+        // Must return a structured error, never panic.
+        let _ = wirecodec::decode_query(&wire);
+        let _ = wirecodec::decode_result_to_json(&wire);
+    }
+    assert!(accepted > 100, "only {accepted} of 10000 cases decoded");
+    assert!(rejected > 100, "only {rejected} of 10000 cases rejected");
+}
+
+#[test]
+fn damaged_wire_bodies_get_clean_400s_from_a_live_server() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        sim_threads: 1,
+        queue_capacity: 32,
+        cache: CacheConfig {
+            mem_capacity: 64,
+            disk_capacity: 0,
+            dir: None,
+        },
+        default_timeout_ms: 60_000,
+        quiet: true,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let client = Client::new(&server.addr().to_string()).with_timeout(Duration::from_secs(30));
+    let templates = templates();
+    let mut rng = SmallRng::seed_from_u64(0x31BE);
+    let mut ok = 0u32;
+    let mut bad = 0u32;
+    for case in 0..300u32 {
+        // Header-only damage: survivors replay the template's own cheap
+        // payload, so accidental 200s cost nothing.
+        let wire = mutate(&mut rng, &templates, true);
+        let response = client
+            .request_full("POST", "/v1/query", MEDIA_TYPE, &[], &wire)
+            .expect("server must keep answering");
+        match response.status {
+            200 => ok += 1,
+            400 => {
+                bad += 1;
+                let body = Json::parse(&response.body_string())
+                    .unwrap_or_else(|e| panic!("case {case}: 400 body must be JSON: {e}"));
+                assert!(
+                    body.get("error").is_some(),
+                    "case {case}: 400 body must carry an error field"
+                );
+            }
+            other => panic!("case {case}: unexpected status {other}"),
+        }
+    }
+    assert!(bad > 50, "only {bad} of 300 live cases rejected");
+    assert!(
+        ok > 0,
+        "no live case decoded cleanly; header-only mutation is too harsh"
+    );
+    // The daemon survived the barrage.
+    let health = client.get("/healthz").expect("healthz after fuzzing");
+    assert_eq!(health.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn wire_fuzz_corpus_is_deterministic() {
+    let templates = templates();
+    let run = || -> Vec<Vec<u8>> {
+        let mut rng = SmallRng::seed_from_u64(0x31BE);
+        (0..64)
+            .map(|_| mutate(&mut rng, &templates, false))
+            .collect()
+    };
+    assert_eq!(run(), run(), "the seeded corpus must replay identically");
+}

@@ -59,6 +59,27 @@ pub struct AdaptiveEstimate {
     pub converged: bool,
 }
 
+/// One completed batch of an adaptive estimation, as reported to the
+/// observer of [`estimate_probability_observed`].
+///
+/// Carries the running totals *after* the batch, so a streaming consumer
+/// can render `estimate ± half-width (trials)` lines as the interval
+/// tightens — the progressive view of the paper's sample-efficiency
+/// story.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchProgress {
+    /// 1-based index of the batch that just completed.
+    pub batch: u64,
+    /// Total trials consumed so far.
+    pub trials: u64,
+    /// Total successes observed so far.
+    pub successes: u64,
+    /// Running point estimate.
+    pub p: f64,
+    /// Running 95% Wilson interval.
+    pub ci: (f64, f64),
+}
+
 /// Estimates `P(predicate)` by batched simulation until `precision` is met.
 ///
 /// Batches double from 256 trials; each trial `i` uses the deterministic
@@ -91,6 +112,25 @@ pub fn estimate_probability_cancellable<F>(
 where
     F: Fn(u64, &mut SmallRng) -> bool + Sync,
 {
+    estimate_probability_observed(seeds, threads, precision, cancel, &mut |_| {}, predicate)
+}
+
+/// [`estimate_probability_cancellable`] with a per-batch observer: after
+/// each batch completes, `observer` receives the running totals as a
+/// [`BatchProgress`]. The observer never touches the RNG streams or the
+/// stopping rule, so the estimate is bit-identical whether or not anyone
+/// is watching — the invariant the streaming byte-identity tests pin.
+pub fn estimate_probability_observed<F>(
+    seeds: SeedStream,
+    threads: usize,
+    precision: Precision,
+    cancel: &CancelToken,
+    observer: &mut dyn FnMut(BatchProgress),
+    predicate: F,
+) -> Option<AdaptiveEstimate>
+where
+    F: Fn(u64, &mut SmallRng) -> bool + Sync,
+{
     let mut trials: u64 = 0;
     let mut successes: u64 = 0;
     let mut batches: u64 = 0;
@@ -112,6 +152,13 @@ where
         batches += 1;
         let p = successes as f64 / trials as f64;
         let ci = wilson_interval(successes, trials, 1.96);
+        observer(BatchProgress {
+            batch: batches,
+            trials,
+            successes,
+            p,
+            ci,
+        });
         let half = (ci.1 - ci.0) / 2.0;
         let met = half <= precision.absolute || (p > 0.0 && half <= precision.relative * p);
         if met {
@@ -282,6 +329,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plain, tokened);
+    }
+
+    #[test]
+    fn observer_sees_every_batch_and_changes_nothing() {
+        let precision = Precision {
+            absolute: 1e-9,
+            relative: 1e-9,
+            max_trials: 1_000,
+        };
+        let mut seen: Vec<BatchProgress> = Vec::new();
+        let observed = estimate_probability_observed(
+            SeedStream::new(3),
+            1,
+            precision,
+            &CancelToken::new(),
+            &mut |progress| seen.push(progress),
+            |_i, rng| rng.gen::<f64>() < 0.5,
+        )
+        .unwrap();
+        let plain = estimate_probability(SeedStream::new(3), 1, precision, |_i, rng| {
+            rng.gen::<f64>() < 0.5
+        });
+        assert_eq!(observed, plain, "observation must not perturb the estimate");
+        assert_eq!(seen.len() as u64, observed.batches);
+        assert_eq!(
+            seen.iter().map(|b| b.batch).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "batches arrive in order"
+        );
+        let last = seen.last().unwrap();
+        assert_eq!(last.trials, observed.trials);
+        assert_eq!(last.successes, observed.successes);
+        assert_eq!(last.p, observed.p);
+        assert_eq!(last.ci, observed.ci);
+        // Running totals are monotone, so delta-packing them is sound.
+        for pair in seen.windows(2) {
+            assert!(pair[1].trials > pair[0].trials);
+            assert!(pair[1].successes >= pair[0].successes);
+        }
     }
 
     #[test]

@@ -35,7 +35,8 @@ mod runner;
 mod sweep;
 
 pub use adaptive::{
-    estimate_probability, estimate_probability_cancellable, AdaptiveEstimate, Precision,
+    estimate_probability, estimate_probability_cancellable, estimate_probability_observed,
+    AdaptiveEstimate, BatchProgress, Precision,
 };
 pub use experiment::{
     measure_parallel_common, measure_parallel_common_cancellable, measure_parallel_strategy,

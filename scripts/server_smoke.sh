@@ -70,6 +70,27 @@ cmp -s "$WORKDIR/cold.json" "$WORKDIR/cached.json" || {
 }
 echo "query: cold miss + cached hit, bodies byte-identical"
 
+# 3b. Binary negotiation: `--wire` fetches the levy-wire representation
+#     and decodes it client-side; the decoded JSON must be byte-identical
+#     to the JSON-negotiated body. `--stream` replays the same query as a
+#     chunked stream whose terminal frame carries the same bytes again.
+"$LEVYC" --addr "$ADDR" query --wire "$QUERY" >"$WORKDIR/wire.json" 2>"$WORKDIR/wire.hdr"
+grep -q '^wire: .* bytes' "$WORKDIR/wire.hdr" || {
+  echo "levyc --wire did not report a binary body:" >&2; cat "$WORKDIR/wire.hdr" >&2; exit 1
+}
+cmp -s "$WORKDIR/cold.json" "$WORKDIR/wire.json" || {
+  echo "wire-negotiated body did not transcode to the JSON bytes" >&2
+  diff "$WORKDIR/cold.json" "$WORKDIR/wire.json" >&2 || true
+  exit 1
+}
+"$LEVYC" --addr "$ADDR" query --stream "$QUERY" >"$WORKDIR/stream.json" 2>"$WORKDIR/stream.hdr"
+cmp -s "$WORKDIR/cold.json" "$WORKDIR/stream.json" || {
+  echo "streamed final body was not byte-identical to the buffered one" >&2
+  diff "$WORKDIR/cold.json" "$WORKDIR/stream.json" >&2 || true
+  exit 1
+}
+echo "wire: binary body transcodes byte-identically; stream replays the same bytes"
+
 # 4. The hit must show up in the Prometheus exposition.
 "$LEVYC" --addr "$ADDR" metrics >"$WORKDIR/metrics.txt" 2>/dev/null
 CACHE_HITS="$(awk '$1 == "levy_served_cache_hits_total" { print $2 }' "$WORKDIR/metrics.txt")"
@@ -79,6 +100,13 @@ CACHE_HITS="$(awk '$1 == "levy_served_cache_hits_total" { print $2 }' "$WORKDIR/
   exit 1
 }
 echo "metrics: levy_served_cache_hits_total=$CACHE_HITS"
+WIRE_REQS="$(awk '$1 == "levy_served_wire_requests_total" { print $2 }' "$WORKDIR/metrics.txt")"
+[ -n "$WIRE_REQS" ] && [ "$WIRE_REQS" -ge 1 ] || {
+  echo "expected levy_served_wire_requests_total >= 1 in /metrics, got '${WIRE_REQS:-absent}':" >&2
+  grep '^levy_served_wire' "$WORKDIR/metrics.txt" >&2 || cat "$WORKDIR/metrics.txt" >&2
+  exit 1
+}
+echo "metrics: levy_served_wire_requests_total=$WIRE_REQS"
 
 # 5. The cold query's trace must be queryable by id and form a span tree
 #    that reached a worker. The root span finalizes just after the
