@@ -12,6 +12,12 @@
 //! A peer starts **up** (optimistic): the first query may race the first
 //! probe, and trying a possibly-dead peer once costs one short timeout,
 //! while treating a live peer as dead costs a local re-simulation.
+//!
+//! Membership is **live**: peers can be admitted and removed at runtime
+//! (`POST /v1/peers`). Removal tombstones the slot instead of deleting
+//! it, so indices — which fault plans and per-peer gauges address peers
+//! by — never renumber; re-admitting the same address reactivates its
+//! old slot under its old index.
 
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -39,6 +45,9 @@ pub struct PeerHealth {
     pub failures: u64,
     /// Unix µs of the last observation (0 = never observed).
     pub last_seen_unix_us: u64,
+    /// Whether the peer was removed from the membership (tombstoned
+    /// slot kept so indices never renumber).
+    pub removed: bool,
 }
 
 /// Interior state per peer.
@@ -51,6 +60,7 @@ struct PeerState {
     successes: u64,
     failures: u64,
     last_seen_unix_us: u64,
+    removed: bool,
 }
 
 /// Thread-safe health table over the configured peer list.
@@ -81,10 +91,50 @@ impl PeerTable {
                         successes: 0,
                         failures: 0,
                         last_seen_unix_us: 0,
+                        removed: false,
                     })
                     .collect(),
             ),
         }
+    }
+
+    /// Admits a peer: reactivates its tombstoned slot (same index) when
+    /// the address was a member before, else appends a fresh slot. The
+    /// peer starts up (optimistic, like construction). Returns the
+    /// slot's index. Admitting an already-active address is a no-op.
+    pub fn add_peer(&self, addr: &str) -> usize {
+        let mut peers = self.peers.lock().expect("peer table lock");
+        if let Some(index) = peers.iter().position(|p| p.addr == addr) {
+            let peer = &mut peers[index];
+            if peer.removed {
+                peer.removed = false;
+                peer.up = true;
+                peer.consecutive_failures = 0;
+            }
+            return index;
+        }
+        peers.push(PeerState {
+            addr: addr.to_owned(),
+            up: true,
+            latency_us: 0,
+            consecutive_failures: 0,
+            successes: 0,
+            failures: 0,
+            last_seen_unix_us: 0,
+            removed: false,
+        });
+        peers.len() - 1
+    }
+
+    /// Tombstones a peer: the slot stays (indices never renumber) but
+    /// reads as removed and down. Returns the slot's index, or `None`
+    /// when the address is not an active member.
+    pub fn remove_peer(&self, addr: &str) -> Option<usize> {
+        let mut peers = self.peers.lock().expect("peer table lock");
+        let index = peers.iter().position(|p| p.addr == addr && !p.removed)?;
+        peers[index].removed = true;
+        peers[index].up = false;
+        Some(index)
     }
 
     /// Number of peers tracked.
@@ -97,34 +147,42 @@ impl PeerTable {
         self.len() == 0
     }
 
-    /// The configured index of `addr`, if tracked.
+    /// The configured index of `addr`, if tracked as an active member.
     pub fn index_of(&self, addr: &str) -> Option<usize> {
         self.peers
             .lock()
             .expect("peer table lock")
             .iter()
-            .position(|p| p.addr == addr)
+            .position(|p| p.addr == addr && !p.removed)
     }
 
-    /// Whether peer `index` is currently considered up. Unknown indices
-    /// read as down.
+    /// Whether peer `index` is currently considered up. Unknown and
+    /// removed indices read as down.
     pub fn is_up(&self, index: usize) -> bool {
         self.peers
             .lock()
             .expect("peer table lock")
             .get(index)
-            .is_some_and(|p| p.up)
+            .is_some_and(|p| p.up && !p.removed)
     }
 
-    /// Records a successful probe or call to peer `index`.
-    pub fn record_success(&self, index: usize, latency_us: u64) {
+    /// Records a successful probe or call to peer `index`. Returns
+    /// `true` when this success *resurrected* a down peer — the signal
+    /// the server uses to push that peer the cached keys it is home to
+    /// (it may have missed replica writes while down).
+    pub fn record_success(&self, index: usize, latency_us: u64) -> bool {
         let mut peers = self.peers.lock().expect("peer table lock");
-        if let Some(peer) = peers.get_mut(index) {
-            peer.up = true;
-            peer.latency_us = latency_us;
-            peer.consecutive_failures = 0;
-            peer.successes += 1;
-            peer.last_seen_unix_us = unix_us();
+        match peers.get_mut(index) {
+            Some(peer) if !peer.removed => {
+                let resurrected = !peer.up;
+                peer.up = true;
+                peer.latency_us = latency_us;
+                peer.consecutive_failures = 0;
+                peer.successes += 1;
+                peer.last_seen_unix_us = unix_us();
+                resurrected
+            }
+            _ => false,
         }
     }
 
@@ -134,7 +192,7 @@ impl PeerTable {
     pub fn record_failure(&self, index: usize) -> bool {
         let mut peers = self.peers.lock().expect("peer table lock");
         match peers.get_mut(index) {
-            Some(peer) => {
+            Some(peer) if !peer.removed => {
                 peer.consecutive_failures += 1;
                 peer.failures += 1;
                 peer.last_seen_unix_us = unix_us();
@@ -143,11 +201,13 @@ impl PeerTable {
                 }
                 peer.up
             }
-            None => false,
+            _ => false,
         }
     }
 
-    /// A snapshot of every peer's health, in configured order.
+    /// A snapshot of every slot's health, in index order — tombstoned
+    /// slots included (`removed: true`) so indices line up with
+    /// [`is_up`](Self::is_up) and fault plans.
     pub fn snapshot(&self) -> Vec<PeerHealth> {
         self.peers
             .lock()
@@ -163,6 +223,7 @@ impl PeerTable {
                 successes: p.successes,
                 failures: p.failures,
                 last_seen_unix_us: p.last_seen_unix_us,
+                removed: p.removed,
             })
             .collect()
     }
@@ -201,5 +262,43 @@ mod tests {
         assert_eq!(table.index_of("missing:1"), None);
         assert!(!table.is_up(7), "unknown indices read as down");
         assert_eq!(table.snapshot()[1].index, 1);
+    }
+
+    #[test]
+    fn success_after_down_reports_a_resurrection() {
+        let table = PeerTable::new(&["a:1"]);
+        assert!(
+            !table.record_success(0, 10),
+            "up -> up is not a resurrection"
+        );
+        table.record_failure(0);
+        table.record_failure(0);
+        assert!(!table.is_up(0));
+        assert!(table.record_success(0, 10), "down -> up is");
+        assert!(!table.record_success(0, 10));
+    }
+
+    #[test]
+    fn removal_tombstones_without_renumbering_and_readmission_reuses_the_slot() {
+        let table = PeerTable::new(&["a:1", "b:1", "c:1"]);
+        assert_eq!(table.remove_peer("b:1"), Some(1));
+        assert_eq!(table.remove_peer("b:1"), None, "already removed");
+        assert!(!table.is_up(1), "removed slots read as down");
+        assert_eq!(table.index_of("b:1"), None);
+        assert_eq!(table.index_of("c:1"), Some(2), "later indices unchanged");
+        assert_eq!(table.len(), 3, "the slot itself stays");
+        assert!(table.snapshot()[1].removed);
+        // Records against a tombstone are ignored: a stale in-flight
+        // call must not resurrect a member that was just removed.
+        assert!(!table.record_success(1, 5));
+        assert!(!table.is_up(1));
+        // Re-admission reactivates the old slot under the old index.
+        assert_eq!(table.add_peer("b:1"), 1);
+        assert!(table.is_up(1));
+        assert!(!table.snapshot()[1].removed);
+        // A brand-new member appends.
+        assert_eq!(table.add_peer("d:1"), 3);
+        assert_eq!(table.add_peer("d:1"), 3, "re-adding active is a no-op");
+        assert_eq!(table.len(), 4);
     }
 }

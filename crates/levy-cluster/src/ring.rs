@@ -153,6 +153,16 @@ impl HashRing {
         }
         out
     }
+
+    /// The first `r` members of [`preference`](Self::preference): the
+    /// replica set that holds `key` when the cluster replicates results
+    /// `r` ways. Capped at the member count — a 2-node cluster with
+    /// `r = 3` simply holds every key everywhere.
+    pub fn replicas(&self, key: u128, r: usize) -> Vec<&str> {
+        let mut pref = self.preference(key);
+        pref.truncate(r.max(1).min(self.members.len()));
+        pref
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,171 @@
+//! Property tests for [`HashRing`] replica placement.
+//!
+//! Replication (PR 9) leans on three ring properties that the unit
+//! tests only spot-check; this suite pins them over seeded-random
+//! membership sets and 10k-key samples:
+//!
+//! 1. `preference(key)` / `replicas(key, r)` always yield **distinct**
+//!    members, starting at the key's home;
+//! 2. membership changes rehome ≈1/N of the keyspace (and perturb
+//!    ≈R/N of replica sets) — the consistent-hashing bound the handoff
+//!    protocol sizes its transfer against;
+//! 3. preference order is **stable** under membership changes: removing
+//!    a member deletes it from every preference list without reordering
+//!    the survivors (so replica sets of unmoved keys do not churn).
+
+use levy_cluster::{fnv1a_128, HashRing};
+
+const SAMPLE: u64 = 10_000;
+
+fn key(i: u64) -> u128 {
+    fnv1a_128(format!("prop-key-{i}").as_bytes())
+}
+
+/// Tiny deterministic xorshift so membership sets vary without pulling
+/// in an RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn members(rng: &mut XorShift, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let v = rng.next();
+            format!(
+                "10.{}.{}.{}:{}",
+                v % 250,
+                (v >> 8) % 250,
+                (v >> 16) % 250,
+                7000 + (v >> 24) % 999
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn replica_sets_are_distinct_live_members_starting_at_home() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for n in [1usize, 2, 3, 5, 8, 13] {
+        let set = members(&mut rng, n);
+        let ring = HashRing::new(&set, 48).unwrap();
+        for r in [1usize, 2, 3, n + 2] {
+            for i in 0..500 {
+                let k = key(i);
+                let replicas = ring.replicas(k, r);
+                assert_eq!(
+                    replicas.len(),
+                    r.min(ring.members().len()),
+                    "R is capped at the member count"
+                );
+                assert_eq!(replicas[0], ring.home(k), "first replica is the home");
+                let mut distinct: Vec<&str> = replicas.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                assert_eq!(distinct.len(), replicas.len(), "replicas must be distinct");
+                for member in &replicas {
+                    assert!(
+                        ring.members().iter().any(|m| m == member),
+                        "replica {member} is not a member"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn member_add_rehomes_about_one_over_n_of_the_keyspace() {
+    // 5 -> 6 members: an added member should take ≈1/6 of homes, and
+    // every key that keeps its home must keep it exactly.
+    let base: Vec<String> = (0..5).map(|i| format!("node-{i}:7878")).collect();
+    let mut grown = base.clone();
+    grown.push("node-new:7878".to_owned());
+    let before = HashRing::new(&base, 64).unwrap();
+    let after = HashRing::new(&grown, 64).unwrap();
+    let mut rehomed = 0u64;
+    for i in 0..SAMPLE {
+        let k = key(i);
+        let (b, a) = (before.home(k), after.home(k));
+        if b != a {
+            assert_eq!(a, "node-new:7878", "keys may move only onto the new member");
+            rehomed += 1;
+        }
+    }
+    let expected = SAMPLE as f64 / 6.0;
+    let share = rehomed as f64;
+    assert!(
+        share > 0.5 * expected && share < 1.7 * expected,
+        "{rehomed} of {SAMPLE} keys rehomed; expected ≈{expected:.0}"
+    );
+}
+
+#[test]
+fn member_removal_perturbs_about_r_over_n_of_replica_sets() {
+    // Removing one of 6 members must change ≈R/6 of R=2 replica sets
+    // (each of the member's R vnode-adjacency slots is hit w.p. 1/N),
+    // and only sets that contained the removed member may change.
+    const R: usize = 2;
+    let full: Vec<String> = (0..6).map(|i| format!("node-{i}:7878")).collect();
+    let removed = "node-3:7878";
+    let survivors: Vec<String> = full.iter().filter(|m| *m != removed).cloned().collect();
+    let before = HashRing::new(&full, 64).unwrap();
+    let after = HashRing::new(&survivors, 64).unwrap();
+    let mut changed = 0u64;
+    for i in 0..SAMPLE {
+        let k = key(i);
+        let b = before.replicas(k, R);
+        let a = after.replicas(k, R);
+        if b != a {
+            assert!(
+                b.contains(&removed),
+                "replica set of key {i} changed without containing the removed member: {b:?} -> {a:?}"
+            );
+            changed += 1;
+        }
+    }
+    let expected = SAMPLE as f64 * R as f64 / 6.0;
+    let share = changed as f64;
+    assert!(
+        share > 0.5 * expected && share < 1.6 * expected,
+        "{changed} of {SAMPLE} replica sets changed; expected ≈{expected:.0}"
+    );
+}
+
+#[test]
+fn preference_order_is_stable_for_survivors() {
+    // The strong form of "preference order is stable for keys whose
+    // home did not move": removing a member only *deletes* it from each
+    // preference list — the surviving members keep their relative
+    // order, for every key (moved home or not). This is what lets a
+    // replica keep its role across a membership change.
+    let full: Vec<String> = (0..7).map(|i| format!("node-{i}:7878")).collect();
+    let removed = "node-5:7878";
+    let survivors: Vec<String> = full.iter().filter(|m| *m != removed).cloned().collect();
+    let before = HashRing::new(&full, 48).unwrap();
+    let after = HashRing::new(&survivors, 48).unwrap();
+    for i in 0..2_000 {
+        let k = key(i);
+        let filtered: Vec<&str> = before
+            .preference(k)
+            .into_iter()
+            .filter(|m| *m != removed)
+            .collect();
+        assert_eq!(
+            filtered,
+            after.preference(k),
+            "key {i}: surviving preference order must not churn"
+        );
+        if before.home(k) != removed {
+            assert_eq!(before.home(k), after.home(k), "unmoved homes stay put");
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //!   traces                     GET /v1/traces (finished-trace summaries)
 //!   trace ID                   GET /v1/traces/ID, pretty-printed span tree
 //!   peers                      GET /v1/peers (cluster membership + health)
+//!   peers add HOST:PORT...     POST /v1/peers {"add":[..]} (admit members)
+//!   peers remove HOST:PORT...  POST /v1/peers {"remove":[..]} (retire members)
+//!       [--token TOKEN]        cluster token (default: $LEVY_CLUSTER_TOKEN)
 //!   shutdown                   POST /v1/shutdown
 //!   query [--wire] [--stream] JSON
 //!                              POST /v1/query with the given body
@@ -67,7 +70,8 @@ use levy_wire::Frame;
 
 const USAGE: &str = "usage: levyc [--addr HOST:PORT | --endpoints H:P,H:P,...] [--vnodes N] \
                      [--timeout-ms MS] [--no-retry] \
-                     health|stats|metrics [--watch SECS [FAMILY]]|traces|trace ID|peers|\
+                     health|stats|metrics [--watch SECS [FAMILY]]|traces|trace ID|\
+                     peers [add|remove HOST:PORT... [--token TOKEN]]|\
                      shutdown|query [--wire] [--stream] JSON|raw METHOD PATH [BODY]";
 
 /// Longest `Retry-After` delay we will actually sleep for.
@@ -217,7 +221,39 @@ fn run() -> Result<Outcome, String> {
             render = Render::TraceTree;
             ("GET".to_owned(), format!("/v1/traces/{id}"), String::new())
         }
-        "peers" => ("GET".to_owned(), "/v1/peers".to_owned(), String::new()),
+        "peers" => match args.peek().map(String::as_str) {
+            Some(op @ ("add" | "remove")) => {
+                let op = op.to_owned();
+                args.next();
+                let mut token = std::env::var("LEVY_CLUSTER_TOKEN").ok();
+                let mut addrs: Vec<String> = Vec::new();
+                while let Some(arg) = args.next() {
+                    if arg == "--token" {
+                        token = Some(args.next().ok_or_else(|| USAGE.to_owned())?);
+                    } else {
+                        addrs.push(arg);
+                    }
+                }
+                if addrs.is_empty() {
+                    return Err(format!("peers {op} needs at least one HOST:PORT\n{USAGE}"));
+                }
+                // The daemon validates addresses properly; here we only
+                // need the body to stay well-formed JSON.
+                if let Some(bad) = addrs.iter().find(|a| a.contains(['"', '\\'])) {
+                    return Err(format!("invalid peer address {bad}"));
+                }
+                if let Some(token) = token {
+                    headers.push((
+                        levy_served::cluster::TOKEN_HEADER.to_ascii_lowercase(),
+                        token,
+                    ));
+                }
+                let list: Vec<String> = addrs.iter().map(|a| format!("\"{a}\"")).collect();
+                let body = format!("{{\"{op}\":[{}]}}", list.join(","));
+                ("POST".to_owned(), "/v1/peers".to_owned(), body)
+            }
+            _ => ("GET".to_owned(), "/v1/peers".to_owned(), String::new()),
+        },
         "shutdown" => ("POST".to_owned(), "/v1/shutdown".to_owned(), String::new()),
         "query" => {
             while let Some(flag) = args.peek().map(String::as_str) {

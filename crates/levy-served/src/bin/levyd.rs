@@ -7,7 +7,9 @@
 //!       [--trace-capacity N] [--history-interval-ms MS] [--observe]
 //!       [--fault-plan SPEC] [--quiet]
 //!       [--cluster --peers HOST:PORT,... [--self-addr HOST:PORT]
-//!        [--vnodes N] [--probe-interval-ms MS] [--peek-timeout-ms MS]]
+//!        [--vnodes N] [--probe-interval-ms MS] [--peek-timeout-ms MS]
+//!        [--replication R] [--cluster-token TOKEN]
+//!        [--handoff-batch N] [--handoff-pause-ms MS]]
 //! ```
 //!
 //! `--trace-capacity` sizes the tail-sampling ring behind
@@ -30,6 +32,15 @@
 //! nodes' peer lists (defaults to `--addr`, with an ephemeral `:0` port
 //! resolved after bind). All nodes must agree on `--vnodes`.
 //!
+//! `--replication R` stores each result on the first R members of the
+//! key's preference list (write-behind to the R-1 replicas after the
+//! home answers); reads walk the same list, so a dead home is served
+//! byte-identically by a replica. `--cluster-token` gates the mutating
+//! cluster endpoints (`POST /v1/peers` membership changes and
+//! `PUT /v1/cache/<key>` replica pushes) behind a shared secret.
+//! `--handoff-batch`/`--handoff-pause-ms` throttle the background cache
+//! handoff that runs after a membership change or peer resurrection.
+//!
 //! Prints `levyd listening on ADDR` on stdout once the socket is bound
 //! (scripts parse this line to learn an ephemeral port), then serves
 //! until SIGTERM/SIGINT or `POST /v1/shutdown`, draining in-flight work
@@ -49,7 +60,9 @@ const USAGE: &str = "usage: levyd [--addr HOST:PORT] [--workers N] [--sim-thread
                      [--trace-capacity N] [--history-interval-ms MS] [--observe] \
                      [--fault-plan SPEC] [--quiet] \
                      [--cluster --peers HOST:PORT,... [--self-addr HOST:PORT] \
-                     [--vnodes N] [--probe-interval-ms MS] [--peek-timeout-ms MS]]";
+                     [--vnodes N] [--probe-interval-ms MS] [--peek-timeout-ms MS] \
+                     [--replication R] [--cluster-token TOKEN] \
+                     [--handoff-batch N] [--handoff-pause-ms MS]]";
 
 fn parse_args() -> Result<ServerConfig, String> {
     let mut config = ServerConfig {
@@ -142,6 +155,28 @@ fn parse_args() -> Result<ServerConfig, String> {
                 cluster_config.peek_timeout_ms = value("--peek-timeout-ms")?
                     .parse()
                     .map_err(|_| "--peek-timeout-ms must be an integer".to_owned())?;
+            }
+            "--replication" => {
+                cluster_config.replication = value("--replication")?
+                    .parse()
+                    .map_err(|_| "--replication must be an integer".to_owned())?;
+                if cluster_config.replication == 0 {
+                    return Err("--replication must be at least 1".to_owned());
+                }
+            }
+            "--cluster-token" => cluster_config.token = Some(value("--cluster-token")?),
+            "--handoff-batch" => {
+                cluster_config.handoff_batch = value("--handoff-batch")?
+                    .parse()
+                    .map_err(|_| "--handoff-batch must be an integer".to_owned())?;
+                if cluster_config.handoff_batch == 0 {
+                    return Err("--handoff-batch must be at least 1".to_owned());
+                }
+            }
+            "--handoff-pause-ms" => {
+                cluster_config.handoff_pause_ms = value("--handoff-pause-ms")?
+                    .parse()
+                    .map_err(|_| "--handoff-pause-ms must be an integer".to_owned())?;
             }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),

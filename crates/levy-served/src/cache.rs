@@ -455,6 +455,51 @@ impl ResultCache {
         self.mem.lock().expect("cache lock").len()
     }
 
+    /// Whether `key` is cached in either tier, without promoting it or
+    /// counting a hit/miss. Replica writes and the handoff scanner use
+    /// this to stay idempotent. The disk probe checks file presence
+    /// directly rather than going through [`DiskStore::read`]: a fault
+    /// plan's read schedule must not be consumed by presence checks.
+    pub fn contains(&self, key: &str) -> bool {
+        if self.config.mem_capacity > 0 && self.mem.lock().expect("cache lock").contains_key(key) {
+            return true;
+        }
+        self.disk_path(key).is_some_and(|p| p.exists())
+    }
+
+    /// Keys currently cached in either tier, deduplicated and sorted.
+    /// The handoff scanner walks this list when membership changes; only
+    /// well-formed 32-hex names are reported, so stray files in the
+    /// cache directory never become transfer candidates.
+    pub fn keys(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .mem
+            .lock()
+            .expect("cache lock")
+            .keys()
+            .cloned()
+            .collect();
+        if let Some(dir) = self
+            .config
+            .dir
+            .as_ref()
+            .filter(|_| self.config.disk_capacity > 0)
+        {
+            if let Ok(files) = self.store.list(dir) {
+                for (_, path) in files {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        if stem.len() == 32 && stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+                            out.push(stem.to_owned());
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Counter snapshot for `/v1/stats` and the bench snapshot.
     pub fn stats_json(&self) -> Json {
         Json::obj([
@@ -481,7 +526,7 @@ impl ResultCache {
 /// with the key it is filed under. Anything else — truncated JSON,
 /// bit rot, a file renamed onto the wrong key — fails here and is
 /// treated as a miss rather than replayed.
-fn disk_body_is_valid(key: &str, body: &str) -> bool {
+pub(crate) fn disk_body_is_valid(key: &str, body: &str) -> bool {
     let Ok(parsed) = Json::parse(body) else {
         return false;
     };

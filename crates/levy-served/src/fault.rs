@@ -36,16 +36,25 @@
 //!        | 'worker_panic@exec=N'
 //!        | 'peer_partition@peer=N'
 //!        | 'peer_slow@peer=N,ms=M'
+//!        | 'peer_flap@peer=N,period_ms=M'
 //! ```
 //!
-//! The two `peer_*` faults drive the **cluster seams** and differ from
+//! The `peer_*` faults drive the **cluster seams** and differ from
 //! the rest: they are *persistent conditions*, not indexed one-shot
 //! events. `peer_partition@peer=N` makes every cluster call (health
 //! probe, cache peek, forward) to peer `N` fail with a connection
 //! error before any socket is dialed; `peer_slow@peer=N,ms=M` delays
-//! each such call by `M` milliseconds first. Peers are numbered by
-//! their position in the configured `--peers` list (order preserved,
-//! self excluded) — the same index `GET /v1/peers` reports.
+//! each such call by `M` milliseconds first; `peer_flap@peer=N,
+//! period_ms=M` partitions the peer during every *odd* `M`-millisecond
+//! window of the plan's clock (up for the first window, down for the
+//! second, and so on — a deterministic link flap). Peers are numbered
+//! by their position in the configured `--peers` list (order
+//! preserved, self excluded) — the same index `GET /v1/peers` reports.
+//!
+//! Time-dependent faults read the **plan clock**: wall time since the
+//! plan was created by default, or a virtual clock pinned with
+//! [`FaultPlan::set_clock_ms`] — the test harness drives flap windows
+//! deterministically instead of sleeping through them.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -118,6 +127,16 @@ pub enum Fault {
         /// Injected delay, in milliseconds.
         ms: u64,
     },
+    /// Peer `peer` alternates reachable/partitioned in `period_ms`
+    /// windows of the plan clock: up during even windows (starting with
+    /// window 0), partitioned during odd ones — a deterministic link
+    /// flap for pinning the health table's hysteresis.
+    PeerFlap {
+        /// Configured-order peer index.
+        peer: u64,
+        /// Width of each up/down window, in plan-clock milliseconds.
+        period_ms: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -138,6 +157,9 @@ impl fmt::Display for Fault {
             Fault::WorkerPanic { exec } => write!(f, "worker_panic@exec={exec}"),
             Fault::PeerPartition { peer } => write!(f, "peer_partition@peer={peer}"),
             Fault::PeerSlow { peer, ms } => write!(f, "peer_slow@peer={peer},ms={ms}"),
+            Fault::PeerFlap { peer, period_ms } => {
+                write!(f, "peer_flap@peer={peer},period_ms={period_ms}")
+            }
         }
     }
 }
@@ -169,13 +191,36 @@ pub enum DiskReadFault {
 /// order and the same request sequence consumes the same indices.
 /// [`reset`](FaultPlan::reset) rewinds the counters so one plan can be
 /// replayed against a fresh request sequence.
-#[derive(Debug, Default)]
+///
+/// Time-dependent faults (`peer_flap`) read the **plan clock**: wall
+/// milliseconds since construction by default, or a virtual value
+/// pinned by [`set_clock_ms`](FaultPlan::set_clock_ms) so tests step
+/// through flap windows without sleeping.
+#[derive(Debug)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
     conns: AtomicU64,
     disk_reads: AtomicU64,
     disk_writes: AtomicU64,
     execs: AtomicU64,
+    /// Wall-clock epoch of the plan clock.
+    created: std::time::Instant,
+    /// Virtual plan-clock override in ms; `u64::MAX` = use wall time.
+    clock_ms: AtomicU64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            faults: Vec::new(),
+            conns: AtomicU64::new(0),
+            disk_reads: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+            execs: AtomicU64::new(0),
+            created: std::time::Instant::now(),
+            clock_ms: AtomicU64::new(u64::MAX),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -254,6 +299,16 @@ impl FaultPlan {
                     peer: field("peer")?,
                     ms: field("ms")?,
                 },
+                "peer_flap" => {
+                    let period_ms = field("period_ms")?;
+                    if period_ms == 0 {
+                        return Err(format!("fault `{part}`: `period_ms` must be nonzero"));
+                    }
+                    Fault::PeerFlap {
+                        peer: field("peer")?,
+                        period_ms,
+                    }
+                }
                 other => return Err(format!("unknown fault kind `{other}`")),
             };
             plan.faults.push(fault);
@@ -309,13 +364,35 @@ impl FaultPlan {
             .any(|f| matches!(*f, Fault::WorkerPanic { exec: e } if e == exec))
     }
 
-    /// Whether peer `peer` is partitioned away from this node. Unlike
-    /// the indexed seams this is a standing condition: it consumes no
-    /// counter and applies to every call for the plan's lifetime.
+    /// The plan clock in milliseconds: the virtual value when one was
+    /// pinned, else wall time since the plan was created.
+    pub fn clock_ms(&self) -> u64 {
+        match self.clock_ms.load(Ordering::SeqCst) {
+            u64::MAX => u64::try_from(self.created.elapsed().as_millis()).unwrap_or(u64::MAX - 1),
+            pinned => pinned,
+        }
+    }
+
+    /// Pins the plan clock to a virtual value so time-dependent faults
+    /// (`peer_flap`) step deterministically. `u64::MAX` is reserved as
+    /// the "wall time" sentinel and is clamped.
+    pub fn set_clock_ms(&self, ms: u64) {
+        self.clock_ms.store(ms.min(u64::MAX - 1), Ordering::SeqCst);
+    }
+
+    /// Whether peer `peer` is partitioned away from this node — by a
+    /// standing `peer_partition`, or by a `peer_flap` whose plan clock
+    /// currently sits in a down (odd) window. Unlike the indexed seams
+    /// these are conditions, not one-shot events: no counter is
+    /// consumed.
     pub fn peer_partitioned(&self, peer: u64) -> bool {
-        self.faults
-            .iter()
-            .any(|f| matches!(*f, Fault::PeerPartition { peer: p } if p == peer))
+        self.faults.iter().any(|f| match *f {
+            Fault::PeerPartition { peer: p } => p == peer,
+            Fault::PeerFlap { peer: p, period_ms } => {
+                p == peer && (self.clock_ms() / period_ms) % 2 == 1
+            }
+            _ => false,
+        })
     }
 
     /// The standing injected delay before each call to peer `peer`.
@@ -499,14 +576,18 @@ mod tests {
             .with(Fault::DiskWriteError { write: 0 })
             .with(Fault::WorkerPanic { exec: 5 })
             .with(Fault::PeerPartition { peer: 1 })
-            .with(Fault::PeerSlow { peer: 0, ms: 250 });
+            .with(Fault::PeerSlow { peer: 0, ms: 250 })
+            .with(Fault::PeerFlap {
+                peer: 2,
+                period_ms: 500,
+            });
         let spec = plan.to_string();
         assert_eq!(
             spec,
             "socket_read_error@conn=0,after=16;socket_write_error@conn=2,after=64;\
              disk_read_error@read=1;disk_read_truncate@read=3,keep=40;\
              disk_read_corrupt@read=4;disk_write_error@write=0;worker_panic@exec=5;\
-             peer_partition@peer=1;peer_slow@peer=0,ms=250"
+             peer_partition@peer=1;peer_slow@peer=0,ms=250;peer_flap@peer=2,period_ms=500"
         );
         let reparsed = FaultPlan::parse(&spec).unwrap();
         assert_eq!(reparsed.faults(), plan.faults());
@@ -524,6 +605,9 @@ mod tests {
             "peer_partition@conn=0",
             "peer_slow@peer=0",
             "peer_slow@peer=0,ms=x",
+            "peer_flap@peer=0",
+            "peer_flap@peer=0,period_ms=x",
+            "peer_flap@peer=0,period_ms=0",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad} should be rejected");
         }
@@ -552,6 +636,40 @@ mod tests {
         }
         plan.reset();
         assert!(plan.peer_partitioned(1), "reset does not heal a partition");
+    }
+
+    #[test]
+    fn peer_flap_alternates_windows_on_the_virtual_clock() {
+        let plan = FaultPlan::parse("peer_flap@peer=1,period_ms=100").unwrap();
+        // Window 0 (0..100 ms): up. Window 1 (100..200 ms): down. Etc.
+        for (ms, down) in [
+            (0, false),
+            (99, false),
+            (100, true),
+            (199, true),
+            (200, false),
+            (350, true),
+        ] {
+            plan.set_clock_ms(ms);
+            assert_eq!(
+                plan.peer_partitioned(1),
+                down,
+                "at t={ms}ms the flapping peer should be {}",
+                if down { "down" } else { "up" }
+            );
+            assert!(!plan.peer_partitioned(0), "other peers never flap");
+        }
+    }
+
+    #[test]
+    fn plan_clock_defaults_to_wall_time_until_pinned() {
+        let plan = FaultPlan::new();
+        let early = plan.clock_ms();
+        assert!(early < 10_000, "fresh plan clock starts near zero");
+        plan.set_clock_ms(123_456);
+        assert_eq!(plan.clock_ms(), 123_456);
+        plan.set_clock_ms(u64::MAX);
+        assert_eq!(plan.clock_ms(), u64::MAX - 1, "sentinel is clamped");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod wirecodec;
 
 pub use cache::{CacheConfig, CacheTier, CachedBody, DiskStore, ResultCache, StdDisk};
 pub use client::{Client, StreamReader};
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, RemoteRoute, RoutePlan};
 pub use fault::{Fault, FaultPlan};
 pub use http::{Request, Response};
 pub use metrics::Stats;

@@ -74,6 +74,20 @@ pub struct Stats {
     /// Queries this node received with the forwarded marker (it is the
     /// key's home from some entry node's point of view).
     pub cluster_received_forwards: Counter,
+    /// Async write-behind replica writes that landed on a holder.
+    pub cluster_replica_writes: Counter,
+    /// Replica writes that failed on the wire or were refused.
+    pub cluster_replica_write_errors: Counter,
+    /// Cached keys pushed to their (new) home by the handoff scanner.
+    pub cluster_handoff_keys: Counter,
+    /// Bytes of cached bodies pushed by the handoff scanner.
+    pub cluster_handoff_bytes: Counter,
+    /// Forwarded requests whose ring epoch differed from this node's
+    /// (both sides still answer — bodies are a pure function of the
+    /// query — but the skew marks an in-flight membership change).
+    pub cluster_epoch_skew: Counter,
+    /// Membership changes applied (`POST /v1/peers` admissions).
+    pub cluster_membership_changes: Counter,
     /// Requests negotiated onto the binary wire format (a wire-encoded
     /// body, a wire `Accept`, or both).
     pub wire_requests: Counter,
@@ -90,6 +104,8 @@ pub struct Stats {
     pub queue_capacity: Gauge,
     /// Workers currently executing a simulation.
     pub workers_busy: Gauge,
+    /// Current membership ring epoch (1 at boot, bumped per change).
+    pub ring_epoch: Gauge,
 }
 
 impl Default for Stats {
@@ -179,6 +195,30 @@ impl Stats {
             "levy_served_cluster_received_forwards_total",
             "Queries received with the forwarded marker from a cluster peer.",
         );
+        let cluster_replica_writes = registry.counter(
+            "levy_served_cluster_replica_writes_total",
+            "Write-behind replica writes that landed on a holder.",
+        );
+        let cluster_replica_write_errors = registry.counter(
+            "levy_served_cluster_replica_write_errors_total",
+            "Replica writes that failed on the wire or were refused.",
+        );
+        let cluster_handoff_keys = registry.counter(
+            "levy_served_cluster_handoff_keys_total",
+            "Cached keys pushed to their holders by the handoff scanner.",
+        );
+        let cluster_handoff_bytes = registry.counter(
+            "levy_served_cluster_handoff_bytes_total",
+            "Bytes of cached bodies pushed by the handoff scanner.",
+        );
+        let cluster_epoch_skew = registry.counter(
+            "levy_served_cluster_epoch_skew_total",
+            "Forwarded requests whose ring epoch differed from this node's.",
+        );
+        let cluster_membership_changes = registry.counter(
+            "levy_served_cluster_membership_changes_total",
+            "Membership changes applied via POST /v1/peers.",
+        );
         let wire_requests = registry.counter(
             "levy_served_wire_requests_total",
             "Requests negotiated onto the binary wire format.",
@@ -203,6 +243,10 @@ impl Stats {
             "levy_served_workers_busy",
             "Workers currently executing a simulation.",
         );
+        let ring_epoch = registry.gauge(
+            "levy_served_ring_epoch",
+            "Current membership ring epoch (1 at boot).",
+        );
         Stats {
             registry,
             http_requests,
@@ -225,12 +269,19 @@ impl Stats {
             cluster_forward_errors,
             cluster_local_fallbacks,
             cluster_received_forwards,
+            cluster_replica_writes,
+            cluster_replica_write_errors,
+            cluster_handoff_keys,
+            cluster_handoff_bytes,
+            cluster_epoch_skew,
+            cluster_membership_changes,
             wire_requests,
             streams_started,
             streams_cancelled,
             queue_depth,
             queue_capacity,
             workers_busy,
+            ring_epoch,
         }
     }
 
@@ -329,6 +380,31 @@ impl Stats {
                 "cluster_received_forwards",
                 Json::from(self.cluster_received_forwards.get()),
             ),
+            (
+                "cluster_replica_writes",
+                Json::from(self.cluster_replica_writes.get()),
+            ),
+            (
+                "cluster_replica_write_errors",
+                Json::from(self.cluster_replica_write_errors.get()),
+            ),
+            (
+                "cluster_handoff_keys",
+                Json::from(self.cluster_handoff_keys.get()),
+            ),
+            (
+                "cluster_handoff_bytes",
+                Json::from(self.cluster_handoff_bytes.get()),
+            ),
+            (
+                "cluster_epoch_skew",
+                Json::from(self.cluster_epoch_skew.get()),
+            ),
+            (
+                "cluster_membership_changes",
+                Json::from(self.cluster_membership_changes.get()),
+            ),
+            ("ring_epoch", Json::from(self.ring_epoch.get() as u64)),
             ("wire_requests", Json::from(self.wire_requests.get())),
             ("streams_started", Json::from(self.streams_started.get())),
             (

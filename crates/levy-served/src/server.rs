@@ -34,7 +34,9 @@ use levy_sim::{BatchProgress, CancelToken, Json};
 use levy_wire::{ErrorFrame, FinalFrame, Frame};
 
 use crate::cache::{CacheConfig, CachedBody, ResultCache};
-use crate::cluster::{Cluster, ClusterConfig, FORWARDED_HEADER};
+use crate::cluster::{
+    Cluster, ClusterConfig, RemoteRoute, RoutePlan, EPOCH_HEADER, FORWARDED_HEADER, TOKEN_HEADER,
+};
 use crate::engine;
 use crate::fault::{ConnFaults, FaultDisk, FaultPlan, FaultStream};
 use crate::http::{
@@ -157,6 +159,33 @@ impl Job {
     }
 }
 
+/// One unit of background replication work, processed off the request
+/// path by the replicator thread.
+enum ReplWork {
+    /// Push a freshly completed result to the key's other holders.
+    WriteBehind { key: String, json: String },
+    /// Walk the whole cache pushing keys to holders in `scope`.
+    Handoff(HandoffScope),
+}
+
+/// Which holders a handoff scan owes copies to.
+#[derive(Debug, Clone, Copy)]
+enum HandoffScope {
+    /// Holders that are new relative to the previous ring (membership
+    /// change); closes the rebalance overlap window when done.
+    Rehomed,
+    /// One resurrected peer catching up on writes it missed while down.
+    Peer(usize),
+}
+
+/// Replication queue shared between enqueuers and the replicator
+/// thread. `busy` covers the item currently being processed so
+/// `settle_replication` only returns on a truly quiet queue.
+struct ReplState {
+    queue: VecDeque<ReplWork>,
+    busy: bool,
+}
+
 /// State shared by the accept loop, connection handlers, and workers.
 struct Inner {
     config: ServerConfig,
@@ -169,6 +198,9 @@ struct Inner {
     queue: Mutex<VecDeque<Arc<Job>>>,
     queue_changed: Condvar,
     inflight: Mutex<HashMap<String, Arc<Job>>>,
+    /// Background replication work (write-behind, handoff scans).
+    repl: Mutex<ReplState>,
+    repl_changed: Condvar,
     /// Stop accepting, drain, exit.
     shutting_down: AtomicBool,
     /// Set by `POST /v1/shutdown`; the daemon's main loop polls it.
@@ -186,6 +218,23 @@ impl Inner {
             return;
         }
         levy_obs::log::info("levyd", msg, fields);
+    }
+
+    /// Queues background replication work and wakes the replicator.
+    fn enqueue_repl(&self, work: ReplWork) {
+        let mut state = self.repl.lock().expect("repl lock");
+        state.queue.push_back(work);
+        self.repl_changed.notify_all();
+    }
+
+    /// Drains resurrection flags into catch-up handoffs: a peer that
+    /// just came back may have missed replica writes while down.
+    fn queue_resurrection_handoffs(&self) {
+        if let Some(cluster) = &self.cluster {
+            for index in cluster.take_resurrected() {
+                self.enqueue_repl(ReplWork::Handoff(HandoffScope::Peer(index)));
+            }
+        }
     }
 
     /// One timestamped snapshot of this server's registry concatenated
@@ -217,6 +266,7 @@ pub struct Server {
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     history_handle: Option<std::thread::JoinHandle<()>>,
     prober_handle: Option<std::thread::JoinHandle<()>>,
+    repl_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -265,6 +315,11 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             queue_changed: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
+            repl: Mutex::new(ReplState {
+                queue: VecDeque::new(),
+                busy: false,
+            }),
+            repl_changed: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
@@ -290,6 +345,24 @@ impl Server {
             }
         };
 
+        if let Some(cluster) = &inner.cluster {
+            inner
+                .stats
+                .ring_epoch
+                .set(i64::try_from(cluster.epoch()).unwrap_or(i64::MAX));
+        }
+        let repl_handle = match &inner.cluster {
+            Some(_) => {
+                let repl_inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("levyd-repl".into())
+                        .spawn(move || replicator_loop(&repl_inner))
+                        .expect("spawn replicator"),
+                )
+            }
+            None => None,
+        };
         let prober_handle = match inner.cluster.as_ref().map(|c| c.config().probe_interval_ms) {
             Some(ms) if ms > 0 => {
                 let interval = Duration::from_millis(ms);
@@ -327,6 +400,7 @@ impl Server {
             worker_handles,
             history_handle,
             prober_handle,
+            repl_handle,
         })
     }
 
@@ -350,6 +424,56 @@ impl Server {
         &self.inner.traces
     }
 
+    /// The cluster state, when running in cluster mode (tests and the
+    /// daemon's status output).
+    pub fn cluster(&self) -> Option<&Cluster> {
+        self.inner.cluster.as_ref()
+    }
+
+    /// Runs one full probe round synchronously and queues catch-up
+    /// handoffs for any peer the round resurrected. The deterministic
+    /// harness drives health transitions with this (probe interval 0
+    /// disables the background prober) so tests control exactly when
+    /// hysteresis observes the world.
+    pub fn probe_peers_once(&self) {
+        if let Some(cluster) = &self.inner.cluster {
+            for index in 0..cluster.table().len() {
+                cluster.probe(index, &self.inner.stats);
+            }
+            self.inner.queue_resurrection_handoffs();
+        }
+    }
+
+    /// Queues a rebalance handoff scan (the one a membership change
+    /// kicks automatically) — a deterministic re-trigger for tests.
+    pub fn kick_handoff(&self) {
+        if self.inner.cluster.is_some() {
+            self.inner
+                .enqueue_repl(ReplWork::Handoff(HandoffScope::Rehomed));
+        }
+    }
+
+    /// Blocks until the background replication queue is empty and idle,
+    /// or `timeout` passes. Returns whether it settled. Tests use this
+    /// to assert on write-behind and handoff effects deterministically.
+    pub fn settle_replication(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.repl.lock().expect("repl lock");
+        while !state.queue.is_empty() || state.busy {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            state = self
+                .inner
+                .repl_changed
+                .wait_timeout(state, remaining.min(Duration::from_millis(50)))
+                .expect("repl lock")
+                .0;
+        }
+        true
+    }
+
     /// Whether a client asked the daemon to stop (`POST /v1/shutdown`).
     pub fn shutdown_requested(&self) -> bool {
         self.inner.shutdown_requested.load(Ordering::Acquire)
@@ -360,6 +484,7 @@ impl Server {
     pub fn shutdown(mut self) {
         self.inner.shutting_down.store(true, Ordering::Release);
         self.inner.queue_changed.notify_all();
+        self.inner.repl_changed.notify_all();
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
@@ -370,6 +495,9 @@ impl Server {
             let _ = handle.join();
         }
         if let Some(handle) = self.prober_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.repl_handle.take() {
             let _ = handle.join();
         }
         // Connection handlers only write out already-computed responses
@@ -423,6 +551,7 @@ fn prober_loop(inner: &Arc<Inner>, interval: Duration) {
             }
             cluster.probe(index, &inner.stats);
         }
+        inner.queue_resurrection_handoffs();
         let mut slept = Duration::ZERO;
         while slept < interval {
             if inner.shutting_down.load(Ordering::Acquire) {
@@ -432,6 +561,129 @@ fn prober_loop(inner: &Arc<Inner>, interval: Duration) {
             std::thread::sleep(slice);
             slept += slice;
         }
+    }
+}
+
+/// Replicator: pops background replication work (write-behind pushes,
+/// handoff scans) and runs it off the request path. One thread — the
+/// work is bandwidth-shaped by design (admission-controlled batches),
+/// and ordering write-behind before a later handoff keeps pushes
+/// roughly causal.
+fn replicator_loop(inner: &Arc<Inner>) {
+    loop {
+        let work = {
+            let mut state = inner.repl.lock().expect("repl lock");
+            loop {
+                if let Some(work) = state.queue.pop_front() {
+                    state.busy = true;
+                    break work;
+                }
+                if inner.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                state = inner
+                    .repl_changed
+                    .wait_timeout(state, Duration::from_millis(100))
+                    .expect("repl lock")
+                    .0;
+            }
+        };
+        match work {
+            ReplWork::WriteBehind { key, json } => run_write_behind(inner, &key, &json),
+            ReplWork::Handoff(scope) => run_handoff(inner, scope),
+        }
+        let mut state = inner.repl.lock().expect("repl lock");
+        state.busy = false;
+        inner.repl_changed.notify_all();
+    }
+}
+
+/// Pushes one completed result to the key's other holders. A holder
+/// already marked down is skipped (counted as a write error — it will
+/// catch up through the resurrection handoff); a live holder that
+/// fails the write is recorded against its health.
+fn run_write_behind(inner: &Arc<Inner>, key: &str, json: &str) {
+    let Some(cluster) = &inner.cluster else {
+        return;
+    };
+    for (index, addr) in cluster.holders(key) {
+        if !cluster.table().is_up(index) {
+            inner.stats.cluster_replica_write_errors.inc();
+            continue;
+        }
+        match cluster.replica_write(index, &addr, key, json, "-") {
+            Ok((response, call)) if response.status == 200 || response.status == 201 => {
+                cluster.record_success(&call, &inner.stats);
+                inner.stats.cluster_replica_writes.inc();
+            }
+            Ok((_, call)) => {
+                cluster.record_success(&call, &inner.stats);
+                inner.stats.cluster_replica_write_errors.inc();
+            }
+            Err(_) => {
+                cluster.record_failure(index, &inner.stats);
+                inner.stats.cluster_replica_write_errors.inc();
+            }
+        }
+    }
+}
+
+/// Walks the local cache pushing keys to the holders named by `scope`,
+/// pausing between batches (admission control: a membership change
+/// must not flood the new member). Only 201s — keys the target did not
+/// already hold — count toward `cluster_handoff_{keys,bytes}_total`.
+/// A `Rehomed` scan closes the rebalance overlap window when it
+/// finishes cleanly.
+fn run_handoff(inner: &Arc<Inner>, scope: HandoffScope) {
+    let Some(cluster) = &inner.cluster else {
+        return;
+    };
+    let batch = cluster.config().handoff_batch.max(1);
+    let pause = Duration::from_millis(cluster.config().handoff_pause_ms);
+    let mut pushed = 0usize;
+    for key in inner.cache.keys() {
+        if inner.shutting_down.load(Ordering::Acquire) {
+            return; // aborted: keep the overlap window open
+        }
+        let targets = match scope {
+            HandoffScope::Rehomed => cluster.rehomed_holders(&key),
+            HandoffScope::Peer(peer) => cluster
+                .holders(&key)
+                .into_iter()
+                .filter(|(index, _)| *index == peer)
+                .collect(),
+        };
+        if targets.is_empty() {
+            continue;
+        }
+        let Some((body, _tier)) = inner.cache.get(&key) else {
+            continue;
+        };
+        for (index, addr) in targets {
+            if !cluster.table().is_up(index) {
+                continue;
+            }
+            match cluster.replica_write(index, &addr, &key, &body.json, "-") {
+                Ok((response, call)) => {
+                    cluster.record_success(&call, &inner.stats);
+                    if response.status == 201 {
+                        inner.stats.cluster_handoff_keys.inc();
+                        inner
+                            .stats
+                            .cluster_handoff_bytes
+                            .add(body.json.len() as u64);
+                    }
+                }
+                Err(_) => cluster.record_failure(index, &inner.stats),
+            }
+            pushed += 1;
+            if pushed.is_multiple_of(batch) && !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
+    }
+    if matches!(scope, HandoffScope::Rehomed) {
+        cluster.finish_rebalance();
     }
 }
 
@@ -724,6 +976,11 @@ fn route(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
             Some(cluster) => Response::json(200, &cluster.peers_json()),
             None => Response::error(404, "not in cluster mode (start levyd with --cluster)"),
         },
+        ("POST", "/v1/peers") => handle_peers_change(request, inner),
+        ("PUT", path) if path.starts_with("/v1/cache/") => {
+            let key = path["/v1/cache/".len()..].to_owned();
+            handle_replica_put(request, inner, &key)
+        }
         ("GET", path) if path.starts_with("/v1/cache/") => {
             // Cache peek: do we already hold this key? Never simulates.
             // Peers use it before forwarding; it also works as a debug
@@ -834,6 +1091,127 @@ fn snapshot_json(snapshot: &Snapshot) -> Json {
             ),
         ),
     ])
+}
+
+/// Counts ring-epoch disagreement on a node-to-node call. Skew is
+/// expected during a membership change (both sides still answer —
+/// bodies are a pure function of the query); the counter makes the
+/// window observable.
+fn note_epoch_skew(request: &Request, cluster: &Cluster, inner: &Arc<Inner>) {
+    if let Some(sent) = request
+        .header(EPOCH_HEADER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        if sent != cluster.epoch() {
+            inner.stats.cluster_epoch_skew.inc();
+        }
+    }
+}
+
+/// `POST /v1/peers`: applies a membership change (token-gated when the
+/// cluster was started with one) and kicks the rebalance handoff. The
+/// body is strict `{"add": [...], "remove": [...], "epoch": N}` — every
+/// field optional, anything else 400s without touching the ring.
+fn handle_peers_change(request: &Request, inner: &Arc<Inner>) -> Response {
+    let Some(cluster) = &inner.cluster else {
+        return Response::error(404, "not in cluster mode (start levyd with --cluster)");
+    };
+    if !cluster.authorized(request.header(TOKEN_HEADER)) {
+        return Response::error(403, "missing or invalid cluster token");
+    }
+    let reject = |inner: &Arc<Inner>, message: &str| {
+        inner.stats.invalid_requests.inc();
+        Response::error(400, message)
+    };
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return reject(inner, "membership change body must be UTF-8 JSON");
+    };
+    let Ok(parsed) = Json::parse(body) else {
+        return reject(inner, "membership change body must be valid JSON");
+    };
+    let Some(fields) = parsed.as_object() else {
+        return reject(inner, "membership change body must be a JSON object");
+    };
+    let mut add: Vec<String> = Vec::new();
+    let mut remove: Vec<String> = Vec::new();
+    let mut epoch: Option<u64> = None;
+    for (name, value) in fields {
+        match name.as_str() {
+            "add" | "remove" => {
+                let Some(items) = value.as_array() else {
+                    return reject(inner, &format!("{name} must be an array of addresses"));
+                };
+                let out = if name == "add" { &mut add } else { &mut remove };
+                for item in items {
+                    match item.as_str() {
+                        Some(addr) => out.push(addr.to_owned()),
+                        None => {
+                            return reject(inner, &format!("{name} entries must be strings"));
+                        }
+                    }
+                }
+            }
+            "epoch" => match value.as_u64() {
+                Some(e) => epoch = Some(e),
+                None => return reject(inner, "epoch must be a non-negative integer"),
+            },
+            other => return reject(inner, &format!("unknown membership field {other:?}")),
+        }
+    }
+    match cluster.apply_membership(&add, &remove, epoch) {
+        Ok(new_epoch) => {
+            inner.stats.cluster_membership_changes.inc();
+            inner
+                .stats
+                .ring_epoch
+                .set(i64::try_from(new_epoch).unwrap_or(i64::MAX));
+            inner.enqueue_repl(ReplWork::Handoff(HandoffScope::Rehomed));
+            inner.log(
+                "membership change",
+                &[
+                    ("add", format!("{add:?}")),
+                    ("remove", format!("{remove:?}")),
+                    ("epoch", new_epoch.to_string()),
+                ],
+            );
+            Response::json(200, &cluster.peers_json())
+        }
+        Err(e) => reject(inner, &e),
+    }
+}
+
+/// `PUT /v1/cache/<key>`: a replica write from a peer (write-behind or
+/// handoff). The body must be the intact `result-v1` envelope for
+/// `key` — the same validation disk reads get — so a bad peer can
+/// never poison the cache. 201 = stored fresh, 200 = already held
+/// (the idempotence signal handoff counting relies on).
+fn handle_replica_put(request: &Request, inner: &Arc<Inner>, key: &str) -> Response {
+    let Some(cluster) = &inner.cluster else {
+        return Response::error(404, "not in cluster mode (start levyd with --cluster)");
+    };
+    if !cluster.authorized(request.header(TOKEN_HEADER)) {
+        return Response::error(403, "missing or invalid cluster token");
+    }
+    note_epoch_skew(request, cluster, inner);
+    if levy_cluster::key_from_hex(key).is_none() {
+        inner.stats.invalid_requests.inc();
+        return Response::error(400, "cache keys are 32 hex digits");
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        inner.stats.invalid_requests.inc();
+        return Response::error(400, "replica writes carry a UTF-8 JSON result body");
+    };
+    if !crate::cache::disk_body_is_valid(key, body) {
+        inner.stats.invalid_requests.inc();
+        return Response::error(400, "body is not the intact result envelope for that key");
+    }
+    if inner.cache.contains(key) {
+        return Response::json(200, &Json::obj([("status", Json::from("already_cached"))]))
+            .with_header("X-Levy-Key", key);
+    }
+    inner.cache.put(key, body);
+    Response::json(201, &Json::obj([("status", Json::from("stored"))]))
+        .with_header("X-Levy-Key", key)
 }
 
 /// The role this request played for its job.
@@ -1021,19 +1399,19 @@ fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Resp
             .max(1),
     );
 
-    // Cluster hop: a cold key homed on a peer is answered by that peer
-    // (cache peek, then full forward) when possible. Forwarded-in
-    // requests always run locally — one hop, never a loop — and any
-    // failure to reach the home degrades to local simulation below.
-    // Node-to-node traffic is binary regardless of what the client
-    // negotiated; `relay` transcodes for JSON clients.
+    // Cluster hop: a cold key held elsewhere is answered by its
+    // holders (cache peeks in preference order, then a full forward to
+    // the first live holder) when possible. Forwarded-in requests
+    // always run locally — one hop, never a loop — and only when every
+    // holder is unreachable does the entry node degrade to local
+    // simulation below. Node-to-node traffic is binary regardless of
+    // what the client negotiated; `relay` transcodes for JSON clients.
     if let Some(cluster) = &inner.cluster {
         if request.header(FORWARDED_HEADER).is_some() {
             inner.stats.cluster_received_forwards.inc();
-        } else if let Some((index, home)) = cluster.route_target(&key) {
-            match remote_answer(
-                inner, cluster, index, &home, &key, &query, timeout, root, wire,
-            ) {
+            note_epoch_skew(request, cluster, inner);
+        } else if let RoutePlan::Remote(remote) = cluster.route(&key) {
+            match remote_answer(inner, cluster, &remote, &key, &query, timeout, root, wire) {
                 Some(response) => return response,
                 None => inner.stats.cluster_local_fallbacks.inc(),
             }
@@ -1049,21 +1427,22 @@ fn handle_query(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Resp
     wait_for_job(&job, role, timeout, inner, wire)
 }
 
-/// Tries to answer a non-home query from its home node: cache peek
-/// first (`GET /v1/cache/<key>` — a hit costs no queue slot anywhere),
-/// then a full forward (`POST /v1/query` with the forwarded marker).
-/// Both calls carry a `traceparent` minted from this request's trace,
-/// so the home node's spans join the entry node's tree.
+/// Tries to answer a non-holder query from the key's holders: cache
+/// peeks in preference order first (`GET /v1/cache/<key>` — a hit
+/// costs no queue slot anywhere; during a rebalance the previous
+/// ring's holders are peeked too), then a full forward (`POST
+/// /v1/query` with the forwarded marker) to the first live holder.
+/// Every call carries a `traceparent` minted from this request's
+/// trace, so the holders' spans join the entry node's tree.
 ///
-/// `None` means "simulate locally": the home is marked down, the wire
-/// failed, or the home answered 5xx. The caller counts the fallback —
-/// degraded mode costs a duplicated simulation, never an error.
+/// `None` means "simulate locally": every holder was marked down,
+/// failed on the wire, or answered 5xx. The caller counts the fallback
+/// — degraded mode costs a duplicated simulation, never an error.
 #[allow(clippy::too_many_arguments)]
 fn remote_answer(
     inner: &Arc<Inner>,
     cluster: &Cluster,
-    index: usize,
-    home: &str,
+    remote: &RemoteRoute,
     key: &str,
     query: &Query,
     timeout: Duration,
@@ -1072,95 +1451,104 @@ fn remote_answer(
 ) -> Option<Response> {
     let mut route_span = root.child("cluster_route");
     route_span.tag("key", key);
-    route_span.tag("home", home);
-    if !cluster.table().is_up(index) {
-        route_span.tag("outcome", "peer_down");
-        route_span.finish();
-        return None;
-    }
+    route_span.tag("home", &remote.holders[0].1);
 
-    let mut peek_span = route_span.child("peer_peek");
-    peek_span.tag("peer", home);
-    let peek = cluster.peek(index, home, key, &peek_span.ctx().to_traceparent());
-    match peek {
-        Ok((response, call)) if response.status == 200 => {
-            cluster.record_success(&call, &inner.stats);
-            inner.stats.cluster_peek_hits.inc();
-            peek_span.tag("outcome", "hit");
-            peek_span.finish();
-            route_span.tag("outcome", "remote_cache_hit");
-            route_span.finish();
-            return relay(&response, key, home, "remote", client_wire);
+    // Peek pass: any holder with the body answers without consuming a
+    // queue slot anywhere. A peek I/O error marks the holder's health
+    // but moves on — a replica may still have the bytes.
+    for (index, addr) in remote.holders.iter().chain(&remote.peek_extras) {
+        if !cluster.table().is_up(*index) {
+            continue;
         }
-        Ok((response, call)) => {
-            // 404 is the expected miss; anything else is the home being
-            // alive but unhelpful — either way, fall through to the
-            // forward, which is authoritative.
-            cluster.record_success(&call, &inner.stats);
-            inner.stats.cluster_peek_misses.inc();
-            peek_span.tag(
-                "outcome",
-                if response.status == 404 {
-                    "miss".into()
-                } else {
-                    format!("http_{}", response.status)
+        let mut peek_span = route_span.child("peer_peek");
+        peek_span.tag("peer", addr);
+        match cluster.peek(*index, addr, key, &peek_span.ctx().to_traceparent()) {
+            Ok((response, call)) if response.status == 200 => {
+                cluster.record_success(&call, &inner.stats);
+                inner.stats.cluster_peek_hits.inc();
+                peek_span.tag("outcome", "hit");
+                peek_span.finish();
+                if let Some(relayed) = relay(&response, key, addr, "remote", client_wire) {
+                    route_span.tag("outcome", "remote_cache_hit");
+                    route_span.finish();
+                    return Some(relayed);
                 }
-                .as_str(),
-            );
-            peek_span.finish();
-        }
-        Err(e) => {
-            cluster.record_failure(index, &inner.stats);
-            peek_span.tag("outcome", "io_error");
-            peek_span.tag("error", &e.to_string());
-            peek_span.finish();
-            route_span.tag("outcome", "peek_failed");
-            route_span.finish();
-            return None;
+            }
+            Ok((response, call)) => {
+                // 404 is the expected miss; anything else is the holder
+                // being alive but unhelpful — either way, keep walking.
+                cluster.record_success(&call, &inner.stats);
+                inner.stats.cluster_peek_misses.inc();
+                peek_span.tag(
+                    "outcome",
+                    if response.status == 404 {
+                        "miss".into()
+                    } else {
+                        format!("http_{}", response.status)
+                    }
+                    .as_str(),
+                );
+                peek_span.finish();
+            }
+            Err(e) => {
+                cluster.record_failure(*index, &inner.stats);
+                peek_span.tag("outcome", "io_error");
+                peek_span.tag("error", &e.to_string());
+                peek_span.finish();
+            }
         }
     }
 
-    inner.stats.cluster_forwards.inc();
-    let mut forward_span = route_span.child("peer_forward");
-    forward_span.tag("peer", home);
-    let forwarded = cluster.forward(
-        index,
-        home,
-        &wirecodec::encode_query(query),
-        timeout,
-        &forward_span.ctx().to_traceparent(),
-    );
-    match forwarded {
-        Ok((response, call)) => {
-            cluster.record_success(&call, &inner.stats);
-            if response.status >= 500 {
-                // The home is overloaded (503) or timed out (504):
-                // simulating here spreads the load instead of bouncing
-                // the client.
-                inner.stats.cluster_forward_errors.inc();
-                forward_span.tag("outcome", &format!("http_{}", response.status));
-                forward_span.finish();
-                route_span.tag("outcome", "forward_5xx");
-                route_span.finish();
-                return None;
-            }
-            forward_span.tag("outcome", "ok");
-            forward_span.finish();
-            route_span.tag("outcome", "forwarded");
-            route_span.finish();
-            relay(&response, key, home, "forwarded", client_wire)
+    // Forward pass: the first live holder simulates (or coalesces) and
+    // replicates. A holder that fails mid-forward is recorded and the
+    // next one is tried; only a fully unreachable replica set falls
+    // back to local simulation.
+    for (index, addr) in &remote.holders {
+        if !cluster.table().is_up(*index) {
+            continue;
         }
-        Err(e) => {
-            cluster.record_failure(index, &inner.stats);
-            inner.stats.cluster_forward_errors.inc();
-            forward_span.tag("outcome", "io_error");
-            forward_span.tag("error", &e.to_string());
-            forward_span.finish();
-            route_span.tag("outcome", "forward_failed");
-            route_span.finish();
-            None
+        inner.stats.cluster_forwards.inc();
+        let mut forward_span = route_span.child("peer_forward");
+        forward_span.tag("peer", addr);
+        let forwarded = cluster.forward(
+            *index,
+            addr,
+            &wirecodec::encode_query(query),
+            timeout,
+            &forward_span.ctx().to_traceparent(),
+        );
+        match forwarded {
+            Ok((response, call)) => {
+                cluster.record_success(&call, &inner.stats);
+                if response.status >= 500 {
+                    // The holder is overloaded (503) or timed out (504):
+                    // trying the next one (or simulating here) spreads
+                    // the load instead of bouncing the client.
+                    inner.stats.cluster_forward_errors.inc();
+                    forward_span.tag("outcome", &format!("http_{}", response.status));
+                    forward_span.finish();
+                    continue;
+                }
+                forward_span.tag("outcome", "ok");
+                forward_span.finish();
+                if let Some(relayed) = relay(&response, key, addr, "forwarded", client_wire) {
+                    route_span.tag("outcome", "forwarded");
+                    route_span.finish();
+                    return Some(relayed);
+                }
+            }
+            Err(e) => {
+                cluster.record_failure(*index, &inner.stats);
+                inner.stats.cluster_forward_errors.inc();
+                forward_span.tag("outcome", "io_error");
+                forward_span.tag("error", &e.to_string());
+                forward_span.finish();
+            }
         }
     }
+    route_span.tag("outcome", "holders_unreachable");
+    route_span.finish();
+    None
 }
 
 /// Re-wraps a home node's response for the entry node's client: same
@@ -1574,6 +1962,15 @@ fn worker_loop(inner: &Arc<Inner>) {
                 let cached = Arc::new(CachedBody::from_json(&body.to_string_pretty()));
                 inner.cache.put_body(&job.key, &cached);
                 inner.stats.simulations_completed.inc();
+                // Write-behind replication: the other holders get a
+                // copy off the request path, so any one of them can
+                // answer peeks if this node dies a moment later.
+                if inner.cluster.is_some() {
+                    inner.enqueue_repl(ReplWork::WriteBehind {
+                        key: job.key.clone(),
+                        json: cached.json.clone(),
+                    });
+                }
                 JobOutcome::Done(cached)
             }
             Ok(None) => {

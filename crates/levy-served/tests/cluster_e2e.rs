@@ -1,5 +1,6 @@
-//! Cluster end-to-end tests: three real `Server`s on ephemeral ports,
-//! joined into one consistent-hash cluster and exercised over TCP.
+//! Cluster end-to-end tests on the deterministic multi-node harness
+//! (`tests/harness`): real `Server`s over TCP, health driven by
+//! explicit probe rounds instead of background-prober sleeps.
 //!
 //! These pin the acceptance criteria for cluster mode: hash-routing to
 //! the key's home node, byte-identical bodies whether an answer was
@@ -8,124 +9,28 @@
 //! different nodes; one connected trace spanning entry node and home
 //! node; and graceful degraded service after a peer dies.
 
-use std::net::TcpListener;
+mod harness;
+
 use std::sync::{Arc, Barrier};
-use std::time::{Duration, Instant};
 
-use levy_cluster::HashRing;
-use levy_served::server::{Server, ServerConfig};
-use levy_served::{CacheConfig, Client, ClusterConfig, Query};
+use harness::{peer_up, TestCluster};
 use levy_sim::Json;
-
-/// Distinct ephemeral ports, reserved long enough to read then released
-/// for the servers to bind. (The kernel will not hand the same port out
-/// twice while all listeners are held.)
-fn pick_ports(n: usize) -> Vec<u16> {
-    let listeners: Vec<TcpListener> = (0..n)
-        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
-        .collect();
-    listeners
-        .iter()
-        .map(|l| l.local_addr().expect("local addr").port())
-        .collect()
-}
-
-/// Starts `n` cluster members on pre-picked ports and returns them with
-/// their advertised addresses. Fast probes so health tests stay quick.
-fn start_cluster(n: usize) -> (Vec<Server>, Vec<String>) {
-    let ports = pick_ports(n);
-    let addrs: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
-    let servers = addrs
-        .iter()
-        .map(|addr| {
-            let peers: Vec<String> = addrs.iter().filter(|a| *a != addr).cloned().collect();
-            Server::start(ServerConfig {
-                addr: addr.clone(),
-                workers: 2,
-                sim_threads: 2,
-                queue_capacity: 32,
-                cache: CacheConfig {
-                    mem_capacity: 64,
-                    disk_capacity: 0,
-                    dir: None,
-                },
-                default_timeout_ms: 60_000,
-                quiet: true,
-                cluster: Some(ClusterConfig {
-                    self_addr: addr.clone(),
-                    peers,
-                    probe_interval_ms: 150,
-                    peek_timeout_ms: 1_000,
-                    ..ClusterConfig::default()
-                }),
-                ..ServerConfig::default()
-            })
-            .expect("cluster node starts")
-        })
-        .collect();
-    (servers, addrs)
-}
-
-fn client(addr: &str) -> Client {
-    Client::new(addr).with_timeout(Duration::from_secs(120))
-}
-
-/// A query body with a given seed, plus its cache key — the same
-/// canonicalization the servers use, so tests can pick entry nodes
-/// relative to the key's home.
-fn query_with_seed(seed: u64) -> (String, String) {
-    let body = format!(
-        r#"{{"kind":"parallel","strategy":"optimal","k":8,"ell":16,"budget":4000,"trials":300,"seed":{seed}}}"#
-    );
-    let key = Query::from_json(&Json::parse(&body).expect("valid JSON"))
-        .expect("valid query")
-        .cache_key();
-    (body, key)
-}
-
-/// The index (into `addrs`) of `key`'s home node.
-fn home_index(addrs: &[String], key: &str) -> usize {
-    let ring = HashRing::new(addrs, 64).expect("ring");
-    let home = ring.home_for_hex(key).expect("hex key");
-    addrs
-        .iter()
-        .position(|a| a == home)
-        .expect("home is a member")
-}
-
-/// A seed whose query is homed on `addrs[want]`.
-fn seed_homed_on(addrs: &[String], want: usize) -> (String, String) {
-    for seed in 0..10_000u64 {
-        let (body, key) = query_with_seed(seed);
-        if home_index(addrs, &key) == want {
-            return (body, key);
-        }
-    }
-    unreachable!("some seed in 0..10000 must land on every member");
-}
-
-fn total_simulations(servers: &[Server]) -> u64 {
-    servers
-        .iter()
-        .map(|s| s.stats().simulations_started.get())
-        .sum()
-}
 
 #[test]
 fn identical_queries_through_every_node_cost_one_simulation() {
-    let (servers, addrs) = start_cluster(3);
+    let cluster = TestCluster::start(3);
     // A key homed on node 0; entry through all three nodes at once.
-    let (body, key) = seed_homed_on(&addrs, 0);
-    let barrier = Arc::new(Barrier::new(addrs.len()));
+    let (body, key) = cluster.seed_homed_on(0);
+    let barrier = Arc::new(Barrier::new(3));
     let responses: Vec<_> = std::thread::scope(|scope| {
-        let handles: Vec<_> = addrs
-            .iter()
-            .map(|addr| {
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
                 let barrier = Arc::clone(&barrier);
+                let client = cluster.client(i);
                 let body = body.as_str();
                 scope.spawn(move || {
                     barrier.wait();
-                    client(addr).post("/v1/query", body).expect("query ok")
+                    client.post("/v1/query", body).expect("query ok")
                 })
             })
             .collect();
@@ -143,44 +48,47 @@ fn identical_queries_through_every_node_cost_one_simulation() {
     assert_eq!(responses[0].body, responses[1].body);
     assert_eq!(responses[1].body, responses[2].body);
     assert_eq!(
-        total_simulations(&servers),
+        cluster.total_simulations(),
         1,
         "identical concurrent queries must coalesce on the home node"
     );
-    assert_eq!(servers[0].stats().simulations_started.get(), 1);
+    assert_eq!(cluster.server(0).stats().simulations_started.get(), 1);
 
     // A later cold entry through a non-home node is answered by a
     // cross-node cache peek — no new simulation anywhere, same bytes.
-    let relayed = client(&addrs[1])
+    let relayed = cluster
+        .client(1)
         .post("/v1/query", &body)
         .expect("query ok");
     assert_eq!(relayed.status, 200);
-    assert_eq!(relayed.header("x-levy-home"), Some(addrs[0].as_str()));
+    assert_eq!(
+        relayed.header("x-levy-home"),
+        Some(cluster.addrs()[0].as_str())
+    );
     assert_eq!(
         relayed.body, responses[0].body,
         "peek must relay exact bytes"
     );
-    assert_eq!(total_simulations(&servers), 1);
+    assert_eq!(cluster.total_simulations(), 1);
     assert!(
-        servers[1].stats().cluster_peek_hits.get() >= 1,
+        cluster.server(1).stats().cluster_peek_hits.get() >= 1,
         "the relay must come from a cache peek"
     );
-    for server in servers {
-        server.shutdown();
-    }
+    cluster.shutdown();
 }
 
 #[test]
 fn forwarded_query_produces_one_connected_trace_across_nodes() {
-    let (servers, addrs) = start_cluster(3);
-    let (body, _key) = seed_homed_on(&addrs, 2);
+    let cluster = TestCluster::start(3);
+    let (body, _key) = cluster.seed_homed_on(2);
     // Mint the trace client-side, enter through a non-home node.
     let ctx = levy_obs::SpanContext {
         trace_id: levy_obs::trace::next_trace_id(),
         span_id: levy_obs::trace::next_span_id(),
     };
     let traceparent = ctx.to_traceparent();
-    let response = client(&addrs[0])
+    let response = cluster
+        .client(0)
         .request_with_headers(
             "POST",
             "/v1/query",
@@ -190,13 +98,17 @@ fn forwarded_query_produces_one_connected_trace_across_nodes() {
         .expect("query ok");
     assert_eq!(response.status, 200, "body: {}", response.body_string());
     assert_eq!(response.header("x-levy-cache"), Some("forwarded"));
-    assert_eq!(response.header("x-levy-home"), Some(addrs[2].as_str()));
+    assert_eq!(
+        response.header("x-levy-home"),
+        Some(cluster.addrs()[2].as_str())
+    );
     let trace_id = ctx.trace_id.to_string();
     assert_eq!(response.header("x-levy-trace-id"), Some(trace_id.as_str()));
 
     // Entry node: the request trace adopts the client's id and contains
     // the cluster hop spans.
-    let entry_trace = servers[0]
+    let entry_trace = cluster
+        .server(0)
         .traces()
         .finished()
         .into_iter()
@@ -214,7 +126,8 @@ fn forwarded_query_produces_one_connected_trace_across_nodes() {
 
     // Home node: the forwarded request joined the SAME trace id, and it
     // is the node that actually ran the simulation.
-    let home_traces: Vec<_> = servers[2]
+    let home_traces: Vec<_> = cluster
+        .server(2)
         .traces()
         .finished()
         .into_iter()
@@ -230,21 +143,19 @@ fn forwarded_query_produces_one_connected_trace_across_nodes() {
         home_traces.iter().all(|t| t.remote_parent.is_some()),
         "home traces must record the entry node as remote parent"
     );
-    assert_eq!(servers[2].stats().simulations_started.get(), 1);
-    assert_eq!(servers[0].stats().simulations_started.get(), 0);
-    for server in servers {
-        server.shutdown();
-    }
+    assert_eq!(cluster.server(2).stats().simulations_started.get(), 1);
+    assert_eq!(cluster.server(0).stats().simulations_started.get(), 0);
+    cluster.shutdown();
 }
 
 #[test]
 fn dead_peer_degrades_to_local_simulation_and_health_reports_it() {
-    let (mut servers, addrs) = start_cluster(3);
+    let mut cluster = TestCluster::start(3);
     // Kill the home node of our key, then query through a survivor.
-    let (body, _key) = seed_homed_on(&addrs, 1);
-    servers.remove(1).shutdown();
+    let (body, _key) = cluster.seed_homed_on(1);
+    cluster.kill(1);
 
-    let survivor = client(&addrs[0]);
+    let survivor = cluster.client(0);
     let response = survivor
         .post("/v1/query", &body)
         .expect("degraded query ok");
@@ -254,61 +165,61 @@ fn dead_peer_degrades_to_local_simulation_and_health_reports_it() {
         Some("miss"),
         "the survivor must simulate locally, not error"
     );
-    assert!(servers[0].stats().cluster_local_fallbacks.get() >= 1);
-    assert_eq!(servers[0].stats().simulations_started.get(), 1);
+    assert!(cluster.server(0).stats().cluster_local_fallbacks.get() >= 1);
+    assert_eq!(cluster.server(0).stats().simulations_started.get(), 1);
 
     // Determinism still holds in degraded mode: the other survivor
     // falls back to its own local simulation and produces the same
     // bytes.
-    let other = client(&addrs[2])
+    let other = cluster
+        .client(2)
         .post("/v1/query", &body)
         .expect("query ok");
     assert_eq!(other.status, 200);
     assert_eq!(other.body, response.body, "degraded bodies stay identical");
 
-    // The prober flips the dead peer down after consecutive failures;
-    // `GET /v1/peers` reports it while the live peer stays up.
-    let deadline = Instant::now() + Duration::from_secs(10);
-    let dead_is_down = loop {
-        let peers = survivor.get("/v1/peers").expect("peers ok");
-        assert_eq!(peers.status, 200);
-        let parsed = Json::parse(&peers.body_string()).expect("peers JSON");
-        let entries = parsed.get("peers").and_then(Json::as_array).expect("peers");
-        let down = entries.iter().any(|p| {
-            p.get("addr").and_then(Json::as_str) == Some(addrs[1].as_str())
-                && p.get("up").and_then(Json::as_bool) == Some(false)
-        });
-        if down || Instant::now() > deadline {
-            break down;
-        }
-        std::thread::sleep(Duration::from_millis(100));
-    };
-    assert!(dead_is_down, "prober must mark the dead peer down");
+    // Two explicit probe rounds are the hysteresis threshold: every
+    // survivor has now seen 2+ consecutive failures, so `GET /v1/peers`
+    // reports the dead member down — no background prober, no sleeps.
+    cluster.probe_all();
+    cluster.probe_all();
+    let peers = survivor.get("/v1/peers").expect("peers ok");
+    assert_eq!(peers.status, 200);
+    assert_eq!(
+        peer_up(&peers.body_string(), &cluster.addrs()[1]),
+        Some(false),
+        "explicit probe rounds must mark the dead peer down"
+    );
 
     // And a marked-down home is skipped without a connection attempt:
     // later cold queries homed there still answer locally.
-    let (body2, _key2) = seed_homed_on(&addrs, 1);
+    let (body2, _key2) = cluster.seed_homed_on(1);
     let again = survivor.post("/v1/query", &body2).expect("query ok");
     assert_eq!(again.status, 200);
-    for server in servers {
-        server.shutdown();
-    }
+    cluster.shutdown();
 }
 
 #[test]
 fn peers_endpoint_and_cache_peek_routes() {
-    let (servers, addrs) = start_cluster(3);
-    let c = client(&addrs[0]);
+    let cluster = TestCluster::start(3);
+    let c = cluster.client(0);
     let peers = c.get("/v1/peers").expect("peers ok");
     assert_eq!(peers.status, 200);
-    let parsed = Json::parse(&peers.body_string()).expect("peers JSON");
+    let body_text = peers.body_string();
+    let parsed = Json::parse(&body_text).expect("peers JSON");
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
         Some("levy-served/peers-v1")
     );
     assert_eq!(
         parsed.get("self").and_then(Json::as_str),
-        Some(addrs[0].as_str())
+        Some(cluster.addrs()[0].as_str())
+    );
+    assert_eq!(parsed.get("epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(parsed.get("replication").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        parsed.get("rebalancing").and_then(Json::as_bool),
+        Some(false)
     );
     assert_eq!(
         parsed
@@ -325,7 +236,7 @@ fn peers_endpoint_and_cache_peek_routes() {
     // The peek route: 400 for junk, 404 for a well-formed cold key, 200
     // with exact bytes once the owning node has simulated.
     assert_eq!(c.get("/v1/cache/not-hex").expect("ok").status, 400);
-    let (body, key) = seed_homed_on(&addrs, 0);
+    let (body, key) = cluster.seed_homed_on(0);
     assert_eq!(c.get(&format!("/v1/cache/{key}")).expect("ok").status, 404);
     let simulated = c.post("/v1/query", &body).expect("query ok");
     assert_eq!(simulated.status, 200);
@@ -333,7 +244,5 @@ fn peers_endpoint_and_cache_peek_routes() {
     assert_eq!(peeked.status, 200);
     assert_eq!(peeked.header("x-levy-cache"), Some("hit"));
     assert_eq!(peeked.body, simulated.body, "peek returns the cached bytes");
-    for server in servers {
-        server.shutdown();
-    }
+    cluster.shutdown();
 }

@@ -11,10 +11,15 @@
 #      (whichever node is the key's home, the two non-home entries both
 #      cross the network, and the later one always finds the home's
 #      cache warm);
-#   4. SIGTERM one node and require the survivors to keep answering —
+#   4. rolling membership: warm a spread of keys, then admit a 4th node
+#      (token-gated `levyc peers add` broadcast) while query load runs —
+#      zero client-visible errors, byte-identical bodies throughout, the
+#      ring epoch advances on every old node, and the rehomed keyspace
+#      handoff shows up as cluster_handoff_keys_total >= 1;
+#   5. SIGTERM one node and require the survivors to keep answering —
 #      including a levyc --endpoints failover through the dead node and
 #      a cold query that degrades to local simulation;
-#   5. SIGTERM the survivors and require clean (0) exits all round.
+#   6. SIGTERM the survivors and require clean (0) exits all round.
 #
 # Usage: scripts/cluster_smoke.sh [path-to-target-dir]
 #   Binaries are taken from $1/release (default: target/release); build
@@ -44,9 +49,11 @@ trap cleanup EXIT
 #    --peers names the other two), so pick a random block and retry the
 #    whole bring-up if any bind loses a race.
 started=""
+TOKEN="smoke-secret"
 for ATTEMPT in 1 2 3 4 5; do
   BASE=$((20000 + RANDOM % 40000))
   ADDRS=("127.0.0.1:$BASE" "127.0.0.1:$((BASE + 1))" "127.0.0.1:$((BASE + 2))")
+  ADDR3="127.0.0.1:$((BASE + 3))" # reserved for the rolling-admission phase
   PIDS=()
   for I in 0 1 2; do
     PEERS=""
@@ -56,6 +63,7 @@ for ATTEMPT in 1 2 3 4 5; do
     done
     "$LEVYD" --addr "${ADDRS[$I]}" --workers 2 --cache-dir "$WORKDIR/cache$I" \
       --cluster --peers "$PEERS" --probe-interval-ms 200 --peek-timeout-ms 1000 \
+      --replication 2 --cluster-token "$TOKEN" \
       >"$WORKDIR/node$I.out" 2>"$WORKDIR/node$I.log" &
     PIDS+=($!)
   done
@@ -128,7 +136,83 @@ PEEK_HITS="$(scrape_sum levy_served_cluster_peek_hits_total)"
 }
 echo "query via 3 entries: 1 simulation, byte-identical bodies, $PEEK_HITS cross-node cache hit(s)"
 
-# 4. Kill one node; the survivors must keep serving. levyc --endpoints
+# 4. Rolling membership under load. Warm a spread of keys (so some of
+#    the keyspace is guaranteed to rehome onto the new member), start
+#    query load over those keys, admit a 4th node mid-load with a
+#    token-gated `levyc peers add` broadcast, and require: every load
+#    query answered with the exact warm bytes (zero client-visible
+#    errors), the ring epoch advanced on every old node, and the
+#    rehomed-cache handoff visible as cluster_handoff_keys_total >= 1.
+WARM_SEEDS=$(seq 100 115)
+for SEED in $WARM_SEEDS; do
+  "$LEVYC" --endpoints "${ADDRS[0]}" query \
+    "{\"kind\":\"parallel\",\"strategy\":\"optimal\",\"k\":8,\"ell\":16,\"budget\":4000,\"trials\":200,\"seed\":$SEED}" \
+    >"$WORKDIR/warm$SEED.json" 2>/dev/null
+done
+(
+  ROUND=0
+  for PASS in 1 2 3; do
+    for SEED in $WARM_SEEDS; do
+      ENTRY="${ADDRS[$((ROUND % 3))]}"
+      ROUND=$((ROUND + 1))
+      "$LEVYC" --endpoints "$ENTRY" query \
+        "{\"kind\":\"parallel\",\"strategy\":\"optimal\",\"k\":8,\"ell\":16,\"budget\":4000,\"trials\":200,\"seed\":$SEED}" \
+        >"$WORKDIR/load-$PASS-$SEED.json" 2>/dev/null \
+        || { echo "$PASS/$SEED" >>"$WORKDIR/load-failures"; }
+    done
+  done
+) &
+LOAD_PID=$!
+"$LEVYD" --addr "$ADDR3" --workers 2 --cache-dir "$WORKDIR/cache3" \
+  --cluster --peers "${ADDRS[0]},${ADDRS[1]},${ADDRS[2]}" \
+  --probe-interval-ms 200 --peek-timeout-ms 1000 \
+  --replication 2 --cluster-token "$TOKEN" \
+  >"$WORKDIR/node3.out" 2>"$WORKDIR/node3.log" &
+PIDS+=($!)
+for _ in $(seq 1 100); do
+  grep -q "^levyd listening on " "$WORKDIR/node3.out" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "^levyd listening on " "$WORKDIR/node3.out" || {
+  echo "4th node failed to start:" >&2; cat "$WORKDIR/node3.log" >&2; exit 1
+}
+for I in 0 1 2; do
+  LEVY_CLUSTER_TOKEN="$TOKEN" "$LEVYC" --addr "${ADDRS[$I]}" peers add "$ADDR3" \
+    >"$WORKDIR/admit$I.json" 2>/dev/null || {
+    echo "peers add broadcast to node $I failed:" >&2
+    cat "$WORKDIR/admit$I.json" >&2; exit 1
+  }
+  grep -Eq '"epoch": ?2' "$WORKDIR/admit$I.json" || {
+    echo "node $I did not advance its ring epoch on admission:" >&2
+    cat "$WORKDIR/admit$I.json" >&2; exit 1
+  }
+done
+wait "$LOAD_PID"
+[ ! -e "$WORKDIR/load-failures" ] || {
+  echo "client-visible errors during rolling admission:" >&2
+  cat "$WORKDIR/load-failures" >&2; exit 1
+}
+for PASS in 1 2 3; do
+  for SEED in $WARM_SEEDS; do
+    cmp -s "$WORKDIR/warm$SEED.json" "$WORKDIR/load-$PASS-$SEED.json" || {
+      echo "seed $SEED pass $PASS: body changed during rolling admission" >&2; exit 1
+    }
+  done
+done
+ADDRS+=("$ADDR3") # scrape the new member from here on
+HANDOFF=0
+for _ in $(seq 1 150); do
+  HANDOFF="$(scrape_sum levy_served_cluster_handoff_keys_total)"
+  [ "$HANDOFF" -ge 1 ] && break
+  sleep 0.2
+done
+[ "$HANDOFF" -ge 1 ] || {
+  echo "expected >=1 handed-off key after admission, /metrics says $HANDOFF" >&2
+  exit 1
+}
+echo "rolling admission: epoch 2 on all old nodes, 0 client errors, $HANDOFF key(s) handed off"
+
+# 5. Kill one node; the survivors must keep serving. levyc --endpoints
 #    listing the dead node first must fail over, and a cold query homed
 #    anywhere must still answer (local fallback at worst).
 kill -TERM "${PIDS[1]}"
@@ -148,8 +232,8 @@ grep -q '"schema"' "$WORKDIR/degraded.json" || {
 }
 echo "degraded mode: survivors answer after SIGTERM of one node"
 
-# 5. Clean drain of the survivors.
-for I in 0 2; do
+# 6. Clean drain of the survivors (including the admitted 4th node).
+for I in 0 2 3; do
   kill -TERM "${PIDS[$I]}"
   STATUS=0
   wait "${PIDS[$I]}" || STATUS=$?
