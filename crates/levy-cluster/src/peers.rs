@@ -43,6 +43,8 @@ pub struct PeerHealth {
     pub successes: u64,
     /// Total failed probes/calls observed.
     pub failures: u64,
+    /// Total replica writes to this peer that failed or were refused.
+    pub replica_errors: u64,
     /// Unix µs of the last observation (0 = never observed).
     pub last_seen_unix_us: u64,
     /// Whether the peer was removed from the membership (tombstoned
@@ -59,6 +61,7 @@ struct PeerState {
     consecutive_failures: u32,
     successes: u64,
     failures: u64,
+    replica_errors: u64,
     last_seen_unix_us: u64,
     removed: bool,
 }
@@ -90,6 +93,7 @@ impl PeerTable {
                         consecutive_failures: 0,
                         successes: 0,
                         failures: 0,
+                        replica_errors: 0,
                         last_seen_unix_us: 0,
                         removed: false,
                     })
@@ -120,6 +124,7 @@ impl PeerTable {
             consecutive_failures: 0,
             successes: 0,
             failures: 0,
+            replica_errors: 0,
             last_seen_unix_us: 0,
             removed: false,
         });
@@ -205,6 +210,19 @@ impl PeerTable {
         }
     }
 
+    /// Charges a failed or refused replica write to peer `index`.
+    /// Separate from [`record_failure`](Self::record_failure): a refused
+    /// write (e.g. an epoch conflict) says nothing about reachability,
+    /// so it must not push the peer toward a down flip.
+    pub fn record_replica_error(&self, index: usize) {
+        let mut peers = self.peers.lock().expect("peer table lock");
+        if let Some(peer) = peers.get_mut(index) {
+            if !peer.removed {
+                peer.replica_errors += 1;
+            }
+        }
+    }
+
     /// A snapshot of every slot's health, in index order — tombstoned
     /// slots included (`removed: true`) so indices line up with
     /// [`is_up`](Self::is_up) and fault plans.
@@ -222,6 +240,7 @@ impl PeerTable {
                 consecutive_failures: p.consecutive_failures,
                 successes: p.successes,
                 failures: p.failures,
+                replica_errors: p.replica_errors,
                 last_seen_unix_us: p.last_seen_unix_us,
                 removed: p.removed,
             })
@@ -276,6 +295,23 @@ mod tests {
         assert!(!table.is_up(0));
         assert!(table.record_success(0, 10), "down -> up is");
         assert!(!table.record_success(0, 10));
+    }
+
+    #[test]
+    fn replica_errors_tally_without_affecting_reachability() {
+        let table = PeerTable::new(&["a:1", "b:1"]);
+        table.record_replica_error(0);
+        table.record_replica_error(0);
+        let health = table.snapshot();
+        assert_eq!(health[0].replica_errors, 2);
+        assert_eq!(health[1].replica_errors, 0);
+        assert!(table.is_up(0), "replica errors never flip a peer down");
+        assert_eq!(health[0].failures, 0);
+        // Tombstoned slots ignore the charge, like other records.
+        table.remove_peer("a:1");
+        table.record_replica_error(0);
+        assert_eq!(table.snapshot()[0].replica_errors, 2);
+        table.record_replica_error(99); // unknown index: no panic
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Structured cluster event journal: a bounded ring of typed events.
+//!
+//! Metrics answer "how much"; traces answer "where did this request go";
+//! the event journal answers "what *changed*" — peer up/down flips, ring
+//! epoch bumps, admissions and retirements, handoff lifecycle,
+//! replication write errors, backpressure onsets. Each event carries a
+//! monotone sequence number so consumers (`GET /v1/events`,
+//! `levyc events --follow`) can poll with a since-seq cursor and never
+//! miss or double-count an event that is still in the ring.
+//!
+//! Recording is strictly off the response path: the journal is only
+//! written from control-plane code (prober, replicator, handoff,
+//! membership) and from the queue-admission edge, never from inside a
+//! simulation, so seeded response bodies stay byte-identical whether the
+//! journal is enabled, disabled, or full.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// What kind of cluster event happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A peer flipped from down to up (first success after being down).
+    PeerUp,
+    /// A peer flipped from up to down (consecutive-failure threshold).
+    PeerDown,
+    /// The ring epoch advanced (any membership change).
+    RingEpoch,
+    /// A member was admitted into the ring.
+    PeerAdmitted,
+    /// A member was retired from the ring.
+    PeerRetired,
+    /// A handoff sweep started.
+    HandoffStart,
+    /// A handoff sweep reported batch progress.
+    HandoffProgress,
+    /// A handoff sweep finished normally.
+    HandoffFinish,
+    /// A handoff sweep aborted (shutdown mid-sweep).
+    HandoffAbort,
+    /// A replica write to a peer failed or was refused.
+    ReplicaWriteError,
+    /// The admission queue rejected work (backpressure onset).
+    Backpressure,
+}
+
+impl EventKind {
+    /// Stable wire name of the kind (`peer_up`, `ring_epoch`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::PeerUp => "peer_up",
+            EventKind::PeerDown => "peer_down",
+            EventKind::RingEpoch => "ring_epoch",
+            EventKind::PeerAdmitted => "peer_admitted",
+            EventKind::PeerRetired => "peer_retired",
+            EventKind::HandoffStart => "handoff_start",
+            EventKind::HandoffProgress => "handoff_progress",
+            EventKind::HandoffFinish => "handoff_finish",
+            EventKind::HandoffAbort => "handoff_abort",
+            EventKind::ReplicaWriteError => "replica_write_error",
+            EventKind::Backpressure => "backpressure",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Monotone per-journal sequence number, starting at 1. Never reused:
+    /// the ring evicts old events but `seq` keeps counting, so a cursor
+    /// (`since=SEQ`) detects eviction gaps as non-contiguous sequences.
+    pub seq: u64,
+    /// Unix microseconds when the event was recorded.
+    pub unix_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Free-form detail fields, in recording order (`peer`, `epoch`, ...).
+    pub fields: Vec<(&'static str, String)>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// Bounded, thread-safe ring of [`Event`]s with a since-seq cursor.
+///
+/// A journal with capacity 0 is *disabled*: `record` is a no-op and
+/// `since` always returns nothing, so call sites never need to branch.
+#[derive(Debug)]
+pub struct EventJournal {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+impl EventJournal {
+    /// A journal keeping at most `capacity` events (0 disables recording).
+    pub fn new(capacity: usize) -> EventJournal {
+        EventJournal {
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                next_seq: 1,
+            }),
+            capacity,
+        }
+    }
+
+    /// Whether this journal records anything.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event, evicting the oldest when the ring is full.
+    /// Returns the event's sequence number (0 when disabled).
+    pub fn record(&self, kind: EventKind, fields: Vec<(&'static str, String)>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut ring = self.ring.lock().expect("event journal lock");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let event = Event {
+            seq,
+            unix_us: unix_us(),
+            kind,
+            fields,
+        };
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(event);
+        seq
+    }
+
+    /// Events with `seq > since`, oldest first, at most `max` of them.
+    pub fn since(&self, since: u64, max: usize) -> Vec<Event> {
+        let ring = self.ring.lock().expect("event journal lock");
+        ring.events
+            .iter()
+            .filter(|e| e.seq > since)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// Sequence number of the newest event (0 when none recorded yet).
+    pub fn last_seq(&self) -> u64 {
+        let ring = self.ring.lock().expect("event journal lock");
+        ring.next_seq - 1
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("event journal lock").events.len()
+    }
+
+    /// Whether the ring currently holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(k: &'static str, v: &str) -> (&'static str, String) {
+        (k, v.to_owned())
+    }
+
+    #[test]
+    fn seq_is_monotone_and_cursor_resumes() {
+        let journal = EventJournal::new(8);
+        assert_eq!(journal.last_seq(), 0);
+        for i in 0..3 {
+            let seq = journal.record(EventKind::PeerUp, vec![field("peer", &i.to_string())]);
+            assert_eq!(seq, i + 1);
+        }
+        assert_eq!(journal.last_seq(), 3);
+        let all = journal.since(0, 100);
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+        let tail = journal.since(2, 100);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].seq, 3);
+        assert!(journal.since(3, 100).is_empty(), "cursor at head is empty");
+        let capped = journal.since(0, 2);
+        assert_eq!(capped.len(), 2, "max caps the page size");
+        assert_eq!(capped[0].seq, 1, "oldest first");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_counting() {
+        let journal = EventJournal::new(2);
+        for _ in 0..5 {
+            journal.record(EventKind::Backpressure, Vec::new());
+        }
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.last_seq(), 5);
+        let events = journal.since(0, 100);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5],
+            "evicted events leave a detectable gap, seqs never reused"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let journal = EventJournal::new(0);
+        assert!(!journal.enabled());
+        assert_eq!(journal.record(EventKind::RingEpoch, Vec::new()), 0);
+        assert_eq!(journal.last_seq(), 0);
+        assert!(journal.since(0, 100).is_empty());
+        assert!(journal.is_empty());
+    }
+
+    #[test]
+    fn events_keep_kind_and_fields() {
+        let journal = EventJournal::new(4);
+        journal.record(
+            EventKind::PeerAdmitted,
+            vec![field("peer", "h:1"), field("epoch", "2")],
+        );
+        let event = &journal.since(0, 1)[0];
+        assert_eq!(event.kind, EventKind::PeerAdmitted);
+        assert_eq!(event.kind.as_str(), "peer_admitted");
+        assert_eq!(event.fields[0], ("peer", "h:1".to_owned()));
+        assert_eq!(event.fields[1], ("epoch", "2".to_owned()));
+        assert!(event.unix_us > 0);
+    }
+}

@@ -1,0 +1,653 @@
+//! Prometheus text-exposition parsing and cross-node merging.
+//!
+//! The federated metrics endpoint (`GET /v1/cluster/metrics`) scrapes
+//! each live peer's `/metrics` text, parses it back into typed families
+//! with [`parse_exposition`], and merges the per-node views with
+//! [`merge_expositions`]: counters and gauges sum per label set,
+//! histograms merge bucket-wise through [`HistogramSnapshot::merge`] —
+//! the same mergeable-bucket machinery per-thread snapshots already use,
+//! so merged quantiles equal the quantiles of the pooled samples.
+//!
+//! The parser only needs to round-trip what [`crate::Registry::encode`]
+//! emits: `# HELP`/`# TYPE` comments, scalar samples, and base-2
+//! cumulative histogram buckets (`le` of an integer power of two, plus
+//! `+Inf`). Lines it cannot interpret are skipped, never an error — a
+//! half-garbled peer degrades the merged view instead of poisoning it.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// The value of one parsed series.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)] // short-lived parse artifacts, never stored in bulk
+pub enum SeriesValue {
+    /// A counter or gauge sample.
+    Scalar(f64),
+    /// A reassembled (de-cumulated) histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// One series: a label set and its value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSeries {
+    /// Sorted `(key, value)` label pairs, `le` excluded.
+    pub labels: Vec<(String, String)>,
+    /// The sample or reassembled histogram.
+    pub value: SeriesValue,
+}
+
+/// One metric family reassembled from exposition text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedFamily {
+    /// Family name (histogram suffixes stripped).
+    pub name: String,
+    /// `counter`, `gauge`, or `histogram` (from `# TYPE`; scalars with
+    /// no TYPE comment default to `gauge`).
+    pub kind: &'static str,
+    /// Help text (from `# HELP`, possibly empty).
+    pub help: String,
+    /// The family's series.
+    pub series: Vec<ParsedSeries>,
+}
+
+/// Partially reassembled histogram series (cumulative buckets as seen).
+struct HistogramBuild {
+    labels: Vec<(String, String)>,
+    // (bucket index, cumulative count) in line order.
+    cumulative: Vec<(usize, u64)>,
+    sum: u64,
+    count: u64,
+}
+
+impl HistogramBuild {
+    fn finish(mut self) -> ParsedSeries {
+        let mut snapshot = HistogramSnapshot::empty();
+        self.cumulative.sort_unstable_by_key(|&(i, _)| i);
+        let mut prev = 0u64;
+        let mut last_bounded = 0u64;
+        for (index, cumulative) in self.cumulative {
+            let n = cumulative.saturating_sub(prev);
+            prev = cumulative;
+            if index < HISTOGRAM_BUCKETS {
+                snapshot.buckets[index] += n;
+            }
+            if index < HISTOGRAM_BUCKETS - 1 {
+                last_bounded = cumulative;
+            }
+        }
+        // Anything between the last bounded bucket and the total count
+        // (the `+Inf` line, or `_count` when +Inf was absent) overflowed.
+        let total = self.count.max(prev);
+        snapshot.buckets[HISTOGRAM_BUCKETS - 1] = total.saturating_sub(last_bounded);
+        snapshot.count = total;
+        snapshot.sum = self.sum;
+        ParsedSeries {
+            labels: self.labels,
+            value: SeriesValue::Histogram(snapshot),
+        }
+    }
+}
+
+/// Maps an `le` label back to its bucket index: `"1"`, `"2"`, `"4"`, ...
+/// (integer powers of two) or `"+Inf"`. Anything else is foreign.
+fn le_to_index(le: &str) -> Option<usize> {
+    if le == "+Inf" {
+        return Some(HISTOGRAM_BUCKETS - 1);
+    }
+    let bound: u64 = le.parse().ok()?;
+    if bound == 0 || !bound.is_power_of_two() {
+        return None;
+    }
+    Some(bound.trailing_zeros() as usize)
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Splits a series key into its name and label pairs. Label values are
+/// unescaped; a malformed label block rejects the whole line.
+fn parse_series_key(key: &str) -> Option<(&str, Vec<(String, String)>)> {
+    let Some(brace) = key.find('{') else {
+        return Some((key, Vec::new()));
+    };
+    let name = &key[..brace];
+    let block = key[brace + 1..].strip_suffix('}')?;
+    let mut labels = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"")?;
+        let label_key = &rest[..eq];
+        rest = &rest[eq + 2..];
+        // Find the closing quote, skipping escaped ones.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end?;
+        labels.push((label_key.to_owned(), unescape_label(&rest[..end])));
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Some((name, labels))
+}
+
+/// Parses Prometheus text exposition into typed families.
+///
+/// Histogram `_bucket`/`_sum`/`_count` expansions are folded back into
+/// one [`SeriesValue::Histogram`] per label set (`le` excluded), with
+/// buckets de-cumulated so the result merges with other snapshots.
+/// Unparseable lines and foreign bucket bounds are skipped.
+pub fn parse_exposition(text: &str) -> Vec<ParsedFamily> {
+    let mut families: Vec<ParsedFamily> = Vec::new();
+    let mut builds: Vec<(String, HistogramBuild)> = Vec::new();
+    // First pass over comments: TYPE decides how sample lines route.
+    let mut types: Vec<(String, &'static str)> = Vec::new();
+    let mut helps: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, kind)) = rest.split_once(' ') {
+                let kind = match kind.trim() {
+                    "counter" => "counter",
+                    "gauge" => "gauge",
+                    "histogram" => "histogram",
+                    _ => continue,
+                };
+                types.push((name.to_owned(), kind));
+            }
+        } else if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some((name, help)) = rest.split_once(' ') {
+                helps.push((name.to_owned(), help.to_owned()));
+            }
+        }
+    }
+    let type_of = |name: &str| types.iter().find(|(n, _)| n == name).map(|(_, k)| *k);
+    let help_of = |name: &str| {
+        helps
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+            .unwrap_or_default()
+    };
+
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value_text)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value_text.parse::<f64>() else {
+            continue;
+        };
+        let Some((series_name, mut labels)) = parse_series_key(key) else {
+            continue;
+        };
+
+        // Histogram expansions route by the *base* family name.
+        let histogram_part = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            let base = series_name.strip_suffix(suffix)?;
+            (type_of(base) == Some("histogram")).then_some((base, *suffix))
+        });
+        if let Some((base, part)) = histogram_part {
+            let le = labels
+                .iter()
+                .position(|(k, _)| k == "le")
+                .map(|i| labels.remove(i).1);
+            labels.sort();
+            let build = match builds
+                .iter_mut()
+                .find(|(name, b)| name == base && b.labels == labels)
+            {
+                Some((_, build)) => build,
+                None => {
+                    builds.push((
+                        base.to_owned(),
+                        HistogramBuild {
+                            labels: labels.clone(),
+                            cumulative: Vec::new(),
+                            sum: 0,
+                            count: 0,
+                        },
+                    ));
+                    &mut builds.last_mut().unwrap().1
+                }
+            };
+            match part {
+                "_bucket" => {
+                    if let Some(index) = le.as_deref().and_then(le_to_index) {
+                        build.cumulative.push((index, value as u64));
+                    }
+                }
+                "_sum" => build.sum = value as u64,
+                _ => build.count = value as u64,
+            }
+            continue;
+        }
+
+        labels.sort();
+        let kind = type_of(series_name).unwrap_or("gauge");
+        if kind == "histogram" {
+            continue; // a bare sample under a histogram TYPE is malformed
+        }
+        let family = match families.iter_mut().find(|f| f.name == series_name) {
+            Some(family) => family,
+            None => {
+                families.push(ParsedFamily {
+                    name: series_name.to_owned(),
+                    kind,
+                    help: help_of(series_name),
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        family.series.push(ParsedSeries {
+            labels,
+            value: SeriesValue::Scalar(value),
+        });
+    }
+
+    for (name, build) in builds {
+        let series = build.finish();
+        match families.iter_mut().find(|f| f.name == name) {
+            Some(family) => family.series.push(series),
+            None => families.push(ParsedFamily {
+                kind: "histogram",
+                help: help_of(&name),
+                name,
+                series: vec![series],
+            }),
+        }
+    }
+    families
+}
+
+/// Merges per-node family sets into one exposition text.
+///
+/// Families merge by name; within a family, counters and gauges sum per
+/// label set and histograms merge bucket-wise. With `by_node`, every
+/// series instead gains a `node="<name>"` label so per-node values stay
+/// distinguishable. Output is deterministic: families sorted by name,
+/// series sorted by label set, regardless of input order.
+pub fn merge_expositions(sources: &[(String, Vec<ParsedFamily>)], by_node: bool) -> String {
+    struct MergedFamily {
+        name: String,
+        kind: &'static str,
+        help: String,
+        series: Vec<ParsedSeries>,
+    }
+    let mut merged: Vec<MergedFamily> = Vec::new();
+    for (node, families) in sources {
+        for family in families {
+            let target = match merged.iter_mut().find(|f| f.name == family.name) {
+                Some(target) => {
+                    if target.kind != family.kind {
+                        continue; // kind clash across nodes: keep the first
+                    }
+                    target
+                }
+                None => {
+                    merged.push(MergedFamily {
+                        name: family.name.clone(),
+                        kind: family.kind,
+                        help: family.help.clone(),
+                        series: Vec::new(),
+                    });
+                    merged.last_mut().unwrap()
+                }
+            };
+            for series in &family.series {
+                let mut labels = series.labels.clone();
+                if by_node {
+                    labels.push(("node".to_owned(), node.clone()));
+                    labels.sort();
+                }
+                match target.series.iter_mut().find(|s| s.labels == labels) {
+                    Some(existing) => match (&mut existing.value, &series.value) {
+                        (SeriesValue::Scalar(a), SeriesValue::Scalar(b)) => *a += b,
+                        (SeriesValue::Histogram(a), SeriesValue::Histogram(b)) => {
+                            *a = a.merge(b);
+                        }
+                        _ => {}
+                    },
+                    None => target.series.push(ParsedSeries {
+                        labels,
+                        value: series.value.clone(),
+                    }),
+                }
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    for family in &mut merged {
+        family.series.sort_by(|a, b| a.labels.cmp(&b.labels));
+        if !family.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+        }
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind);
+        for series in &family.series {
+            match &series.value {
+                SeriesValue::Scalar(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        family.name,
+                        label_block(&series.labels, None),
+                        format_value(*v)
+                    );
+                }
+                SeriesValue::Histogram(snapshot) => {
+                    encode_histogram_into(&mut out, &family.name, &series.labels, snapshot);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Encodes a snapshot as cumulative `_bucket`/`_sum`/`_count` lines —
+/// the same layout [`crate::Registry::encode`] emits, so a merged
+/// exposition parses back through [`parse_exposition`].
+pub fn encode_histogram_into(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    snapshot: &HistogramSnapshot,
+) {
+    let last = snapshot
+        .buckets
+        .iter()
+        .rposition(|&n| n > 0)
+        .unwrap_or(0)
+        .min(snapshot.buckets.len() - 2);
+    let mut cumulative = 0u64;
+    for (i, &n) in snapshot.buckets.iter().enumerate().take(last + 1) {
+        cumulative += n;
+        let le = bucket_upper_bound(i).expect("bounded bucket");
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            name,
+            label_block(labels, Some(&le.to_string())),
+            cumulative
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        name,
+        label_block(labels, Some("+Inf")),
+        snapshot.count
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        name,
+        label_block(labels, None),
+        snapshot.sum
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        name,
+        label_block(labels, None),
+        snapshot.count
+    );
+}
+
+/// Integers render without a trailing `.0` so merged counters look like
+/// native exposition output.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::Histogram;
+
+    fn scalar(family: &ParsedFamily, labels: &[(&str, &str)]) -> Option<f64> {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        family
+            .series
+            .iter()
+            .find(|s| s.labels == labels)
+            .and_then(|s| match &s.value {
+                SeriesValue::Scalar(v) => Some(*v),
+                SeriesValue::Histogram(_) => None,
+            })
+    }
+
+    #[test]
+    fn registry_encode_round_trips_through_the_parser() {
+        let r = Registry::new();
+        r.counter("levy_test_q_total", "Queries.").add(7);
+        r.counter_with(
+            "levy_test_http_total",
+            "HTTP.",
+            &[("path", "/v1/query"), ("status", "200")],
+        )
+        .add(3);
+        r.gauge("levy_test_depth", "Depth.").set(-2);
+        let h = r.histogram("levy_test_lat_us", "Latency.");
+        for v in [1u64, 2, 2, 5, 1000] {
+            h.record(v);
+        }
+        let families = parse_exposition(&r.encode());
+        assert_eq!(families.len(), 4);
+
+        let q = families
+            .iter()
+            .find(|f| f.name == "levy_test_q_total")
+            .unwrap();
+        assert_eq!(q.kind, "counter");
+        assert_eq!(q.help, "Queries.");
+        assert_eq!(scalar(q, &[]), Some(7.0));
+
+        let http = families
+            .iter()
+            .find(|f| f.name == "levy_test_http_total")
+            .unwrap();
+        assert_eq!(
+            scalar(http, &[("path", "/v1/query"), ("status", "200")]),
+            Some(3.0)
+        );
+
+        let depth = families
+            .iter()
+            .find(|f| f.name == "levy_test_depth")
+            .unwrap();
+        assert_eq!(depth.kind, "gauge");
+        assert_eq!(scalar(depth, &[]), Some(-2.0));
+
+        let lat = families
+            .iter()
+            .find(|f| f.name == "levy_test_lat_us")
+            .unwrap();
+        assert_eq!(lat.kind, "histogram");
+        let SeriesValue::Histogram(snapshot) = &lat.series[0].value else {
+            panic!("histogram series expected");
+        };
+        assert_eq!(snapshot, &h.snapshot(), "de-cumulated buckets match");
+    }
+
+    #[test]
+    fn overflow_bucket_survives_the_round_trip() {
+        let r = Registry::new();
+        let h = r.histogram("levy_test_big_us", "Big.");
+        h.record(5);
+        h.record(u64::MAX); // lands in +Inf
+        let families = parse_exposition(&r.encode());
+        let SeriesValue::Histogram(snapshot) = &families[0].series[0].value else {
+            panic!("histogram series expected");
+        };
+        assert_eq!(snapshot.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(snapshot.count, 2);
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let r = Registry::new();
+        r.counter_with("levy_test_esc_total", "Esc.", &[("q", "a\"b\\c\nd")])
+            .inc();
+        let families = parse_exposition(&r.encode());
+        assert_eq!(families[0].series[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped_not_fatal() {
+        let text = "levy_ok_total 3\nnot a sample at all\nlevy_bad{oops} x\n\
+                    # random comment\nlevy_also_ok 1.5\n";
+        let families = parse_exposition(text);
+        assert_eq!(families.len(), 2);
+        assert_eq!(scalar(&families[0], &[]), Some(3.0));
+    }
+
+    #[test]
+    fn merge_sums_scalars_and_pools_histograms() {
+        let make = |values: &[u64], count: u64| {
+            let r = Registry::new();
+            r.counter("levy_test_sims_total", "Sims.").add(count);
+            let h = r.histogram("levy_test_lat_us", "Lat.");
+            for &v in values {
+                h.record(v);
+            }
+            parse_exposition(&r.encode())
+        };
+        let a = make(&[1, 2, 4], 10);
+        let b = make(&[8, 16], 32);
+        let merged_text = merge_expositions(&[("n0".to_owned(), a), ("n1".to_owned(), b)], false);
+        assert!(
+            merged_text.contains("levy_test_sims_total 42\n"),
+            "{merged_text}"
+        );
+        // Pooled histogram: all five samples in one series.
+        let reparsed = parse_exposition(&merged_text);
+        let lat = reparsed
+            .iter()
+            .find(|f| f.name == "levy_test_lat_us")
+            .unwrap();
+        let SeriesValue::Histogram(snapshot) = &lat.series[0].value else {
+            panic!("histogram series expected");
+        };
+        assert_eq!(snapshot.count, 5);
+        let pooled = {
+            let h = Histogram::new();
+            for v in [1u64, 2, 4, 8, 16] {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        assert_eq!(snapshot, &pooled, "merged equals pooled");
+    }
+
+    #[test]
+    fn merge_by_node_keeps_per_node_series() {
+        let make = |n: u64| {
+            let r = Registry::new();
+            r.counter("levy_test_sims_total", "Sims.").add(n);
+            parse_exposition(&r.encode())
+        };
+        let text = merge_expositions(
+            &[("n0".to_owned(), make(1)), ("n1".to_owned(), make(2))],
+            true,
+        );
+        assert!(text.contains("levy_test_sims_total{node=\"n0\"} 1\n"));
+        assert!(text.contains("levy_test_sims_total{node=\"n1\"} 2\n"));
+    }
+
+    #[test]
+    fn merge_output_is_order_independent() {
+        let make = |seed: u64| {
+            let r = Registry::new();
+            r.counter("levy_test_a_total", "A.").add(seed);
+            r.counter_with("levy_test_b_total", "B.", &[("path", "/x")])
+                .add(seed * 3);
+            let h = r.histogram("levy_test_h_us", "H.");
+            h.record(seed);
+            h.record(seed * 100);
+            parse_exposition(&r.encode())
+        };
+        let nodes: Vec<(String, Vec<ParsedFamily>)> =
+            (1..=4u64).map(|i| (format!("n{i}"), make(i))).collect();
+        let forward = merge_expositions(&nodes, false);
+        let mut reversed = nodes.clone();
+        reversed.reverse();
+        assert_eq!(forward, merge_expositions(&reversed, false));
+        let mut rotated = nodes.clone();
+        rotated.rotate_left(2);
+        assert_eq!(forward, merge_expositions(&rotated, false));
+    }
+}

@@ -10,6 +10,10 @@
 //!   hitting-time step distributions EXPERIMENTS.md studies.
 //! - [`registry`]: a [`Registry`] interning families by name, plus a
 //!   Prometheus text-format encoder ([`Registry::encode`]).
+//! - [`exposition`]: the inverse — a text-exposition parser and the
+//!   cross-node merger behind federated `/v1/cluster/metrics` views.
+//! - [`events`]: a bounded, seq-cursored [`EventJournal`] of typed
+//!   cluster events (peer flips, epoch bumps, handoff lifecycle, ...).
 //! - [`trace`]: RAII [`Span`] guards recording wall time into histograms,
 //!   trace/span identity ([`trace::TraceId`], [`trace::SpanContext`]) with
 //!   `traceparent`-style propagation, and seq-numbered JSONL events behind
@@ -32,6 +36,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
+pub mod exposition;
 pub mod history;
 pub mod log;
 pub mod metrics;
@@ -41,6 +47,8 @@ pub mod sketch;
 pub mod trace;
 pub mod traces;
 
+pub use events::{Event, EventJournal, EventKind};
+pub use exposition::{merge_expositions, parse_exposition, ParsedFamily, SeriesValue};
 pub use history::{diff, HistoryRing, Snapshot};
 pub use log::Level;
 pub use metrics::{

@@ -158,6 +158,18 @@ impl Registry {
         self.families.lock().unwrap().len()
     }
 
+    /// Every registered family as `(name, kind)` pairs, in registration
+    /// order, with kind one of `"counter"`, `"gauge"`, `"histogram"` —
+    /// the raw material for naming-convention lints.
+    pub fn families(&self) -> Vec<(String, &'static str)> {
+        self.families
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|f| (f.name.clone(), f.kind.as_str()))
+            .collect()
+    }
+
     fn resolve(
         &self,
         name: &str,

@@ -220,6 +220,22 @@ impl TraceStore {
             .cloned()
     }
 
+    /// Every finished fragment carrying this trace id, oldest first. One
+    /// node can legitimately hold several fragments of a distributed
+    /// trace — e.g. the cache-peek exchange *and* the forwarded query
+    /// that followed it — and cluster stitching needs them all.
+    pub fn get_all(&self, trace_id: TraceId) -> Vec<FinishedTrace> {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .finished
+            .iter()
+            .filter(|t| t.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
     /// Number of finished traces currently retained.
     pub fn finished_len(&self) -> usize {
         self.inner.state.lock().unwrap().finished.len()

@@ -114,6 +114,139 @@ fn quantiles_survive_merging() {
     assert_eq!(merged.quantile_upper_bound(0.5), Some(512));
 }
 
+/// Deterministic pseudo-random values (LCG) so the property tests replay
+/// identically on every run.
+fn seeded_values(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 2_000_000 // microsecond-latency-shaped range
+        })
+        .collect()
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Merging N shard snapshots must be order-independent: every
+/// permutation of the fold produces the identical snapshot. This is what
+/// lets the federated scrape merge peers in whatever order they answer.
+#[test]
+fn merging_disjoint_shards_is_order_independent() {
+    let shards: Vec<HistogramSnapshot> = (0..6)
+        .map(|s| snapshot_of(&seeded_values(s, 5_000)))
+        .collect();
+    let fold = |order: &[usize]| {
+        order
+            .iter()
+            .fold(HistogramSnapshot::empty(), |acc, &i| acc.merge(&shards[i]))
+    };
+    let forward = fold(&[0, 1, 2, 3, 4, 5]);
+    assert_eq!(forward, fold(&[5, 4, 3, 2, 1, 0]), "reversed");
+    assert_eq!(forward, fold(&[3, 0, 5, 1, 4, 2]), "shuffled");
+    assert_eq!(forward, fold(&[2, 3, 4, 5, 0, 1]), "rotated");
+    assert_eq!(forward.count, 30_000);
+}
+
+/// Quantiles of the merged snapshot must equal quantiles of one
+/// histogram fed the pooled samples, and both must bracket the *exact*
+/// sample quantile — merging loses no resolution beyond the buckets.
+#[test]
+fn merged_quantiles_equal_pooled_sample_quantiles() {
+    let shard_values: Vec<Vec<u64>> = (0..5).map(|s| seeded_values(100 + s, 8_000)).collect();
+    let mut pooled: Vec<u64> = shard_values.iter().flatten().copied().collect();
+    let pooled_snapshot = snapshot_of(&pooled);
+    let merged = shard_values
+        .iter()
+        .fold(HistogramSnapshot::empty(), |acc, values| {
+            acc.merge(&snapshot_of(values))
+        });
+    assert_eq!(merged, pooled_snapshot, "merge equals pooling exactly");
+
+    pooled.sort_unstable();
+    for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+        let merged_bound = merged.quantile_upper_bound(q);
+        assert_eq!(
+            merged_bound,
+            pooled_snapshot.quantile_upper_bound(q),
+            "q = {q}"
+        );
+        // The reported bucket bound brackets the exact sample quantile.
+        let rank = ((q * pooled.len() as f64).ceil() as usize).clamp(1, pooled.len());
+        let exact = pooled[rank - 1];
+        let bound = merged_bound.expect("non-empty histogram");
+        assert!(
+            exact <= bound,
+            "q = {q}: exact {exact} above reported bound {bound}"
+        );
+        let index = bucket_index(bound);
+        let lower = if index == 0 {
+            0
+        } else {
+            bucket_upper_bound(index - 1).map_or(0, |b| b + 1)
+        };
+        assert!(
+            exact >= lower,
+            "q = {q}: exact {exact} below the reported bucket (lower {lower})"
+        );
+    }
+}
+
+/// The same property one level up, at the exposition-text layer the
+/// federated `/v1/cluster/metrics` endpoint works in: merging N parsed
+/// expositions with disjoint label sets is order-independent, byte for
+/// byte, in both the summed and the `by=node` views.
+#[test]
+fn exposition_merge_is_order_independent() {
+    use levy_obs::{merge_expositions, parse_exposition, Registry};
+
+    let sources: Vec<(String, Vec<levy_obs::ParsedFamily>)> = (0..4)
+        .map(|node| {
+            let registry = Registry::new();
+            registry
+                .counter("levy_test_queries_total", "Queries.")
+                .add(10 + node);
+            registry
+                .gauge_with(
+                    "levy_test_depth",
+                    "Depth.",
+                    &[("shard", &format!("s{node}"))],
+                )
+                .set(node as i64);
+            let histogram = registry.histogram("levy_test_lat_us", "Latency.");
+            for v in seeded_values(node, 500) {
+                histogram.record(v);
+            }
+            (
+                format!("node{node}:1"),
+                parse_exposition(&registry.encode()),
+            )
+        })
+        .collect();
+    let permute = |order: &[usize]| -> Vec<(String, Vec<levy_obs::ParsedFamily>)> {
+        order.iter().map(|&i| sources[i].clone()).collect()
+    };
+    for by_node in [false, true] {
+        let forward = merge_expositions(&permute(&[0, 1, 2, 3]), by_node);
+        for order in [[3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1]] {
+            assert_eq!(
+                forward,
+                merge_expositions(&permute(&order), by_node),
+                "by_node = {by_node}, order {order:?}"
+            );
+        }
+        assert!(forward.contains("levy_test_queries_total"));
+    }
+}
+
 #[test]
 fn bucket_index_is_monotone_at_boundaries() {
     // The merge tests above depend on every value landing in exactly one

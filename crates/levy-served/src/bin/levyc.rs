@@ -8,15 +8,29 @@
 //!   health                     GET /healthz
 //!   stats                      GET /v1/stats
 //!   metrics                    GET /metrics (Prometheus text format)
+//!   metrics --cluster          GET /v1/cluster/metrics (the federated
+//!                              view: the node merges its peers' scrapes)
 //!   metrics --watch SECS [FAMILY]
 //!                              poll /metrics, print per-interval deltas
-//!                              (optionally only for one metric family)
+//!                              (optionally only for one metric family;
+//!                              with multiple --endpoints this polls the
+//!                              federated /v1/cluster/metrics view and
+//!                              names the node serving it)
 //!   traces                     GET /v1/traces (finished-trace summaries)
-//!   trace ID                   GET /v1/traces/ID, pretty-printed span tree
-//!   peers                      GET /v1/peers (cluster membership + health)
+//!   trace [--local] ID         GET /v1/traces/ID, pretty-printed span tree
+//!                              (with --endpoints the cluster-stitched
+//!                              view is the default; --local keeps the
+//!                              contacted node's own fragment)
+//!   peers [--json]             GET /v1/peers as a per-peer health table
+//!                              (state, latency, failures, replica write
+//!                              errors, last-probe age); --json for the
+//!                              raw body
 //!   peers add HOST:PORT...     POST /v1/peers {"add":[..]} (admit members)
 //!   peers remove HOST:PORT...  POST /v1/peers {"remove":[..]} (retire members)
 //!       [--token TOKEN]        cluster token (default: $LEVY_CLUSTER_TOKEN)
+//!   events [--since SEQ] [--max N] [--follow]
+//!                              GET /v1/events, one line per journal entry;
+//!                              --follow keeps polling with the cursor
 //!   shutdown                   POST /v1/shutdown
 //!   query [--wire] [--stream] JSON
 //!                              POST /v1/query with the given body
@@ -70,8 +84,10 @@ use levy_wire::Frame;
 
 const USAGE: &str = "usage: levyc [--addr HOST:PORT | --endpoints H:P,H:P,...] [--vnodes N] \
                      [--timeout-ms MS] [--no-retry] \
-                     health|stats|metrics [--watch SECS [FAMILY]]|traces|trace ID|\
-                     peers [add|remove HOST:PORT... [--token TOKEN]]|\
+                     health|stats|metrics [--cluster | --watch SECS [FAMILY]]|traces|\
+                     trace [--local] ID|\
+                     peers [--json | add|remove HOST:PORT... [--token TOKEN]]|\
+                     events [--since SEQ] [--max N] [--follow]|\
                      shutdown|query [--wire] [--stream] JSON|raw METHOD PATH [BODY]";
 
 /// Longest `Retry-After` delay we will actually sleep for.
@@ -91,6 +107,8 @@ enum Render {
     Body,
     /// Parse the trace JSON and print an indented span tree.
     TraceTree,
+    /// Parse the peers JSON and print a per-peer health table.
+    PeersTable,
     /// Decode a levy-wire result frame back to JSON (`query --wire`).
     WireResult,
 }
@@ -178,6 +196,7 @@ fn run() -> Result<Outcome, String> {
             _ => break,
         }
     }
+    let endpoints_given = !endpoints.is_empty();
     if endpoints.is_empty() {
         endpoints.push(addr);
     }
@@ -207,19 +226,60 @@ fn run() -> Result<Outcome, String> {
                     .parse()
                     .map_err(|_| "--watch requires an interval in seconds".to_owned())?;
                 let family = args.next();
+                // One endpoint: watch that node's own exposition. More:
+                // watch the federated cluster view (the named node
+                // scrapes its peers on every poll) — silently watching
+                // only the first of several endpoints reads as
+                // cluster-wide when it is not.
+                let (watch_path, scope) = if endpoints.len() > 1 {
+                    (
+                        "/v1/cluster/metrics",
+                        format!(
+                            "the federated view of {} nodes via {}",
+                            endpoints.len(),
+                            endpoints[0]
+                        ),
+                    )
+                } else {
+                    ("/metrics", format!("node {}", endpoints[0]))
+                };
                 return watch_metrics(
                     &client,
                     Duration::from_secs_f64(secs.max(0.1)),
                     family.as_deref(),
+                    watch_path,
+                    &scope,
                 );
             }
-            ("GET".to_owned(), "/metrics".to_owned(), String::new())
+            if args.peek().map(String::as_str) == Some("--cluster") {
+                args.next();
+                (
+                    "GET".to_owned(),
+                    "/v1/cluster/metrics".to_owned(),
+                    String::new(),
+                )
+            } else {
+                ("GET".to_owned(), "/metrics".to_owned(), String::new())
+            }
         }
         "traces" => ("GET".to_owned(), "/v1/traces".to_owned(), String::new()),
         "trace" => {
+            let mut local = false;
+            if args.peek().map(String::as_str) == Some("--local") {
+                args.next();
+                local = true;
+            }
             let id = args.next().ok_or_else(|| USAGE.to_owned())?;
             render = Render::TraceTree;
-            ("GET".to_owned(), format!("/v1/traces/{id}"), String::new())
+            // In --endpoints mode the stitched cluster view is the
+            // default: once a query forwarded, any single node holds
+            // only its fragment of the trace.
+            let path = if endpoints_given && !local {
+                format!("/v1/traces/{id}?scope=cluster")
+            } else {
+                format!("/v1/traces/{id}")
+            };
+            ("GET".to_owned(), path, String::new())
         }
         "peers" => match args.peek().map(String::as_str) {
             Some(op @ ("add" | "remove")) => {
@@ -252,8 +312,41 @@ fn run() -> Result<Outcome, String> {
                 let body = format!("{{\"{op}\":[{}]}}", list.join(","));
                 ("POST".to_owned(), "/v1/peers".to_owned(), body)
             }
-            _ => ("GET".to_owned(), "/v1/peers".to_owned(), String::new()),
+            Some("--json") => {
+                args.next();
+                ("GET".to_owned(), "/v1/peers".to_owned(), String::new())
+            }
+            _ => {
+                render = Render::PeersTable;
+                ("GET".to_owned(), "/v1/peers".to_owned(), String::new())
+            }
         },
+        "events" => {
+            let mut since: u64 = 0;
+            let mut max: usize = 256;
+            let mut follow = false;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--since" => {
+                        since = args
+                            .next()
+                            .ok_or_else(|| USAGE.to_owned())?
+                            .parse()
+                            .map_err(|_| "--since must be an integer".to_owned())?;
+                    }
+                    "--max" => {
+                        max = args
+                            .next()
+                            .ok_or_else(|| USAGE.to_owned())?
+                            .parse()
+                            .map_err(|_| "--max must be an integer".to_owned())?;
+                    }
+                    "--follow" => follow = true,
+                    other => return Err(format!("unknown events flag {other}\n{USAGE}")),
+                }
+            }
+            return run_events(&client, since, max, follow);
+        }
         "shutdown" => ("POST".to_owned(), "/v1/shutdown".to_owned(), String::new()),
         "query" => {
             while let Some(flag) = args.peek().map(String::as_str) {
@@ -496,21 +589,24 @@ fn order_endpoints(endpoints: &[String], routing_key: Option<&str>, vnodes: usiz
     endpoints.to_vec()
 }
 
-/// `metrics --watch`: scrape `/metrics` every `interval` and print the
+/// `metrics --watch`: scrape `path` every `interval` and print the
 /// families whose values changed, as `name  before -> after  (+delta)`.
-/// Runs until interrupted or the daemon stops answering.
+/// `scope` names what is being watched (one node, or the federated
+/// cluster view). Runs until interrupted or the daemon stops answering.
 fn watch_metrics(
     client: &Client,
     interval: Duration,
     family: Option<&str>,
+    path: &str,
+    scope: &str,
 ) -> Result<Outcome, String> {
     let mut prev: Option<Snapshot> = None;
     loop {
         let response = client
-            .get("/metrics")
-            .map_err(|e| format!("GET /metrics failed: {e}"))?;
+            .get(path)
+            .map_err(|e| format!("GET {path} failed: {e}"))?;
         if response.status != 200 {
-            return Err(format!("GET /metrics returned HTTP {}", response.status));
+            return Err(format!("GET {path} returned HTTP {}", response.status));
         }
         let snapshot = Snapshot {
             ts_us: unix_us(),
@@ -518,7 +614,7 @@ fn watch_metrics(
         };
         match &prev {
             None => eprintln!(
-                "levyc: watching {} series every {:.1}s{}",
+                "levyc: watching {} series of {scope} every {:.1}s{}",
                 snapshot.values.len(),
                 interval.as_secs_f64(),
                 family.map(|f| format!(" (family {f})")).unwrap_or_default()
@@ -538,6 +634,127 @@ fn watch_metrics(
         prev = Some(snapshot);
         std::thread::sleep(interval);
     }
+}
+
+/// `events`: fetch the contacted node's journal and print one line per
+/// entry (`seq  unix_us  kind  k=v ...`); `--follow` keeps polling with
+/// the advancing since-seq cursor, so nothing still in the ring is
+/// missed or printed twice. Exits the process directly on success —
+/// like `--watch`, this output is the command's whole result.
+fn run_events(
+    client: &Client,
+    mut since: u64,
+    max: usize,
+    follow: bool,
+) -> Result<Outcome, String> {
+    let mut first = true;
+    loop {
+        let response = client
+            .get(&format!("/v1/events?since={since}&max={max}"))
+            .map_err(|e| format!("GET /v1/events failed: {e}"))?;
+        if response.status != 200 {
+            return Err(format!(
+                "GET /v1/events returned HTTP {}: {}",
+                response.status,
+                response.body_string().trim()
+            ));
+        }
+        let parsed = Json::parse(&response.body_string())
+            .map_err(|e| format!("unparseable events body: {e}"))?;
+        if first {
+            first = false;
+            let node = parsed.get("node").and_then(Json::as_str).unwrap_or("?");
+            if parsed.get("enabled").and_then(Json::as_bool) == Some(false) {
+                eprintln!("levyc: the event journal on {node} is disabled (--events-capacity 0)");
+            } else {
+                eprintln!("levyc: events from {node}");
+            }
+        }
+        for event in parsed.get("events").and_then(Json::as_array).unwrap_or(&[]) {
+            let seq = event.get("seq").and_then(Json::as_u64).unwrap_or(0);
+            since = since.max(seq);
+            let fields = event
+                .get("fields")
+                .and_then(|f| f.as_object())
+                .map(|pairs| {
+                    pairs
+                        .iter()
+                        .map(|(k, v)| format!("  {k}={}", v.as_str().unwrap_or("?")))
+                        .collect::<String>()
+                })
+                .unwrap_or_default();
+            emit(format_args!(
+                "{seq}  {}  {}{fields}\n",
+                event.get("unix_us").and_then(Json::as_u64).unwrap_or(0),
+                event.get("kind").and_then(Json::as_str).unwrap_or("?"),
+            ));
+        }
+        if !follow {
+            std::process::exit(0);
+        }
+        std::thread::sleep(Duration::from_secs(1));
+    }
+}
+
+/// Renders `GET /v1/peers` as a human table: one row per peer slot with
+/// its state, last latency, failure and replica-write-error tallies, and
+/// the age of the last probe observation.
+fn render_peers_table(body: &Json, now_us: u64) -> Result<String, String> {
+    let peers = body
+        .get("peers")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "peers body has no peers array".to_owned())?;
+    let mut out = format!(
+        "self {}  epoch {}  replication {}  rebalancing {}\n",
+        body.get("self").and_then(Json::as_str).unwrap_or("?"),
+        body.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+        body.get("replication").and_then(Json::as_u64).unwrap_or(1),
+        match body.get("rebalancing").and_then(Json::as_bool) {
+            Some(true) => "yes",
+            _ => "no",
+        },
+    );
+    let addr_width = peers
+        .iter()
+        .filter_map(|p| p.get("addr").and_then(Json::as_str))
+        .map(str::len)
+        .max()
+        .unwrap_or(0)
+        .max("ADDR".len());
+    out.push_str(&format!(
+        "{:<5}  {:<addr_width$}  {:<7}  {:>10}  {:>5}  {:>9}  {}\n",
+        "INDEX", "ADDR", "STATE", "LATENCY", "FAILS", "REPL_ERRS", "LAST_PROBE"
+    ));
+    for peer in peers {
+        let state = if peer.get("removed").and_then(Json::as_bool) == Some(true) {
+            "removed"
+        } else if peer.get("up").and_then(Json::as_bool) == Some(true) {
+            "up"
+        } else {
+            "down"
+        };
+        let last_seen = peer
+            .get("last_seen_unix_us")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let age = if last_seen == 0 {
+            "never".to_owned()
+        } else {
+            format!("{:.1}s ago", now_us.saturating_sub(last_seen) as f64 / 1e6)
+        };
+        out.push_str(&format!(
+            "{:<5}  {:<addr_width$}  {:<7}  {:>8}us  {:>5}  {:>9}  {age}\n",
+            peer.get("index").and_then(Json::as_u64).unwrap_or(0),
+            peer.get("addr").and_then(Json::as_str).unwrap_or("?"),
+            state,
+            peer.get("latency_us").and_then(Json::as_u64).unwrap_or(0),
+            peer.get("failures").and_then(Json::as_u64).unwrap_or(0),
+            peer.get("replica_errors")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        ));
+    }
+    Ok(out)
 }
 
 /// Parses Prometheus text exposition into sorted `(series, value)` pairs
@@ -698,6 +915,18 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+                Render::PeersTable if (200..300).contains(&response.status) => {
+                    match Json::parse(&body)
+                        .map_err(|e| e.to_string())
+                        .and_then(|j| render_peers_table(&j, unix_us()))
+                    {
+                        Ok(table) => emit(format_args!("{table}")),
+                        Err(message) => {
+                            eprintln!("levyc: could not render peers table: {message}");
+                            emit(format_args!("{}\n", body.trim_end()));
+                        }
+                    }
+                }
                 _ => emit(format_args!("{}\n", body.trim_end())),
             }
             if (200..300).contains(&response.status) {
@@ -791,6 +1020,35 @@ mod tests {
             lines[4]
         );
         assert!(lines[2].contains("+10us") && lines[2].contains("5us"));
+    }
+
+    #[test]
+    fn peers_table_renders_state_tallies_and_probe_age() {
+        let body = r#"{
+            "self": "a:1", "epoch": 2, "replication": 2, "rebalancing": false,
+            "peers": [
+                {"addr": "b:1", "index": 0, "up": true, "removed": false,
+                 "latency_us": 120, "failures": 1, "replica_errors": 2,
+                 "last_seen_unix_us": 1000},
+                {"addr": "c:1", "index": 1, "up": false, "removed": false,
+                 "latency_us": 0, "failures": 5, "replica_errors": 0,
+                 "last_seen_unix_us": 0},
+                {"addr": "d:1", "index": 2, "up": false, "removed": true,
+                 "latency_us": 0, "failures": 0, "replica_errors": 0,
+                 "last_seen_unix_us": 500}
+            ]
+        }"#;
+        let table = render_peers_table(&Json::parse(body).unwrap(), 2_001_000).unwrap();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("self a:1") && lines[0].contains("epoch 2"));
+        assert!(lines[1].contains("REPL_ERRS") && lines[1].contains("LAST_PROBE"));
+        assert!(lines[2].contains("b:1") && lines[2].contains("up"));
+        assert!(lines[2].contains("2.0s ago"), "probe age: {:?}", lines[2]);
+        assert!(lines[2].contains('2'), "replica errors surface");
+        assert!(lines[3].contains("down") && lines[3].contains("never"));
+        assert!(lines[4].contains("removed"));
+        let err = render_peers_table(&Json::parse(r#"{"error":"x"}"#).unwrap(), 0);
+        assert!(err.is_err());
     }
 
     #[test]

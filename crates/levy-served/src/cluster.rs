@@ -56,10 +56,11 @@
 //! peer index, so conformance tests replay degraded mode exactly.
 
 use std::io;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use levy_cluster::{HashRing, PeerTable};
+use levy_obs::{EventJournal, EventKind};
 use levy_sim::Json;
 
 use crate::client::Client;
@@ -173,6 +174,9 @@ pub struct Cluster {
     /// drain; the server owes each a catch-up handoff (they may have
     /// missed replica writes while down).
     resurrected: Mutex<Vec<usize>>,
+    /// Event journal for peer flips and membership changes, installed by
+    /// the server after construction (stays unset in bare unit tests).
+    events: OnceLock<Arc<EventJournal>>,
 }
 
 /// The outcome of one remote call, for health accounting.
@@ -246,7 +250,20 @@ impl Cluster {
             table,
             faults,
             resurrected: Mutex::new(Vec::new()),
+            events: OnceLock::new(),
         })
+    }
+
+    /// Installs the event journal that membership changes and peer
+    /// up/down flips record into. First call wins; later calls no-op.
+    pub fn set_event_journal(&self, journal: Arc<EventJournal>) {
+        let _ = self.events.set(journal);
+    }
+
+    fn record_event(&self, kind: EventKind, fields: Vec<(&'static str, String)>) {
+        if let Some(journal) = self.events.get() {
+            journal.record(kind, fields);
+        }
     }
 
     /// The cluster configuration (post-normalization).
@@ -450,7 +467,23 @@ impl Cluster {
         state.previous = Some(Arc::clone(&state.current));
         state.current = Arc::new(ring);
         state.epoch += 1;
-        Ok(state.epoch)
+        let epoch = state.epoch;
+        drop(state);
+        let epoch_field = || ("epoch", epoch.to_string());
+        for addr in add {
+            self.record_event(
+                EventKind::PeerAdmitted,
+                vec![("peer", addr.clone()), epoch_field()],
+            );
+        }
+        for addr in remove {
+            self.record_event(
+                EventKind::PeerRetired,
+                vec![("peer", addr.clone()), epoch_field()],
+            );
+        }
+        self.record_event(EventKind::RingEpoch, vec![epoch_field()]);
+        Ok(epoch)
     }
 
     /// Drains the peer indices resurrected since the last call. The
@@ -595,6 +628,38 @@ impl Cluster {
         )
     }
 
+    /// Gated GET to peer `index` with the peek timeout — the fan-out
+    /// primitive behind federated `/v1/cluster/metrics` and
+    /// cluster-scope trace assembly. Metadata reads only: the short
+    /// timeout means a slow peer degrades the merged view instead of
+    /// stalling the serving node.
+    pub fn peer_get(
+        &self,
+        index: usize,
+        addr: &str,
+        path: &str,
+    ) -> io::Result<(Response, PeerCall)> {
+        self.call(
+            index,
+            addr,
+            Duration::from_millis(self.config.peek_timeout_ms.max(1)),
+            |client| client.get(path),
+        )
+    }
+
+    /// The non-removed peers a cluster-wide read fans out to, as
+    /// `(index, addr)` pairs in index order. Down peers are included —
+    /// they may be back, and a failed attempt is exactly the
+    /// `unreachable` annotation the federated view needs.
+    pub fn fanout_targets(&self) -> Vec<(usize, String)> {
+        self.table
+            .snapshot()
+            .into_iter()
+            .filter(|p| !p.removed)
+            .map(|p| (p.index, p.addr))
+            .collect()
+    }
+
     /// One health probe (`GET /healthz`) to peer `index`, recording the
     /// outcome in the table and the per-peer gauges.
     pub fn probe(&self, index: usize, stats: &Stats) {
@@ -631,6 +696,7 @@ impl Cluster {
     /// Records a successful call: resurrects the peer (queueing it for
     /// a catch-up handoff when it was down) and refreshes the
     /// `levy_served_peer_up` / `levy_served_peer_latency_us` gauges.
+    /// A down→up flip records a `peer_up` event.
     pub fn record_success(&self, call: &PeerCall, stats: &Stats) {
         let latency_us = u64::try_from(call.latency.as_micros()).unwrap_or(u64::MAX);
         if self.table.record_success(call.index, latency_us) {
@@ -638,15 +704,29 @@ impl Cluster {
             if !due.contains(&call.index) {
                 due.push(call.index);
             }
+            drop(due);
+            if let Some(addr) = self.peer_addr(call.index) {
+                self.record_event(EventKind::PeerUp, vec![("peer", addr)]);
+            }
         }
         self.export_peer_gauges(call.index, stats);
     }
 
     /// Records a failed call (the peer flips down after consecutive
-    /// failures) and refreshes the gauges.
+    /// failures) and refreshes the gauges. An up→down flip records a
+    /// `peer_down` event.
     pub fn record_failure(&self, index: usize, stats: &Stats) {
-        self.table.record_failure(index);
+        let was_up = self.table.is_up(index);
+        if !self.table.record_failure(index) && was_up {
+            if let Some(addr) = self.peer_addr(index) {
+                self.record_event(EventKind::PeerDown, vec![("peer", addr)]);
+            }
+        }
         self.export_peer_gauges(index, stats);
+    }
+
+    fn peer_addr(&self, index: usize) -> Option<String> {
+        self.table.snapshot().get(index).map(|p| p.addr.clone())
     }
 
     fn export_peer_gauges(&self, index: usize, stats: &Stats) {
@@ -707,6 +787,7 @@ impl Cluster {
                         ),
                         ("successes", Json::from(p.successes)),
                         ("failures", Json::from(p.failures)),
+                        ("replica_errors", Json::from(p.replica_errors)),
                         ("last_seen_unix_us", Json::from(p.last_seen_unix_us)),
                     ])
                 })),

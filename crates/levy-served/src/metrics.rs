@@ -24,6 +24,8 @@ const KNOWN_PATHS: &[&str] = &[
     "/v1/shutdown",
     "/v1/traces",
     "/v1/peers",
+    "/v1/cluster/metrics",
+    "/v1/events",
 ];
 
 /// Monotonic counters and gauges exposed at `/v1/stats` and `/metrics`
@@ -106,6 +108,12 @@ pub struct Stats {
     pub workers_busy: Gauge,
     /// Current membership ring epoch (1 at boot, bumped per change).
     pub ring_epoch: Gauge,
+    /// Background replication work items queued (write-behind pushes
+    /// and handoff scans awaiting the replicator thread).
+    pub repl_backlog_depth: Gauge,
+    /// Keys pushed so far by the in-flight handoff scan (0 when idle) —
+    /// the live progress signal a rebalance governor watches.
+    pub handoff_progress: Gauge,
 }
 
 impl Default for Stats {
@@ -247,6 +255,14 @@ impl Stats {
             "levy_served_ring_epoch",
             "Current membership ring epoch (1 at boot).",
         );
+        let repl_backlog_depth = registry.gauge(
+            "levy_served_repl_backlog_depth",
+            "Background replication work items awaiting the replicator thread.",
+        );
+        let handoff_progress = registry.gauge(
+            "levy_served_handoff_progress",
+            "Keys pushed so far by the in-flight handoff scan (0 when idle).",
+        );
         Stats {
             registry,
             http_requests,
@@ -282,6 +298,8 @@ impl Stats {
             queue_capacity,
             workers_busy,
             ring_epoch,
+            repl_backlog_depth,
+            handoff_progress,
         }
     }
 
@@ -405,6 +423,14 @@ impl Stats {
                 Json::from(self.cluster_membership_changes.get()),
             ),
             ("ring_epoch", Json::from(self.ring_epoch.get() as u64)),
+            (
+                "repl_backlog_depth",
+                Json::from(self.repl_backlog_depth.get() as u64),
+            ),
+            (
+                "handoff_progress",
+                Json::from(self.handoff_progress.get() as u64),
+            ),
             ("wire_requests", Json::from(self.wire_requests.get())),
             ("streams_started", Json::from(self.streams_started.get())),
             (

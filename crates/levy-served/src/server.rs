@@ -20,7 +20,7 @@
 //! connections to finish — in-flight work is answered, new work is
 //! refused with 503.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -28,7 +28,8 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use levy_obs::{
-    FinishedTrace, HistoryRing, Snapshot, SpanContext, SpanRecord, TraceId, TraceSpan, TraceStore,
+    Event, EventJournal, EventKind, FinishedTrace, HistoryRing, Snapshot, SpanContext, SpanRecord,
+    TraceId, TraceSpan, TraceStore,
 };
 use levy_sim::{BatchProgress, CancelToken, Json};
 use levy_wire::{ErrorFrame, FinalFrame, Frame};
@@ -84,6 +85,10 @@ pub struct ServerConfig {
     /// Cluster membership (`levyd --cluster --peers ...`); `None` runs
     /// the classic single-node daemon.
     pub cluster: Option<ClusterConfig>,
+    /// Structured events retained by the journal behind `GET /v1/events`
+    /// (peer flips, epoch bumps, handoff lifecycle, replica write
+    /// errors, backpressure onsets); `0` disables recording entirely.
+    pub events_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +107,7 @@ impl Default for ServerConfig {
             history_capacity: 64,
             history_interval_ms: 1_000,
             cluster: None,
+            events_capacity: 256,
         }
     }
 }
@@ -201,6 +207,13 @@ struct Inner {
     /// Background replication work (write-behind, handoff scans).
     repl: Mutex<ReplState>,
     repl_changed: Condvar,
+    /// Structured event journal behind `GET /v1/events`. Shared with the
+    /// cluster (peer flips, membership) via `Cluster::set_event_journal`.
+    events: Arc<EventJournal>,
+    /// Whether the queue-full edge has already been journaled; cleared
+    /// by the next successful admission so each backpressure *onset*
+    /// records exactly one event instead of one per rejected request.
+    backpressure: AtomicBool,
     /// Stop accepting, drain, exit.
     shutting_down: AtomicBool,
     /// Set by `POST /v1/shutdown`; the daemon's main loop polls it.
@@ -224,7 +237,19 @@ impl Inner {
     fn enqueue_repl(&self, work: ReplWork) {
         let mut state = self.repl.lock().expect("repl lock");
         state.queue.push_back(work);
+        self.stats
+            .repl_backlog_depth
+            .set(i64::try_from(state.queue.len()).unwrap_or(i64::MAX));
         self.repl_changed.notify_all();
+    }
+
+    /// The node name events and federated views report: the advertised
+    /// cluster address when clustered, the configured bind otherwise.
+    fn node_name(&self) -> String {
+        match &self.cluster {
+            Some(cluster) => cluster.config().self_addr.clone(),
+            None => self.config.addr.clone(),
+        }
     }
 
     /// Drains resurrection flags into catch-up handoffs: a peer that
@@ -305,6 +330,13 @@ impl Server {
             }
             None => None,
         };
+        // One journal shared by the server (handoff lifecycle, replica
+        // write errors, backpressure) and the cluster (peer flips,
+        // membership) — every recorder sees one seq order.
+        let events = Arc::new(EventJournal::new(config.events_capacity));
+        if let Some(cluster) = &cluster {
+            cluster.set_event_journal(Arc::clone(&events));
+        }
         let inner = Arc::new(Inner {
             config,
             cache,
@@ -320,6 +352,8 @@ impl Server {
                 busy: false,
             }),
             repl_changed: Condvar::new(),
+            events,
+            backpressure: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
@@ -422,6 +456,11 @@ impl Server {
     /// The finished-trace store backing `GET /v1/traces` (tests).
     pub fn traces(&self) -> &TraceStore {
         &self.inner.traces
+    }
+
+    /// The structured event journal behind `GET /v1/events` (tests).
+    pub fn events(&self) -> &EventJournal {
+        &self.inner.events
     }
 
     /// The cluster state, when running in cluster mode (tests and the
@@ -576,6 +615,10 @@ fn replicator_loop(inner: &Arc<Inner>) {
             loop {
                 if let Some(work) = state.queue.pop_front() {
                     state.busy = true;
+                    inner
+                        .stats
+                        .repl_backlog_depth
+                        .set(i64::try_from(state.queue.len()).unwrap_or(i64::MAX));
                     break work;
                 }
                 if inner.shutting_down.load(Ordering::Acquire) {
@@ -606,9 +649,21 @@ fn run_write_behind(inner: &Arc<Inner>, key: &str, json: &str) {
     let Some(cluster) = &inner.cluster else {
         return;
     };
+    let write_error = |index: usize, addr: &str, reason: String| {
+        inner.stats.cluster_replica_write_errors.inc();
+        cluster.table().record_replica_error(index);
+        inner.events.record(
+            EventKind::ReplicaWriteError,
+            vec![
+                ("peer", addr.to_owned()),
+                ("key", key.to_owned()),
+                ("reason", reason),
+            ],
+        );
+    };
     for (index, addr) in cluster.holders(key) {
         if !cluster.table().is_up(index) {
-            inner.stats.cluster_replica_write_errors.inc();
+            write_error(index, &addr, "holder_down".into());
             continue;
         }
         match cluster.replica_write(index, &addr, key, json, "-") {
@@ -616,13 +671,13 @@ fn run_write_behind(inner: &Arc<Inner>, key: &str, json: &str) {
                 cluster.record_success(&call, &inner.stats);
                 inner.stats.cluster_replica_writes.inc();
             }
-            Ok((_, call)) => {
+            Ok((response, call)) => {
                 cluster.record_success(&call, &inner.stats);
-                inner.stats.cluster_replica_write_errors.inc();
+                write_error(index, &addr, format!("http_{}", response.status));
             }
-            Err(_) => {
+            Err(e) => {
                 cluster.record_failure(index, &inner.stats);
-                inner.stats.cluster_replica_write_errors.inc();
+                write_error(index, &addr, format!("io: {e}"));
             }
         }
     }
@@ -638,11 +693,29 @@ fn run_handoff(inner: &Arc<Inner>, scope: HandoffScope) {
     let Some(cluster) = &inner.cluster else {
         return;
     };
+    let scope_label = match scope {
+        HandoffScope::Rehomed => "rehomed".to_owned(),
+        HandoffScope::Peer(index) => format!("peer_{index}"),
+    };
     let batch = cluster.config().handoff_batch.max(1);
     let pause = Duration::from_millis(cluster.config().handoff_pause_ms);
     let mut pushed = 0usize;
+    inner.events.record(
+        EventKind::HandoffStart,
+        vec![("scope", scope_label.clone())],
+    );
+    inner.stats.handoff_progress.set(0);
     for key in inner.cache.keys() {
         if inner.shutting_down.load(Ordering::Acquire) {
+            inner.events.record(
+                EventKind::HandoffAbort,
+                vec![
+                    ("scope", scope_label.clone()),
+                    ("pushed", pushed.to_string()),
+                    ("reason", "shutdown".into()),
+                ],
+            );
+            inner.stats.handoff_progress.set(0);
             return; // aborted: keep the overlap window open
         }
         let targets = match scope {
@@ -677,14 +750,32 @@ fn run_handoff(inner: &Arc<Inner>, scope: HandoffScope) {
                 Err(_) => cluster.record_failure(index, &inner.stats),
             }
             pushed += 1;
-            if pushed.is_multiple_of(batch) && !pause.is_zero() {
-                std::thread::sleep(pause);
+            inner
+                .stats
+                .handoff_progress
+                .set(i64::try_from(pushed).unwrap_or(i64::MAX));
+            if pushed.is_multiple_of(batch) {
+                inner.events.record(
+                    EventKind::HandoffProgress,
+                    vec![
+                        ("scope", scope_label.clone()),
+                        ("pushed", pushed.to_string()),
+                    ],
+                );
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
             }
         }
     }
     if matches!(scope, HandoffScope::Rehomed) {
         cluster.finish_rebalance();
     }
+    inner.events.record(
+        EventKind::HandoffFinish,
+        vec![("scope", scope_label), ("pushed", pushed.to_string())],
+    );
+    inner.stats.handoff_progress.set(0);
 }
 
 /// Accept-loop idle policy. After any accepted connection the loop
@@ -854,7 +945,9 @@ fn handle_connection<S: Read + Write>(stream: S, inner: &Arc<Inner>) {
         root.set_status(status);
         root.finish();
         let elapsed = started.elapsed();
-        inner.stats.record_response(&request.path, status, elapsed);
+        inner
+            .stats
+            .record_response(split_query(&request.path).0, status, elapsed);
         inner.log(
             "request",
             &[
@@ -882,7 +975,7 @@ fn handle_connection<S: Read + Write>(stream: S, inner: &Arc<Inner>) {
     let elapsed = started.elapsed();
     inner
         .stats
-        .record_response(&request.path, response.status, elapsed);
+        .record_response(split_query(&request.path).0, response.status, elapsed);
     inner.log(
         "request",
         &[
@@ -896,8 +989,30 @@ fn handle_connection<S: Read + Write>(stream: S, inner: &Arc<Inner>) {
     );
 }
 
+/// Splits a request target into its path and optional raw query string
+/// (`/v1/events?since=3` → `("/v1/events", Some("since=3"))`).
+fn split_query(target: &str) -> (&str, Option<&str>) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    }
+}
+
+/// The value of `name` in a raw query string (`a=1&b=2`). No percent
+/// decoding: every parameter this server defines is plain ASCII.
+fn query_param<'a>(query: Option<&'a str>, name: &str) -> Option<&'a str> {
+    query?
+        .split('&')
+        .map(|pair| pair.split_once('=').unwrap_or((pair, "")))
+        .find(|(key, _)| *key == name)
+        .map(|(_, value)| value)
+}
+
 fn route(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+    // `Request.path` keeps the raw target; dispatch on the path alone so
+    // parameterized endpoints (`?scope=cluster`, `?since=N`) route.
+    let (path, query) = split_query(&request.path);
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => Response::json(
             200,
             &Json::obj([
@@ -976,6 +1091,8 @@ fn route(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
             Some(cluster) => Response::json(200, &cluster.peers_json()),
             None => Response::error(404, "not in cluster mode (start levyd with --cluster)"),
         },
+        ("GET", "/v1/cluster/metrics") => handle_cluster_metrics(inner, query),
+        ("GET", "/v1/events") => handle_events(inner, query),
         ("POST", "/v1/peers") => handle_peers_change(request, inner),
         ("PUT", path) if path.starts_with("/v1/cache/") => {
             let key = path["/v1/cache/".len()..].to_owned();
@@ -1006,6 +1123,12 @@ fn route(request: &Request, inner: &Arc<Inner>, root: &TraceSpan) -> Response {
         }
         ("GET", path) if path.starts_with("/v1/traces/") => {
             let id = &path["/v1/traces/".len()..];
+            if query_param(query, "scope") == Some("cluster") {
+                return handle_cluster_trace(inner, id);
+            }
+            if query_param(query, "fragments") == Some("1") {
+                return handle_trace_fragments(inner, id);
+            }
             match TraceId::from_hex(id).and_then(|id| inner.traces.get(id)) {
                 Some(trace) => Response::json(200, &trace_json(&trace)),
                 None => Response::error(
@@ -1091,6 +1214,428 @@ fn snapshot_json(snapshot: &Snapshot) -> Json {
             ),
         ),
     ])
+}
+
+/// One journal entry as JSON for `GET /v1/events`.
+fn event_json(event: &Event) -> Json {
+    Json::obj([
+        ("seq", Json::from(event.seq)),
+        ("unix_us", Json::from(event.unix_us)),
+        ("kind", Json::from(event.kind.as_str())),
+        (
+            "fields",
+            Json::obj(
+                event
+                    .fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), Json::from(v.clone()))),
+            ),
+        ),
+    ])
+}
+
+/// `GET /v1/events`: the structured event journal, oldest-first, with a
+/// since-seq cursor (`?since=N` returns events with seq > N, `?max=M`
+/// bounds the page). `last_seq` lets a follower poll without re-reading:
+/// pass it back as the next `since`.
+fn handle_events(inner: &Arc<Inner>, query: Option<&str>) -> Response {
+    let since = match query_param(query, "since") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "since must be a non-negative integer"),
+        },
+        None => 0,
+    };
+    let max = match query_param(query, "max") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.min(4096),
+            Err(_) => return Response::error(400, "max must be a non-negative integer"),
+        },
+        None => 1024,
+    };
+    let events = inner.events.since(since, max);
+    Response::json(
+        200,
+        &Json::obj([
+            ("schema", Json::from("levy-served/events-v1")),
+            ("node", Json::from(inner.node_name())),
+            ("enabled", Json::from(inner.events.enabled())),
+            ("last_seq", Json::from(inner.events.last_seq())),
+            ("count", Json::from(events.len())),
+            ("events", Json::arr(events.iter().map(event_json))),
+        ]),
+    )
+}
+
+/// `GET /v1/cluster/metrics`: the federated view — this node's own
+/// exposition merged with a live `/metrics` scrape of every peer
+/// (counters and gauges summed per family, histograms pooled
+/// bucket-wise; `?by=node` keeps per-node series under a `node` label
+/// instead). Peer reachability reuses the prober's gating and peek
+/// timeout. A dead peer *degrades* the view — its series are simply
+/// absent, flagged by `levy_cluster_scrape_up{node=...} 0` and a
+/// trailing comment — it never turns the scrape into an error.
+fn handle_cluster_metrics(inner: &Arc<Inner>, query: Option<&str>) -> Response {
+    let by_node = query_param(query, "by") == Some("node");
+    let self_name = inner.node_name();
+    let mut sources = vec![(
+        self_name.clone(),
+        levy_obs::parse_exposition(&inner.stats.encode_prometheus()),
+    )];
+    // (node, merged?, note) per scrape target, self included.
+    let mut scrapes: Vec<(String, bool, String)> = vec![(self_name, true, String::new())];
+    if let Some(cluster) = &inner.cluster {
+        for (index, addr) in cluster.fanout_targets() {
+            match cluster.peer_get(index, &addr, "/metrics") {
+                Ok((response, call)) if response.status == 200 => {
+                    cluster.record_success(&call, &inner.stats);
+                    sources.push((
+                        addr.clone(),
+                        levy_obs::parse_exposition(&response.body_string()),
+                    ));
+                    scrapes.push((addr, true, String::new()));
+                }
+                Ok((response, call)) => {
+                    cluster.record_success(&call, &inner.stats);
+                    scrapes.push((addr, false, format!("answered http {}", response.status)));
+                }
+                Err(e) => {
+                    cluster.record_failure(index, &inner.stats);
+                    scrapes.push((addr, false, format!("unreachable: {e}")));
+                }
+            }
+        }
+    }
+    let mut body = levy_obs::merge_expositions(&sources, by_node);
+    body.push_str(
+        "# HELP levy_cluster_scrape_up Whether each node answered this federated scrape (0 = its series are missing from the view).\n# TYPE levy_cluster_scrape_up gauge\n",
+    );
+    for (node, merged, _) in &scrapes {
+        body.push_str(&format!(
+            "levy_cluster_scrape_up{{node=\"{node}\"}} {}\n",
+            u8::from(*merged)
+        ));
+    }
+    for (node, merged, note) in &scrapes {
+        if !merged {
+            body.push_str(&format!("# levy-cluster: node {node} {note}\n"));
+        }
+    }
+    Response {
+        status: 200,
+        headers: vec![(
+            "Content-Type".into(),
+            "text/plain; version=0.0.4; charset=utf-8".into(),
+        )],
+        body: body.into_bytes(),
+    }
+}
+
+/// One span in a cluster-stitched trace, pooled from the entry node's
+/// own store and its peers' `/v1/traces/<id>` answers.
+struct ClusterSpan {
+    span_id: String,
+    parent_id: Option<String>,
+    name: String,
+    start_unix_us: u64,
+    dur_us: u64,
+    tags: Vec<(String, String)>,
+    node: String,
+}
+
+/// One node's finished view of a trace, before stitching.
+struct TraceSource {
+    node: String,
+    /// The span on *another* node this trace's roots hang under (set on
+    /// a home node by the entry node's forwarded `traceparent`).
+    remote_parent: Option<String>,
+    status: u16,
+    spans: Vec<ClusterSpan>,
+}
+
+fn local_trace_source(trace: &FinishedTrace, node: &str) -> TraceSource {
+    TraceSource {
+        node: node.to_owned(),
+        remote_parent: trace.remote_parent.map(|id| id.to_string()),
+        status: trace.status,
+        spans: trace
+            .spans
+            .iter()
+            .map(|span| ClusterSpan {
+                span_id: span.span_id.to_string(),
+                parent_id: span.parent_id.map(|id| id.to_string()),
+                name: span.name.clone(),
+                start_unix_us: span.start_unix_us,
+                dur_us: span.dur_us,
+                tags: span.tags.clone(),
+                node: node.to_owned(),
+            })
+            .collect(),
+    }
+}
+
+/// `GET /v1/traces/<id>?fragments=1`: every finished fragment this node
+/// holds for the trace, oldest first — the per-node half of cluster
+/// stitching, where one node can hold several fragments of the same
+/// distributed trace (a cache-peek exchange and the forwarded query).
+fn handle_trace_fragments(inner: &Arc<Inner>, id: &str) -> Response {
+    let Some(trace_id) = TraceId::from_hex(id) else {
+        return Response::error(404, "trace ids are 32 hex digits");
+    };
+    let fragments = inner.traces.get_all(trace_id);
+    if fragments.is_empty() {
+        return Response::error(
+            404,
+            "no finished trace with that id (still running, evicted, or never seen)",
+        );
+    }
+    Response::json(
+        200,
+        &Json::obj([
+            ("schema", Json::from("levy-served/trace-fragments-v1")),
+            ("trace_id", Json::from(id)),
+            ("count", Json::from(fragments.len())),
+            ("fragments", Json::arr(fragments.iter().map(trace_json))),
+        ]),
+    )
+}
+
+/// Parses a peer's trace answer — either a `trace-fragments-v1` listing
+/// or a bare `trace-v1` body — into [`TraceSource`]s. Empty on anything
+/// malformed: a bad peer degrades the stitched view, never breaks it.
+fn peer_trace_sources(body: &str, node: &str) -> Vec<TraceSource> {
+    let Some(parsed) = Json::parse(body).ok() else {
+        return Vec::new();
+    };
+    match parsed.get("fragments").and_then(Json::as_array) {
+        Some(fragments) => fragments
+            .iter()
+            .filter_map(|fragment| fragment_trace_source(fragment, node))
+            .collect(),
+        None => fragment_trace_source(&parsed, node).into_iter().collect(),
+    }
+}
+
+/// One `trace-v1` JSON fragment as a [`TraceSource`].
+fn fragment_trace_source(parsed: &Json, node: &str) -> Option<TraceSource> {
+    let spans = parsed
+        .get("spans")?
+        .as_array()?
+        .iter()
+        .filter_map(|span| {
+            Some(ClusterSpan {
+                span_id: span.get("span_id")?.as_str()?.to_owned(),
+                parent_id: span
+                    .get("parent_id")
+                    .and_then(|p| p.as_str())
+                    .map(str::to_owned),
+                name: span.get("name")?.as_str()?.to_owned(),
+                start_unix_us: span.get("start_unix_us").and_then(|v| v.as_u64())?,
+                dur_us: span.get("dur_us").and_then(|v| v.as_u64())?,
+                tags: span
+                    .get("tags")
+                    .and_then(|t| t.as_object())
+                    .map(|pairs| {
+                        pairs
+                            .iter()
+                            .filter_map(|(k, v)| Some((k.clone(), v.as_str()?.to_owned())))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                node: node.to_owned(),
+            })
+        })
+        .collect();
+    Some(TraceSource {
+        node: node.to_owned(),
+        remote_parent: parsed
+            .get("remote_parent")
+            .and_then(|v| v.as_str())
+            .map(str::to_owned),
+        status: parsed.get("status").and_then(|v| v.as_u64()).unwrap_or(0) as u16,
+        spans,
+    })
+}
+
+/// Stitches per-node trace fragments into one tree:
+///
+/// 1. pool spans, deduped by span id;
+/// 2. re-parent each fragment's roots under its `remote_parent` when
+///    that span is in the pool (this is how a home node's tree hangs
+///    off the entry node's `peer_forward` span);
+/// 3. the earliest span still parentless is the primary root; any other
+///    orphan (parentless, or parented to a span no node reported) goes
+///    under a synthetic `remote` span so the result is always one tree.
+fn stitch_cluster_trace(trace_id: &str, sources: Vec<TraceSource>) -> Json {
+    let mut pool: Vec<ClusterSpan> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut nodes: Vec<String> = Vec::new();
+    for source in &sources {
+        if !nodes.contains(&source.node) {
+            nodes.push(source.node.clone());
+        }
+        for span in &source.spans {
+            if seen.insert(span.span_id.clone()) {
+                pool.push(ClusterSpan {
+                    span_id: span.span_id.clone(),
+                    parent_id: span.parent_id.clone(),
+                    name: span.name.clone(),
+                    start_unix_us: span.start_unix_us,
+                    dur_us: span.dur_us,
+                    tags: span.tags.clone(),
+                    node: span.node.clone(),
+                });
+            }
+        }
+    }
+    for source in &sources {
+        let Some(remote_parent) = &source.remote_parent else {
+            continue;
+        };
+        if !seen.contains(remote_parent) {
+            continue; // the naming node's fragment is missing: stays an orphan
+        }
+        // Only this source's own roots re-parent: a node can contribute
+        // several fragments with different remote parents.
+        for root in source.spans.iter().filter(|s| s.parent_id.is_none()) {
+            if let Some(pooled) = pool.iter_mut().find(|p| p.span_id == root.span_id) {
+                if pooled.parent_id.is_none() {
+                    pooled.parent_id = Some(remote_parent.clone());
+                }
+            }
+        }
+    }
+    let orphans: Vec<String> = pool
+        .iter()
+        .filter(|s| s.parent_id.as_ref().is_none_or(|p| !seen.contains(p)))
+        .map(|s| s.span_id.clone())
+        .collect();
+    let primary_id = pool
+        .iter()
+        .filter(|s| orphans.contains(&s.span_id))
+        .min_by(|a, b| (a.start_unix_us, &a.span_id).cmp(&(b.start_unix_us, &b.span_id)))
+        .map(|s| s.span_id.clone())
+        .unwrap_or_default();
+    let stragglers: Vec<String> = orphans.into_iter().filter(|id| *id != primary_id).collect();
+    if !stragglers.is_empty() {
+        let start = pool
+            .iter()
+            .filter(|s| stragglers.contains(&s.span_id))
+            .map(|s| s.start_unix_us)
+            .min()
+            .unwrap_or(0);
+        let end = pool
+            .iter()
+            .filter(|s| stragglers.contains(&s.span_id))
+            .map(|s| s.start_unix_us + s.dur_us)
+            .max()
+            .unwrap_or(start);
+        for span in &mut pool {
+            if stragglers.contains(&span.span_id) {
+                span.parent_id = Some("remote".into());
+            }
+        }
+        pool.push(ClusterSpan {
+            span_id: "remote".into(),
+            parent_id: Some(primary_id.clone()),
+            name: "remote".into(),
+            start_unix_us: start,
+            dur_us: end.saturating_sub(start),
+            tags: vec![("synthetic".into(), "1".into())],
+            node: "remote".into(),
+        });
+    }
+    // Primary roots can only clear their parent once everything hangs
+    // together; the pool is sorted for a deterministic body.
+    pool.sort_by(|a, b| (a.start_unix_us, &a.span_id).cmp(&(b.start_unix_us, &b.span_id)));
+    let root_name = pool
+        .iter()
+        .find(|s| s.span_id == primary_id)
+        .map(|s| s.name.clone())
+        .unwrap_or_default();
+    let status = sources
+        .iter()
+        .find(|source| source.spans.iter().any(|s| s.span_id == primary_id))
+        .map(|source| source.status)
+        .unwrap_or(0);
+    let start = pool.iter().map(|s| s.start_unix_us).min().unwrap_or(0);
+    let end = pool
+        .iter()
+        .map(|s| s.start_unix_us + s.dur_us)
+        .max()
+        .unwrap_or(start);
+    let spans = Json::arr(pool.iter().map(|span| {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("span_id".into(), Json::from(span.span_id.clone())),
+            ("name".into(), Json::from(span.name.clone())),
+            ("node".into(), Json::from(span.node.clone())),
+            ("start_unix_us".into(), Json::from(span.start_unix_us)),
+            ("dur_us".into(), Json::from(span.dur_us)),
+        ];
+        if let Some(parent) = &span.parent_id {
+            fields.insert(1, ("parent_id".into(), Json::from(parent.clone())));
+        }
+        if !span.tags.is_empty() {
+            fields.push((
+                "tags".into(),
+                Json::obj(
+                    span.tags
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.clone()))),
+                ),
+            ));
+        }
+        Json::obj(fields)
+    }));
+    Json::obj([
+        ("schema", Json::from("levy-served/trace-cluster-v1")),
+        ("trace_id", Json::from(trace_id)),
+        ("scope", Json::from("cluster")),
+        ("root", Json::from(root_name)),
+        ("start_unix_us", Json::from(start)),
+        ("dur_us", Json::from(end.saturating_sub(start))),
+        ("status", Json::from(u64::from(status))),
+        (
+            "nodes",
+            Json::arr(nodes.iter().map(|n| Json::from(n.clone()))),
+        ),
+        ("spans", spans),
+    ])
+}
+
+/// `GET /v1/traces/<id>?scope=cluster`: fan out to every peer for its
+/// fragment of the trace and stitch one tree. Only peers are asked for
+/// their *local* view, so a stitch never recurses.
+fn handle_cluster_trace(inner: &Arc<Inner>, id: &str) -> Response {
+    let Some(trace_id) = TraceId::from_hex(id) else {
+        return Response::error(404, "trace ids are 32 hex digits");
+    };
+    let mut sources = Vec::new();
+    let node = inner.node_name();
+    for trace in inner.traces.get_all(trace_id) {
+        sources.push(local_trace_source(&trace, &node));
+    }
+    if let Some(cluster) = &inner.cluster {
+        let path = format!("/v1/traces/{id}?fragments=1");
+        for (index, addr) in cluster.fanout_targets() {
+            match cluster.peer_get(index, &addr, &path) {
+                Ok((response, call)) => {
+                    cluster.record_success(&call, &inner.stats);
+                    if response.status == 200 {
+                        sources.extend(peer_trace_sources(&response.body_string(), &addr));
+                    }
+                }
+                Err(_) => cluster.record_failure(index, &inner.stats),
+            }
+        }
+    }
+    if sources.is_empty() {
+        return Response::error(
+            404,
+            "no node holds a finished trace with that id (still running, evicted, or never seen)",
+        );
+    }
+    Response::json(200, &stitch_cluster_trace(id, sources))
 }
 
 /// Counts ring-epoch disagreement on a node-to-node call. Skew is
@@ -1348,10 +1893,22 @@ fn admit_job(
     let mut queue = inner.queue.lock().expect("queue lock");
     if queue.len() >= inner.config.queue_capacity {
         inner.stats.rejected_queue_full.inc();
+        // Journal the *onset* only: under sustained overload the ring
+        // must not fill with one event per rejected request.
+        if !inner.backpressure.swap(true, Ordering::AcqRel) {
+            inner.events.record(
+                EventKind::Backpressure,
+                vec![
+                    ("queue_depth", queue.len().to_string()),
+                    ("queue_capacity", inner.config.queue_capacity.to_string()),
+                ],
+            );
+        }
         return Err(Response::error(503, "job queue is full, retry shortly")
             .with_header("Retry-After", "1")
             .with_header("X-Levy-Queue-Depth", &queue.len().to_string()));
     }
+    inner.backpressure.store(false, Ordering::Release);
     let mut queue_wait = root.child("queue_wait");
     queue_wait.tag("key", key);
     let job = Job::new(key.to_owned(), query, root.ctx(), queue_wait);

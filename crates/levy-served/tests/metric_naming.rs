@@ -1,0 +1,93 @@
+//! Naming-convention lint over every registered metric family (DESIGN.md
+//! §8): counters end `_total`; histograms carry a unit suffix — `_us`
+//! (durations), `_bytes` (sizes), or `_steps` (the paper's step-count
+//! distributions) — with per-label splits (`..._by_alpha`) linted on
+//! their stem. Gauges are absolute values and must *not* claim `_total`.
+//!
+//! The lint walks live registries, not a hand-kept name list, so a new
+//! metric added anywhere in the workspace is linted the moment any code
+//! path registers it.
+
+use std::time::Duration;
+
+use levy_obs::Registry;
+use levy_served::Stats;
+
+/// Why `name` violates the scheme, or `None` when it conforms.
+fn violation(name: &str, kind: &str) -> Option<String> {
+    // Process-identity families follow Prometheus core conventions
+    // (`process_start_time_seconds`, `levy_build_info`) rather than ours.
+    if !name.starts_with("levy_") || name == "levy_build_info" {
+        return None;
+    }
+    // A per-label split is linted on its stem: `x_steps_by_alpha` is the
+    // `x_steps` family fanned out over an `alpha` label.
+    let stem = match name.rfind("_by_") {
+        Some(i) => &name[..i],
+        None => name,
+    };
+    match kind {
+        "counter" if !stem.ends_with("_total") => {
+            Some(format!("counter {name} must end in _total"))
+        }
+        "histogram"
+            if !(stem.ends_with("_us") || stem.ends_with("_bytes") || stem.ends_with("_steps")) =>
+        {
+            Some(format!(
+                "histogram {name} needs a unit suffix (_us, _bytes, _steps)"
+            ))
+        }
+        "gauge" if stem.ends_with("_total") => Some(format!(
+            "gauge {name} must not claim the counter suffix _total"
+        )),
+        _ => None,
+    }
+}
+
+fn lint(families: &[(String, &'static str)], violations: &mut Vec<String>) {
+    assert!(!families.is_empty(), "registry has families to lint");
+    for (name, kind) in families {
+        if let Some(why) = violation(name, kind) {
+            violations.push(why);
+        }
+    }
+}
+
+#[test]
+fn every_family_follows_the_naming_scheme() {
+    // Register the lazily-created families so the lint actually sees
+    // them: the per-path HTTP series, the runner's trial instruments,
+    // the per-α split, and a span-duration histogram.
+    let stats = Stats::new();
+    stats.record_response("/v1/query", 200, Duration::from_micros(10));
+    stats.record_response("/v1/cluster/metrics", 200, Duration::from_micros(10));
+    levy_sim::obs::record_trial_outcomes(&[Some(3), None]);
+    levy_obs::set_observers_enabled(true);
+    levy_sim::obs::record_trial_outcomes_for(Some(1.5), &[Some(7)]);
+    levy_obs::set_observers_enabled(false);
+    drop(levy_obs::Span::enter("levy_served_lint_probe"));
+
+    let mut violations = Vec::new();
+    lint(&stats.registry().families(), &mut violations);
+    lint(&Registry::global().families(), &mut violations);
+    assert!(
+        violations.is_empty(),
+        "metric naming violations:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn lint_catches_each_violation_class() {
+    assert!(violation("levy_served_queries_total", "counter").is_none());
+    assert!(violation("levy_served_queries", "counter").is_some());
+    assert!(violation("levy_served_request_us", "histogram").is_none());
+    assert!(violation("levy_wire_frame_bytes", "histogram").is_none());
+    assert!(violation("levy_sim_trial_steps", "histogram").is_none());
+    assert!(violation("levy_sim_trial_steps_by_alpha", "histogram").is_none());
+    assert!(violation("levy_served_latency", "histogram").is_some());
+    assert!(violation("levy_served_queue_depth", "gauge").is_none());
+    assert!(violation("levy_served_up_total", "gauge").is_some());
+    assert!(violation("process_start_time_seconds", "gauge").is_none());
+    assert!(violation("levy_build_info", "gauge").is_none());
+}

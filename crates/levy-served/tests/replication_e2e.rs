@@ -212,9 +212,16 @@ fn admission_under_load_bumps_the_epoch_and_hands_off_the_rehomed_keyspace() {
         let bytes = warm(&body);
         warmed.push((body, key, bytes));
     }
+    // The key must rehome onto the new member AND its old home must not
+    // be node 0: the steady-state check below queries through node 0
+    // and asserts a *relayed* answer, which only happens when node 0
+    // does not still hold the body in its own cache from the warm-up.
     let (body, key) = (0..10_000u64)
         .map(harness::query_with_seed)
-        .find(|(_, key)| replica_indices_in(&grown, key, 1)[0] == 3)
+        .find(|(_, key)| {
+            replica_indices_in(&grown, key, 1)[0] == 3
+                && replica_indices_in(cluster.addrs(), key, 1)[0] != 0
+        })
         .expect("some key rehomes onto the new member");
     let bytes = warm(&body);
     let rehomed = warmed.len();

@@ -15,7 +15,10 @@
 #      (token-gated `levyc peers add` broadcast) while query load runs —
 #      zero client-visible errors, byte-identical bodies throughout, the
 #      ring epoch advances on every old node, and the rehomed keyspace
-#      handoff shows up as cluster_handoff_keys_total >= 1;
+#      handoff shows up as cluster_handoff_keys_total >= 1, one
+#      federated /v1/cluster/metrics scrape agrees with the per-node
+#      sum, and the admission appears as a peer_admitted event in every
+#      old node's /v1/events journal;
 #   5. SIGTERM one node and require the survivors to keep answering —
 #      including a levyc --endpoints failover through the dead node and
 #      a cold query that degrades to local simulation;
@@ -93,9 +96,13 @@ echo "cluster up: ${ADDRS[*]} (pids ${PIDS[*]})"
 #    and its 2 peers.
 for I in 0 1 2; do
   "$LEVYC" --addr "${ADDRS[$I]}" health >/dev/null
-  "$LEVYC" --addr "${ADDRS[$I]}" peers >"$WORKDIR/peers$I.json" 2>/dev/null
+  "$LEVYC" --addr "${ADDRS[$I]}" peers --json >"$WORKDIR/peers$I.json" 2>/dev/null
   grep -q 'levy-served/peers-v1' "$WORKDIR/peers$I.json" || {
     echo "node $I /v1/peers is not the peers schema:" >&2; cat "$WORKDIR/peers$I.json" >&2; exit 1
+  }
+  # The default rendering is the operator table (one row per peer).
+  "$LEVYC" --addr "${ADDRS[$I]}" peers 2>/dev/null | grep -q 'LAST_PROBE' || {
+    echo "node $I: levyc peers did not render the health table" >&2; exit 1
   }
 done
 echo "health + peers: all 3 nodes answering"
@@ -211,6 +218,31 @@ done
   exit 1
 }
 echo "rolling admission: epoch 2 on all old nodes, 0 client errors, $HANDOFF key(s) handed off"
+
+# 4b. Cluster-wide observability after the admission: one federated
+#     scrape from any single node must agree with the per-node sum
+#     (every node answered, so no scrape_up 0), and the admission must
+#     appear as a peer_admitted event in every old node's journal.
+"$LEVYC" --addr "${ADDRS[0]}" metrics --cluster >"$WORKDIR/federated.prom" 2>/dev/null
+FED_SIMS="$(awk '$1 == "levy_served_simulations_started_total" { print $2 }' "$WORKDIR/federated.prom")"
+SUM_SIMS="$(scrape_sum levy_served_simulations_started_total)"
+[ -n "$FED_SIMS" ] && [ "${FED_SIMS%.*}" -eq "$SUM_SIMS" ] || {
+  echo "federated scrape says $FED_SIMS simulations, per-node sum says $SUM_SIMS" >&2
+  exit 1
+}
+if grep -q 'levy_cluster_scrape_up{[^}]*} 0' "$WORKDIR/federated.prom"; then
+  echo "federated scrape reports an unreachable member with all 4 nodes up:" >&2
+  grep 'levy_cluster_scrape_up' "$WORKDIR/federated.prom" >&2
+  exit 1
+fi
+for I in 0 1 2; do
+  "$LEVYC" --addr "${ADDRS[$I]}" events >"$WORKDIR/events$I.txt" 2>/dev/null
+  grep -q "peer_admitted.*$ADDR3" "$WORKDIR/events$I.txt" || {
+    echo "node $I journal has no peer_admitted event for $ADDR3:" >&2
+    cat "$WORKDIR/events$I.txt" >&2; exit 1
+  }
+done
+echo "observability: federated scrape agrees ($FED_SIMS sims), admission journaled on all old nodes"
 
 # 5. Kill one node; the survivors must keep serving. levyc --endpoints
 #    listing the dead node first must fail over, and a cold query homed
